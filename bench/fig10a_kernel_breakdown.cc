@@ -1,0 +1,84 @@
+// Figure 10(a) — Dense kernel performance breakdown on a GPT-2-shaped layer
+// stack: framework baseline (kernel-per-micro-op) vs +Deep-Fusion vs
+// +Deep-Fusion+SBI-GeMM.
+//
+// Two views are reported:
+//  1. A REAL measurement of this library's CPU kernels (identical math on
+//     all three stacks; tests assert equivalence). On a CPU there is no
+//     kernel-launch overhead, so the measured gains concentrate in the
+//     memory-traffic and GeMM-schedule effects.
+//  2. The calibrated GPU roofline model, which adds the launch-overhead
+//     term the paper's figure includes.
+#include <iostream>
+
+#include "baseline/encoder_runner.h"
+#include "hw/topology.h"
+#include "perf/dense_model.h"
+#include "util/table.h"
+
+int main() {
+  using namespace dsinfer;
+  std::cout << "=== Fig 10(a): kernel breakdown, GPT-2 (hidden 1600, heads "
+               "25) ===\n\n";
+
+  auto cfg = model::dense_model("GPT-2 1.5B");
+  const std::int64_t kLayers = 2;
+  const std::int64_t kSeq = 8;
+  const std::int64_t kIters = 2;
+
+  kernels::KernelPolicy pytorch = kernels::KernelPolicy::baseline();
+  kernels::KernelPolicy fused = kernels::KernelPolicy::optimized_large_batch();
+  kernels::KernelPolicy fused_sbi =
+      kernels::KernelPolicy::optimized_small_batch();
+
+  std::cout << "--- (1) Measured on this CPU (2-layer stack, 8-token decode "
+               "block) ---\n\n";
+  Table t({"batch", "PyTorch ms", "+Deep-Fusion ms", "+SBI-GeMM ms",
+           "fusion speedup", "total speedup"});
+  for (std::int64_t batch : {1, 2, 4}) {
+    const auto base = baseline::run_layer_stack_policy(cfg, pytorch, batch,
+                                                       kSeq, kIters, kLayers);
+    const auto df = baseline::run_layer_stack_policy(cfg, fused, batch, kSeq,
+                                                     kIters, kLayers);
+    const auto sbi = baseline::run_layer_stack_policy(cfg, fused_sbi, batch,
+                                                      kSeq, kIters, kLayers);
+    t.add_row({std::to_string(batch), Table::num(base.mean_ms, 1),
+               Table::num(df.mean_ms, 1), Table::num(sbi.mean_ms, 1),
+               Table::num(base.mean_ms / df.mean_ms, 2) + "x",
+               Table::num(base.mean_ms / sbi.mean_ms, 2) + "x"});
+  }
+  t.print(std::cout);
+
+  std::cout << "\n--- (2) GPU roofline model (A100, per-token step, "
+               "launch overhead included) ---\n\n";
+  const auto cluster = hw::dgx_a100_cluster(1);
+  auto py_model = perf::EngineModelConfig::pytorch();
+  // Deep-Fusion without the custom GeMM: fused traffic/launches but cuBLAS
+  // skinny-GeMM efficiency.
+  auto df_model = perf::EngineModelConfig::deepspeed_fp16();
+  df_model.gemm_bw_eff_rows1 =
+      perf::EngineModelConfig::pytorch().gemm_bw_eff_rows1;
+  auto full_model = perf::EngineModelConfig::deepspeed_fp16();
+
+  Table t2({"batch", "PyTorch us/layer", "+Deep-Fusion us/layer",
+            "+SBI-GeMM us/layer", "fusion speedup", "total speedup"});
+  for (std::int64_t batch : {1, 2, 4, 8}) {
+    const auto base =
+        perf::dense_layer_time(cfg, py_model, cluster, 1, batch, 1, 128);
+    const auto df =
+        perf::dense_layer_time(cfg, df_model, cluster, 1, batch, 1, 128);
+    const auto full =
+        perf::dense_layer_time(cfg, full_model, cluster, 1, batch, 1, 128);
+    t2.add_row({std::to_string(batch), Table::num(base.total() * 1e6, 1),
+                Table::num(df.total() * 1e6, 1),
+                Table::num(full.total() * 1e6, 1),
+                Table::num(base.total() / df.total(), 2) + "x",
+                Table::num(base.total() / full.total(), 2) + "x"});
+  }
+  t2.print(std::cout);
+
+  std::cout << "\nPaper reference: Deep-Fusion gives a significant latency "
+               "reduction over the PyTorch baseline (launch + traffic); the "
+               "custom GeMM adds a further gain at small batch sizes.\n";
+  return 0;
+}

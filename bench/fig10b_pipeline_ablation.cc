@@ -1,0 +1,65 @@
+// Figure 10(b) — Throughput ablation of the pipeline-parallel optimizations
+// for LM-530B on 40 GPUs (TP=8, PP=5): baseline schedule -> inference-
+// optimized schedule -> +memory optimization (KV offload buys batch size)
+// -> +communication optimization (odd/even PCIe scheduling).
+#include <iostream>
+
+#include "parallel/pipeline_partition.h"
+#include "parallel/pipeline_sim.h"
+#include "util/table.h"
+
+int main() {
+  using namespace dsinfer;
+  using parallel::PipelineSchedule;
+  std::cout << "=== Fig 10(b): pipeline optimization ablation, LM-530B on "
+               "40 GPUs (TP8 x PP5) ===\n\n";
+
+  const auto cluster = hw::dgx_a100_cluster(5);
+  const auto& m = model::dense_model("LM-530B");
+  const auto e = perf::EngineModelConfig::deepspeed_fp16();
+
+  parallel::PipelineSimConfig cfg;
+  cfg.stages = 5;
+  cfg.tensor_parallel = 8;
+  cfg.prompt_len = 512;
+  cfg.gen_tokens = 50;
+
+  const std::int64_t stage_layers = (m.layers + cfg.stages - 1) / cfg.stages;
+  const std::int64_t resident_batch = std::max<std::int64_t>(
+      parallel::max_batch_for_memory(m, cluster.node.gpu, stage_layers, 8,
+                                     562, model::Dtype::kFP16, false),
+      cfg.stages);
+  const std::int64_t offload_batch = 2 * resident_batch;
+
+  Table t({"configuration", "batch", "tok/s", "bubble", "gain vs baseline"});
+  double base_tps = 0;
+  auto add = [&](const char* name, std::int64_t batch,
+                 PipelineSchedule sched, bool kv_offload, bool odd_even) {
+    cfg.batch = batch;
+    cfg.schedule = sched;
+    cfg.kv_offload = kv_offload;
+    cfg.odd_even_pcie = odd_even;
+    cfg.prompt_microbatches = std::min<std::int64_t>(batch, 2 * cfg.stages);
+    cfg.gen_microbatches = std::min<std::int64_t>(batch, cfg.stages);
+    const auto r = simulate_pipeline(m, e, cluster, cfg);
+    if (base_tps == 0) base_tps = r.tokens_per_s;
+    t.add_row({name, std::to_string(batch), Table::num(r.tokens_per_s, 1),
+               Table::num(100.0 * r.bubble_fraction, 1) + "%",
+               Table::num(r.tokens_per_s / base_tps, 2) + "x"});
+  };
+
+  add("baseline (training-style schedule)", resident_batch,
+      PipelineSchedule::kTrainingStyle, false, false);
+  add("+ inference-optimized schedule", resident_batch,
+      PipelineSchedule::kHybrid, false, false);
+  add("+ memory opt (KV offload, 2x batch)", offload_batch,
+      PipelineSchedule::kHybrid, true, false);
+  add("+ comm opt (odd/even PCIe)", offload_batch, PipelineSchedule::kHybrid,
+      true, true);
+
+  t.print(std::cout);
+  std::cout << "\nPaper reference: each optimization compounds; scheduling "
+               "removes bubbles, memory optimization buys batch size, and "
+               "the odd/even PCIe schedule removes the offload stall.\n";
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Figure 10(c) — Impact of weight prefetching on ZeRO-Inference throughput
+// for GPT-50B on a single V100 (weights in DRAM), across batch sizes.
+#include <iostream>
+
+#include "util/table.h"
+#include "zero/zero_perf_model.h"
+
+int main() {
+  using namespace dsinfer;
+  std::cout << "=== Fig 10(c): prefetching impact on ZeRO-Inference, "
+               "GPT-50B on one V100 ===\n\n";
+  const auto dgx2 = hw::dgx2_v100();
+  const auto& m = model::dense_model("GPT-50B");
+
+  zero::ZeroConfig with;
+  with.home = zero::WeightHome::kZeroDram;
+  with.prefetch_depth = 1;
+  zero::ZeroConfig without = with;
+  without.prefetch_depth = 0;
+
+  Table t({"batch", "no-prefetch seq/s", "prefetch seq/s", "gain",
+           "fetch ms/layer", "compute ms/layer"});
+  for (std::int64_t b : {1, 2, 4, 8, 16, 32, 64}) {
+    const auto n = zero_throughput(m, dgx2, without, b);
+    const auto w = zero_throughput(m, dgx2, with, b);
+    t.add_row({std::to_string(b), Table::num(n.tokens_per_s, 4),
+               Table::num(w.tokens_per_s, 4),
+               Table::num(w.tokens_per_s / n.tokens_per_s, 2) + "x",
+               Table::num(w.fetch_s_per_layer * 1e3, 1),
+               Table::num(w.compute_s_per_layer * 1e3, 1)});
+  }
+  t.print(std::cout);
+  std::cout << "\nPaper reference: prefetching improves throughput at small "
+               "batch sizes; the benefit diminishes at larger batches where "
+               "arithmetic intensity already hides the transfer.\n";
+  return 0;
+}

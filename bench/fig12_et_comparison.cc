@@ -1,0 +1,71 @@
+// Figure 12 — Comparison with the E.T. transformer kernels on DistilBERT
+// and BERT-base encoders (batch 1, sequence length 128).
+//
+// Real CPU measurement: the three stacks (fully fused DeepSpeed kernels,
+// E.T.-style partial fusion, per-op PyTorch baseline) run identical math;
+// the gap is fusion breadth, the paper's stated reason DeepSpeed wins.
+#include <iostream>
+
+#include "baseline/encoder_runner.h"
+#include "hw/topology.h"
+#include "perf/dense_model.h"
+#include "util/table.h"
+
+int main() {
+  using namespace dsinfer;
+  using baseline::KernelStack;
+  std::cout << "=== Fig 12: encoder kernel comparison (batch 1, seq 128) "
+               "===\n";
+  std::cout << "Measured on this machine's CPU (stacks truncated "
+               "proportionally: BERT 4 layers, DistilBERT 2, preserving "
+               "their 2:1 depth ratio).\n\n";
+
+  Table t({"model", "PyTorch ms", "E.T.-like ms", "DeepSpeed ms",
+           "DS vs E.T.", "DS vs PyTorch"});
+  for (const auto& cfg : {model::distilbert(), model::bert_base()}) {
+    const std::int64_t iters = 2;
+    const std::int64_t depth = cfg.layers / 3;  // 4 for BERT, 2 for Distil
+    const auto py =
+        run_layer_stack(cfg, KernelStack::kPyTorch, 1, 128, iters, depth);
+    const auto et =
+        run_layer_stack(cfg, KernelStack::kEtLike, 1, 128, iters, depth);
+    const auto ds =
+        run_layer_stack(cfg, KernelStack::kDeepSpeed, 1, 128, iters, depth);
+    t.add_row({cfg.name, Table::num(py.mean_ms, 1), Table::num(et.mean_ms, 1),
+               Table::num(ds.mean_ms, 1),
+               Table::num(et.mean_ms / ds.mean_ms, 2) + "x",
+               Table::num(py.mean_ms / ds.mean_ms, 2) + "x"});
+  }
+  t.print(std::cout);
+
+  // Companion view: the GPU roofline model, where launch overhead — absent
+  // on a CPU — is what separates the stacks (together the two views bracket
+  // the paper's measured 1.4-1.7x).
+  std::cout << "\n--- GPU roofline model (A100, one encoder forward, batch "
+               "1, seq 128) ---\n\n";
+  {
+    const auto cluster = hw::dgx_a100_cluster(1);
+    const auto ds = perf::EngineModelConfig::deepspeed_fp16();
+    const auto et = perf::EngineModelConfig::et_like();
+    const auto py = perf::EngineModelConfig::pytorch();
+    Table t2({"model", "PyTorch ms", "E.T. ms", "DeepSpeed ms", "DS vs E.T.",
+              "DS vs PyTorch"});
+    for (const auto& cfg : {model::distilbert(), model::bert_base()}) {
+      auto total = [&](const perf::EngineModelConfig& e) {
+        return static_cast<double>(cfg.layers) *
+               perf::dense_layer_time(cfg, e, cluster, 1, 1, 128, 128).total() *
+               1e3;
+      };
+      const double tp = total(py), te = total(et), td = total(ds);
+      t2.add_row({cfg.name, Table::num(tp, 3), Table::num(te, 3),
+                  Table::num(td, 3), Table::num(te / td, 2) + "x",
+                  Table::num(tp / td, 2) + "x"});
+    }
+    t2.print(std::cout);
+  }
+
+  std::cout << "\nPaper reference: DeepSpeed Inference is 1.7x (DistilBERT) "
+               "and 1.4x (BERT-base) faster than E.T. at batch 1, seq 128, "
+               "because Deep-Fusion fuses more operators.\n";
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Figure 13 — Prompt-processing latency with hybrid scheduling vs
+// FasterTransformer for LM-175B on two 8xA100 nodes at batch 24:
+//   * PP + MP configuration (TP=8, PP=2),
+//   * MP-only configuration (TP=16 spanning both nodes).
+#include <iostream>
+
+#include "parallel/pipeline_sim.h"
+#include "perf/dense_model.h"
+#include "util/table.h"
+
+int main() {
+  using namespace dsinfer;
+  std::cout << "=== Fig 13: prompt latency with hybrid scheduling, LM-175B, "
+               "batch 24, 16 GPUs ===\n\n";
+  const auto cluster = hw::dgx_a100_cluster(2);
+  const auto& m = model::dense_model("LM-175B");
+  const auto ds_engine = perf::EngineModelConfig::deepspeed_fp16();
+  const auto ft_engine = perf::EngineModelConfig::faster_transformer();
+
+  Table t({"config", "engine", "prompt latency (s)", "prompt TFLOPS/GPU",
+           "speedup"});
+
+  // --- PP + MP: TP=8 x PP=2, prompt of 512 tokens. ---
+  auto run_pp = [&](const perf::EngineModelConfig& e, bool hybrid) {
+    parallel::PipelineSimConfig cfg;
+    cfg.stages = 2;
+    cfg.tensor_parallel = 8;
+    cfg.batch = 24;
+    cfg.prompt_len = 512;
+    cfg.gen_tokens = 1;  // prompt processing only
+    cfg.schedule = hybrid ? parallel::PipelineSchedule::kHybrid
+                          : parallel::PipelineSchedule::kTrainingStyle;
+    cfg.prompt_microbatches = hybrid ? 4 : 2;
+    cfg.gen_microbatches = 2;
+    return simulate_pipeline(m, e, cluster, cfg);
+  };
+  const auto ft_pp = run_pp(ft_engine, false);
+  const auto ds_pp = run_pp(ds_engine, true);
+  const double flops24 =
+      24.0 * m.model_flops(512, 512) / 1e12;  // whole prompt batch
+  t.add_row({"PP + MP (TP8 x PP2)", "FT-FP16", Table::num(ft_pp.prompt_s, 3),
+             Table::num(flops24 / ft_pp.prompt_s / 16.0, 1), "1.00x"});
+  t.add_row({"PP + MP (TP8 x PP2)", "DS hybrid", Table::num(ds_pp.prompt_s, 3),
+             Table::num(flops24 / ds_pp.prompt_s / 16.0, 1),
+             Table::num(ft_pp.prompt_s / ds_pp.prompt_s, 2) + "x"});
+
+  // --- MP-only: TP=16 across both nodes (all-reduce crosses InfiniBand,
+  // which is what makes this configuration slow for FT). ---
+  const auto ft_mp =
+      perf::dense_generation_time(m, ft_engine, cluster, 16, 24, 512, 1);
+  t.add_row({"MP-only (TP16, 2 nodes)", "FT-FP16",
+             Table::num(ft_mp.prompt_s, 3),
+             Table::num(flops24 / ft_mp.prompt_s / 16.0, 1), "1.00x"});
+  t.add_row({"MP-only vs DS hybrid PP+MP", "DS hybrid",
+             Table::num(ds_pp.prompt_s, 3),
+             Table::num(flops24 / ds_pp.prompt_s / 16.0, 1),
+             Table::num(ft_mp.prompt_s / ds_pp.prompt_s, 2) + "x"});
+
+  t.print(std::cout);
+  std::cout << "\nPaper reference: hybrid scheduling achieves 1.18x prompt "
+               "speedup over FT in the PP+MP configuration and 3.06x over "
+               "the MP-only configuration.\n";
+  return 0;
+}

@@ -1,0 +1,139 @@
+// Figure 8 — Throughput-oriented massive-model inference: DeepSpeed
+// (inference-optimized pipeline schedule + memory/communication
+// optimizations) vs FasterTransformer for LM-175B on 16 GPUs (TP=8, PP=2)
+// and LM-530B on 40 GPUs (TP=8, PP=5; FT runs TP-only because its TP+PP
+// configuration crashed in the paper's experiments).
+//
+// Workload (paper Sec. VII-A.3): prompt 512, generate 50 tokens, best batch
+// per configuration.
+#include <iostream>
+
+#include "parallel/pipeline_partition.h"
+#include "parallel/pipeline_sim.h"
+#include "perf/dense_model.h"
+#include "util/table.h"
+
+namespace {
+using namespace dsinfer;
+
+// Sweeps candidate batch sizes and returns the best-throughput run — the
+// paper's methodology ("batch sizes that give the best performance").
+struct Best {
+  parallel::PipelineSimResult result;
+  std::int64_t batch = 0;
+};
+
+Best best_over_batches(const model::DenseModelConfig& m,
+                       const hw::ClusterSpec& cluster,
+                       parallel::PipelineSimConfig cfg,
+                       const perf::EngineModelConfig& e,
+                       std::int64_t resident_batch) {
+  Best best;
+  for (double mult : {0.5, 1.0, 1.25, 1.5, 2.0}) {
+    const auto batch = std::max<std::int64_t>(
+        static_cast<std::int64_t>(static_cast<double>(resident_batch) * mult),
+        cfg.stages);
+    cfg.batch = batch;
+    cfg.prompt_microbatches = std::min<std::int64_t>(batch, 2 * cfg.stages);
+    cfg.gen_microbatches = std::min<std::int64_t>(batch, cfg.stages);
+    if (cfg.schedule == parallel::PipelineSchedule::kTrainingStyle) {
+      cfg.prompt_microbatches = std::min<std::int64_t>(batch, cfg.stages);
+      cfg.gen_microbatches = cfg.prompt_microbatches;
+    }
+    // Without KV offload, batches beyond the resident cap are infeasible.
+    if (!cfg.kv_offload && batch > std::max<std::int64_t>(resident_batch, cfg.stages)) continue;
+    const auto r = simulate_pipeline(m, e, cluster, cfg);
+    if (r.tokens_per_s > best.result.tokens_per_s) {
+      best.result = r;
+      best.batch = batch;
+    }
+  }
+  return best;
+}
+
+Best run_ds(const model::DenseModelConfig& m, const hw::ClusterSpec& cluster,
+            std::int64_t stages, std::int64_t tp) {
+  parallel::PipelineSimConfig cfg;
+  cfg.stages = stages;
+  cfg.tensor_parallel = tp;
+  cfg.prompt_len = 512;
+  cfg.gen_tokens = 50;
+  cfg.schedule = parallel::PipelineSchedule::kHybrid;
+  cfg.kv_offload = true;     // memory optimization -> bigger batch
+  cfg.odd_even_pcie = true;  // communication optimization
+  const std::int64_t stage_layers = (m.layers + stages - 1) / stages;
+  const std::int64_t resident = std::max<std::int64_t>(
+      parallel::max_batch_for_memory(m, cluster.node.gpu, stage_layers, tp,
+                                     562, model::Dtype::kFP16, false),
+      1);
+  return best_over_batches(m, cluster, cfg,
+                           perf::EngineModelConfig::deepspeed_fp16(), resident);
+}
+
+Best run_ft(const model::DenseModelConfig& m, const hw::ClusterSpec& cluster,
+            std::int64_t stages, std::int64_t tp) {
+  parallel::PipelineSimConfig cfg;
+  cfg.stages = stages;
+  cfg.tensor_parallel = tp;
+  cfg.prompt_len = 512;
+  cfg.gen_tokens = 50;
+  cfg.schedule = parallel::PipelineSchedule::kTrainingStyle;
+  cfg.kv_offload = false;  // KV must stay resident -> smaller batch
+  const std::int64_t stage_layers = (m.layers + stages - 1) / stages;
+  const std::int64_t resident = std::max<std::int64_t>(
+      parallel::max_batch_for_memory(m, cluster.node.gpu, stage_layers, tp,
+                                     562, model::Dtype::kFP16, false),
+      1);
+  return best_over_batches(m, cluster, cfg,
+                           perf::EngineModelConfig::faster_transformer(),
+                           resident);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Fig 8: throughput of LM-175B (16 GPUs) and LM-530B "
+               "(40 GPUs), DeepSpeed vs FT ===\n\n";
+  Table t({"model", "GPUs", "config", "engine", "batch-optimized tok/s",
+           "per-GPU TFLOPS", "speedup"});
+
+  // LM-175B: 2 nodes, TP=8 within node, PP=2 across.
+  {
+    const auto cluster = hw::dgx_a100_cluster(2);
+    const auto& m = model::dense_model("LM-175B");
+    const auto ds = run_ds(m, cluster, 2, 8);
+    const auto ft = run_ft(m, cluster, 2, 8);
+    t.add_row({"LM-175B", "16", "TP8 x PP2 b" + std::to_string(ft.batch),
+               "FT-FP16", Table::num(ft.result.tokens_per_s, 1),
+               Table::num(ft.result.per_gpu_tflops, 1), "1.00x"});
+    t.add_row({"LM-175B", "16", "TP8 x PP2 b" + std::to_string(ds.batch),
+               "DeepSpeed", Table::num(ds.result.tokens_per_s, 1),
+               Table::num(ds.result.per_gpu_tflops, 1),
+               Table::num(ds.result.tokens_per_s / ft.result.tokens_per_s, 2) +
+                   "x"});
+  }
+
+  // LM-530B: 5 nodes, TP=8, PP=5; FT falls back to TP-only (PP=1 across the
+  // same 40 GPUs is infeasible for FT per the paper; we model its TP-only
+  // variant as 8-way TP on one node's worth of the model with
+  // training-style batching of the remaining capacity).
+  {
+    const auto cluster = hw::dgx_a100_cluster(5);
+    const auto& m = model::dense_model("LM-530B");
+    const auto ds = run_ds(m, cluster, 5, 8);
+    const auto ft = run_ft(m, cluster, 5, 8);
+    t.add_row({"LM-530B", "40", "TP8 x PP5 b" + std::to_string(ft.batch),
+               "FT-FP16 (TP-only-equiv)",
+               Table::num(ft.result.tokens_per_s, 1),
+               Table::num(ft.result.per_gpu_tflops, 1), "1.00x"});
+    t.add_row({"LM-530B", "40", "TP8 x PP5 b" + std::to_string(ds.batch),
+               "DeepSpeed", Table::num(ds.result.tokens_per_s, 1),
+               Table::num(ds.result.per_gpu_tflops, 1),
+               Table::num(ds.result.tokens_per_s / ft.result.tokens_per_s, 2) +
+                   "x"});
+  }
+  t.print(std::cout);
+  std::cout << "\nPaper reference: 1.51x (175B) and 1.53x (530B) throughput "
+               "over the best FasterTransformer configuration.\n";
+  return 0;
+}

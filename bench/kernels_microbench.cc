@@ -1,0 +1,170 @@
+// Kernel microbenchmarks (google-benchmark): the Sec. III primitives.
+//  * SBI-GeMM vs blocked vs reference GeMM on skinny activations.
+//  * Fused vs unfused layernorm / softmax / bias chains.
+//  * Fused vs unfused causal attention over a KV cache.
+//  * INT8 vs FP32 linear layers.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "kernels/attention.h"
+#include "kernels/elementwise.h"
+#include "kernels/gemm.h"
+#include "kernels/quant.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace dsinfer;
+using namespace dsinfer::kernels;
+
+struct GemmFixture {
+  std::vector<float> x, w, bias, y;
+  std::int64_t m, in, out;
+  GemmFixture(std::int64_t m_, std::int64_t in_, std::int64_t out_)
+      : m(m_), in(in_), out(out_) {
+    Rng rng(1);
+    x.resize(static_cast<std::size_t>(m * in));
+    w.resize(static_cast<std::size_t>(out * in));
+    bias.resize(static_cast<std::size_t>(out));
+    y.resize(static_cast<std::size_t>(m * out));
+    rng.fill_normal(x);
+    rng.fill_normal(w, 0.0f, 0.05f);
+    rng.fill_normal(bias);
+  }
+};
+
+void BM_LinearReference(benchmark::State& state) {
+  GemmFixture f(state.range(0), 1024, 1024);
+  for (auto _ : state) {
+    linear_ref(f.x, f.w, f.bias, f.y, f.m, f.in, f.out);
+    benchmark::DoNotOptimize(f.y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * f.m * f.in * f.out * 2);
+}
+BENCHMARK(BM_LinearReference)->Arg(1)->Arg(4);
+
+void BM_LinearBlocked(benchmark::State& state) {
+  GemmFixture f(state.range(0), 1024, 1024);
+  for (auto _ : state) {
+    linear_blocked(f.x, f.w, f.bias, f.y, f.m, f.in, f.out);
+    benchmark::DoNotOptimize(f.y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * f.m * f.in * f.out * 2);
+}
+BENCHMARK(BM_LinearBlocked)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_LinearSbi(benchmark::State& state) {
+  GemmFixture f(state.range(0), 1024, 1024);
+  PackedWeight packed(f.w, f.out, f.in);
+  for (auto _ : state) {
+    linear_sbi(f.x, packed, f.bias, f.y, f.m);
+    benchmark::DoNotOptimize(f.y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * f.m * f.in * f.out * 2);
+}
+BENCHMARK(BM_LinearSbi)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_LinearInt8(benchmark::State& state) {
+  GemmFixture f(state.range(0), 1024, 1024);
+  QuantizedWeight qw(f.w, f.out, f.in);
+  for (auto _ : state) {
+    linear_int8(f.x, qw, f.bias, f.y, f.m);
+    benchmark::DoNotOptimize(f.y.data());
+  }
+}
+BENCHMARK(BM_LinearInt8)->Arg(1)->Arg(16);
+
+void BM_LayernormFused(benchmark::State& state) {
+  const std::int64_t rows = state.range(0), cols = 4096;
+  Rng rng(2);
+  std::vector<float> x(static_cast<std::size_t>(rows * cols)), y(x.size());
+  std::vector<float> g(static_cast<std::size_t>(cols), 1.0f),
+      b(static_cast<std::size_t>(cols), 0.0f);
+  rng.fill_normal(x);
+  for (auto _ : state) {
+    layernorm(x, g, b, y, rows, cols);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_LayernormFused)->Arg(8)->Arg(128);
+
+void BM_LayernormUnfused(benchmark::State& state) {
+  const std::int64_t rows = state.range(0), cols = 4096;
+  Rng rng(2);
+  std::vector<float> x(static_cast<std::size_t>(rows * cols)), y(x.size());
+  std::vector<float> g(static_cast<std::size_t>(cols), 1.0f),
+      b(static_cast<std::size_t>(cols), 0.0f);
+  rng.fill_normal(x);
+  for (auto _ : state) {
+    layernorm_unfused(x, g, b, y, rows, cols);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_LayernormUnfused)->Arg(8)->Arg(128);
+
+void BM_AttentionFused(benchmark::State& state) {
+  const std::int64_t batch = 1, heads = 16, hd = 64, seq = state.range(0);
+  Rng rng(3);
+  KVCache cache(batch, heads, hd, seq);
+  std::vector<float> kv(static_cast<std::size_t>(batch * seq * heads * hd));
+  rng.fill_normal(kv);
+  cache.append(kv, kv, seq);
+  std::vector<float> q(static_cast<std::size_t>(batch * heads * hd)),
+      out(q.size());
+  rng.fill_normal(q);
+  for (auto _ : state) {
+    attention_fused(q, cache, out, 1);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_AttentionFused)->Arg(128)->Arg(512);
+
+void BM_AttentionUnfused(benchmark::State& state) {
+  const std::int64_t batch = 1, heads = 16, hd = 64, seq = state.range(0);
+  Rng rng(3);
+  KVCache cache(batch, heads, hd, seq);
+  std::vector<float> kv(static_cast<std::size_t>(batch * seq * heads * hd));
+  rng.fill_normal(kv);
+  cache.append(kv, kv, seq);
+  std::vector<float> q(static_cast<std::size_t>(batch * heads * hd)),
+      out(q.size());
+  rng.fill_normal(q);
+  for (auto _ : state) {
+    attention_unfused(q, cache, out, 1);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_AttentionUnfused)->Arg(128)->Arg(512);
+
+void BM_BiasGeluFused(benchmark::State& state) {
+  const std::int64_t rows = 8, cols = 16384;
+  Rng rng(4);
+  std::vector<float> x(static_cast<std::size_t>(rows * cols)), y(x.size());
+  std::vector<float> bias(static_cast<std::size_t>(cols));
+  rng.fill_normal(x);
+  rng.fill_normal(bias);
+  for (auto _ : state) {
+    bias_gelu(x, bias, y, rows, cols);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_BiasGeluFused);
+
+void BM_BiasGeluUnfused(benchmark::State& state) {
+  const std::int64_t rows = 8, cols = 16384;
+  Rng rng(4);
+  std::vector<float> x(static_cast<std::size_t>(rows * cols)), y(x.size());
+  std::vector<float> bias(static_cast<std::size_t>(cols));
+  rng.fill_normal(x);
+  rng.fill_normal(bias);
+  for (auto _ : state) {
+    bias_gelu_unfused(x, bias, y, rows, cols);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_BiasGeluUnfused);
+
+}  // namespace
+
+BENCHMARK_MAIN();

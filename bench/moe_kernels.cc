@@ -1,0 +1,103 @@
+// MoE kernel microbenchmarks (google-benchmark): the paper's Sec. V.C claim
+// that table-based routing replaces the sparse one-hot einsums with
+// data-layout transforms, cutting complexity from S*E*M*c_e to S*M*c_e
+// (">6x reduction in MoE kernel-related latency").
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "moe/gating.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace dsinfer;
+using namespace dsinfer::moe;
+
+struct MoEFixture {
+  std::int64_t S, E, C, H;
+  std::vector<float> x;
+  GatingOutput gating;
+  RoutingTable table;
+  Tensor mask;
+  std::vector<float> expert_buf;
+  std::vector<float> y;
+
+  MoEFixture(std::int64_t tokens, std::int64_t experts, std::int64_t hidden)
+      : S(tokens), E(experts), H(hidden) {
+    Rng rng(5);
+    x.resize(static_cast<std::size_t>(S * H));
+    rng.fill_normal(x);
+    std::vector<float> logits(static_cast<std::size_t>(S * E));
+    rng.fill_normal(logits, 0.0f, 2.0f);
+    gating = top1_gating(logits, S, E);
+    C = expert_capacity(S, E, 1.25);
+    table = build_routing_table(gating, E, C);
+    mask = build_dispatch_mask(table, S);
+    expert_buf.resize(static_cast<std::size_t>(E * C * H));
+    y.resize(static_cast<std::size_t>(S * H));
+  }
+};
+
+void BM_ScatterTable(benchmark::State& state) {
+  MoEFixture f(128, state.range(0), 512);
+  for (auto _ : state) {
+    scatter_to_experts(f.x, f.table, f.expert_buf, f.H);
+    benchmark::DoNotOptimize(f.expert_buf.data());
+  }
+}
+BENCHMARK(BM_ScatterTable)->Arg(16)->Arg(64);
+
+void BM_ScatterEinsum(benchmark::State& state) {
+  MoEFixture f(128, state.range(0), 512);
+  for (auto _ : state) {
+    einsum_dispatch(f.mask, f.x, f.expert_buf, f.S, f.E, f.C, f.H);
+    benchmark::DoNotOptimize(f.expert_buf.data());
+  }
+}
+BENCHMARK(BM_ScatterEinsum)->Arg(16)->Arg(64);
+
+void BM_GatherTable(benchmark::State& state) {
+  MoEFixture f(128, state.range(0), 512);
+  scatter_to_experts(f.x, f.table, f.expert_buf, f.H);
+  for (auto _ : state) {
+    gather_from_experts(f.expert_buf, f.table, f.gating, f.y, f.S, f.H);
+    benchmark::DoNotOptimize(f.y.data());
+  }
+}
+BENCHMARK(BM_GatherTable)->Arg(16)->Arg(64);
+
+void BM_GatherEinsum(benchmark::State& state) {
+  MoEFixture f(128, state.range(0), 512);
+  scatter_to_experts(f.x, f.table, f.expert_buf, f.H);
+  for (auto _ : state) {
+    einsum_combine(f.mask, f.gating, f.expert_buf, f.y, f.S, f.E, f.C, f.H);
+    benchmark::DoNotOptimize(f.y.data());
+  }
+}
+BENCHMARK(BM_GatherEinsum)->Arg(16)->Arg(64);
+
+void BM_RoutingTableBuild(benchmark::State& state) {
+  MoEFixture f(1024, state.range(0), 64);
+  for (auto _ : state) {
+    auto t = build_routing_table(f.gating, f.E, f.C);
+    benchmark::DoNotOptimize(t.expert_tokens.data());
+  }
+}
+BENCHMARK(BM_RoutingTableBuild)->Arg(16)->Arg(128);
+
+void BM_Top1Gating(benchmark::State& state) {
+  const std::int64_t S = 1024, E = state.range(0);
+  Rng rng(6);
+  std::vector<float> logits(static_cast<std::size_t>(S * E));
+  rng.fill_normal(logits);
+  for (auto _ : state) {
+    auto g = top1_gating(logits, S, E);
+    benchmark::DoNotOptimize(g.expert_of_token.data());
+  }
+}
+BENCHMARK(BM_Top1Gating)->Arg(16)->Arg(128);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,52 @@
+// Serving-layer bench: the latency-vs-throughput trade the paper's intro
+// frames ("latency-critical or throughput-oriented"). A Poisson request
+// trace is replayed through the batching server at several arrival rates and
+// batching windows; the table shows how a wider window buys batch size (and
+// tokens/s) at the cost of p99 latency. Real measurement: every request runs
+// through the functional engine on this CPU.
+#include <iostream>
+
+#include "core/workload.h"
+#include "util/table.h"
+
+int main() {
+  using namespace dsinfer;
+  std::cout << "=== Serving latency/throughput under Poisson load "
+               "(tiny GPT on this CPU) ===\n\n";
+
+  const auto cfg = model::tiny_gpt(64, 2, 4);
+  Table t({"arrival hz", "batch window ms", "requests", "mean batch",
+           "p50 latency ms", "p99 latency ms", "tokens/s"});
+  for (double rate : {50.0, 200.0}) {
+    for (double window_ms : {0.0, 5.0, 50.0}) {
+      core::ServerOptions opts;
+      opts.engine.policy = kernels::KernelPolicy::optimized_large_batch();
+      opts.engine.max_batch = 8;
+      opts.engine.max_seq = 64;
+      opts.max_batch = 8;
+      opts.batch_window_s = window_ms / 1e3;
+      core::InferenceServer server(cfg, opts, 7);
+
+      core::WorkloadSpec spec;
+      spec.arrival_rate_hz = rate;
+      spec.duration_s = 0.5;
+      spec.prompt_lengths = {8};
+      spec.min_new_tokens = 4;
+      spec.max_new_tokens = 8;
+      spec.seed = 11;
+      auto trace = core::generate_poisson_trace(spec);
+      auto stats = server.run_trace(trace);
+      auto s = core::summarize_serving(stats);
+      t.add_row({Table::num(rate, 0), Table::num(window_ms, 0),
+                 std::to_string(s.requests), Table::num(s.mean_batch_size, 2),
+                 Table::num(s.p50_latency_s * 1e3, 1),
+                 Table::num(s.p99_latency_s * 1e3, 1),
+                 Table::num(s.tokens_per_s, 0)});
+    }
+  }
+  t.print(std::cout);
+  std::cout << "\nExpected: wider windows raise mean batch size and "
+               "throughput; at high rates batching keeps the queue stable "
+               "where window-0 serving falls behind.\n";
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Tables I and II — model configurations used throughout the evaluation,
+// with this library's computed parameter counts next to the paper's sizes.
+#include <iostream>
+
+#include "model/model_config.h"
+#include "util/table.h"
+
+int main() {
+  using namespace dsinfer;
+  std::cout << "=== Table I: dense model configurations ===\n\n";
+  {
+    Table t({"name", "hidden", "layers", "heads", "params (B)",
+             "FP16 size (GB)"});
+    for (const auto& m : model::dense_model_zoo()) {
+      t.add_row({m.name, std::to_string(m.hidden), std::to_string(m.layers),
+                 std::to_string(m.heads),
+                 Table::num(static_cast<double>(m.total_params()) / 1e9, 1),
+                 Table::num(m.total_param_gb(model::Dtype::kFP16), 1)});
+    }
+    t.print(std::cout);
+  }
+
+  std::cout << "\n=== Table II: sparse (MoE) model configurations ===\n\n";
+  {
+    Table t({"name", "paper size (B)", "computed (B)", "layers", "hidden",
+             "MP", "EP", "expert-slicing", "GPUs"});
+    const char* paper_sizes[] = {"52.0", "107.7", "349.0", "1064.9", "2024.0"};
+    int i = 0;
+    for (const auto& m : model::moe_model_zoo()) {
+      t.add_row({m.name, paper_sizes[i++],
+                 Table::num(static_cast<double>(m.total_params()) / 1e9, 1),
+                 std::to_string(m.layers), std::to_string(m.hidden),
+                 std::to_string(m.tensor_parallel),
+                 std::to_string(m.expert_parallel),
+                 std::to_string(m.expert_slicing), std::to_string(m.gpus)});
+    }
+    t.print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Deployment planner: the kind of tool a downstream user runs before
+// renting GPUs. Given a model, it walks the same decision tree DeepSpeed
+// Inference embodies — does it fit one GPU? a node with tensor slicing?
+// does it need pipeline stages across nodes? or should it run on
+// ZeRO-Inference with host/NVMe offload? — and prints the predicted
+// latency/throughput of each feasible deployment.
+#include <iostream>
+
+#include "moe/moe_perf_model.h"
+#include "parallel/pipeline_partition.h"
+#include "parallel/pipeline_sim.h"
+#include "perf/dense_model.h"
+#include "util/table.h"
+#include "zero/zero_perf_model.h"
+
+int main() {
+  using namespace dsinfer;
+  const auto a100 = hw::dgx_a100_cluster(8);  // up to 64 GPUs to plan with
+  const auto lambda = hw::lambda_a6000();
+  const auto ds = perf::EngineModelConfig::deepspeed_fp16();
+
+  std::cout << "=== Deployment plans (prompt 128, generate 8, batch 1; "
+               "latency-oriented) ===\n\n";
+  Table t({"model", "fp16 GB", "plan", "GPUs", "latency ms", "tok/s"});
+  for (const char* name :
+       {"GPT-J 6B", "GPT-NeoX 20B", "GPT-87B", "LM-175B", "LM-530B"}) {
+    const auto& m = model::dense_model(name);
+    const double gb = m.total_param_gb(model::Dtype::kFP16);
+
+    // Smallest TP degree (within a node) whose aggregate memory fits the
+    // model with headroom for KV cache and workspace.
+    std::int64_t tp = 1;
+    while (tp <= 8 && gb * 1.25 > 40.0 * static_cast<double>(tp)) tp *= 2;
+
+    if (tp <= 8 && m.heads % tp == 0) {
+      const auto g = perf::dense_generation_time(m, ds, a100, tp, 1, 128, 8);
+      t.add_row({m.name, Table::num(gb, 0),
+                 tp == 1 ? "single GPU" : "TP" + std::to_string(tp),
+                 std::to_string(tp), Table::num(g.total_s * 1e3, 1),
+                 Table::num(g.tokens_per_s, 1)});
+    } else {
+      // Needs pipeline stages across nodes.
+      const std::int64_t stages =
+          static_cast<std::int64_t>(gb * 1.25 / (40.0 * 8)) + 1;
+      parallel::PipelineSimConfig cfg;
+      cfg.stages = stages;
+      cfg.tensor_parallel = 8;
+      cfg.batch = std::max<std::int64_t>(1, stages);
+      cfg.prompt_len = 128;
+      cfg.gen_tokens = 8;
+      cfg.prompt_microbatches = cfg.batch;
+      cfg.gen_microbatches = cfg.batch;
+      cfg.schedule = parallel::PipelineSchedule::kHybrid;
+      const auto r = simulate_pipeline(m, ds, a100, cfg);
+      t.add_row({m.name, Table::num(gb, 0),
+                 "TP8 x PP" + std::to_string(stages),
+                 std::to_string(8 * stages), Table::num(r.total_s * 1e3, 1),
+                 Table::num(r.tokens_per_s, 1)});
+    }
+  }
+  t.print(std::cout);
+
+  std::cout << "\n=== Budget alternative: one A6000 workstation with "
+               "ZeRO-Inference (throughput-oriented) ===\n\n";
+  Table z({"model", "feasible", "TFLOPS", "max batch"});
+  for (const char* name : {"GPT-NeoX 20B", "LM-175B", "LM-530B"}) {
+    const auto& m = model::dense_model(name);
+    zero::ZeroConfig cfg;
+    cfg.home = m.total_param_gb(model::Dtype::kFP16) < 120
+                   ? zero::WeightHome::kZeroDram
+                   : zero::WeightHome::kZeroNvme;
+    const auto r = zero_throughput(m, lambda, cfg);
+    z.add_row({m.name, r.fits ? "yes" : "no",
+               r.fits ? Table::num(r.tflops_per_gpu, 1) : "-",
+               std::to_string(r.max_batch)});
+  }
+  z.print(std::cout);
+
+  std::cout << "\n=== Sparse alternative: trillion-parameter MoE serving ===\n\n";
+  {
+    const auto c256 = hw::dgx_a100_cluster(32);
+    const auto& m = model::moe_model("24B+MoE-128");
+    const auto l = moe::moe_token_latency(m, moe::MoEEngineConfig::deepspeed(),
+                                          c256, m.gpus, 8, 128);
+    std::cout << m.name << " ("
+              << Table::num(static_cast<double>(m.total_params()) / 1e9, 0)
+              << "B params) on " << m.gpus
+              << " GPUs: " << Table::num(l.total_s * 1e3, 1)
+              << " ms/token — interactive serving of a ~1T model.\n";
+  }
+  return 0;
+}

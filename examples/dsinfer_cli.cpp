@@ -1,0 +1,169 @@
+// dsinfer CLI — a single binary exercising the whole public surface the way
+// a downstream user would: generate / beam / score / checkpoint / plan.
+//
+//   dsinfer_cli generate --prompt "hello world" --tokens 24 --topk 8
+//   dsinfer_cli beam --prompt "hello" --beams 4 --tokens 12
+//   dsinfer_cli score --text "some text to score"
+//   dsinfer_cli save --path model.dsic && dsinfer_cli load --path model.dsic
+//   dsinfer_cli plan --model LM-175B
+//
+// Run without arguments for a demo of every subcommand.
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "core/beam_search.h"
+#include "core/checkpoint.h"
+#include "core/eval.h"
+#include "core/inference_engine.h"
+#include "core/tokenizer.h"
+#include "perf/dense_model.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace dsinfer;
+
+std::map<std::string, std::string> parse_flags(int argc, char** argv,
+                                               int first) {
+  std::map<std::string, std::string> flags;
+  for (int i = first; i + 1 < argc; i += 2) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) == 0) key = key.substr(2);
+    flags[key] = argv[i + 1];
+  }
+  return flags;
+}
+
+std::string flag(const std::map<std::string, std::string>& f,
+                 const std::string& key, const std::string& def) {
+  auto it = f.find(key);
+  return it == f.end() ? def : it->second;
+}
+
+core::InferenceEngine make_engine(std::uint64_t seed) {
+  auto cfg = model::tiny_gpt(128, 4, 8);
+  core::EngineOptions opts;
+  opts.policy = kernels::KernelPolicy::optimized_small_batch();
+  opts.max_seq = 128;
+  return core::InferenceEngine(cfg, opts, seed);
+}
+
+int cmd_generate(const std::map<std::string, std::string>& f) {
+  auto engine = make_engine(std::stoull(flag(f, "seed", "2022")));
+  const std::string prompt = flag(f, "prompt", "deepspeed inference ");
+  const auto tokens = std::stoll(flag(f, "tokens", "24"));
+  core::SamplingOptions s;
+  const auto topk = std::stoll(flag(f, "topk", "0"));
+  if (topk > 0) {
+    s.mode = core::SamplingOptions::Mode::kTopK;
+    s.top_k = topk;
+  }
+  std::cout << prompt << std::flush;
+  auto r = engine.generate(
+      {core::byte_tokenize(prompt)}, tokens, s,
+      [](std::int64_t, std::int64_t, std::int32_t tok) {
+        std::cout << (tok >= 32 && tok < 127 ? static_cast<char>(tok) : '?')
+                  << std::flush;  // stream tokens as they are sampled
+      });
+  std::cout << "\n[" << r.generated << " tokens in "
+            << Table::num(r.seconds * 1e3, 1) << " ms, first token after "
+            << Table::num(r.prompt_seconds * 1e3, 1) << " ms]\n";
+  return 0;
+}
+
+int cmd_beam(const std::map<std::string, std::string>& f) {
+  Rng rng(std::stoull(flag(f, "seed", "2022")));
+  core::GptWeights w;
+  w.init_random(rng, model::tiny_gpt(128, 4, 8));
+  core::BeamSearchOptions o;
+  o.beams = std::stoll(flag(f, "beams", "4"));
+  o.new_tokens = std::stoll(flag(f, "tokens", "12"));
+  const std::string prompt = flag(f, "prompt", "deepspeed ");
+  auto hyps = core::beam_search(w, core::byte_tokenize(prompt), o);
+  for (std::size_t i = 0; i < hyps.size(); ++i) {
+    std::cout << "#" << i << "  score " << Table::num(hyps[i].score, 3)
+              << "  \"" << core::byte_detokenize(hyps[i].tokens) << "\"\n";
+  }
+  return 0;
+}
+
+int cmd_score(const std::map<std::string, std::string>& f) {
+  Rng rng(std::stoull(flag(f, "seed", "2022")));
+  core::GptWeights w;
+  w.init_random(rng, model::tiny_gpt(128, 4, 8));
+  const std::string text = flag(f, "text", "deepspeed inference scores text");
+  const auto s = core::score_sequence(w, core::byte_tokenize(text));
+  std::cout << "log P = " << Table::num(s.log_prob, 3) << " over "
+            << s.scored_tokens
+            << " tokens; perplexity = " << Table::num(s.perplexity, 2) << "\n";
+  return 0;
+}
+
+int cmd_save(const std::map<std::string, std::string>& f) {
+  auto engine = make_engine(std::stoull(flag(f, "seed", "2022")));
+  core::BpeTokenizer tok;
+  tok.train("deepspeed inference deepspeed inference transformer models", 280);
+  const std::string path = flag(f, "path", "model.dsic");
+  core::save_checkpoint(path, engine.weights(), tok);
+  std::cout << "saved " << engine.weights().param_count() << " parameters to "
+            << path << "\n";
+  return 0;
+}
+
+int cmd_load(const std::map<std::string, std::string>& f) {
+  const std::string path = flag(f, "path", "model.dsic");
+  auto ckpt = core::load_checkpoint(path);
+  std::cout << "loaded '" << ckpt.weights.config.name << "' ("
+            << ckpt.weights.param_count() << " parameters, tokenizer with "
+            << ckpt.tokenizer.num_merges() << " merges) from " << path << "\n";
+  return 0;
+}
+
+int cmd_plan(const std::map<std::string, std::string>& f) {
+  const auto& m = model::dense_model(flag(f, "model", "LM-175B"));
+  const auto cluster = hw::dgx_a100_cluster(2);
+  const auto e = perf::EngineModelConfig::deepspeed_fp16();
+  Table t({"TP", "fits/node?", "latency ms (prompt128+8tok)", "tok/s"});
+  for (std::int64_t tp : {1, 2, 4, 8, 16}) {
+    if (m.hidden % tp != 0) continue;
+    const double gb = m.total_param_gb(model::Dtype::kFP16);
+    const bool fits = gb * 1.25 <= 40.0 * static_cast<double>(tp);
+    const auto g = perf::dense_generation_time(m, e, cluster, tp, 1, 128, 8);
+    t.add_row({std::to_string(tp), fits ? "yes" : "no",
+               Table::num(g.total_s * 1e3, 1), Table::num(g.tokens_per_s, 1)});
+  }
+  std::cout << "Deployment plan for " << m.name << " on A100-40GB nodes:\n\n";
+  t.print(std::cout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string cmd = argc > 1 ? argv[1] : "";
+  const auto flags = parse_flags(argc, argv, 2);
+  try {
+    if (cmd == "generate") return cmd_generate(flags);
+    if (cmd == "beam") return cmd_beam(flags);
+    if (cmd == "score") return cmd_score(flags);
+    if (cmd == "save") return cmd_save(flags);
+    if (cmd == "load") return cmd_load(flags);
+    if (cmd == "plan") return cmd_plan(flags);
+    // No/unknown command: run a short demo of everything.
+    std::cout << "usage: dsinfer_cli "
+                 "{generate|beam|score|save|load|plan} [--flag value]...\n"
+                 "Running the demo tour:\n\n== generate ==\n";
+    cmd_generate({});
+    std::cout << "\n== beam ==\n";
+    cmd_beam({{"tokens", "8"}});
+    std::cout << "\n== score ==\n";
+    cmd_score({});
+    std::cout << "\n== plan ==\n";
+    cmd_plan({});
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Quickstart: build an InferenceEngine, generate tokens, inspect timings.
+//
+// The engine is a real CPU transformer (randomly initialized — this
+// reproduction ships no trained checkpoints), so the interesting outputs are
+// the mechanics: KV-cached two-phase generation, kernel-policy selection,
+// and deterministic sampling.
+#include <iostream>
+
+#include "core/inference_engine.h"
+#include "util/table.h"
+
+int main() {
+  using namespace dsinfer;
+
+  // A small GPT so the example runs in well under a second.
+  model::DenseModelConfig cfg = model::tiny_gpt(/*hidden=*/128, /*layers=*/4,
+                                                /*heads=*/8);
+  std::cout << "Model: " << cfg.name << " | hidden " << cfg.hidden
+            << ", layers " << cfg.layers << ", heads " << cfg.heads << ", "
+            << cfg.total_params() / 1000 << "k parameters\n\n";
+
+  core::EngineOptions opts;
+  opts.policy = kernels::KernelPolicy::optimized_small_batch();
+  opts.max_batch = 4;
+  opts.max_seq = 128;
+  core::InferenceEngine engine(cfg, opts, /*seed=*/2022);
+
+  // Byte-level prompts (tiny_gpt's vocab covers all 256 byte values).
+  const std::vector<std::vector<std::int32_t>> prompts = {
+      core::byte_tokenize("DeepSpeed "),
+      core::byte_tokenize("Inference!"),
+  };
+
+  // Greedy generation.
+  auto result = engine.generate(prompts, /*new_tokens=*/16);
+  std::cout << "Greedy generation (" << result.generated << " tokens in "
+            << Table::num(result.seconds * 1e3, 1) << " ms, prompt phase "
+            << Table::num(result.prompt_seconds * 1e3, 1) << " ms):\n";
+  for (const auto& seq : result.tokens) {
+    std::cout << "  \"" << core::byte_detokenize(seq) << "\"\n";
+  }
+
+  // Top-k sampling — deterministic for a fixed engine seed.
+  core::SamplingOptions topk;
+  topk.mode = core::SamplingOptions::Mode::kTopK;
+  topk.top_k = 8;
+  topk.temperature = 0.8f;
+  auto sampled = engine.generate(prompts, 16, topk);
+  std::cout << "\nTop-8 sampling:\n";
+  for (const auto& seq : sampled.tokens) {
+    std::cout << "  \"" << core::byte_detokenize(seq) << "\"\n";
+  }
+
+  std::cout << "\nThroughput: "
+            << Table::num(static_cast<double>(result.generated) /
+                              result.seconds,
+                          0)
+            << " tokens/s on this CPU (policy: Deep-Fusion + SBI-GeMM)\n";
+  return 0;
+}

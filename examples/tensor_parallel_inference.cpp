@@ -1,0 +1,48 @@
+// Tensor-parallel inference across virtual devices (paper Sec. IV-A).
+//
+// The same model runs at TP = 1, 2, 4 and 8; outputs are identical because
+// Megatron-style slicing plus all-reduce is numerically equivalent to the
+// single-device layer. The communicator's byte ledger shows the two
+// all-reduces per layer that tensor slicing pays.
+#include <iostream>
+
+#include "core/inference_engine.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+int main() {
+  using namespace dsinfer;
+
+  model::DenseModelConfig cfg = model::tiny_gpt(128, 4, 8);
+  const std::vector<std::vector<std::int32_t>> prompts = {
+      core::byte_tokenize("tensor parallelism "),
+  };
+
+  std::cout << "Tensor-parallel inference of " << cfg.total_params() / 1000
+            << "k-parameter GPT across virtual devices\n\n";
+
+  std::vector<std::vector<std::int32_t>> reference;
+  Table t({"TP", "tokens match TP=1", "wall ms"});
+  for (std::int64_t tp : {1, 2, 4, 8}) {
+    core::EngineOptions opts;
+    opts.policy = kernels::KernelPolicy::optimized_large_batch();
+    opts.tensor_parallel = tp;
+    opts.max_seq = 128;
+    core::InferenceEngine engine(cfg, opts, /*seed=*/7);
+    Stopwatch sw;
+    auto result = engine.generate(prompts, 24);
+    const double ms = sw.elapsed_ms();
+    if (tp == 1) reference = result.tokens;
+    t.add_row({std::to_string(tp),
+               result.tokens == reference ? "yes" : "NO (bug!)",
+               Table::num(ms, 1)});
+  }
+  t.print(std::cout);
+
+  std::cout
+      << "\nNote: virtual devices are threads on one machine, so TP > 1 adds "
+         "coordination cost here; on real GPUs the same sharding multiplies "
+         "aggregate memory bandwidth (see bench/fig6_dense_latency for the "
+         "modeled effect).\n";
+  return 0;
+}

@@ -1,0 +1,63 @@
+// ZeRO-Inference in action (paper Sec. VI): the same model generates the
+// same tokens with weights fully resident and with weights streamed through
+// a 2-layer device window from a host-side store, and the transfer ledger
+// shows exactly one model's worth of traffic per forward pass. The second
+// half uses the calibrated throughput model to project what the same design
+// achieves for real model sizes on the paper's A6000 workstation.
+#include <iostream>
+
+#include "core/inference_engine.h"
+#include "util/table.h"
+#include "zero/zero_perf_model.h"
+
+int main() {
+  using namespace dsinfer;
+
+  model::DenseModelConfig cfg = model::tiny_gpt(128, 6, 8);
+  const std::vector<std::vector<std::int32_t>> prompts = {
+      core::byte_tokenize("offloaded weights "),
+  };
+
+  core::EngineOptions resident_opts;
+  resident_opts.policy = kernels::KernelPolicy::optimized_large_batch();
+  resident_opts.max_seq = 128;
+  core::EngineOptions stream_opts = resident_opts;
+  stream_opts.stream_weights = true;
+  stream_opts.stream_window = 2;
+
+  core::InferenceEngine resident(cfg, resident_opts, /*seed=*/11);
+  core::InferenceEngine streamed(cfg, stream_opts, /*seed=*/11);
+
+  auto r1 = resident.generate(prompts, 20);
+  auto r2 = streamed.generate(prompts, 20);
+  std::cout << "Resident output: \"" << core::byte_detokenize(r1.tokens[0])
+            << "\"\n";
+  std::cout << "Streamed output:  \"" << core::byte_detokenize(r2.tokens[0])
+            << "\"\n";
+  std::cout << "Outputs identical: " << (r1.tokens == r2.tokens ? "yes" : "NO")
+            << "\n";
+  std::cout << "Bytes streamed over the (simulated) PCIe boundary: "
+            << streamed.streamed_bytes() / (1024.0 * 1024.0) << " MiB ("
+            << cfg.layers << " layers x 21 forward passes)\n\n";
+
+  // Projection: what the streaming design buys on the paper's hardware.
+  std::cout << "Projected on the Lambda A6000 workstation (Fig. 9b):\n\n";
+  const auto lambda = hw::lambda_a6000();
+  Table t({"model", "fits GPU?", "ZeRO-Inference TFLOPS", "max batch"});
+  for (const char* name : {"GPT-NeoX 20B", "GPT-87B", "LM-530B"}) {
+    const auto& m = model::dense_model(name);
+    zero::ZeroConfig gpu_only;
+    gpu_only.home = zero::WeightHome::kGpuOnly;
+    zero::ZeroConfig zi;
+    zi.home = m.total_param_gb(model::Dtype::kFP16) < 120
+                  ? zero::WeightHome::kZeroDram
+                  : zero::WeightHome::kZeroNvme;
+    const auto g = zero_throughput(m, lambda, gpu_only);
+    const auto z = zero_throughput(m, lambda, zi);
+    t.add_row({m.name, g.fits ? "yes" : "no",
+               z.fits ? Table::num(z.tflops_per_gpu, 1) : "OOM",
+               std::to_string(z.max_batch)});
+  }
+  t.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,95 @@
+#include "baseline/encoder_runner.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "kernels/kv_cache.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace dsinfer::baseline {
+
+using kernels::GemmKind;
+using kernels::KernelPolicy;
+
+KernelPolicy policy_for(KernelStack stack, bool causal) {
+  KernelPolicy p;
+  switch (stack) {
+    case KernelStack::kDeepSpeed:
+      p = KernelPolicy::optimized_small_batch();
+      break;
+    case KernelStack::kEtLike:
+      p = KernelPolicy::et_like();
+      break;
+    case KernelStack::kPyTorch:
+      p = KernelPolicy::baseline();
+      break;
+  }
+  p.causal = causal;
+  return p;
+}
+
+const char* stack_name(KernelStack stack) {
+  switch (stack) {
+    case KernelStack::kDeepSpeed:
+      return "DeepSpeed";
+    case KernelStack::kEtLike:
+      return "E.T.-like";
+    case KernelStack::kPyTorch:
+      return "PyTorch";
+  }
+  return "?";
+}
+
+RunResult run_layer_stack(const model::DenseModelConfig& cfg,
+                          KernelStack stack, std::int64_t batch,
+                          std::int64_t seq, std::int64_t iterations,
+                          std::int64_t scale_layers) {
+  return run_layer_stack_policy(cfg, policy_for(stack, cfg.causal), batch,
+                                seq, iterations, scale_layers);
+}
+
+RunResult run_layer_stack_policy(const model::DenseModelConfig& cfg,
+                                 const KernelPolicy& policy,
+                                 std::int64_t batch, std::int64_t seq,
+                                 std::int64_t iterations,
+                                 std::int64_t scale_layers) {
+  if (batch < 1 || seq < 1 || iterations < 1) {
+    throw std::invalid_argument("run_layer_stack: bad arguments");
+  }
+  const std::int64_t layers =
+      scale_layers > 0 ? std::min(scale_layers, cfg.layers) : cfg.layers;
+
+  Rng rng(0xBEEF);
+  std::vector<kernels::LayerWeights> stack_weights(
+      static_cast<std::size_t>(layers));
+  for (auto& w : stack_weights) {
+    w.init_random(rng, cfg.hidden, cfg.heads, cfg.ffn());
+    w.prepare(policy);
+  }
+
+  std::vector<float> x(static_cast<std::size_t>(batch * seq * cfg.hidden));
+  kernels::LayerScratch scratch;
+  RunResult res;
+  res.iterations = iterations;
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(iterations));
+  for (std::int64_t it = 0; it < iterations; ++it) {
+    Rng xr(1000 + static_cast<std::uint64_t>(it));
+    xr.fill_normal(x);
+    Stopwatch sw;
+    for (auto& w : stack_weights) {
+      kernels::KVCache cache(batch, cfg.heads, cfg.head_dim(), seq);
+      kernels::transformer_layer_forward(w, cache, x, batch, seq, policy,
+                                         scratch);
+    }
+    samples.push_back(sw.elapsed_ms());
+  }
+  const Summary s = summarize(samples);
+  res.mean_ms = s.mean;
+  res.min_ms = s.min;
+  return res;
+}
+
+}  // namespace dsinfer::baseline

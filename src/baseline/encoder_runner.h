@@ -1,0 +1,49 @@
+// Functional encoder/decoder layer-stack runner used by the kernel
+// comparison benches (Figs. 10a and 12). It executes a real model's layer
+// stack on the CPU under a given KernelPolicy and reports measured wall
+// time, so the fused-vs-partially-fused-vs-unfused comparisons are actual
+// measurements of this library's kernels, not simulator output.
+#pragma once
+
+#include <cstdint>
+
+#include "kernels/transformer_layer.h"
+#include "model/model_config.h"
+
+namespace dsinfer::baseline {
+
+// Named kernel stacks for the comparisons in the paper's Figs. 10a/12.
+enum class KernelStack {
+  kDeepSpeed,  // Deep-Fusion + SBI-GeMM (small batch)
+  kEtLike,     // fused attention only, library GeMMs (E.T.)
+  kPyTorch,    // kernel-per-micro-op, library GeMMs
+};
+
+kernels::KernelPolicy policy_for(KernelStack stack, bool causal);
+const char* stack_name(KernelStack stack);
+
+struct RunResult {
+  double mean_ms = 0;
+  double min_ms = 0;
+  std::int64_t iterations = 0;
+};
+
+// Builds a `cfg`-shaped stack of layers (seeded deterministically) and times
+// `iterations` forward passes of [batch, seq] over it. The returned timings
+// exclude weight initialization. `scale_layers` optionally truncates very
+// deep models so the measurement stays tractable on a laptop-class CPU; the
+// reported per-layer time is unaffected.
+RunResult run_layer_stack(const model::DenseModelConfig& cfg,
+                          KernelStack stack, std::int64_t batch,
+                          std::int64_t seq, std::int64_t iterations,
+                          std::int64_t scale_layers = 0);
+
+// Same, but with an explicit kernel policy (used by the Fig. 10a ablation,
+// which needs "Deep-Fusion without SBI-GeMM" as a middle rung).
+RunResult run_layer_stack_policy(const model::DenseModelConfig& cfg,
+                                 const kernels::KernelPolicy& policy,
+                                 std::int64_t batch, std::int64_t seq,
+                                 std::int64_t iterations,
+                                 std::int64_t scale_layers = 0);
+
+}  // namespace dsinfer::baseline

@@ -1,0 +1,195 @@
+#include "comm/collectives.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace dsinfer::comm {
+
+Communicator::Communicator(std::int64_t n)
+    : n_(n), src_(static_cast<std::size_t>(n)), dst_(static_cast<std::size_t>(n)),
+      gate_(static_cast<std::ptrdiff_t>(n)) {
+  if (n < 1) throw std::invalid_argument("Communicator: n must be >= 1");
+}
+
+void Communicator::sync() { gate_.arrive_and_wait(); }
+
+void Communicator::all_reduce_sum(std::int64_t rank, std::span<float> data) {
+  if (n_ == 1) return;
+  src_[static_cast<std::size_t>(rank)] = data;
+  sync();
+  // Reduce into a private temp while every rank's published span is stable.
+  std::vector<float> tmp(data.size(), 0.0f);
+  for (std::int64_t r = 0; r < n_; ++r) {
+    const auto peer = src_[static_cast<std::size_t>(r)];
+    if (peer.size() != data.size()) {
+      throw std::invalid_argument("all_reduce_sum: size mismatch across ranks");
+    }
+    for (std::size_t i = 0; i < tmp.size(); ++i) tmp[i] += peer[i];
+  }
+  sync();  // all reads done; safe to overwrite
+  std::memcpy(data.data(), tmp.data(), tmp.size() * sizeof(float));
+  bytes_.fetch_add(data.size() * sizeof(float) * 2, std::memory_order_relaxed);
+  sync();
+}
+
+void Communicator::all_gather(std::int64_t rank, std::span<const float> in,
+                              std::span<float> out) {
+  if (out.size() < in.size() * static_cast<std::size_t>(n_)) {
+    throw std::invalid_argument("all_gather: out too small");
+  }
+  src_[static_cast<std::size_t>(rank)] = in;
+  sync();
+  for (std::int64_t r = 0; r < n_; ++r) {
+    const auto peer = src_[static_cast<std::size_t>(r)];
+    if (peer.size() != in.size()) {
+      throw std::invalid_argument("all_gather: size mismatch across ranks");
+    }
+    std::memcpy(out.data() + static_cast<std::size_t>(r) * in.size(),
+                peer.data(), in.size() * sizeof(float));
+  }
+  bytes_.fetch_add(in.size() * sizeof(float) * static_cast<std::size_t>(n_ - 1),
+                   std::memory_order_relaxed);
+  sync();
+}
+
+void Communicator::all_to_all(std::int64_t rank, std::span<const float> in,
+                              std::span<float> out) {
+  if (in.size() % static_cast<std::size_t>(n_) != 0 || out.size() < in.size()) {
+    throw std::invalid_argument("all_to_all: in must be n equal chunks");
+  }
+  const std::size_t chunk = in.size() / static_cast<std::size_t>(n_);
+  src_[static_cast<std::size_t>(rank)] = in;
+  sync();
+  for (std::int64_t r = 0; r < n_; ++r) {
+    const auto peer = src_[static_cast<std::size_t>(r)];
+    if (peer.size() != in.size()) {
+      throw std::invalid_argument("all_to_all: size mismatch across ranks");
+    }
+    std::memcpy(out.data() + static_cast<std::size_t>(r) * chunk,
+                peer.data() + static_cast<std::size_t>(rank) * chunk,
+                chunk * sizeof(float));
+  }
+  bytes_.fetch_add(chunk * sizeof(float) * static_cast<std::size_t>(n_ - 1),
+                   std::memory_order_relaxed);
+  sync();
+}
+
+void Communicator::broadcast(std::int64_t rank, std::int64_t root,
+                             std::span<float> data) {
+  if (n_ == 1) return;
+  if (rank == root) src_[static_cast<std::size_t>(root)] = data;
+  sync();
+  if (rank != root) {
+    const auto rootspan = src_[static_cast<std::size_t>(root)];
+    if (rootspan.size() != data.size()) {
+      throw std::invalid_argument("broadcast: size mismatch");
+    }
+    std::memcpy(data.data(), rootspan.data(), data.size() * sizeof(float));
+    bytes_.fetch_add(data.size() * sizeof(float), std::memory_order_relaxed);
+  }
+  sync();
+}
+
+void Communicator::reduce_scatter_sum(std::int64_t rank,
+                                      std::span<const float> in,
+                                      std::span<float> out) {
+  if (in.size() % static_cast<std::size_t>(n_) != 0) {
+    throw std::invalid_argument("reduce_scatter_sum: in must be n equal chunks");
+  }
+  const std::size_t chunk = in.size() / static_cast<std::size_t>(n_);
+  if (out.size() < chunk) {
+    throw std::invalid_argument("reduce_scatter_sum: out too small");
+  }
+  src_[static_cast<std::size_t>(rank)] = in;
+  sync();
+  std::vector<float> tmp(chunk, 0.0f);
+  for (std::int64_t r = 0; r < n_; ++r) {
+    const auto peer = src_[static_cast<std::size_t>(r)];
+    if (peer.size() != in.size()) {
+      throw std::invalid_argument("reduce_scatter_sum: size mismatch");
+    }
+    const float* p = peer.data() + static_cast<std::size_t>(rank) * chunk;
+    for (std::size_t i = 0; i < chunk; ++i) tmp[i] += p[i];
+  }
+  sync();
+  std::memcpy(out.data(), tmp.data(), chunk * sizeof(float));
+  bytes_.fetch_add(chunk * sizeof(float) * static_cast<std::size_t>(n_ - 1),
+                   std::memory_order_relaxed);
+  sync();
+}
+
+void Communicator::reduce_sum(std::int64_t rank, std::int64_t root,
+                              std::span<float> data) {
+  if (n_ == 1) return;
+  src_[static_cast<std::size_t>(rank)] = data;
+  sync();
+  std::vector<float> tmp;
+  if (rank == root) {
+    tmp.assign(data.size(), 0.0f);
+    for (std::int64_t r = 0; r < n_; ++r) {
+      const auto peer = src_[static_cast<std::size_t>(r)];
+      if (peer.size() != data.size()) {
+        throw std::invalid_argument("reduce_sum: size mismatch across ranks");
+      }
+      for (std::size_t i = 0; i < tmp.size(); ++i) tmp[i] += peer[i];
+    }
+  }
+  sync();
+  if (rank == root) {
+    std::memcpy(data.data(), tmp.data(), tmp.size() * sizeof(float));
+    bytes_.fetch_add(data.size() * sizeof(float) *
+                         static_cast<std::size_t>(n_ - 1),
+                     std::memory_order_relaxed);
+  }
+  sync();
+}
+
+void Communicator::gather(std::int64_t rank, std::int64_t root,
+                          std::span<const float> in, std::span<float> out) {
+  if (rank == root && out.size() < in.size() * static_cast<std::size_t>(n_)) {
+    throw std::invalid_argument("gather: root out too small");
+  }
+  src_[static_cast<std::size_t>(rank)] = in;
+  sync();
+  if (rank == root) {
+    for (std::int64_t r = 0; r < n_; ++r) {
+      const auto peer = src_[static_cast<std::size_t>(r)];
+      if (peer.size() != in.size()) {
+        throw std::invalid_argument("gather: size mismatch across ranks");
+      }
+      std::memcpy(out.data() + static_cast<std::size_t>(r) * in.size(),
+                  peer.data(), in.size() * sizeof(float));
+    }
+    bytes_.fetch_add(in.size() * sizeof(float) *
+                         static_cast<std::size_t>(n_ - 1),
+                     std::memory_order_relaxed);
+  }
+  sync();
+}
+
+void Communicator::scatter(std::int64_t rank, std::int64_t root,
+                           std::span<const float> in, std::span<float> out) {
+  if (rank == root) {
+    if (in.size() % static_cast<std::size_t>(n_) != 0) {
+      throw std::invalid_argument("scatter: in must be n equal chunks");
+    }
+    src_[static_cast<std::size_t>(root)] = in;
+  }
+  sync();
+  const auto rootspan = src_[static_cast<std::size_t>(root)];
+  const std::size_t chunk = rootspan.size() / static_cast<std::size_t>(n_);
+  if (out.size() < chunk) {
+    throw std::invalid_argument("scatter: out too small");
+  }
+  std::memcpy(out.data(),
+              rootspan.data() + static_cast<std::size_t>(rank) * chunk,
+              chunk * sizeof(float));
+  if (rank != root) {
+    bytes_.fetch_add(chunk * sizeof(float), std::memory_order_relaxed);
+  }
+  sync();
+}
+
+void Communicator::barrier(std::int64_t /*rank*/) { sync(); }
+
+}  // namespace dsinfer::comm

@@ -1,0 +1,73 @@
+// Functional in-process collectives for the virtual-device runtime.
+//
+// Each "device" is a thread; a Communicator of size n provides the NCCL
+// surface the engine needs (all-reduce, all-gather, all-to-all, broadcast,
+// reduce-scatter, barrier). Semantics match MPI/NCCL; transport is shared
+// memory. Every rank must call each collective exactly once and in the same
+// order — the same contract NCCL imposes.
+#pragma once
+
+#include <atomic>
+#include <barrier>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+namespace dsinfer::comm {
+
+class Communicator {
+ public:
+  explicit Communicator(std::int64_t n);
+
+  std::int64_t size() const { return n_; }
+
+  // In-place sum across all ranks; every rank ends with the same values.
+  void all_reduce_sum(std::int64_t rank, std::span<float> data);
+
+  // out = concat(in_0, ..., in_{n-1}); all ins must have equal length and
+  // out must hold n * in.size() floats.
+  void all_gather(std::int64_t rank, std::span<const float> in,
+                  std::span<float> out);
+
+  // in is n equal chunks; out[j-th chunk] = rank j's chunk addressed to us.
+  void all_to_all(std::int64_t rank, std::span<const float> in,
+                  std::span<float> out);
+
+  // Copies root's data into every rank's span (root's span is the source).
+  void broadcast(std::int64_t rank, std::int64_t root, std::span<float> data);
+
+  // out = sum over ranks of their in's `rank`-th chunk (in = n equal chunks).
+  void reduce_scatter_sum(std::int64_t rank, std::span<const float> in,
+                          std::span<float> out);
+
+  // Sum across ranks delivered to `root` only; non-root data is unchanged.
+  void reduce_sum(std::int64_t rank, std::int64_t root, std::span<float> data);
+
+  // Root receives concat of every rank's `in` into `out` (size n * in).
+  // Non-root `out` may be empty.
+  void gather(std::int64_t rank, std::int64_t root, std::span<const float> in,
+              std::span<float> out);
+
+  // Root's `in` (n equal chunks) is distributed; rank r receives chunk r in
+  // `out`. Non-root `in` may be empty.
+  void scatter(std::int64_t rank, std::int64_t root, std::span<const float> in,
+               std::span<float> out);
+
+  void barrier(std::int64_t rank);
+
+  // Total payload bytes moved by this communicator so far (sum over ranks),
+  // for tests asserting communication volume.
+  std::size_t bytes_communicated() const { return bytes_.load(); }
+
+ private:
+  void sync();
+
+  std::int64_t n_;
+  std::vector<std::span<const float>> src_;
+  std::vector<std::span<float>> dst_;
+  std::barrier<> gate_;
+  std::atomic<std::size_t> bytes_{0};
+};
+
+}  // namespace dsinfer::comm

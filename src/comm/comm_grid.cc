@@ -1,0 +1,30 @@
+#include "comm/comm_grid.h"
+
+#include <stdexcept>
+
+namespace dsinfer::comm {
+
+CommGrid::CommGrid(std::int64_t tp, std::int64_t ep) : tp_(tp), ep_(ep) {
+  if (tp < 1 || ep < 1) {
+    throw std::invalid_argument("CommGrid: tp and ep must be >= 1");
+  }
+  world_ = std::make_unique<Communicator>(tp * ep);
+  tp_groups_.reserve(static_cast<std::size_t>(ep));
+  for (std::int64_t e = 0; e < ep; ++e) {
+    tp_groups_.push_back(std::make_unique<Communicator>(tp));
+  }
+  ep_groups_.reserve(static_cast<std::size_t>(tp));
+  for (std::int64_t t = 0; t < tp; ++t) {
+    ep_groups_.push_back(std::make_unique<Communicator>(ep));
+  }
+}
+
+Communicator& CommGrid::tp_group(std::int64_t rank) {
+  return *tp_groups_.at(static_cast<std::size_t>(ep_rank(rank)));
+}
+
+Communicator& CommGrid::ep_group(std::int64_t rank) {
+  return *ep_groups_.at(static_cast<std::size_t>(tp_rank(rank)));
+}
+
+}  // namespace dsinfer::comm

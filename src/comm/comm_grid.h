@@ -1,0 +1,48 @@
+// Process-grid factorization of a world communicator (paper Fig. 4):
+// rank = ep_rank * tp + tp_rank. Tensor-parallel subgroups hold the `tp`
+// ranks that share an expert shard (they all-reduce partial activations);
+// expert-parallel subgroups hold the `ep` ranks that share a tensor-slicing
+// rank (they exchange tokens through the PCC all-to-all, Sec. V.B — the
+// whole point being that the a2a never needs to leave this subgroup because
+// activations are replicated across tensor ranks).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "comm/collectives.h"
+
+namespace dsinfer::comm {
+
+class CommGrid {
+ public:
+  // world = tp * ep ranks.
+  CommGrid(std::int64_t tp, std::int64_t ep);
+
+  std::int64_t tp() const { return tp_; }
+  std::int64_t ep() const { return ep_; }
+  std::int64_t world_size() const { return tp_ * ep_; }
+
+  std::int64_t tp_rank(std::int64_t rank) const { return rank % tp_; }
+  std::int64_t ep_rank(std::int64_t rank) const { return rank / tp_; }
+  std::int64_t rank_of(std::int64_t tp_rank, std::int64_t ep_rank) const {
+    return ep_rank * tp_ + tp_rank;
+  }
+
+  Communicator& world() { return *world_; }
+  // The tp-sized subgroup containing `rank` (ranks with equal ep_rank).
+  Communicator& tp_group(std::int64_t rank);
+  // The ep-sized subgroup containing `rank` (ranks with equal tp_rank) —
+  // the PCC all-to-all group.
+  Communicator& ep_group(std::int64_t rank);
+
+ private:
+  std::int64_t tp_;
+  std::int64_t ep_;
+  std::unique_ptr<Communicator> world_;
+  std::vector<std::unique_ptr<Communicator>> tp_groups_;  // one per ep_rank
+  std::vector<std::unique_ptr<Communicator>> ep_groups_;  // one per tp_rank
+};
+
+}  // namespace dsinfer::comm

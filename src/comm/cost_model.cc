@@ -1,0 +1,108 @@
+#include "comm/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dsinfer::comm {
+
+namespace {
+constexpr double kUs = 1e-6;
+constexpr double kGb = 1e9;
+
+void check_n(std::int64_t n) {
+  if (n < 1) throw std::invalid_argument("collective: n must be >= 1");
+}
+}  // namespace
+
+double p2p_time_s(double bytes, const hw::LinkSpec& link) {
+  return link.latency_us * kUs + bytes / (link.bw_gbps * kGb);
+}
+
+double allreduce_time_s(double bytes, std::int64_t n,
+                        const hw::LinkSpec& link) {
+  check_n(n);
+  if (n == 1) return 0.0;
+  const double steps = 2.0 * static_cast<double>(n - 1);
+  return steps * link.latency_us * kUs +
+         steps * (bytes / static_cast<double>(n)) / (link.bw_gbps * kGb);
+}
+
+double allgather_time_s(double bytes_per_rank, std::int64_t n,
+                        const hw::LinkSpec& link) {
+  check_n(n);
+  if (n == 1) return 0.0;
+  const double steps = static_cast<double>(n - 1);
+  return steps * link.latency_us * kUs +
+         steps * bytes_per_rank / (link.bw_gbps * kGb);
+}
+
+double reduce_scatter_time_s(double bytes_per_rank, std::int64_t n,
+                             const hw::LinkSpec& link) {
+  return allgather_time_s(bytes_per_rank, n, link);
+}
+
+double alltoall_time_s(double bytes_per_rank, std::int64_t n,
+                       const hw::LinkSpec& link) {
+  check_n(n);
+  if (n == 1) return 0.0;
+  const double steps = static_cast<double>(n - 1);
+  // Pairwise exchange: each step ships one of the n chunks.
+  return steps * link.latency_us * kUs +
+         steps * (bytes_per_rank / static_cast<double>(n)) /
+             (link.bw_gbps * kGb);
+}
+
+double broadcast_time_s(double bytes, std::int64_t n,
+                        const hw::LinkSpec& link) {
+  check_n(n);
+  if (n == 1) return 0.0;
+  const double hops = std::ceil(std::log2(static_cast<double>(n)));
+  return hops * (link.latency_us * kUs + bytes / (link.bw_gbps * kGb));
+}
+
+double hierarchical_allreduce_time_s(double bytes, std::int64_t gpus_per_node,
+                                     std::int64_t nodes,
+                                     const hw::LinkSpec& intra,
+                                     const hw::LinkSpec& inter) {
+  check_n(gpus_per_node);
+  check_n(nodes);
+  if (nodes == 1) return allreduce_time_s(bytes, gpus_per_node, intra);
+  const double shard = bytes / static_cast<double>(gpus_per_node);
+  return reduce_scatter_time_s(shard, gpus_per_node, intra) +
+         allreduce_time_s(shard, nodes, inter) +
+         allgather_time_s(shard, gpus_per_node, intra);
+}
+
+double hierarchical_alltoall_time_s(double bytes_per_rank,
+                                    std::int64_t gpus_per_node,
+                                    std::int64_t nodes,
+                                    const hw::LinkSpec& intra,
+                                    const hw::LinkSpec& inter) {
+  check_n(gpus_per_node);
+  check_n(nodes);
+  if (nodes == 1) return alltoall_time_s(bytes_per_rank, gpus_per_node, intra);
+  const double intra_share =
+      bytes_per_rank / static_cast<double>(nodes);  // stays within the node
+  const double inter_share = bytes_per_rank - intra_share;
+  return alltoall_time_s(intra_share, gpus_per_node, intra) +
+         alltoall_time_s(inter_share, nodes, inter);
+}
+
+double pcc_alltoall_time_s(double bytes_per_rank, std::int64_t p,
+                           std::int64_t L, const hw::LinkSpec& link,
+                           bool gather_after) {
+  check_n(p);
+  check_n(L);
+  if (p % L != 0) {
+    throw std::invalid_argument("pcc_alltoall: L must divide p");
+  }
+  const std::int64_t group = p / L;  // ranks sharing a tensor-slicing rank
+  double t = alltoall_time_s(bytes_per_rank, group, link);
+  if (gather_after && L > 1) {
+    t += allgather_time_s(bytes_per_rank, L, link);
+  }
+  return t;
+}
+
+}  // namespace dsinfer::comm

@@ -1,0 +1,59 @@
+// Alpha-beta analytic cost models for the collectives DeepSpeed-Inference
+// issues (NCCL ring algorithms), plus the paper's PCC optimization
+// (Sec. V.B): restricting the MoE all-to-all to the subgroup of ranks that
+// share a tensor-slicing rank, turning O(p) latency into O(p/L) + O(L).
+#pragma once
+
+#include <cstdint>
+
+#include "hw/topology.h"
+
+namespace dsinfer::comm {
+
+// Point-to-point: alpha + bytes/beta.
+double p2p_time_s(double bytes, const hw::LinkSpec& link);
+
+// Ring all-reduce over n ranks: 2(n-1) steps, each moving bytes/n.
+double allreduce_time_s(double bytes, std::int64_t n, const hw::LinkSpec& link);
+
+// Ring all-gather: each rank contributes `bytes_per_rank`; (n-1) steps.
+double allgather_time_s(double bytes_per_rank, std::int64_t n,
+                        const hw::LinkSpec& link);
+
+// Reduce-scatter: mirror of all-gather.
+double reduce_scatter_time_s(double bytes_per_rank, std::int64_t n,
+                             const hw::LinkSpec& link);
+
+// All-to-all: each rank holds `bytes_per_rank` split into n chunks and
+// exchanges pairwise; latency grows linearly in n (the paper's complaint).
+double alltoall_time_s(double bytes_per_rank, std::int64_t n,
+                       const hw::LinkSpec& link);
+
+// Broadcast (tree): ceil(log2 n) alpha terms, full payload per hop.
+double broadcast_time_s(double bytes, std::int64_t n, const hw::LinkSpec& link);
+
+// Hierarchical all-reduce used by tensor parallelism that spills across
+// nodes: reduce-scatter + all-reduce across nodes + all-gather.
+double hierarchical_allreduce_time_s(double bytes, std::int64_t gpus_per_node,
+                                     std::int64_t nodes,
+                                     const hw::LinkSpec& intra,
+                                     const hw::LinkSpec& inter);
+
+// Hierarchical all-to-all (NCCL-style): ranks exchange intra-node chunks
+// over NVLink and aggregate cross-node traffic into one message per node
+// pair, so the latency term scales with `nodes`, not total ranks.
+double hierarchical_alltoall_time_s(double bytes_per_rank,
+                                    std::int64_t gpus_per_node,
+                                    std::int64_t nodes,
+                                    const hw::LinkSpec& intra,
+                                    const hw::LinkSpec& inter);
+
+// Parallelism-coordinated all-to-all. `p` total ranks, `L` tensor-slicing
+// degree. The exchange runs only among the p/L ranks sharing a tensor rank;
+// when `gather_after` (expert -> tensor-parallel transition) an all-gather
+// among the L tensor ranks replicates the result.
+double pcc_alltoall_time_s(double bytes_per_rank, std::int64_t p,
+                           std::int64_t L, const hw::LinkSpec& link,
+                           bool gather_after);
+
+}  // namespace dsinfer::comm

@@ -1,0 +1,202 @@
+#include "core/beam_search.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+#include "kernels/elementwise.h"
+#include "kernels/transformer_layer.h"
+
+namespace dsinfer::core {
+
+namespace {
+
+// Log-softmax of one logits row evaluated at every index.
+std::vector<double> log_softmax(std::span<const float> logits) {
+  float mx = logits[0];
+  for (float v : logits) mx = std::max(mx, v);
+  double denom = 0;
+  for (float v : logits) denom += std::exp(static_cast<double>(v - mx));
+  const double log_denom = std::log(denom);
+  std::vector<double> out(logits.size());
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    out[i] = static_cast<double>(logits[i] - mx) - log_denom;
+  }
+  return out;
+}
+
+struct BeamState {
+  std::vector<std::int32_t> tokens;
+  double log_prob = 0;
+  // Per-layer compact KV snapshots [layers][batch*heads*seq*hd].
+  std::vector<std::vector<float>> kv_k, kv_v;
+  std::int64_t kv_len = 0;
+  std::vector<float> last_hidden;  // [hidden]
+};
+
+}  // namespace
+
+std::vector<BeamHypothesis> beam_search(const GptWeights& weights,
+                                        const std::vector<std::int32_t>& prompt,
+                                        const BeamSearchOptions& opts) {
+  if (prompt.empty() || opts.beams < 1 || opts.new_tokens < 1) {
+    throw std::invalid_argument("beam_search: bad arguments");
+  }
+  const auto& cfg = weights.config;
+  const std::int64_t H = cfg.hidden;
+  const std::int64_t V = cfg.vocab;
+  const std::int64_t P = static_cast<std::int64_t>(prompt.size());
+  const std::int64_t total_len = P + opts.new_tokens;
+  if (total_len > cfg.max_seq) {
+    throw std::invalid_argument("beam_search: exceeds max_seq");
+  }
+  const std::int64_t layers = static_cast<std::int64_t>(weights.layers.size());
+  const kernels::KernelPolicy policy =
+      kernels::KernelPolicy::optimized_large_batch();
+
+  // --- Prompt pass on a single sequence, snapshotting the caches. ---
+  std::vector<kernels::KVCache> caches;
+  caches.reserve(static_cast<std::size_t>(layers));
+  for (std::int64_t l = 0; l < layers; ++l) {
+    caches.emplace_back(1, cfg.heads, cfg.head_dim(), total_len);
+  }
+  kernels::LayerScratch scratch;
+
+  std::vector<std::int32_t> poss(prompt.size());
+  for (std::size_t i = 0; i < poss.size(); ++i) {
+    poss[i] = static_cast<std::int32_t>(i);
+  }
+  std::vector<float> x(static_cast<std::size_t>(P * H));
+  weights.embed(prompt, poss, x);
+  for (std::int64_t l = 0; l < layers; ++l) {
+    kernels::transformer_layer_forward(
+        weights.layers[static_cast<std::size_t>(l)],
+        caches[static_cast<std::size_t>(l)], x, 1, P, policy, scratch);
+  }
+
+  auto snapshot = [&](BeamState& b) {
+    b.kv_len = caches[0].seq_len();
+    b.kv_k.resize(static_cast<std::size_t>(layers));
+    b.kv_v.resize(static_cast<std::size_t>(layers));
+    const auto n =
+        static_cast<std::size_t>(cfg.heads * b.kv_len * cfg.head_dim());
+    for (std::int64_t l = 0; l < layers; ++l) {
+      b.kv_k[static_cast<std::size_t>(l)].resize(n);
+      b.kv_v[static_cast<std::size_t>(l)].resize(n);
+      caches[static_cast<std::size_t>(l)].export_state(
+          b.kv_k[static_cast<std::size_t>(l)],
+          b.kv_v[static_cast<std::size_t>(l)]);
+    }
+  };
+  auto restore = [&](const BeamState& b) {
+    for (std::int64_t l = 0; l < layers; ++l) {
+      caches[static_cast<std::size_t>(l)].import_state(
+          b.kv_k[static_cast<std::size_t>(l)],
+          b.kv_v[static_cast<std::size_t>(l)], b.kv_len);
+    }
+  };
+
+  BeamState root;
+  root.tokens = prompt;
+  root.last_hidden.resize(static_cast<std::size_t>(H));
+  std::memcpy(root.last_hidden.data(), x.data() + (P - 1) * H,
+              static_cast<std::size_t>(H) * sizeof(float));
+  snapshot(root);
+
+  std::vector<BeamState> beams{std::move(root)};
+  std::vector<float> logits(static_cast<std::size_t>(V));
+
+  for (std::int64_t step = 0; step < opts.new_tokens; ++step) {
+    // Expand every live beam by its top `beams` continuations.
+    struct Candidate {
+      std::size_t parent;
+      std::int32_t token;
+      double log_prob;
+    };
+    std::vector<Candidate> cands;
+    for (std::size_t bi = 0; bi < beams.size(); ++bi) {
+      weights.lm_head(beams[bi].last_hidden, logits, 1);
+      const auto lp = log_softmax(logits);
+      // Top `opts.beams` tokens of this beam.
+      std::vector<std::int32_t> idx(static_cast<std::size_t>(V));
+      for (std::size_t i = 0; i < idx.size(); ++i) {
+        idx[i] = static_cast<std::int32_t>(i);
+      }
+      const std::int64_t k = std::min<std::int64_t>(opts.beams, V);
+      std::partial_sort(idx.begin(), idx.begin() + k, idx.end(),
+                        [&](std::int32_t a, std::int32_t b) {
+                          return lp[static_cast<std::size_t>(a)] !=
+                                         lp[static_cast<std::size_t>(b)]
+                                     ? lp[static_cast<std::size_t>(a)] >
+                                           lp[static_cast<std::size_t>(b)]
+                                     : a < b;
+                        });
+      for (std::int64_t i = 0; i < k; ++i) {
+        cands.push_back({bi, idx[static_cast<std::size_t>(i)],
+                         beams[bi].log_prob +
+                             lp[static_cast<std::size_t>(
+                                 idx[static_cast<std::size_t>(i)])]});
+      }
+    }
+    const std::size_t keep =
+        std::min<std::size_t>(static_cast<std::size_t>(opts.beams),
+                              cands.size());
+    std::partial_sort(cands.begin(), cands.begin() + static_cast<std::ptrdiff_t>(keep),
+                      cands.end(), [](const Candidate& a, const Candidate& b) {
+                        return a.log_prob != b.log_prob
+                                   ? a.log_prob > b.log_prob
+                                   : (a.parent != b.parent
+                                          ? a.parent < b.parent
+                                          : a.token < b.token);
+                      });
+
+    // Advance the winners: restore parent cache, run one token, re-snapshot.
+    std::vector<BeamState> next;
+    next.reserve(keep);
+    for (std::size_t c = 0; c < keep; ++c) {
+      const auto& cand = cands[c];
+      const BeamState& parent = beams[cand.parent];
+      restore(parent);
+
+      BeamState child;
+      child.tokens = parent.tokens;
+      child.tokens.push_back(cand.token);
+      child.log_prob = cand.log_prob;
+      child.last_hidden.resize(static_cast<std::size_t>(H));
+      const std::int32_t pos = static_cast<std::int32_t>(
+          static_cast<std::int64_t>(parent.tokens.size()));
+      weights.embed(std::span<const std::int32_t>(&cand.token, 1),
+                    std::span<const std::int32_t>(&pos, 1),
+                    child.last_hidden);
+      for (std::int64_t l = 0; l < layers; ++l) {
+        kernels::transformer_layer_forward(
+            weights.layers[static_cast<std::size_t>(l)],
+            caches[static_cast<std::size_t>(l)], child.last_hidden, 1, 1,
+            policy, scratch);
+      }
+      snapshot(child);
+      next.push_back(std::move(child));
+    }
+    beams = std::move(next);
+  }
+
+  std::vector<BeamHypothesis> out;
+  out.reserve(beams.size());
+  for (auto& b : beams) {
+    BeamHypothesis h;
+    h.tokens = std::move(b.tokens);
+    h.log_prob = b.log_prob;
+    const double len = static_cast<double>(opts.new_tokens);
+    h.score = opts.length_penalty > 0
+                  ? b.log_prob / std::pow(len, opts.length_penalty)
+                  : b.log_prob;
+    out.push_back(std::move(h));
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.score != b.score ? a.score > b.score : a.tokens < b.tokens;
+  });
+  return out;
+}
+
+}  // namespace dsinfer::core

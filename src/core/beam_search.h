@@ -1,0 +1,37 @@
+// Beam-search decoding on top of the KV-cached transformer.
+//
+// Each beam owns a full per-layer KV cache; when beams are re-ranked after a
+// step, caches are forked via KVCache::export_state/import_state — the same
+// snapshot machinery ZeRO's KV offloading uses. Length-normalized
+// log-probability scoring, deterministic tie-breaking.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/gpt_model.h"
+#include "kernels/kv_cache.h"
+#include "model/model_config.h"
+
+namespace dsinfer::core {
+
+struct BeamSearchOptions {
+  std::int64_t beams = 4;
+  std::int64_t new_tokens = 8;
+  // Score = sum(logprob) / length^length_penalty; 0 = raw log-prob.
+  double length_penalty = 0.6;
+};
+
+struct BeamHypothesis {
+  std::vector<std::int32_t> tokens;  // prompt + continuation
+  double log_prob = 0;               // cumulative log P of the continuation
+  double score = 0;                  // length-normalized
+};
+
+// Decodes a single prompt with beam search over `weights`. Returns
+// hypotheses sorted by descending score (best first), one per beam.
+std::vector<BeamHypothesis> beam_search(const GptWeights& weights,
+                                        const std::vector<std::int32_t>& prompt,
+                                        const BeamSearchOptions& opts);
+
+}  // namespace dsinfer::core

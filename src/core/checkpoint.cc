@@ -1,0 +1,147 @@
+#include "core/checkpoint.h"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace dsinfer::core {
+
+namespace {
+
+constexpr char kMagic[4] = {'D', 'S', 'I', 'C'};
+
+void write_u32(std::ostream& os, std::uint32_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void write_i64(std::ostream& os, std::int64_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+std::uint32_t read_u32(std::istream& is) {
+  std::uint32_t v = 0;
+  if (!is.read(reinterpret_cast<char*>(&v), sizeof(v))) {
+    throw std::runtime_error("checkpoint: truncated (u32)");
+  }
+  return v;
+}
+std::int64_t read_i64(std::istream& is) {
+  std::int64_t v = 0;
+  if (!is.read(reinterpret_cast<char*>(&v), sizeof(v))) {
+    throw std::runtime_error("checkpoint: truncated (i64)");
+  }
+  return v;
+}
+
+void write_tensor(std::ostream& os, const Tensor& t) {
+  write_i64(os, t.numel());
+  os.write(reinterpret_cast<const char*>(t.data()),
+           static_cast<std::streamsize>(t.numel() * sizeof(float)));
+}
+
+// Reads a tensor whose shape is already set; validates the element count.
+void read_tensor_into(std::istream& is, Tensor& t) {
+  const std::int64_t n = read_i64(is);
+  if (n != t.numel()) {
+    throw std::runtime_error("checkpoint: tensor size mismatch");
+  }
+  if (!is.read(reinterpret_cast<char*>(t.data()),
+               static_cast<std::streamsize>(n * sizeof(float)))) {
+    throw std::runtime_error("checkpoint: truncated tensor data");
+  }
+}
+
+template <typename Fn>
+void for_each_tensor(GptWeights& w, Fn&& fn) {
+  fn(w.tok_embed);
+  fn(w.pos_embed);
+  fn(w.ln_f_g);
+  fn(w.ln_f_b);
+  for (auto& l : w.layers) {
+    fn(l.ln1_g);
+    fn(l.ln1_b);
+    fn(l.ln2_g);
+    fn(l.ln2_b);
+    fn(l.w_qkv);
+    fn(l.b_qkv);
+    fn(l.w_attn_out);
+    fn(l.b_attn_out);
+    fn(l.w_fc1);
+    fn(l.b_fc1);
+    fn(l.w_fc2);
+    fn(l.b_fc2);
+  }
+}
+
+}  // namespace
+
+void save_checkpoint(const std::string& path, const GptWeights& weights,
+                     const BpeTokenizer& tokenizer) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) throw std::runtime_error("checkpoint: cannot open " + path);
+  os.write(kMagic, sizeof(kMagic));
+  write_u32(os, kCheckpointVersion);
+
+  const auto& cfg = weights.config;
+  write_i64(os, cfg.hidden);
+  write_i64(os, cfg.layers);
+  write_i64(os, cfg.heads);
+  write_i64(os, cfg.vocab);
+  write_i64(os, cfg.max_seq);
+  write_u32(os, cfg.causal ? 1 : 0);
+  const std::string name = cfg.name;
+  write_i64(os, static_cast<std::int64_t>(name.size()));
+  os.write(name.data(), static_cast<std::streamsize>(name.size()));
+
+  const std::string tok = tokenizer.serialize();
+  write_i64(os, static_cast<std::int64_t>(tok.size()));
+  os.write(tok.data(), static_cast<std::streamsize>(tok.size()));
+
+  for_each_tensor(const_cast<GptWeights&>(weights),
+                  [&](Tensor& t) { write_tensor(os, t); });
+  if (!os) throw std::runtime_error("checkpoint: write failed for " + path);
+}
+
+LoadedCheckpoint load_checkpoint(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("checkpoint: cannot open " + path);
+  char magic[4] = {};
+  if (!is.read(magic, sizeof(magic)) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("checkpoint: bad magic");
+  }
+  const std::uint32_t version = read_u32(is);
+  if (version != kCheckpointVersion) {
+    throw std::runtime_error("checkpoint: unsupported version " +
+                             std::to_string(version));
+  }
+  model::DenseModelConfig cfg;
+  cfg.hidden = read_i64(is);
+  cfg.layers = read_i64(is);
+  cfg.heads = read_i64(is);
+  cfg.vocab = read_i64(is);
+  cfg.max_seq = read_i64(is);
+  cfg.causal = read_u32(is) != 0;
+  const auto name_len = static_cast<std::size_t>(read_i64(is));
+  if (name_len > (1u << 20)) throw std::runtime_error("checkpoint: bad name");
+  std::string name(name_len, '\0');
+  if (!is.read(name.data(), static_cast<std::streamsize>(name_len))) {
+    throw std::runtime_error("checkpoint: truncated name");
+  }
+  cfg.name = name;
+
+  const auto tok_len = static_cast<std::size_t>(read_i64(is));
+  if (tok_len > (1u << 26)) throw std::runtime_error("checkpoint: bad tokenizer");
+  std::string tok(tok_len, '\0');
+  if (!is.read(tok.data(), static_cast<std::streamsize>(tok_len))) {
+    throw std::runtime_error("checkpoint: truncated tokenizer");
+  }
+
+  LoadedCheckpoint out;
+  // Allocate tensors at the config's shapes, then fill from the stream.
+  Rng dummy(0);
+  out.weights.init_random(dummy, cfg);
+  for_each_tensor(out.weights, [&](Tensor& t) { read_tensor_into(is, t); });
+  out.tokenizer = tok.empty() ? BpeTokenizer{} : BpeTokenizer::deserialize(tok);
+  return out;
+}
+
+}  // namespace dsinfer::core

@@ -1,0 +1,31 @@
+// Binary checkpoint format for GptWeights (+ optional tokenizer state).
+//
+// Layout: magic "DSIC", u32 version, the model config fields, then each
+// tensor as <u64 numel><float data>. Everything is little-endian native (the
+// format is a local cache, not an interchange format; loaders verify magic,
+// version and sizes and throw on any mismatch).
+#pragma once
+
+#include <string>
+
+#include "core/gpt_model.h"
+#include "core/tokenizer.h"
+
+namespace dsinfer::core {
+
+inline constexpr std::uint32_t kCheckpointVersion = 1;
+
+// Writes weights (and tokenizer, possibly empty) to `path`. Overwrites.
+void save_checkpoint(const std::string& path, const GptWeights& weights,
+                     const BpeTokenizer& tokenizer = {});
+
+struct LoadedCheckpoint {
+  GptWeights weights;
+  BpeTokenizer tokenizer;
+};
+
+// Reads a checkpoint written by save_checkpoint. Throws std::runtime_error
+// on missing file, bad magic, version or size mismatch.
+LoadedCheckpoint load_checkpoint(const std::string& path);
+
+}  // namespace dsinfer::core

@@ -1,0 +1,64 @@
+#include "core/eval.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "kernels/kv_cache.h"
+#include "kernels/transformer_layer.h"
+
+namespace dsinfer::core {
+
+SequenceScore score_sequence(const GptWeights& weights,
+                             const std::vector<std::int32_t>& tokens) {
+  const auto& cfg = weights.config;
+  const std::int64_t T = static_cast<std::int64_t>(tokens.size());
+  if (T < 2) throw std::invalid_argument("score_sequence: need >= 2 tokens");
+  if (T > cfg.max_seq) {
+    throw std::invalid_argument("score_sequence: exceeds max_seq");
+  }
+  const std::int64_t H = cfg.hidden;
+  const std::int64_t V = cfg.vocab;
+
+  std::vector<std::int32_t> poss(tokens.size());
+  for (std::size_t i = 0; i < poss.size(); ++i) {
+    poss[i] = static_cast<std::int32_t>(i);
+  }
+  std::vector<float> x(static_cast<std::size_t>(T * H));
+  weights.embed(tokens, poss, x);
+
+  std::vector<kernels::KVCache> caches;
+  for (std::size_t l = 0; l < weights.layers.size(); ++l) {
+    caches.emplace_back(1, cfg.heads, cfg.head_dim(), T);
+  }
+  kernels::LayerScratch scratch;
+  for (std::size_t l = 0; l < weights.layers.size(); ++l) {
+    kernels::transformer_layer_forward(
+        weights.layers[l], caches[l], x, 1, T,
+        kernels::KernelPolicy::optimized_large_batch(), scratch);
+  }
+
+  // Logits for every position except the last (its target is unknown).
+  std::vector<float> logits(static_cast<std::size_t>((T - 1) * V));
+  weights.lm_head(std::span<const float>(x).first(
+                      static_cast<std::size_t>((T - 1) * H)),
+                  logits, T - 1);
+
+  SequenceScore s;
+  s.scored_tokens = T - 1;
+  for (std::int64_t i = 0; i < T - 1; ++i) {
+    const float* row = logits.data() + i * V;
+    const std::int32_t target = tokens[static_cast<std::size_t>(i + 1)];
+    float mx = row[0];
+    for (std::int64_t v = 1; v < V; ++v) mx = std::max(mx, row[v]);
+    double denom = 0;
+    for (std::int64_t v = 0; v < V; ++v) {
+      denom += std::exp(static_cast<double>(row[v] - mx));
+    }
+    s.log_prob += static_cast<double>(row[target] - mx) - std::log(denom);
+  }
+  s.perplexity = std::exp(-s.log_prob / static_cast<double>(T - 1));
+  return s;
+}
+
+}  // namespace dsinfer::core

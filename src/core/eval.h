@@ -1,0 +1,26 @@
+// Likelihood evaluation: teacher-forced scoring of a token sequence under a
+// GptWeights model (sum of per-token log-probabilities and perplexity). Used
+// to sanity-check decoding (a model must assign its own greedy continuation
+// at least the likelihood of any alternative) and as a minimal accuracy
+// harness for downstream users.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/gpt_model.h"
+
+namespace dsinfer::core {
+
+struct SequenceScore {
+  double log_prob = 0;    // sum over positions 1..n-1 of log P(t_i | t_<i)
+  double perplexity = 0;  // exp(-log_prob / (n - 1))
+  std::int64_t scored_tokens = 0;
+};
+
+// Scores `tokens` (length >= 2) under the model: a single full forward with
+// logits at every position. Throws on out-of-range tokens / lengths.
+SequenceScore score_sequence(const GptWeights& weights,
+                             const std::vector<std::int32_t>& tokens);
+
+}  // namespace dsinfer::core

@@ -1,0 +1,98 @@
+#include "core/gpt_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "kernels/elementwise.h"
+#include "kernels/gemm.h"
+
+namespace dsinfer::core {
+
+void GptWeights::init_random(Rng& rng, const model::DenseModelConfig& cfg) {
+  config = cfg;
+  tok_embed.reshape({cfg.vocab, cfg.hidden});
+  rng.fill_normal(tok_embed.span(), 0.0f, 0.05f);
+  pos_embed.reshape({cfg.max_seq, cfg.hidden});
+  rng.fill_normal(pos_embed.span(), 0.0f, 0.02f);
+  layers.resize(static_cast<std::size_t>(cfg.layers));
+  for (auto& l : layers) l.init_random(rng, cfg.hidden, cfg.heads, cfg.ffn());
+  ln_f_g.reshape({cfg.hidden});
+  ln_f_g.fill(1.0f);
+  ln_f_b.reshape({cfg.hidden});
+  ln_f_b.zero();
+}
+
+std::size_t GptWeights::param_count() const {
+  std::size_t n = static_cast<std::size_t>(tok_embed.numel() +
+                                           pos_embed.numel() + 2 * config.hidden);
+  for (const auto& l : layers) n += l.param_count();
+  return n;
+}
+
+void GptWeights::embed(std::span<const std::int32_t> tokens,
+                       std::span<const std::int32_t> positions,
+                       std::span<float> x) const {
+  const std::int64_t H = config.hidden;
+  if (tokens.size() != positions.size() ||
+      x.size() < tokens.size() * static_cast<std::size_t>(H)) {
+    throw std::invalid_argument("embed: span size mismatch");
+  }
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const std::int32_t t = tokens[i];
+    const std::int32_t p = positions[i];
+    if (t < 0 || t >= config.vocab || p < 0 || p >= config.max_seq) {
+      throw std::out_of_range("embed: token or position out of range");
+    }
+    const float* te = tok_embed.data() + static_cast<std::int64_t>(t) * H;
+    const float* pe = pos_embed.data() + static_cast<std::int64_t>(p) * H;
+    float* xe = x.data() + static_cast<std::int64_t>(i) * H;
+    for (std::int64_t d = 0; d < H; ++d) xe[d] = te[d] + pe[d];
+  }
+}
+
+void GptWeights::lm_head(std::span<const float> x, std::span<float> logits,
+                         std::int64_t rows) const {
+  const std::int64_t H = config.hidden;
+  std::vector<float> normed(static_cast<std::size_t>(rows * H));
+  kernels::layernorm(x, ln_f_g.span(), ln_f_b.span(), normed, rows, H);
+  kernels::linear_blocked(normed, tok_embed.span(), {}, logits, rows, H,
+                          config.vocab);
+}
+
+std::int32_t sample_token(std::span<const float> logits,
+                          const SamplingOptions& opts, Rng& rng) {
+  if (logits.empty()) throw std::invalid_argument("sample_token: empty logits");
+  if (opts.mode == SamplingOptions::Mode::kGreedy) {
+    return static_cast<std::int32_t>(
+        std::max_element(logits.begin(), logits.end()) - logits.begin());
+  }
+  // Top-k with temperature.
+  const std::int64_t k =
+      std::clamp<std::int64_t>(opts.top_k, 1,
+                               static_cast<std::int64_t>(logits.size()));
+  std::vector<std::int32_t> idx(logits.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = static_cast<std::int32_t>(i);
+  std::partial_sort(idx.begin(), idx.begin() + k, idx.end(),
+                    [&](std::int32_t a, std::int32_t b) {
+                      return logits[static_cast<std::size_t>(a)] >
+                             logits[static_cast<std::size_t>(b)];
+                    });
+  const float temp = std::max(opts.temperature, 1e-4f);
+  float mx = logits[static_cast<std::size_t>(idx[0])] / temp;
+  std::vector<float> probs(static_cast<std::size_t>(k));
+  float sum = 0.0f;
+  for (std::int64_t i = 0; i < k; ++i) {
+    probs[static_cast<std::size_t>(i)] =
+        std::exp(logits[static_cast<std::size_t>(idx[static_cast<std::size_t>(i)])] / temp - mx);
+    sum += probs[static_cast<std::size_t>(i)];
+  }
+  float r = rng.uniform(0.0f, sum);
+  for (std::int64_t i = 0; i < k; ++i) {
+    r -= probs[static_cast<std::size_t>(i)];
+    if (r <= 0.0f) return idx[static_cast<std::size_t>(i)];
+  }
+  return idx[static_cast<std::size_t>(k - 1)];
+}
+
+}  // namespace dsinfer::core

@@ -1,0 +1,51 @@
+// Full GPT-style model weights: embeddings, N transformer layers, final
+// layernorm, and a weight-tied language-model head.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "kernels/transformer_layer.h"
+#include "model/model_config.h"
+#include "util/rng.h"
+
+namespace dsinfer::core {
+
+struct GptWeights {
+  model::DenseModelConfig config;
+  Tensor tok_embed;  // [vocab, hidden]; also the (tied) LM head
+  Tensor pos_embed;  // [max_seq, hidden]
+  std::vector<kernels::LayerWeights> layers;
+  Tensor ln_f_g, ln_f_b;
+
+  void init_random(Rng& rng, const model::DenseModelConfig& cfg);
+
+  std::size_t param_count() const;
+
+  // Looks up token + position embeddings into x[tokens, hidden].
+  // positions[i] is the absolute position of tokens[i] in its sequence.
+  void embed(std::span<const std::int32_t> tokens,
+             std::span<const std::int32_t> positions, std::span<float> x) const;
+
+  // Final layernorm + tied LM head: logits[rows, vocab] from x[rows, hidden].
+  void lm_head(std::span<const float> x, std::span<float> logits,
+               std::int64_t rows) const;
+};
+
+// Greedy / top-k sampling over one logits row.
+struct SamplingOptions {
+  enum class Mode { kGreedy, kTopK };
+  Mode mode = Mode::kGreedy;
+  std::int64_t top_k = 4;
+  float temperature = 1.0f;
+  // Sequences that emit this token stop early (-1 = never). The engine keeps
+  // the batch shape (finished sequences still flow through the layers) but
+  // truncates their outputs at the stop token.
+  std::int32_t stop_token = -1;
+};
+
+std::int32_t sample_token(std::span<const float> logits,
+                          const SamplingOptions& opts, Rng& rng);
+
+}  // namespace dsinfer::core

@@ -1,0 +1,326 @@
+#include "core/inference_engine.h"
+
+#include <cstring>
+#include <functional>
+#include <stdexcept>
+
+#include "parallel/device_group.h"
+#include "util/stats.h"
+
+namespace dsinfer::core {
+
+using kernels::KVCache;
+
+InferenceEngine::InferenceEngine(const model::DenseModelConfig& cfg,
+                                 EngineOptions opts, std::uint64_t seed)
+    : opts_(opts), sample_rng_(seed) {
+  if (opts_.tensor_parallel < 1) {
+    throw std::invalid_argument("EngineOptions: tensor_parallel >= 1");
+  }
+  if (opts_.kv_offload && opts_.tensor_parallel > 1) {
+    throw std::invalid_argument(
+        "EngineOptions: kv_offload is supported on the single-device path");
+  }
+  if (opts_.stream_weights && opts_.tensor_parallel > 1) {
+    throw std::invalid_argument(
+        "EngineOptions: weight streaming and tensor parallelism are mutually "
+        "exclusive (ZeRO-Inference scales data-parallel; see DESIGN.md)");
+  }
+  if (opts_.tensor_parallel > 1 &&
+      (cfg.heads % opts_.tensor_parallel != 0 ||
+       cfg.ffn() % opts_.tensor_parallel != 0)) {
+    throw std::invalid_argument("EngineOptions: tp must divide heads and ffn");
+  }
+  Rng rng(seed);
+  weights_.init_random(rng, cfg);
+
+  if (opts_.stream_weights) {
+    // Streamed copies are refetched every pass; packed/quantized
+    // acceleration structures would be rebuilt per fetch, so streaming
+    // pins the plain blocked-FP32 path.
+    opts_.policy.gemm = kernels::GemmKind::kBlocked;
+    opts_.policy.dtype = kernels::Dtype::kFP32;
+    store_ = std::make_unique<zero::HostWeightStore>(
+        std::move(weights_.layers), zero::Tier::kDram);
+    weights_.layers.clear();
+    streamer_ = std::make_unique<zero::LayerStreamer>(*store_,
+                                                      opts_.stream_window);
+  } else {
+    for (auto& l : weights_.layers) l.prepare(opts_.policy);
+    if (opts_.tensor_parallel > 1) {
+      const std::int64_t tp = opts_.tensor_parallel;
+      shards_.resize(static_cast<std::size_t>(tp));
+      for (std::int64_t r = 0; r < tp; ++r) {
+        auto& per_rank = shards_[static_cast<std::size_t>(r)];
+        per_rank.reserve(weights_.layers.size());
+        for (const auto& l : weights_.layers) {
+          per_rank.push_back(parallel::TpLayerShard::from_full(l, tp, r));
+          per_rank.back().prepare(opts_.policy);
+        }
+      }
+    }
+  }
+}
+
+std::size_t InferenceEngine::streamed_bytes() const {
+  return streamer_ ? streamer_->bytes_fetched() : 0;
+}
+
+InferenceEngine::Plan InferenceEngine::validate(
+    const std::vector<std::vector<std::int32_t>>& prompts) const {
+  if (prompts.empty()) throw std::invalid_argument("generate: empty batch");
+  if (static_cast<std::int64_t>(prompts.size()) > opts_.max_batch) {
+    throw std::invalid_argument("generate: batch exceeds max_batch");
+  }
+  const std::size_t len = prompts.front().size();
+  if (len == 0) throw std::invalid_argument("generate: empty prompt");
+  for (const auto& p : prompts) {
+    if (p.size() != len) {
+      throw std::invalid_argument(
+          "generate: prompts must be equal length (pad upstream)");
+    }
+  }
+  Plan plan;
+  plan.batch = static_cast<std::int64_t>(prompts.size());
+  plan.prompt_len = static_cast<std::int64_t>(len);
+  return plan;
+}
+
+void InferenceEngine::run_layers(std::span<float> x, std::int64_t batch,
+                                 std::int64_t q_len,
+                                 std::vector<KVCache>& caches) {
+  static thread_local kernels::LayerScratch scratch;
+  if (streamer_) {
+    for (std::int64_t l = 0; l < store_->layers(); ++l) {
+      const auto& w = streamer_->acquire(l);
+      streamer_->prefetch(l + 1);  // overlap hint: fetch-ahead window
+      kernels::transformer_layer_forward(
+          w, caches[static_cast<std::size_t>(l)], x, batch, q_len,
+          opts_.policy, scratch);
+    }
+    return;
+  }
+  for (std::size_t l = 0; l < weights_.layers.size(); ++l) {
+    kernels::transformer_layer_forward(weights_.layers[l], caches[l], x,
+                                       batch, q_len, opts_.policy, scratch);
+  }
+}
+
+GenerationResult InferenceEngine::generate(
+    const std::vector<std::vector<std::int32_t>>& prompts,
+    std::int64_t new_tokens, const SamplingOptions& sampling,
+    const TokenCallback& on_token) {
+  const Plan plan = validate(prompts);
+  if (new_tokens < 1) throw std::invalid_argument("generate: new_tokens >= 1");
+  const std::int64_t total_len = plan.prompt_len + new_tokens;
+  if (total_len > opts_.max_seq || total_len > config().max_seq) {
+    throw std::invalid_argument("generate: sequence exceeds max_seq");
+  }
+  const std::int64_t H = config().hidden;
+  const std::int64_t V = config().vocab;
+  const std::int64_t B = plan.batch;
+  const std::int64_t P = plan.prompt_len;
+
+  // Same derived seed on every execution path (single, streamed, every TP
+  // rank) keeps sampling identical across them.
+  const std::uint64_t step_seed = sample_rng_.engine()();
+
+  GenerationResult res;
+  res.tokens = prompts;
+  res.stopped.assign(static_cast<std::size_t>(B), false);
+  Stopwatch sw;
+
+  // The shared generation driver; `layer_fn` hides the execution substrate.
+  auto drive = [&](const std::function<void(std::span<float>, std::int64_t)>&
+                       layer_fn,
+                   std::vector<std::vector<std::int32_t>>& out,
+                   double* prompt_s, bool emit_tokens) {
+    Rng rng(step_seed);
+    // ---- Prompt phase ----
+    std::vector<std::int32_t> toks(static_cast<std::size_t>(B * P));
+    std::vector<std::int32_t> poss(toks.size());
+    for (std::int64_t b = 0; b < B; ++b) {
+      for (std::int64_t t = 0; t < P; ++t) {
+        toks[static_cast<std::size_t>(b * P + t)] =
+            out[static_cast<std::size_t>(b)][static_cast<std::size_t>(t)];
+        poss[static_cast<std::size_t>(b * P + t)] =
+            static_cast<std::int32_t>(t);
+      }
+    }
+    std::vector<float> x(static_cast<std::size_t>(B * P * H));
+    weights_.embed(toks, poss, x);
+    layer_fn(x, P);
+
+    std::vector<float> last(static_cast<std::size_t>(B * H));
+    for (std::int64_t b = 0; b < B; ++b) {
+      std::memcpy(last.data() + b * H,
+                  x.data() + ((b * P) + P - 1) * H,
+                  static_cast<std::size_t>(H) * sizeof(float));
+    }
+
+    std::vector<float> logits(static_cast<std::size_t>(B * V));
+    std::vector<std::int32_t> new_toks(static_cast<std::size_t>(B));
+    std::vector<std::int32_t> new_poss(static_cast<std::size_t>(B));
+    for (std::int64_t step = 0; step < new_tokens; ++step) {
+      weights_.lm_head(last, logits, B);
+      for (std::int64_t b = 0; b < B; ++b) {
+        const std::int32_t tok = sample_token(
+            std::span<const float>(logits).subspan(
+                static_cast<std::size_t>(b * V), static_cast<std::size_t>(V)),
+            sampling, rng);
+        out[static_cast<std::size_t>(b)].push_back(tok);
+        if (emit_tokens && on_token) on_token(b, step, tok);
+        if (emit_tokens && sampling.stop_token >= 0 &&
+            tok == sampling.stop_token) {
+          res.stopped[static_cast<std::size_t>(b)] = true;
+        }
+        new_toks[static_cast<std::size_t>(b)] = tok;
+        new_poss[static_cast<std::size_t>(b)] =
+            static_cast<std::int32_t>(P + step);
+      }
+      if (step == 0 && prompt_s) *prompt_s = sw.elapsed_s();
+      if (step + 1 == new_tokens) break;
+      // ---- Token-generation phase: one position per sequence ----
+      weights_.embed(new_toks, new_poss, std::span<float>(last));
+      layer_fn(last, 1);
+      // `last` now holds the final hidden state of each sequence.
+    }
+  };
+
+  if (opts_.tensor_parallel > 1) {
+    const std::int64_t tp = opts_.tensor_parallel;
+    std::vector<std::vector<std::vector<std::int32_t>>> outs(
+        static_cast<std::size_t>(tp), res.tokens);
+    std::vector<double> prompt_times(static_cast<std::size_t>(tp), 0.0);
+    parallel::DeviceGroup group(tp);
+    group.run([&](std::int64_t rank, comm::Communicator& comm) {
+      std::vector<KVCache> caches;
+      caches.reserve(weights_.layers.size());
+      for (std::size_t l = 0; l < shards_[0].size(); ++l) {
+        caches.emplace_back(B, config().heads / tp,
+                            config().head_dim(), total_len);
+      }
+      parallel::TpScratch scratch;
+      auto layer_fn = [&](std::span<float> x, std::int64_t q_len) {
+        auto& per_rank = shards_[static_cast<std::size_t>(rank)];
+        for (std::size_t l = 0; l < per_rank.size(); ++l) {
+          parallel::tp_layer_forward(per_rank[l], caches[l], x,
+                                     B, q_len, opts_.policy, scratch, comm,
+                                     rank);
+        }
+      };
+      drive(layer_fn, outs[static_cast<std::size_t>(rank)],
+            &prompt_times[static_cast<std::size_t>(rank)], rank == 0);
+    });
+    res.tokens = outs[0];
+    res.prompt_seconds = prompt_times[0];
+  } else {
+    std::vector<KVCache> caches;
+    const std::int64_t layers =
+        streamer_ ? store_->layers()
+                  : static_cast<std::int64_t>(weights_.layers.size());
+    caches.reserve(static_cast<std::size_t>(layers));
+    for (std::int64_t l = 0; l < layers; ++l) {
+      caches.emplace_back(B, config().heads, config().head_dim(), total_len);
+    }
+    // Optional host round-trip of every layer's KV state between steps.
+    std::vector<float> host_k, host_v;
+    auto offload_cycle = [&]() {
+      if (!opts_.kv_offload) return;
+      for (auto& c : caches) {
+        const auto n = static_cast<std::size_t>(c.batch() * c.heads() *
+                                                c.seq_len() * c.head_dim());
+        if (n == 0) continue;
+        host_k.resize(n);
+        host_v.resize(n);
+        const std::int64_t len = c.seq_len();
+        c.export_state(host_k, host_v);
+        c.reset();
+        c.import_state(host_k, host_v, len);
+        kv_offload_bytes_ += 4 * n * sizeof(float);  // out + back, K and V
+      }
+    };
+    auto layer_fn = [&](std::span<float> x, std::int64_t q_len) {
+      run_layers(x, B, q_len, caches);
+      offload_cycle();
+    };
+    drive(layer_fn, res.tokens, &res.prompt_seconds, true);
+  }
+
+  // Truncate sequences at their stop token (inclusive) and recount.
+  res.generated = 0;
+  for (std::int64_t b = 0; b < B; ++b) {
+    auto& seq = res.tokens[static_cast<std::size_t>(b)];
+    if (sampling.stop_token >= 0) {
+      for (std::size_t i = static_cast<std::size_t>(P); i < seq.size(); ++i) {
+        if (seq[i] == sampling.stop_token) {
+          seq.resize(i + 1);
+          break;
+        }
+      }
+    }
+    res.generated += static_cast<std::int64_t>(seq.size()) - P;
+  }
+  res.seconds = sw.elapsed_s();
+  return res;
+}
+
+void InferenceEngine::forward_logits(
+    const std::vector<std::vector<std::int32_t>>& prompts,
+    std::span<float> logits) {
+  const Plan plan = validate(prompts);
+  const std::int64_t B = plan.batch;
+  const std::int64_t P = plan.prompt_len;
+  const std::int64_t H = config().hidden;
+  const std::int64_t V = config().vocab;
+  if (logits.size() < static_cast<std::size_t>(B * V)) {
+    throw std::invalid_argument("forward_logits: logits span too small");
+  }
+  if (opts_.tensor_parallel > 1) {
+    throw std::invalid_argument(
+        "forward_logits: use generate() with tensor parallelism");
+  }
+  std::vector<std::int32_t> toks(static_cast<std::size_t>(B * P));
+  std::vector<std::int32_t> poss(toks.size());
+  for (std::int64_t b = 0; b < B; ++b) {
+    for (std::int64_t t = 0; t < P; ++t) {
+      toks[static_cast<std::size_t>(b * P + t)] =
+          prompts[static_cast<std::size_t>(b)][static_cast<std::size_t>(t)];
+      poss[static_cast<std::size_t>(b * P + t)] = static_cast<std::int32_t>(t);
+    }
+  }
+  std::vector<float> x(static_cast<std::size_t>(B * P * H));
+  weights_.embed(toks, poss, x);
+  std::vector<KVCache> caches;
+  const std::int64_t layers =
+      streamer_ ? store_->layers()
+                : static_cast<std::int64_t>(weights_.layers.size());
+  for (std::int64_t l = 0; l < layers; ++l) {
+    caches.emplace_back(B, config().heads, config().head_dim(), P);
+  }
+  run_layers(x, B, P, caches);
+  std::vector<float> last(static_cast<std::size_t>(B * H));
+  for (std::int64_t b = 0; b < B; ++b) {
+    std::memcpy(last.data() + b * H, x.data() + ((b * P) + P - 1) * H,
+                static_cast<std::size_t>(H) * sizeof(float));
+  }
+  weights_.lm_head(last, logits, B);
+}
+
+std::vector<std::int32_t> byte_tokenize(const std::string& text) {
+  std::vector<std::int32_t> out;
+  out.reserve(text.size());
+  for (unsigned char c : text) out.push_back(static_cast<std::int32_t>(c));
+  return out;
+}
+
+std::string byte_detokenize(std::span<const std::int32_t> tokens) {
+  std::string out;
+  out.reserve(tokens.size());
+  for (auto t : tokens) {
+    out.push_back(t >= 32 && t < 127 ? static_cast<char>(t) : '?');
+  }
+  return out;
+}
+
+}  // namespace dsinfer::core

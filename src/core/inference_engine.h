@@ -1,0 +1,118 @@
+// Public inference API.
+//
+// InferenceEngine ties the whole functional stack together: embeddings ->
+// N transformer layers (resident, ZeRO-streamed, or tensor-parallel across
+// virtual devices) -> LM head -> sampling, with per-layer KV caches driving
+// the two-phase (prompt processing / token generation) loop of Sec. IV-B.
+//
+//   model::DenseModelConfig cfg = model::tiny_gpt();
+//   core::EngineOptions opts;
+//   core::InferenceEngine engine(cfg, opts, /*seed=*/42);
+//   auto result = engine.generate({{10, 11, 12}}, /*new_tokens=*/8);
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/gpt_model.h"
+#include "kernels/kv_cache.h"
+#include "parallel/tensor_parallel.h"
+#include "zero/offload.h"
+
+namespace dsinfer::core {
+
+struct EngineOptions {
+  kernels::KernelPolicy policy = kernels::KernelPolicy::optimized_small_batch();
+  // >1 shards every layer Megatron-style across virtual devices (threads).
+  std::int64_t tensor_parallel = 1;
+  // ZeRO-Inference mode: weights live in a host store and stream through a
+  // small device window. Mutually exclusive with tensor_parallel > 1.
+  bool stream_weights = false;
+  std::int64_t stream_window = 2;
+  // Sec. IV-C.2: release every layer's KV cache to host memory between token
+  // steps and fetch it back before the next step. Numerically transparent;
+  // the transfer ledger (kv_offload_bytes()) exposes the PCIe traffic the
+  // perf model prices.
+  bool kv_offload = false;
+  std::int64_t max_batch = 8;
+  std::int64_t max_seq = 128;
+};
+
+// Invoked as each token is sampled: (sequence index, step index, token).
+// With tensor parallelism the callback fires on rank 0's replica only.
+using TokenCallback =
+    std::function<void(std::int64_t, std::int64_t, std::int32_t)>;
+
+struct GenerationResult {
+  // tokens[i] = prompt i followed by the generated continuation; sequences
+  // that emitted the stop token are truncated at it (inclusive).
+  std::vector<std::vector<std::int32_t>> tokens;
+  std::vector<bool> stopped;   // per sequence: hit the stop token early
+  std::int64_t generated = 0;  // total new tokens across the batch
+  double seconds = 0;          // wall-clock for the whole call
+  double prompt_seconds = 0;   // time to first token (prompt phase)
+};
+
+class InferenceEngine {
+ public:
+  // Builds a randomly initialized model (this reproduction has no trained
+  // checkpoints; all evaluation is performance- and correctness-oriented).
+  InferenceEngine(const model::DenseModelConfig& cfg, EngineOptions opts,
+                  std::uint64_t seed = 0x5eed);
+
+  const model::DenseModelConfig& config() const { return weights_.config; }
+  const EngineOptions& options() const { return opts_; }
+  const GptWeights& weights() const { return weights_; }
+
+  // Generates `new_tokens` tokens for each prompt (greedy by default).
+  // All prompts must be non-empty and equally long (callers pad upstream);
+  // batch and total length must respect the engine limits.
+  GenerationResult generate(
+      const std::vector<std::vector<std::int32_t>>& prompts,
+      std::int64_t new_tokens, const SamplingOptions& sampling = {},
+      const TokenCallback& on_token = {});
+
+  // Runs a single forward pass over equally long prompts and writes the
+  // final-position logits [batch, vocab]. Exposed for tests and perplexity
+  // style evaluation.
+  void forward_logits(const std::vector<std::vector<std::int32_t>>& prompts,
+                      std::span<float> logits);
+
+  // Bytes the streamer moved so far (0 when not streaming).
+  std::size_t streamed_bytes() const;
+  // Bytes of KV state round-tripped to host memory (0 unless kv_offload).
+  std::size_t kv_offload_bytes() const { return kv_offload_bytes_; }
+
+ private:
+  struct Plan {
+    std::int64_t batch = 0;
+    std::int64_t prompt_len = 0;
+  };
+  Plan validate(const std::vector<std::vector<std::int32_t>>& prompts) const;
+
+  // Runs `q_len` new positions through every layer; x is [batch*q_len, H].
+  void run_layers(std::span<float> x, std::int64_t batch, std::int64_t q_len,
+                  std::vector<kernels::KVCache>& caches);
+
+  EngineOptions opts_;
+  GptWeights weights_;
+  Rng sample_rng_;
+
+  // Streaming substrate (stream_weights mode).
+  std::unique_ptr<zero::HostWeightStore> store_;
+  std::unique_ptr<zero::LayerStreamer> streamer_;
+
+  // Tensor-parallel substrate: shards_[rank][layer].
+  std::vector<std::vector<parallel::TpLayerShard>> shards_;
+
+  std::size_t kv_offload_bytes_ = 0;
+};
+
+// Byte-level token helpers for the examples (vocab must be >= 256).
+std::vector<std::int32_t> byte_tokenize(const std::string& text);
+std::string byte_detokenize(std::span<const std::int32_t> tokens);
+
+}  // namespace dsinfer::core

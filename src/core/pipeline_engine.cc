@@ -1,0 +1,255 @@
+#include "core/pipeline_engine.h"
+
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include "parallel/pipeline_partition.h"
+#include "util/stats.h"
+
+namespace dsinfer::core {
+
+namespace {
+
+// A micro-batch's activations travelling between stages.
+struct WorkItem {
+  std::int64_t mb = -1;       // micro-batch index; -1 = shutdown sentinel
+  std::int64_t step = 0;      // 0 = prompt, k = k-th generated token
+  std::int64_t q_len = 0;     // tokens per sequence in this item
+  std::vector<float> x;       // [mb_size * q_len, hidden]
+};
+
+class WorkQueue {
+ public:
+  void push(WorkItem item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      items_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+  }
+
+  WorkItem pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return !items_.empty(); });
+    WorkItem item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+ private:
+  std::deque<WorkItem> items_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+};
+
+}  // namespace
+
+PipelineEngine::PipelineEngine(const model::DenseModelConfig& cfg,
+                               PipelineOptions opts, std::uint64_t seed)
+    : opts_(opts), seed_(seed) {
+  if (opts_.stages < 1 || opts_.microbatches < 1) {
+    throw std::invalid_argument("PipelineOptions: stages/microbatches >= 1");
+  }
+  if (cfg.layers < opts_.stages) {
+    throw std::invalid_argument("PipelineOptions: more stages than layers");
+  }
+  Rng rng(seed);
+  weights_.init_random(rng, cfg);
+  for (auto& l : weights_.layers) l.prepare(opts_.policy);
+  stage_ranges_ = parallel::partition_layers(cfg.layers, opts_.stages);
+}
+
+GenerationResult PipelineEngine::generate(
+    const std::vector<std::vector<std::int32_t>>& prompts,
+    std::int64_t new_tokens, const SamplingOptions& sampling) {
+  if (prompts.empty()) throw std::invalid_argument("generate: empty batch");
+  const std::int64_t B = static_cast<std::int64_t>(prompts.size());
+  const std::int64_t M = opts_.microbatches;
+  if (B < M) {
+    throw std::invalid_argument("generate: batch smaller than microbatches");
+  }
+  const std::size_t plen = prompts.front().size();
+  for (const auto& p : prompts) {
+    if (p.size() != plen || p.empty()) {
+      throw std::invalid_argument("generate: prompts must be equal, non-empty");
+    }
+  }
+  if (new_tokens < 1) throw std::invalid_argument("generate: new_tokens >= 1");
+  const std::int64_t P = static_cast<std::int64_t>(plen);
+  const std::int64_t total_len = P + new_tokens;
+  if (total_len > opts_.max_seq || total_len > config().max_seq) {
+    throw std::invalid_argument("generate: sequence exceeds max_seq");
+  }
+  const std::int64_t H = config().hidden;
+  const std::int64_t V = config().vocab;
+  const std::int64_t S = opts_.stages;
+
+  // Micro-batch membership: contiguous slices of the batch.
+  std::vector<std::int64_t> mb_begin(static_cast<std::size_t>(M + 1), 0);
+  for (std::int64_t i = 0; i < M; ++i) {
+    mb_begin[static_cast<std::size_t>(i + 1)] =
+        mb_begin[static_cast<std::size_t>(i)] + B / M + (i < B % M ? 1 : 0);
+  }
+  auto mb_size = [&](std::int64_t mb) {
+    return mb_begin[static_cast<std::size_t>(mb + 1)] -
+           mb_begin[static_cast<std::size_t>(mb)];
+  };
+
+  GenerationResult res;
+  res.tokens = prompts;
+  Stopwatch sw;
+
+  // Per-stage, per-microbatch, per-local-layer KV caches.
+  std::vector<std::vector<std::vector<kernels::KVCache>>> caches(
+      static_cast<std::size_t>(S));
+  for (std::int64_t s = 0; s < S; ++s) {
+    auto& per_stage = caches[static_cast<std::size_t>(s)];
+    per_stage.resize(static_cast<std::size_t>(M));
+    const auto [lb, le] = stage_ranges_[static_cast<std::size_t>(s)];
+    for (std::int64_t mb = 0; mb < M; ++mb) {
+      auto& per_mb = per_stage[static_cast<std::size_t>(mb)];
+      for (std::int64_t l = lb; l < le; ++l) {
+        per_mb.emplace_back(mb_size(mb), config().heads, config().head_dim(),
+                            total_len);
+      }
+    }
+  }
+
+  std::vector<WorkQueue> queues(static_cast<std::size_t>(S));
+  std::mutex result_mu;
+  double prompt_finish = 0;
+  std::int64_t prompts_done = 0;
+
+  // Worker threads: stages 0..S-1. The last stage also runs the LM head,
+  // samples, and re-enqueues the next token step (the Fig. 2(b) feedback
+  // edge). Greedy sampling is order-independent, so per-micro-batch RNGs
+  // seeded by (seed, mb) keep top-k runs deterministic too.
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(S));
+  for (std::int64_t s = 0; s < S; ++s) {
+    workers.emplace_back([&, s] {
+      kernels::LayerScratch scratch;
+      const auto [lb, le] = stage_ranges_[static_cast<std::size_t>(s)];
+      Rng rng(seed_ ^ 0xF00DULL);
+      while (true) {
+        WorkItem item = queues[static_cast<std::size_t>(s)].pop();
+        if (item.mb < 0) break;  // sentinel
+        const std::int64_t rows = mb_size(item.mb) * item.q_len;
+        auto& layer_caches =
+            caches[static_cast<std::size_t>(s)][static_cast<std::size_t>(item.mb)];
+        for (std::int64_t l = lb; l < le; ++l) {
+          kernels::transformer_layer_forward(
+              weights_.layers[static_cast<std::size_t>(l)],
+              layer_caches[static_cast<std::size_t>(l - lb)],
+              std::span<float>(item.x.data(),
+                               static_cast<std::size_t>(rows * H)),
+              mb_size(item.mb), item.q_len, opts_.policy, scratch);
+        }
+        if (s + 1 < S) {
+          queues[static_cast<std::size_t>(s + 1)].push(std::move(item));
+          continue;
+        }
+
+        // ---- Last stage: head + sampling + feedback. ----
+        const std::int64_t bsz = mb_size(item.mb);
+        std::vector<float> last(static_cast<std::size_t>(bsz * H));
+        for (std::int64_t b = 0; b < bsz; ++b) {
+          const float* src =
+              item.x.data() + ((b * item.q_len) + item.q_len - 1) * H;
+          std::memcpy(last.data() + b * H, src,
+                      static_cast<std::size_t>(H) * sizeof(float));
+        }
+        std::vector<float> logits(static_cast<std::size_t>(bsz * V));
+        weights_.lm_head(last, logits, bsz);
+        std::vector<std::int32_t> toks(static_cast<std::size_t>(bsz));
+        std::vector<std::int32_t> poss(static_cast<std::size_t>(bsz));
+        {
+          std::lock_guard<std::mutex> lock(result_mu);
+          for (std::int64_t b = 0; b < bsz; ++b) {
+            const std::int32_t tok = sample_token(
+                std::span<const float>(logits).subspan(
+                    static_cast<std::size_t>(b * V),
+                    static_cast<std::size_t>(V)),
+                sampling, rng);
+            res.tokens[static_cast<std::size_t>(
+                           mb_begin[static_cast<std::size_t>(item.mb)] + b)]
+                .push_back(tok);
+            toks[static_cast<std::size_t>(b)] = tok;
+            poss[static_cast<std::size_t>(b)] =
+                static_cast<std::int32_t>(P + item.step);
+          }
+          if (item.step == 0) {
+            ++prompts_done;
+            if (prompts_done == M) prompt_finish = sw.elapsed_s();
+          }
+        }
+        if (item.step + 1 >= new_tokens) continue;  // micro-batch finished
+        WorkItem next;
+        next.mb = item.mb;
+        next.step = item.step + 1;
+        next.q_len = 1;
+        next.x.resize(static_cast<std::size_t>(bsz * H));
+        weights_.embed(toks, poss, next.x);
+        queues[0].push(std::move(next));
+      }
+    });
+  }
+
+  // Enqueue the prompt phase.
+  for (std::int64_t mb = 0; mb < M; ++mb) {
+    WorkItem item;
+    item.mb = mb;
+    item.step = 0;
+    item.q_len = P;
+    const std::int64_t bsz = mb_size(mb);
+    std::vector<std::int32_t> toks(static_cast<std::size_t>(bsz * P));
+    std::vector<std::int32_t> poss(toks.size());
+    for (std::int64_t b = 0; b < bsz; ++b) {
+      for (std::int64_t t = 0; t < P; ++t) {
+        toks[static_cast<std::size_t>(b * P + t)] =
+            prompts[static_cast<std::size_t>(
+                mb_begin[static_cast<std::size_t>(mb)] + b)]
+                   [static_cast<std::size_t>(t)];
+        poss[static_cast<std::size_t>(b * P + t)] =
+            static_cast<std::int32_t>(t);
+      }
+    }
+    item.x.resize(static_cast<std::size_t>(bsz * P * H));
+    weights_.embed(toks, poss, item.x);
+    queues[0].push(std::move(item));
+  }
+
+  // Wait for completion: every sequence must reach P + new_tokens tokens.
+  // The workers run autonomously; poll the shared result under the lock.
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(result_mu);
+      bool done = true;
+      for (const auto& seq : res.tokens) {
+        if (static_cast<std::int64_t>(seq.size()) < total_len) {
+          done = false;
+          break;
+        }
+      }
+      if (done) break;
+    }
+    std::this_thread::yield();
+  }
+  for (std::int64_t s = 0; s < S; ++s) {
+    WorkItem sentinel;
+    sentinel.mb = -1;
+    queues[static_cast<std::size_t>(s)].push(std::move(sentinel));
+  }
+  for (auto& w : workers) w.join();
+
+  res.generated = B * new_tokens;
+  res.seconds = sw.elapsed_s();
+  res.prompt_seconds = prompt_finish;
+  return res;
+}
+
+}  // namespace dsinfer::core

@@ -1,0 +1,61 @@
+// Functional pipeline-parallel generation (paper Sec. IV-B/C, Fig. 2).
+//
+// The model's layers are partitioned into contiguous stages; each stage runs
+// on its own thread (a virtual device) pulling micro-batches from a FIFO
+// queue. Token generation follows the paper's inference-optimized schedule:
+// a micro-batch's next token step is enqueued at stage 0 the moment its
+// previous step leaves the last stage — no global barrier between steps, so
+// micro-batches of different steps coexist in the pipe exactly as in
+// Fig. 2(b). The last stage owns the LM head and sampling.
+//
+// This is the correctness companion to parallel::simulate_pipeline (which
+// studies the schedules' performance on modeled clusters): outputs are
+// identical to the single-device InferenceEngine under greedy decoding.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/gpt_model.h"
+#include "core/inference_engine.h"
+#include "kernels/transformer_layer.h"
+#include "model/model_config.h"
+
+namespace dsinfer::core {
+
+struct PipelineOptions {
+  std::int64_t stages = 2;
+  std::int64_t microbatches = 2;  // batch is split into this many groups
+  kernels::KernelPolicy policy = kernels::KernelPolicy::optimized_large_batch();
+  std::int64_t max_seq = 128;
+};
+
+class PipelineEngine {
+ public:
+  // Builds the same randomly initialized model as InferenceEngine(cfg, seed),
+  // so outputs can be compared across engines.
+  PipelineEngine(const model::DenseModelConfig& cfg, PipelineOptions opts,
+                 std::uint64_t seed = 0x5eed);
+
+  const model::DenseModelConfig& config() const { return weights_.config; }
+
+  // Generates `new_tokens` greedy tokens for each prompt. Prompts must be
+  // equal length; the batch must be >= the micro-batch count.
+  GenerationResult generate(
+      const std::vector<std::vector<std::int32_t>>& prompts,
+      std::int64_t new_tokens, const SamplingOptions& sampling = {});
+
+  // Stage boundaries, exposed for tests.
+  const std::vector<std::pair<std::int64_t, std::int64_t>>& stage_ranges()
+      const {
+    return stage_ranges_;
+  }
+
+ private:
+  PipelineOptions opts_;
+  GptWeights weights_;
+  std::uint64_t seed_;
+  std::vector<std::pair<std::int64_t, std::int64_t>> stage_ranges_;
+};
+
+}  // namespace dsinfer::core

@@ -1,0 +1,95 @@
+#include "core/server.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/stats.h"
+
+namespace dsinfer::core {
+
+InferenceServer::InferenceServer(const model::DenseModelConfig& cfg,
+                                 ServerOptions opts, std::uint64_t seed)
+    : opts_(opts), engine_(cfg, opts.engine, seed) {
+  if (opts_.max_batch < 1 || opts_.max_batch > opts_.engine.max_batch) {
+    throw std::invalid_argument(
+        "ServerOptions: max_batch must be in [1, engine.max_batch]");
+  }
+  if (opts_.batch_window_s < 0) {
+    throw std::invalid_argument("ServerOptions: negative batch window");
+  }
+}
+
+std::vector<RequestStats> InferenceServer::run_trace(
+    std::vector<TimedRequest> requests) {
+  for (const auto& r : requests) {
+    if (r.prompt.empty() || r.new_tokens < 1) {
+      throw std::invalid_argument("run_trace: bad request " +
+                                  std::to_string(r.id));
+    }
+  }
+  // Serve in arrival order (stable for ties).
+  std::vector<std::size_t> order(requests.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return requests[a].arrival_s < requests[b].arrival_s;
+  });
+
+  std::vector<RequestStats> stats(requests.size());
+  std::vector<bool> served(requests.size(), false);
+  double clock = 0;
+
+  for (std::size_t head_pos = 0; head_pos < order.size(); ++head_pos) {
+    const std::size_t head = order[head_pos];
+    if (served[head]) continue;
+    const auto& hr = requests[head];
+    // Service cannot start before the head arrives; the batcher then waits
+    // up to the window for same-shape requests.
+    double start = std::max(clock, hr.arrival_s);
+    const double cutoff = start + opts_.batch_window_s;
+
+    std::vector<std::size_t> batch{head};
+    for (std::size_t j = head_pos + 1;
+         j < order.size() &&
+         static_cast<std::int64_t>(batch.size()) < opts_.max_batch;
+         ++j) {
+      const std::size_t cand = order[j];
+      if (served[cand]) continue;
+      const auto& cr = requests[cand];
+      if (cr.prompt.size() != hr.prompt.size()) continue;
+      if (cr.arrival_s > cutoff) break;  // later arrivals are even later
+      batch.push_back(cand);
+      start = std::max(start, cr.arrival_s);
+    }
+
+    std::vector<std::vector<std::int32_t>> prompts;
+    std::int64_t max_new = 0;
+    for (std::size_t idx : batch) {
+      prompts.push_back(requests[idx].prompt);
+      max_new = std::max(max_new, requests[idx].new_tokens);
+    }
+
+    Stopwatch sw;
+    auto result = engine_.generate(prompts, max_new);
+    const double service_s = sw.elapsed_s();
+    const double finish = start + service_s;
+
+    for (std::size_t bi = 0; bi < batch.size(); ++bi) {
+      const std::size_t idx = batch[bi];
+      auto& st = stats[idx];
+      st.id = requests[idx].id;
+      st.arrival_s = requests[idx].arrival_s;
+      st.start_s = start;
+      st.finish_s = finish;
+      st.batch_size = static_cast<std::int64_t>(batch.size());
+      // Truncate over-generated tokens to the request's ask.
+      st.tokens = result.tokens[bi];
+      st.tokens.resize(requests[idx].prompt.size() +
+                       static_cast<std::size_t>(requests[idx].new_tokens));
+      served[idx] = true;
+    }
+    clock = finish;
+  }
+  return stats;
+}
+
+}  // namespace dsinfer::core

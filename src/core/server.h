@@ -1,0 +1,61 @@
+// A deterministic batching front-end over InferenceEngine — the production
+// framing of the paper's introduction: latency-critical requests arrive on
+// their own schedule, and the server trades queueing delay for batch size
+// (throughput) under a configurable batching window.
+//
+// Time is virtual for arrivals/queueing and measured for service: the trace
+// replay advances a virtual clock, so latency accounting is reproducible up
+// to the machine's actual compute speed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/inference_engine.h"
+
+namespace dsinfer::core {
+
+struct ServerOptions {
+  EngineOptions engine;
+  std::int64_t max_batch = 8;   // requests per engine invocation
+  double batch_window_s = 0.0;  // wait this long (virtual) to fill a batch
+};
+
+struct TimedRequest {
+  std::int64_t id = 0;
+  std::vector<std::int32_t> prompt;
+  std::int64_t new_tokens = 1;
+  double arrival_s = 0;  // virtual arrival time
+};
+
+struct RequestStats {
+  std::int64_t id = 0;
+  std::vector<std::int32_t> tokens;  // prompt + exactly new_tokens generated
+  double arrival_s = 0;
+  double start_s = 0;   // when its batch began service
+  double finish_s = 0;  // when its batch completed
+  std::int64_t batch_size = 0;
+
+  double queue_delay_s() const { return start_s - arrival_s; }
+  double latency_s() const { return finish_s - arrival_s; }
+};
+
+class InferenceServer {
+ public:
+  InferenceServer(const model::DenseModelConfig& cfg, ServerOptions opts,
+                  std::uint64_t seed = 0x5eed);
+
+  // Replays a request trace through the batcher. Requests are served FIFO;
+  // a batch groups up-to-max_batch queued requests with the same prompt
+  // length whose arrivals fall within the batching window of the head
+  // request. Greedy decoding. Results are returned in input order.
+  std::vector<RequestStats> run_trace(std::vector<TimedRequest> requests);
+
+  InferenceEngine& engine() { return engine_; }
+
+ private:
+  ServerOptions opts_;
+  InferenceEngine engine_;
+};
+
+}  // namespace dsinfer::core

@@ -1,0 +1,145 @@
+#include "core/tokenizer.h"
+
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+
+namespace dsinfer::core {
+
+namespace {
+
+std::vector<std::int32_t> to_bytes(const std::string& text) {
+  std::vector<std::int32_t> out;
+  out.reserve(text.size());
+  for (unsigned char c : text) out.push_back(static_cast<std::int32_t>(c));
+  return out;
+}
+
+// Applies one merge everywhere in `seq`.
+void apply_merge(std::vector<std::int32_t>& seq,
+                 std::pair<std::int32_t, std::int32_t> pair,
+                 std::int32_t merged) {
+  std::size_t w = 0;
+  for (std::size_t r = 0; r < seq.size();) {
+    if (r + 1 < seq.size() && seq[r] == pair.first &&
+        seq[r + 1] == pair.second) {
+      seq[w++] = merged;
+      r += 2;
+    } else {
+      seq[w++] = seq[r++];
+    }
+  }
+  seq.resize(w);
+}
+
+}  // namespace
+
+void BpeTokenizer::train(const std::string& corpus, std::int64_t vocab_size) {
+  if (vocab_size < 256) {
+    throw std::invalid_argument("BpeTokenizer: vocab_size must be >= 256");
+  }
+  merges_.clear();
+  merge_ids_.clear();
+  std::vector<std::int32_t> seq = to_bytes(corpus);
+  const std::int64_t target_merges = vocab_size - 256;
+  for (std::int64_t m = 0; m < target_merges; ++m) {
+    // Count adjacent pairs.
+    std::map<std::pair<std::int32_t, std::int32_t>, std::int64_t> counts;
+    for (std::size_t i = 0; i + 1 < seq.size(); ++i) {
+      ++counts[{seq[i], seq[i + 1]}];
+    }
+    std::pair<std::int32_t, std::int32_t> best{-1, -1};
+    std::int64_t best_count = 1;  // require a repeated pair
+    for (const auto& [pair, count] : counts) {
+      if (count > best_count) {
+        best_count = count;
+        best = pair;
+      }
+    }
+    if (best.first < 0) break;  // nothing repeats; stop early
+    const std::int32_t merged = 256 + static_cast<std::int32_t>(merges_.size());
+    merges_.push_back(best);
+    apply_merge(seq, best, merged);
+  }
+  rebuild_index();
+}
+
+void BpeTokenizer::rebuild_index() {
+  merge_ids_.clear();
+  for (std::size_t i = 0; i < merges_.size(); ++i) {
+    merge_ids_[merges_[i]] = 256 + static_cast<std::int32_t>(i);
+  }
+}
+
+std::vector<std::int32_t> BpeTokenizer::encode(const std::string& text) const {
+  std::vector<std::int32_t> seq = to_bytes(text);
+  // Apply merges in learned priority order: repeatedly merge the
+  // lowest-ranked applicable pair (standard BPE encode).
+  while (seq.size() >= 2) {
+    std::int32_t best_rank = -1;
+    for (std::size_t i = 0; i + 1 < seq.size(); ++i) {
+      auto it = merge_ids_.find({seq[i], seq[i + 1]});
+      if (it != merge_ids_.end() &&
+          (best_rank < 0 || it->second < best_rank)) {
+        best_rank = it->second;
+      }
+    }
+    if (best_rank < 0) break;
+    apply_merge(seq, merges_[static_cast<std::size_t>(best_rank - 256)],
+                best_rank);
+  }
+  return seq;
+}
+
+std::string BpeTokenizer::decode(const std::vector<std::int32_t>& tokens) const {
+  std::string out;
+  // Expand each token recursively into bytes.
+  std::vector<std::int32_t> stack;
+  for (std::int32_t t : tokens) {
+    stack.push_back(t);
+    while (!stack.empty()) {
+      const std::int32_t id = stack.back();
+      stack.pop_back();
+      if (id < 0 || id >= vocab_size()) {
+        throw std::out_of_range("BpeTokenizer::decode: token out of range");
+      }
+      if (id < 256) {
+        out.push_back(static_cast<char>(static_cast<unsigned char>(id)));
+      } else {
+        const auto& pair = merges_[static_cast<std::size_t>(id - 256)];
+        stack.push_back(pair.second);  // reversed: stack pops first first
+        stack.push_back(pair.first);
+      }
+    }
+  }
+  return out;
+}
+
+std::string BpeTokenizer::serialize() const {
+  std::ostringstream os;
+  os << "bpe1 " << merges_.size();
+  for (const auto& [a, b] : merges_) os << ' ' << a << ' ' << b;
+  return os.str();
+}
+
+BpeTokenizer BpeTokenizer::deserialize(const std::string& blob) {
+  std::istringstream is(blob);
+  std::string magic;
+  std::size_t n = 0;
+  if (!(is >> magic >> n) || magic != "bpe1") {
+    throw std::invalid_argument("BpeTokenizer: bad serialization header");
+  }
+  BpeTokenizer t;
+  t.merges_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::int32_t a = 0, b = 0;
+    if (!(is >> a >> b)) {
+      throw std::invalid_argument("BpeTokenizer: truncated serialization");
+    }
+    t.merges_.emplace_back(a, b);
+  }
+  t.rebuild_index();
+  return t;
+}
+
+}  // namespace dsinfer::core

@@ -1,0 +1,45 @@
+// Byte-level BPE tokenizer (the GPT family's input pipeline). Training
+// learns greedy pair merges over a corpus; encoding applies them in learned
+// order. Self-contained so the examples and the serving layer can run on
+// real text without external vocabulary files.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dsinfer::core {
+
+class BpeTokenizer {
+ public:
+  BpeTokenizer() = default;
+
+  // Learns up to `vocab_size - 256` merges from `corpus` (the first 256 ids
+  // are the raw bytes). Stops early if no pair repeats.
+  void train(const std::string& corpus, std::int64_t vocab_size);
+
+  std::vector<std::int32_t> encode(const std::string& text) const;
+  std::string decode(const std::vector<std::int32_t>& tokens) const;
+
+  std::int64_t vocab_size() const {
+    return 256 + static_cast<std::int64_t>(merges_.size());
+  }
+  std::int64_t num_merges() const {
+    return static_cast<std::int64_t>(merges_.size());
+  }
+
+  // Serialization (used by checkpoints).
+  std::string serialize() const;
+  static BpeTokenizer deserialize(const std::string& blob);
+
+ private:
+  // merge i combines pair merges_[i] into token id 256 + i.
+  std::vector<std::pair<std::int32_t, std::int32_t>> merges_;
+  // Learned pair -> merged id, for O(1) lookup during encoding.
+  std::map<std::pair<std::int32_t, std::int32_t>, std::int32_t> merge_ids_;
+
+  void rebuild_index();
+};
+
+}  // namespace dsinfer::core

@@ -1,0 +1,69 @@
+#include "core/workload.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace dsinfer::core {
+
+std::vector<TimedRequest> generate_poisson_trace(const WorkloadSpec& spec) {
+  if (spec.arrival_rate_hz <= 0 || spec.duration_s <= 0 ||
+      spec.prompt_lengths.empty() || spec.min_new_tokens < 1 ||
+      spec.max_new_tokens < spec.min_new_tokens || spec.vocab < 1) {
+    throw std::invalid_argument("WorkloadSpec: invalid parameters");
+  }
+  Rng rng(spec.seed);
+  std::vector<TimedRequest> trace;
+  double t = 0;
+  std::int64_t id = 0;
+  for (;;) {
+    // Exponential inter-arrival gap.
+    const double u = std::max(1e-12f, rng.uniform(0.0f, 1.0f));
+    t += -std::log(u) / spec.arrival_rate_hz;
+    if (t >= spec.duration_s) break;
+    TimedRequest r;
+    r.id = id++;
+    r.arrival_s = t;
+    const auto len = spec.prompt_lengths[static_cast<std::size_t>(rng.integer(
+        0, static_cast<std::int64_t>(spec.prompt_lengths.size()) - 1))];
+    r.prompt.resize(static_cast<std::size_t>(len));
+    for (auto& tok : r.prompt) {
+      tok = static_cast<std::int32_t>(rng.integer(0, spec.vocab - 1));
+    }
+    r.new_tokens = rng.integer(spec.min_new_tokens, spec.max_new_tokens);
+    trace.push_back(std::move(r));
+  }
+  return trace;
+}
+
+ServingSummary summarize_serving(const std::vector<RequestStats>& stats) {
+  ServingSummary s;
+  s.requests = stats.size();
+  if (stats.empty()) return s;
+  std::vector<double> lat;
+  lat.reserve(stats.size());
+  double batch_sum = 0;
+  double first_arrival = stats.front().arrival_s;
+  double last_finish = 0;
+  std::int64_t generated = 0;
+  for (const auto& r : stats) {
+    lat.push_back(r.latency_s());
+    batch_sum += static_cast<double>(r.batch_size);
+    first_arrival = std::min(first_arrival, r.arrival_s);
+    last_finish = std::max(last_finish, r.finish_s);
+    generated += static_cast<std::int64_t>(r.tokens.size());
+  }
+  const Summary lsum = summarize(lat);
+  s.mean_latency_s = lsum.mean;
+  s.p50_latency_s = lsum.p50;
+  s.p99_latency_s = lsum.p99;
+  s.mean_batch_size = batch_sum / static_cast<double>(stats.size());
+  const double makespan = std::max(1e-12, last_finish - first_arrival);
+  s.tokens_per_s = static_cast<double>(generated) / makespan;
+  return s;
+}
+
+}  // namespace dsinfer::core

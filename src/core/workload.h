@@ -1,0 +1,40 @@
+// Synthetic serving workloads: Poisson arrivals with sampled prompt/output
+// lengths — the substitute for the production traces the paper's
+// latency/throughput scenarios come from (no public trace exists; see
+// DESIGN.md). Deterministic per seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/server.h"
+
+namespace dsinfer::core {
+
+struct WorkloadSpec {
+  double arrival_rate_hz = 10.0;  // mean request rate (Poisson process)
+  double duration_s = 1.0;        // arrivals occur in [0, duration)
+  std::vector<std::int64_t> prompt_lengths = {8, 16};  // sampled uniformly
+  std::int64_t min_new_tokens = 2;
+  std::int64_t max_new_tokens = 8;
+  std::int32_t vocab = 256;  // prompt token ids sampled in [0, vocab)
+  std::uint64_t seed = 1;
+};
+
+// Generates a request trace; arrival gaps are exponential with the given
+// rate, truncated at `duration_s`. Ids are assigned in arrival order.
+std::vector<TimedRequest> generate_poisson_trace(const WorkloadSpec& spec);
+
+// Aggregate latency statistics over served requests.
+struct ServingSummary {
+  std::size_t requests = 0;
+  double mean_latency_s = 0;
+  double p50_latency_s = 0;
+  double p99_latency_s = 0;
+  double mean_batch_size = 0;
+  double tokens_per_s = 0;  // generated tokens / makespan
+};
+
+ServingSummary summarize_serving(const std::vector<RequestStats>& stats);
+
+}  // namespace dsinfer::core

@@ -1,0 +1,100 @@
+#include "hw/topology.h"
+
+#include <stdexcept>
+
+namespace dsinfer::hw {
+
+GpuSpec a100_40gb() {
+  GpuSpec g;
+  g.name = "A100-40GB";
+  g.mem_gb = 40.0;
+  g.mem_bw_gbps = 1555.0;
+  g.fp16_tflops = 312.0;
+  g.fp32_tflops = 19.5;
+  g.int8_tops = 624.0;
+  g.kernel_launch_us = 2.5;
+  return g;
+}
+
+GpuSpec a6000() {
+  GpuSpec g;
+  g.name = "A6000-48GB";
+  g.mem_gb = 48.0;
+  g.mem_bw_gbps = 768.0;
+  g.fp16_tflops = 158.4;  // the paper's "theoretical peak" for Fig. 9
+  g.fp32_tflops = 38.7;
+  g.int8_tops = 316.8;
+  g.kernel_launch_us = 2.5;
+  return g;
+}
+
+GpuSpec v100_32gb() {
+  GpuSpec g;
+  g.name = "V100-32GB";
+  g.mem_gb = 32.0;
+  g.mem_bw_gbps = 900.0;
+  g.fp16_tflops = 125.0;
+  g.fp32_tflops = 15.7;
+  g.int8_tops = 0.0;  // no INT8 tensor cores
+  g.kernel_launch_us = 2.5;
+  return g;
+}
+
+ClusterSpec dgx_a100_cluster(std::int64_t nodes) {
+  if (nodes < 1 || nodes > 32) {
+    throw std::invalid_argument("dgx_a100_cluster: nodes must be in [1, 32]");
+  }
+  ClusterSpec c;
+  c.name = "DGX-A100 x" + std::to_string(nodes);
+  c.nodes = nodes;
+  c.node.gpu = a100_40gb();
+  c.node.gpus_per_node = 8;
+  c.node.nvlink = {3.0, 300.0};     // NVSwitch, ~300 GB/s effective per GPU
+  c.node.pcie = {5.0, 25.0};        // PCIe gen4 x16, ~25 GB/s effective
+  c.node.gpus_per_pcie_link = 2;
+  c.node.dram_gb = 1024.0;
+  c.node.dram_bw_gbps = 200.0;
+  c.node.nvme_gb = 15000.0;
+  c.node.nvme_read_gbps = 25.0;
+  c.node.cpu_tflops = 3.0;
+  c.ib_per_gpu = {8.0, 25.0};       // 8x HDR200 per node / 8 GPUs
+  return c;
+}
+
+ClusterSpec lambda_a6000() {
+  ClusterSpec c;
+  c.name = "Lambda-A6000";
+  c.nodes = 1;
+  c.node.gpu = a6000();
+  c.node.gpus_per_node = 2;
+  c.node.nvlink = {3.0, 56.0};      // NVLink bridge between the two A6000s
+  c.node.pcie = {5.0, 25.0};        // PCIe gen4 x16
+  c.node.gpus_per_pcie_link = 1;    // each A6000 has its own link
+  c.node.dram_gb = 256.0;
+  c.node.dram_bw_gbps = 150.0;
+  c.node.nvme_gb = 2000.0;
+  c.node.nvme_read_gbps = 3.2;
+  c.node.cpu_tflops = 2.0;
+  c.ib_per_gpu = {0.0, 0.0};
+  return c;
+}
+
+ClusterSpec dgx2_v100() {
+  ClusterSpec c;
+  c.name = "DGX-2 V100";
+  c.nodes = 1;
+  c.node.gpu = v100_32gb();
+  c.node.gpus_per_node = 16;
+  c.node.nvlink = {3.0, 150.0};     // NVSwitch gen1
+  c.node.pcie = {5.0, 12.0};        // PCIe gen3 x16
+  c.node.gpus_per_pcie_link = 2;
+  c.node.dram_gb = 1500.0;
+  c.node.dram_bw_gbps = 170.0;
+  c.node.nvme_gb = 30000.0;
+  c.node.nvme_read_gbps = 25.0;     // 8-drive RAID
+  c.node.cpu_tflops = 2.5;
+  c.ib_per_gpu = {0.0, 0.0};
+  return c;
+}
+
+}  // namespace dsinfer::hw

@@ -1,0 +1,71 @@
+// Hardware substrate: published device and interconnect specifications for
+// the paper's three testbeds (Sec. VII-A.4):
+//   * a cluster of 8xA100-40GB DGX boxes (up to 256 GPUs),
+//   * a Lambda workstation with 2x A6000-48GB, 256 GB DRAM, 2 TB NVMe,
+//   * a DGX-2 with 16x V100-32GB, 1.5 TB DRAM, 30 TB NVMe.
+// The perf model consumes these specs; nothing here measures real hardware.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace dsinfer::hw {
+
+struct GpuSpec {
+  std::string name;
+  double mem_gb = 0;          // device HBM capacity
+  double mem_bw_gbps = 0;     // peak HBM bandwidth, GB/s
+  double fp16_tflops = 0;     // dense tensor-core peak
+  double fp32_tflops = 0;
+  double int8_tops = 0;       // INT8 tensor-core peak (0 if unsupported)
+  double kernel_launch_us = 0;  // CPU-side launch overhead per kernel
+
+  double peak_tflops(bool fp16) const { return fp16 ? fp16_tflops : fp32_tflops; }
+};
+
+// One directed link: alpha-beta model parameters.
+struct LinkSpec {
+  double latency_us = 0;  // alpha
+  double bw_gbps = 0;     // beta^-1, effective unidirectional GB/s
+};
+
+struct NodeSpec {
+  GpuSpec gpu;
+  std::int64_t gpus_per_node = 0;
+  LinkSpec nvlink;           // GPU<->GPU within the node
+  LinkSpec pcie;             // GPU<->host, per PCIe link
+  std::int64_t gpus_per_pcie_link = 2;  // paper Sec. IV-C.3: two GPUs share one link
+  double dram_gb = 0;
+  double dram_bw_gbps = 0;   // host memory bandwidth (CPU-side compute bound)
+  double nvme_gb = 0;
+  double nvme_read_gbps = 0;  // aggregate sustained NVMe read bandwidth
+  double cpu_tflops = 0;      // host FP32 peak for the CPU-only baseline
+};
+
+struct ClusterSpec {
+  std::string name;
+  NodeSpec node;
+  std::int64_t nodes = 1;
+  LinkSpec ib_per_gpu;  // effective per-GPU share of inter-node fabric
+
+  std::int64_t total_gpus() const { return nodes * node.gpus_per_node; }
+  double aggregate_hbm_gb() const {
+    return static_cast<double>(total_gpus()) * node.gpu.mem_gb;
+  }
+  double aggregate_mem_bw_gbps() const {
+    return static_cast<double>(total_gpus()) * node.gpu.mem_bw_gbps;
+  }
+};
+
+GpuSpec a100_40gb();
+GpuSpec a6000();
+GpuSpec v100_32gb();
+
+// 8x A100 DGX boxes joined by HDR InfiniBand; `nodes` in [1, 32].
+ClusterSpec dgx_a100_cluster(std::int64_t nodes);
+// Lambda workstation: 2x A6000, 256 GB DRAM, 2 TB NVMe.
+ClusterSpec lambda_a6000();
+// DGX-2: 16x V100 over NVSwitch, 1.5 TB DRAM, 30 TB NVMe.
+ClusterSpec dgx2_v100();
+
+}  // namespace dsinfer::hw

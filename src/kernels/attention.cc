@@ -1,0 +1,137 @@
+#include "kernels/attention.h"
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "kernels/elementwise.h"
+#include "util/thread_pool.h"
+
+namespace dsinfer::kernels {
+
+namespace {
+
+void check_args(std::size_t qs, std::size_t os, const KVCache& cache,
+                std::int64_t q_len) {
+  const auto need = static_cast<std::size_t>(cache.batch() * q_len *
+                                             cache.heads() * cache.head_dim());
+  if (qs < need || os < need) {
+    throw std::invalid_argument("attention: span too small");
+  }
+  if (cache.seq_len() < q_len) {
+    throw std::invalid_argument("attention: cache shorter than query block");
+  }
+}
+
+}  // namespace
+
+void attention_fused(std::span<const float> q, const KVCache& cache,
+                     std::span<float> out, std::int64_t q_len, bool causal) {
+  check_args(q.size(), out.size(), cache, q_len);
+  const std::int64_t batch = cache.batch();
+  const std::int64_t heads = cache.heads();
+  const std::int64_t hd = cache.head_dim();
+  const std::int64_t seq = cache.seq_len();
+  const std::int64_t past = seq - q_len;
+  const float scale = 1.0f / std::sqrt(static_cast<float>(hd));
+
+  ThreadPool::global().parallel_for(
+      0, static_cast<std::size_t>(batch * heads),
+      [&](std::size_t bh_begin, std::size_t bh_end) {
+        std::vector<float> scores(static_cast<std::size_t>(seq));
+        for (std::size_t bh = bh_begin; bh < bh_end; ++bh) {
+          const std::int64_t b = static_cast<std::int64_t>(bh) / heads;
+          const std::int64_t h = static_cast<std::int64_t>(bh) % heads;
+          const float* kbase = cache.keys(b, h).data();
+          const float* vbase = cache.values(b, h).data();
+          for (std::int64_t t = 0; t < q_len; ++t) {
+            const std::int64_t kv_len = causal ? past + t + 1 : seq;
+            const float* qv =
+                q.data() + ((b * q_len + t) * heads + h) * hd;
+            // Scores, running max in the same sweep.
+            float mx = -std::numeric_limits<float>::infinity();
+            for (std::int64_t j = 0; j < kv_len; ++j) {
+              const float* kj = kbase + j * hd;
+              float dot = 0.0f;
+              for (std::int64_t d = 0; d < hd; ++d) dot += qv[d] * kj[d];
+              scores[static_cast<std::size_t>(j)] = dot * scale;
+              mx = std::max(mx, dot * scale);
+            }
+            // Exponentiate + accumulate the value reduction in one pass.
+            float* o = out.data() + ((b * q_len + t) * heads + h) * hd;
+            std::memset(o, 0, static_cast<std::size_t>(hd) * sizeof(float));
+            float denom = 0.0f;
+            for (std::int64_t j = 0; j < kv_len; ++j) {
+              const float p = std::exp(scores[static_cast<std::size_t>(j)] - mx);
+              denom += p;
+              const float* vj = vbase + j * hd;
+              for (std::int64_t d = 0; d < hd; ++d) o[d] += p * vj[d];
+            }
+            const float inv = 1.0f / denom;
+            for (std::int64_t d = 0; d < hd; ++d) o[d] *= inv;
+          }
+        }
+      });
+}
+
+void attention_unfused(std::span<const float> q, const KVCache& cache,
+                       std::span<float> out, std::int64_t q_len, bool causal) {
+  check_args(q.size(), out.size(), cache, q_len);
+  const std::int64_t batch = cache.batch();
+  const std::int64_t heads = cache.heads();
+  const std::int64_t hd = cache.head_dim();
+  const std::int64_t seq = cache.seq_len();
+  const std::int64_t past = seq - q_len;
+  const float scale = 1.0f / std::sqrt(static_cast<float>(hd));
+
+  // Kernel 1: materialize the full masked score tensor
+  // [batch, heads, q_len, seq].
+  std::vector<float> scores(
+      static_cast<std::size_t>(batch * heads * q_len * seq));
+  for (std::int64_t b = 0; b < batch; ++b) {
+    for (std::int64_t h = 0; h < heads; ++h) {
+      const float* kbase = cache.keys(b, h).data();
+      for (std::int64_t t = 0; t < q_len; ++t) {
+        const float* qv = q.data() + ((b * q_len + t) * heads + h) * hd;
+        float* srow =
+            scores.data() + (((b * heads + h) * q_len + t) * seq);
+        const std::int64_t kv_len = causal ? past + t + 1 : seq;
+        for (std::int64_t j = 0; j < seq; ++j) {
+          if (j < kv_len) {
+            const float* kj = kbase + j * hd;
+            float dot = 0.0f;
+            for (std::int64_t d = 0; d < hd; ++d) dot += qv[d] * kj[d];
+            srow[j] = dot * scale;
+          } else {
+            srow[j] = -1e30f;  // causal mask
+          }
+        }
+      }
+    }
+  }
+
+  // Kernel 2: separate softmax dispatch over all rows.
+  softmax_rows_unfused(scores, batch * heads * q_len, seq);
+
+  // Kernel 3: separate context product (probabilities X values).
+  for (std::int64_t b = 0; b < batch; ++b) {
+    for (std::int64_t h = 0; h < heads; ++h) {
+      const float* vbase = cache.values(b, h).data();
+      for (std::int64_t t = 0; t < q_len; ++t) {
+        const float* srow =
+            scores.data() + (((b * heads + h) * q_len + t) * seq);
+        float* o = out.data() + ((b * q_len + t) * heads + h) * hd;
+        std::memset(o, 0, static_cast<std::size_t>(hd) * sizeof(float));
+        for (std::int64_t j = 0; j < seq; ++j) {
+          const float p = srow[j];
+          const float* vj = vbase + j * hd;
+          for (std::int64_t d = 0; d < hd; ++d) o[d] += p * vj[d];
+        }
+      }
+    }
+  }
+}
+
+}  // namespace dsinfer::kernels

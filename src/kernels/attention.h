@@ -1,0 +1,35 @@
+// Causal multi-head attention over a KV cache.
+//
+// Two implementations realize the paper's fusion argument (Sec. III.D,
+// fusion region 2 "transposition plus attention"):
+//  * attention_fused   — per (sequence, head, query) the score vector lives
+//                        in a thread-local scratch line; softmax and the
+//                        value reduction happen in the same pass, so the
+//                        S×S probability matrix is never materialized.
+//  * attention_unfused — materializes the full masked score tensor, runs a
+//                        separate softmax kernel, then a separate context
+//                        GeMM: three kernel dispatches and two extra
+//                        round-trips through memory (the baseline).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "kernels/kv_cache.h"
+
+namespace dsinfer::kernels {
+
+// q: [batch, q_len, heads*head_dim]; `cache` must already contain the keys /
+// values for positions [0, past + q_len). Query t sits at global position
+// past + t and attends to positions <= past + t when `causal`, or to every
+// cached position when not (encoder mode, used by the BERT family).
+// out: [batch, q_len, heads*head_dim].
+void attention_fused(std::span<const float> q, const KVCache& cache,
+                     std::span<float> out, std::int64_t q_len,
+                     bool causal = true);
+
+void attention_unfused(std::span<const float> q, const KVCache& cache,
+                       std::span<float> out, std::int64_t q_len,
+                       bool causal = true);
+
+}  // namespace dsinfer::kernels

@@ -1,0 +1,210 @@
+#include "kernels/elementwise.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace dsinfer::kernels {
+
+namespace {
+
+void check_rows_cols(std::size_t xs, std::size_t ys, std::int64_t rows,
+                     std::int64_t cols) {
+  if (xs < static_cast<std::size_t>(rows * cols) ||
+      ys < static_cast<std::size_t>(rows * cols)) {
+    throw std::invalid_argument("elementwise: span too small");
+  }
+}
+
+}  // namespace
+
+void layernorm(std::span<const float> x, std::span<const float> gamma,
+               std::span<const float> beta, std::span<float> y,
+               std::int64_t rows, std::int64_t cols, float eps) {
+  check_rows_cols(x.size(), y.size(), rows, cols);
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* xr = x.data() + r * cols;
+    float* yr = y.data() + r * cols;
+    // Sum and sum-of-squares in one vectorizable sweep; normalize + affine in
+    // a second cache-hot sweep (double accumulation keeps the E[x^2]-mu^2
+    // cancellation benign at transformer widths).
+    double sum = 0.0, sumsq = 0.0;
+    for (std::int64_t c = 0; c < cols; ++c) {
+      sum += xr[c];
+      sumsq += static_cast<double>(xr[c]) * xr[c];
+    }
+    const double mean = sum / static_cast<double>(cols);
+    const double var = std::max(0.0, sumsq / static_cast<double>(cols) - mean * mean);
+    const float mu = static_cast<float>(mean);
+    const float inv_std = 1.0f / std::sqrt(static_cast<float>(var) + eps);
+    for (std::int64_t c = 0; c < cols; ++c) {
+      const float g = gamma.empty() ? 1.0f : gamma[c];
+      const float b = beta.empty() ? 0.0f : beta[c];
+      yr[c] = (xr[c] - mu) * inv_std * g + b;
+    }
+  }
+}
+
+void layernorm_unfused(std::span<const float> x, std::span<const float> gamma,
+                       std::span<const float> beta, std::span<float> y,
+                       std::int64_t rows, std::int64_t cols, float eps) {
+  check_rows_cols(x.size(), y.size(), rows, cols);
+  std::vector<float> mean(static_cast<std::size_t>(rows));
+  std::vector<float> var(static_cast<std::size_t>(rows));
+  // Pass 1: mean.
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* xr = x.data() + r * cols;
+    double s = 0.0;
+    for (std::int64_t c = 0; c < cols; ++c) s += xr[c];
+    mean[static_cast<std::size_t>(r)] = static_cast<float>(s / cols);
+  }
+  // Pass 2: variance.
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* xr = x.data() + r * cols;
+    const float mu = mean[static_cast<std::size_t>(r)];
+    double s = 0.0;
+    for (std::int64_t c = 0; c < cols; ++c) s += (xr[c] - mu) * (xr[c] - mu);
+    var[static_cast<std::size_t>(r)] = static_cast<float>(s / cols);
+  }
+  // Pass 3: normalize.
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* xr = x.data() + r * cols;
+    float* yr = y.data() + r * cols;
+    const float mu = mean[static_cast<std::size_t>(r)];
+    const float inv = 1.0f / std::sqrt(var[static_cast<std::size_t>(r)] + eps);
+    for (std::int64_t c = 0; c < cols; ++c) yr[c] = (xr[c] - mu) * inv;
+  }
+  // Pass 4: scale.
+  if (!gamma.empty()) {
+    for (std::int64_t r = 0; r < rows; ++r) {
+      float* yr = y.data() + r * cols;
+      for (std::int64_t c = 0; c < cols; ++c) yr[c] *= gamma[c];
+    }
+  }
+  // Pass 5: shift.
+  if (!beta.empty()) {
+    for (std::int64_t r = 0; r < rows; ++r) {
+      float* yr = y.data() + r * cols;
+      for (std::int64_t c = 0; c < cols; ++c) yr[c] += beta[c];
+    }
+  }
+}
+
+void softmax_rows(std::span<float> x, std::int64_t rows, std::int64_t cols) {
+  check_rows_cols(x.size(), x.size(), rows, cols);
+  for (std::int64_t r = 0; r < rows; ++r) {
+    float* xr = x.data() + r * cols;
+    float mx = xr[0];
+    for (std::int64_t c = 1; c < cols; ++c) mx = std::max(mx, xr[c]);
+    float sum = 0.0f;
+    for (std::int64_t c = 0; c < cols; ++c) {
+      xr[c] = std::exp(xr[c] - mx);
+      sum += xr[c];
+    }
+    const float inv = 1.0f / sum;
+    for (std::int64_t c = 0; c < cols; ++c) xr[c] *= inv;
+  }
+}
+
+void softmax_rows_unfused(std::span<float> x, std::int64_t rows,
+                          std::int64_t cols) {
+  check_rows_cols(x.size(), x.size(), rows, cols);
+  std::vector<float> mx(static_cast<std::size_t>(rows));
+  std::vector<float> sum(static_cast<std::size_t>(rows), 0.0f);
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* xr = x.data() + r * cols;
+    float m = xr[0];
+    for (std::int64_t c = 1; c < cols; ++c) m = std::max(m, xr[c]);
+    mx[static_cast<std::size_t>(r)] = m;
+  }
+  for (std::int64_t r = 0; r < rows; ++r) {
+    float* xr = x.data() + r * cols;
+    const float m = mx[static_cast<std::size_t>(r)];
+    for (std::int64_t c = 0; c < cols; ++c) xr[c] = std::exp(xr[c] - m);
+  }
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* xr = x.data() + r * cols;
+    float s = 0.0f;
+    for (std::int64_t c = 0; c < cols; ++c) s += xr[c];
+    sum[static_cast<std::size_t>(r)] = s;
+  }
+  for (std::int64_t r = 0; r < rows; ++r) {
+    float* xr = x.data() + r * cols;
+    const float inv = 1.0f / sum[static_cast<std::size_t>(r)];
+    for (std::int64_t c = 0; c < cols; ++c) xr[c] *= inv;
+  }
+}
+
+float gelu(float v) {
+  // tanh approximation, matching GPT-style models.
+  constexpr float kC = 0.7978845608028654f;  // sqrt(2/pi)
+  return 0.5f * v * (1.0f + std::tanh(kC * (v + 0.044715f * v * v * v)));
+}
+
+void bias_gelu(std::span<const float> x, std::span<const float> bias,
+               std::span<float> y, std::int64_t rows, std::int64_t cols) {
+  check_rows_cols(x.size(), y.size(), rows, cols);
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* xr = x.data() + r * cols;
+    float* yr = y.data() + r * cols;
+    for (std::int64_t c = 0; c < cols; ++c) {
+      yr[c] = gelu(xr[c] + (bias.empty() ? 0.0f : bias[c]));
+    }
+  }
+}
+
+void bias_gelu_unfused(std::span<const float> x, std::span<const float> bias,
+                       std::span<float> y, std::int64_t rows,
+                       std::int64_t cols) {
+  check_rows_cols(x.size(), y.size(), rows, cols);
+  // Pass 1: bias add.
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* xr = x.data() + r * cols;
+    float* yr = y.data() + r * cols;
+    for (std::int64_t c = 0; c < cols; ++c) {
+      yr[c] = xr[c] + (bias.empty() ? 0.0f : bias[c]);
+    }
+  }
+  // Pass 2: activation.
+  for (std::int64_t r = 0; r < rows; ++r) {
+    float* yr = y.data() + r * cols;
+    for (std::int64_t c = 0; c < cols; ++c) yr[c] = gelu(yr[c]);
+  }
+}
+
+void bias_residual(std::span<const float> x, std::span<const float> bias,
+                   std::span<const float> residual, std::span<float> y,
+                   std::int64_t rows, std::int64_t cols) {
+  check_rows_cols(x.size(), y.size(), rows, cols);
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* xr = x.data() + r * cols;
+    const float* rr = residual.data() + r * cols;
+    float* yr = y.data() + r * cols;
+    for (std::int64_t c = 0; c < cols; ++c) {
+      yr[c] = xr[c] + rr[c] + (bias.empty() ? 0.0f : bias[c]);
+    }
+  }
+}
+
+void bias_residual_unfused(std::span<const float> x,
+                           std::span<const float> bias,
+                           std::span<const float> residual,
+                           std::span<float> y, std::int64_t rows,
+                           std::int64_t cols) {
+  check_rows_cols(x.size(), y.size(), rows, cols);
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* xr = x.data() + r * cols;
+    float* yr = y.data() + r * cols;
+    for (std::int64_t c = 0; c < cols; ++c) {
+      yr[c] = xr[c] + (bias.empty() ? 0.0f : bias[c]);
+    }
+  }
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* rr = residual.data() + r * cols;
+    float* yr = y.data() + r * cols;
+    for (std::int64_t c = 0; c < cols; ++c) yr[c] += rr[c];
+  }
+}
+
+}  // namespace dsinfer::kernels

@@ -1,0 +1,63 @@
+// Elementwise / reduction kernels, in fused and unfused flavours.
+//
+// The "unfused" flavours materialize intermediates into caller-provided
+// buffers — one pass per micro-operation — modelling a training framework's
+// kernel-per-op dispatch (the paper's PyTorch baseline). The "fused"
+// flavours do the whole micro-op chain in a single pass per row, modelling
+// Deep-Fusion's tile-resident intermediates (paper Sec. III.B).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace dsinfer::kernels {
+
+// -------- LayerNorm --------
+
+// Fused layernorm: one pass computes mean/var (Welford) then normalizes,
+// applying gamma/beta in the same sweep. x and y may alias.
+void layernorm(std::span<const float> x, std::span<const float> gamma,
+               std::span<const float> beta, std::span<float> y,
+               std::int64_t rows, std::int64_t cols, float eps = 1e-5f);
+
+// Unfused layernorm: separate mean pass, variance pass, normalize pass,
+// scale pass and shift pass, each writing `y` (five memory sweeps — the
+// kernel-per-micro-op baseline).
+void layernorm_unfused(std::span<const float> x, std::span<const float> gamma,
+                       std::span<const float> beta, std::span<float> y,
+                       std::int64_t rows, std::int64_t cols,
+                       float eps = 1e-5f);
+
+// -------- Softmax --------
+
+// In-place numerically-stable row softmax.
+void softmax_rows(std::span<float> x, std::int64_t rows, std::int64_t cols);
+
+// Unfused: max pass, subtract-exp pass, sum pass, divide pass.
+void softmax_rows_unfused(std::span<float> x, std::int64_t rows,
+                          std::int64_t cols);
+
+// -------- Activations / residuals --------
+
+float gelu(float v);
+
+// y = gelu(x + bias), fused single pass. bias may be empty.
+void bias_gelu(std::span<const float> x, std::span<const float> bias,
+               std::span<float> y, std::int64_t rows, std::int64_t cols);
+
+// y = x + bias + residual, fused single pass (paper fusion region 4).
+void bias_residual(std::span<const float> x, std::span<const float> bias,
+                   std::span<const float> residual, std::span<float> y,
+                   std::int64_t rows, std::int64_t cols);
+
+// Unfused variants: each micro-op is its own sweep over memory.
+void bias_gelu_unfused(std::span<const float> x, std::span<const float> bias,
+                       std::span<float> y, std::int64_t rows,
+                       std::int64_t cols);
+void bias_residual_unfused(std::span<const float> x,
+                           std::span<const float> bias,
+                           std::span<const float> residual,
+                           std::span<float> y, std::int64_t rows,
+                           std::int64_t cols);
+
+}  // namespace dsinfer::kernels

@@ -1,0 +1,104 @@
+#include "kernels/kv_cache.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace dsinfer::kernels {
+
+KVCache::KVCache(std::int64_t batch, std::int64_t heads, std::int64_t head_dim,
+                 std::int64_t max_seq)
+    : batch_(batch), heads_(heads), head_dim_(head_dim), max_seq_(max_seq) {
+  const auto n = static_cast<std::size_t>(batch * heads * max_seq * head_dim);
+  k_.reset(n);
+  v_.reset(n);
+}
+
+float* KVCache::k_row(std::int64_t b, std::int64_t h, std::int64_t pos) {
+  return k_.data() + ((b * heads_ + h) * max_seq_ + pos) * head_dim_;
+}
+
+float* KVCache::v_row(std::int64_t b, std::int64_t h, std::int64_t pos) {
+  return v_.data() + ((b * heads_ + h) * max_seq_ + pos) * head_dim_;
+}
+
+void KVCache::append(std::span<const float> k, std::span<const float> v,
+                     std::int64_t tokens) {
+  const auto need = static_cast<std::size_t>(batch_ * tokens * heads_ * head_dim_);
+  if (k.size() < need || v.size() < need) {
+    throw std::invalid_argument("KVCache::append: span too small");
+  }
+  if (seq_len_ + tokens > max_seq_) {
+    throw std::length_error("KVCache::append: exceeds max_seq");
+  }
+  for (std::int64_t b = 0; b < batch_; ++b) {
+    for (std::int64_t t = 0; t < tokens; ++t) {
+      const float* ksrc = k.data() + (b * tokens + t) * heads_ * head_dim_;
+      const float* vsrc = v.data() + (b * tokens + t) * heads_ * head_dim_;
+      for (std::int64_t h = 0; h < heads_; ++h) {
+        std::memcpy(k_row(b, h, seq_len_ + t), ksrc + h * head_dim_,
+                    static_cast<std::size_t>(head_dim_) * sizeof(float));
+        std::memcpy(v_row(b, h, seq_len_ + t), vsrc + h * head_dim_,
+                    static_cast<std::size_t>(head_dim_) * sizeof(float));
+      }
+    }
+  }
+  seq_len_ += tokens;
+}
+
+std::span<const float> KVCache::keys(std::int64_t b, std::int64_t h) const {
+  const float* p = k_.data() + ((b * heads_ + h) * max_seq_) * head_dim_;
+  return {p, static_cast<std::size_t>(seq_len_ * head_dim_)};
+}
+
+std::span<const float> KVCache::values(std::int64_t b, std::int64_t h) const {
+  const float* p = v_.data() + ((b * heads_ + h) * max_seq_) * head_dim_;
+  return {p, static_cast<std::size_t>(seq_len_ * head_dim_)};
+}
+
+void KVCache::export_state(std::span<float> out_k,
+                           std::span<float> out_v) const {
+  const auto need =
+      static_cast<std::size_t>(batch_ * heads_ * seq_len_ * head_dim_);
+  if (out_k.size() < need || out_v.size() < need) {
+    throw std::invalid_argument("KVCache::export_state: span too small");
+  }
+  std::size_t off = 0;
+  for (std::int64_t b = 0; b < batch_; ++b) {
+    for (std::int64_t h = 0; h < heads_; ++h) {
+      const auto rows = static_cast<std::size_t>(seq_len_ * head_dim_);
+      std::memcpy(out_k.data() + off, keys(b, h).data(), rows * sizeof(float));
+      std::memcpy(out_v.data() + off, values(b, h).data(),
+                  rows * sizeof(float));
+      off += rows;
+    }
+  }
+}
+
+void KVCache::import_state(std::span<const float> k, std::span<const float> v,
+                           std::int64_t seq_len) {
+  if (seq_len < 0 || seq_len > max_seq_) {
+    throw std::invalid_argument("KVCache::import_state: bad seq_len");
+  }
+  const auto need =
+      static_cast<std::size_t>(batch_ * heads_ * seq_len * head_dim_);
+  if (k.size() < need || v.size() < need) {
+    throw std::invalid_argument("KVCache::import_state: span too small");
+  }
+  seq_len_ = seq_len;
+  std::size_t off = 0;
+  for (std::int64_t b = 0; b < batch_; ++b) {
+    for (std::int64_t h = 0; h < heads_; ++h) {
+      const auto rows = static_cast<std::size_t>(seq_len * head_dim_);
+      std::memcpy(k_row(b, h, 0), k.data() + off, rows * sizeof(float));
+      std::memcpy(v_row(b, h, 0), v.data() + off, rows * sizeof(float));
+      off += rows;
+    }
+  }
+}
+
+std::size_t KVCache::bytes_in_use() const {
+  return 2 * static_cast<std::size_t>(batch_ * heads_ * seq_len_ * head_dim_) *
+         sizeof(float);
+}
+
+}  // namespace dsinfer::kernels

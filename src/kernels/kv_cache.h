@@ -1,0 +1,62 @@
+// Per-layer key/value activation cache for autoregressive generation
+// (paper Sec. II.d, IV-B). Layout is [batch, heads, max_seq, head_dim] so
+// the per-(sequence, head) history is contiguous — attention streams it once
+// per generated token, which is exactly the reuse pattern the paper's
+// offloading policy (Sec. IV-C.2) exploits.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "util/aligned_buffer.h"
+
+namespace dsinfer::kernels {
+
+class KVCache {
+ public:
+  KVCache() = default;
+  KVCache(std::int64_t batch, std::int64_t heads, std::int64_t head_dim,
+          std::int64_t max_seq);
+
+  // Appends `tokens` new positions per sequence. k/v are laid out
+  // [batch, tokens, heads * head_dim] (projection output order).
+  void append(std::span<const float> k, std::span<const float> v,
+              std::int64_t tokens);
+
+  // Contiguous [seq_len, head_dim] history for one (sequence, head).
+  std::span<const float> keys(std::int64_t b, std::int64_t h) const;
+  std::span<const float> values(std::int64_t b, std::int64_t h) const;
+
+  std::int64_t seq_len() const { return seq_len_; }
+  std::int64_t batch() const { return batch_; }
+  std::int64_t heads() const { return heads_; }
+  std::int64_t head_dim() const { return head_dim_; }
+  std::int64_t max_seq() const { return max_seq_; }
+
+  // Bytes currently live (both K and V); drives offload decisions.
+  std::size_t bytes_in_use() const;
+
+  // Drops all cached positions (cache capacity is retained).
+  void reset() { seq_len_ = 0; }
+
+  // Snapshot/restore for host offloading (Sec. IV-C.2): copies the cached
+  // positions to/from a compact [batch, heads, seq_len, head_dim] layout.
+  // Both spans must hold batch*heads*seq_len*head_dim floats.
+  void export_state(std::span<float> out_k, std::span<float> out_v) const;
+  void import_state(std::span<const float> k, std::span<const float> v,
+                    std::int64_t seq_len);
+
+ private:
+  float* k_row(std::int64_t b, std::int64_t h, std::int64_t pos);
+  float* v_row(std::int64_t b, std::int64_t h, std::int64_t pos);
+
+  AlignedBuffer<float> k_;
+  AlignedBuffer<float> v_;
+  std::int64_t batch_ = 0;
+  std::int64_t heads_ = 0;
+  std::int64_t head_dim_ = 0;
+  std::int64_t max_seq_ = 0;
+  std::int64_t seq_len_ = 0;
+};
+
+}  // namespace dsinfer::kernels

@@ -1,0 +1,118 @@
+#include "kernels/quant.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+#include "util/thread_pool.h"
+
+namespace dsinfer::kernels {
+
+QuantizedWeight::QuantizedWeight(std::span<const float> w, std::int64_t out,
+                                 std::int64_t in)
+    : out_(out), in_(in) {
+  if (w.size() < static_cast<std::size_t>(out * in)) {
+    throw std::invalid_argument("QuantizedWeight: span too small");
+  }
+  data_.reset(static_cast<std::size_t>(out * in));
+  scales_.resize(static_cast<std::size_t>(out));
+  for (std::int64_t o = 0; o < out; ++o) {
+    const float* row = w.data() + o * in;
+    float amax = 0.0f;
+    for (std::int64_t i = 0; i < in; ++i) amax = std::max(amax, std::fabs(row[i]));
+    const float scale = amax > 0.0f ? amax / 127.0f : 1.0f;
+    scales_[static_cast<std::size_t>(o)] = scale;
+    std::int8_t* qrow = data_.data() + o * in;
+    const float inv = 1.0f / scale;
+    for (std::int64_t i = 0; i < in; ++i) {
+      qrow[i] = static_cast<std::int8_t>(std::lrintf(
+          std::clamp(row[i] * inv, -127.0f, 127.0f)));
+    }
+  }
+}
+
+QuantizedWeight::QuantizedWeight(const QuantizedWeight& other)
+    : scales_(other.scales_), out_(other.out_), in_(other.in_) {
+  if (other.out_ * other.in_ > 0) {
+    data_.reset(static_cast<std::size_t>(out_ * in_));
+    std::memcpy(data_.data(), other.data_.data(),
+                static_cast<std::size_t>(out_ * in_));
+  }
+}
+
+QuantizedWeight& QuantizedWeight::operator=(const QuantizedWeight& other) {
+  if (this != &other) {
+    scales_ = other.scales_;
+    out_ = other.out_;
+    in_ = other.in_;
+    if (out_ * in_ > 0) {
+      data_.reset(static_cast<std::size_t>(out_ * in_));
+      std::memcpy(data_.data(), other.data_.data(),
+                  static_cast<std::size_t>(out_ * in_));
+    } else {
+      data_.reset(0);
+    }
+  }
+  return *this;
+}
+
+float quantize_row(std::span<const float> x, std::span<std::int8_t> q) {
+  if (q.size() < x.size()) {
+    throw std::invalid_argument("quantize_row: output span too small");
+  }
+  float amax = 0.0f;
+  for (float v : x) amax = std::max(amax, std::fabs(v));
+  if (amax == 0.0f) {
+    std::memset(q.data(), 0, x.size());
+    return 0.0f;
+  }
+  const float scale = amax / 127.0f;
+  const float inv = 1.0f / scale;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    q[i] = static_cast<std::int8_t>(std::lrintf(
+        std::clamp(x[i] * inv, -127.0f, 127.0f)));
+  }
+  return scale;
+}
+
+void linear_int8(std::span<const float> x, const QuantizedWeight& w,
+                 std::span<const float> bias, std::span<float> y,
+                 std::int64_t m) {
+  const std::int64_t in = w.in();
+  const std::int64_t out = w.out();
+  if (x.size() < static_cast<std::size_t>(m * in) ||
+      y.size() < static_cast<std::size_t>(m * out)) {
+    throw std::invalid_argument("linear_int8: span too small");
+  }
+  AlignedBuffer<std::int8_t> qx(static_cast<std::size_t>(m * in));
+  std::vector<float> row_scale(static_cast<std::size_t>(m));
+  for (std::int64_t r = 0; r < m; ++r) {
+    row_scale[static_cast<std::size_t>(r)] = quantize_row(
+        x.subspan(static_cast<std::size_t>(r * in), static_cast<std::size_t>(in)),
+        {qx.data() + r * in, static_cast<std::size_t>(in)});
+  }
+
+  ThreadPool::global().parallel_for(
+      0, static_cast<std::size_t>(out), [&](std::size_t ob, std::size_t oe) {
+        for (std::size_t o = ob; o < oe; ++o) {
+          const std::int8_t* wr = w.data() + static_cast<std::int64_t>(o) * in;
+          const float wscale = w.scales()[o];
+          for (std::int64_t r = 0; r < m; ++r) {
+            const std::int8_t* xr = qx.data() + r * in;
+            std::int32_t acc = 0;
+            for (std::int64_t i = 0; i < in; ++i) {
+              acc += static_cast<std::int32_t>(xr[i]) *
+                     static_cast<std::int32_t>(wr[i]);
+            }
+            // Fused dequantize + bias epilogue.
+            const float deq = static_cast<float>(acc) * wscale *
+                              row_scale[static_cast<std::size_t>(r)];
+            y[static_cast<std::size_t>(r * out) + o] =
+                deq + (bias.empty() ? 0.0f : bias[o]);
+          }
+        }
+      });
+}
+
+}  // namespace dsinfer::kernels

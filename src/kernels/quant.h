@@ -1,0 +1,58 @@
+// INT8 inference path (paper Sec. III.D "Support for Different Data Types").
+//
+// Weights are quantized once per output channel (symmetric, scale = max|w| /
+// 127). Activations are quantized dynamically per row. The GeMM accumulates
+// in int32 and the dequantize + bias epilogue is fused into the same loop,
+// mirroring the paper's fused quantize-before / dequantize-after design
+// (their CUTLASS epilogue fusion).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/aligned_buffer.h"
+
+namespace dsinfer::kernels {
+
+// Per-output-channel symmetrically quantized weight matrix W[out, in].
+class QuantizedWeight {
+ public:
+  QuantizedWeight() = default;
+  QuantizedWeight(std::span<const float> w, std::int64_t out, std::int64_t in);
+
+  // Copyable: streamed INT8 layers (ZeRO-Inference) replicate host-resident
+  // quantized shards into the device window.
+  QuantizedWeight(const QuantizedWeight& other);
+  QuantizedWeight& operator=(const QuantizedWeight& other);
+  QuantizedWeight(QuantizedWeight&&) noexcept = default;
+  QuantizedWeight& operator=(QuantizedWeight&&) noexcept = default;
+
+  // Bytes of the quantized representation (weights + scales).
+  std::size_t bytes() const {
+    return static_cast<std::size_t>(out_ * in_) + scales_.size() * sizeof(float);
+  }
+
+  std::int64_t out() const { return out_; }
+  std::int64_t in() const { return in_; }
+  bool empty() const { return data_.empty(); }
+  const std::int8_t* data() const { return data_.data(); }
+  std::span<const float> scales() const { return scales_; }
+
+ private:
+  AlignedBuffer<std::int8_t> data_;
+  std::vector<float> scales_;  // one per output channel
+  std::int64_t out_ = 0;
+  std::int64_t in_ = 0;
+};
+
+// Quantizes a row of activations to int8 with a single symmetric scale.
+// Returns the scale (0 if the row is all-zero, in which case q is zeroed).
+float quantize_row(std::span<const float> x, std::span<std::int8_t> q);
+
+// y[m, out] = dequant(int8_gemm(quant(x), Wq)) + bias.
+void linear_int8(std::span<const float> x, const QuantizedWeight& w,
+                 std::span<const float> bias, std::span<float> y,
+                 std::int64_t m);
+
+}  // namespace dsinfer::kernels

@@ -1,0 +1,44 @@
+#include "kernels/rope.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dsinfer::kernels {
+
+void rope_rotate_pair(float x0, float x1, std::int64_t pos, std::int64_t j,
+                      std::int64_t head_dim, float theta, float* out0,
+                      float* out1) {
+  const double freq =
+      std::pow(static_cast<double>(theta),
+               -2.0 * static_cast<double>(j) / static_cast<double>(head_dim));
+  const double angle = static_cast<double>(pos) * freq;
+  const float c = static_cast<float>(std::cos(angle));
+  const float s = static_cast<float>(std::sin(angle));
+  *out0 = x0 * c - x1 * s;
+  *out1 = x0 * s + x1 * c;
+}
+
+void apply_rope(std::span<float> qk, std::span<const std::int32_t> positions,
+                std::int64_t heads, std::int64_t head_dim, float theta) {
+  if (head_dim % 2 != 0) {
+    throw std::invalid_argument("apply_rope: head_dim must be even");
+  }
+  const std::int64_t row = heads * head_dim;
+  const std::int64_t tokens = static_cast<std::int64_t>(positions.size());
+  if (qk.size() < static_cast<std::size_t>(tokens * row)) {
+    throw std::invalid_argument("apply_rope: span too small");
+  }
+  for (std::int64_t t = 0; t < tokens; ++t) {
+    const std::int64_t pos = positions[static_cast<std::size_t>(t)];
+    float* base = qk.data() + t * row;
+    for (std::int64_t h = 0; h < heads; ++h) {
+      float* hd = base + h * head_dim;
+      for (std::int64_t j = 0; j < head_dim / 2; ++j) {
+        rope_rotate_pair(hd[2 * j], hd[2 * j + 1], pos, j, head_dim, theta,
+                         &hd[2 * j], &hd[2 * j + 1]);
+      }
+    }
+  }
+}
+
+}  // namespace dsinfer::kernels

@@ -1,0 +1,27 @@
+// Rotary position embeddings (RoPE) — the position encoding GPT-J and
+// GPT-NeoX (Table I) use instead of learned position vectors. Rotates each
+// consecutive (even, odd) pair of head-dim features by an angle proportional
+// to the absolute position, so relative offsets appear as phase differences
+// in the attention dot products.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace dsinfer::kernels {
+
+// Applies RoPE in place to q and k laid out [tokens, heads * head_dim].
+// Token i of the block sits at absolute position `first_pos + i / ... `:
+// for batched blocks, positions[i] gives the absolute position of row i.
+// head_dim must be even.
+void apply_rope(std::span<float> qk, std::span<const std::int32_t> positions,
+                std::int64_t heads, std::int64_t head_dim,
+                float theta = 10000.0f);
+
+// Reference per-element rotation used by tests: returns the rotated pair
+// (x0', x1') of features (2j, 2j+1) at position p.
+void rope_rotate_pair(float x0, float x1, std::int64_t pos, std::int64_t j,
+                      std::int64_t head_dim, float theta, float* out0,
+                      float* out1);
+
+}  // namespace dsinfer::kernels

@@ -1,0 +1,56 @@
+#include "kernels/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+
+namespace dsinfer {
+
+void Tensor::reshape(std::vector<std::int64_t> shape) {
+  std::int64_t n = 1;
+  for (std::int64_t d : shape) {
+    if (d < 0) throw std::invalid_argument("negative tensor dim");
+    n *= d;
+  }
+  if (n != numel_ || buf_.empty()) {
+    buf_.reset(static_cast<std::size_t>(n));
+  }
+  shape_ = std::move(shape);
+  numel_ = n;
+}
+
+Tensor Tensor::clone() const {
+  Tensor out(shape_);
+  std::memcpy(out.data(), data(), static_cast<std::size_t>(numel_) * sizeof(float));
+  return out;
+}
+
+void Tensor::fill(float value) {
+  std::fill_n(buf_.data(), static_cast<std::size_t>(numel_), value);
+}
+
+std::string Tensor::shape_str() const {
+  std::ostringstream ss;
+  ss << '[';
+  for (std::size_t i = 0; i < shape_.size(); ++i) {
+    if (i) ss << ", ";
+    ss << shape_[i];
+  }
+  ss << ']';
+  return ss.str();
+}
+
+float max_abs_diff(std::span<const float> a, std::span<const float> b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("max_abs_diff size mismatch");
+  }
+  float m = 0.0f;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    m = std::max(m, std::fabs(a[i] - b[i]));
+  }
+  return m;
+}
+
+}  // namespace dsinfer

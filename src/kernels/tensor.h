@@ -1,0 +1,67 @@
+// Dense row-major FP32 tensor with aligned storage.
+//
+// The functional engine deliberately keeps a single storage dtype (FP32) and
+// expresses lower-precision paths (INT8 GeMM, simulated FP16 bandwidth) at
+// the kernel level, which is where the paper's optimizations live too.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <numeric>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/aligned_buffer.h"
+
+namespace dsinfer {
+
+class Tensor {
+ public:
+  Tensor() = default;
+
+  explicit Tensor(std::vector<std::int64_t> shape) { reshape(std::move(shape)); }
+
+  Tensor(std::initializer_list<std::int64_t> shape)
+      : Tensor(std::vector<std::int64_t>(shape)) {}
+
+  Tensor(Tensor&&) noexcept = default;
+  Tensor& operator=(Tensor&&) noexcept = default;
+  Tensor(const Tensor&) = delete;
+  Tensor& operator=(const Tensor&) = delete;
+
+  // Re-allocates when the element count changes; contents become undefined.
+  void reshape(std::vector<std::int64_t> shape);
+
+  // Deep copy helper (copy ctor is deleted to make copies explicit).
+  Tensor clone() const;
+
+  void fill(float value);
+  void zero() { fill(0.0f); }
+
+  const std::vector<std::int64_t>& shape() const { return shape_; }
+  std::int64_t dim(std::size_t i) const { return shape_[i]; }
+  std::size_t rank() const { return shape_.size(); }
+  std::int64_t numel() const { return numel_; }
+
+  float* data() { return buf_.data(); }
+  const float* data() const { return buf_.data(); }
+  std::span<float> span() { return buf_.span().subspan(0, numel_); }
+  std::span<const float> span() const { return buf_.span().subspan(0, numel_); }
+
+  float& at(std::int64_t i) { return buf_[static_cast<std::size_t>(i)]; }
+  float at(std::int64_t i) const { return buf_[static_cast<std::size_t>(i)]; }
+
+  // Debug string like "[2, 768]".
+  std::string shape_str() const;
+
+ private:
+  std::vector<std::int64_t> shape_;
+  std::int64_t numel_ = 0;
+  AlignedBuffer<float> buf_;
+};
+
+// Max |a-b| over two equal-sized spans; used pervasively by equivalence tests.
+float max_abs_diff(std::span<const float> a, std::span<const float> b);
+
+}  // namespace dsinfer

@@ -1,0 +1,225 @@
+#include "kernels/transformer_layer.h"
+
+#include <cmath>
+#include <vector>
+#include <cstring>
+#include <stdexcept>
+
+#include "kernels/attention.h"
+#include "kernels/rope.h"
+#include "kernels/elementwise.h"
+
+namespace dsinfer::kernels {
+
+namespace {
+
+Tensor random_tensor(Rng& rng, std::vector<std::int64_t> shape, float stddev) {
+  Tensor t(std::move(shape));
+  if (stddev > 0.0f) {
+    rng.fill_normal(t.span(), 0.0f, stddev);
+  } else {
+    t.zero();
+  }
+  return t;
+}
+
+// Dispatches a bias-free linear layer through the policy's GeMM/dtype.
+void run_linear(std::span<const float> x, const Tensor& w,
+                const PackedWeight& packed, const QuantizedWeight& quant,
+                std::span<float> y, std::int64_t m, std::int64_t in,
+                std::int64_t out, const KernelPolicy& policy) {
+  if (policy.dtype == Dtype::kINT8) {
+    linear_int8(x, quant, {}, y, m);
+    return;
+  }
+  switch (policy.gemm) {
+    case GemmKind::kReference:
+      linear_ref(x, w.span(), {}, y, m, in, out);
+      break;
+    case GemmKind::kBlocked:
+      linear_blocked(x, w.span(), {}, y, m, in, out);
+      break;
+    case GemmKind::kSbi:
+      linear_sbi(x, packed, {}, y, m);
+      break;
+  }
+}
+
+}  // namespace
+
+void LayerWeights::init_random(Rng& rng, std::int64_t hidden_dim,
+                               std::int64_t num_heads, std::int64_t ffn_dim) {
+  if (hidden_dim % num_heads != 0) {
+    throw std::invalid_argument("hidden must be divisible by heads");
+  }
+  hidden = hidden_dim;
+  heads = num_heads;
+  ffn = ffn_dim;
+  const float ws = 0.02f / std::sqrt(static_cast<float>(hidden) / 64.0f);
+
+  ln1_g.reshape({hidden});
+  ln1_g.fill(1.0f);
+  ln1_b.reshape({hidden});
+  ln1_b.zero();
+  ln2_g.reshape({hidden});
+  ln2_g.fill(1.0f);
+  ln2_b.reshape({hidden});
+  ln2_b.zero();
+
+  w_qkv = random_tensor(rng, {3 * hidden, hidden}, ws);
+  b_qkv = random_tensor(rng, {3 * hidden}, 0.0f);
+  w_attn_out = random_tensor(rng, {hidden, hidden}, ws);
+  b_attn_out = random_tensor(rng, {hidden}, 0.0f);
+  w_fc1 = random_tensor(rng, {ffn, hidden}, ws);
+  b_fc1 = random_tensor(rng, {ffn}, 0.01f);
+  w_fc2 = random_tensor(rng, {hidden, ffn}, ws);
+  b_fc2 = random_tensor(rng, {hidden}, 0.0f);
+}
+
+void LayerWeights::prepare(const KernelPolicy& policy) {
+  if (policy.dtype == Dtype::kINT8) {
+    if (q_qkv.empty()) {
+      q_qkv = QuantizedWeight(w_qkv.span(), 3 * hidden, hidden);
+      q_attn_out = QuantizedWeight(w_attn_out.span(), hidden, hidden);
+      q_fc1 = QuantizedWeight(w_fc1.span(), ffn, hidden);
+      q_fc2 = QuantizedWeight(w_fc2.span(), hidden, ffn);
+    }
+  } else if (policy.gemm == GemmKind::kSbi) {
+    if (p_qkv.empty()) {
+      p_qkv = PackedWeight(w_qkv.span(), 3 * hidden, hidden);
+      p_attn_out = PackedWeight(w_attn_out.span(), hidden, hidden);
+      p_fc1 = PackedWeight(w_fc1.span(), ffn, hidden);
+      p_fc2 = PackedWeight(w_fc2.span(), hidden, ffn);
+    }
+  }
+}
+
+std::size_t LayerWeights::param_count() const {
+  return static_cast<std::size_t>(3 * hidden * hidden + 3 * hidden +  // qkv
+                                  hidden * hidden + hidden +          // out
+                                  ffn * hidden + ffn +                // fc1
+                                  hidden * ffn + hidden +             // fc2
+                                  4 * hidden);                        // LN
+}
+
+void LayerScratch::ensure(std::int64_t tokens, std::int64_t hidden,
+                          std::int64_t ffn) {
+  if (normed.numel() >= tokens * hidden && ffn1.numel() >= tokens * ffn) return;
+  normed.reshape({tokens, hidden});
+  qkv.reshape({tokens, 3 * hidden});
+  q.reshape({tokens, hidden});
+  k.reshape({tokens, hidden});
+  v.reshape({tokens, hidden});
+  attn.reshape({tokens, hidden});
+  proj.reshape({tokens, hidden});
+  ffn1.reshape({tokens, ffn});
+  act.reshape({tokens, ffn});
+  ffn2.reshape({tokens, hidden});
+}
+
+void transformer_layer_forward(const LayerWeights& w, KVCache& cache,
+                               std::span<float> x, std::int64_t batch,
+                               std::int64_t q_len, const KernelPolicy& policy,
+                               LayerScratch& scratch) {
+  const std::int64_t tokens = batch * q_len;
+  const std::int64_t H = w.hidden;
+  const std::int64_t F = w.ffn;
+  if (x.size() < static_cast<std::size_t>(tokens * H)) {
+    throw std::invalid_argument("layer forward: x span too small");
+  }
+  scratch.ensure(tokens, H, F);
+
+  // ---- Fusion region 1: input layernorm + QKV GeMM ----
+  if (policy.fuse_elementwise) {
+    layernorm(x, w.ln1_g.span(), w.ln1_b.span(), scratch.normed.span(), tokens, H);
+  } else {
+    layernorm_unfused(x, w.ln1_g.span(), w.ln1_b.span(), scratch.normed.span(),
+                      tokens, H);
+  }
+  run_linear(scratch.normed.span(), w.w_qkv, w.p_qkv, w.q_qkv,
+             scratch.qkv.span(), tokens, H, 3 * H, policy);
+
+  // Split QKV + add projection bias (part of the paper's fused region 2
+  // "transposition plus attention": in the fused path this is the only data
+  // reshuffle before attention; the unfused path pays it as well).
+  for (std::int64_t t = 0; t < tokens; ++t) {
+    const float* src = scratch.qkv.data() + t * 3 * H;
+    float* qd = scratch.q.data() + t * H;
+    float* kd = scratch.k.data() + t * H;
+    float* vd = scratch.v.data() + t * H;
+    for (std::int64_t i = 0; i < H; ++i) {
+      qd[i] = src[i] + w.b_qkv.at(i);
+      kd[i] = src[H + i] + w.b_qkv.at(H + i);
+      vd[i] = src[2 * H + i] + w.b_qkv.at(2 * H + i);
+    }
+  }
+  if (policy.use_rope) {
+    // Rotate Q and K by their absolute positions before caching; the cached
+    // keys then carry their rotation permanently, which is what makes RoPE
+    // compatible with incremental decoding.
+    const std::int64_t past = cache.seq_len();
+    std::vector<std::int32_t> positions(static_cast<std::size_t>(tokens));
+    for (std::int64_t b = 0; b < batch; ++b) {
+      for (std::int64_t t = 0; t < q_len; ++t) {
+        positions[static_cast<std::size_t>(b * q_len + t)] =
+            static_cast<std::int32_t>(past + t);
+      }
+    }
+    apply_rope(scratch.q.span(), positions, w.heads, H / w.heads);
+    apply_rope(scratch.k.span(), positions, w.heads, H / w.heads);
+  }
+  cache.append(scratch.k.span(), scratch.v.span(), q_len);
+
+  // ---- Fusion region 2: attention ----
+  if (policy.fuse_attention) {
+    attention_fused(scratch.q.span(), cache, scratch.attn.span(), q_len,
+                    policy.causal);
+  } else {
+    attention_unfused(scratch.q.span(), cache, scratch.attn.span(), q_len,
+                      policy.causal);
+  }
+
+  // Attention output projection + fused bias/residual (region 4).
+  run_linear(scratch.attn.span(), w.w_attn_out, w.p_attn_out, w.q_attn_out,
+             scratch.proj.span(), tokens, H, H, policy);
+  if (policy.fuse_elementwise) {
+    bias_residual(scratch.proj.span(), w.b_attn_out.span(), x, x, tokens, H);
+  } else {
+    // The pass-per-micro-op baseline cannot alias output and residual: it
+    // accumulates into the GeMM output and copies back (one more sweep, as a
+    // framework's out-of-place add would incur).
+    bias_residual_unfused(scratch.proj.span(), w.b_attn_out.span(), x,
+                          scratch.proj.span(), tokens, H);
+    std::memcpy(x.data(), scratch.proj.data(),
+                static_cast<std::size_t>(tokens * H) * sizeof(float));
+  }
+
+  // ---- Fusion region 3: post-attention layernorm + intermediate GeMM ----
+  if (policy.fuse_elementwise) {
+    layernorm(x, w.ln2_g.span(), w.ln2_b.span(), scratch.normed.span(), tokens, H);
+  } else {
+    layernorm_unfused(x, w.ln2_g.span(), w.ln2_b.span(), scratch.normed.span(),
+                      tokens, H);
+  }
+  run_linear(scratch.normed.span(), w.w_fc1, w.p_fc1, w.q_fc1,
+             scratch.ffn1.span(), tokens, H, F, policy);
+  if (policy.fuse_elementwise) {
+    bias_gelu(scratch.ffn1.span(), w.b_fc1.span(), scratch.act.span(), tokens, F);
+  } else {
+    bias_gelu_unfused(scratch.ffn1.span(), w.b_fc1.span(), scratch.act.span(),
+                      tokens, F);
+  }
+
+  run_linear(scratch.act.span(), w.w_fc2, w.p_fc2, w.q_fc2,
+             scratch.ffn2.span(), tokens, F, H, policy);
+  if (policy.fuse_elementwise) {
+    bias_residual(scratch.ffn2.span(), w.b_fc2.span(), x, x, tokens, H);
+  } else {
+    bias_residual_unfused(scratch.ffn2.span(), w.b_fc2.span(), x,
+                          scratch.ffn2.span(), tokens, H);
+    std::memcpy(x.data(), scratch.ffn2.data(),
+                static_cast<std::size_t>(tokens * H) * sizeof(float));
+  }
+}
+
+}  // namespace dsinfer::kernels

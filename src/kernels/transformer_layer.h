@@ -1,0 +1,94 @@
+// A full pre-LN GPT transformer layer built from the kernel library, with a
+// switchable KernelPolicy that selects between the paper's optimized path
+// (Deep-Fusion + SBI-GeMM + optional INT8) and the training-framework
+// baseline path (kernel-per-op, generic GeMM). Both paths compute the same
+// function; tests assert equivalence, benches measure the gap.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "kernels/gemm.h"
+#include "kernels/kv_cache.h"
+#include "kernels/quant.h"
+#include "kernels/tensor.h"
+#include "util/rng.h"
+
+namespace dsinfer::kernels {
+
+enum class Dtype { kFP32, kFP16, kINT8 };
+
+// FP16 executes FP32 arithmetic in the functional engine (numerics are not
+// the point of the dtype switch) but halves parameter bytes in the perf
+// model; INT8 runs the real quantized path.
+struct KernelPolicy {
+  bool fuse_elementwise = true;  // Deep-Fusion regions 1/3/4
+  bool fuse_attention = true;    // Deep-Fusion region 2
+  GemmKind gemm = GemmKind::kBlocked;
+  Dtype dtype = Dtype::kFP32;
+  bool causal = true;  // false for encoder models (BERT family, Fig. 12)
+  // Rotary position embeddings applied to Q/K inside the layer (GPT-J /
+  // GPT-NeoX style); off by default (GPT-2/3 use learned positions).
+  bool use_rope = false;
+
+  static KernelPolicy optimized_small_batch() {
+    return {true, true, GemmKind::kSbi, Dtype::kFP32, true, false};
+  }
+  static KernelPolicy optimized_large_batch() {
+    return {true, true, GemmKind::kBlocked, Dtype::kFP32, true, false};
+  }
+  // Kernel-per-micro-op framework baseline (Fig. 10a "PyTorch").
+  static KernelPolicy baseline() {
+    return {false, false, GemmKind::kBlocked, Dtype::kFP32, true, false};
+  }
+  // E.T.-style: custom GeMM and fused attention, but per-op elementwise
+  // kernels — E.T. fuses fewer operators than Deep-Fusion, which is the gap
+  // Fig. 12 measures.
+  static KernelPolicy et_like() {
+    return {false, true, GemmKind::kSbi, Dtype::kFP32, true, false};
+  }
+};
+
+// Dense transformer layer parameters. `ffn` is the intermediate dimension
+// (4*hidden for GPT). Weights are row-major [out, in].
+struct LayerWeights {
+  std::int64_t hidden = 0;
+  std::int64_t heads = 0;
+  std::int64_t ffn = 0;
+
+  Tensor ln1_g, ln1_b, ln2_g, ln2_b;
+  Tensor w_qkv, b_qkv;            // [3*hidden, hidden]
+  Tensor w_attn_out, b_attn_out;  // [hidden, hidden]
+  Tensor w_fc1, b_fc1;            // [ffn, hidden]
+  Tensor w_fc2, b_fc2;            // [hidden, ffn]
+
+  // Acceleration structures, built on demand by prepare().
+  PackedWeight p_qkv, p_attn_out, p_fc1, p_fc2;
+  QuantizedWeight q_qkv, q_attn_out, q_fc1, q_fc2;
+
+  // Small-magnitude random init keeps activations bounded across 100+ layers.
+  void init_random(Rng& rng, std::int64_t hidden_dim, std::int64_t num_heads,
+                   std::int64_t ffn_dim);
+
+  // Builds the packed (SBI) or quantized (INT8) forms the policy needs.
+  void prepare(const KernelPolicy& policy);
+
+  std::size_t param_count() const;
+};
+
+// Reusable per-layer scratch to keep the generation loop allocation-free.
+struct LayerScratch {
+  Tensor normed, qkv, q, k, v, attn, proj, ffn1, act, ffn2;
+  void ensure(std::int64_t tokens, std::int64_t hidden, std::int64_t ffn);
+};
+
+// Runs one layer in place over x = [batch * q_len, hidden]. Appends this
+// block's keys/values to `cache` (which must have room) and attends over the
+// full history, so the same entry point serves both the prompt-processing
+// and token-generation phases (paper Sec. IV-B).
+void transformer_layer_forward(const LayerWeights& w, KVCache& cache,
+                               std::span<float> x, std::int64_t batch,
+                               std::int64_t q_len, const KernelPolicy& policy,
+                               LayerScratch& scratch);
+
+}  // namespace dsinfer::kernels

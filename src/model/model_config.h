@@ -1,0 +1,119 @@
+// Model architecture descriptions and analytic cost calculators.
+//
+// The dense configurations reproduce Table I of the paper and the sparse
+// (MoE) configurations reproduce Table II. The same structs drive both the
+// functional engine (at miniature scale in tests/examples) and the
+// performance model (at full scale in the benches).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "kernels/transformer_layer.h"
+
+namespace dsinfer::model {
+
+using kernels::Dtype;
+
+inline std::size_t dtype_bytes(Dtype d) {
+  switch (d) {
+    case Dtype::kFP32:
+      return 4;
+    case Dtype::kFP16:
+      return 2;
+    case Dtype::kINT8:
+      return 1;
+  }
+  return 4;
+}
+
+// GPT-style decoder-only dense transformer (or encoder when `causal=false`,
+// used by the BERT/DistilBERT comparison of Fig. 12).
+struct DenseModelConfig {
+  std::string name;
+  std::int64_t hidden = 0;
+  std::int64_t layers = 0;
+  std::int64_t heads = 0;
+  std::int64_t vocab = 51200;
+  std::int64_t max_seq = 2048;
+  bool causal = true;
+
+  std::int64_t ffn() const { return 4 * hidden; }
+  std::int64_t head_dim() const { return hidden / heads; }
+
+  // Parameters of one transformer layer (weights + biases + layernorms).
+  std::int64_t layer_params() const;
+  // Full model including token/position embeddings and final layernorm.
+  std::int64_t total_params() const;
+  double total_param_gb(Dtype dtype) const;
+
+  // FLOPs to run one layer over `tokens` new tokens attending to `kv_len`
+  // total positions (2 FLOPs per MAC).
+  double layer_flops(std::int64_t tokens, std::int64_t kv_len) const;
+  // FLOPs for the whole model for a forward over `tokens` new tokens.
+  double model_flops(std::int64_t tokens, std::int64_t kv_len) const;
+
+  // Parameter bytes a forward pass must stream per layer / whole model.
+  double layer_param_bytes(Dtype dtype) const;
+  double model_param_bytes(Dtype dtype) const;
+
+  // KV-cache bytes for `batch` sequences at length `seq` (FP16 cache,
+  // matching the paper's deployments).
+  double kv_cache_bytes(std::int64_t batch, std::int64_t seq) const;
+};
+
+// Mixture-of-Experts transformer: a dense base model where every
+// `moe_every`-th FFN is replaced by `experts` parallel expert FFNs behind a
+// top-1 gate (the paper's GPT+MoE-128 family, Table II).
+struct MoEModelConfig {
+  std::string name;
+  std::int64_t hidden = 0;
+  std::int64_t layers = 0;
+  std::int64_t heads = 0;
+  std::int64_t experts = 128;
+  std::int64_t moe_every = 2;  // every other layer is an MoE layer
+  std::int64_t vocab = 51200;
+  std::int64_t max_seq = 2048;
+
+  // Paper Table II deployment columns.
+  std::int64_t tensor_parallel = 1;   // "MP degree"
+  std::int64_t expert_parallel = 128;  // "EP degree"
+  std::int64_t expert_slicing = 1;
+  std::int64_t gpus = 128;
+
+  std::int64_t ffn() const { return 4 * hidden; }
+  std::int64_t moe_layers() const { return layers / moe_every; }
+  std::int64_t dense_ffn_layers() const { return layers - moe_layers(); }
+
+  std::int64_t expert_params() const;      // one expert FFN
+  std::int64_t total_params() const;       // full sparse model
+  std::int64_t base_dense_params() const;  // the "1.3B" part of "1.3B+MoE-128"
+
+  // Per-token *active* FLOPs (top-1 gating: one expert per token).
+  double model_flops_per_token(std::int64_t kv_len) const;
+  // Parameter bytes touched per forward given expert-parallel execution
+  // (each GPU holds experts/EP experts; all are streamed once per batch).
+  double model_param_bytes(Dtype dtype) const;
+};
+
+// --- Model zoo (Tables I and II, plus the Fig. 12 encoder models) ---
+
+// Dense models of Table I, in ascending size.
+std::vector<DenseModelConfig> dense_model_zoo();
+// Lookup by name ("GPT-2 1.5B", "LM-175B", ...). Throws if unknown.
+const DenseModelConfig& dense_model(const std::string& name);
+
+// Sparse models of Table II.
+std::vector<MoEModelConfig> moe_model_zoo();
+const MoEModelConfig& moe_model(const std::string& name);
+
+// Encoder models used by the E.T. comparison (Fig. 12).
+DenseModelConfig bert_base();
+DenseModelConfig distilbert();
+
+// A miniature config for functional tests/examples (runs in milliseconds).
+DenseModelConfig tiny_gpt(std::int64_t hidden = 64, std::int64_t layers = 2,
+                          std::int64_t heads = 4);
+
+}  // namespace dsinfer::model

@@ -1,0 +1,96 @@
+#include "moe/expert_parallel.h"
+
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "kernels/gemm.h"
+
+namespace dsinfer::moe {
+
+EpShard EpShard::from_full(const MoELayerWeights& full, std::int64_t ep,
+                           std::int64_t rank) {
+  if (ep < 1 || rank < 0 || rank >= ep || full.num_experts % ep != 0) {
+    throw std::invalid_argument("EpShard: bad ep/rank or indivisible experts");
+  }
+  EpShard s;
+  s.ep = ep;
+  s.rank = rank;
+  s.experts_total = full.num_experts;
+  s.experts_local = full.num_experts / ep;
+  s.hidden = full.hidden;
+  s.ffn = full.ffn;
+  s.w_gate = full.w_gate.clone();
+  s.experts.reserve(static_cast<std::size_t>(s.experts_local));
+  for (std::int64_t e = 0; e < s.experts_local; ++e) {
+    const auto& src =
+        full.experts[static_cast<std::size_t>(rank * s.experts_local + e)];
+    ExpertFFN copy;
+    copy.w1 = src.w1.clone();
+    copy.b1 = src.b1.clone();
+    copy.w2 = src.w2.clone();
+    copy.b2 = src.b2.clone();
+    s.experts.push_back(std::move(copy));
+  }
+  return s;
+}
+
+MoEForwardStats ep_moe_forward(const EpShard& shard, std::span<const float> x,
+                               std::span<float> y, std::int64_t tokens,
+                               double capacity_factor,
+                               comm::Communicator& comm, std::int64_t rank) {
+  const std::int64_t H = shard.hidden;
+  const std::int64_t E = shard.experts_total;
+  const std::int64_t El = shard.experts_local;
+  const std::int64_t ep = shard.ep;
+  if (x.size() < static_cast<std::size_t>(tokens * H) ||
+      y.size() < static_cast<std::size_t>(tokens * H)) {
+    throw std::invalid_argument("ep_moe_forward: span too small");
+  }
+
+  // Local gating over the replicated gate weights.
+  std::vector<float> logits(static_cast<std::size_t>(tokens * E));
+  kernels::linear_blocked(x, shard.w_gate.span(), {}, logits, tokens, H, E);
+  GatingOutput gating = top1_gating(logits, tokens, E);
+  const std::int64_t cap = expert_capacity(tokens, E, capacity_factor);
+  RoutingTable table = build_routing_table(gating, E, cap);
+
+  // Dispatch buffer [E, cap, H], expert-major so each destination rank's
+  // chunk (its El experts) is contiguous — the all-to-all chunk layout.
+  std::vector<float> dispatch(static_cast<std::size_t>(E * cap * H));
+  scatter_to_experts(x, table, dispatch, H);
+
+  // All-to-all: receive [ep, El, cap, H] — every source rank's tokens for my
+  // experts.
+  std::vector<float> incoming(dispatch.size());
+  comm.all_to_all(rank, dispatch, incoming);
+
+  // Run local experts over each source rank's capacity block.
+  std::vector<float> processed(incoming.size());
+  for (std::int64_t src = 0; src < ep; ++src) {
+    for (std::int64_t e = 0; e < El; ++e) {
+      const auto off = static_cast<std::size_t>((src * El + e) * cap * H);
+      shard.experts[static_cast<std::size_t>(e)].forward(
+          std::span<const float>(incoming).subspan(
+              off, static_cast<std::size_t>(cap * H)),
+          std::span<float>(processed).subspan(
+              off, static_cast<std::size_t>(cap * H)),
+          cap);
+    }
+  }
+
+  // All-to-all back: each source rank gets its tokens' expert outputs in the
+  // original [E, cap, H] layout.
+  std::vector<float> returned(processed.size());
+  comm.all_to_all(rank, processed, returned);
+
+  gather_from_experts(returned, table, gating, y, tokens, H);
+
+  MoEForwardStats s;
+  s.tokens = tokens;
+  s.capacity = cap;
+  s.dropped = tokens - table.tokens_routed();
+  return s;
+}
+
+}  // namespace dsinfer::moe

@@ -1,0 +1,40 @@
+// Functional expert parallelism (paper Sec. V.A, Fig. 4): experts are
+// partitioned across ranks; tokens travel to their expert's rank through an
+// all-to-all, are processed, and travel back (GShard-style). Data
+// parallelism is implicit: every rank owns its own token shard.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "comm/collectives.h"
+#include "moe/moe_layer.h"
+
+namespace dsinfer::moe {
+
+// Rank `rank`'s slice of an MoE layer: experts
+// [rank * E/ep, (rank+1) * E/ep) plus the replicated gate.
+struct EpShard {
+  std::int64_t ep = 1;
+  std::int64_t rank = 0;
+  std::int64_t experts_total = 0;
+  std::int64_t experts_local = 0;
+  std::int64_t hidden = 0;
+  std::int64_t ffn = 0;
+  Tensor w_gate;                   // replicated [E, H]
+  std::vector<ExpertFFN> experts;  // the local slice
+
+  static EpShard from_full(const MoELayerWeights& full, std::int64_t ep,
+                           std::int64_t rank);
+};
+
+// Runs the MoE FFN for this rank's `tokens` token rows. Every rank must call
+// with the same `tokens` and `capacity_factor`. The capacity is computed per
+// source rank, so with ep ranks each expert processes up to ep * capacity
+// rows. Dropped tokens produce zero output (residual passthrough).
+MoEForwardStats ep_moe_forward(const EpShard& shard, std::span<const float> x,
+                               std::span<float> y, std::int64_t tokens,
+                               double capacity_factor,
+                               comm::Communicator& comm, std::int64_t rank);
+
+}  // namespace dsinfer::moe

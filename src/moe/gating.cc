@@ -1,0 +1,314 @@
+#include "moe/gating.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+namespace dsinfer::moe {
+
+GatingOutput top1_gating(std::span<const float> logits, std::int64_t tokens,
+                         std::int64_t experts) {
+  if (logits.size() < static_cast<std::size_t>(tokens * experts)) {
+    throw std::invalid_argument("top1_gating: logits span too small");
+  }
+  GatingOutput g;
+  g.expert_of_token.resize(static_cast<std::size_t>(tokens));
+  g.gate_weight.resize(static_cast<std::size_t>(tokens));
+  for (std::int64_t s = 0; s < tokens; ++s) {
+    const float* row = logits.data() + s * experts;
+    std::int64_t best = 0;
+    float mx = row[0];
+    for (std::int64_t e = 1; e < experts; ++e) {
+      if (row[e] > mx) {
+        mx = row[e];
+        best = e;
+      }
+    }
+    float denom = 0.0f;
+    for (std::int64_t e = 0; e < experts; ++e) denom += std::exp(row[e] - mx);
+    g.expert_of_token[static_cast<std::size_t>(s)] =
+        static_cast<std::int32_t>(best);
+    g.gate_weight[static_cast<std::size_t>(s)] = 1.0f / denom;  // exp(0)/denom
+  }
+  return g;
+}
+
+TopKGating topk_gating(std::span<const float> logits, std::int64_t tokens,
+                       std::int64_t experts, std::int64_t k) {
+  if (k < 1 || k > experts) {
+    throw std::invalid_argument("topk_gating: need 1 <= k <= experts");
+  }
+  if (logits.size() < static_cast<std::size_t>(tokens * experts)) {
+    throw std::invalid_argument("topk_gating: logits span too small");
+  }
+  TopKGating g;
+  g.k = k;
+  g.experts.resize(static_cast<std::size_t>(tokens * k));
+  g.weights.resize(static_cast<std::size_t>(tokens * k));
+  std::vector<std::int32_t> order(static_cast<std::size_t>(experts));
+  for (std::int64_t s = 0; s < tokens; ++s) {
+    const float* row = logits.data() + s * experts;
+    for (std::int64_t e = 0; e < experts; ++e) {
+      order[static_cast<std::size_t>(e)] = static_cast<std::int32_t>(e);
+    }
+    std::partial_sort(order.begin(), order.begin() + k, order.end(),
+                      [&](std::int32_t a, std::int32_t b) {
+                        return row[a] != row[b] ? row[a] > row[b] : a < b;
+                      });
+    // Softmax over the selected experts only (renormalized top-k weights,
+    // the GShard/Switch convention).
+    const float mx = row[order[0]];
+    float denom = 0.0f;
+    for (std::int64_t i = 0; i < k; ++i) {
+      denom += std::exp(row[order[static_cast<std::size_t>(i)]] - mx);
+    }
+    for (std::int64_t i = 0; i < k; ++i) {
+      g.experts[static_cast<std::size_t>(s * k + i)] =
+          order[static_cast<std::size_t>(i)];
+      g.weights[static_cast<std::size_t>(s * k + i)] =
+          std::exp(row[order[static_cast<std::size_t>(i)]] - mx) / denom;
+    }
+  }
+  return g;
+}
+
+TopKRoutingTable build_topk_routing_table(const TopKGating& gating,
+                                          std::int64_t experts,
+                                          std::int64_t capacity) {
+  TopKRoutingTable t;
+  t.experts = experts;
+  t.capacity = capacity;
+  t.k = gating.k;
+  t.expert_tokens.assign(static_cast<std::size_t>(experts * capacity), -1);
+  t.slot_of_choice.assign(gating.experts.size(), -1);
+  std::vector<std::int32_t> fill(static_cast<std::size_t>(experts), 0);
+  for (std::size_t c = 0; c < gating.experts.size(); ++c) {
+    const std::int32_t e = gating.experts[c];
+    if (e < 0 || e >= experts) {
+      throw std::out_of_range("build_topk_routing_table: expert id range");
+    }
+    auto& f = fill[static_cast<std::size_t>(e)];
+    if (f < capacity) {
+      const std::int32_t slot = e * static_cast<std::int32_t>(capacity) + f;
+      t.expert_tokens[static_cast<std::size_t>(slot)] =
+          static_cast<std::int32_t>(c / static_cast<std::size_t>(gating.k));
+      t.slot_of_choice[c] = slot;
+      ++f;
+    }
+  }
+  return t;
+}
+
+void topk_scatter_to_experts(std::span<const float> x,
+                             const TopKRoutingTable& table,
+                             std::span<float> expert_input,
+                             std::int64_t hidden) {
+  const std::size_t slots = table.expert_tokens.size();
+  if (expert_input.size() < slots * static_cast<std::size_t>(hidden)) {
+    throw std::invalid_argument("topk_scatter: output too small");
+  }
+  std::memset(expert_input.data(), 0,
+              slots * static_cast<std::size_t>(hidden) * sizeof(float));
+  for (std::size_t slot = 0; slot < slots; ++slot) {
+    const std::int32_t s = table.expert_tokens[slot];
+    if (s < 0) continue;
+    std::memcpy(expert_input.data() + slot * static_cast<std::size_t>(hidden),
+                x.data() + static_cast<std::size_t>(s) *
+                               static_cast<std::size_t>(hidden),
+                static_cast<std::size_t>(hidden) * sizeof(float));
+  }
+}
+
+void topk_gather_from_experts(std::span<const float> expert_output,
+                              const TopKRoutingTable& table,
+                              const TopKGating& gating, std::span<float> y,
+                              std::int64_t tokens, std::int64_t hidden) {
+  if (y.size() < static_cast<std::size_t>(tokens * hidden)) {
+    throw std::invalid_argument("topk_gather: output too small");
+  }
+  std::memset(y.data(), 0,
+              static_cast<std::size_t>(tokens * hidden) * sizeof(float));
+  for (std::int64_t s = 0; s < tokens; ++s) {
+    float* dst = y.data() + s * hidden;
+    for (std::int64_t i = 0; i < table.k; ++i) {
+      const std::size_t c = static_cast<std::size_t>(s * table.k + i);
+      const std::int32_t slot = table.slot_of_choice[c];
+      if (slot < 0) continue;
+      const float w = gating.weights[c];
+      const float* src = expert_output.data() +
+                         static_cast<std::size_t>(slot) *
+                             static_cast<std::size_t>(hidden);
+      for (std::int64_t m = 0; m < hidden; ++m) dst[m] += w * src[m];
+    }
+  }
+}
+
+std::int64_t expert_capacity(std::int64_t tokens, std::int64_t experts,
+                             double capacity_factor) {
+  if (tokens < 1 || experts < 1 || capacity_factor <= 0) {
+    throw std::invalid_argument("expert_capacity: bad arguments");
+  }
+  const double ideal =
+      static_cast<double>(tokens) / static_cast<double>(experts);
+  return std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(std::ceil(ideal * capacity_factor)));
+}
+
+std::int64_t RoutingTable::tokens_routed() const {
+  std::int64_t n = 0;
+  for (auto t : expert_tokens) n += (t >= 0);
+  return n;
+}
+
+RoutingTable build_routing_table(const GatingOutput& gating,
+                                 std::int64_t experts, std::int64_t capacity) {
+  RoutingTable t;
+  t.experts = experts;
+  t.capacity = capacity;
+  t.expert_tokens.assign(static_cast<std::size_t>(experts * capacity), -1);
+  t.slot_of_token.assign(gating.expert_of_token.size(), -1);
+  std::vector<std::int32_t> fill(static_cast<std::size_t>(experts), 0);
+  for (std::size_t s = 0; s < gating.expert_of_token.size(); ++s) {
+    const std::int32_t e = gating.expert_of_token[s];
+    if (e < 0 || e >= experts) {
+      throw std::out_of_range("build_routing_table: expert id out of range");
+    }
+    auto& f = fill[static_cast<std::size_t>(e)];
+    if (f < capacity) {
+      const std::int32_t slot = e * static_cast<std::int32_t>(capacity) + f;
+      t.expert_tokens[static_cast<std::size_t>(slot)] =
+          static_cast<std::int32_t>(s);
+      t.slot_of_token[s] = slot;
+      ++f;
+    }
+    // else: capacity overflow, token dropped (residual passthrough).
+  }
+  return t;
+}
+
+void scatter_to_experts(std::span<const float> x, const RoutingTable& table,
+                        std::span<float> expert_input, std::int64_t hidden) {
+  const std::size_t slots = table.expert_tokens.size();
+  if (expert_input.size() < slots * static_cast<std::size_t>(hidden)) {
+    throw std::invalid_argument("scatter_to_experts: output too small");
+  }
+  std::memset(expert_input.data(), 0,
+              slots * static_cast<std::size_t>(hidden) * sizeof(float));
+  for (std::size_t slot = 0; slot < slots; ++slot) {
+    const std::int32_t s = table.expert_tokens[slot];
+    if (s < 0) continue;
+    std::memcpy(expert_input.data() + slot * static_cast<std::size_t>(hidden),
+                x.data() + static_cast<std::size_t>(s) *
+                               static_cast<std::size_t>(hidden),
+                static_cast<std::size_t>(hidden) * sizeof(float));
+  }
+}
+
+void gather_from_experts(std::span<const float> expert_output,
+                         const RoutingTable& table,
+                         const GatingOutput& gating, std::span<float> y,
+                         std::int64_t tokens, std::int64_t hidden) {
+  if (y.size() < static_cast<std::size_t>(tokens * hidden)) {
+    throw std::invalid_argument("gather_from_experts: output too small");
+  }
+  std::memset(y.data(), 0,
+              static_cast<std::size_t>(tokens * hidden) * sizeof(float));
+  for (std::int64_t s = 0; s < tokens; ++s) {
+    const std::int32_t slot = table.slot_of_token[static_cast<std::size_t>(s)];
+    if (slot < 0) continue;  // dropped
+    const float w = gating.gate_weight[static_cast<std::size_t>(s)];
+    const float* src = expert_output.data() +
+                       static_cast<std::size_t>(slot) *
+                           static_cast<std::size_t>(hidden);
+    float* dst = y.data() + s * hidden;
+    for (std::int64_t m = 0; m < hidden; ++m) dst[m] = w * src[m];
+  }
+}
+
+Tensor build_dispatch_mask(const RoutingTable& table, std::int64_t tokens) {
+  Tensor mask({tokens, table.experts, table.capacity});
+  mask.zero();
+  for (std::int64_t s = 0; s < tokens; ++s) {
+    const std::int32_t slot = table.slot_of_token[static_cast<std::size_t>(s)];
+    if (slot < 0) continue;
+    mask.at(s * table.experts * table.capacity + slot) = 1.0f;
+  }
+  return mask;
+}
+
+void einsum_dispatch(const Tensor& dispatch_mask, std::span<const float> x,
+                     std::span<float> expert_input, std::int64_t tokens,
+                     std::int64_t experts, std::int64_t capacity,
+                     std::int64_t hidden) {
+  const std::int64_t slots = experts * capacity;
+  if (expert_input.size() < static_cast<std::size_t>(slots * hidden)) {
+    throw std::invalid_argument("einsum_dispatch: output too small");
+  }
+  std::memset(expert_input.data(), 0,
+              static_cast<std::size_t>(slots * hidden) * sizeof(float));
+  // expert_input[ec, m] += mask[s, ec] * x[s, m] — the full dense product,
+  // zeros included (this is the cost the paper eliminates).
+  for (std::int64_t s = 0; s < tokens; ++s) {
+    const float* mrow = dispatch_mask.data() + s * slots;
+    const float* xrow = x.data() + s * hidden;
+    for (std::int64_t ec = 0; ec < slots; ++ec) {
+      const float mv = mrow[ec];
+      float* dst = expert_input.data() + ec * hidden;
+      for (std::int64_t m = 0; m < hidden; ++m) dst[m] += mv * xrow[m];
+    }
+  }
+}
+
+void einsum_combine(const Tensor& dispatch_mask, const GatingOutput& gating,
+                    std::span<const float> expert_output, std::span<float> y,
+                    std::int64_t tokens, std::int64_t experts,
+                    std::int64_t capacity, std::int64_t hidden) {
+  const std::int64_t slots = experts * capacity;
+  if (y.size() < static_cast<std::size_t>(tokens * hidden)) {
+    throw std::invalid_argument("einsum_combine: output too small");
+  }
+  std::memset(y.data(), 0,
+              static_cast<std::size_t>(tokens * hidden) * sizeof(float));
+  for (std::int64_t s = 0; s < tokens; ++s) {
+    const float* mrow = dispatch_mask.data() + s * slots;
+    const float gw = gating.gate_weight[static_cast<std::size_t>(s)];
+    float* dst = y.data() + s * hidden;
+    for (std::int64_t ec = 0; ec < slots; ++ec) {
+      const float cv = mrow[ec] * gw;  // combine weight
+      const float* src = expert_output.data() + ec * hidden;
+      for (std::int64_t m = 0; m < hidden; ++m) dst[m] += cv * src[m];
+    }
+  }
+}
+
+ExpertLoadStats expert_load_stats(const GatingOutput& gating,
+                                  std::int64_t experts) {
+  ExpertLoadStats s;
+  s.tokens_per_expert.assign(static_cast<std::size_t>(experts), 0);
+  for (auto e : gating.expert_of_token) {
+    if (e < 0 || e >= experts) {
+      throw std::out_of_range("expert_load_stats: expert id out of range");
+    }
+    ++s.tokens_per_expert[static_cast<std::size_t>(e)];
+  }
+  double mean = 0;
+  for (auto n : s.tokens_per_expert) {
+    s.busiest = std::max(s.busiest, n);
+    s.idle += (n == 0);
+    mean += static_cast<double>(n);
+  }
+  mean /= static_cast<double>(experts);
+  if (mean > 0) {
+    double var = 0;
+    for (auto n : s.tokens_per_expert) {
+      const double d = static_cast<double>(n) - mean;
+      var += d * d;
+    }
+    var /= static_cast<double>(experts);
+    s.imbalance = std::sqrt(var) / mean;
+  }
+  return s;
+}
+
+}  // namespace dsinfer::moe

@@ -1,0 +1,141 @@
+// MoE gating and token routing (paper Sec. V.C).
+//
+// Two routing representations are provided:
+//  * RoutingTable — the paper's optimized "table data-structure": a dense
+//    token->expert map plus its inverse expert->tokens map built by a single
+//    scan, replacing one-hot tensors. Scatter/gather become data-layout
+//    transformations of complexity S*M*c_e.
+//  * One-hot dispatch/combine masks — the framework baseline: sparse einsum
+//    over [S, E, C] masks whose complexity is S*E*M*c_e, with (E-1)/E of the
+//    multiply-adds being zeros.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "kernels/tensor.h"
+
+namespace dsinfer::moe {
+
+struct GatingOutput {
+  std::vector<std::int32_t> expert_of_token;  // top-1 expert per token
+  std::vector<float> gate_weight;             // softmax prob of that expert
+};
+
+// Computes top-1 gating over logits[S, E] (softmax then argmax).
+GatingOutput top1_gating(std::span<const float> logits, std::int64_t tokens,
+                         std::int64_t experts);
+
+// General top-k gating (paper Sec. II.b: "a variable number of experts and a
+// top-k gating function"). Each token selects its k highest-scoring experts;
+// the k softmax probabilities are renormalized to sum to 1.
+struct TopKGating {
+  std::int64_t k = 1;
+  // Row-major [tokens, k]: expert ids (descending score) and their weights.
+  std::vector<std::int32_t> experts;
+  std::vector<float> weights;
+};
+
+TopKGating topk_gating(std::span<const float> logits, std::int64_t tokens,
+                       std::int64_t experts, std::int64_t k);
+
+// Routing table for top-k: each (token, choice) pair claims a slot, capacity
+// applied per expert first-come-first-served, exactly like the top-1 table.
+struct TopKRoutingTable {
+  std::int64_t experts = 0;
+  std::int64_t capacity = 0;
+  std::int64_t k = 1;
+  std::vector<std::int32_t> expert_tokens;  // [E * capacity] token ids or -1
+  // [tokens * k]: slot of each (token, choice), -1 when dropped.
+  std::vector<std::int32_t> slot_of_choice;
+};
+
+TopKRoutingTable build_topk_routing_table(const TopKGating& gating,
+                                          std::int64_t experts,
+                                          std::int64_t capacity);
+
+// Dense dispatch/combine for top-k: each routed (token, choice) is copied to
+// its slot; the combine sums the k expert outputs scaled by their gate
+// weights (dropped choices contribute nothing).
+void topk_scatter_to_experts(std::span<const float> x,
+                             const TopKRoutingTable& table,
+                             std::span<float> expert_input,
+                             std::int64_t hidden);
+void topk_gather_from_experts(std::span<const float> expert_output,
+                              const TopKRoutingTable& table,
+                              const TopKGating& gating, std::span<float> y,
+                              std::int64_t tokens, std::int64_t hidden);
+
+// Expert capacity: how many tokens one expert may process.
+// ceil(tokens / experts * factor), min 1.
+std::int64_t expert_capacity(std::int64_t tokens, std::int64_t experts,
+                             double capacity_factor);
+
+// Inverse map from experts to the token ids they process. Tokens beyond an
+// expert's capacity are dropped (they contribute nothing; the transformer's
+// residual path carries them through, as in GShard/Switch).
+struct RoutingTable {
+  std::int64_t experts = 0;
+  std::int64_t capacity = 0;
+  // expert_tokens[e * capacity + c] = token id, or -1 when unused.
+  std::vector<std::int32_t> expert_tokens;
+  // slot_of_token[s] = e * capacity + c if routed, -1 if dropped.
+  std::vector<std::int32_t> slot_of_token;
+
+  std::int64_t tokens_routed() const;
+};
+
+// Builds the table by one scan of expert_of_token (the paper's replacement
+// for cumsum-over-one-hot).
+RoutingTable build_routing_table(const GatingOutput& gating,
+                                 std::int64_t experts, std::int64_t capacity);
+
+// ---- Optimized data-layout transforms (dense representation) ----
+
+// Gathers routed tokens into the [E, C, H] expert buffer; unused slots are
+// zeroed. Complexity S*M (each routed token copied once).
+void scatter_to_experts(std::span<const float> x, const RoutingTable& table,
+                        std::span<float> expert_input, std::int64_t hidden);
+
+// Scatters expert outputs back to token order, scaled by the gate weight.
+// Dropped tokens produce zeros. Complexity S*M.
+void gather_from_experts(std::span<const float> expert_output,
+                         const RoutingTable& table,
+                         const GatingOutput& gating, std::span<float> y,
+                         std::int64_t tokens, std::int64_t hidden);
+
+// ---- Baseline sparse-einsum path (one-hot masks) ----
+
+// dispatch[s, e, c] = 1 if token s occupies slot c of expert e.
+// Built from the same routing decisions so both paths agree exactly.
+Tensor build_dispatch_mask(const RoutingTable& table, std::int64_t tokens);
+
+// expert_input[e, c, m] = sum_s dispatch[s, e, c] * x[s, m]  (S*E*C*M MACs).
+void einsum_dispatch(const Tensor& dispatch_mask, std::span<const float> x,
+                     std::span<float> expert_input, std::int64_t tokens,
+                     std::int64_t experts, std::int64_t capacity,
+                     std::int64_t hidden);
+
+// y[s, m] = sum_{e,c} combine[s, e, c] * expert_output[e, c, m]
+// where combine = dispatch * gate_weight (S*E*C*M MACs).
+void einsum_combine(const Tensor& dispatch_mask, const GatingOutput& gating,
+                    std::span<const float> expert_output, std::span<float> y,
+                    std::int64_t tokens, std::int64_t experts,
+                    std::int64_t capacity, std::int64_t hidden);
+
+// ---- Load-balance diagnostics (serving observability) ----
+
+struct ExpertLoadStats {
+  std::vector<std::int64_t> tokens_per_expert;
+  std::int64_t busiest = 0;   // max tokens routed to one expert
+  std::int64_t idle = 0;      // experts with zero tokens
+  // Coefficient of variation of the per-expert load (0 = perfectly even);
+  // the standard imbalance diagnostic for MoE serving.
+  double imbalance = 0;
+};
+
+ExpertLoadStats expert_load_stats(const GatingOutput& gating,
+                                  std::int64_t experts);
+
+}  // namespace dsinfer::moe

@@ -1,0 +1,135 @@
+#include "moe/moe_layer.h"
+
+#include <stdexcept>
+#include <vector>
+
+#include "kernels/elementwise.h"
+#include "kernels/gemm.h"
+
+namespace dsinfer::moe {
+
+void ExpertFFN::init_random(Rng& rng, std::int64_t hidden, std::int64_t ffn) {
+  const float ws = 0.05f;
+  w1.reshape({ffn, hidden});
+  rng.fill_normal(w1.span(), 0.0f, ws);
+  b1.reshape({ffn});
+  rng.fill_normal(b1.span(), 0.0f, 0.01f);
+  w2.reshape({hidden, ffn});
+  rng.fill_normal(w2.span(), 0.0f, ws);
+  b2.reshape({hidden});
+  b2.zero();
+}
+
+void ExpertFFN::forward(std::span<const float> x, std::span<float> y,
+                        std::int64_t rows) const {
+  const std::int64_t hidden = w1.shape()[1];
+  const std::int64_t ffn = w1.shape()[0];
+  std::vector<float> mid(static_cast<std::size_t>(rows * ffn));
+  kernels::linear_blocked(x, w1.span(), {}, mid, rows, hidden, ffn);
+  kernels::bias_gelu(mid, b1.span(), mid, rows, ffn);
+  kernels::linear_blocked(mid, w2.span(), b2.span(), y, rows, ffn, hidden);
+}
+
+void MoELayerWeights::init_random(Rng& rng, std::int64_t hidden_dim,
+                                  std::int64_t ffn_dim,
+                                  std::int64_t experts_count) {
+  hidden = hidden_dim;
+  ffn = ffn_dim;
+  num_experts = experts_count;
+  w_gate.reshape({num_experts, hidden});
+  rng.fill_normal(w_gate.span(), 0.0f, 0.1f);
+  experts.resize(static_cast<std::size_t>(num_experts));
+  for (auto& e : experts) e.init_random(rng, hidden, ffn);
+}
+
+std::size_t MoELayerWeights::param_count() const {
+  const std::size_t per_expert =
+      static_cast<std::size_t>(ffn * hidden + ffn + hidden * ffn + hidden);
+  return static_cast<std::size_t>(num_experts * hidden) +
+         static_cast<std::size_t>(num_experts) * per_expert;
+}
+
+namespace {
+
+struct Routed {
+  GatingOutput gating;
+  RoutingTable table;
+};
+
+Routed route(const MoELayerWeights& w, std::span<const float> x,
+             std::int64_t tokens, double capacity_factor) {
+  std::vector<float> logits(
+      static_cast<std::size_t>(tokens * w.num_experts));
+  kernels::linear_blocked(x, w.w_gate.span(), {}, logits, tokens, w.hidden,
+                          w.num_experts);
+  Routed r;
+  r.gating = top1_gating(logits, tokens, w.num_experts);
+  const std::int64_t cap =
+      expert_capacity(tokens, w.num_experts, capacity_factor);
+  r.table = build_routing_table(r.gating, w.num_experts, cap);
+  return r;
+}
+
+void run_experts(const MoELayerWeights& w, std::span<const float> expert_input,
+                 std::span<float> expert_output, std::int64_t capacity) {
+  for (std::int64_t e = 0; e < w.num_experts; ++e) {
+    const auto off = static_cast<std::size_t>(e * capacity * w.hidden);
+    w.experts[static_cast<std::size_t>(e)].forward(
+        expert_input.subspan(off,
+                             static_cast<std::size_t>(capacity * w.hidden)),
+        expert_output.subspan(off,
+                              static_cast<std::size_t>(capacity * w.hidden)),
+        capacity);
+  }
+}
+
+MoEForwardStats stats_of(const Routed& r, std::int64_t tokens) {
+  MoEForwardStats s;
+  s.tokens = tokens;
+  s.capacity = r.table.capacity;
+  s.dropped = tokens - r.table.tokens_routed();
+  return s;
+}
+
+}  // namespace
+
+MoEForwardStats forward_optimized(const MoELayerWeights& w,
+                                  std::span<const float> x, std::span<float> y,
+                                  std::int64_t tokens,
+                                  double capacity_factor) {
+  if (x.size() < static_cast<std::size_t>(tokens * w.hidden) ||
+      y.size() < static_cast<std::size_t>(tokens * w.hidden)) {
+    throw std::invalid_argument("moe forward: span too small");
+  }
+  Routed r = route(w, x, tokens, capacity_factor);
+  const std::int64_t cap = r.table.capacity;
+  std::vector<float> ein(
+      static_cast<std::size_t>(w.num_experts * cap * w.hidden));
+  std::vector<float> eout(ein.size());
+  scatter_to_experts(x, r.table, ein, w.hidden);
+  run_experts(w, ein, eout, cap);
+  gather_from_experts(eout, r.table, r.gating, y, tokens, w.hidden);
+  return stats_of(r, tokens);
+}
+
+MoEForwardStats forward_baseline(const MoELayerWeights& w,
+                                 std::span<const float> x, std::span<float> y,
+                                 std::int64_t tokens, double capacity_factor) {
+  if (x.size() < static_cast<std::size_t>(tokens * w.hidden) ||
+      y.size() < static_cast<std::size_t>(tokens * w.hidden)) {
+    throw std::invalid_argument("moe forward: span too small");
+  }
+  Routed r = route(w, x, tokens, capacity_factor);
+  const std::int64_t cap = r.table.capacity;
+  const Tensor mask = build_dispatch_mask(r.table, tokens);
+  std::vector<float> ein(
+      static_cast<std::size_t>(w.num_experts * cap * w.hidden));
+  std::vector<float> eout(ein.size());
+  einsum_dispatch(mask, x, ein, tokens, w.num_experts, cap, w.hidden);
+  run_experts(w, ein, eout, cap);
+  einsum_combine(mask, r.gating, eout, y, tokens, w.num_experts, cap,
+                 w.hidden);
+  return stats_of(r, tokens);
+}
+
+}  // namespace dsinfer::moe

@@ -1,0 +1,57 @@
+// Position-wise MoE feed-forward layer: a gate GeMM, top-1 routing, and E
+// expert FFNs. `forward_optimized` uses the table-based data-layout
+// transforms; `forward_baseline` uses the one-hot sparse-einsum path. Both
+// compute the identical function (tests assert it); only their cost differs
+// — by the S*E*M*c_e vs S*M*c_e factor of paper Sec. V.C.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "kernels/tensor.h"
+#include "moe/gating.h"
+#include "util/rng.h"
+
+namespace dsinfer::moe {
+
+// One expert: a two-layer GELU FFN identical in shape to the dense block.
+struct ExpertFFN {
+  Tensor w1, b1;  // [ffn, hidden]
+  Tensor w2, b2;  // [hidden, ffn]
+  void init_random(Rng& rng, std::int64_t hidden, std::int64_t ffn);
+  // y[rows, hidden] = W2 gelu(W1 x + b1) + b2 over `rows` token rows.
+  void forward(std::span<const float> x, std::span<float> y,
+               std::int64_t rows) const;
+};
+
+struct MoELayerWeights {
+  std::int64_t hidden = 0;
+  std::int64_t ffn = 0;
+  std::int64_t num_experts = 0;
+  Tensor w_gate;  // [experts, hidden]
+  std::vector<ExpertFFN> experts;
+
+  void init_random(Rng& rng, std::int64_t hidden_dim, std::int64_t ffn_dim,
+                   std::int64_t experts_count);
+  std::size_t param_count() const;
+};
+
+struct MoEForwardStats {
+  std::int64_t tokens = 0;
+  std::int64_t dropped = 0;  // capacity overflow
+  std::int64_t capacity = 0;
+};
+
+// Computes the MoE FFN output y[S, H] for x[S, H] (no residual; the caller
+// adds it, matching the dense layer structure).
+MoEForwardStats forward_optimized(const MoELayerWeights& w,
+                                  std::span<const float> x, std::span<float> y,
+                                  std::int64_t tokens,
+                                  double capacity_factor = 1.25);
+
+MoEForwardStats forward_baseline(const MoELayerWeights& w,
+                                 std::span<const float> x, std::span<float> y,
+                                 std::int64_t tokens,
+                                 double capacity_factor = 1.25);
+
+}  // namespace dsinfer::moe

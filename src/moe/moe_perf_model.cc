@@ -1,0 +1,173 @@
+#include "moe/moe_perf_model.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "comm/cost_model.h"
+
+namespace dsinfer::moe {
+
+using model::Dtype;
+
+MoEEngineConfig MoEEngineConfig::deepspeed() {
+  MoEEngineConfig e;
+  e.name = "DeepSpeed-MoE";
+  e.pcc = true;
+  e.optimized_kernels = true;
+  e.use_expert_slicing = true;
+  e.dense = perf::EngineModelConfig::deepspeed_fp16();
+  return e;
+}
+
+MoEEngineConfig MoEEngineConfig::pytorch_baseline() {
+  MoEEngineConfig e;
+  e.name = "PyTorch-MoE";
+  e.pcc = false;
+  e.optimized_kernels = false;
+  e.use_expert_slicing = false;
+  e.dense = perf::EngineModelConfig::pytorch();
+  return e;
+}
+
+MoETokenLatency moe_token_latency(const model::MoEModelConfig& m,
+                                  const MoEEngineConfig& e,
+                                  const hw::ClusterSpec& cluster,
+                                  std::int64_t gpus, std::int64_t batch,
+                                  std::int64_t kv_len) {
+  if (gpus < 1 || gpus > cluster.total_gpus()) {
+    throw std::invalid_argument("moe_token_latency: bad gpu count");
+  }
+  const hw::GpuSpec& gpu = cluster.node.gpu;
+  const std::int64_t tp =
+      std::min<std::int64_t>(m.tensor_parallel, gpus);
+  const std::int64_t ep = std::min<std::int64_t>(m.experts, gpus / tp);
+  if (ep < 1) throw std::invalid_argument("moe_token_latency: gpus < tp");
+  const std::int64_t experts_per_gpu =
+      std::max<std::int64_t>(1, m.experts / ep);
+  const std::int64_t es =
+      e.use_expert_slicing ? std::max<std::int64_t>(1, m.expert_slicing) : 1;
+
+  const double S = static_cast<double>(batch);  // one token per sequence
+  const double H = static_cast<double>(m.hidden);
+  const double act_b = 2.0;  // fp16 activations
+  constexpr double kT16 = 1e12;
+
+  // The all-to-all spans nodes once ep exceeds one node.
+  const hw::LinkSpec a2a_link = (ep * tp > cluster.node.gpus_per_node &&
+                                 cluster.nodes > 1)
+                                    ? cluster.ib_per_gpu
+                                    : cluster.node.nvlink;
+
+  MoETokenLatency out;
+
+  // ---- Dense part: every layer's attention + QKV/out GeMMs, plus the
+  // dense FFN on non-MoE layers, under tp-way slicing. ----
+  {
+    const std::int64_t rows = batch;
+    const std::int64_t hs = m.hidden / tp;
+    double per_layer = 0;
+    per_layer += perf::gemm_time_s(e.dense, gpu, rows, m.hidden, 3 * hs);
+    per_layer += perf::gemm_time_s(e.dense, gpu, rows, hs, m.hidden);
+    per_layer += perf::attention_time_s(e.dense, gpu, batch, 1, kv_len, hs);
+    per_layer += perf::elementwise_time_s(e.dense, gpu, rows, m.hidden);
+    per_layer += e.dense.launches_per_layer * perf::launch_overhead_s(e.dense, gpu);
+    if (tp > 1) {
+      per_layer += 2.0 * comm::allreduce_time_s(S * H * act_b, tp,
+                                                cluster.node.nvlink);
+    }
+    double ffn_layer = perf::gemm_time_s(e.dense, gpu, rows, m.hidden,
+                                         4 * m.hidden / tp) +
+                       perf::gemm_time_s(e.dense, gpu, rows,
+                                         4 * m.hidden / tp, m.hidden);
+    out.dense_s = static_cast<double>(m.layers) * per_layer +
+                  static_cast<double>(m.dense_ffn_layers()) * ffn_layer;
+  }
+
+  // ---- Gating: per MoE layer. ----
+  {
+    const double E = static_cast<double>(m.experts);
+    const double ce = std::max(1.0, S / E * 1.25);
+    double per_layer;
+    if (e.optimized_kernels) {
+      // Gate GeMM + table scan + two data-layout transforms, fused into a
+      // handful of kernels; complexity S*M*ce.
+      const double ops = 2.0 * S * H * E + 2.0 * S * H * ce;
+      per_layer = ops / (0.2 * gpu.fp16_tflops * kT16) +
+                  4.0 * perf::launch_overhead_s(e.dense, gpu);
+    } else {
+      // One-hot masks + cumsum + two sparse einsums: S*E*M*ce complexity at
+      // poor efficiency, ~25 kernel dispatches (paper Sec. V.C).
+      const double ops = 2.0 * S * E * H * ce * 2.0 + 2.0 * S * H * E;
+      per_layer = ops / (0.05 * gpu.fp16_tflops * kT16) +
+                  25.0 * perf::launch_overhead_s(e.dense, gpu);
+    }
+    out.gate_s = static_cast<double>(m.moe_layers()) * per_layer;
+  }
+
+  // ---- All-to-all: dispatch + combine per MoE layer. ----
+  {
+    const double bytes_per_rank = S * H * act_b;
+    const std::int64_t p = ep * tp;
+    const std::int64_t gpn = cluster.node.gpus_per_node;
+    // Hierarchical (NCCL-grouped) all-to-all over `ranks` devices.
+    auto hier = [&](double bytes, std::int64_t ranks) {
+      const std::int64_t span_nodes =
+          cluster.nodes > 1 ? std::max<std::int64_t>(1, ranks / gpn) : 1;
+      return comm::hierarchical_alltoall_time_s(
+          bytes, std::min(ranks, gpn), span_nodes, cluster.node.nvlink,
+          cluster.ib_per_gpu);
+    };
+    double one;
+    if (e.pcc && tp > 1) {
+      // PCC (Sec. V.B): the exchange runs only among the p/L ranks sharing a
+      // tensor-slicing rank; the combine direction adds an all-gather over
+      // the L tensor ranks (intra-node NVLink).
+      const std::int64_t group = p / tp;
+      one = 2.0 * hier(bytes_per_rank, group) +
+            comm::allgather_time_s(bytes_per_rank, tp, cluster.node.nvlink);
+    } else if (e.optimized_kernels) {
+      // DeepSpeed without tensor slicing still uses the grouped a2a.
+      one = 2.0 * hier(bytes_per_rank, p);
+    } else {
+      // Framework baseline: naive flat exchange, one message per peer, plus
+      // per-call launch/copy overhead.
+      const double flat = comm::alltoall_time_s(bytes_per_rank, p, a2a_link);
+      one = 2.0 * (flat + 4.0 * perf::launch_overhead_s(e.dense, gpu));
+    }
+    out.alltoall_s = static_cast<double>(m.moe_layers()) * one;
+  }
+
+  // ---- Expert compute: stream the active local experts' weights. ----
+  {
+    const double expert_bytes =
+        static_cast<double>(m.expert_params()) *
+        static_cast<double>(model::dtype_bytes(Dtype::kFP16)) /
+        static_cast<double>(es);
+    // With top-1 and small batch, the straggler GPU runs at least one and at
+    // most min(experts_per_gpu, batch) experts per MoE layer.
+    const double active = std::min<double>(
+        static_cast<double>(experts_per_gpu), std::max(1.0, S / static_cast<double>(ep)));
+    const double bw_eff = e.optimized_kernels ? 0.85 : 0.55;
+    const double per_layer =
+        active * expert_bytes / (gpu.mem_bw_gbps * 1e9 * bw_eff);
+    out.expert_s = static_cast<double>(m.moe_layers()) * per_layer;
+  }
+
+  out.total_s = out.dense_s + out.gate_s + out.alltoall_s + out.expert_s;
+  out.tokens_per_s = S / std::max(out.total_s, 1e-12);
+  out.throughput_per_gpu = out.tokens_per_s / static_cast<double>(gpus);
+
+  // Fig. 11 metric: bytes of parameters the fleet streams per token step
+  // divided by the step latency.
+  const double streamed_bytes =
+      static_cast<double>(gpus) *
+      (static_cast<double>(m.expert_params()) * 2.0 *
+           static_cast<double>(m.moe_layers()) /
+           static_cast<double>(std::max<std::int64_t>(1, es)) +
+       static_cast<double>(m.base_dense_params()) * 2.0 /
+           static_cast<double>(tp * ep));
+  out.aggregate_bw_tbps = streamed_bytes / std::max(out.total_s, 1e-12) / 1e12;
+  return out;
+}
+
+}  // namespace dsinfer::moe

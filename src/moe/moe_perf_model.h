@@ -1,0 +1,51 @@
+// Performance model for massive-scale sparse (MoE) inference
+// (paper Sec. V, Figs. 7 and 11). Per-token latency decomposes into the
+// dense transformer part (tensor-parallel), the gating function, the
+// expert-parallel all-to-alls, and streaming expert weights.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "hw/topology.h"
+#include "model/model_config.h"
+#include "perf/kernel_model.h"
+
+namespace dsinfer::moe {
+
+struct MoEEngineConfig {
+  std::string name;
+  bool pcc = true;                // parallelism-coordinated all-to-all
+  bool optimized_kernels = true;  // table routing vs sparse one-hot einsums
+  bool use_expert_slicing = true; // Table II ES column
+  perf::EngineModelConfig dense;  // kernel model for the dense components
+
+  // DeepSpeed-MoE: PCC + table-based MoE kernels + expert slicing.
+  static MoEEngineConfig deepspeed();
+  // Distributed PyTorch baseline (paper Sec. VII-A.1): sparse-einsum gating,
+  // flat all-to-all across all ranks, framework dense kernels.
+  static MoEEngineConfig pytorch_baseline();
+};
+
+struct MoETokenLatency {
+  double dense_s = 0;     // attention + non-expert GeMMs + collectives
+  double gate_s = 0;      // gating function (all MoE layers)
+  double alltoall_s = 0;  // dispatch + combine collectives
+  double expert_s = 0;    // expert FFN weight streaming + compute
+  double total_s = 0;
+  double tokens_per_s = 0;       // batch tokens per second
+  double throughput_per_gpu = 0; // tokens/s/GPU
+  // Achieved aggregate HBM bandwidth across all GPUs (Fig. 11's metric).
+  double aggregate_bw_tbps = 0;
+};
+
+// Latency of generating one token for `batch` sequences with `gpus` GPUs.
+// Expert parallelism degree = gpus / tensor_parallel (capped at the expert
+// count); kv_len is the attention history length.
+MoETokenLatency moe_token_latency(const model::MoEModelConfig& m,
+                                  const MoEEngineConfig& e,
+                                  const hw::ClusterSpec& cluster,
+                                  std::int64_t gpus, std::int64_t batch,
+                                  std::int64_t kv_len);
+
+}  // namespace dsinfer::moe

@@ -1,0 +1,287 @@
+#include "moe/moe_transformer.h"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+#include "kernels/attention.h"
+#include "kernels/elementwise.h"
+#include "kernels/gemm.h"
+
+namespace dsinfer::moe {
+
+void MoeBlockWeights::init_random(Rng& rng, std::int64_t hidden_dim,
+                                  std::int64_t num_heads, std::int64_t ffn_dim,
+                                  std::int64_t experts, bool moe_block) {
+  if (hidden_dim % num_heads != 0) {
+    throw std::invalid_argument("hidden must be divisible by heads");
+  }
+  hidden = hidden_dim;
+  heads = num_heads;
+  ffn = ffn_dim;
+  is_moe = moe_block;
+  const float ws = 0.02f;
+
+  auto ones = [&](Tensor& t) {
+    t.reshape({hidden});
+    t.fill(1.0f);
+  };
+  auto zeros = [&](Tensor& t) {
+    t.reshape({hidden});
+    t.zero();
+  };
+  ones(ln1_g);
+  zeros(ln1_b);
+  ones(ln2_g);
+  zeros(ln2_b);
+
+  w_qkv.reshape({3 * hidden, hidden});
+  rng.fill_normal(w_qkv.span(), 0.0f, ws);
+  b_qkv.reshape({3 * hidden});
+  b_qkv.zero();
+  w_attn_out.reshape({hidden, hidden});
+  rng.fill_normal(w_attn_out.span(), 0.0f, ws);
+  b_attn_out.reshape({hidden});
+  b_attn_out.zero();
+
+  if (is_moe) {
+    moe.init_random(rng, hidden, ffn, experts);
+  } else {
+    w_fc1.reshape({ffn, hidden});
+    rng.fill_normal(w_fc1.span(), 0.0f, ws);
+    b_fc1.reshape({ffn});
+    rng.fill_normal(b_fc1.span(), 0.0f, 0.01f);
+    w_fc2.reshape({hidden, ffn});
+    rng.fill_normal(w_fc2.span(), 0.0f, ws);
+    b_fc2.reshape({hidden});
+    b_fc2.zero();
+  }
+}
+
+std::size_t MoeBlockWeights::param_count() const {
+  std::size_t n = static_cast<std::size_t>(
+      3 * hidden * hidden + 3 * hidden + hidden * hidden + hidden +
+      4 * hidden);
+  if (is_moe) {
+    n += moe.param_count();
+  } else {
+    n += static_cast<std::size_t>(ffn * hidden + ffn + hidden * ffn + hidden);
+  }
+  return n;
+}
+
+void MoeBlockScratch::ensure(std::int64_t tokens, std::int64_t hidden,
+                             std::int64_t ffn) {
+  if (normed.numel() >= tokens * hidden && ffn1.numel() >= tokens * ffn) return;
+  normed.reshape({tokens, hidden});
+  qkv.reshape({tokens, 3 * hidden});
+  q.reshape({tokens, hidden});
+  k.reshape({tokens, hidden});
+  v.reshape({tokens, hidden});
+  attn.reshape({tokens, hidden});
+  proj.reshape({tokens, hidden});
+  ffn1.reshape({tokens, ffn});
+  act.reshape({tokens, ffn});
+  ffn2.reshape({tokens, hidden});
+}
+
+MoEForwardStats moe_block_forward(const MoeBlockWeights& w,
+                                  kernels::KVCache& cache, std::span<float> x,
+                                  std::int64_t batch, std::int64_t q_len,
+                                  MoeRouting routing, double capacity_factor,
+                                  MoeBlockScratch& scratch) {
+  const std::int64_t tokens = batch * q_len;
+  const std::int64_t H = w.hidden;
+  const std::int64_t F = w.ffn;
+  if (x.size() < static_cast<std::size_t>(tokens * H)) {
+    throw std::invalid_argument("moe_block_forward: x span too small");
+  }
+  scratch.ensure(tokens, H, F);
+
+  // ---- Attention sub-block (identical to the dense layer). ----
+  kernels::layernorm(x, w.ln1_g.span(), w.ln1_b.span(), scratch.normed.span(),
+                     tokens, H);
+  kernels::linear_blocked(scratch.normed.span(), w.w_qkv.span(),
+                          w.b_qkv.span(), scratch.qkv.span(), tokens, H,
+                          3 * H);
+  for (std::int64_t t = 0; t < tokens; ++t) {
+    const float* src = scratch.qkv.data() + t * 3 * H;
+    std::memcpy(scratch.q.data() + t * H, src,
+                static_cast<std::size_t>(H) * sizeof(float));
+    std::memcpy(scratch.k.data() + t * H, src + H,
+                static_cast<std::size_t>(H) * sizeof(float));
+    std::memcpy(scratch.v.data() + t * H, src + 2 * H,
+                static_cast<std::size_t>(H) * sizeof(float));
+  }
+  cache.append(scratch.k.span(), scratch.v.span(), q_len);
+  kernels::attention_fused(scratch.q.span(), cache, scratch.attn.span(),
+                           q_len);
+  kernels::linear_blocked(scratch.attn.span(), w.w_attn_out.span(), {},
+                          scratch.proj.span(), tokens, H, H);
+  kernels::bias_residual(scratch.proj.span(), w.b_attn_out.span(), x, x,
+                         tokens, H);
+
+  // ---- FFN sub-block: dense or sparse. ----
+  kernels::layernorm(x, w.ln2_g.span(), w.ln2_b.span(), scratch.normed.span(),
+                     tokens, H);
+  MoEForwardStats stats;
+  if (w.is_moe) {
+    stats = routing == MoeRouting::kOptimizedTables
+                ? forward_optimized(w.moe, scratch.normed.span(),
+                                    scratch.ffn2.span(), tokens,
+                                    capacity_factor)
+                : forward_baseline(w.moe, scratch.normed.span(),
+                                   scratch.ffn2.span(), tokens,
+                                   capacity_factor);
+    kernels::bias_residual(scratch.ffn2.span(), {}, x, x, tokens, H);
+  } else {
+    kernels::linear_blocked(scratch.normed.span(), w.w_fc1.span(), {},
+                            scratch.ffn1.span(), tokens, H, F);
+    kernels::bias_gelu(scratch.ffn1.span(), w.b_fc1.span(),
+                       scratch.act.span(), tokens, F);
+    kernels::linear_blocked(scratch.act.span(), w.w_fc2.span(), {},
+                            scratch.ffn2.span(), tokens, F, H);
+    kernels::bias_residual(scratch.ffn2.span(), w.b_fc2.span(), x, x, tokens,
+                           H);
+    stats.tokens = tokens;
+  }
+  return stats;
+}
+
+MoeGptModel::MoeGptModel(const MoeGptConfig& cfg, std::uint64_t seed)
+    : cfg_(cfg) {
+  if (cfg.layers < 1 || cfg.moe_every < 1) {
+    throw std::invalid_argument("MoeGptConfig: layers/moe_every >= 1");
+  }
+  Rng rng(seed);
+  tok_embed_.reshape({cfg.vocab, cfg.hidden});
+  rng.fill_normal(tok_embed_.span(), 0.0f, 0.05f);
+  pos_embed_.reshape({cfg.max_seq, cfg.hidden});
+  rng.fill_normal(pos_embed_.span(), 0.0f, 0.02f);
+  ln_f_g_.reshape({cfg.hidden});
+  ln_f_g_.fill(1.0f);
+  ln_f_b_.reshape({cfg.hidden});
+  ln_f_b_.zero();
+
+  blocks_.resize(static_cast<std::size_t>(cfg.layers));
+  for (std::int64_t l = 0; l < cfg.layers; ++l) {
+    // Blocks 1, moe_every+1, ... are MoE (the paper alternates dense/MoE).
+    const bool is_moe = (l % cfg.moe_every) == cfg.moe_every - 1;
+    blocks_[static_cast<std::size_t>(l)].init_random(
+        rng, cfg.hidden, cfg.heads, 4 * cfg.hidden, cfg.experts, is_moe);
+  }
+}
+
+std::int64_t MoeGptModel::moe_blocks() const {
+  std::int64_t n = 0;
+  for (const auto& b : blocks_) n += b.is_moe;
+  return n;
+}
+
+std::size_t MoeGptModel::param_count() const {
+  std::size_t n = static_cast<std::size_t>(tok_embed_.numel() +
+                                           pos_embed_.numel() + 2 * cfg_.hidden);
+  for (const auto& b : blocks_) n += b.param_count();
+  return n;
+}
+
+void MoeGptModel::embed(std::span<const std::int32_t> toks,
+                        std::span<const std::int32_t> poss,
+                        std::span<float> x) const {
+  const std::int64_t H = cfg_.hidden;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const std::int32_t t = toks[i];
+    const std::int32_t p = poss[i];
+    if (t < 0 || t >= cfg_.vocab || p < 0 || p >= cfg_.max_seq) {
+      throw std::out_of_range("MoeGptModel::embed: token/position range");
+    }
+    const float* te = tok_embed_.data() + static_cast<std::int64_t>(t) * H;
+    const float* pe = pos_embed_.data() + static_cast<std::int64_t>(p) * H;
+    float* xe = x.data() + static_cast<std::int64_t>(i) * H;
+    for (std::int64_t d = 0; d < H; ++d) xe[d] = te[d] + pe[d];
+  }
+}
+
+MoeGptModel::GenerateResult MoeGptModel::generate(
+    const std::vector<std::vector<std::int32_t>>& prompts,
+    std::int64_t new_tokens, MoeRouting routing) {
+  if (prompts.empty() || new_tokens < 1) {
+    throw std::invalid_argument("MoeGptModel::generate: bad arguments");
+  }
+  const std::int64_t B = static_cast<std::int64_t>(prompts.size());
+  const std::int64_t P = static_cast<std::int64_t>(prompts.front().size());
+  for (const auto& p : prompts) {
+    if (static_cast<std::int64_t>(p.size()) != P || p.empty()) {
+      throw std::invalid_argument("MoeGptModel::generate: ragged prompts");
+    }
+  }
+  const std::int64_t total_len = P + new_tokens;
+  if (total_len > cfg_.max_seq) {
+    throw std::invalid_argument("MoeGptModel::generate: exceeds max_seq");
+  }
+  const std::int64_t H = cfg_.hidden;
+  const std::int64_t V = cfg_.vocab;
+
+  GenerateResult res;
+  res.tokens = prompts;
+
+  std::vector<kernels::KVCache> caches;
+  caches.reserve(blocks_.size());
+  for (std::size_t l = 0; l < blocks_.size(); ++l) {
+    caches.emplace_back(B, cfg_.heads, cfg_.hidden / cfg_.heads, total_len);
+  }
+  MoeBlockScratch scratch;
+
+  auto run_blocks = [&](std::span<float> x, std::int64_t q_len) {
+    for (std::size_t l = 0; l < blocks_.size(); ++l) {
+      const auto stats =
+          moe_block_forward(blocks_[l], caches[l], x, B, q_len, routing,
+                            cfg_.capacity_factor, scratch);
+      if (blocks_[l].is_moe) res.dropped_tokens += stats.dropped;
+    }
+  };
+
+  // Prompt phase.
+  std::vector<std::int32_t> toks(static_cast<std::size_t>(B * P));
+  std::vector<std::int32_t> poss(toks.size());
+  for (std::int64_t b = 0; b < B; ++b) {
+    for (std::int64_t t = 0; t < P; ++t) {
+      toks[static_cast<std::size_t>(b * P + t)] =
+          prompts[static_cast<std::size_t>(b)][static_cast<std::size_t>(t)];
+      poss[static_cast<std::size_t>(b * P + t)] = static_cast<std::int32_t>(t);
+    }
+  }
+  std::vector<float> x(static_cast<std::size_t>(B * P * H));
+  embed(toks, poss, x);
+  run_blocks(x, P);
+
+  std::vector<float> last(static_cast<std::size_t>(B * H));
+  for (std::int64_t b = 0; b < B; ++b) {
+    std::memcpy(last.data() + b * H, x.data() + ((b * P) + P - 1) * H,
+                static_cast<std::size_t>(H) * sizeof(float));
+  }
+
+  std::vector<float> normed(last.size());
+  std::vector<float> logits(static_cast<std::size_t>(B * V));
+  std::vector<std::int32_t> new_toks(static_cast<std::size_t>(B));
+  std::vector<std::int32_t> new_poss(static_cast<std::size_t>(B));
+  for (std::int64_t step = 0; step < new_tokens; ++step) {
+    kernels::layernorm(last, ln_f_g_.span(), ln_f_b_.span(), normed, B, H);
+    kernels::linear_blocked(normed, tok_embed_.span(), {}, logits, B, H, V);
+    for (std::int64_t b = 0; b < B; ++b) {
+      const float* row = logits.data() + b * V;
+      const std::int32_t tok = static_cast<std::int32_t>(
+          std::max_element(row, row + V) - row);
+      res.tokens[static_cast<std::size_t>(b)].push_back(tok);
+      new_toks[static_cast<std::size_t>(b)] = tok;
+      new_poss[static_cast<std::size_t>(b)] =
+          static_cast<std::int32_t>(P + step);
+    }
+    if (step + 1 == new_tokens) break;
+    embed(new_toks, new_poss, std::span<float>(last));
+    run_blocks(last, 1);
+  }
+  return res;
+}
+
+}  // namespace dsinfer::moe

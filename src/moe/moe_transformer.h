@@ -1,0 +1,100 @@
+// A full sparse (MoE) GPT: the Table II architecture where every
+// `moe_every`-th transformer block swaps its dense FFN for a Position-wise
+// MoE layer (top-1 gate + E expert FFNs). This is the functional companion
+// of the moe_perf_model: it executes the real math end to end — embeddings,
+// attention with KV cache, gating, table-based dispatch, expert FFNs,
+// combine, residuals, LM head — at miniature scale.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "kernels/kv_cache.h"
+#include "kernels/tensor.h"
+#include "kernels/transformer_layer.h"
+#include "moe/moe_layer.h"
+#include "util/rng.h"
+
+namespace dsinfer::moe {
+
+// One transformer block: an attention sub-block plus either a dense FFN or
+// an MoE FFN.
+struct MoeBlockWeights {
+  std::int64_t hidden = 0;
+  std::int64_t heads = 0;
+  std::int64_t ffn = 0;
+  bool is_moe = false;
+
+  Tensor ln1_g, ln1_b, ln2_g, ln2_b;
+  Tensor w_qkv, b_qkv;            // [3*hidden, hidden]
+  Tensor w_attn_out, b_attn_out;  // [hidden, hidden]
+
+  // Dense FFN (is_moe == false).
+  Tensor w_fc1, b_fc1, w_fc2, b_fc2;
+  // Sparse FFN (is_moe == true).
+  MoELayerWeights moe;
+
+  void init_random(Rng& rng, std::int64_t hidden_dim, std::int64_t num_heads,
+                   std::int64_t ffn_dim, std::int64_t experts, bool moe_block);
+  std::size_t param_count() const;
+};
+
+struct MoeBlockScratch {
+  Tensor normed, qkv, q, k, v, attn, proj, ffn1, act, ffn2;
+  void ensure(std::int64_t tokens, std::int64_t hidden, std::int64_t ffn);
+};
+
+// Routing style for the MoE FFN sub-blocks.
+enum class MoeRouting { kOptimizedTables, kSparseEinsum };
+
+// Runs one block in place over x = [batch * q_len, hidden]; appends this
+// block's K/V to `cache`. Returns per-block MoE stats (zeros for dense
+// blocks).
+MoEForwardStats moe_block_forward(const MoeBlockWeights& w,
+                                  kernels::KVCache& cache, std::span<float> x,
+                                  std::int64_t batch, std::int64_t q_len,
+                                  MoeRouting routing, double capacity_factor,
+                                  MoeBlockScratch& scratch);
+
+// Config for a miniature sparse GPT.
+struct MoeGptConfig {
+  std::int64_t hidden = 64;
+  std::int64_t layers = 4;
+  std::int64_t heads = 4;
+  std::int64_t experts = 4;
+  std::int64_t moe_every = 2;  // blocks 1, 3, 5, ... are MoE
+  std::int64_t vocab = 256;
+  std::int64_t max_seq = 128;
+  double capacity_factor = 2.0;
+};
+
+// End-to-end sparse GPT with embeddings and a tied LM head.
+class MoeGptModel {
+ public:
+  MoeGptModel(const MoeGptConfig& cfg, std::uint64_t seed);
+
+  const MoeGptConfig& config() const { return cfg_; }
+  std::int64_t moe_blocks() const;
+  std::size_t param_count() const;
+
+  struct GenerateResult {
+    std::vector<std::vector<std::int32_t>> tokens;
+    std::int64_t dropped_tokens = 0;  // total capacity overflows observed
+  };
+
+  // Greedy generation (equal-length prompts).
+  GenerateResult generate(const std::vector<std::vector<std::int32_t>>& prompts,
+                          std::int64_t new_tokens,
+                          MoeRouting routing = MoeRouting::kOptimizedTables);
+
+ private:
+  void embed(std::span<const std::int32_t> toks,
+             std::span<const std::int32_t> poss, std::span<float> x) const;
+
+  MoeGptConfig cfg_;
+  Tensor tok_embed_, pos_embed_, ln_f_g_, ln_f_b_;
+  std::vector<MoeBlockWeights> blocks_;
+};
+
+}  // namespace dsinfer::moe

@@ -1,0 +1,143 @@
+#include "moe/tp_ep_moe.h"
+
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "kernels/elementwise.h"
+#include "kernels/gemm.h"
+
+namespace dsinfer::moe {
+
+TpEpShard TpEpShard::from_full(const MoELayerWeights& full, std::int64_t tp,
+                               std::int64_t ep, std::int64_t tp_rank,
+                               std::int64_t ep_rank) {
+  if (tp < 1 || ep < 1 || tp_rank < 0 || tp_rank >= tp || ep_rank < 0 ||
+      ep_rank >= ep) {
+    throw std::invalid_argument("TpEpShard: bad grid coordinates");
+  }
+  if (full.num_experts % ep != 0 || full.ffn % tp != 0) {
+    throw std::invalid_argument(
+        "TpEpShard: experts must divide ep and ffn must divide tp");
+  }
+  TpEpShard s;
+  s.tp = tp;
+  s.ep = ep;
+  s.tp_rank = tp_rank;
+  s.ep_rank = ep_rank;
+  s.experts_total = full.num_experts;
+  s.experts_local = full.num_experts / ep;
+  s.hidden = full.hidden;
+  s.ffn = full.ffn;
+  s.ffn_local = full.ffn / tp;
+  s.w_gate = full.w_gate.clone();
+
+  const std::int64_t H = s.hidden;
+  const std::int64_t Fl = s.ffn_local;
+  s.experts.reserve(static_cast<std::size_t>(s.experts_local));
+  for (std::int64_t e = 0; e < s.experts_local; ++e) {
+    const auto& src =
+        full.experts[static_cast<std::size_t>(ep_rank * s.experts_local + e)];
+    SlicedExpert sl;
+    // w1 row-parallel: rows [tp_rank*Fl, (tp_rank+1)*Fl).
+    sl.w1.reshape({Fl, H});
+    std::memcpy(sl.w1.data(), src.w1.data() + tp_rank * Fl * H,
+                static_cast<std::size_t>(Fl * H) * sizeof(float));
+    sl.b1.reshape({Fl});
+    std::memcpy(sl.b1.data(), src.b1.data() + tp_rank * Fl,
+                static_cast<std::size_t>(Fl) * sizeof(float));
+    // w2 column-parallel: columns [tp_rank*Fl, (tp_rank+1)*Fl).
+    sl.w2.reshape({H, Fl});
+    for (std::int64_t r = 0; r < H; ++r) {
+      std::memcpy(sl.w2.data() + r * Fl,
+                  src.w2.data() + r * s.ffn + tp_rank * Fl,
+                  static_cast<std::size_t>(Fl) * sizeof(float));
+    }
+    sl.b2 = src.b2.clone();
+    s.experts.push_back(std::move(sl));
+  }
+  return s;
+}
+
+MoEForwardStats tp_ep_moe_forward(const TpEpShard& shard,
+                                  std::span<const float> x,
+                                  std::span<float> y, std::int64_t tokens,
+                                  double capacity_factor,
+                                  comm::CommGrid& grid, std::int64_t rank) {
+  const std::int64_t H = shard.hidden;
+  const std::int64_t E = shard.experts_total;
+  const std::int64_t El = shard.experts_local;
+  const std::int64_t Fl = shard.ffn_local;
+  const std::int64_t ep = shard.ep;
+  if (x.size() < static_cast<std::size_t>(tokens * H) ||
+      y.size() < static_cast<std::size_t>(tokens * H)) {
+    throw std::invalid_argument("tp_ep_moe_forward: span too small");
+  }
+  const std::int64_t ep_local = grid.ep_rank(rank);
+  comm::Communicator& ep_comm = grid.ep_group(rank);
+  comm::Communicator& tp_comm = grid.tp_group(rank);
+  const std::int64_t tp_local = grid.tp_rank(rank);
+
+  // Gating is replicated within the tp group (identical tokens + identical
+  // gate weights => identical decisions, no communication needed).
+  std::vector<float> logits(static_cast<std::size_t>(tokens * E));
+  kernels::linear_blocked(x, shard.w_gate.span(), {}, logits, tokens, H, E);
+  GatingOutput gating = top1_gating(logits, tokens, E);
+  const std::int64_t cap = expert_capacity(tokens, E, capacity_factor);
+  RoutingTable table = build_routing_table(gating, E, cap);
+
+  // Dispatch [E, cap, H], then the PCC all-to-all: only the ep subgroup
+  // exchanges (Sec. V.B step 2); no traffic crosses tensor ranks because
+  // every tp peer holds this very same buffer.
+  std::vector<float> dispatch(static_cast<std::size_t>(E * cap * H));
+  scatter_to_experts(x, table, dispatch, H);
+  std::vector<float> incoming(dispatch.size());
+  ep_comm.all_to_all(ep_local, dispatch, incoming);
+
+  // Tensor-sliced expert FFNs over each source's capacity block, with the
+  // row/column-parallel all-reduce inside the tp group.
+  std::vector<float> processed(incoming.size());
+  std::vector<float> mid(static_cast<std::size_t>(cap * Fl));
+  std::vector<float> act(mid.size());
+  for (std::int64_t src = 0; src < ep; ++src) {
+    for (std::int64_t e = 0; e < El; ++e) {
+      const auto& ex = shard.experts[static_cast<std::size_t>(e)];
+      const auto off = static_cast<std::size_t>((src * El + e) * cap * H);
+      auto xin = std::span<const float>(incoming).subspan(
+          off, static_cast<std::size_t>(cap * H));
+      auto xout = std::span<float>(processed).subspan(
+          off, static_cast<std::size_t>(cap * H));
+      kernels::linear_blocked(xin, ex.w1.span(), {}, mid, cap, H, Fl);
+      kernels::bias_gelu(mid, ex.b1.span(), act, cap, Fl);
+      kernels::linear_blocked(act, ex.w2.span(), {}, xout, cap, Fl, H);
+    }
+  }
+  // One fused all-reduce over every expert's partial outputs, then the bias
+  // (added once, identically on every rank, after the reduction).
+  tp_comm.all_reduce_sum(tp_local, processed);
+  for (std::int64_t src = 0; src < ep; ++src) {
+    for (std::int64_t e = 0; e < El; ++e) {
+      const auto& ex = shard.experts[static_cast<std::size_t>(e)];
+      const auto off = static_cast<std::size_t>((src * El + e) * cap * H);
+      for (std::int64_t c = 0; c < cap; ++c) {
+        float* row = processed.data() + off + static_cast<std::size_t>(c * H);
+        for (std::int64_t d = 0; d < H; ++d) row[d] += ex.b2.at(d);
+      }
+    }
+  }
+
+  // PCC step 3/4: all-to-all back within the ep subgroup; the result is
+  // already replicated across tensor ranks (each computed the same reduced
+  // values), so no extra all-gather is needed in the functional engine.
+  std::vector<float> returned(processed.size());
+  ep_comm.all_to_all(ep_local, processed, returned);
+  gather_from_experts(returned, table, gating, y, tokens, H);
+
+  MoEForwardStats s;
+  s.tokens = tokens;
+  s.capacity = cap;
+  s.dropped = tokens - table.tokens_routed();
+  return s;
+}
+
+}  // namespace dsinfer::moe

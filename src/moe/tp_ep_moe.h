@@ -1,0 +1,57 @@
+// Combined tensor + expert parallelism for an MoE layer — the paper's Fig. 4
+// orchestration with expert-slicing (Table II "Expert-slicing" column) and
+// the PCC all-to-all (Sec. V.B), executed functionally over a CommGrid.
+//
+// Layout for world = tp x ep ranks:
+//  * Tokens: each expert-parallel group has its own token shard (data
+//    parallelism across ep groups); within a tp group the tokens are
+//    REPLICATED — the invariant PCC exploits.
+//  * Experts: partitioned across ep_rank; each expert's FFN is additionally
+//    tensor-sliced across tp_rank (w1 row-sharded, w2 column-sharded, with
+//    an all-reduce inside the tp group after w2).
+//  * Communication: the dispatch/combine all-to-alls run ONLY inside the
+//    caller's ep subgroup (size ep instead of tp*ep) — this is the
+//    functional counterpart of the O(p) -> O(p/L) latency reduction.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "comm/comm_grid.h"
+#include "moe/moe_layer.h"
+
+namespace dsinfer::moe {
+
+// Rank (tp_rank, ep_rank)'s slice: experts [ep_rank*E/ep, ...), each sliced
+// to ffn/tp rows.
+struct TpEpShard {
+  std::int64_t tp = 1, ep = 1;
+  std::int64_t tp_rank = 0, ep_rank = 0;
+  std::int64_t experts_total = 0, experts_local = 0;
+  std::int64_t hidden = 0, ffn = 0, ffn_local = 0;
+
+  Tensor w_gate;  // replicated
+
+  struct SlicedExpert {
+    Tensor w1, b1;  // [ffn_local, hidden], [ffn_local]
+    Tensor w2;      // [hidden, ffn_local]
+    Tensor b2;      // [hidden], added once after the tp all-reduce
+  };
+  std::vector<SlicedExpert> experts;
+
+  static TpEpShard from_full(const MoELayerWeights& full, std::int64_t tp,
+                             std::int64_t ep, std::int64_t tp_rank,
+                             std::int64_t ep_rank);
+};
+
+// Runs the MoE FFN for this rank's ep-group token shard x[tokens, hidden]
+// (identical across the tp ranks of the group). All world ranks must call
+// collectively with equal `tokens` and `capacity_factor`. On return every
+// rank of an ep group holds the identical y.
+MoEForwardStats tp_ep_moe_forward(const TpEpShard& shard,
+                                  std::span<const float> x,
+                                  std::span<float> y, std::int64_t tokens,
+                                  double capacity_factor,
+                                  comm::CommGrid& grid, std::int64_t rank);
+
+}  // namespace dsinfer::moe

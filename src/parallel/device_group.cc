@@ -1,0 +1,31 @@
+#include "parallel/device_group.h"
+
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dsinfer::parallel {
+
+DeviceGroup::DeviceGroup(std::int64_t num_devices) : comm_(num_devices) {}
+
+void DeviceGroup::run(
+    const std::function<void(std::int64_t, comm::Communicator&)>& body) {
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(size()));
+  std::exception_ptr first_error;
+  std::mutex err_mu;
+  for (std::int64_t r = 0; r < size(); ++r) {
+    threads.emplace_back([&, r] {
+      try {
+        body(r, comm_);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(err_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace dsinfer::parallel

@@ -1,0 +1,32 @@
+// Virtual-device runtime: each "GPU" is a thread, each group shares one
+// Communicator. This is the functional substitute for a multi-GPU NCCL
+// process group — the engine code written against (rank, Communicator) is
+// identical in structure to a CUDA/NCCL rank function.
+#pragma once
+
+#include <cstdint>
+#include <exception>
+#include <functional>
+
+#include "comm/collectives.h"
+
+namespace dsinfer::parallel {
+
+class DeviceGroup {
+ public:
+  explicit DeviceGroup(std::int64_t num_devices);
+
+  std::int64_t size() const { return comm_.size(); }
+  comm::Communicator& communicator() { return comm_; }
+
+  // Runs `body(rank, comm)` on `size()` threads and joins. If any rank
+  // throws, the first exception is rethrown on the caller after all ranks
+  // finish (a rank that throws still participates in no further collectives,
+  // so bodies must not interleave throws with collective calls).
+  void run(const std::function<void(std::int64_t, comm::Communicator&)>& body);
+
+ private:
+  comm::Communicator comm_;
+};
+
+}  // namespace dsinfer::parallel

@@ -1,0 +1,75 @@
+#include "parallel/pipeline_partition.h"
+
+#include <stdexcept>
+
+namespace dsinfer::parallel {
+
+std::vector<std::pair<std::int64_t, std::int64_t>> partition_layers(
+    std::int64_t layers, std::int64_t stages) {
+  if (stages < 1 || layers < stages) {
+    throw std::invalid_argument("partition_layers: need layers >= stages >= 1");
+  }
+  std::vector<std::pair<std::int64_t, std::int64_t>> parts;
+  parts.reserve(static_cast<std::size_t>(stages));
+  const std::int64_t base = layers / stages;
+  const std::int64_t extra = layers % stages;
+  std::int64_t begin = 0;
+  for (std::int64_t s = 0; s < stages; ++s) {
+    const std::int64_t len = base + (s < extra ? 1 : 0);
+    parts.emplace_back(begin, begin + len);
+    begin += len;
+  }
+  return parts;
+}
+
+StageMemory stage_memory(const model::DenseModelConfig& m,
+                         std::int64_t stage_layers, std::int64_t tp,
+                         std::int64_t batch, std::int64_t seq,
+                         model::Dtype dtype, bool kv_offload) {
+  StageMemory mem;
+  mem.weight_gb = static_cast<double>(stage_layers) * m.layer_param_bytes(dtype) /
+                  static_cast<double>(tp) / 1e9;
+  if (!kv_offload) {
+    // This stage caches only its own layers' K/V; tensor slicing splits the
+    // head dimension across the tp GPUs.
+    mem.kv_cache_gb = m.kv_cache_bytes(batch, seq) *
+                      (static_cast<double>(stage_layers) /
+                       static_cast<double>(m.layers)) /
+                      static_cast<double>(tp) / 1e9;
+  }
+  // Activations for one micro-batch plus kernel workspace: a few copies of
+  // the hidden state and the FFN intermediate.
+  const double act_bytes = static_cast<double>(batch) *
+                           static_cast<double>(seq) *
+                           static_cast<double>(m.hidden) * 2.0;
+  mem.workspace_gb = 6.0 * act_bytes / static_cast<double>(tp) / 1e9 + 0.75;
+  return mem;
+}
+
+std::int64_t max_batch_for_memory(const model::DenseModelConfig& m,
+                                  const hw::GpuSpec& gpu,
+                                  std::int64_t stage_layers, std::int64_t tp,
+                                  std::int64_t seq, model::Dtype dtype,
+                                  bool kv_offload) {
+  const double budget = gpu.mem_gb * 0.92;  // fragmentation + runtime reserve
+  std::int64_t lo = 0, hi = 1;
+  // Exponential probe then binary search.
+  while (stage_memory(m, stage_layers, tp, hi, seq, dtype, kv_offload)
+             .total_gb() <= budget &&
+         hi < (1 << 20)) {
+    lo = hi;
+    hi *= 2;
+  }
+  while (lo + 1 < hi) {
+    const std::int64_t mid = (lo + hi) / 2;
+    if (stage_memory(m, stage_layers, tp, mid, seq, dtype, kv_offload)
+            .total_gb() <= budget) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace dsinfer::parallel

@@ -1,0 +1,43 @@
+// Layer-to-stage partitioning for pipeline parallelism, plus the per-stage
+// memory accounting that decides feasible batch sizes (paper Sec. IV-B/C:
+// inference of large transformers is often memory-capacity limited by the
+// KV cache; offloading it to host memory buys batch size).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "hw/topology.h"
+#include "model/model_config.h"
+
+namespace dsinfer::parallel {
+
+// Splits `layers` into `stages` contiguous ranges [begin, end), sizes
+// differing by at most one (earlier stages take the remainder).
+std::vector<std::pair<std::int64_t, std::int64_t>> partition_layers(
+    std::int64_t layers, std::int64_t stages);
+
+struct StageMemory {
+  double weight_gb = 0;     // parameters resident on one GPU of this stage
+  double kv_cache_gb = 0;   // KV cache share for the given batch
+  double workspace_gb = 0;  // activations + scratch
+  double total_gb() const { return weight_gb + kv_cache_gb + workspace_gb; }
+};
+
+// Per-GPU memory for a stage holding `stage_layers` layers with `tp`-way
+// tensor slicing at batch `batch` and max sequence `seq`.
+StageMemory stage_memory(const model::DenseModelConfig& m,
+                         std::int64_t stage_layers, std::int64_t tp,
+                         std::int64_t batch, std::int64_t seq,
+                         model::Dtype dtype, bool kv_offload);
+
+// Largest batch whose stage memory fits the GPU (0 if even batch 1 does not
+// fit). With kv_offload the KV cache lives in host DRAM and does not count.
+std::int64_t max_batch_for_memory(const model::DenseModelConfig& m,
+                                  const hw::GpuSpec& gpu,
+                                  std::int64_t stage_layers, std::int64_t tp,
+                                  std::int64_t seq, model::Dtype dtype,
+                                  bool kv_offload);
+
+}  // namespace dsinfer::parallel

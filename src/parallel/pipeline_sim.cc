@@ -1,0 +1,260 @@
+#include "parallel/pipeline_sim.h"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "comm/cost_model.h"
+#include "parallel/pipeline_partition.h"
+#include "perf/dense_model.h"
+#include "sim/des.h"
+
+namespace dsinfer::parallel {
+
+namespace {
+
+// Everything one simulation run needs; lives on the stack of
+// simulate_pipeline and is captured by reference in DES callbacks.
+struct Runner {
+  const model::DenseModelConfig& m;
+  const perf::EngineModelConfig& e;
+  const hw::ClusterSpec& cluster;
+  const PipelineSimConfig& cfg;
+
+  sim::Simulator des;
+  std::vector<std::unique_ptr<sim::Resource>> stages;
+  std::vector<std::int64_t> stage_layers;
+
+  double hop_link_latency_s = 0;
+  double hop_link_bw = 0;  // bytes/s
+
+  // Fraction of the KV cache that exceeds device memory and must round-trip
+  // over PCIe each token step (0 when everything fits or no offload).
+  double kv_excess_fraction = 0;
+
+  std::int64_t prompt_done = 0;
+  std::int64_t token_steps_done = 0;
+  double prompt_finish_s = 0;
+
+  std::int64_t total_steps() const { return cfg.gen_tokens; }
+
+  double stage_compute_s(std::int64_t s, std::int64_t mb_size,
+                         std::int64_t q_len, std::int64_t kv_len) const {
+    const auto t = perf::dense_layer_time(m, e, cluster, cfg.tensor_parallel,
+                                          mb_size, q_len, kv_len);
+    return static_cast<double>(stage_layers[static_cast<std::size_t>(s)]) *
+           t.total();
+  }
+
+  // PCIe stall for offloaded KV state during token generation.
+  double offload_stall_s(std::int64_t s, std::int64_t mb_size,
+                         std::int64_t kv_len, double compute_s) const {
+    if (!cfg.kv_offload || kv_excess_fraction <= 0) return 0;
+    const double bytes =
+        kv_excess_fraction * m.kv_cache_bytes(mb_size, kv_len) *
+        (static_cast<double>(stage_layers[static_cast<std::size_t>(s)]) /
+         static_cast<double>(m.layers)) /
+        static_cast<double>(cfg.tensor_parallel);
+    const double pcie_bw = cluster.node.pcie.bw_gbps * 1e9;
+    // Without odd/even scheduling two GPUs contend for each PCIe link,
+    // halving effective bandwidth (paper Sec. IV-C.3); fetches overlap with
+    // compute either way, so only the uncovered remainder stalls.
+    const double fetch_s =
+        cfg.odd_even_pcie ? bytes / pcie_bw : 2.0 * bytes / pcie_bw;
+    // A micro-batch's KV round-trips while the other micro-batches occupy
+    // the stage, so the overlap window spans the whole pipeline cycle.
+    const double window_s =
+        compute_s * static_cast<double>(std::max<std::int64_t>(
+                        1, cfg.gen_microbatches));
+    return std::max(0.0, fetch_s - window_s);
+  }
+
+  double hop_s(std::int64_t mb_size, std::int64_t q_len) const {
+    const double bytes = static_cast<double>(mb_size) *
+                         static_cast<double>(q_len) *
+                         static_cast<double>(m.hidden) * 2.0;
+    return hop_link_latency_s + bytes / hop_link_bw;
+  }
+
+  double feedback_s(std::int64_t mb_size) const {
+    // Sampled token ids travel last stage -> first stage.
+    return hop_link_latency_s + static_cast<double>(mb_size) * 4.0 / hop_link_bw;
+  }
+};
+
+}  // namespace
+
+PipelineSimResult simulate_pipeline(const model::DenseModelConfig& m,
+                                    const perf::EngineModelConfig& e,
+                                    const hw::ClusterSpec& cluster,
+                                    const PipelineSimConfig& cfg) {
+  if (cfg.stages < 1 || cfg.batch < 1 || cfg.gen_tokens < 1 ||
+      cfg.prompt_microbatches < 1 || cfg.gen_microbatches < 1) {
+    throw std::invalid_argument("simulate_pipeline: bad config");
+  }
+  if (cfg.prompt_microbatches > cfg.batch || cfg.gen_microbatches > cfg.batch) {
+    throw std::invalid_argument("simulate_pipeline: more micro-batches than sequences");
+  }
+
+  Runner r{m, e, cluster, cfg, {}, {}, {}, 0, 0, 0, 0, 0, 0};
+  const auto parts = partition_layers(m.layers, cfg.stages);
+  for (const auto& [b, en] : parts) r.stage_layers.push_back(en - b);
+  for (std::int64_t s = 0; s < cfg.stages; ++s) {
+    r.stages.push_back(std::make_unique<sim::Resource>(
+        r.des, "stage" + std::to_string(s)));
+  }
+  const hw::LinkSpec hop =
+      cluster.nodes > 1 ? cluster.ib_per_gpu : cluster.node.nvlink;
+  r.hop_link_latency_s = hop.latency_us * 1e-6;
+  r.hop_link_bw = hop.bw_gbps * 1e9;
+
+  // How much of the KV cache spills past device memory.
+  if (cfg.kv_offload) {
+    const std::int64_t max_layers =
+        *std::max_element(r.stage_layers.begin(), r.stage_layers.end());
+    const StageMemory with_kv =
+        stage_memory(m, max_layers, cfg.tensor_parallel, cfg.batch,
+                     cfg.prompt_len + cfg.gen_tokens, e.dtype, false);
+    const double budget = cluster.node.gpu.mem_gb * 0.92;
+    const double spill =
+        std::max(0.0, with_kv.total_gb() - budget);
+    r.kv_excess_fraction =
+        with_kv.kv_cache_gb > 0
+            ? std::clamp(spill / with_kv.kv_cache_gb, 0.0, 1.0)
+            : 0.0;
+  }
+
+  const std::int64_t gen_mb = cfg.schedule == PipelineSchedule::kHybrid
+                                  ? cfg.gen_microbatches
+                                  : cfg.prompt_microbatches;
+
+  // Forward declaration of the chain driver.
+  std::function<void(std::int64_t, std::int64_t, std::int64_t, std::int64_t)>
+      enter_stage;
+  std::function<void(std::int64_t, std::int64_t, std::int64_t)> start_step;
+  std::function<void(std::int64_t, std::int64_t, std::int64_t)> finish_step;
+
+  auto microbatch_size = [&](std::int64_t count, std::int64_t idx) {
+    const std::int64_t base = cfg.batch / count;
+    const std::int64_t extra = cfg.batch % count;
+    return base + (idx < extra ? 1 : 0);
+  };
+
+  start_step = [&](std::int64_t mb, std::int64_t step, std::int64_t mb_size) {
+    enter_stage(0, mb, step, mb_size);
+  };
+
+  enter_stage = [&](std::int64_t s, std::int64_t mb, std::int64_t step,
+                    std::int64_t mb_size) {
+    const std::int64_t q_len = step == 0 ? cfg.prompt_len : 1;
+    const std::int64_t kv_len = cfg.prompt_len + step;
+    const double compute = r.stage_compute_s(s, mb_size, q_len, kv_len);
+    const double stall =
+        step == 0 ? 0.0 : r.offload_stall_s(s, mb_size, kv_len, compute);
+    r.stages[static_cast<std::size_t>(s)]->submit(
+        compute + stall, [&, s, mb, step, mb_size, q_len] {
+          if (s + 1 < cfg.stages) {
+            r.des.schedule_after(r.hop_s(mb_size, q_len), [&, s, mb, step,
+                                                           mb_size] {
+              enter_stage(s + 1, mb, step, mb_size);
+            });
+          } else {
+            finish_step(mb, step, mb_size);
+          }
+        });
+  };
+
+  finish_step = [&](std::int64_t mb, std::int64_t step, std::int64_t mb_size) {
+    const std::int64_t steps = r.total_steps();
+    if (step == 0) {
+      ++r.prompt_done;
+      r.prompt_finish_s = r.des.now();
+      const bool prompt_phase_over =
+          r.prompt_done == cfg.prompt_microbatches;
+      switch (cfg.schedule) {
+        case PipelineSchedule::kTrainingStyle:
+          if (prompt_phase_over && steps > 1) {
+            for (std::int64_t i = 0; i < cfg.prompt_microbatches; ++i) {
+              const std::int64_t sz = microbatch_size(cfg.prompt_microbatches, i);
+              r.des.schedule_after(r.feedback_s(sz),
+                                   [&, i, sz] { start_step(i, 1, sz); });
+            }
+          }
+          break;
+        case PipelineSchedule::kInferenceOptimized:
+          if (steps > 1) {
+            r.des.schedule_after(r.feedback_s(mb_size), [&, mb, mb_size] {
+              start_step(mb, 1, mb_size);
+            });
+          }
+          break;
+        case PipelineSchedule::kHybrid:
+          // Token phase regroups the batch into gen_microbatches; it starts
+          // once every prompt micro-batch has produced its first token.
+          if (prompt_phase_over && steps > 1) {
+            for (std::int64_t i = 0; i < gen_mb; ++i) {
+              const std::int64_t sz = microbatch_size(gen_mb, i);
+              r.des.schedule_after(r.feedback_s(sz),
+                                   [&, i, sz] { start_step(i, 1, sz); });
+            }
+          }
+          break;
+      }
+      return;
+    }
+
+    // Token step completed.
+    ++r.token_steps_done;
+    if (step + 1 >= steps) return;
+    switch (cfg.schedule) {
+      case PipelineSchedule::kTrainingStyle: {
+        // Barrier: all micro-batches must finish this step first.
+        static_cast<void>(mb);
+        if (r.token_steps_done % cfg.prompt_microbatches == 0) {
+          for (std::int64_t i = 0; i < cfg.prompt_microbatches; ++i) {
+            const std::int64_t sz = microbatch_size(cfg.prompt_microbatches, i);
+            r.des.schedule_after(r.feedback_s(sz), [&, i, step, sz] {
+              start_step(i, step + 1, sz);
+            });
+          }
+        }
+        break;
+      }
+      case PipelineSchedule::kInferenceOptimized:
+      case PipelineSchedule::kHybrid:
+        r.des.schedule_after(r.feedback_s(mb_size), [&, mb, step, mb_size] {
+          start_step(mb, step + 1, mb_size);
+        });
+        break;
+    }
+  };
+
+  // Kick off the prompt phase.
+  for (std::int64_t i = 0; i < cfg.prompt_microbatches; ++i) {
+    const std::int64_t sz = microbatch_size(cfg.prompt_microbatches, i);
+    r.des.schedule_at(0.0, [&, i, sz] { start_step(i, 0, sz); });
+  }
+  const double total = r.des.run();
+
+  PipelineSimResult res;
+  res.total_s = total;
+  res.prompt_s = r.prompt_finish_s;
+  res.gpus = cfg.stages * cfg.tensor_parallel;
+  res.tokens_per_s = static_cast<double>(cfg.batch * cfg.gen_tokens) /
+                     std::max(total, 1e-12);
+  double busy = 0;
+  for (const auto& st : r.stages) busy += st->busy_time();
+  res.bubble_fraction =
+      1.0 - busy / (static_cast<double>(cfg.stages) * std::max(total, 1e-12));
+  const double flops =
+      static_cast<double>(cfg.batch) *
+      (m.model_flops(cfg.prompt_len, cfg.prompt_len) +
+       static_cast<double>(cfg.gen_tokens - 1) *
+           m.model_flops(1, cfg.prompt_len + cfg.gen_tokens / 2));
+  res.per_gpu_tflops =
+      flops / std::max(total, 1e-12) / static_cast<double>(res.gpus) / 1e12;
+  return res;
+}
+
+}  // namespace dsinfer::parallel

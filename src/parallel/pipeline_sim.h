@@ -1,0 +1,60 @@
+// Discrete-event simulation of pipeline-parallel autoregressive generation
+// (paper Sec. IV-B/C, Figs. 2-3). Reproduces the three schedules:
+//   * kTrainingStyle      — Fig. 2(a): a global barrier between token steps;
+//                           every step pays the full (P-1)-slot fill bubble.
+//   * kInferenceOptimized — Fig. 2(b): micro-batches of generated tokens are
+//                           re-queued as soon as their dependency resolves,
+//                           amortizing the bubble over the whole generation.
+//   * kHybrid             — Fig. 3: different micro-batch counts for prompt
+//                           processing (many, to hide the bubble) and token
+//                           generation (few, to avoid re-reading weights).
+#pragma once
+
+#include <cstdint>
+
+#include "hw/topology.h"
+#include "model/model_config.h"
+#include "perf/kernel_model.h"
+
+namespace dsinfer::parallel {
+
+enum class PipelineSchedule { kTrainingStyle, kInferenceOptimized, kHybrid };
+
+struct PipelineSimConfig {
+  std::int64_t stages = 1;
+  std::int64_t tensor_parallel = 1;  // within each stage
+  std::int64_t batch = 1;            // total sequences
+  std::int64_t prompt_len = 512;
+  std::int64_t gen_tokens = 50;
+  // Micro-batch counts; for kHybrid they differ, otherwise
+  // `prompt_microbatches` is used for both phases.
+  std::int64_t prompt_microbatches = 1;
+  std::int64_t gen_microbatches = 1;
+  PipelineSchedule schedule = PipelineSchedule::kInferenceOptimized;
+  // Memory optimization (Sec. IV-C.2): KV cache offloaded to host DRAM.
+  bool kv_offload = false;
+  // Communication optimization (Sec. IV-C.3): odd/even layer offload
+  // scheduling removes PCIe contention; with it the offload traffic fully
+  // overlaps with compute, without it each token step stalls on PCIe.
+  bool odd_even_pcie = false;
+};
+
+struct PipelineSimResult {
+  double total_s = 0;
+  double prompt_s = 0;          // completion time of the prompt phase
+  double tokens_per_s = 0;      // generated tokens / total time
+  double bubble_fraction = 0;   // stage idle share between first/last event
+  double per_gpu_tflops = 0;
+  std::int64_t gpus = 0;
+};
+
+// Simulates generating `gen_tokens` tokens for `batch` sequences through a
+// `stages`-deep pipeline of `m.layers` layers. Stage compute times come from
+// the roofline model; inter-stage hops and the last->first feedback edge pay
+// the inter-node link cost.
+PipelineSimResult simulate_pipeline(const model::DenseModelConfig& m,
+                                    const perf::EngineModelConfig& e,
+                                    const hw::ClusterSpec& cluster,
+                                    const PipelineSimConfig& cfg);
+
+}  // namespace dsinfer::parallel

@@ -1,0 +1,207 @@
+#include "parallel/tensor_parallel.h"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "kernels/attention.h"
+#include "kernels/elementwise.h"
+#include "kernels/gemm.h"
+
+namespace dsinfer::parallel {
+
+using kernels::GemmKind;
+using kernels::KernelPolicy;
+using kernels::PackedWeight;
+
+
+namespace {
+
+Tensor copy_rows(const Tensor& src, std::int64_t row_begin,
+                 std::int64_t row_count, std::int64_t cols) {
+  Tensor out({row_count, cols});
+  std::memcpy(out.data(), src.data() + row_begin * cols,
+              static_cast<std::size_t>(row_count * cols) * sizeof(float));
+  return out;
+}
+
+Tensor copy_cols(const Tensor& src, std::int64_t rows, std::int64_t cols,
+                 std::int64_t col_begin, std::int64_t col_count) {
+  Tensor out({rows, col_count});
+  for (std::int64_t r = 0; r < rows; ++r) {
+    std::memcpy(out.data() + r * col_count,
+                src.data() + r * cols + col_begin,
+                static_cast<std::size_t>(col_count) * sizeof(float));
+  }
+  return out;
+}
+
+Tensor copy_vec(const Tensor& src, std::int64_t begin, std::int64_t count) {
+  Tensor out({count});
+  std::memcpy(out.data(), src.data() + begin,
+              static_cast<std::size_t>(count) * sizeof(float));
+  return out;
+}
+
+void run_linear(std::span<const float> x, const Tensor& w,
+                const PackedWeight& packed, const kernels::QuantizedWeight& quant,
+                std::span<const float> bias, std::span<float> y,
+                std::int64_t m, std::int64_t in, std::int64_t out,
+                const KernelPolicy& policy) {
+  if (policy.dtype == kernels::Dtype::kINT8) {
+    // INT8 GeMM with the bias folded into the dequant epilogue.
+    kernels::linear_int8(x, quant, bias, y, m);
+    return;
+  }
+  switch (policy.gemm) {
+    case GemmKind::kReference:
+      kernels::linear_ref(x, w.span(), bias, y, m, in, out);
+      break;
+    case GemmKind::kBlocked:
+      kernels::linear_blocked(x, w.span(), bias, y, m, in, out);
+      break;
+    case GemmKind::kSbi:
+      kernels::linear_sbi(x, packed, bias, y, m);
+      break;
+  }
+}
+
+}  // namespace
+
+TpLayerShard TpLayerShard::from_full(const kernels::LayerWeights& full,
+                                     std::int64_t tp, std::int64_t rank) {
+  if (tp < 1 || rank < 0 || rank >= tp) {
+    throw std::invalid_argument("TpLayerShard: bad tp/rank");
+  }
+  if (full.heads % tp != 0 || full.ffn % tp != 0) {
+    throw std::invalid_argument("TpLayerShard: heads and ffn must divide tp");
+  }
+  TpLayerShard s;
+  s.tp = tp;
+  s.rank = rank;
+  s.hidden = full.hidden;
+  s.heads_local = full.heads / tp;
+  s.hidden_local = full.hidden / tp;
+  s.ffn_local = full.ffn / tp;
+
+  s.ln1_g = full.ln1_g.clone();
+  s.ln1_b = full.ln1_b.clone();
+  s.ln2_g = full.ln2_g.clone();
+  s.ln2_b = full.ln2_b.clone();
+
+  const std::int64_t H = full.hidden;
+  const std::int64_t Hl = s.hidden_local;
+  const std::int64_t Fl = s.ffn_local;
+
+  // QKV column-parallel: take this rank's head block from each of Q, K, V.
+  s.w_qkv.reshape({3 * Hl, H});
+  s.b_qkv.reshape({3 * Hl});
+  for (std::int64_t part = 0; part < 3; ++part) {
+    std::memcpy(s.w_qkv.data() + part * Hl * H,
+                full.w_qkv.data() + (part * H + rank * Hl) * H,
+                static_cast<std::size_t>(Hl * H) * sizeof(float));
+    std::memcpy(s.b_qkv.data() + part * Hl,
+                full.b_qkv.data() + part * H + rank * Hl,
+                static_cast<std::size_t>(Hl) * sizeof(float));
+  }
+
+  // Attention output row-parallel: shard input features.
+  s.w_attn_out = copy_cols(full.w_attn_out, H, H, rank * Hl, Hl);
+  s.b_attn_out = full.b_attn_out.clone();
+
+  // FC1 column-parallel.
+  s.w_fc1 = copy_rows(full.w_fc1, rank * Fl, Fl, H);
+  s.b_fc1 = copy_vec(full.b_fc1, rank * Fl, Fl);
+
+  // FC2 row-parallel.
+  s.w_fc2 = copy_cols(full.w_fc2, H, full.ffn, rank * Fl, Fl);
+  s.b_fc2 = full.b_fc2.clone();
+  return s;
+}
+
+void TpLayerShard::prepare(const KernelPolicy& policy) {
+  if (policy.dtype == kernels::Dtype::kINT8) {
+    if (q_qkv.empty()) {
+      q_qkv = kernels::QuantizedWeight(w_qkv.span(), 3 * hidden_local, hidden);
+      q_attn_out =
+          kernels::QuantizedWeight(w_attn_out.span(), hidden, hidden_local);
+      q_fc1 = kernels::QuantizedWeight(w_fc1.span(), ffn_local, hidden);
+      q_fc2 = kernels::QuantizedWeight(w_fc2.span(), hidden, ffn_local);
+    }
+  } else if (policy.gemm == GemmKind::kSbi && p_qkv.empty()) {
+    p_qkv = PackedWeight(w_qkv.span(), 3 * hidden_local, hidden);
+    p_attn_out = PackedWeight(w_attn_out.span(), hidden, hidden_local);
+    p_fc1 = PackedWeight(w_fc1.span(), ffn_local, hidden);
+    p_fc2 = PackedWeight(w_fc2.span(), hidden, ffn_local);
+  }
+}
+
+void TpScratch::ensure(std::int64_t tokens, std::int64_t hidden,
+                       std::int64_t hidden_local, std::int64_t ffn_local) {
+  if (normed.numel() >= tokens * hidden && ffn1.numel() >= tokens * ffn_local) {
+    return;
+  }
+  normed.reshape({tokens, hidden});
+  qkv.reshape({tokens, 3 * hidden_local});
+  q.reshape({tokens, hidden_local});
+  k.reshape({tokens, hidden_local});
+  v.reshape({tokens, hidden_local});
+  attn.reshape({tokens, hidden_local});
+  partial.reshape({tokens, hidden});
+  ffn1.reshape({tokens, ffn_local});
+  act.reshape({tokens, ffn_local});
+}
+
+void tp_layer_forward(const TpLayerShard& w, kernels::KVCache& cache,
+                      std::span<float> x, std::int64_t batch,
+                      std::int64_t q_len, const KernelPolicy& policy,
+                      TpScratch& scratch, comm::Communicator& comm,
+                      std::int64_t rank) {
+  const std::int64_t tokens = batch * q_len;
+  const std::int64_t H = w.hidden;
+  const std::int64_t Hl = w.hidden_local;
+  const std::int64_t Fl = w.ffn_local;
+  if (x.size() < static_cast<std::size_t>(tokens * H)) {
+    throw std::invalid_argument("tp_layer_forward: x span too small");
+  }
+  scratch.ensure(tokens, H, Hl, Fl);
+
+  // Replicated layernorm, local QKV shard.
+  kernels::layernorm(x, w.ln1_g.span(), w.ln1_b.span(), scratch.normed.span(),
+                     tokens, H);
+  run_linear(scratch.normed.span(), w.w_qkv, w.p_qkv, w.q_qkv,
+             w.b_qkv.span(), scratch.qkv.span(), tokens, H, 3 * Hl, policy);
+  for (std::int64_t t = 0; t < tokens; ++t) {
+    const float* src = scratch.qkv.data() + t * 3 * Hl;
+    std::memcpy(scratch.q.data() + t * Hl, src,
+                static_cast<std::size_t>(Hl) * sizeof(float));
+    std::memcpy(scratch.k.data() + t * Hl, src + Hl,
+                static_cast<std::size_t>(Hl) * sizeof(float));
+    std::memcpy(scratch.v.data() + t * Hl, src + 2 * Hl,
+                static_cast<std::size_t>(Hl) * sizeof(float));
+  }
+  cache.append(scratch.k.span(), scratch.v.span(), q_len);
+  kernels::attention_fused(scratch.q.span(), cache, scratch.attn.span(), q_len,
+                           policy.causal);
+
+  // Row-parallel projection: partial results summed across ranks.
+  run_linear(scratch.attn.span(), w.w_attn_out, w.p_attn_out, w.q_attn_out,
+             {}, scratch.partial.span(), tokens, Hl, H, policy);
+  comm.all_reduce_sum(rank, scratch.partial.span());
+  kernels::bias_residual(scratch.partial.span(), w.b_attn_out.span(), x, x,
+                         tokens, H);
+
+  // FFN block.
+  kernels::layernorm(x, w.ln2_g.span(), w.ln2_b.span(), scratch.normed.span(),
+                     tokens, H);
+  run_linear(scratch.normed.span(), w.w_fc1, w.p_fc1, w.q_fc1, /*bias=*/{},
+             scratch.ffn1.span(), tokens, H, Fl, policy);
+  kernels::bias_gelu(scratch.ffn1.span(), w.b_fc1.span(), scratch.act.span(),
+                     tokens, Fl);
+  run_linear(scratch.act.span(), w.w_fc2, w.p_fc2, w.q_fc2, {},
+             scratch.partial.span(), tokens, Fl, H, policy);
+  comm.all_reduce_sum(rank, scratch.partial.span());
+  kernels::bias_residual(scratch.partial.span(), w.b_fc2.span(), x, x, tokens,
+                         H);
+}
+
+}  // namespace dsinfer::parallel

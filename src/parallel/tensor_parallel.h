@@ -1,0 +1,63 @@
+// Megatron-style tensor parallelism for one transformer layer (paper
+// Sec. IV-A): QKV and FC1 are column-parallel (sharded output features,
+// heads stay whole per rank), attention-out and FC2 are row-parallel
+// (sharded input features) followed by an all-reduce. Two all-reduces per
+// layer, exactly as in the paper's description of Megatron-LM slicing.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "comm/collectives.h"
+#include "kernels/kv_cache.h"
+#include "kernels/quant.h"
+#include "kernels/tensor.h"
+#include "kernels/transformer_layer.h"
+
+namespace dsinfer::parallel {
+
+// One rank's shard of a dense transformer layer.
+struct TpLayerShard {
+  std::int64_t tp = 1;
+  std::int64_t rank = 0;
+  std::int64_t hidden = 0;
+  std::int64_t heads_local = 0;
+  std::int64_t hidden_local = 0;
+  std::int64_t ffn_local = 0;
+
+  Tensor ln1_g, ln1_b, ln2_g, ln2_b;  // replicated
+  Tensor w_qkv, b_qkv;                // [3*hidden_local, hidden]
+  Tensor w_attn_out;                  // [hidden, hidden_local]
+  Tensor b_attn_out;                  // replicated, added post-reduce
+  Tensor w_fc1, b_fc1;                // [ffn_local, hidden]
+  Tensor w_fc2;                       // [hidden, ffn_local]
+  Tensor b_fc2;                       // replicated, added post-reduce
+
+  kernels::PackedWeight p_qkv, p_attn_out, p_fc1, p_fc2;
+  kernels::QuantizedWeight q_qkv, q_attn_out, q_fc1, q_fc2;
+
+  // Cuts rank `rank`'s shard out of a full layer. Requires heads % tp == 0.
+  static TpLayerShard from_full(const kernels::LayerWeights& full,
+                                std::int64_t tp, std::int64_t rank);
+
+  // Builds SBI packs or INT8 quantized shards when the policy asks.
+  void prepare(const kernels::KernelPolicy& policy);
+};
+
+struct TpScratch {
+  Tensor normed, qkv, q, k, v, attn, partial, ffn1, act;
+  void ensure(std::int64_t tokens, std::int64_t hidden,
+              std::int64_t hidden_local, std::int64_t ffn_local);
+};
+
+// Runs one tensor-parallel layer. `x` is the replicated activation
+// [batch * q_len, hidden]; after the call every rank holds the identical
+// updated activation (the all-reduces guarantee it). `cache` is this rank's
+// KV cache sized for `heads_local` heads.
+void tp_layer_forward(const TpLayerShard& w, kernels::KVCache& cache,
+                      std::span<float> x, std::int64_t batch,
+                      std::int64_t q_len, const kernels::KernelPolicy& policy,
+                      TpScratch& scratch, comm::Communicator& comm,
+                      std::int64_t rank);
+
+}  // namespace dsinfer::parallel

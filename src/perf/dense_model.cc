@@ -1,0 +1,94 @@
+#include "perf/dense_model.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "comm/cost_model.h"
+
+namespace dsinfer::perf {
+
+LayerTiming dense_layer_time(const model::DenseModelConfig& m,
+                             const EngineModelConfig& e,
+                             const hw::ClusterSpec& cluster, std::int64_t tp,
+                             std::int64_t batch, std::int64_t q_len,
+                             std::int64_t kv_len) {
+  if (tp < 1 || m.hidden % tp != 0) {
+    throw std::invalid_argument("dense_layer_time: tp must divide hidden");
+  }
+  const hw::GpuSpec& gpu = cluster.node.gpu;
+  const std::int64_t rows = batch * q_len;
+  const std::int64_t h = m.hidden;
+  const std::int64_t f = m.ffn();
+  const std::int64_t hs = h / tp;  // sharded hidden
+  const std::int64_t fs = f / tp;
+
+  LayerTiming t;
+  // Megatron-style sharding: QKV/FC1 column-parallel, OUT/FC2 row-parallel.
+  t.gemm_s += gemm_time_s(e, gpu, rows, h, 3 * hs);  // QKV
+  t.gemm_s += gemm_time_s(e, gpu, rows, hs, h);      // attention out
+  t.gemm_s += gemm_time_s(e, gpu, rows, h, fs);      // FC1
+  t.gemm_s += gemm_time_s(e, gpu, rows, fs, h);      // FC2
+
+  t.attention_s = attention_time_s(e, gpu, batch, q_len, kv_len, hs);
+  t.elementwise_s = elementwise_time_s(e, gpu, rows, h);
+  t.launch_s = e.launches_per_layer * launch_overhead_s(e, gpu);
+
+  if (tp > 1) {
+    const double act_b = static_cast<double>(rows) * static_cast<double>(h) *
+                         (e.dtype == Dtype::kFP32 ? 4.0 : 2.0);
+    const std::int64_t per_node = cluster.node.gpus_per_node;
+    double ar;
+    if (tp <= per_node) {
+      ar = comm::allreduce_time_s(act_b, tp, cluster.node.nvlink);
+    } else {
+      // A single NCCL ring spanning nodes moves every hop's worth of data
+      // through the inter-node links, so the whole ring runs at InfiniBand
+      // speed — the reason tensor slicing is kept inside a node (Sec. II).
+      ar = comm::allreduce_time_s(act_b, tp, cluster.ib_per_gpu);
+    }
+    t.comm_s = 2.0 * ar;  // one per Megatron block (attention, FFN)
+  }
+  return t;
+}
+
+GenerationTiming dense_generation_time(const model::DenseModelConfig& m,
+                                       const EngineModelConfig& e,
+                                       const hw::ClusterSpec& cluster,
+                                       std::int64_t tp, std::int64_t batch,
+                                       std::int64_t prompt_len,
+                                       std::int64_t gen_tokens) {
+  if (gen_tokens < 1) {
+    throw std::invalid_argument("dense_generation_time: gen_tokens >= 1");
+  }
+  GenerationTiming g;
+  const double layers = static_cast<double>(m.layers);
+
+  // Prompt phase: all prompt tokens at once; produces the first token.
+  const LayerTiming prompt =
+      dense_layer_time(m, e, cluster, tp, batch, prompt_len, prompt_len);
+  g.prompt_s = layers * prompt.total();
+
+  // Token phase: one token per sequence per step, KV cache grows.
+  double token_total = 0.0;
+  for (std::int64_t i = 1; i < gen_tokens; ++i) {
+    const LayerTiming step =
+        dense_layer_time(m, e, cluster, tp, batch, 1, prompt_len + i);
+    token_total += layers * step.total();
+  }
+  g.per_token_s = gen_tokens > 1
+                      ? token_total / static_cast<double>(gen_tokens - 1)
+                      : 0.0;
+  g.total_s = g.prompt_s + token_total;
+  g.tokens_per_s =
+      static_cast<double>(batch * gen_tokens) / std::max(g.total_s, 1e-12);
+  const double total_flops =
+      static_cast<double>(batch) *
+      (m.model_flops(prompt_len, prompt_len) +
+       static_cast<double>(gen_tokens - 1) *
+           m.model_flops(1, prompt_len + gen_tokens / 2));
+  g.tflops_per_gpu =
+      total_flops / std::max(g.total_s, 1e-12) / static_cast<double>(tp) / 1e12;
+  return g;
+}
+
+}  // namespace dsinfer::perf

@@ -1,0 +1,54 @@
+// Dense-transformer latency/throughput model (paper Sec. III-IV, Fig. 6).
+//
+// Combines the roofline kernel model with tensor-parallel sharding and the
+// alpha-beta collective costs to predict end-to-end generation latency of a
+// dense GPT model on a given cluster.
+#pragma once
+
+#include <cstdint>
+
+#include "hw/topology.h"
+#include "model/model_config.h"
+#include "perf/kernel_model.h"
+
+namespace dsinfer::perf {
+
+struct LayerTiming {
+  double gemm_s = 0;
+  double attention_s = 0;
+  double elementwise_s = 0;
+  double launch_s = 0;
+  double comm_s = 0;
+  double total() const {
+    return gemm_s + attention_s + elementwise_s + launch_s + comm_s;
+  }
+};
+
+// Time for one transformer layer on one GPU under `tp`-way tensor slicing.
+// `batch` sequences each contribute `q_len` new tokens attending to `kv_len`
+// positions. TP all-reduces run over NVLink within a node and hierarchically
+// across nodes when tp exceeds the node size.
+LayerTiming dense_layer_time(const model::DenseModelConfig& m,
+                             const EngineModelConfig& e,
+                             const hw::ClusterSpec& cluster, std::int64_t tp,
+                             std::int64_t batch, std::int64_t q_len,
+                             std::int64_t kv_len);
+
+struct GenerationTiming {
+  double prompt_s = 0;      // time to first token (prompt processing)
+  double per_token_s = 0;   // mean latency of each subsequent token
+  double total_s = 0;       // end-to-end for the whole request batch
+  double tokens_per_s = 0;  // generated-token throughput of the batch
+  double tflops_per_gpu = 0;
+};
+
+// End-to-end: process a `prompt_len`-token prompt for `batch` sequences and
+// generate `gen_tokens` tokens, tensor-parallel over `tp` GPUs.
+GenerationTiming dense_generation_time(const model::DenseModelConfig& m,
+                                       const EngineModelConfig& e,
+                                       const hw::ClusterSpec& cluster,
+                                       std::int64_t tp, std::int64_t batch,
+                                       std::int64_t prompt_len,
+                                       std::int64_t gen_tokens);
+
+}  // namespace dsinfer::perf

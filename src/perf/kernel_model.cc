@@ -1,0 +1,170 @@
+#include "perf/kernel_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dsinfer::perf {
+
+namespace {
+constexpr double kGb = 1e9;
+constexpr double kT = 1e12;
+
+// Activation element size: FP16 activations for FP16/INT8 engines (INT8
+// engines keep FP16 activations, quantizing on the fly), FP32 otherwise.
+double act_bytes(Dtype dtype) { return dtype == Dtype::kFP32 ? 4.0 : 2.0; }
+}  // namespace
+
+EngineModelConfig EngineModelConfig::deepspeed_fp16() {
+  EngineModelConfig e;
+  e.name = "DeepSpeed-FP16";
+  e.deep_fusion = true;
+  e.sbi_gemm = true;
+  e.cuda_graph = true;
+  e.dtype = Dtype::kFP16;
+  e.gemm_bw_eff_rows1 = 0.82;  // SBI-GeMM: near-peak streaming at batch 1
+  e.gemm_bw_eff_large = 0.90;
+  e.gemm_compute_eff = 0.80;
+  e.elementwise_bw_eff = 0.85;
+  e.elementwise_passes = 6.0;   // four fused regions + QKV split + cache append
+  e.launches_per_layer = 9.0;
+  return e;
+}
+
+EngineModelConfig EngineModelConfig::deepspeed_int8() {
+  EngineModelConfig e = deepspeed_fp16();
+  e.name = "DeepSpeed-INT8";
+  e.dtype = Dtype::kINT8;
+  e.gemm_compute_eff = 0.75;  // CUTLASS INT8 + fused (de)quant epilogues
+  // Dynamic activation quantization, scale tables and the dequant epilogue
+  // cost extra traffic on top of the halved weight bytes, so INT8 lands at
+  // ~1.25x over FP16 rather than a clean 2x (matching Fig. 6's gap).
+  e.weight_traffic_factor = 1.6;
+  return e;
+}
+
+EngineModelConfig EngineModelConfig::deepspeed_fp32() {
+  EngineModelConfig e = deepspeed_fp16();
+  e.name = "DeepSpeed-FP32";
+  e.dtype = Dtype::kFP32;
+  return e;
+}
+
+EngineModelConfig EngineModelConfig::faster_transformer() {
+  EngineModelConfig e;
+  e.name = "FT-FP16";
+  e.deep_fusion = false;  // fuses elementwise chains, not reductions/GeMMs
+  e.sbi_gemm = false;
+  e.cuda_graph = false;
+  e.dtype = Dtype::kFP16;
+  e.gemm_bw_eff_rows1 = 0.72;  // cuBLAS on skinny GeMMs (paper Sec. III-A)
+  e.gemm_bw_eff_large = 0.82;
+  e.gemm_compute_eff = 0.85;   // cuBLAS is excellent once compute-bound
+  e.elementwise_bw_eff = 0.75;
+  e.elementwise_passes = 11.0;
+  e.launches_per_layer = 10.0;
+  return e;
+}
+
+EngineModelConfig EngineModelConfig::pytorch() {
+  EngineModelConfig e;
+  e.name = "PyTorch";
+  e.deep_fusion = false;
+  e.sbi_gemm = false;
+  e.cuda_graph = false;
+  e.dtype = Dtype::kFP16;
+  e.gemm_bw_eff_rows1 = 0.50;
+  e.gemm_bw_eff_large = 0.80;
+  e.gemm_compute_eff = 0.80;
+  e.elementwise_bw_eff = 0.65;
+  e.elementwise_passes = 24.0;  // kernel per micro-op, materialized masks
+  e.launches_per_layer = 32.0;
+  return e;
+}
+
+EngineModelConfig EngineModelConfig::et_like() {
+  EngineModelConfig e = deepspeed_fp16();
+  e.name = "E.T.";
+  e.deep_fusion = false;  // attention is fused, the rest is not
+  e.cuda_graph = false;
+  e.elementwise_passes = 8.0;   // fused attention removes the S x S sweeps
+  e.launches_per_layer = 6.0;   // E.T. collapses attention into one kernel
+  return e;
+}
+
+double gemm_bw_efficiency(const EngineModelConfig& e, std::int64_t rows) {
+  // Efficiency climbs with rows because more work hides latency; SBI-GeMM
+  // starts high already. Saturates at rows >= 64.
+  const double t = std::min(1.0, std::log2(static_cast<double>(std::max<std::int64_t>(rows, 1)) + 1.0) / 6.0);
+  return e.gemm_bw_eff_rows1 + (e.gemm_bw_eff_large - e.gemm_bw_eff_rows1) * t;
+}
+
+double peak_ops(const hw::GpuSpec& gpu, Dtype dtype) {
+  switch (dtype) {
+    case Dtype::kFP32:
+      return gpu.fp32_tflops * kT;
+    case Dtype::kFP16:
+      return gpu.fp16_tflops * kT;
+    case Dtype::kINT8:
+      // Fall back to FP16 peak on GPUs without INT8 tensor cores.
+      return (gpu.int8_tops > 0 ? gpu.int8_tops : gpu.fp16_tflops) * kT;
+  }
+  return gpu.fp16_tflops * kT;
+}
+
+double launch_overhead_s(const EngineModelConfig& e, const hw::GpuSpec& gpu) {
+  // CUDA-Graph replay still costs a fraction of a microsecond per node.
+  return (e.cuda_graph ? 0.2 : gpu.kernel_launch_us) * 1e-6;
+}
+
+double gemm_time_s(const EngineModelConfig& e, const hw::GpuSpec& gpu,
+                   std::int64_t rows, std::int64_t in, std::int64_t out) {
+  const double wbytes = static_cast<double>(in) * static_cast<double>(out) *
+                        static_cast<double>(model::dtype_bytes(e.dtype)) *
+                        e.weight_traffic_factor;
+  const double abytes = static_cast<double>(rows) *
+                        static_cast<double>(in + out) * act_bytes(e.dtype);
+  const double flops = 2.0 * static_cast<double>(rows) *
+                       static_cast<double>(in) * static_cast<double>(out);
+  const double bw = gpu.mem_bw_gbps * kGb * gemm_bw_efficiency(e, rows);
+  const double mem_t = (wbytes + abytes) / bw;
+  const double cmp_t = flops / (peak_ops(gpu, e.dtype) * e.gemm_compute_eff);
+  return std::max(mem_t, cmp_t);
+}
+
+double attention_time_s(const EngineModelConfig& e, const hw::GpuSpec& gpu,
+                        std::int64_t batch, std::int64_t q_len,
+                        std::int64_t kv_len, std::int64_t hidden_shard) {
+  const double ab = act_bytes(e.dtype);
+  // KV history read once per sequence (K and V), plus Q/out traffic.
+  double bytes = 2.0 * static_cast<double>(batch) *
+                     static_cast<double>(kv_len) *
+                     static_cast<double>(hidden_shard) * ab +
+                 2.0 * static_cast<double>(batch) *
+                     static_cast<double>(q_len) *
+                     static_cast<double>(hidden_shard) * ab;
+  if (!e.deep_fusion) {
+    // Unfused attention materializes + re-reads the S x S probability tensor
+    // (score write, softmax read/write, context read: ~4 sweeps).
+    bytes += 4.0 * static_cast<double>(batch) * static_cast<double>(q_len) *
+             static_cast<double>(kv_len) * ab *
+             2.0;  // fp16 scores stored per head pair ~ 2 bytes * heads cancels into hidden_shard scaling
+  }
+  const double flops = 4.0 * static_cast<double>(batch) *
+                       static_cast<double>(q_len) *
+                       static_cast<double>(kv_len) *
+                       static_cast<double>(hidden_shard);
+  const double mem_t = bytes / (gpu.mem_bw_gbps * kGb * e.elementwise_bw_eff);
+  // Attention GeMMs are batched/small: use FP16 peak with modest efficiency.
+  const double cmp_t = flops / (peak_ops(gpu, Dtype::kFP16) * 0.5);
+  return std::max(mem_t, cmp_t);
+}
+
+double elementwise_time_s(const EngineModelConfig& e, const hw::GpuSpec& gpu,
+                          std::int64_t rows, std::int64_t hidden_shard) {
+  // One "pass" = read + write of the [rows, hidden] activation block.
+  const double bytes = e.elementwise_passes * 2.0 * static_cast<double>(rows) *
+                       static_cast<double>(hidden_shard) * act_bytes(e.dtype);
+  return bytes / (gpu.mem_bw_gbps * kGb * e.elementwise_bw_eff);
+}
+
+}  // namespace dsinfer::perf

@@ -1,0 +1,84 @@
+// Roofline kernel timing model.
+//
+// Each GPU kernel is timed as
+//     max(bytes / (HBM_bw * bw_eff), flops / (peak * compute_eff)) + launch
+// where the efficiency factors depend on which software stack issued the
+// kernel. The per-preset constants are the calibration surface of the whole
+// simulator: they encode the paper's Sec. III claims (cuBLAS is not tuned
+// for skinny GeMMs; Deep-Fusion removes intermediate traffic and launches;
+// CUDA-Graph removes launch overhead) without hard-coding any figure.
+#pragma once
+
+#include <cstdint>
+
+#include "hw/topology.h"
+#include "model/model_config.h"
+
+namespace dsinfer::perf {
+
+using model::Dtype;
+
+// Software-stack model: which optimizations are active and what kernel
+// efficiencies the stack achieves.
+struct EngineModelConfig {
+  std::string name;
+  bool deep_fusion = true;   // fuse elementwise/reduction/transpose chains
+  bool sbi_gemm = true;      // custom small-batch-inference GeMM
+  bool cuda_graph = true;    // replay kernel launches from a captured graph
+  Dtype dtype = Dtype::kFP16;
+
+  // Memory-bandwidth utilization of weight streaming in GeMMs, as a function
+  // of activation rows; interpolates from `bw_eff_rows1` at 1 row to
+  // `bw_eff_large` past ~64 rows.
+  double gemm_bw_eff_rows1 = 0.85;
+  double gemm_bw_eff_large = 0.90;
+  // Fraction of tensor-core peak achieved once compute-bound.
+  double gemm_compute_eff = 0.85;
+  // Extra weight-stream traffic multiplier (INT8 pays quant/dequant cost).
+  double weight_traffic_factor = 1.0;
+  // Achieved bandwidth fraction for elementwise / attention kernels.
+  double elementwise_bw_eff = 0.80;
+
+  // Traffic multiplier for non-GeMM micro-ops: how many read+write sweeps of
+  // the activation the stack performs per transformer layer.
+  double elementwise_passes = 8.0;
+  // Kernel launches per transformer layer.
+  double launches_per_layer = 10.0;
+
+  static EngineModelConfig deepspeed_fp16();
+  static EngineModelConfig deepspeed_int8();
+  static EngineModelConfig deepspeed_fp32();
+  // FasterTransformer: well-fused elementwise, cuBLAS GeMMs, no CUDA graph,
+  // no skinny-GeMM specialization (paper Sec. VII-B.1).
+  static EngineModelConfig faster_transformer();
+  // Framework baseline: kernel-per-micro-op (paper Fig. 10(a) "PyTorch").
+  static EngineModelConfig pytorch();
+  // E.T.-style stack: custom GeMM and fused attention, but fewer fused
+  // regions than Deep-Fusion and no CUDA-graph capture (Fig. 12).
+  static EngineModelConfig et_like();
+};
+
+// Effective GeMM weight-streaming bandwidth fraction at `rows` rows.
+double gemm_bw_efficiency(const EngineModelConfig& e, std::int64_t rows);
+
+// Peak throughput (FLOP/s or OP/s) the GPU offers for this dtype.
+double peak_ops(const hw::GpuSpec& gpu, Dtype dtype);
+
+// Time of one linear layer y[rows,out] = x[rows,in] * W^T.
+double gemm_time_s(const EngineModelConfig& e, const hw::GpuSpec& gpu,
+                   std::int64_t rows, std::int64_t in, std::int64_t out);
+
+// Per-kernel launch overhead given graph capture state.
+double launch_overhead_s(const EngineModelConfig& e, const hw::GpuSpec& gpu);
+
+// Attention over the KV cache: batch sequences, q_len new tokens each,
+// kv_len total positions, `hidden_shard` = hidden / TP.
+double attention_time_s(const EngineModelConfig& e, const hw::GpuSpec& gpu,
+                        std::int64_t batch, std::int64_t q_len,
+                        std::int64_t kv_len, std::int64_t hidden_shard);
+
+// All non-GeMM elementwise traffic of one layer over `rows` token rows.
+double elementwise_time_s(const EngineModelConfig& e, const hw::GpuSpec& gpu,
+                          std::int64_t rows, std::int64_t hidden_shard);
+
+}  // namespace dsinfer::perf

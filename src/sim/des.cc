@@ -1,0 +1,39 @@
+#include "sim/des.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace dsinfer::sim {
+
+void Simulator::schedule_at(double t, Callback cb) {
+  if (t < now_) throw std::invalid_argument("schedule_at: time in the past");
+  queue_.push(Event{t, next_seq_++, std::move(cb)});
+}
+
+double Simulator::run() {
+  while (!queue_.empty()) {
+    // priority_queue::top returns const&; move out via const_cast-free copy
+    // of the callback after popping the ordering fields.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.time;
+    ++processed_;
+    if (ev.cb) ev.cb();
+  }
+  return now_;
+}
+
+Resource::Resource(Simulator& sim, std::string name)
+    : sim_(sim), name_(std::move(name)) {}
+
+double Resource::submit(double duration, Simulator::Callback done) {
+  if (duration < 0) throw std::invalid_argument("Resource: negative duration");
+  const double start = std::max(sim_.now(), free_at_);
+  const double end = start + duration;
+  free_at_ = end;
+  busy_ += duration;
+  if (done) sim_.schedule_at(end, std::move(done));
+  return end;
+}
+
+}  // namespace dsinfer::sim

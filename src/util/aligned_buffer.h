@@ -1,0 +1,79 @@
+// Aligned, owning storage for kernel data.
+//
+// All compute kernels in dsinfer operate on raw float/int8 spans backed by
+// 64-byte-aligned allocations so that vectorized loops never straddle cache
+// lines and so the "full cache-line" arguments of SBI-GeMM (Sec. III.C of the
+// paper) can be reproduced faithfully on the CPU.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+#include <span>
+#include <utility>
+
+namespace dsinfer {
+
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+// RAII wrapper over an aligned heap allocation of trivially-copyable T.
+template <typename T>
+class AlignedBuffer {
+ public:
+  AlignedBuffer() = default;
+
+  explicit AlignedBuffer(std::size_t count) { reset(count); }
+
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+
+  AlignedBuffer(AlignedBuffer&& other) noexcept
+      : data_(std::exchange(other.data_, nullptr)),
+        size_(std::exchange(other.size_, 0)) {}
+
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept {
+    if (this != &other) {
+      release();
+      data_ = std::exchange(other.data_, nullptr);
+      size_ = std::exchange(other.size_, 0);
+    }
+    return *this;
+  }
+
+  ~AlignedBuffer() { release(); }
+
+  // Re-allocates to hold `count` elements; contents are uninitialized.
+  void reset(std::size_t count) {
+    release();
+    if (count == 0) return;
+    const std::size_t bytes =
+        ((count * sizeof(T) + kCacheLineBytes - 1) / kCacheLineBytes) *
+        kCacheLineBytes;
+    data_ = static_cast<T*>(std::aligned_alloc(kCacheLineBytes, bytes));
+    if (data_ == nullptr) throw std::bad_alloc();
+    size_ = count;
+  }
+
+  T* data() noexcept { return data_; }
+  const T* data() const noexcept { return data_; }
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  T& operator[](std::size_t i) noexcept { return data_[i]; }
+  const T& operator[](std::size_t i) const noexcept { return data_[i]; }
+
+  std::span<T> span() noexcept { return {data_, size_}; }
+  std::span<const T> span() const noexcept { return {data_, size_}; }
+
+ private:
+  void release() noexcept {
+    std::free(data_);
+    data_ = nullptr;
+    size_ = 0;
+  }
+
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace dsinfer

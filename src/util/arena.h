@@ -1,0 +1,52 @@
+// Bump-pointer workspace arena with high-water tracking — the CPU analog of
+// a GPU inference framework's workspace pool: one allocation up front, O(1)
+// sub-allocations per kernel, bulk reset between forward passes, and a
+// high-water mark that reports the true workspace requirement (what a
+// deployment must reserve next to weights and KV cache).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+
+#include "util/aligned_buffer.h"
+
+namespace dsinfer {
+
+class Arena {
+ public:
+  explicit Arena(std::size_t capacity_bytes)
+      : buf_(capacity_bytes), capacity_(capacity_bytes) {}
+
+  // Allocates `count` Ts aligned to the cache line; throws std::bad_alloc
+  // beyond capacity. Pointers remain valid until reset().
+  template <typename T>
+  std::span<T> allocate(std::size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "Arena only holds trivially destructible types");
+    const std::size_t bytes =
+        ((count * sizeof(T) + kCacheLineBytes - 1) / kCacheLineBytes) *
+        kCacheLineBytes;
+    if (offset_ + bytes > capacity_) throw std::bad_alloc();
+    T* p = reinterpret_cast<T*>(buf_.data() + offset_);
+    offset_ += bytes;
+    high_water_ = offset_ > high_water_ ? offset_ : high_water_;
+    return {p, count};
+  }
+
+  // Releases everything allocated since construction or the last reset.
+  void reset() { offset_ = 0; }
+
+  std::size_t used() const { return offset_; }
+  std::size_t capacity() const { return capacity_; }
+  // Largest `used()` ever observed — the workspace requirement.
+  std::size_t high_water() const { return high_water_; }
+
+ private:
+  AlignedBuffer<std::byte> buf_;
+  std::size_t capacity_ = 0;
+  std::size_t offset_ = 0;
+  std::size_t high_water_ = 0;
+};
+
+}  // namespace dsinfer

@@ -1,0 +1,46 @@
+// Deterministic RNG helpers. Every stochastic choice in the library
+// (weight init, token sampling, workload generation) flows through a seeded
+// Rng so that tests and benchmark tables are exactly reproducible.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <span>
+
+namespace dsinfer {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eed5eedULL) : gen_(seed) {}
+
+  float uniform(float lo = 0.0f, float hi = 1.0f) {
+    return std::uniform_real_distribution<float>(lo, hi)(gen_);
+  }
+
+  float normal(float mean = 0.0f, float stddev = 1.0f) {
+    return std::normal_distribution<float>(mean, stddev)(gen_);
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t integer(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(gen_);
+  }
+
+  void fill_normal(std::span<float> out, float mean = 0.0f,
+                   float stddev = 1.0f) {
+    std::normal_distribution<float> dist(mean, stddev);
+    for (auto& v : out) v = dist(gen_);
+  }
+
+  void fill_uniform(std::span<float> out, float lo = -1.0f, float hi = 1.0f) {
+    std::uniform_real_distribution<float> dist(lo, hi);
+    for (auto& v : out) v = dist(gen_);
+  }
+
+  std::mt19937_64& engine() { return gen_; }
+
+ private:
+  std::mt19937_64 gen_;
+};
+
+}  // namespace dsinfer

@@ -1,0 +1,42 @@
+// Small statistics + wall-clock timing helpers used by tests and benches.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace dsinfer {
+
+struct Summary {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p99 = 0.0;
+  std::size_t count = 0;
+};
+
+// Computes a full summary of `samples`; does not modify the input.
+Summary summarize(std::span<const double> samples);
+
+// Linear-interpolated percentile of a *sorted* sample vector, q in [0, 1].
+double percentile_sorted(std::span<const double> sorted, double q);
+
+// Monotonic stopwatch; `elapsed_s()` can be read repeatedly.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+  void restart() { start_ = clock::now(); }
+  double elapsed_s() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+  double elapsed_ms() const { return elapsed_s() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace dsinfer

@@ -1,0 +1,42 @@
+// Fixed-width console table + CSV emission for benchmark harnesses.
+// Every bench binary prints the same rows/series the paper's figure reports,
+// and can optionally mirror them to a CSV file for plotting.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace dsinfer {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  // Appends one row; the cell count must match the header count.
+  void add_row(std::vector<std::string> cells);
+
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t cols() const { return headers_.size(); }
+
+  // Pretty-prints with column alignment and a separator under the header.
+  void print(std::ostream& os) const;
+
+  // Writes headers + rows as RFC-4180-ish CSV (fields with commas quoted).
+  void write_csv(std::ostream& os) const;
+
+  // Convenience numeric cell formatting.
+  static std::string num(double v, int precision = 3);
+
+  // If the environment variable DSINFER_CSV_DIR is set, writes this table to
+  // <dir>/<name>.csv and returns true; otherwise does nothing. Lets every
+  // bench double as a plot-data generator without extra flags.
+  bool maybe_write_csv_file(const std::string& name) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dsinfer

@@ -1,0 +1,52 @@
+#include "zero/kv_offload.h"
+
+#include <stdexcept>
+
+namespace dsinfer::zero {
+
+OffloadableKVCache::OffloadableKVCache(std::int64_t batch, std::int64_t heads,
+                                       std::int64_t head_dim,
+                                       std::int64_t max_seq)
+    : cache_(batch, heads, head_dim, max_seq),
+      batch_(batch),
+      heads_(heads),
+      head_dim_(head_dim),
+      max_seq_(max_seq) {}
+
+kernels::KVCache& OffloadableKVCache::device() {
+  if (!resident_) {
+    throw std::logic_error(
+        "OffloadableKVCache: cache is offloaded; call fetch_to_device()");
+  }
+  return cache_;
+}
+
+const kernels::KVCache& OffloadableKVCache::device() const {
+  if (!resident_) {
+    throw std::logic_error(
+        "OffloadableKVCache: cache is offloaded; call fetch_to_device()");
+  }
+  return cache_;
+}
+
+void OffloadableKVCache::release_to_host() {
+  if (!resident_) return;
+  host_seq_len_ = cache_.seq_len();
+  const auto n =
+      static_cast<std::size_t>(batch_ * heads_ * host_seq_len_ * head_dim_);
+  host_k_.resize(n);
+  host_v_.resize(n);
+  cache_.export_state(host_k_, host_v_);
+  cache_.reset();  // the device copy is conceptually freed
+  bytes_off_ += 2 * n * sizeof(float);
+  resident_ = false;
+}
+
+void OffloadableKVCache::fetch_to_device() {
+  if (resident_) return;
+  cache_.import_state(host_k_, host_v_, host_seq_len_);
+  bytes_in_ += 2 * host_k_.size() * sizeof(float);
+  resident_ = true;
+}
+
+}  // namespace dsinfer::zero

@@ -1,0 +1,50 @@
+// Functional KV-cache offloading (paper Sec. IV-C.2/3).
+//
+// The cached key/value activations of a sequence "will not be used again
+// until generating [its] next token", so between steps they can live in host
+// memory. OffloadableKVCache wraps a device-resident KVCache with a host
+// backing store: release() snapshots the cache to the host and frees the
+// device copy (conceptually); fetch() restores it. A transfer ledger counts
+// PCIe bytes, and the odd/even link-scheduling policy of Sec. IV-C.3 is
+// expressed as a pluggable contention model used by tests and benches.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "kernels/kv_cache.h"
+
+namespace dsinfer::zero {
+
+class OffloadableKVCache {
+ public:
+  OffloadableKVCache(std::int64_t batch, std::int64_t heads,
+                     std::int64_t head_dim, std::int64_t max_seq);
+
+  // Device-side view; valid only while resident.
+  kernels::KVCache& device();
+  const kernels::KVCache& device() const;
+
+  bool resident() const { return resident_; }
+
+  // Moves the cache contents to the host store. Idempotent.
+  void release_to_host();
+  // Restores the device copy from the host store. Idempotent.
+  void fetch_to_device();
+
+  // Bytes moved across the (simulated) PCIe boundary so far.
+  std::size_t bytes_offloaded() const { return bytes_off_; }
+  std::size_t bytes_fetched() const { return bytes_in_; }
+
+ private:
+  kernels::KVCache cache_;
+  std::vector<float> host_k_, host_v_;
+  std::int64_t host_seq_len_ = 0;
+  bool resident_ = true;
+  std::size_t bytes_off_ = 0;
+  std::size_t bytes_in_ = 0;
+
+  std::int64_t batch_, heads_, head_dim_, max_seq_;
+};
+
+}  // namespace dsinfer::zero

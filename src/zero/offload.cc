@@ -1,0 +1,150 @@
+#include "zero/offload.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace dsinfer::zero {
+
+namespace {
+
+void copy_tensor(Tensor& dst, const Tensor& src) {
+  dst.reshape(src.shape());
+  std::memcpy(dst.data(), src.data(),
+              static_cast<std::size_t>(src.numel()) * sizeof(float));
+}
+
+void copy_weights(kernels::LayerWeights& dst, const kernels::LayerWeights& src) {
+  dst.hidden = src.hidden;
+  dst.heads = src.heads;
+  dst.ffn = src.ffn;
+  copy_tensor(dst.ln1_g, src.ln1_g);
+  copy_tensor(dst.ln1_b, src.ln1_b);
+  copy_tensor(dst.ln2_g, src.ln2_g);
+  copy_tensor(dst.ln2_b, src.ln2_b);
+  copy_tensor(dst.w_qkv, src.w_qkv);
+  copy_tensor(dst.b_qkv, src.b_qkv);
+  copy_tensor(dst.w_attn_out, src.w_attn_out);
+  copy_tensor(dst.b_attn_out, src.b_attn_out);
+  copy_tensor(dst.w_fc1, src.w_fc1);
+  copy_tensor(dst.b_fc1, src.b_fc1);
+  copy_tensor(dst.w_fc2, src.w_fc2);
+  copy_tensor(dst.b_fc2, src.b_fc2);
+}
+
+// INT8 streamed copy: quantized GeMM weights + FP32 layernorm/bias vectors;
+// the big FP32 matrices never cross the boundary.
+void copy_weights_int8(kernels::LayerWeights& dst,
+                       const kernels::LayerWeights& src) {
+  dst.hidden = src.hidden;
+  dst.heads = src.heads;
+  dst.ffn = src.ffn;
+  copy_tensor(dst.ln1_g, src.ln1_g);
+  copy_tensor(dst.ln1_b, src.ln1_b);
+  copy_tensor(dst.ln2_g, src.ln2_g);
+  copy_tensor(dst.ln2_b, src.ln2_b);
+  copy_tensor(dst.b_qkv, src.b_qkv);
+  copy_tensor(dst.b_attn_out, src.b_attn_out);
+  copy_tensor(dst.b_fc1, src.b_fc1);
+  copy_tensor(dst.b_fc2, src.b_fc2);
+  dst.q_qkv = src.q_qkv;
+  dst.q_attn_out = src.q_attn_out;
+  dst.q_fc1 = src.q_fc1;
+  dst.q_fc2 = src.q_fc2;
+}
+
+}  // namespace
+
+HostWeightStore::HostWeightStore(Rng& rng, std::int64_t layers,
+                                 std::int64_t hidden, std::int64_t heads,
+                                 std::int64_t ffn, Tier tier)
+    : tier_(tier) {
+  if (layers < 1) throw std::invalid_argument("HostWeightStore: layers >= 1");
+  weights_.resize(static_cast<std::size_t>(layers));
+  for (auto& w : weights_) w.init_random(rng, hidden, heads, ffn);
+}
+
+HostWeightStore::HostWeightStore(std::vector<kernels::LayerWeights>&& weights,
+                                 Tier tier)
+    : weights_(std::move(weights)), tier_(tier) {
+  if (weights_.empty()) {
+    throw std::invalid_argument("HostWeightStore: need >= 1 layer");
+  }
+}
+
+const kernels::LayerWeights& HostWeightStore::layer(std::int64_t i) const {
+  return weights_.at(static_cast<std::size_t>(i));
+}
+
+std::size_t HostWeightStore::layer_bytes() const {
+  return weights_.front().param_count() * sizeof(float);
+}
+
+void HostWeightStore::quantize_all() const {
+  kernels::KernelPolicy int8;
+  int8.dtype = kernels::Dtype::kINT8;
+  for (const auto& w : weights_) {
+    const_cast<kernels::LayerWeights&>(w).prepare(int8);
+  }
+}
+
+std::size_t HostWeightStore::layer_bytes_int8() const {
+  const auto& w = weights_.front();
+  // Quantized GeMM weights (1 byte each + scales) plus FP32 LN/bias vectors.
+  std::size_t bytes = 0;
+  bytes += w.q_qkv.bytes() + w.q_attn_out.bytes() + w.q_fc1.bytes() +
+           w.q_fc2.bytes();
+  bytes += static_cast<std::size_t>(3 * w.hidden + w.hidden + w.ffn +
+                                    w.hidden + 4 * w.hidden) *
+           sizeof(float);
+  return bytes;
+}
+
+LayerStreamer::LayerStreamer(const HostWeightStore& store, std::int64_t window,
+                             Precision precision)
+    : store_(store), precision_(precision) {
+  if (window < 1) throw std::invalid_argument("LayerStreamer: window >= 1");
+  slots_.resize(static_cast<std::size_t>(
+      std::min<std::int64_t>(window, store.layers())));
+  if (precision_ == Precision::kInt8) store.quantize_all();
+}
+
+LayerStreamer::Slot& LayerStreamer::fetch_into_window(std::int64_t layer) {
+  // Round-robin eviction matches the strictly sequential layer access
+  // pattern of a forward pass (the oldest resident layer is always the one
+  // used furthest in the past).
+  Slot& victim = slots_[static_cast<std::size_t>(next_victim_)];
+  next_victim_ = (next_victim_ + 1) % static_cast<std::int64_t>(slots_.size());
+  if (precision_ == Precision::kInt8) {
+    copy_weights_int8(victim.weights, store_.layer(layer));
+    bytes_fetched_ += store_.layer_bytes_int8();
+  } else {
+    copy_weights(victim.weights, store_.layer(layer));
+    bytes_fetched_ += store_.layer_bytes();
+  }
+  victim.layer = layer;
+  ++fetch_count_;
+  return victim;
+}
+
+const kernels::LayerWeights& LayerStreamer::acquire(std::int64_t layer) {
+  if (layer < 0 || layer >= store_.layers()) {
+    throw std::out_of_range("LayerStreamer::acquire: bad layer index");
+  }
+  for (auto& s : slots_) {
+    if (s.layer == layer) {
+      ++hit_count_;
+      return s.weights;
+    }
+  }
+  return fetch_into_window(layer).weights;
+}
+
+void LayerStreamer::prefetch(std::int64_t layer) {
+  if (layer < 0 || layer >= store_.layers()) return;  // hint; ignore OOB
+  for (const auto& s : slots_) {
+    if (s.layer == layer) return;
+  }
+  fetch_into_window(layer);
+}
+
+}  // namespace dsinfer::zero

@@ -1,0 +1,86 @@
+// Functional ZeRO-Inference weight streaming (paper Sec. VI).
+//
+// Model weights are pinned in a host-side store (standing in for DRAM or
+// NVMe) and streamed layer-by-layer into a small device-side window for
+// computation, with configurable prefetch depth. The streamed engine is
+// bit-identical to a fully resident engine — tests assert it — while the
+// transfer ledger exposes exactly how many bytes crossed the (simulated)
+// PCIe boundary, which the perf model prices.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "kernels/transformer_layer.h"
+#include "util/rng.h"
+
+namespace dsinfer::zero {
+
+enum class Tier { kDevice, kDram, kNvme };
+
+// Owns the full model's layer weights in host memory.
+class HostWeightStore {
+ public:
+  HostWeightStore(Rng& rng, std::int64_t layers, std::int64_t hidden,
+                  std::int64_t heads, std::int64_t ffn, Tier tier);
+
+  // Adopts already-initialized layer weights (e.g. from a resident model
+  // being demoted to host memory).
+  HostWeightStore(std::vector<kernels::LayerWeights>&& weights, Tier tier);
+
+  std::int64_t layers() const { return static_cast<std::int64_t>(weights_.size()); }
+  Tier tier() const { return tier_; }
+  const kernels::LayerWeights& layer(std::int64_t i) const;
+  std::size_t layer_bytes() const;  // FP32 parameter bytes of one layer
+  // Bytes streamed per layer in INT8 form (weights quantized, LN/bias FP32).
+  std::size_t layer_bytes_int8() const;
+  // Pre-builds the host-side quantized forms (idempotent).
+  void quantize_all() const;
+
+ private:
+  std::vector<kernels::LayerWeights> weights_;
+  Tier tier_;
+};
+
+// A sliding window of device-resident layer copies.
+class LayerStreamer {
+ public:
+  enum class Precision { kFP32, kInt8 };
+
+  // `window` = number of layers resident at once (>= 1). window >= 2 allows
+  // prefetching the next layer while the current one computes.
+  // Precision::kInt8 streams per-channel-quantized weights instead of FP32,
+  // cutting transfer bytes ~4x (an extension beyond the paper's FP16
+  // streaming; the INT8 GeMM path consumes the quantized form directly).
+  LayerStreamer(const HostWeightStore& store, std::int64_t window,
+                Precision precision = Precision::kFP32);
+
+  // Returns device-resident weights for `layer`, fetching on miss.
+  const kernels::LayerWeights& acquire(std::int64_t layer);
+
+  // Hints that `layer` will be needed; fetches into the window if absent.
+  void prefetch(std::int64_t layer);
+
+  std::size_t bytes_fetched() const { return bytes_fetched_; }
+  std::int64_t fetch_count() const { return fetch_count_; }
+  std::int64_t hit_count() const { return hit_count_; }
+  std::int64_t window() const { return static_cast<std::int64_t>(slots_.size()); }
+
+ private:
+  struct Slot {
+    std::int64_t layer = -1;
+    kernels::LayerWeights weights;
+  };
+
+  Slot& fetch_into_window(std::int64_t layer);
+
+  const HostWeightStore& store_;
+  Precision precision_;
+  std::vector<Slot> slots_;
+  std::int64_t next_victim_ = 0;  // round-robin eviction
+  std::size_t bytes_fetched_ = 0;
+  std::int64_t fetch_count_ = 0;
+  std::int64_t hit_count_ = 0;
+};
+
+}  // namespace dsinfer::zero

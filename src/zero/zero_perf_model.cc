@@ -1,0 +1,182 @@
+#include "zero/zero_perf_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "comm/cost_model.h"
+
+namespace dsinfer::zero {
+
+using model::Dtype;
+
+namespace {
+
+constexpr double kGb = 1e9;
+
+// GeMM efficiency vs. total token rows: the large-batch lever that lets
+// ZeRO-Inference reach >50% of peak (paper Sec. VI-A). Saturates at ~0.58
+// of peak, crossing ~0.29 at 2k rows.
+double compute_efficiency(double rows) {
+  const double sat = 0.58;
+  return sat * rows / (rows + 2048.0);
+}
+
+// Device-memory budget left for activations after reserving the streaming
+// window, in bytes.
+double activation_budget_bytes(const model::DenseModelConfig& m,
+                               const hw::GpuSpec& gpu,
+                               const ZeroConfig& cfg) {
+  const double window_layers =
+      static_cast<double>(std::max<std::int64_t>(2, cfg.prefetch_depth + 1));
+  return gpu.mem_gb * 0.92 * kGb -
+         window_layers * m.layer_param_bytes(Dtype::kFP16) - 1.5 * kGb;
+}
+
+// Per-sequence GPU bytes: working activations (KV cache lives in host
+// memory under ZeRO-Inference; on-GPU for the GPU-only baseline).
+double per_seq_bytes(const model::DenseModelConfig& m, std::int64_t prompt,
+                     bool kv_on_gpu) {
+  const double act = 6.0 * static_cast<double>(prompt) *
+                     static_cast<double>(m.hidden) * 2.0;
+  const double kv = kv_on_gpu ? m.kv_cache_bytes(1, prompt) : 0.0;
+  return act + kv;
+}
+
+double host_capacity_gb(const hw::ClusterSpec& cluster, WeightHome home) {
+  switch (home) {
+    case WeightHome::kGpuOnly:
+      return cluster.node.gpu.mem_gb;
+    case WeightHome::kCpuOnly:
+    case WeightHome::kZeroDram:
+      // Half the DRAM is reserved for activations/OS (the paper's CPU-only
+      // ceiling on the 256 GB workstation is ~50B parameters).
+      return cluster.node.dram_gb * 0.5;
+    case WeightHome::kZeroNvme:
+      return cluster.node.nvme_gb * 0.9;
+  }
+  return 0;
+}
+
+double fetch_bw_bytes_per_s(const hw::ClusterSpec& cluster, WeightHome home) {
+  switch (home) {
+    case WeightHome::kZeroDram:
+      return cluster.node.pcie.bw_gbps * kGb;
+    case WeightHome::kZeroNvme:
+      return std::min(cluster.node.pcie.bw_gbps,
+                      cluster.node.nvme_read_gbps) *
+             kGb;
+    default:
+      return 0;
+  }
+}
+
+}  // namespace
+
+ZeroThroughput zero_throughput(const model::DenseModelConfig& m,
+                               const hw::ClusterSpec& cluster,
+                               const ZeroConfig& cfg, std::int64_t batch) {
+  if (cfg.gpus < 1 ||
+      (cfg.home != WeightHome::kCpuOnly &&
+       cfg.gpus > cluster.total_gpus())) {
+    throw std::invalid_argument("zero_throughput: bad gpu count");
+  }
+  const hw::GpuSpec& gpu = cluster.node.gpu;
+  ZeroThroughput out;
+
+  const double weights_gb = m.total_param_gb(Dtype::kFP16);
+  out.fits = weights_gb <= host_capacity_gb(cluster, cfg.home) *
+                              (cfg.home == WeightHome::kGpuOnly
+                                   ? static_cast<double>(cfg.gpus)
+                                   : 1.0);
+  if (!out.fits) return out;
+
+  const std::int64_t prompt = cfg.prompt_len;
+
+  // ---- CPU-only baseline: host GeMMs, bound by CPU flops / DRAM bw. ----
+  if (cfg.home == WeightHome::kCpuOnly) {
+    const std::int64_t b = batch > 0 ? batch : 8;
+    out.max_batch = b;
+    const double flops =
+        static_cast<double>(b) * m.model_flops(prompt, prompt);
+    const double bytes = m.model_param_bytes(Dtype::kFP32);  // host fp32
+    const double t = std::max(flops / (cluster.node.cpu_tflops * 1e12 * 0.5),
+                              bytes / (cluster.node.dram_bw_gbps * kGb));
+    out.total_s = t;
+    out.tokens_per_s = static_cast<double>(b) / t;
+    out.tflops_per_gpu = flops / t / 1e12;  // per socket
+    return out;
+  }
+
+  // ---- GPU-resident or streamed GPU execution. ----
+  const bool streamed = cfg.home != WeightHome::kGpuOnly;
+  double budget;
+  if (streamed) {
+    budget = activation_budget_bytes(m, gpu, cfg);
+  } else {
+    budget = gpu.mem_gb * 0.92 * kGb -
+             m.total_param_gb(Dtype::kFP16) * kGb /
+                 static_cast<double>(cfg.gpus) -
+             1.0 * kGb;
+  }
+  const double seq_bytes = per_seq_bytes(m, prompt, /*kv_on_gpu=*/!streamed);
+  const std::int64_t max_b =
+      std::max<std::int64_t>(0, static_cast<std::int64_t>(budget / seq_bytes));
+  if (max_b == 0) {
+    out.fits = false;  // hosts the weights but cannot run even batch 1
+    return out;
+  }
+  const std::int64_t b = batch > 0 ? std::min(batch, max_b) : max_b;
+  out.max_batch = max_b;
+
+  const double rows = static_cast<double>(b) * static_cast<double>(prompt);
+  const double layer_flops = m.layer_flops(prompt, prompt) *
+                             static_cast<double>(b);
+  out.compute_s_per_layer =
+      layer_flops / (gpu.fp16_tflops * 1e12 * compute_efficiency(rows));
+
+  if (streamed) {
+    double bw = fetch_bw_bytes_per_s(cluster, cfg.home);
+    double fetch = m.layer_param_bytes(Dtype::kFP16) / bw;
+    if (cfg.gpus > 1 && cfg.partitioned_fetch) {
+      // Each GPU fetches 1/n of the layer over its own PCIe link, then the
+      // shards are all-gathered over NVLink (paper Sec. VI-B).
+      fetch = fetch / static_cast<double>(cfg.gpus) +
+              comm::allgather_time_s(
+                  m.layer_param_bytes(Dtype::kFP16) /
+                      static_cast<double>(cfg.gpus),
+                  cfg.gpus, cluster.node.nvlink);
+    }
+    out.fetch_s_per_layer = fetch;
+  }
+
+  // Prefetch overlaps fetch with compute; without it the two serialize.
+  const double per_layer =
+      cfg.prefetch_depth > 0
+          ? std::max(out.compute_s_per_layer, out.fetch_s_per_layer)
+          : out.compute_s_per_layer + out.fetch_s_per_layer;
+  out.total_s = static_cast<double>(m.layers) * per_layer +
+                out.fetch_s_per_layer;  // pipeline fill
+  // Every GPU runs its own batch (data parallel replicas).
+  out.tokens_per_s = static_cast<double>(b * cfg.gpus) / out.total_s;
+  out.tflops_per_gpu =
+      static_cast<double>(b) * m.model_flops(prompt, prompt) / out.total_s /
+      1e12;
+  return out;
+}
+
+const model::DenseModelConfig* largest_feasible_model(
+    const hw::ClusterSpec& cluster, WeightHome home) {
+  static const auto zoo = model::dense_model_zoo();
+  const model::DenseModelConfig* best = nullptr;
+  for (const auto& m : zoo) {
+    ZeroConfig cfg;
+    cfg.home = home;
+    cfg.gpus = 1;
+    const auto t = zero_throughput(m, cluster, cfg, home == WeightHome::kCpuOnly ? 1 : 0);
+    if (t.fits) best = &m;
+  }
+  return best;
+}
+
+}  // namespace dsinfer::zero

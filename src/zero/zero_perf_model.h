@@ -1,0 +1,48 @@
+// ZeRO-Inference throughput model (paper Sec. VI, Figs. 9 and 10c).
+//
+// Weights are pinned in DRAM or NVMe and streamed per layer; GPU memory is
+// spent on activations so batch sizes — and thus GeMM efficiency — can be
+// far larger than a GPU-only deployment allows. The workload matches the
+// paper's resource-constrained metric: maximum batch size, full-prompt
+// compute, generating a single token.
+#pragma once
+
+#include <cstdint>
+
+#include "hw/topology.h"
+#include "model/model_config.h"
+
+namespace dsinfer::zero {
+
+enum class WeightHome { kGpuOnly, kCpuOnly, kZeroDram, kZeroNvme };
+
+struct ZeroConfig {
+  WeightHome home = WeightHome::kZeroNvme;
+  std::int64_t gpus = 1;
+  std::int64_t prefetch_depth = 1;  // layers fetched ahead (0 = no overlap)
+  bool partitioned_fetch = true;    // multi-GPU aggregate-PCIe optimization
+  std::int64_t prompt_len = 2048;   // tokens per sequence
+};
+
+struct ZeroThroughput {
+  bool fits = false;          // can this placement host the model at all?
+  std::int64_t max_batch = 0;
+  double fetch_s_per_layer = 0;
+  double compute_s_per_layer = 0;
+  double total_s = 0;           // one single-token generation pass
+  double tokens_per_s = 0;      // sequences completed per second
+  double tflops_per_gpu = 0;    // the paper's headline metric
+};
+
+// Throughput of `m` under `cfg` on `cluster`. `batch` == 0 selects the
+// maximum feasible batch.
+ZeroThroughput zero_throughput(const model::DenseModelConfig& m,
+                               const hw::ClusterSpec& cluster,
+                               const ZeroConfig& cfg, std::int64_t batch = 0);
+
+// Largest model of the dense zoo each placement can host (paper Fig. 9b's
+// model-scale axis). Returns nullptr when nothing fits.
+const model::DenseModelConfig* largest_feasible_model(
+    const hw::ClusterSpec& cluster, WeightHome home);
+
+}  // namespace dsinfer::zero

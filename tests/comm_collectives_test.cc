@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "comm/collectives.h"
+
+namespace dsinfer::comm {
+namespace {
+
+// Runs `body(rank)` on n threads and joins.
+void run_ranks(std::int64_t n, const std::function<void(std::int64_t)>& body) {
+  std::vector<std::thread> ts;
+  ts.reserve(static_cast<std::size_t>(n));
+  for (std::int64_t r = 0; r < n; ++r) ts.emplace_back(body, r);
+  for (auto& t : ts) t.join();
+}
+
+class CollectivesParam : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(CollectivesParam, AllReduceSumsAcrossRanks) {
+  const std::int64_t n = GetParam();
+  Communicator comm(n);
+  std::vector<std::vector<float>> data(static_cast<std::size_t>(n));
+  for (std::int64_t r = 0; r < n; ++r) {
+    data[static_cast<std::size_t>(r)] = {float(r), float(r * 10), -1.0f};
+  }
+  run_ranks(n, [&](std::int64_t r) {
+    comm.all_reduce_sum(r, data[static_cast<std::size_t>(r)]);
+  });
+  const float sum_r = static_cast<float>(n * (n - 1)) / 2.0f;
+  for (std::int64_t r = 0; r < n; ++r) {
+    EXPECT_FLOAT_EQ(data[static_cast<std::size_t>(r)][0], sum_r);
+    EXPECT_FLOAT_EQ(data[static_cast<std::size_t>(r)][1], sum_r * 10);
+    EXPECT_FLOAT_EQ(data[static_cast<std::size_t>(r)][2], -float(n));
+  }
+}
+
+TEST_P(CollectivesParam, AllGatherConcatenatesInRankOrder) {
+  const std::int64_t n = GetParam();
+  Communicator comm(n);
+  std::vector<std::vector<float>> in(static_cast<std::size_t>(n));
+  std::vector<std::vector<float>> out(static_cast<std::size_t>(n));
+  for (std::int64_t r = 0; r < n; ++r) {
+    in[static_cast<std::size_t>(r)] = {float(r), float(r) + 0.5f};
+    out[static_cast<std::size_t>(r)].resize(static_cast<std::size_t>(2 * n));
+  }
+  run_ranks(n, [&](std::int64_t r) {
+    comm.all_gather(r, in[static_cast<std::size_t>(r)],
+                    out[static_cast<std::size_t>(r)]);
+  });
+  for (std::int64_t r = 0; r < n; ++r) {
+    for (std::int64_t s = 0; s < n; ++s) {
+      EXPECT_FLOAT_EQ(out[static_cast<std::size_t>(r)][2 * s], float(s));
+      EXPECT_FLOAT_EQ(out[static_cast<std::size_t>(r)][2 * s + 1],
+                      float(s) + 0.5f);
+    }
+  }
+}
+
+TEST_P(CollectivesParam, AllToAllTransposesChunks) {
+  const std::int64_t n = GetParam();
+  Communicator comm(n);
+  std::vector<std::vector<float>> in(static_cast<std::size_t>(n));
+  std::vector<std::vector<float>> out(static_cast<std::size_t>(n));
+  for (std::int64_t r = 0; r < n; ++r) {
+    in[static_cast<std::size_t>(r)].resize(static_cast<std::size_t>(n));
+    out[static_cast<std::size_t>(r)].resize(static_cast<std::size_t>(n));
+    for (std::int64_t c = 0; c < n; ++c) {
+      // Chunk addressed from rank r to rank c carries value 100*r + c.
+      in[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)] =
+          float(100 * r + c);
+    }
+  }
+  run_ranks(n, [&](std::int64_t r) {
+    comm.all_to_all(r, in[static_cast<std::size_t>(r)],
+                    out[static_cast<std::size_t>(r)]);
+  });
+  for (std::int64_t r = 0; r < n; ++r) {
+    for (std::int64_t s = 0; s < n; ++s) {
+      EXPECT_FLOAT_EQ(out[static_cast<std::size_t>(r)][static_cast<std::size_t>(s)],
+                      float(100 * s + r));
+    }
+  }
+}
+
+TEST_P(CollectivesParam, BroadcastCopiesRoot) {
+  const std::int64_t n = GetParam();
+  Communicator comm(n);
+  const std::int64_t root = n - 1;
+  std::vector<std::vector<float>> data(static_cast<std::size_t>(n));
+  for (std::int64_t r = 0; r < n; ++r) {
+    data[static_cast<std::size_t>(r)] = {r == root ? 42.0f : 0.0f, float(r)};
+    if (r == root) data[static_cast<std::size_t>(r)][1] = 7.0f;
+  }
+  run_ranks(n, [&](std::int64_t r) {
+    comm.broadcast(r, root, data[static_cast<std::size_t>(r)]);
+  });
+  for (std::int64_t r = 0; r < n; ++r) {
+    EXPECT_FLOAT_EQ(data[static_cast<std::size_t>(r)][0], 42.0f);
+    EXPECT_FLOAT_EQ(data[static_cast<std::size_t>(r)][1], 7.0f);
+  }
+}
+
+TEST_P(CollectivesParam, ReduceScatterSumsOwnChunk) {
+  const std::int64_t n = GetParam();
+  Communicator comm(n);
+  std::vector<std::vector<float>> in(static_cast<std::size_t>(n));
+  std::vector<std::vector<float>> out(static_cast<std::size_t>(n));
+  for (std::int64_t r = 0; r < n; ++r) {
+    in[static_cast<std::size_t>(r)].assign(static_cast<std::size_t>(n),
+                                           float(r + 1));
+    out[static_cast<std::size_t>(r)].resize(1);
+  }
+  run_ranks(n, [&](std::int64_t r) {
+    comm.reduce_scatter_sum(r, in[static_cast<std::size_t>(r)],
+                            out[static_cast<std::size_t>(r)]);
+  });
+  const float total = static_cast<float>(n * (n + 1)) / 2.0f;
+  for (std::int64_t r = 0; r < n; ++r) {
+    EXPECT_FLOAT_EQ(out[static_cast<std::size_t>(r)][0], total);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CollectivesParam, ::testing::Values(1, 2, 4, 7),
+                         [](const auto& info) {
+                           return "n" + std::to_string(info.param);
+                         });
+
+TEST(Collectives, SequentialCollectivesOnSameCommunicator) {
+  // NCCL contract: same order on every rank; barrier must be reusable.
+  const std::int64_t n = 3;
+  Communicator comm(n);
+  std::vector<std::vector<float>> d(static_cast<std::size_t>(n));
+  for (auto& v : d) v = {1.0f};
+  run_ranks(n, [&](std::int64_t r) {
+    for (int iter = 0; iter < 5; ++iter) {
+      comm.all_reduce_sum(r, d[static_cast<std::size_t>(r)]);
+      comm.barrier(r);
+    }
+  });
+  // 1 -> 3 -> 9 -> 27 -> 81 -> 243.
+  for (auto& v : d) EXPECT_FLOAT_EQ(v[0], 243.0f);
+}
+
+TEST(Collectives, TracksBytes) {
+  const std::int64_t n = 2;
+  Communicator comm(n);
+  std::vector<std::vector<float>> d(2, std::vector<float>(8, 1.0f));
+  run_ranks(n, [&](std::int64_t r) {
+    comm.all_reduce_sum(r, d[static_cast<std::size_t>(r)]);
+  });
+  EXPECT_GT(comm.bytes_communicated(), 0u);
+}
+
+TEST(Collectives, InvalidSizeThrows) {
+  EXPECT_THROW(Communicator(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dsinfer::comm

@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "comm/cost_model.h"
+
+namespace dsinfer::comm {
+namespace {
+
+const hw::LinkSpec kNvlink{3.0, 300.0};
+const hw::LinkSpec kIb{8.0, 25.0};
+
+TEST(CostModel, SingleRankCollectivesAreFree) {
+  EXPECT_DOUBLE_EQ(allreduce_time_s(1e6, 1, kNvlink), 0.0);
+  EXPECT_DOUBLE_EQ(allgather_time_s(1e6, 1, kNvlink), 0.0);
+  EXPECT_DOUBLE_EQ(alltoall_time_s(1e6, 1, kNvlink), 0.0);
+  EXPECT_DOUBLE_EQ(broadcast_time_s(1e6, 1, kNvlink), 0.0);
+}
+
+TEST(CostModel, MonotonicInBytes) {
+  EXPECT_LT(allreduce_time_s(1e6, 8, kNvlink), allreduce_time_s(1e8, 8, kNvlink));
+  EXPECT_LT(p2p_time_s(1e3, kIb), p2p_time_s(1e9, kIb));
+}
+
+TEST(CostModel, RingAllreduceApproaches2xBandwidthTerm) {
+  // For large messages, ring all-reduce time ~ 2 * bytes / bw.
+  const double bytes = 1e9;
+  const double t = allreduce_time_s(bytes, 64, kNvlink);
+  const double ideal = 2.0 * bytes / (300.0 * 1e9);
+  EXPECT_NEAR(t, ideal, ideal * 0.1);
+}
+
+TEST(CostModel, AlltoallLatencyLinearInRanks) {
+  // Tiny payload isolates the alpha term: t(n) ~ (n-1) * alpha.
+  const double t16 = alltoall_time_s(16.0, 16, kNvlink);
+  const double t128 = alltoall_time_s(16.0, 128, kNvlink);
+  EXPECT_NEAR(t128 / t16, 127.0 / 15.0, 0.2);
+}
+
+TEST(CostModel, PccBeatsFlatAlltoallAtScale) {
+  // Paper Sec. V.B: 128 GPUs, 8-way tensor slicing -> latency drops from
+  // (128 C1 + C2) to (16 C1 + C2).
+  const double bytes = 1e6;
+  const double flat = alltoall_time_s(bytes, 128, kNvlink);
+  const double pcc = pcc_alltoall_time_s(bytes, 128, 8, kNvlink, false);
+  EXPECT_LT(pcc, flat);
+  EXPECT_GT(flat / pcc, 3.0);  // substantial, latency-dominated regime
+}
+
+TEST(CostModel, PccWithGatherAddsAllgatherTerm) {
+  const double bytes = 1e6;
+  const double no_gather = pcc_alltoall_time_s(bytes, 128, 8, kNvlink, false);
+  const double with_gather = pcc_alltoall_time_s(bytes, 128, 8, kNvlink, true);
+  EXPECT_GT(with_gather, no_gather);
+  EXPECT_NEAR(with_gather - no_gather, allgather_time_s(bytes, 8, kNvlink),
+              1e-9);
+}
+
+TEST(CostModel, PccDegenersatesToFlatAtL1) {
+  const double bytes = 5e5;
+  EXPECT_DOUBLE_EQ(pcc_alltoall_time_s(bytes, 64, 1, kNvlink, false),
+                   alltoall_time_s(bytes, 64, kNvlink));
+}
+
+TEST(CostModel, PccRequiresDivisibility) {
+  EXPECT_THROW(pcc_alltoall_time_s(1.0, 10, 3, kNvlink, false),
+               std::invalid_argument);
+}
+
+TEST(CostModel, HierarchicalAllreduceBetweenIntraAndInterCost) {
+  const double bytes = 1e8;
+  const double hier =
+      hierarchical_allreduce_time_s(bytes, 8, 4, kNvlink, kIb);
+  const double all_intra = allreduce_time_s(bytes, 32, kNvlink);
+  const double all_inter = allreduce_time_s(bytes, 32, kIb);
+  EXPECT_GT(hier, all_intra);  // crossing nodes costs more than pure NVLink
+  EXPECT_LT(hier, all_inter);  // but far less than ringing everything over IB
+}
+
+TEST(CostModel, HierarchicalReducesToFlatForOneNode) {
+  EXPECT_DOUBLE_EQ(hierarchical_allreduce_time_s(1e6, 8, 1, kNvlink, kIb),
+                   allreduce_time_s(1e6, 8, kNvlink));
+}
+
+TEST(CostModel, InvalidRankCountThrows) {
+  EXPECT_THROW(allreduce_time_s(1.0, 0, kNvlink), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dsinfer::comm

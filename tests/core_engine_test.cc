@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/inference_engine.h"
+#include "kernels/tensor.h"
+
+namespace dsinfer::core {
+namespace {
+
+model::DenseModelConfig tiny() { return model::tiny_gpt(64, 3, 4); }
+
+EngineOptions base_opts() {
+  EngineOptions o;
+  o.policy = kernels::KernelPolicy::optimized_large_batch();
+  o.max_batch = 4;
+  o.max_seq = 64;
+  return o;
+}
+
+std::vector<std::vector<std::int32_t>> prompts2() {
+  return {{10, 20, 30, 40}, {5, 6, 7, 8}};
+}
+
+TEST(InferenceEngine, GreedyGenerationIsDeterministic) {
+  InferenceEngine a(tiny(), base_opts(), 7);
+  InferenceEngine b(tiny(), base_opts(), 7);
+  auto ra = a.generate(prompts2(), 6);
+  auto rb = b.generate(prompts2(), 6);
+  EXPECT_EQ(ra.tokens, rb.tokens);
+  EXPECT_EQ(ra.generated, 12);
+  ASSERT_EQ(ra.tokens.size(), 2u);
+  EXPECT_EQ(ra.tokens[0].size(), 10u);  // 4 prompt + 6 generated
+  EXPECT_GT(ra.seconds, 0.0);
+  EXPECT_GT(ra.prompt_seconds, 0.0);
+  EXPECT_LE(ra.prompt_seconds, ra.seconds);
+}
+
+TEST(InferenceEngine, DifferentSeedsDifferentModels) {
+  // Greedy continuations of a randomly initialized model can degenerate to
+  // "repeat the last token" for any seed, so compare raw logits instead.
+  InferenceEngine a(tiny(), base_opts(), 1);
+  InferenceEngine b(tiny(), base_opts(), 2);
+  const auto V = static_cast<std::size_t>(tiny().vocab);
+  std::vector<float> la(2 * V), lb(2 * V);
+  auto prompts = prompts2();
+  a.forward_logits(prompts, la);
+  b.forward_logits(prompts, lb);
+  EXPECT_GT(max_abs_diff(la, lb), 1e-3f);
+}
+
+TEST(InferenceEngine, TokensStayInVocabRange) {
+  InferenceEngine e(tiny(), base_opts(), 3);
+  auto r = e.generate(prompts2(), 8);
+  for (const auto& seq : r.tokens) {
+    for (auto t : seq) {
+      EXPECT_GE(t, 0);
+      EXPECT_LT(t, tiny().vocab);
+    }
+  }
+}
+
+TEST(InferenceEngine, SbiPolicyMatchesBlockedPolicy) {
+  auto opts_sbi = base_opts();
+  opts_sbi.policy = kernels::KernelPolicy::optimized_small_batch();
+  InferenceEngine a(tiny(), base_opts(), 11);
+  InferenceEngine b(tiny(), opts_sbi, 11);
+  EXPECT_EQ(a.generate(prompts2(), 6).tokens, b.generate(prompts2(), 6).tokens);
+}
+
+TEST(InferenceEngine, BaselinePolicyMatchesOptimized) {
+  auto opts_base = base_opts();
+  opts_base.policy = kernels::KernelPolicy::baseline();
+  InferenceEngine a(tiny(), base_opts(), 11);
+  InferenceEngine b(tiny(), opts_base, 11);
+  EXPECT_EQ(a.generate(prompts2(), 6).tokens, b.generate(prompts2(), 6).tokens);
+}
+
+TEST(InferenceEngine, StreamedMatchesResident) {
+  auto opts_stream = base_opts();
+  opts_stream.stream_weights = true;
+  opts_stream.stream_window = 2;
+  InferenceEngine resident(tiny(), base_opts(), 13);
+  InferenceEngine streamed(tiny(), opts_stream, 13);
+  auto rr = resident.generate(prompts2(), 5);
+  auto rs = streamed.generate(prompts2(), 5);
+  EXPECT_EQ(rr.tokens, rs.tokens);
+  // 3 layers fetched once per forward pass: 1 prompt + 4 token passes.
+  EXPECT_GT(streamed.streamed_bytes(), 0u);
+  EXPECT_EQ(resident.streamed_bytes(), 0u);
+}
+
+TEST(InferenceEngine, KvOffloadIsTransparentAndMetered) {
+  auto opts_off = base_opts();
+  opts_off.kv_offload = true;
+  InferenceEngine plain(tiny(), base_opts(), 13);
+  InferenceEngine offloaded(tiny(), opts_off, 13);
+  auto a = plain.generate(prompts2(), 6);
+  auto b = offloaded.generate(prompts2(), 6);
+  EXPECT_EQ(a.tokens, b.tokens);  // numerically transparent
+  EXPECT_EQ(plain.kv_offload_bytes(), 0u);
+  EXPECT_GT(offloaded.kv_offload_bytes(), 0u);
+}
+
+TEST(InferenceEngine, KvOffloadRejectsTensorParallel) {
+  auto opts = base_opts();
+  opts.kv_offload = true;
+  opts.tensor_parallel = 2;
+  EXPECT_THROW(InferenceEngine(tiny(), opts, 1), std::invalid_argument);
+}
+
+TEST(InferenceEngine, TensorParallelMatchesSingleDevice) {
+  for (std::int64_t tp : {2, 4}) {
+    auto opts_tp = base_opts();
+    opts_tp.tensor_parallel = tp;
+    InferenceEngine single(tiny(), base_opts(), 17);
+    InferenceEngine parallel(tiny(), opts_tp, 17);
+    EXPECT_EQ(single.generate(prompts2(), 6).tokens,
+              parallel.generate(prompts2(), 6).tokens)
+        << "tp=" << tp;
+  }
+}
+
+TEST(InferenceEngine, TopKSamplingDeterministicPerSeed) {
+  SamplingOptions s;
+  s.mode = SamplingOptions::Mode::kTopK;
+  s.top_k = 8;
+  s.temperature = 0.9f;
+  InferenceEngine a(tiny(), base_opts(), 19);
+  InferenceEngine b(tiny(), base_opts(), 19);
+  EXPECT_EQ(a.generate(prompts2(), 6, s).tokens,
+            b.generate(prompts2(), 6, s).tokens);
+}
+
+TEST(InferenceEngine, ForwardLogitsMatchesFirstGeneratedToken) {
+  InferenceEngine e(tiny(), base_opts(), 23);
+  std::vector<float> logits(2u * static_cast<std::size_t>(tiny().vocab));
+  auto prompts = prompts2();
+  e.forward_logits(prompts, logits);
+  auto r = e.generate(prompts, 1);
+  for (std::size_t b = 0; b < prompts.size(); ++b) {
+    const auto row = std::span<const float>(logits).subspan(
+        b * static_cast<std::size_t>(tiny().vocab),
+        static_cast<std::size_t>(tiny().vocab));
+    const std::int32_t greedy = static_cast<std::int32_t>(
+        std::max_element(row.begin(), row.end()) - row.begin());
+    EXPECT_EQ(r.tokens[b].back(), greedy);
+  }
+}
+
+TEST(InferenceEngine, ValidationErrors) {
+  InferenceEngine e(tiny(), base_opts(), 29);
+  EXPECT_THROW(e.generate({}, 4), std::invalid_argument);
+  EXPECT_THROW(e.generate({{1, 2}, {3}}, 4), std::invalid_argument);  // ragged
+  EXPECT_THROW(e.generate({{}}, 4), std::invalid_argument);           // empty
+  EXPECT_THROW(e.generate({{1}}, 0), std::invalid_argument);
+  EXPECT_THROW(e.generate({{1}}, 1000), std::invalid_argument);  // > max_seq
+  std::vector<std::vector<std::int32_t>> big(5, std::vector<std::int32_t>{1});
+  EXPECT_THROW(e.generate(big, 2), std::invalid_argument);  // > max_batch
+}
+
+TEST(InferenceEngine, InvalidOptionCombosThrow) {
+  auto opts = base_opts();
+  opts.tensor_parallel = 2;
+  opts.stream_weights = true;
+  EXPECT_THROW(InferenceEngine(tiny(), opts, 1), std::invalid_argument);
+  opts = base_opts();
+  opts.tensor_parallel = 3;  // does not divide 4 heads
+  EXPECT_THROW(InferenceEngine(tiny(), opts, 1), std::invalid_argument);
+  opts = base_opts();
+  opts.tensor_parallel = 0;
+  EXPECT_THROW(InferenceEngine(tiny(), opts, 1), std::invalid_argument);
+}
+
+TEST(GptWeights, ParamCountMatchesAnalyticModel) {
+  Rng rng(1);
+  GptWeights w;
+  const auto cfg = tiny();
+  w.init_random(rng, cfg);
+  EXPECT_EQ(w.param_count(),
+            static_cast<std::size_t>(cfg.total_params()));
+}
+
+TEST(Sampling, GreedyPicksArgmax) {
+  Rng rng(1);
+  std::vector<float> logits{0.1f, 3.0f, -1.0f};
+  SamplingOptions s;
+  EXPECT_EQ(sample_token(logits, s, rng), 1);
+}
+
+TEST(Sampling, TopKNeverPicksOutsideK) {
+  Rng rng(5);
+  std::vector<float> logits{10.0f, 9.0f, -100.0f, -100.0f};
+  SamplingOptions s;
+  s.mode = SamplingOptions::Mode::kTopK;
+  s.top_k = 2;
+  for (int i = 0; i < 200; ++i) {
+    const auto t = sample_token(logits, s, rng);
+    EXPECT_TRUE(t == 0 || t == 1);
+  }
+}
+
+TEST(ByteTokens, RoundTripPrintableText) {
+  const std::string text = "DeepSpeed Inference!";
+  auto toks = byte_tokenize(text);
+  EXPECT_EQ(byte_detokenize(toks), text);
+}
+
+}  // namespace
+}  // namespace dsinfer::core

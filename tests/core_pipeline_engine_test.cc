@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "core/inference_engine.h"
+#include "core/pipeline_engine.h"
+
+namespace dsinfer::core {
+namespace {
+
+model::DenseModelConfig tiny() { return model::tiny_gpt(64, 6, 4); }
+
+std::vector<std::vector<std::int32_t>> prompts4() {
+  return {{10, 20, 30}, {5, 6, 7}, {100, 101, 102}, {200, 1, 2}};
+}
+
+GenerationResult run_single(std::int64_t new_tokens) {
+  EngineOptions o;
+  o.policy = kernels::KernelPolicy::optimized_large_batch();
+  o.max_batch = 8;
+  o.max_seq = 64;
+  InferenceEngine engine(tiny(), o, 99);
+  return engine.generate(prompts4(), new_tokens);
+}
+
+class PipelineEquivalence
+    : public ::testing::TestWithParam<std::tuple<std::int64_t, std::int64_t>> {
+};
+
+TEST_P(PipelineEquivalence, GreedyMatchesSingleDevice) {
+  const auto [stages, microbatches] = GetParam();
+  PipelineOptions o;
+  o.stages = stages;
+  o.microbatches = microbatches;
+  o.max_seq = 64;
+  PipelineEngine pp(tiny(), o, 99);
+  const auto single = run_single(8);
+  const auto piped = pp.generate(prompts4(), 8);
+  EXPECT_EQ(single.tokens, piped.tokens);
+  EXPECT_EQ(piped.generated, 4 * 8);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, PipelineEquivalence,
+    ::testing::Values(std::make_tuple(1, 1), std::make_tuple(2, 2),
+                      std::make_tuple(3, 2), std::make_tuple(6, 4),
+                      std::make_tuple(2, 4)),
+    [](const auto& info) {
+      return "pp" + std::to_string(std::get<0>(info.param)) + "_mb" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(PipelineEngine, StageRangesPartitionAllLayers) {
+  PipelineOptions o;
+  o.stages = 4;
+  o.microbatches = 1;
+  PipelineEngine pp(tiny(), o, 1);
+  const auto& ranges = pp.stage_ranges();
+  ASSERT_EQ(ranges.size(), 4u);
+  EXPECT_EQ(ranges.front().first, 0);
+  EXPECT_EQ(ranges.back().second, tiny().layers);
+  for (std::size_t s = 1; s < ranges.size(); ++s) {
+    EXPECT_EQ(ranges[s].first, ranges[s - 1].second);
+  }
+}
+
+TEST(PipelineEngine, RepeatedGenerateIsDeterministic) {
+  PipelineOptions o;
+  o.stages = 3;
+  o.microbatches = 2;
+  o.max_seq = 64;
+  PipelineEngine pp(tiny(), o, 5);
+  const auto a = pp.generate(prompts4(), 6);
+  const auto b = pp.generate(prompts4(), 6);
+  EXPECT_EQ(a.tokens, b.tokens);
+}
+
+TEST(PipelineEngine, PromptPhaseRecorded) {
+  PipelineOptions o;
+  o.stages = 2;
+  o.microbatches = 2;
+  o.max_seq = 64;
+  PipelineEngine pp(tiny(), o, 5);
+  const auto r = pp.generate(prompts4(), 4);
+  EXPECT_GT(r.prompt_seconds, 0.0);
+  EXPECT_LE(r.prompt_seconds, r.seconds);
+}
+
+TEST(PipelineEngine, ValidationErrors) {
+  PipelineOptions o;
+  o.stages = 2;
+  o.microbatches = 2;
+  o.max_seq = 16;
+  PipelineEngine pp(tiny(), o, 5);
+  EXPECT_THROW(pp.generate({}, 4), std::invalid_argument);
+  EXPECT_THROW(pp.generate({{1}}, 4), std::invalid_argument);  // batch < mb
+  EXPECT_THROW(pp.generate(prompts4(), 0), std::invalid_argument);
+  EXPECT_THROW(pp.generate(prompts4(), 100), std::invalid_argument);
+  EXPECT_THROW(pp.generate({{1, 2}, {3}}, 2), std::invalid_argument);
+
+  PipelineOptions bad;
+  bad.stages = 100;  // more stages than layers
+  EXPECT_THROW(PipelineEngine(tiny(), bad, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dsinfer::core

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "core/server.h"
+
+namespace dsinfer::core {
+namespace {
+
+model::DenseModelConfig tiny() { return model::tiny_gpt(64, 2, 4); }
+
+ServerOptions base_opts(std::int64_t max_batch = 4, double window = 0.0) {
+  ServerOptions o;
+  o.engine.policy = kernels::KernelPolicy::optimized_large_batch();
+  o.engine.max_batch = 8;
+  o.engine.max_seq = 64;
+  o.max_batch = max_batch;
+  o.batch_window_s = window;
+  return o;
+}
+
+TimedRequest req(std::int64_t id, std::vector<std::int32_t> prompt,
+                 std::int64_t new_tokens, double arrival) {
+  TimedRequest r;
+  r.id = id;
+  r.prompt = std::move(prompt);
+  r.new_tokens = new_tokens;
+  r.arrival_s = arrival;
+  return r;
+}
+
+TEST(InferenceServer, ServesAllRequestsWithRequestedLengths) {
+  InferenceServer server(tiny(), base_opts(), 3);
+  auto stats = server.run_trace({
+      req(1, {10, 20}, 4, 0.0),
+      req(2, {30, 40}, 6, 0.0),
+      req(3, {1, 2, 3}, 2, 0.1),
+  });
+  ASSERT_EQ(stats.size(), 3u);
+  EXPECT_EQ(stats[0].tokens.size(), 2u + 4u);
+  EXPECT_EQ(stats[1].tokens.size(), 2u + 6u);
+  EXPECT_EQ(stats[2].tokens.size(), 3u + 2u);
+  for (const auto& s : stats) {
+    EXPECT_GE(s.start_s, s.arrival_s);
+    EXPECT_GT(s.finish_s, s.start_s);
+  }
+}
+
+TEST(InferenceServer, BatchedOutputEqualsSoloOutput) {
+  // Sequences are independent in the transformer, so a request's greedy
+  // continuation must not depend on its batch mates.
+  auto opts = base_opts(4, 1.0);  // generous window: both batch together
+  InferenceServer batched(tiny(), opts, 9);
+  auto both = batched.run_trace({
+      req(1, {10, 20}, 5, 0.0),
+      req(2, {30, 40}, 5, 0.0),
+  });
+  EXPECT_EQ(both[0].batch_size, 2);
+
+  InferenceServer solo(tiny(), base_opts(1, 0.0), 9);
+  auto alone = solo.run_trace({req(1, {10, 20}, 5, 0.0)});
+  EXPECT_EQ(both[0].tokens, alone[0].tokens);
+}
+
+TEST(InferenceServer, WindowZeroServesHeadOnlyWhenArrivalsAreSpread) {
+  InferenceServer server(tiny(), base_opts(4, 0.0), 5);
+  auto stats = server.run_trace({
+      req(1, {10, 20}, 2, 0.0),
+      req(2, {30, 40}, 2, 100.0),  // far in the future
+  });
+  EXPECT_EQ(stats[0].batch_size, 1);
+  EXPECT_EQ(stats[1].batch_size, 1);
+  EXPECT_GE(stats[1].start_s, 100.0);
+}
+
+TEST(InferenceServer, DifferentPromptLengthsNeverBatchTogether) {
+  InferenceServer server(tiny(), base_opts(4, 10.0), 5);
+  auto stats = server.run_trace({
+      req(1, {10, 20}, 2, 0.0),
+      req(2, {1, 2, 3}, 2, 0.0),
+      req(3, {30, 40}, 2, 0.0),
+  });
+  EXPECT_EQ(stats[0].batch_size, 2);  // ids 1 and 3 share shape
+  EXPECT_EQ(stats[2].batch_size, 2);
+  EXPECT_EQ(stats[1].batch_size, 1);
+}
+
+TEST(InferenceServer, QueueDelayAccumulatesUnderLoad) {
+  // All requests arrive at t=0 with max_batch 1: each later request waits
+  // for every earlier one.
+  InferenceServer server(tiny(), base_opts(1, 0.0), 5);
+  auto stats = server.run_trace({
+      req(1, {10, 20}, 2, 0.0),
+      req(2, {10, 21}, 2, 0.0),
+      req(3, {10, 22}, 2, 0.0),
+  });
+  EXPECT_LE(stats[0].queue_delay_s(), stats[1].queue_delay_s());
+  EXPECT_LE(stats[1].queue_delay_s(), stats[2].queue_delay_s());
+  EXPECT_GT(stats[2].queue_delay_s(), 0.0);
+}
+
+TEST(InferenceServer, LargerWindowRaisesBatchSizes) {
+  std::vector<TimedRequest> trace;
+  for (int i = 0; i < 8; ++i) {
+    trace.push_back(req(i, {10, static_cast<std::int32_t>(i)}, 2,
+                        0.001 * static_cast<double>(i)));
+  }
+  InferenceServer narrow(tiny(), base_opts(8, 0.0), 5);
+  InferenceServer wide(tiny(), base_opts(8, 1.0), 5);
+  auto n = narrow.run_trace(trace);
+  auto w = wide.run_trace(trace);
+  EXPECT_GT(w[0].batch_size, n[0].batch_size);
+  EXPECT_EQ(w[0].batch_size, 8);
+}
+
+TEST(InferenceServer, ValidationErrors) {
+  EXPECT_THROW(InferenceServer(tiny(), base_opts(0), 1),
+               std::invalid_argument);
+  auto bad = base_opts();
+  bad.batch_window_s = -1;
+  EXPECT_THROW(InferenceServer(tiny(), bad, 1), std::invalid_argument);
+  InferenceServer server(tiny(), base_opts(), 1);
+  EXPECT_THROW(server.run_trace({req(1, {}, 2, 0.0)}), std::invalid_argument);
+  EXPECT_THROW(server.run_trace({req(1, {2}, 0, 0.0)}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dsinfer::core

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "core/tokenizer.h"
+
+namespace dsinfer::core {
+namespace {
+
+const char* kCorpus =
+    "the quick brown fox jumps over the lazy dog. the dog barks at the fox. "
+    "the fox runs away from the dog into the quiet forest where the trees "
+    "whisper the oldest stories about the fox and the dog and the moon.";
+
+TEST(BpeTokenizer, UntrainedIsByteLevel) {
+  BpeTokenizer t;
+  auto toks = t.encode("abc");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[0], 'a');
+  EXPECT_EQ(t.decode(toks), "abc");
+  EXPECT_EQ(t.vocab_size(), 256);
+}
+
+TEST(BpeTokenizer, TrainingLearnsMerges) {
+  BpeTokenizer t;
+  t.train(kCorpus, 300);
+  EXPECT_GT(t.num_merges(), 10);
+  EXPECT_LE(t.vocab_size(), 300);
+}
+
+TEST(BpeTokenizer, EncodeDecodeRoundTripsArbitraryText) {
+  BpeTokenizer t;
+  t.train(kCorpus, 320);
+  for (const std::string text :
+       {std::string("the fox and the dog"), std::string("unseen WORDS 123!"),
+        std::string(""), std::string("ttttttttt"),
+        std::string("\x01\x02\xff binary \x00ish", 17)}) {
+    EXPECT_EQ(t.decode(t.encode(text)), text);
+  }
+}
+
+TEST(BpeTokenizer, CompressesTrainedText) {
+  BpeTokenizer t;
+  t.train(kCorpus, 400);
+  const std::string text = "the fox jumps over the lazy dog";
+  const auto toks = t.encode(text);
+  EXPECT_LT(toks.size(), text.size());  // merges shorten common patterns
+}
+
+TEST(BpeTokenizer, EncodeAppliesLowestRankFirst) {
+  // Train on a corpus where "ab" merges before "abc" can exist; encoding
+  // "abab" must use the learned merge everywhere.
+  BpeTokenizer t;
+  t.train("ababababab", 258);
+  ASSERT_GE(t.num_merges(), 1);
+  const auto toks = t.encode("abab");
+  EXPECT_LT(toks.size(), 4u);
+  EXPECT_EQ(t.decode(toks), "abab");
+}
+
+TEST(BpeTokenizer, SerializationRoundTrip) {
+  BpeTokenizer t;
+  t.train(kCorpus, 300);
+  auto blob = t.serialize();
+  auto u = BpeTokenizer::deserialize(blob);
+  EXPECT_EQ(u.num_merges(), t.num_merges());
+  const std::string text = "the quick brown fox";
+  EXPECT_EQ(u.encode(text), t.encode(text));
+}
+
+TEST(BpeTokenizer, DeserializeRejectsGarbage) {
+  EXPECT_THROW(BpeTokenizer::deserialize("not a tokenizer"),
+               std::invalid_argument);
+  EXPECT_THROW(BpeTokenizer::deserialize("bpe1 5 1 2"),
+               std::invalid_argument);  // truncated
+}
+
+TEST(BpeTokenizer, TrainValidatesVocab) {
+  BpeTokenizer t;
+  EXPECT_THROW(t.train("abc", 100), std::invalid_argument);
+}
+
+TEST(BpeTokenizer, DecodeRejectsOutOfRange) {
+  BpeTokenizer t;
+  EXPECT_THROW(t.decode({300}), std::out_of_range);
+  EXPECT_THROW(t.decode({-1}), std::out_of_range);
+}
+
+TEST(BpeTokenizer, StopsEarlyWhenNothingRepeats) {
+  BpeTokenizer t;
+  t.train("abcdefg", 500);  // no repeated pair
+  EXPECT_EQ(t.num_merges(), 0);
+}
+
+}  // namespace
+}  // namespace dsinfer::core

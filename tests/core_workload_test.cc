@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "core/workload.h"
+
+namespace dsinfer::core {
+namespace {
+
+TEST(Workload, DeterministicPerSeed) {
+  WorkloadSpec spec;
+  spec.seed = 42;
+  auto a = generate_poisson_trace(spec);
+  auto b = generate_poisson_trace(spec);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].prompt, b[i].prompt);
+    EXPECT_DOUBLE_EQ(a[i].arrival_s, b[i].arrival_s);
+  }
+}
+
+TEST(Workload, ArrivalsSortedAndBounded) {
+  WorkloadSpec spec;
+  spec.arrival_rate_hz = 100;
+  spec.duration_s = 2.0;
+  auto trace = generate_poisson_trace(spec);
+  ASSERT_FALSE(trace.empty());
+  double prev = 0;
+  for (const auto& r : trace) {
+    EXPECT_GE(r.arrival_s, prev);
+    EXPECT_LT(r.arrival_s, 2.0);
+    prev = r.arrival_s;
+  }
+}
+
+TEST(Workload, RateControlsVolume) {
+  WorkloadSpec slow, fast;
+  slow.arrival_rate_hz = 20;
+  fast.arrival_rate_hz = 200;
+  slow.duration_s = fast.duration_s = 5.0;
+  const auto ns = generate_poisson_trace(slow).size();
+  const auto nf = generate_poisson_trace(fast).size();
+  // Expected 100 vs 1000; allow generous randomness slack.
+  EXPECT_GT(nf, ns * 4);
+  EXPECT_NEAR(static_cast<double>(ns), 100.0, 50.0);
+}
+
+TEST(Workload, RespectsFieldRanges) {
+  WorkloadSpec spec;
+  spec.prompt_lengths = {4, 8};
+  spec.min_new_tokens = 3;
+  spec.max_new_tokens = 5;
+  spec.vocab = 10;
+  auto trace = generate_poisson_trace(spec);
+  for (const auto& r : trace) {
+    EXPECT_TRUE(r.prompt.size() == 4 || r.prompt.size() == 8);
+    EXPECT_GE(r.new_tokens, 3);
+    EXPECT_LE(r.new_tokens, 5);
+    for (auto t : r.prompt) {
+      EXPECT_GE(t, 0);
+      EXPECT_LT(t, 10);
+    }
+  }
+}
+
+TEST(Workload, InvalidSpecThrows) {
+  WorkloadSpec spec;
+  spec.arrival_rate_hz = 0;
+  EXPECT_THROW(generate_poisson_trace(spec), std::invalid_argument);
+  spec = {};
+  spec.prompt_lengths.clear();
+  EXPECT_THROW(generate_poisson_trace(spec), std::invalid_argument);
+  spec = {};
+  spec.max_new_tokens = 0;
+  EXPECT_THROW(generate_poisson_trace(spec), std::invalid_argument);
+}
+
+TEST(ServingSummary, AggregatesKnownStats) {
+  std::vector<RequestStats> stats(2);
+  stats[0].arrival_s = 0;
+  stats[0].start_s = 0;
+  stats[0].finish_s = 1;
+  stats[0].batch_size = 2;
+  stats[0].tokens = {1, 2, 3, 4};
+  stats[1].arrival_s = 0.5;
+  stats[1].start_s = 1;
+  stats[1].finish_s = 2;
+  stats[1].batch_size = 2;
+  stats[1].tokens = {1, 2};
+  auto s = summarize_serving(stats);
+  EXPECT_EQ(s.requests, 2u);
+  EXPECT_DOUBLE_EQ(s.mean_latency_s, (1.0 + 1.5) / 2);
+  EXPECT_DOUBLE_EQ(s.mean_batch_size, 2.0);
+  EXPECT_DOUBLE_EQ(s.tokens_per_s, 6.0 / 2.0);
+}
+
+TEST(ServingSummary, EmptyIsZero) {
+  auto s = summarize_serving({});
+  EXPECT_EQ(s.requests, 0u);
+  EXPECT_EQ(s.tokens_per_s, 0.0);
+}
+
+}  // namespace
+}  // namespace dsinfer::core

@@ -1,0 +1,174 @@
+// Tests for the extension features: EOS stop tokens, rooted collectives
+// (reduce/gather/scatter), MoE load diagnostics, and CSV table export.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <thread>
+
+#include "comm/collectives.h"
+#include "core/inference_engine.h"
+#include "moe/gating.h"
+#include "util/table.h"
+
+namespace dsinfer {
+namespace {
+
+// ---------- EOS stop tokens ----------
+
+TEST(StopToken, TruncatesAtStopInclusive) {
+  auto cfg = model::tiny_gpt(64, 2, 4);
+  core::EngineOptions opts;
+  opts.policy = kernels::KernelPolicy::optimized_large_batch();
+  opts.max_seq = 64;
+  core::InferenceEngine engine(cfg, opts, 7);
+  // First find what the model would greedily generate, then declare its
+  // third generated token the stop token.
+  auto plain = engine.generate({{1, 2, 3}}, 8);
+  const std::int32_t eos = plain.tokens[0][3 + 2];
+
+  core::SamplingOptions s;
+  s.stop_token = eos;
+  core::InferenceEngine engine2(cfg, opts, 7);
+  auto stopped = engine2.generate({{1, 2, 3}}, 8, s);
+  ASSERT_TRUE(stopped.stopped[0]);
+  EXPECT_EQ(stopped.tokens[0].back(), eos);
+  EXPECT_LT(stopped.tokens[0].size(), plain.tokens[0].size());
+  EXPECT_EQ(stopped.generated,
+            static_cast<std::int64_t>(stopped.tokens[0].size()) - 3);
+}
+
+TEST(StopToken, NoStopTokenKeepsFullLength) {
+  auto cfg = model::tiny_gpt(64, 2, 4);
+  core::EngineOptions opts;
+  opts.policy = kernels::KernelPolicy::optimized_large_batch();
+  opts.max_seq = 64;
+  core::InferenceEngine engine(cfg, opts, 7);
+  auto r = engine.generate({{1, 2, 3}}, 8);
+  EXPECT_FALSE(r.stopped[0]);
+  EXPECT_EQ(r.tokens[0].size(), 11u);
+  EXPECT_EQ(r.generated, 8);
+}
+
+// ---------- Rooted collectives ----------
+
+void run_ranks(std::int64_t n, const std::function<void(std::int64_t)>& body) {
+  std::vector<std::thread> ts;
+  for (std::int64_t r = 0; r < n; ++r) ts.emplace_back(body, r);
+  for (auto& t : ts) t.join();
+}
+
+TEST(RootedCollectives, ReduceSumOnlyRootChanges) {
+  comm::Communicator comm(3);
+  std::vector<std::vector<float>> d(3, std::vector<float>{1.0f, 2.0f});
+  run_ranks(3, [&](std::int64_t r) {
+    comm.reduce_sum(r, /*root=*/1, d[static_cast<std::size_t>(r)]);
+  });
+  EXPECT_FLOAT_EQ(d[1][0], 3.0f);
+  EXPECT_FLOAT_EQ(d[1][1], 6.0f);
+  EXPECT_FLOAT_EQ(d[0][0], 1.0f);  // non-root untouched
+  EXPECT_FLOAT_EQ(d[2][1], 2.0f);
+}
+
+TEST(RootedCollectives, GatherConcatsAtRoot) {
+  comm::Communicator comm(4);
+  std::vector<std::vector<float>> in(4);
+  for (std::int64_t r = 0; r < 4; ++r) {
+    in[static_cast<std::size_t>(r)] = {static_cast<float>(r)};
+  }
+  std::vector<float> out(4, -1.0f);
+  run_ranks(4, [&](std::int64_t r) {
+    comm.gather(r, /*root=*/0, in[static_cast<std::size_t>(r)],
+                r == 0 ? std::span<float>(out) : std::span<float>());
+  });
+  for (std::int64_t r = 0; r < 4; ++r) {
+    EXPECT_FLOAT_EQ(out[static_cast<std::size_t>(r)], static_cast<float>(r));
+  }
+}
+
+TEST(RootedCollectives, ScatterDistributesChunks) {
+  comm::Communicator comm(4);
+  std::vector<float> root_in{10, 11, 12, 13};
+  std::vector<std::vector<float>> out(4, std::vector<float>(1, -1.0f));
+  run_ranks(4, [&](std::int64_t r) {
+    comm.scatter(r, /*root=*/2,
+                 r == 2 ? std::span<const float>(root_in)
+                        : std::span<const float>(),
+                 out[static_cast<std::size_t>(r)]);
+  });
+  for (std::int64_t r = 0; r < 4; ++r) {
+    EXPECT_FLOAT_EQ(out[static_cast<std::size_t>(r)][0],
+                    10.0f + static_cast<float>(r));
+  }
+}
+
+TEST(RootedCollectives, ScatterGatherRoundTrip) {
+  comm::Communicator comm(3);
+  std::vector<float> data{1, 2, 3, 4, 5, 6};
+  std::vector<float> result(6, 0.0f);
+  std::vector<std::vector<float>> mine(3, std::vector<float>(2));
+  run_ranks(3, [&](std::int64_t r) {
+    comm.scatter(r, 0,
+                 r == 0 ? std::span<const float>(data)
+                        : std::span<const float>(),
+                 mine[static_cast<std::size_t>(r)]);
+    comm.gather(r, 0, mine[static_cast<std::size_t>(r)],
+                r == 0 ? std::span<float>(result) : std::span<float>());
+  });
+  EXPECT_EQ(result, data);
+}
+
+// ---------- MoE load diagnostics ----------
+
+TEST(ExpertLoad, UniformAssignmentHasZeroImbalance) {
+  moe::GatingOutput g;
+  g.expert_of_token = {0, 1, 2, 3, 0, 1, 2, 3};
+  g.gate_weight.assign(8, 1.0f);
+  auto s = moe::expert_load_stats(g, 4);
+  EXPECT_EQ(s.busiest, 2);
+  EXPECT_EQ(s.idle, 0);
+  EXPECT_DOUBLE_EQ(s.imbalance, 0.0);
+}
+
+TEST(ExpertLoad, SkewedAssignmentMeasured) {
+  moe::GatingOutput g;
+  g.expert_of_token = {0, 0, 0, 0};
+  g.gate_weight.assign(4, 1.0f);
+  auto s = moe::expert_load_stats(g, 4);
+  EXPECT_EQ(s.busiest, 4);
+  EXPECT_EQ(s.idle, 3);
+  EXPECT_GT(s.imbalance, 1.0);  // maximal skew
+  EXPECT_EQ(s.tokens_per_expert[0], 4);
+}
+
+TEST(ExpertLoad, OutOfRangeThrows) {
+  moe::GatingOutput g;
+  g.expert_of_token = {9};
+  EXPECT_THROW(moe::expert_load_stats(g, 4), std::out_of_range);
+}
+
+// ---------- CSV export ----------
+
+TEST(CsvExport, WritesWhenEnvSet) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  setenv("DSINFER_CSV_DIR", ".", 1);
+  EXPECT_TRUE(t.maybe_write_csv_file("csv_export_test"));
+  std::ifstream is("csv_export_test.csv");
+  std::string line;
+  std::getline(is, line);
+  EXPECT_EQ(line, "a,b");
+  is.close();
+  std::remove("csv_export_test.csv");
+  unsetenv("DSINFER_CSV_DIR");
+}
+
+TEST(CsvExport, NoopWithoutEnv) {
+  unsetenv("DSINFER_CSV_DIR");
+  Table t({"a"});
+  EXPECT_FALSE(t.maybe_write_csv_file("never_written"));
+}
+
+}  // namespace
+}  // namespace dsinfer

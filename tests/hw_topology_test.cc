@@ -1,0 +1,58 @@
+#include <gtest/gtest.h>
+
+#include "hw/topology.h"
+
+namespace dsinfer::hw {
+namespace {
+
+TEST(GpuSpecs, PublishedNumbers) {
+  auto a100 = a100_40gb();
+  EXPECT_DOUBLE_EQ(a100.mem_gb, 40.0);
+  EXPECT_DOUBLE_EQ(a100.mem_bw_gbps, 1555.0);
+  EXPECT_DOUBLE_EQ(a100.fp16_tflops, 312.0);
+  EXPECT_DOUBLE_EQ(a100.int8_tops, 624.0);
+
+  auto a6k = a6000();
+  EXPECT_DOUBLE_EQ(a6k.fp16_tflops, 158.4);  // the paper's peak for Fig. 9
+
+  auto v100 = v100_32gb();
+  EXPECT_DOUBLE_EQ(v100.mem_bw_gbps, 900.0);
+  EXPECT_DOUBLE_EQ(v100.int8_tops, 0.0);
+}
+
+TEST(Cluster, DgxA100Aggregates) {
+  auto c = dgx_a100_cluster(32);
+  EXPECT_EQ(c.total_gpus(), 256);
+  EXPECT_DOUBLE_EQ(c.aggregate_hbm_gb(), 256 * 40.0);
+  // 256 A100s ~ 398 TB/s aggregate; the paper's Fig. 7 cites 128 TB/s
+  // achieved = 33% of peak, consistent with this peak.
+  EXPECT_NEAR(c.aggregate_mem_bw_gbps() / 1000.0, 398.0, 1.0);
+}
+
+TEST(Cluster, NodeBoundsEnforced) {
+  EXPECT_THROW(dgx_a100_cluster(0), std::invalid_argument);
+  EXPECT_THROW(dgx_a100_cluster(33), std::invalid_argument);
+}
+
+TEST(Cluster, TestbedShapes) {
+  auto lambda = lambda_a6000();
+  EXPECT_EQ(lambda.total_gpus(), 2);
+  EXPECT_DOUBLE_EQ(lambda.node.dram_gb, 256.0);
+  EXPECT_DOUBLE_EQ(lambda.node.nvme_gb, 2000.0);
+
+  auto dgx2 = dgx2_v100();
+  EXPECT_EQ(dgx2.total_gpus(), 16);
+  EXPECT_DOUBLE_EQ(dgx2.node.dram_gb, 1500.0);
+  EXPECT_DOUBLE_EQ(dgx2.node.nvme_gb, 30000.0);
+}
+
+TEST(Cluster, IntraNodeFasterThanInterNode) {
+  auto c = dgx_a100_cluster(2);
+  EXPECT_GT(c.node.nvlink.bw_gbps, c.ib_per_gpu.bw_gbps);
+  EXPECT_LT(c.node.nvlink.latency_us, c.ib_per_gpu.latency_us);
+  // PCIe is the slowest GPU-attached link (the offload bottleneck).
+  EXPECT_LT(c.node.pcie.bw_gbps, c.node.nvlink.bw_gbps);
+}
+
+}  // namespace
+}  // namespace dsinfer::hw

@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "kernels/attention.h"
+#include "kernels/kv_cache.h"
+#include "kernels/tensor.h"
+#include "util/rng.h"
+
+namespace dsinfer::kernels {
+namespace {
+
+struct AttnShape {
+  std::int64_t batch, heads, head_dim, prompt;
+};
+
+std::vector<float> random_vec(Rng& rng, std::int64_t n, float s = 1.0f) {
+  std::vector<float> v(static_cast<std::size_t>(n));
+  rng.fill_normal(v, 0.0f, s);
+  return v;
+}
+
+class AttentionEquivalence : public ::testing::TestWithParam<AttnShape> {};
+
+TEST_P(AttentionEquivalence, FusedMatchesUnfused) {
+  const auto p = GetParam();
+  const std::int64_t H = p.heads * p.head_dim;
+  Rng rng(13);
+  KVCache cache(p.batch, p.heads, p.head_dim, p.prompt + 8);
+  auto k = random_vec(rng, p.batch * p.prompt * H);
+  auto v = random_vec(rng, p.batch * p.prompt * H);
+  cache.append(k, v, p.prompt);
+  auto q = random_vec(rng, p.batch * p.prompt * H);
+  std::vector<float> of(q.size()), ou(q.size());
+  attention_fused(q, cache, of, p.prompt);
+  attention_unfused(q, cache, ou, p.prompt);
+  EXPECT_LT(max_abs_diff(of, ou), 1e-4f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, AttentionEquivalence,
+    ::testing::Values(AttnShape{1, 1, 8, 1}, AttnShape{1, 2, 16, 4},
+                      AttnShape{2, 4, 8, 7}, AttnShape{3, 2, 32, 5},
+                      AttnShape{1, 8, 8, 16}, AttnShape{2, 1, 64, 3}),
+    [](const auto& info) {
+      const auto& s = info.param;
+      return "b" + std::to_string(s.batch) + "_h" + std::to_string(s.heads) +
+             "_d" + std::to_string(s.head_dim) + "_p" +
+             std::to_string(s.prompt);
+    });
+
+TEST(Attention, SinglePositionReturnsItsValueRow) {
+  // With one cached position, softmax over one score is 1 and the output
+  // must equal that position's V regardless of Q or K.
+  Rng rng(14);
+  KVCache cache(1, 2, 4, 4);
+  auto k = random_vec(rng, 1 * 1 * 8);
+  auto v = random_vec(rng, 1 * 1 * 8);
+  cache.append(k, v, 1);
+  auto q = random_vec(rng, 8);
+  std::vector<float> out(8);
+  attention_fused(q, cache, out, 1);
+  EXPECT_LT(max_abs_diff(out, v), 1e-6f);
+}
+
+TEST(Attention, CausalityEarlierQueriesIgnoreLaterKeys) {
+  // Process a 3-token prompt, then rebuild the cache with a different third
+  // token: outputs for positions 0 and 1 must be identical.
+  Rng rng(15);
+  const std::int64_t H = 2 * 8;
+  auto k = random_vec(rng, 3 * H);
+  auto v = random_vec(rng, 3 * H);
+  auto q = random_vec(rng, 3 * H);
+
+  auto run = [&](const std::vector<float>& kk, const std::vector<float>& vv) {
+    KVCache cache(1, 2, 8, 8);
+    cache.append(kk, vv, 3);
+    std::vector<float> out(3 * H);
+    attention_fused(q, cache, out, 3);
+    return out;
+  };
+
+  auto out1 = run(k, v);
+  auto k2 = k;
+  auto v2 = v;
+  for (std::int64_t i = 2 * H; i < 3 * H; ++i) {
+    k2[static_cast<std::size_t>(i)] += 5.0f;
+    v2[static_cast<std::size_t>(i)] -= 5.0f;
+  }
+  auto out2 = run(k2, v2);
+  // Positions 0 and 1 unchanged; position 2 changed.
+  EXPECT_LT(max_abs_diff(std::span(out1).subspan(0, 2 * H),
+                         std::span(out2).subspan(0, 2 * H)),
+            1e-6f);
+  EXPECT_GT(max_abs_diff(std::span(out1).subspan(2 * H, H),
+                         std::span(out2).subspan(2 * H, H)),
+            1e-3f);
+}
+
+TEST(Attention, IncrementalDecodeMatchesFullPrompt) {
+  // Feeding tokens one at a time through the cache must produce the same
+  // final-position output as processing the whole prompt at once — the
+  // KV-caching invariant the generation loop depends on.
+  Rng rng(16);
+  const std::int64_t heads = 2, hd = 8, H = heads * hd, T = 5;
+  auto k = random_vec(rng, T * H);
+  auto v = random_vec(rng, T * H);
+  auto q = random_vec(rng, T * H);
+
+  // Full prompt.
+  KVCache full(1, heads, hd, T);
+  full.append(k, v, T);
+  std::vector<float> out_full(T * H);
+  attention_fused(q, full, out_full, T);
+
+  // Incremental.
+  KVCache inc(1, heads, hd, T);
+  std::vector<float> out_step(H);
+  std::vector<float> last(H);
+  for (std::int64_t t = 0; t < T; ++t) {
+    inc.append({k.data() + t * H, static_cast<std::size_t>(H)},
+               {v.data() + t * H, static_cast<std::size_t>(H)}, 1);
+    attention_fused({q.data() + t * H, static_cast<std::size_t>(H)}, inc,
+                    out_step, 1);
+    last = out_step;
+  }
+  EXPECT_LT(max_abs_diff(last, std::span(out_full).subspan((T - 1) * H, H)),
+            1e-5f);
+}
+
+TEST(KVCache, AppendTracksLengthAndBytes) {
+  KVCache c(2, 4, 16, 32);
+  EXPECT_EQ(c.seq_len(), 0);
+  std::vector<float> kv(2 * 3 * 64, 1.0f);
+  c.append(kv, kv, 3);
+  EXPECT_EQ(c.seq_len(), 3);
+  EXPECT_EQ(c.bytes_in_use(), 2u * 2 * 4 * 3 * 16 * sizeof(float));
+  c.reset();
+  EXPECT_EQ(c.seq_len(), 0);
+}
+
+TEST(KVCache, OverflowThrows) {
+  KVCache c(1, 1, 4, 2);
+  std::vector<float> kv(3 * 4, 0.0f);
+  EXPECT_THROW(c.append(kv, kv, 3), std::length_error);
+}
+
+TEST(KVCache, KeysLayoutPerHeadContiguous) {
+  KVCache c(1, 2, 2, 4);
+  // Token layout [heads*hd]: h0=(1,2), h1=(3,4).
+  std::vector<float> k{1, 2, 3, 4};
+  std::vector<float> v{5, 6, 7, 8};
+  c.append(k, v, 1);
+  auto k0 = c.keys(0, 0);
+  auto k1 = c.keys(0, 1);
+  EXPECT_FLOAT_EQ(k0[0], 1);
+  EXPECT_FLOAT_EQ(k0[1], 2);
+  EXPECT_FLOAT_EQ(k1[0], 3);
+  EXPECT_FLOAT_EQ(k1[1], 4);
+  EXPECT_FLOAT_EQ(c.values(0, 1)[0], 7);
+}
+
+TEST(Attention, ThrowsWhenCacheShorterThanQueryBlock) {
+  KVCache c(1, 1, 4, 8);
+  std::vector<float> kv(4), q(2 * 4), out(2 * 4);
+  c.append(kv, kv, 1);
+  EXPECT_THROW(attention_fused(q, c, out, 2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dsinfer::kernels

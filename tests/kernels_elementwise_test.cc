@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "kernels/elementwise.h"
+#include "kernels/tensor.h"
+#include "util/rng.h"
+
+namespace dsinfer::kernels {
+namespace {
+
+struct RC {
+  std::int64_t rows, cols;
+};
+
+class ElementwiseEquivalence : public ::testing::TestWithParam<RC> {};
+
+TEST_P(ElementwiseEquivalence, LayernormFusedMatchesUnfused) {
+  const auto [rows, cols] = GetParam();
+  Rng rng(5);
+  std::vector<float> x(static_cast<std::size_t>(rows * cols));
+  std::vector<float> g(static_cast<std::size_t>(cols));
+  std::vector<float> b(static_cast<std::size_t>(cols));
+  rng.fill_normal(x, 1.0f, 2.0f);
+  rng.fill_uniform(g, 0.5f, 1.5f);
+  rng.fill_normal(b, 0.0f, 0.2f);
+  std::vector<float> yf(x.size()), yu(x.size());
+  layernorm(x, g, b, yf, rows, cols);
+  layernorm_unfused(x, g, b, yu, rows, cols);
+  EXPECT_LT(max_abs_diff(yf, yu), 1e-4f);
+}
+
+TEST_P(ElementwiseEquivalence, SoftmaxFusedMatchesUnfused) {
+  const auto [rows, cols] = GetParam();
+  Rng rng(6);
+  std::vector<float> a(static_cast<std::size_t>(rows * cols));
+  rng.fill_normal(a, 0.0f, 3.0f);
+  std::vector<float> b = a;
+  softmax_rows(a, rows, cols);
+  softmax_rows_unfused(b, rows, cols);
+  EXPECT_LT(max_abs_diff(a, b), 1e-5f);
+}
+
+TEST_P(ElementwiseEquivalence, BiasGeluFusedMatchesUnfused) {
+  const auto [rows, cols] = GetParam();
+  Rng rng(7);
+  std::vector<float> x(static_cast<std::size_t>(rows * cols));
+  std::vector<float> bias(static_cast<std::size_t>(cols));
+  rng.fill_normal(x);
+  rng.fill_normal(bias, 0.0f, 0.5f);
+  std::vector<float> yf(x.size()), yu(x.size());
+  bias_gelu(x, bias, yf, rows, cols);
+  bias_gelu_unfused(x, bias, yu, rows, cols);
+  EXPECT_LT(max_abs_diff(yf, yu), 1e-6f);
+}
+
+TEST_P(ElementwiseEquivalence, BiasResidualFusedMatchesUnfused) {
+  const auto [rows, cols] = GetParam();
+  Rng rng(8);
+  std::vector<float> x(static_cast<std::size_t>(rows * cols));
+  std::vector<float> res(x.size());
+  std::vector<float> bias(static_cast<std::size_t>(cols));
+  rng.fill_normal(x);
+  rng.fill_normal(res);
+  rng.fill_normal(bias);
+  std::vector<float> yf(x.size()), yu(x.size());
+  bias_residual(x, bias, res, yf, rows, cols);
+  bias_residual_unfused(x, bias, res, yu, rows, cols);
+  EXPECT_LT(max_abs_diff(yf, yu), 1e-6f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, ElementwiseEquivalence,
+                         ::testing::Values(RC{1, 1}, RC{1, 64}, RC{3, 17},
+                                           RC{8, 128}, RC{16, 33}, RC{2, 512}),
+                         [](const auto& info) {
+                           return "r" + std::to_string(info.param.rows) + "_c" +
+                                  std::to_string(info.param.cols);
+                         });
+
+TEST(Layernorm, OutputIsStandardizedWithUnitAffine) {
+  Rng rng(9);
+  const std::int64_t rows = 4, cols = 256;
+  std::vector<float> x(static_cast<std::size_t>(rows * cols));
+  rng.fill_normal(x, 5.0f, 3.0f);
+  std::vector<float> y(x.size());
+  layernorm(x, {}, {}, y, rows, cols);
+  for (std::int64_t r = 0; r < rows; ++r) {
+    double mean = 0, var = 0;
+    for (std::int64_t c = 0; c < cols; ++c) mean += y[r * cols + c];
+    mean /= cols;
+    for (std::int64_t c = 0; c < cols; ++c) {
+      var += (y[r * cols + c] - mean) * (y[r * cols + c] - mean);
+    }
+    var /= cols;
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(var, 1.0, 1e-2);
+  }
+}
+
+TEST(Layernorm, InPlaceAliasing) {
+  Rng rng(10);
+  std::vector<float> x(64);
+  rng.fill_normal(x, 2.0f, 1.0f);
+  std::vector<float> expected(64);
+  layernorm(x, {}, {}, expected, 1, 64);
+  layernorm(x, {}, {}, x, 1, 64);  // alias x as output
+  EXPECT_LT(max_abs_diff(x, expected), 1e-6f);
+}
+
+TEST(Softmax, RowsSumToOne) {
+  Rng rng(11);
+  std::vector<float> x(5 * 40);
+  rng.fill_normal(x, 0.0f, 10.0f);
+  softmax_rows(x, 5, 40);
+  for (int r = 0; r < 5; ++r) {
+    double s = 0;
+    for (int c = 0; c < 40; ++c) s += x[r * 40 + c];
+    EXPECT_NEAR(s, 1.0, 1e-5);
+  }
+}
+
+TEST(Softmax, StableUnderLargeInputs) {
+  std::vector<float> x{1000.0f, 1000.0f};
+  softmax_rows(x, 1, 2);
+  EXPECT_NEAR(x[0], 0.5f, 1e-6f);
+  EXPECT_FALSE(std::isnan(x[1]));
+}
+
+TEST(Gelu, KnownValues) {
+  EXPECT_NEAR(gelu(0.0f), 0.0f, 1e-7f);
+  EXPECT_NEAR(gelu(100.0f), 100.0f, 1e-3f);   // saturates to identity
+  EXPECT_NEAR(gelu(-100.0f), 0.0f, 1e-3f);    // saturates to zero
+  EXPECT_NEAR(gelu(1.0f), 0.8412f, 1e-3f);    // reference value
+}
+
+TEST(Elementwise, ThrowsOnShortSpans) {
+  std::vector<float> x(4), y(2);
+  EXPECT_THROW(layernorm(x, {}, {}, y, 2, 2), std::invalid_argument);
+  EXPECT_THROW(softmax_rows(y, 2, 2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dsinfer::kernels

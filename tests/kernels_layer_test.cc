@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "kernels/kv_cache.h"
+#include "kernels/tensor.h"
+#include "kernels/transformer_layer.h"
+#include "util/rng.h"
+
+namespace dsinfer::kernels {
+namespace {
+
+constexpr std::int64_t kHidden = 64;
+constexpr std::int64_t kHeads = 4;
+constexpr std::int64_t kFfn = 256;
+
+LayerWeights make_weights(std::uint64_t seed = 101) {
+  Rng rng(seed);
+  LayerWeights w;
+  w.init_random(rng, kHidden, kHeads, kFfn);
+  return w;
+}
+
+std::vector<float> run_layer(const LayerWeights& w, const KernelPolicy& p,
+                             std::int64_t batch, std::int64_t q_len,
+                             std::uint64_t xseed = 55) {
+  Rng rng(xseed);
+  std::vector<float> x(static_cast<std::size_t>(batch * q_len * kHidden));
+  rng.fill_normal(x, 0.0f, 1.0f);
+  KVCache cache(batch, kHeads, kHidden / kHeads, q_len + 8);
+  LayerScratch scratch;
+  transformer_layer_forward(w, cache, x, batch, q_len, p, scratch);
+  return x;
+}
+
+TEST(TransformerLayer, FusedMatchesBaselinePolicy) {
+  auto w = make_weights();
+  w.prepare(KernelPolicy::baseline());
+  auto fused = run_layer(w, KernelPolicy::optimized_large_batch(), 2, 5);
+  auto base = run_layer(w, KernelPolicy::baseline(), 2, 5);
+  EXPECT_LT(max_abs_diff(fused, base), 1e-3f);
+}
+
+TEST(TransformerLayer, SbiGemmMatchesBlocked) {
+  auto w = make_weights();
+  KernelPolicy sbi = KernelPolicy::optimized_small_batch();
+  w.prepare(sbi);
+  auto y_sbi = run_layer(w, sbi, 1, 2);
+  auto y_blk = run_layer(w, KernelPolicy::optimized_large_batch(), 1, 2);
+  EXPECT_LT(max_abs_diff(y_sbi, y_blk), 1e-3f);
+}
+
+TEST(TransformerLayer, ReferenceGemmMatchesBlocked) {
+  auto w = make_weights();
+  KernelPolicy ref{true, true, GemmKind::kReference, Dtype::kFP32, true};
+  auto y_ref = run_layer(w, ref, 3, 4);
+  auto y_blk = run_layer(w, KernelPolicy::optimized_large_batch(), 3, 4);
+  EXPECT_LT(max_abs_diff(y_ref, y_blk), 1e-3f);
+}
+
+TEST(TransformerLayer, Int8CloseToFp32) {
+  auto w = make_weights();
+  KernelPolicy int8{true, true, GemmKind::kBlocked, Dtype::kINT8, true};
+  w.prepare(int8);
+  auto y_q = run_layer(w, int8, 2, 3);
+  auto y_f = run_layer(w, KernelPolicy::optimized_large_batch(), 2, 3);
+  // INT8 path is an approximation; require closeness, not equality.
+  EXPECT_LT(max_abs_diff(y_q, y_f), 0.35f);
+  // But it must not be trivially zero/diverged.
+  float norm = 0;
+  for (float v : y_q) norm += v * v;
+  EXPECT_GT(norm, 0.1f);
+}
+
+TEST(TransformerLayer, IncrementalDecodeMatchesFullPrompt) {
+  auto w = make_weights();
+  const KernelPolicy p = KernelPolicy::optimized_large_batch();
+  const std::int64_t T = 4;
+  Rng rng(77);
+  std::vector<float> prompt(static_cast<std::size_t>(T * kHidden));
+  rng.fill_normal(prompt, 0.0f, 1.0f);
+
+  // Full pass.
+  std::vector<float> full = prompt;
+  {
+    KVCache cache(1, kHeads, kHidden / kHeads, T);
+    LayerScratch s;
+    transformer_layer_forward(w, cache, full, 1, T, p, s);
+  }
+
+  // One token at a time.
+  std::vector<float> inc(prompt);
+  {
+    KVCache cache(1, kHeads, kHidden / kHeads, T);
+    LayerScratch s;
+    for (std::int64_t t = 0; t < T; ++t) {
+      std::span<float> xt{inc.data() + t * kHidden,
+                          static_cast<std::size_t>(kHidden)};
+      transformer_layer_forward(w, cache, xt, 1, 1, p, s);
+    }
+  }
+  EXPECT_LT(max_abs_diff(full, inc), 1e-3f);
+}
+
+TEST(TransformerLayer, ParamCountMatchesFormula) {
+  auto w = make_weights();
+  const std::size_t expected =
+      static_cast<std::size_t>(3 * kHidden * kHidden + 3 * kHidden +
+                               kHidden * kHidden + kHidden + kFfn * kHidden +
+                               kFfn + kHidden * kFfn + kHidden + 4 * kHidden);
+  EXPECT_EQ(w.param_count(), expected);
+}
+
+TEST(TransformerLayer, RejectsIndivisibleHeads) {
+  Rng rng(1);
+  LayerWeights w;
+  EXPECT_THROW(w.init_random(rng, 65, 4, 256), std::invalid_argument);
+}
+
+TEST(TransformerLayer, ScratchReuseAcrossCallsIsSafe) {
+  auto w = make_weights();
+  const KernelPolicy p = KernelPolicy::optimized_large_batch();
+  LayerScratch s;
+  Rng rng(88);
+  std::vector<float> x1(static_cast<std::size_t>(8 * kHidden));
+  rng.fill_normal(x1);
+  std::vector<float> x1_copy = x1;
+  KVCache c1(1, kHeads, kHidden / kHeads, 16);
+  transformer_layer_forward(w, c1, x1, 1, 8, p, s);
+  // Second, smaller call reusing the same scratch must equal a fresh run.
+  std::vector<float> x2(static_cast<std::size_t>(2 * kHidden));
+  rng.fill_normal(x2);
+  std::vector<float> x2b = x2;
+  KVCache c2(1, kHeads, kHidden / kHeads, 16);
+  transformer_layer_forward(w, c2, x2, 1, 2, p, s);
+  LayerScratch fresh;
+  KVCache c3(1, kHeads, kHidden / kHeads, 16);
+  transformer_layer_forward(w, c3, x2b, 1, 2, p, fresh);
+  EXPECT_LT(max_abs_diff(x2, x2b), 1e-6f);
+}
+
+}  // namespace
+}  // namespace dsinfer::kernels

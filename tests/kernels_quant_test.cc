@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "kernels/gemm.h"
+#include "kernels/quant.h"
+#include "kernels/tensor.h"
+#include "util/rng.h"
+
+namespace dsinfer::kernels {
+namespace {
+
+TEST(QuantizeRow, RoundTripErrorBoundedByHalfStep) {
+  Rng rng(21);
+  std::vector<float> x(256);
+  rng.fill_normal(x, 0.0f, 2.0f);
+  std::vector<std::int8_t> q(256);
+  const float scale = quantize_row(x, q);
+  ASSERT_GT(scale, 0.0f);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(static_cast<float>(q[i]) * scale, x[i], scale * 0.5f + 1e-6f);
+  }
+}
+
+TEST(QuantizeRow, AllZeroRowGivesZeroScale) {
+  std::vector<float> x(16, 0.0f);
+  std::vector<std::int8_t> q(16, 7);
+  EXPECT_FLOAT_EQ(quantize_row(x, q), 0.0f);
+  for (auto v : q) EXPECT_EQ(v, 0);
+}
+
+TEST(QuantizeRow, MaxMagnitudeMapsTo127) {
+  std::vector<float> x{-4.0f, 2.0f, 1.0f};
+  std::vector<std::int8_t> q(3);
+  const float scale = quantize_row(x, q);
+  EXPECT_EQ(q[0], -127);
+  EXPECT_NEAR(scale, 4.0f / 127.0f, 1e-7f);
+}
+
+TEST(QuantizedWeight, PerChannelScalesRecoverWeights) {
+  Rng rng(22);
+  const std::int64_t out = 8, in = 64;
+  std::vector<float> w(static_cast<std::size_t>(out * in));
+  rng.fill_normal(w, 0.0f, 0.3f);
+  QuantizedWeight qw(w, out, in);
+  for (std::int64_t o = 0; o < out; ++o) {
+    const float s = qw.scales()[static_cast<std::size_t>(o)];
+    for (std::int64_t i = 0; i < in; ++i) {
+      const float rec = static_cast<float>(qw.data()[o * in + i]) * s;
+      EXPECT_NEAR(rec, w[static_cast<std::size_t>(o * in + i)], s * 0.5f + 1e-6f);
+    }
+  }
+}
+
+struct QShape {
+  std::int64_t m, in, out;
+};
+
+class Int8Linear : public ::testing::TestWithParam<QShape> {};
+
+TEST_P(Int8Linear, MatchesFp32WithinQuantError) {
+  const auto [m, in, out] = GetParam();
+  Rng rng(23);
+  std::vector<float> x(static_cast<std::size_t>(m * in));
+  std::vector<float> w(static_cast<std::size_t>(out * in));
+  std::vector<float> bias(static_cast<std::size_t>(out));
+  rng.fill_normal(x, 0.0f, 1.0f);
+  rng.fill_normal(w, 0.0f, 0.1f);
+  rng.fill_normal(bias, 0.0f, 0.1f);
+  std::vector<float> y_ref(static_cast<std::size_t>(m * out));
+  std::vector<float> y_q(y_ref.size());
+  linear_ref(x, w, bias, y_ref, m, in, out);
+  QuantizedWeight qw(w, out, in);
+  linear_int8(x, qw, bias, y_q, m);
+  // Error scales with sqrt(in) * quant steps; generous but meaningful bound.
+  const float bound = 0.05f * std::sqrt(static_cast<float>(in));
+  for (std::size_t i = 0; i < y_ref.size(); ++i) {
+    EXPECT_NEAR(y_q[i], y_ref[i], bound) << "at " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, Int8Linear,
+                         ::testing::Values(QShape{1, 32, 32}, QShape{2, 64, 16},
+                                           QShape{4, 128, 128},
+                                           QShape{8, 17, 9}, QShape{1, 1, 1}),
+                         [](const auto& info) {
+                           const auto& s = info.param;
+                           return "m" + std::to_string(s.m) + "_in" +
+                                  std::to_string(s.in) + "_out" +
+                                  std::to_string(s.out);
+                         });
+
+TEST(Int8Linear, ZeroInputGivesBias) {
+  const std::int64_t in = 16, out = 4;
+  std::vector<float> x(in, 0.0f);
+  std::vector<float> w(static_cast<std::size_t>(out * in), 0.5f);
+  std::vector<float> bias{1, 2, 3, 4};
+  QuantizedWeight qw(w, out, in);
+  std::vector<float> y(out);
+  linear_int8(x, qw, bias, y, 1);
+  for (std::int64_t o = 0; o < out; ++o) {
+    EXPECT_FLOAT_EQ(y[static_cast<std::size_t>(o)],
+                    bias[static_cast<std::size_t>(o)]);
+  }
+}
+
+TEST(Int8Linear, ThrowsOnShortSpans) {
+  std::vector<float> w(4, 1.0f);
+  QuantizedWeight qw(w, 2, 2);
+  std::vector<float> x(2), y(1);
+  EXPECT_THROW(linear_int8(x, qw, {}, y, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dsinfer::kernels

@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "kernels/kv_cache.h"
+#include "kernels/rope.h"
+#include "kernels/tensor.h"
+#include "kernels/transformer_layer.h"
+#include "util/rng.h"
+
+namespace dsinfer::kernels {
+namespace {
+
+TEST(Rope, PositionZeroIsIdentity) {
+  std::vector<float> qk{1.0f, 2.0f, 3.0f, 4.0f};
+  std::vector<std::int32_t> pos{0};
+  apply_rope(qk, pos, /*heads=*/1, /*head_dim=*/4);
+  EXPECT_FLOAT_EQ(qk[0], 1.0f);
+  EXPECT_FLOAT_EQ(qk[1], 2.0f);
+  EXPECT_FLOAT_EQ(qk[2], 3.0f);
+  EXPECT_FLOAT_EQ(qk[3], 4.0f);
+}
+
+TEST(Rope, RotationPreservesPairNorms) {
+  Rng rng(3);
+  std::vector<float> qk(2 * 16);
+  rng.fill_normal(qk);
+  std::vector<float> orig = qk;
+  std::vector<std::int32_t> pos{5, 11};
+  apply_rope(qk, pos, /*heads=*/2, /*head_dim=*/8);
+  for (std::size_t base = 0; base < qk.size(); base += 2) {
+    const double before = static_cast<double>(orig[base]) * orig[base] +
+                          static_cast<double>(orig[base + 1]) * orig[base + 1];
+    const double after = static_cast<double>(qk[base]) * qk[base] +
+                         static_cast<double>(qk[base + 1]) * qk[base + 1];
+    EXPECT_NEAR(before, after, 1e-4);
+  }
+}
+
+TEST(Rope, DotProductDependsOnlyOnRelativeOffset) {
+  // The defining RoPE property: <R_p q, R_k k> depends only on p - k.
+  Rng rng(7);
+  const std::int64_t hd = 8;
+  std::vector<float> q(static_cast<std::size_t>(hd)), k(q.size());
+  rng.fill_normal(q);
+  rng.fill_normal(k);
+  auto rotated_dot = [&](std::int64_t pq, std::int64_t pk) {
+    std::vector<float> qq = q, kk = k;
+    std::vector<std::int32_t> pos_q{static_cast<std::int32_t>(pq)};
+    std::vector<std::int32_t> pos_k{static_cast<std::int32_t>(pk)};
+    apply_rope(qq, pos_q, 1, hd);
+    apply_rope(kk, pos_k, 1, hd);
+    double dot = 0;
+    for (std::int64_t i = 0; i < hd; ++i) {
+      dot += static_cast<double>(qq[static_cast<std::size_t>(i)]) *
+             kk[static_cast<std::size_t>(i)];
+    }
+    return dot;
+  };
+  // Offset 3 at two different absolute anchors.
+  EXPECT_NEAR(rotated_dot(5, 2), rotated_dot(9, 6), 1e-4);
+  // Different offsets give different scores in general.
+  EXPECT_GT(std::fabs(rotated_dot(5, 2) - rotated_dot(5, 4)), 1e-4);
+}
+
+TEST(Rope, OddHeadDimThrows) {
+  std::vector<float> qk(3);
+  std::vector<std::int32_t> pos{0};
+  EXPECT_THROW(apply_rope(qk, pos, 1, 3), std::invalid_argument);
+}
+
+TEST(RopeLayer, IncrementalDecodeMatchesFullPrompt) {
+  // RoPE rotations are baked into cached keys at append time, so the
+  // KV-caching invariant must still hold with RoPE on.
+  Rng rng(21);
+  LayerWeights w;
+  w.init_random(rng, 64, 4, 128);
+  KernelPolicy p = KernelPolicy::optimized_large_batch();
+  p.use_rope = true;
+
+  const std::int64_t T = 5, H = 64;
+  std::vector<float> x(static_cast<std::size_t>(T * H));
+  rng.fill_normal(x);
+  std::vector<float> full = x, inc = x;
+  {
+    KVCache cache(1, 4, 16, T);
+    LayerScratch s;
+    transformer_layer_forward(w, cache, full, 1, T, p, s);
+  }
+  {
+    KVCache cache(1, 4, 16, T);
+    LayerScratch s;
+    for (std::int64_t t = 0; t < T; ++t) {
+      std::span<float> xt{inc.data() + t * H, static_cast<std::size_t>(H)};
+      transformer_layer_forward(w, cache, xt, 1, 1, p, s);
+    }
+  }
+  EXPECT_LT(max_abs_diff(full, inc), 1e-3f);
+}
+
+TEST(RopeLayer, ChangesOutputsVsLearnedPositions) {
+  Rng rng(22);
+  LayerWeights w;
+  w.init_random(rng, 64, 4, 128);
+  std::vector<float> x(static_cast<std::size_t>(3 * 64));
+  rng.fill_normal(x);
+  std::vector<float> with = x, without = x;
+  KernelPolicy p = KernelPolicy::optimized_large_batch();
+  {
+    KVCache c(1, 4, 16, 3);
+    LayerScratch s;
+    transformer_layer_forward(w, c, without, 1, 3, p, s);
+  }
+  p.use_rope = true;
+  {
+    KVCache c(1, 4, 16, 3);
+    LayerScratch s;
+    transformer_layer_forward(w, c, with, 1, 3, p, s);
+  }
+  EXPECT_GT(max_abs_diff(with, without), 1e-4f);
+}
+
+}  // namespace
+}  // namespace dsinfer::kernels

@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "model/model_config.h"
+
+namespace dsinfer::model {
+namespace {
+
+double billions(std::int64_t n) { return static_cast<double>(n) / 1e9; }
+
+TEST(DenseZoo, TableOneSizesMatchNames) {
+  // Expected parameter counts from Table I (# params column), in billions.
+  const std::vector<std::pair<std::string, double>> expected = {
+      {"GPT-2 1.5B", 1.5}, {"GPT-Neo 2.7B", 2.7}, {"GPT-J 6B", 6.0},
+      {"GPT-13B", 13.0},   {"GPT-NeoX 20B", 20.0}, {"GPT-50B", 50.0},
+      {"GPT-87B", 87.0},   {"LM-175B", 175.0},     {"LM-530B", 530.0},
+  };
+  for (const auto& [name, size_b] : expected) {
+    const auto& m = dense_model(name);
+    EXPECT_NEAR(billions(m.total_params()), size_b, size_b * 0.12)
+        << name << " computed " << billions(m.total_params()) << "B";
+  }
+}
+
+TEST(DenseZoo, SizesStrictlyIncreasing) {
+  auto zoo = dense_model_zoo();
+  for (std::size_t i = 1; i < zoo.size(); ++i) {
+    EXPECT_GT(zoo[i].total_params(), zoo[i - 1].total_params());
+  }
+}
+
+TEST(DenseZoo, UnknownNameThrows) {
+  EXPECT_THROW(dense_model("GPT-9000"), std::invalid_argument);
+}
+
+TEST(MoEZoo, TableTwoSizesMatchPaper) {
+  // Table II "Size (billions)" column.
+  const std::vector<std::pair<std::string, double>> expected = {
+      {"1.3B+MoE-128", 52.0},    {"2.4B+MoE-128", 107.7},
+      {"8B+MoE-128", 349.0},     {"24B+MoE-128", 1064.9},
+      {"47B+MoE-128", 2024.0},
+  };
+  for (const auto& [name, size_b] : expected) {
+    const auto& m = moe_model(name);
+    EXPECT_NEAR(billions(m.total_params()), size_b, size_b * 0.05)
+        << name << " computed " << billions(m.total_params()) << "B";
+  }
+}
+
+TEST(MoEZoo, DeploymentColumnsMatchTableTwo) {
+  const auto& m24 = moe_model("24B+MoE-128");
+  EXPECT_EQ(m24.tensor_parallel, 8);
+  EXPECT_EQ(m24.expert_parallel, 128);
+  EXPECT_EQ(m24.expert_slicing, 2);
+  EXPECT_EQ(m24.gpus, 256);
+  const auto& m13 = moe_model("1.3B+MoE-128");
+  EXPECT_EQ(m13.tensor_parallel, 1);
+  EXPECT_EQ(m13.gpus, 128);
+}
+
+TEST(MoE, ActiveFlopsFarBelowTotalParams) {
+  // Top-1 gating: active FLOPs per token should be ~ the dense base's, i.e.
+  // orders of magnitude below 2*total_params.
+  const auto& m = moe_model("1.3B+MoE-128");
+  const double active = m.model_flops_per_token(128);
+  const double dense_equiv = 2.0 * static_cast<double>(m.total_params());
+  EXPECT_LT(active, dense_equiv * 0.2);
+}
+
+TEST(DenseConfig, FlopsScaleWithTokensAndKv) {
+  const auto& m = dense_model("GPT-2 1.5B");
+  EXPECT_GT(m.model_flops(2, 128), m.model_flops(1, 128));
+  EXPECT_GT(m.model_flops(1, 256), m.model_flops(1, 128));
+  // GPT3-175B layer with batch 1, seq 2048 is ~7 TFLOPs per the paper.
+  const auto& gpt3 = dense_model("LM-175B");
+  const double layer_tflops = gpt3.layer_flops(2048, 2048) / 1e12;
+  EXPECT_NEAR(layer_tflops, 7.0, 2.5);
+}
+
+TEST(DenseConfig, ParamBytesTrackDtype) {
+  const auto& m = dense_model("GPT-J 6B");
+  EXPECT_NEAR(m.model_param_bytes(Dtype::kFP16) * 2.0,
+              m.model_param_bytes(Dtype::kFP32), 1.0);
+  EXPECT_NEAR(m.total_param_gb(Dtype::kFP16), 12.0, 1.5);  // ~2 bytes/param
+}
+
+TEST(DenseConfig, KvCacheBytesFormula) {
+  const auto& m = dense_model("GPT-2 1.5B");
+  // 2 tensors * fp16 * batch * seq * hidden * layers.
+  EXPECT_DOUBLE_EQ(m.kv_cache_bytes(2, 10),
+                   2.0 * 2.0 * 2 * 10 * 1600 * 48);
+}
+
+TEST(EncoderModels, BertConfigsAreNonCausal) {
+  EXPECT_FALSE(bert_base().causal);
+  EXPECT_FALSE(distilbert().causal);
+  EXPECT_EQ(bert_base().layers, 12);
+  EXPECT_EQ(distilbert().layers, 6);
+  EXPECT_LT(distilbert().total_params(), bert_base().total_params());
+}
+
+TEST(TinyGpt, DivisibleHeads) {
+  auto t = tiny_gpt();
+  EXPECT_EQ(t.hidden % t.heads, 0);
+  EXPECT_GT(t.total_params(), 0);
+}
+
+}  // namespace
+}  // namespace dsinfer::model

@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "moe/gating.h"
+#include "util/rng.h"
+
+namespace dsinfer::moe {
+namespace {
+
+TEST(Top1Gating, PicksArgmaxWithSoftmaxWeight) {
+  // Two tokens, three experts.
+  std::vector<float> logits{0.0f, 2.0f, 1.0f,   // -> expert 1
+                            5.0f, 0.0f, 0.0f};  // -> expert 0
+  auto g = top1_gating(logits, 2, 3);
+  EXPECT_EQ(g.expert_of_token[0], 1);
+  EXPECT_EQ(g.expert_of_token[1], 0);
+  // Softmax prob of the winner.
+  const float d0 = std::exp(-2.0f) + 1.0f + std::exp(-1.0f);
+  EXPECT_NEAR(g.gate_weight[0], 1.0f / d0, 1e-6f);
+  EXPECT_GT(g.gate_weight[1], 0.98f);  // 5 vs 0,0 is near-certain
+}
+
+TEST(Top1Gating, WeightsAreProbabilities) {
+  Rng rng(3);
+  const std::int64_t S = 64, E = 8;
+  std::vector<float> logits(static_cast<std::size_t>(S * E));
+  rng.fill_normal(logits, 0.0f, 2.0f);
+  auto g = top1_gating(logits, S, E);
+  for (auto w : g.gate_weight) {
+    EXPECT_GT(w, 1.0f / static_cast<float>(E) - 1e-6f);  // winner >= 1/E
+    EXPECT_LE(w, 1.0f);
+  }
+}
+
+TEST(ExpertCapacity, CeilingAndFloor) {
+  EXPECT_EQ(expert_capacity(128, 8, 1.0), 16);
+  EXPECT_EQ(expert_capacity(130, 8, 1.0), 17);   // ceil
+  EXPECT_EQ(expert_capacity(4, 128, 1.0), 1);    // min 1
+  EXPECT_EQ(expert_capacity(128, 8, 1.25), 20);
+  EXPECT_THROW(expert_capacity(0, 8, 1.0), std::invalid_argument);
+}
+
+TEST(RoutingTable, InverseMappingIsConsistent) {
+  GatingOutput g;
+  g.expert_of_token = {0, 1, 0, 1, 0};
+  g.gate_weight = {1, 1, 1, 1, 1};
+  auto t = build_routing_table(g, 2, 3);
+  EXPECT_EQ(t.tokens_routed(), 5);
+  for (std::size_t s = 0; s < 5; ++s) {
+    const std::int32_t slot = t.slot_of_token[s];
+    ASSERT_GE(slot, 0);
+    EXPECT_EQ(t.expert_tokens[static_cast<std::size_t>(slot)],
+              static_cast<std::int32_t>(s));
+    EXPECT_EQ(slot / 3, g.expert_of_token[s]);  // right expert block
+  }
+}
+
+TEST(RoutingTable, CapacityOverflowDropsLaterTokens) {
+  GatingOutput g;
+  g.expert_of_token = {0, 0, 0};
+  g.gate_weight = {1, 1, 1};
+  auto t = build_routing_table(g, 2, 2);
+  EXPECT_EQ(t.tokens_routed(), 2);
+  EXPECT_GE(t.slot_of_token[0], 0);
+  EXPECT_GE(t.slot_of_token[1], 0);
+  EXPECT_EQ(t.slot_of_token[2], -1);  // first-come-first-served drop
+}
+
+TEST(RoutingTable, OutOfRangeExpertThrows) {
+  GatingOutput g;
+  g.expert_of_token = {5};
+  g.gate_weight = {1};
+  EXPECT_THROW(build_routing_table(g, 2, 2), std::out_of_range);
+}
+
+TEST(ScatterGather, RoundTripsRoutedTokens) {
+  Rng rng(9);
+  const std::int64_t S = 6, E = 3, C = 2, H = 4;
+  std::vector<float> x(static_cast<std::size_t>(S * H));
+  rng.fill_normal(x);
+  GatingOutput g;
+  g.expert_of_token = {0, 1, 2, 0, 1, 2};
+  g.gate_weight = {1, 1, 1, 1, 1, 1};  // unit gates -> pure round trip
+  auto t = build_routing_table(g, E, C);
+  std::vector<float> ein(static_cast<std::size_t>(E * C * H));
+  scatter_to_experts(x, t, ein, H);
+  std::vector<float> y(x.size());
+  gather_from_experts(ein, t, g, y, S, H);  // experts = identity
+  EXPECT_LT(max_abs_diff(x, y), 1e-6f);
+}
+
+TEST(ScatterGather, DroppedTokensProduceZero) {
+  const std::int64_t S = 3, E = 1, C = 2, H = 2;
+  std::vector<float> x{1, 1, 2, 2, 3, 3};
+  GatingOutput g;
+  g.expert_of_token = {0, 0, 0};
+  g.gate_weight = {1, 1, 1};
+  auto t = build_routing_table(g, E, C);
+  std::vector<float> ein(static_cast<std::size_t>(E * C * H));
+  scatter_to_experts(x, t, ein, H);
+  std::vector<float> y(x.size(), 99.0f);
+  gather_from_experts(ein, t, g, y, S, H);
+  EXPECT_FLOAT_EQ(y[4], 0.0f);  // token 2 dropped
+  EXPECT_FLOAT_EQ(y[5], 0.0f);
+  EXPECT_FLOAT_EQ(y[0], 1.0f);
+}
+
+TEST(EinsumPath, MatchesTableTransforms) {
+  Rng rng(17);
+  const std::int64_t S = 12, E = 4, C = 4, H = 8;
+  std::vector<float> x(static_cast<std::size_t>(S * H));
+  rng.fill_normal(x);
+  std::vector<float> logits(static_cast<std::size_t>(S * E));
+  rng.fill_normal(logits, 0.0f, 2.0f);
+  auto g = top1_gating(logits, S, E);
+  auto t = build_routing_table(g, E, C);
+
+  std::vector<float> ein_a(static_cast<std::size_t>(E * C * H));
+  std::vector<float> ein_b(ein_a.size());
+  scatter_to_experts(x, t, ein_a, H);
+  const Tensor mask = build_dispatch_mask(t, S);
+  einsum_dispatch(mask, x, ein_b, S, E, C, H);
+  EXPECT_LT(max_abs_diff(ein_a, ein_b), 1e-6f);
+
+  // Treat the dispatch buffer as the "expert output" and combine it back.
+  std::vector<float> y_a(static_cast<std::size_t>(S * H));
+  std::vector<float> y_b(y_a.size());
+  gather_from_experts(ein_a, t, g, y_a, S, H);
+  einsum_combine(mask, g, ein_b, y_b, S, E, C, H);
+  EXPECT_LT(max_abs_diff(y_a, y_b), 1e-6f);
+}
+
+TEST(DispatchMask, IsOneHotPerRoutedToken) {
+  GatingOutput g;
+  g.expert_of_token = {1, 0};
+  g.gate_weight = {1, 1};
+  auto t = build_routing_table(g, 2, 1);
+  auto mask = build_dispatch_mask(t, 2);
+  // Row sums: 1 for routed tokens.
+  for (std::int64_t s = 0; s < 2; ++s) {
+    float sum = 0;
+    for (std::int64_t ec = 0; ec < 2; ++ec) sum += mask.at(s * 2 + ec);
+    EXPECT_FLOAT_EQ(sum, 1.0f);
+  }
+}
+
+}  // namespace
+}  // namespace dsinfer::moe

@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "kernels/elementwise.h"
+#include "kernels/gemm.h"
+#include "moe/expert_parallel.h"
+#include "moe/moe_layer.h"
+#include "parallel/device_group.h"
+#include "util/rng.h"
+
+namespace dsinfer::moe {
+namespace {
+
+constexpr std::int64_t kHidden = 16;
+constexpr std::int64_t kFfn = 32;
+
+MoELayerWeights make_moe(std::int64_t experts, std::uint64_t seed = 41) {
+  Rng rng(seed);
+  MoELayerWeights w;
+  w.init_random(rng, kHidden, kFfn, experts);
+  return w;
+}
+
+std::vector<float> random_x(std::int64_t tokens, std::uint64_t seed = 7) {
+  Rng rng(seed);
+  std::vector<float> x(static_cast<std::size_t>(tokens * kHidden));
+  rng.fill_normal(x);
+  return x;
+}
+
+class MoEEquivalence
+    : public ::testing::TestWithParam<std::tuple<std::int64_t, std::int64_t>> {};
+
+TEST_P(MoEEquivalence, OptimizedMatchesSparseEinsumBaseline) {
+  const auto [experts, tokens] = GetParam();
+  auto w = make_moe(experts);
+  auto x = random_x(tokens);
+  std::vector<float> y_opt(x.size()), y_base(x.size());
+  auto s1 = forward_optimized(w, x, y_opt, tokens);
+  auto s2 = forward_baseline(w, x, y_base, tokens);
+  EXPECT_EQ(s1.dropped, s2.dropped);
+  EXPECT_EQ(s1.capacity, s2.capacity);
+  EXPECT_LT(max_abs_diff(y_opt, y_base), 1e-4f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, MoEEquivalence,
+    ::testing::Values(std::make_tuple(1, 4), std::make_tuple(2, 8),
+                      std::make_tuple(4, 16), std::make_tuple(8, 8),
+                      std::make_tuple(8, 33)),
+    [](const auto& info) {
+      return "e" + std::to_string(std::get<0>(info.param)) + "_t" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(MoELayer, SingleExpertEqualsPlainFfnTimesGate) {
+  // With E=1 every token goes to expert 0 and gate weight is exactly 1
+  // (softmax over one logit), so the MoE output equals the plain FFN.
+  auto w = make_moe(1);
+  const std::int64_t tokens = 5;
+  auto x = random_x(tokens);
+  std::vector<float> y(x.size());
+  auto stats = forward_optimized(w, x, y, tokens, /*capacity_factor=*/1.0);
+  EXPECT_EQ(stats.dropped, 0);
+
+  std::vector<float> expected(x.size());
+  w.experts[0].forward(x, expected, tokens);
+  EXPECT_LT(max_abs_diff(y, expected), 1e-5f);
+}
+
+TEST(MoELayer, ParamCountMatchesFormula) {
+  auto w = make_moe(4);
+  EXPECT_EQ(w.param_count(),
+            static_cast<std::size_t>(4 * kHidden) +
+                4u * static_cast<std::size_t>(kFfn * kHidden + kFfn +
+                                              kHidden * kFfn + kHidden));
+}
+
+TEST(MoELayer, TinyCapacityDropsTokensDeterministically) {
+  auto w = make_moe(2);
+  const std::int64_t tokens = 16;
+  auto x = random_x(tokens);
+  std::vector<float> y1(x.size()), y2(x.size());
+  // capacity factor so small that most tokens drop.
+  auto s1 = forward_optimized(w, x, y1, tokens, 0.125);
+  auto s2 = forward_optimized(w, x, y2, tokens, 0.125);
+  EXPECT_GT(s1.dropped, 0);
+  EXPECT_EQ(s1.dropped, s2.dropped);
+  EXPECT_LT(max_abs_diff(y1, y2), 1e-7f);  // fully deterministic
+}
+
+TEST(MoELayer, ThrowsOnShortSpans) {
+  auto w = make_moe(2);
+  std::vector<float> x(4), y(4);
+  EXPECT_THROW(forward_optimized(w, x, y, 8), std::invalid_argument);
+}
+
+// ---------- Expert parallelism ----------
+
+class EpEquivalence : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(EpEquivalence, MatchesSingleDeviceWhenNothingDrops) {
+  const std::int64_t ep = GetParam();
+  const std::int64_t experts = 8;
+  const std::int64_t tokens = 12;  // per rank
+  auto w = make_moe(experts);
+
+  // Generous capacity: nothing drops in either layout.
+  const double cf = static_cast<double>(experts);  // capacity = tokens
+
+  // Reference: run each rank's token shard through the full local layer.
+  std::vector<std::vector<float>> xs, refs;
+  for (std::int64_t r = 0; r < ep; ++r) {
+    xs.push_back(random_x(tokens, 100 + static_cast<std::uint64_t>(r)));
+    std::vector<float> y(xs.back().size());
+    auto st = forward_optimized(w, xs.back(), y, tokens, cf);
+    EXPECT_EQ(st.dropped, 0);
+    refs.push_back(std::move(y));
+  }
+
+  std::vector<std::vector<float>> ys(static_cast<std::size_t>(ep));
+  parallel::DeviceGroup group(ep);
+  group.run([&](std::int64_t rank, comm::Communicator& comm) {
+    EpShard shard = EpShard::from_full(w, ep, rank);
+    auto& y = ys[static_cast<std::size_t>(rank)];
+    y.resize(xs[static_cast<std::size_t>(rank)].size());
+    auto st = ep_moe_forward(shard, xs[static_cast<std::size_t>(rank)], y,
+                             tokens, cf, comm, rank);
+    EXPECT_EQ(st.dropped, 0);
+  });
+  for (std::int64_t r = 0; r < ep; ++r) {
+    EXPECT_LT(max_abs_diff(refs[static_cast<std::size_t>(r)],
+                           ys[static_cast<std::size_t>(r)]),
+              1e-4f)
+        << "rank " << r;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, EpEquivalence, ::testing::Values(1, 2, 4, 8),
+                         [](const auto& info) {
+                           return "ep" + std::to_string(info.param);
+                         });
+
+TEST(EpShard, SlicesExpertsContiguously) {
+  auto w = make_moe(8);
+  auto s = EpShard::from_full(w, 4, 2);
+  EXPECT_EQ(s.experts_local, 2);
+  // Local expert 0 == full expert 4.
+  EXPECT_LT(max_abs_diff(s.experts[0].w1.span(), w.experts[4].w1.span()),
+            1e-9f);
+  EXPECT_LT(max_abs_diff(s.experts[1].w2.span(), w.experts[5].w2.span()),
+            1e-9f);
+}
+
+TEST(EpShard, InvalidConfigThrows) {
+  auto w = make_moe(8);
+  EXPECT_THROW(EpShard::from_full(w, 3, 0), std::invalid_argument);
+  EXPECT_THROW(EpShard::from_full(w, 4, 4), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dsinfer::moe

@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "moe/moe_perf_model.h"
+
+namespace dsinfer::moe {
+namespace {
+
+const auto kCluster = hw::dgx_a100_cluster(32);  // 256 GPUs
+
+TEST(MoEPerf, DeepSpeedBeatsBaselineAcrossTableTwo) {
+  auto ds = MoEEngineConfig::deepspeed();
+  auto base = MoEEngineConfig::pytorch_baseline();
+  for (const auto& m : model::moe_model_zoo()) {
+    const auto l_ds = moe_token_latency(m, ds, kCluster, m.gpus, 8, 128);
+    const auto l_base = moe_token_latency(m, base, kCluster, m.gpus, 8, 128);
+    const double speedup = l_base.total_s / l_ds.total_s;
+    EXPECT_GT(speedup, 1.5) << m.name;
+    EXPECT_LT(speedup, 20.0) << m.name;  // sanity: not absurd
+  }
+}
+
+TEST(MoEPerf, TrillionParamModelUnder25msOn256Gpus) {
+  // Paper Fig. 7: the ~1T (24B+MoE-128) and 2T (47B+MoE-128) models serve a
+  // token in under 25 ms with DeepSpeed-MoE on 256 GPUs.
+  auto ds = MoEEngineConfig::deepspeed();
+  const auto& m1t = model::moe_model("24B+MoE-128");
+  const auto l = moe_token_latency(m1t, ds, kCluster, 256, 8, 128);
+  EXPECT_LT(l.total_s, 0.025) << "1T model token latency " << l.total_s;
+  EXPECT_GT(l.total_s, 0.001);  // and not trivially fast
+}
+
+TEST(MoEPerf, GatingDominatesBaselineNotDeepSpeed) {
+  // The sparse-einsum gating is the baseline's biggest regression
+  // (paper Sec. V.C: >6x kernel latency reduction).
+  auto ds = MoEEngineConfig::deepspeed();
+  auto base = MoEEngineConfig::pytorch_baseline();
+  const auto& m = model::moe_model("1.3B+MoE-128");
+  const auto l_ds = moe_token_latency(m, ds, kCluster, 128, 8, 128);
+  const auto l_base = moe_token_latency(m, base, kCluster, 128, 8, 128);
+  EXPECT_GT(l_base.gate_s / l_ds.gate_s, 6.0);
+}
+
+TEST(MoEPerf, PccReducesAlltoallForTensorSlicedModels) {
+  auto ds = MoEEngineConfig::deepspeed();
+  auto no_pcc = ds;
+  no_pcc.pcc = false;
+  const auto& m = model::moe_model("24B+MoE-128");  // MP=8
+  const auto with = moe_token_latency(m, ds, kCluster, 256, 8, 128);
+  const auto without = moe_token_latency(m, no_pcc, kCluster, 256, 8, 128);
+  EXPECT_LT(with.alltoall_s, without.alltoall_s);
+}
+
+TEST(MoEPerf, AggregateBandwidthScalesWithGpus) {
+  // Fig. 11: DS keeps gaining aggregate bandwidth to 128 GPUs; the
+  // baseline saturates earlier.
+  auto ds = MoEEngineConfig::deepspeed();
+  auto base = MoEEngineConfig::pytorch_baseline();
+  const auto& m = model::moe_model("1.3B+MoE-128");  // the 52B of Fig. 11
+  double prev_ds = 0;
+  for (std::int64_t g : {8, 16, 32, 64, 128}) {
+    const auto l = moe_token_latency(m, ds, kCluster, g, 8, 128);
+    EXPECT_GT(l.aggregate_bw_tbps, prev_ds) << g << " GPUs";
+    prev_ds = l.aggregate_bw_tbps;
+  }
+  const auto ds128 = moe_token_latency(m, ds, kCluster, 128, 8, 128);
+  const auto base128 = moe_token_latency(m, base, kCluster, 128, 8, 128);
+  EXPECT_GT(ds128.aggregate_bw_tbps, 2.0 * base128.aggregate_bw_tbps);
+}
+
+TEST(MoEPerf, InvalidGpuCountThrows) {
+  auto ds = MoEEngineConfig::deepspeed();
+  const auto& m = model::moe_model("1.3B+MoE-128");
+  EXPECT_THROW(moe_token_latency(m, ds, kCluster, 0, 8, 128),
+               std::invalid_argument);
+  EXPECT_THROW(moe_token_latency(m, ds, kCluster, 100000, 8, 128),
+               std::invalid_argument);
+}
+
+TEST(MoEPerf, ComponentsSumToTotal) {
+  auto ds = MoEEngineConfig::deepspeed();
+  const auto& m = model::moe_model("8B+MoE-128");
+  const auto l = moe_token_latency(m, ds, kCluster, 128, 8, 128);
+  EXPECT_NEAR(l.total_s, l.dense_s + l.gate_s + l.alltoall_s + l.expert_s,
+              1e-12);
+  EXPECT_GT(l.tokens_per_s, 0);
+}
+
+}  // namespace
+}  // namespace dsinfer::moe

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "kernels/tensor.h"
+#include "moe/gating.h"
+#include "util/rng.h"
+
+namespace dsinfer::moe {
+namespace {
+
+TEST(TopKGating, K1MatchesTop1) {
+  Rng rng(3);
+  const std::int64_t S = 32, E = 8;
+  std::vector<float> logits(static_cast<std::size_t>(S * E));
+  rng.fill_normal(logits, 0.0f, 2.0f);
+  auto g1 = top1_gating(logits, S, E);
+  auto gk = topk_gating(logits, S, E, 1);
+  for (std::int64_t s = 0; s < S; ++s) {
+    EXPECT_EQ(gk.experts[static_cast<std::size_t>(s)],
+              g1.expert_of_token[static_cast<std::size_t>(s)]);
+    // Top-1 weight in topk_gating is renormalized over k=1: exactly 1.
+    EXPECT_FLOAT_EQ(gk.weights[static_cast<std::size_t>(s)], 1.0f);
+  }
+}
+
+TEST(TopKGating, WeightsSumToOneAndDescend) {
+  Rng rng(5);
+  const std::int64_t S = 64, E = 16, k = 4;
+  std::vector<float> logits(static_cast<std::size_t>(S * E));
+  rng.fill_normal(logits, 0.0f, 1.5f);
+  auto g = topk_gating(logits, S, E, k);
+  for (std::int64_t s = 0; s < S; ++s) {
+    float sum = 0;
+    for (std::int64_t i = 0; i < k; ++i) {
+      const float w = g.weights[static_cast<std::size_t>(s * k + i)];
+      sum += w;
+      if (i > 0) {
+        EXPECT_LE(w, g.weights[static_cast<std::size_t>(s * k + i - 1)] + 1e-6f);
+      }
+    }
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+  }
+}
+
+TEST(TopKGating, SelectsDistinctExperts) {
+  Rng rng(7);
+  const std::int64_t S = 16, E = 8, k = 3;
+  std::vector<float> logits(static_cast<std::size_t>(S * E));
+  rng.fill_normal(logits);
+  auto g = topk_gating(logits, S, E, k);
+  for (std::int64_t s = 0; s < S; ++s) {
+    for (std::int64_t i = 0; i < k; ++i) {
+      for (std::int64_t j = i + 1; j < k; ++j) {
+        EXPECT_NE(g.experts[static_cast<std::size_t>(s * k + i)],
+                  g.experts[static_cast<std::size_t>(s * k + j)]);
+      }
+    }
+  }
+}
+
+TEST(TopKGating, InvalidKThrows) {
+  std::vector<float> logits(8);
+  EXPECT_THROW(topk_gating(logits, 1, 8, 0), std::invalid_argument);
+  EXPECT_THROW(topk_gating(logits, 1, 8, 9), std::invalid_argument);
+}
+
+TEST(TopKRouting, EveryChoiceGetsASlotWithAmpleCapacity) {
+  Rng rng(9);
+  const std::int64_t S = 24, E = 6, k = 2;
+  std::vector<float> logits(static_cast<std::size_t>(S * E));
+  rng.fill_normal(logits);
+  auto g = topk_gating(logits, S, E, k);
+  auto t = build_topk_routing_table(g, E, /*capacity=*/S);
+  for (std::size_t c = 0; c < g.experts.size(); ++c) {
+    ASSERT_GE(t.slot_of_choice[c], 0);
+    // Slot points back at the right token and expert block.
+    EXPECT_EQ(t.expert_tokens[static_cast<std::size_t>(t.slot_of_choice[c])],
+              static_cast<std::int32_t>(c / static_cast<std::size_t>(k)));
+    EXPECT_EQ(t.slot_of_choice[c] / S, g.experts[c]);
+  }
+}
+
+TEST(TopKRouting, CapacityDropsLaterChoices) {
+  TopKGating g;
+  g.k = 2;
+  // Three tokens all picking experts {0, 1}.
+  g.experts = {0, 1, 0, 1, 0, 1};
+  g.weights = {0.6f, 0.4f, 0.6f, 0.4f, 0.6f, 0.4f};
+  auto t = build_topk_routing_table(g, 2, /*capacity=*/2);
+  // Experts 0 and 1 each accept two choices; the third token's are dropped.
+  EXPECT_GE(t.slot_of_choice[0], 0);
+  EXPECT_GE(t.slot_of_choice[3], 0);
+  EXPECT_EQ(t.slot_of_choice[4], -1);
+  EXPECT_EQ(t.slot_of_choice[5], -1);
+}
+
+TEST(TopKScatterGather, IdentityExpertsReconstructWeightedSum) {
+  // If every expert is the identity, combining k copies with weights that
+  // sum to 1 must reproduce the input exactly.
+  Rng rng(11);
+  const std::int64_t S = 12, E = 4, k = 2, H = 8;
+  std::vector<float> x(static_cast<std::size_t>(S * H));
+  rng.fill_normal(x);
+  std::vector<float> logits(static_cast<std::size_t>(S * E));
+  rng.fill_normal(logits);
+  auto g = topk_gating(logits, S, E, k);
+  auto t = build_topk_routing_table(g, E, S);  // no drops
+  std::vector<float> buf(static_cast<std::size_t>(E * S * H));
+  topk_scatter_to_experts(x, t, buf, H);
+  std::vector<float> y(x.size());
+  topk_gather_from_experts(buf, t, g, y, S, H);
+  EXPECT_LT(max_abs_diff(x, y), 1e-5f);
+}
+
+TEST(TopKScatterGather, DroppedChoiceLosesOnlyItsShare) {
+  // One token, two experts, k=2, capacity 0 for the second expert's slot:
+  // output = w0 * x (the dropped second choice contributes nothing).
+  TopKGating g;
+  g.k = 2;
+  g.experts = {0, 1};
+  g.weights = {0.7f, 0.3f};
+  TopKRoutingTable t;
+  t.experts = 2;
+  t.capacity = 1;
+  t.k = 2;
+  t.expert_tokens = {0, -1};  // expert 0 slot holds token 0; expert 1 empty
+  t.slot_of_choice = {0, -1};
+  const std::int64_t H = 4;
+  std::vector<float> x{1, 2, 3, 4};
+  std::vector<float> buf(static_cast<std::size_t>(2 * 1 * H));
+  topk_scatter_to_experts(x, t, buf, H);
+  std::vector<float> y(x.size());
+  topk_gather_from_experts(buf, t, g, y, 1, H);
+  for (std::int64_t i = 0; i < H; ++i) {
+    EXPECT_NEAR(y[static_cast<std::size_t>(i)],
+                0.7f * x[static_cast<std::size_t>(i)], 1e-6f);
+  }
+}
+
+}  // namespace
+}  // namespace dsinfer::moe

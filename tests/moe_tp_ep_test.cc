@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "comm/comm_grid.h"
+#include "kernels/tensor.h"
+#include "moe/tp_ep_moe.h"
+#include "util/rng.h"
+
+namespace dsinfer::moe {
+namespace {
+
+constexpr std::int64_t kHidden = 32;
+constexpr std::int64_t kFfn = 64;
+
+MoELayerWeights make_moe(std::int64_t experts, std::uint64_t seed = 91) {
+  Rng rng(seed);
+  MoELayerWeights w;
+  w.init_random(rng, kHidden, kFfn, experts);
+  return w;
+}
+
+// Runs the grid collectively on tp*ep threads; each ep group g gets token
+// shard xs[g], replicated across its tp ranks. Returns per-ep-group outputs
+// (verified identical across tp ranks).
+std::vector<std::vector<float>> run_grid(const MoELayerWeights& w,
+                                         std::int64_t tp, std::int64_t ep,
+                                         const std::vector<std::vector<float>>& xs,
+                                         std::int64_t tokens, double cf) {
+  comm::CommGrid grid(tp, ep);
+  std::vector<std::vector<float>> ys(
+      static_cast<std::size_t>(tp * ep),
+      std::vector<float>(static_cast<std::size_t>(tokens * kHidden)));
+  std::vector<std::thread> threads;
+  for (std::int64_t r = 0; r < tp * ep; ++r) {
+    threads.emplace_back([&, r] {
+      auto shard = TpEpShard::from_full(w, tp, ep, grid.tp_rank(r),
+                                        grid.ep_rank(r));
+      tp_ep_moe_forward(shard, xs[static_cast<std::size_t>(grid.ep_rank(r))],
+                        ys[static_cast<std::size_t>(r)], tokens, cf, grid, r);
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  // Replication invariant: tp ranks of a group agree exactly.
+  std::vector<std::vector<float>> per_group;
+  for (std::int64_t g = 0; g < ep; ++g) {
+    const auto& base = ys[static_cast<std::size_t>(grid.rank_of(0, g))];
+    for (std::int64_t t = 1; t < tp; ++t) {
+      EXPECT_LT(max_abs_diff(base,
+                             ys[static_cast<std::size_t>(grid.rank_of(t, g))]),
+                1e-5f)
+          << "group " << g << " tp rank " << t;
+    }
+    per_group.push_back(base);
+  }
+  return per_group;
+}
+
+class TpEpEquivalence
+    : public ::testing::TestWithParam<std::tuple<std::int64_t, std::int64_t>> {
+};
+
+TEST_P(TpEpEquivalence, MatchesSingleDevicePerTokenShard) {
+  const auto [tp, ep] = GetParam();
+  const std::int64_t experts = 4, tokens = 10;
+  const double cf = static_cast<double>(experts);  // no drops
+  auto w = make_moe(experts);
+
+  std::vector<std::vector<float>> xs;
+  std::vector<std::vector<float>> refs;
+  for (std::int64_t g = 0; g < ep; ++g) {
+    Rng rng(500 + static_cast<std::uint64_t>(g));
+    std::vector<float> x(static_cast<std::size_t>(tokens * kHidden));
+    rng.fill_normal(x);
+    std::vector<float> ref(x.size());
+    auto st = forward_optimized(w, x, ref, tokens, cf);
+    EXPECT_EQ(st.dropped, 0);
+    xs.push_back(std::move(x));
+    refs.push_back(std::move(ref));
+  }
+
+  auto got = run_grid(w, tp, ep, xs, tokens, cf);
+  for (std::int64_t g = 0; g < ep; ++g) {
+    EXPECT_LT(max_abs_diff(refs[static_cast<std::size_t>(g)],
+                           got[static_cast<std::size_t>(g)]),
+              1e-4f)
+        << "ep group " << g;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grids, TpEpEquivalence,
+    ::testing::Values(std::make_tuple(1, 1), std::make_tuple(2, 1),
+                      std::make_tuple(1, 2), std::make_tuple(2, 2),
+                      std::make_tuple(4, 2), std::make_tuple(2, 4)),
+    [](const auto& info) {
+      return "tp" + std::to_string(std::get<0>(info.param)) + "_ep" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(TpEpShard, SlicesExpertFfnDimension) {
+  auto w = make_moe(4);
+  auto s = TpEpShard::from_full(w, 2, 2, 1, 1);
+  EXPECT_EQ(s.experts_local, 2);
+  EXPECT_EQ(s.ffn_local, kFfn / 2);
+  // Local expert 0 is full expert 2; w1 rows are the second half.
+  for (std::int64_t i = 0; i < s.ffn_local * kHidden; ++i) {
+    EXPECT_FLOAT_EQ(s.experts[0].w1.at(i),
+                    w.experts[2].w1.at(s.ffn_local * kHidden + i));
+  }
+}
+
+TEST(TpEpShard, InvalidGridThrows) {
+  auto w = make_moe(4);
+  EXPECT_THROW(TpEpShard::from_full(w, 2, 3, 0, 0), std::invalid_argument);
+  EXPECT_THROW(TpEpShard::from_full(w, 2, 2, 2, 0), std::invalid_argument);
+  EXPECT_THROW(TpEpShard::from_full(w, 0, 1, 0, 0), std::invalid_argument);
+}
+
+TEST(CommGrid, RankFactorization) {
+  comm::CommGrid grid(4, 8);
+  EXPECT_EQ(grid.world_size(), 32);
+  EXPECT_EQ(grid.tp_rank(13), 1);
+  EXPECT_EQ(grid.ep_rank(13), 3);
+  EXPECT_EQ(grid.rank_of(1, 3), 13);
+  EXPECT_EQ(grid.tp_group(13).size(), 4);
+  EXPECT_EQ(grid.ep_group(13).size(), 8);
+}
+
+TEST(CommGrid, InvalidSizesThrow) {
+  EXPECT_THROW(comm::CommGrid(0, 2), std::invalid_argument);
+  EXPECT_THROW(comm::CommGrid(2, 0), std::invalid_argument);
+}
+
+TEST(CommGrid, SubgroupsAreDisjointCommunicators) {
+  // Ranks of different ep groups must get different tp-group communicators.
+  comm::CommGrid grid(2, 2);
+  EXPECT_NE(&grid.tp_group(grid.rank_of(0, 0)),
+            &grid.tp_group(grid.rank_of(0, 1)));
+  EXPECT_EQ(&grid.tp_group(grid.rank_of(0, 0)),
+            &grid.tp_group(grid.rank_of(1, 0)));
+  EXPECT_NE(&grid.ep_group(grid.rank_of(0, 0)),
+            &grid.ep_group(grid.rank_of(1, 0)));
+}
+
+}  // namespace
+}  // namespace dsinfer::moe

@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include "kernels/tensor.h"
+#include "moe/moe_transformer.h"
+#include "util/rng.h"
+
+namespace dsinfer::moe {
+namespace {
+
+MoeGptConfig tiny_moe() {
+  MoeGptConfig c;
+  c.hidden = 64;
+  c.layers = 4;
+  c.heads = 4;
+  c.experts = 4;
+  c.moe_every = 2;
+  c.max_seq = 64;
+  return c;
+}
+
+std::vector<std::vector<std::int32_t>> prompts2() {
+  return {{10, 20, 30, 40}, {7, 8, 9, 10}};
+}
+
+TEST(MoeGpt, AlternatesDenseAndMoeBlocks) {
+  MoeGptModel m(tiny_moe(), 1);
+  EXPECT_EQ(m.moe_blocks(), 2);  // blocks 1 and 3 of 4
+}
+
+TEST(MoeGpt, SparseParamsExceedDenseActiveParams) {
+  // The whole point of MoE: total parameters grow with E while active
+  // compute does not. With E=4, the sparse model holds ~3 extra expert FFNs
+  // in each MoE block.
+  auto cfg = tiny_moe();
+  MoeGptModel sparse(cfg, 1);
+  cfg.experts = 1;
+  MoeGptModel dense_ish(cfg, 1);
+  EXPECT_GT(sparse.param_count(), dense_ish.param_count() * 3 / 2);
+}
+
+TEST(MoeGpt, GreedyGenerationDeterministic) {
+  MoeGptModel a(tiny_moe(), 33), b(tiny_moe(), 33);
+  auto ra = a.generate(prompts2(), 8);
+  auto rb = b.generate(prompts2(), 8);
+  EXPECT_EQ(ra.tokens, rb.tokens);
+  EXPECT_EQ(ra.tokens[0].size(), 12u);
+}
+
+TEST(MoeGpt, OptimizedRoutingMatchesSparseEinsumEndToEnd) {
+  MoeGptModel a(tiny_moe(), 41), b(tiny_moe(), 41);
+  auto opt = a.generate(prompts2(), 8, MoeRouting::kOptimizedTables);
+  auto base = b.generate(prompts2(), 8, MoeRouting::kSparseEinsum);
+  EXPECT_EQ(opt.tokens, base.tokens);
+  EXPECT_EQ(opt.dropped_tokens, base.dropped_tokens);
+}
+
+TEST(MoeGpt, GenerousCapacityDropsNothing) {
+  auto cfg = tiny_moe();
+  cfg.capacity_factor = static_cast<double>(cfg.experts) * 2.0;
+  MoeGptModel m(cfg, 5);
+  auto r = m.generate(prompts2(), 6);
+  EXPECT_EQ(r.dropped_tokens, 0);
+}
+
+TEST(MoeGpt, TinyCapacityDropsTokensButStillGenerates) {
+  auto cfg = tiny_moe();
+  cfg.capacity_factor = 0.25;
+  MoeGptModel m(cfg, 5);
+  auto r = m.generate(prompts2(), 6);
+  EXPECT_GT(r.dropped_tokens, 0);
+  EXPECT_EQ(r.tokens[0].size(), 10u);  // generation still completes
+}
+
+TEST(MoeGpt, ValidationErrors) {
+  MoeGptModel m(tiny_moe(), 1);
+  EXPECT_THROW(m.generate({}, 4), std::invalid_argument);
+  EXPECT_THROW(m.generate({{1, 2}, {3}}, 4), std::invalid_argument);
+  EXPECT_THROW(m.generate(prompts2(), 0), std::invalid_argument);
+  EXPECT_THROW(m.generate(prompts2(), 1000), std::invalid_argument);
+}
+
+TEST(MoeBlock, DenseBlockMatchesDenseTransformerLayer) {
+  // A non-MoE MoeBlockWeights must compute the same function as the dense
+  // kernels::transformer_layer_forward given identical weights.
+  const std::int64_t H = 64, heads = 4, F = 256, T = 5;
+  Rng rng(77);
+  kernels::LayerWeights dense;
+  dense.init_random(rng, H, heads, F);
+
+  MoeBlockWeights block;
+  Rng rng2(1);
+  block.init_random(rng2, H, heads, F, /*experts=*/1, /*moe=*/false);
+  // Copy the dense layer's weights into the block.
+  auto copy = [](Tensor& dst, const Tensor& src) { dst = src.clone(); };
+  copy(block.ln1_g, dense.ln1_g);
+  copy(block.ln1_b, dense.ln1_b);
+  copy(block.ln2_g, dense.ln2_g);
+  copy(block.ln2_b, dense.ln2_b);
+  copy(block.w_qkv, dense.w_qkv);
+  copy(block.b_qkv, dense.b_qkv);
+  copy(block.w_attn_out, dense.w_attn_out);
+  copy(block.b_attn_out, dense.b_attn_out);
+  copy(block.w_fc1, dense.w_fc1);
+  copy(block.b_fc1, dense.b_fc1);
+  copy(block.w_fc2, dense.w_fc2);
+  copy(block.b_fc2, dense.b_fc2);
+
+  std::vector<float> x(static_cast<std::size_t>(T * H));
+  rng.fill_normal(x);
+  std::vector<float> x2 = x;
+
+  kernels::KVCache c1(1, heads, H / heads, T);
+  kernels::LayerScratch s1;
+  kernels::transformer_layer_forward(dense, c1, x, 1, T,
+                                     kernels::KernelPolicy::optimized_large_batch(),
+                                     s1);
+
+  kernels::KVCache c2(1, heads, H / heads, T);
+  MoeBlockScratch s2;
+  moe_block_forward(block, c2, x2, 1, T, MoeRouting::kOptimizedTables, 1.25,
+                    s2);
+  EXPECT_LT(max_abs_diff(x, x2), 1e-4f);
+}
+
+TEST(MoeBlock, IncrementalDecodeMatchesFullPrompt) {
+  const std::int64_t H = 64, heads = 4, F = 128, T = 4;
+  Rng rng(88);
+  MoeBlockWeights block;
+  block.init_random(rng, H, heads, F, /*experts=*/2, /*moe=*/true);
+
+  std::vector<float> x(static_cast<std::size_t>(T * H));
+  rng.fill_normal(x);
+  std::vector<float> full = x, inc = x;
+
+  // Generous capacity so both paths route every token identically.
+  const double cf = 8.0;
+  {
+    kernels::KVCache cache(1, heads, H / heads, T);
+    MoeBlockScratch s;
+    moe_block_forward(block, cache, full, 1, T,
+                      MoeRouting::kOptimizedTables, cf, s);
+  }
+  {
+    kernels::KVCache cache(1, heads, H / heads, T);
+    MoeBlockScratch s;
+    for (std::int64_t t = 0; t < T; ++t) {
+      std::span<float> xt{inc.data() + t * H, static_cast<std::size_t>(H)};
+      moe_block_forward(block, cache, xt, 1, 1, MoeRouting::kOptimizedTables,
+                        cf, s);
+    }
+  }
+  EXPECT_LT(max_abs_diff(full, inc), 1e-3f);
+}
+
+}  // namespace
+}  // namespace dsinfer::moe

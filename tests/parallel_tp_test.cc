@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "kernels/tensor.h"
+#include "parallel/device_group.h"
+#include "parallel/tensor_parallel.h"
+#include "util/rng.h"
+
+namespace dsinfer::parallel {
+namespace {
+
+using kernels::KernelPolicy;
+using kernels::KVCache;
+using kernels::LayerScratch;
+using kernels::LayerWeights;
+using dsinfer::max_abs_diff;
+
+constexpr std::int64_t kHidden = 64;
+constexpr std::int64_t kHeads = 8;
+constexpr std::int64_t kFfn = 128;
+
+LayerWeights make_full(std::uint64_t seed = 31) {
+  Rng rng(seed);
+  LayerWeights w;
+  w.init_random(rng, kHidden, kHeads, kFfn);
+  return w;
+}
+
+std::vector<float> run_single(const LayerWeights& w, std::int64_t batch,
+                              std::int64_t q_len, std::uint64_t xseed) {
+  Rng rng(xseed);
+  std::vector<float> x(static_cast<std::size_t>(batch * q_len * kHidden));
+  rng.fill_normal(x);
+  KVCache cache(batch, kHeads, kHidden / kHeads, q_len + 4);
+  LayerScratch s;
+  transformer_layer_forward(w, cache, x, batch, q_len,
+                            KernelPolicy::optimized_large_batch(), s);
+  return x;
+}
+
+std::vector<float> run_tp(const LayerWeights& w, std::int64_t tp,
+                          std::int64_t batch, std::int64_t q_len,
+                          std::uint64_t xseed) {
+  Rng rng(xseed);
+  std::vector<float> x0(static_cast<std::size_t>(batch * q_len * kHidden));
+  rng.fill_normal(x0);
+
+  std::vector<std::vector<float>> xs(static_cast<std::size_t>(tp), x0);
+  DeviceGroup group(tp);
+  group.run([&](std::int64_t rank, comm::Communicator& comm) {
+    TpLayerShard shard = TpLayerShard::from_full(w, tp, rank);
+    KVCache cache(batch, kHeads / tp, kHidden / kHeads, q_len + 4);
+    TpScratch scratch;
+    tp_layer_forward(shard, cache, xs[static_cast<std::size_t>(rank)], batch,
+                     q_len, KernelPolicy::optimized_large_batch(), scratch,
+                     comm, rank);
+  });
+  // All ranks must agree bit-for-bit (identical reduce order per rank).
+  for (std::int64_t r = 1; r < tp; ++r) {
+    EXPECT_LT(max_abs_diff(xs[0], xs[static_cast<std::size_t>(r)]), 1e-6f)
+        << "rank " << r << " diverged";
+  }
+  return xs[0];
+}
+
+class TpEquivalence
+    : public ::testing::TestWithParam<std::tuple<std::int64_t, std::int64_t,
+                                                 std::int64_t>> {};
+
+TEST_P(TpEquivalence, MatchesSingleDevice) {
+  const auto [tp, batch, q_len] = GetParam();
+  auto w = make_full();
+  auto y1 = run_single(w, batch, q_len, 77);
+  auto yk = run_tp(w, tp, batch, q_len, 77);
+  EXPECT_LT(max_abs_diff(y1, yk), 1e-3f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, TpEquivalence,
+    ::testing::Values(std::make_tuple(1, 1, 3), std::make_tuple(2, 1, 3),
+                      std::make_tuple(2, 2, 5), std::make_tuple(4, 1, 2),
+                      std::make_tuple(4, 3, 4), std::make_tuple(8, 2, 3)),
+    [](const auto& info) {
+      return "tp" + std::to_string(std::get<0>(info.param)) + "_b" +
+             std::to_string(std::get<1>(info.param)) + "_q" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+TEST(TpShard, ShapesAreSharded) {
+  auto w = make_full();
+  auto s = TpLayerShard::from_full(w, 4, 1);
+  EXPECT_EQ(s.heads_local, 2);
+  EXPECT_EQ(s.hidden_local, 16);
+  EXPECT_EQ(s.ffn_local, 32);
+  EXPECT_EQ(s.w_qkv.shape()[0], 3 * 16);
+  EXPECT_EQ(s.w_qkv.shape()[1], kHidden);
+  EXPECT_EQ(s.w_attn_out.shape()[0], kHidden);
+  EXPECT_EQ(s.w_attn_out.shape()[1], 16);
+}
+
+TEST(TpShard, InvalidConfigThrows) {
+  auto w = make_full();
+  EXPECT_THROW(TpLayerShard::from_full(w, 3, 0), std::invalid_argument);
+  EXPECT_THROW(TpLayerShard::from_full(w, 4, 4), std::invalid_argument);
+  EXPECT_THROW(TpLayerShard::from_full(w, 0, 0), std::invalid_argument);
+}
+
+TEST(TpShard, ShardsPartitionTheFullWeight) {
+  // Concatenating every rank's QKV rows reconstructs the full Q block rows.
+  auto w = make_full();
+  const std::int64_t tp = 4;
+  const std::int64_t Hl = kHidden / tp;
+  for (std::int64_t r = 0; r < tp; ++r) {
+    auto s = TpLayerShard::from_full(w, tp, r);
+    // Q part of the shard equals full rows [r*Hl, (r+1)*Hl).
+    for (std::int64_t i = 0; i < Hl * kHidden; ++i) {
+      EXPECT_FLOAT_EQ(s.w_qkv.at(i), w.w_qkv.at(r * Hl * kHidden + i));
+    }
+  }
+}
+
+TEST(TpIncremental, DecodeMatchesSingleDeviceAcrossSteps) {
+  // Prompt of 3 then 2 incremental tokens, TP=2 vs single device.
+  auto w = make_full();
+  const std::int64_t T = 5;
+  Rng rng(99);
+  std::vector<float> tokens(static_cast<std::size_t>(T * kHidden));
+  rng.fill_normal(tokens);
+
+  // Single device incremental.
+  std::vector<float> single = tokens;
+  {
+    KVCache cache(1, kHeads, kHidden / kHeads, T);
+    LayerScratch s;
+    std::span<float> x3{single.data(), static_cast<std::size_t>(3 * kHidden)};
+    transformer_layer_forward(w, cache, x3, 1, 3,
+                              KernelPolicy::optimized_large_batch(), s);
+    for (std::int64_t t = 3; t < T; ++t) {
+      std::span<float> xt{single.data() + t * kHidden,
+                          static_cast<std::size_t>(kHidden)};
+      transformer_layer_forward(w, cache, xt, 1, 1,
+                                KernelPolicy::optimized_large_batch(), s);
+    }
+  }
+
+  // TP=2 incremental.
+  const std::int64_t tp = 2;
+  std::vector<std::vector<float>> xs(static_cast<std::size_t>(tp), tokens);
+  DeviceGroup group(tp);
+  group.run([&](std::int64_t rank, comm::Communicator& comm) {
+    TpLayerShard shard = TpLayerShard::from_full(w, tp, rank);
+    KVCache cache(1, kHeads / tp, kHidden / kHeads, T);
+    TpScratch scratch;
+    auto& x = xs[static_cast<std::size_t>(rank)];
+    std::span<float> x3{x.data(), static_cast<std::size_t>(3 * kHidden)};
+    tp_layer_forward(shard, cache, x3, 1, 3,
+                     KernelPolicy::optimized_large_batch(), scratch, comm,
+                     rank);
+    for (std::int64_t t = 3; t < T; ++t) {
+      std::span<float> xt{x.data() + t * kHidden,
+                          static_cast<std::size_t>(kHidden)};
+      tp_layer_forward(shard, cache, xt, 1, 1,
+                       KernelPolicy::optimized_large_batch(), scratch, comm,
+                       rank);
+    }
+  });
+  EXPECT_LT(max_abs_diff(single, xs[0]), 1e-3f);
+}
+
+TEST(TpInt8, CloseToFp32AcrossRanks) {
+  // The INT8 tensor-parallel path quantizes each rank's shard per output
+  // channel; the all-reduced result must stay close to the FP32 run.
+  auto w = make_full();
+  const std::int64_t tp = 2, batch = 2, q_len = 3;
+  Rng rng(55);
+  std::vector<float> x0(static_cast<std::size_t>(batch * q_len * kHidden));
+  rng.fill_normal(x0);
+
+  KernelPolicy int8 = KernelPolicy::optimized_large_batch();
+  int8.dtype = kernels::Dtype::kINT8;
+
+  std::vector<std::vector<float>> xs(static_cast<std::size_t>(tp), x0);
+  DeviceGroup group(tp);
+  group.run([&](std::int64_t rank, comm::Communicator& comm) {
+    TpLayerShard shard = TpLayerShard::from_full(w, tp, rank);
+    shard.prepare(int8);
+    KVCache cache(batch, kHeads / tp, kHidden / kHeads, q_len + 2);
+    TpScratch scratch;
+    tp_layer_forward(shard, cache, xs[static_cast<std::size_t>(rank)], batch,
+                     q_len, int8, scratch, comm, rank);
+  });
+  auto fp32 = run_single(w, batch, q_len, 55);
+  EXPECT_LT(max_abs_diff(fp32, xs[0]), 0.35f);
+  // Non-degenerate output.
+  float norm = 0;
+  for (float v : xs[0]) norm += v * v;
+  EXPECT_GT(norm, 0.1f);
+}
+
+TEST(DeviceGroup, PropagatesExceptions) {
+  DeviceGroup group(2);
+  EXPECT_THROW(group.run([](std::int64_t rank, comm::Communicator& comm) {
+                 // Both ranks throw before any collective, so no deadlock.
+                 static_cast<void>(comm);
+                 if (rank >= 0) throw std::runtime_error("boom");
+               }),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace dsinfer::parallel

@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "perf/dense_model.h"
+#include "perf/kernel_model.h"
+
+namespace dsinfer::perf {
+namespace {
+
+const hw::ClusterSpec kCluster = hw::dgx_a100_cluster(2);
+const hw::GpuSpec kGpu = hw::a100_40gb();
+
+TEST(KernelModel, SbiBeatsCublasEfficiencyAtBatchOne) {
+  auto ds = EngineModelConfig::deepspeed_fp16();
+  auto ft = EngineModelConfig::faster_transformer();
+  EXPECT_GT(gemm_bw_efficiency(ds, 1), gemm_bw_efficiency(ft, 1));
+  // The gap narrows at large batch where cuBLAS is well tuned.
+  const double gap1 = gemm_bw_efficiency(ds, 1) - gemm_bw_efficiency(ft, 1);
+  const double gap64 = gemm_bw_efficiency(ds, 64) - gemm_bw_efficiency(ft, 64);
+  EXPECT_GT(gap1, gap64);
+}
+
+TEST(KernelModel, EfficiencyMonotonicInRows) {
+  auto ft = EngineModelConfig::faster_transformer();
+  double prev = 0;
+  for (std::int64_t rows : {1, 2, 4, 8, 16, 32, 64}) {
+    const double e = gemm_bw_efficiency(ft, rows);
+    EXPECT_GE(e, prev);
+    EXPECT_LE(e, 1.0);
+    prev = e;
+  }
+}
+
+TEST(KernelModel, GemmTimeMemoryBoundAtSmallBatch) {
+  auto ds = EngineModelConfig::deepspeed_fp16();
+  // 12288x12288 fp16 GeMM at 1 row: weight streaming dominates.
+  const double t = gemm_time_s(ds, kGpu, 1, 12288, 12288);
+  const double ideal = 12288.0 * 12288.0 * 2.0 / (1555e9);
+  EXPECT_GT(t, ideal * 0.9);
+  EXPECT_LT(t, ideal * 2.0);
+}
+
+TEST(KernelModel, GemmTimeComputeBoundAtHugeBatch) {
+  auto ds = EngineModelConfig::deepspeed_fp16();
+  const std::int64_t rows = 16384;
+  const double t = gemm_time_s(ds, kGpu, rows, 4096, 4096);
+  const double flops = 2.0 * rows * 4096.0 * 4096.0;
+  const double mem_bound = 4096.0 * 4096.0 * 2.0 / 1555e9;
+  EXPECT_GT(t, mem_bound);  // no longer bandwidth bound
+  EXPECT_NEAR(t, flops / (312e12 * ds.gemm_compute_eff), t * 0.2);
+}
+
+TEST(KernelModel, CudaGraphRemovesLaunchOverhead) {
+  auto ds = EngineModelConfig::deepspeed_fp16();
+  auto ft = EngineModelConfig::faster_transformer();
+  EXPECT_LT(launch_overhead_s(ds, kGpu), launch_overhead_s(ft, kGpu) / 10.0);
+}
+
+TEST(KernelModel, Int8CutsWeightTrafficNetOfQuantOverhead) {
+  // INT8 halves weight bytes but pays a quant/dequant traffic factor, so
+  // the net small-batch gain is 2 / weight_traffic_factor.
+  auto fp16 = EngineModelConfig::deepspeed_fp16();
+  auto int8 = EngineModelConfig::deepspeed_int8();
+  const double t16 = gemm_time_s(fp16, kGpu, 1, 8192, 8192);
+  const double t8 = gemm_time_s(int8, kGpu, 1, 8192, 8192);
+  EXPECT_NEAR(t16 / t8, 2.0 / int8.weight_traffic_factor, 0.2);
+  EXPECT_GT(t16 / t8, 1.1);  // still a real win
+}
+
+TEST(DenseModel, TensorParallelismCutsLayerTime) {
+  const auto& m = model::dense_model("GPT-NeoX 20B");
+  auto ds = EngineModelConfig::deepspeed_fp16();
+  const auto t1 = dense_layer_time(m, ds, kCluster, 1, 1, 1, 128);
+  const auto t4 = dense_layer_time(m, ds, kCluster, 4, 1, 1, 128);
+  EXPECT_LT(t4.gemm_s, t1.gemm_s);
+  EXPECT_GT(t4.comm_s, 0.0);
+  EXPECT_LT(t4.total(), t1.total());  // still wins despite all-reduce
+}
+
+TEST(DenseModel, TpMustDivideHidden) {
+  const auto& m = model::dense_model("GPT-2 1.5B");  // hidden 1600
+  auto ds = EngineModelConfig::deepspeed_fp16();
+  EXPECT_THROW(dense_layer_time(m, ds, kCluster, 3, 1, 1, 1),
+               std::invalid_argument);
+}
+
+TEST(DenseModel, DeepSpeedBeatsFasterTransformerAtSmallBatch) {
+  const auto& m = model::dense_model("GPT-2 1.5B");
+  auto ds = EngineModelConfig::deepspeed_fp16();
+  auto ft = EngineModelConfig::faster_transformer();
+  const auto gds = dense_generation_time(m, ds, kCluster, 1, 1, 128, 8);
+  const auto gft = dense_generation_time(m, ft, kCluster, 1, 1, 128, 8);
+  const double speedup = gft.total_s / gds.total_s;
+  // Paper Fig. 6: up to 1.55x at small batch; shape check with slack.
+  EXPECT_GT(speedup, 1.15);
+  EXPECT_LT(speedup, 3.0);
+}
+
+TEST(DenseModel, Int8BeatsFp16) {
+  const auto& m = model::dense_model("GPT-13B");
+  auto fp16 = EngineModelConfig::deepspeed_fp16();
+  auto int8 = EngineModelConfig::deepspeed_int8();
+  const auto g16 = dense_generation_time(m, fp16, kCluster, 1, 1, 128, 8);
+  const auto g8 = dense_generation_time(m, int8, kCluster, 1, 1, 128, 8);
+  EXPECT_LT(g8.total_s, g16.total_s);
+}
+
+TEST(DenseModel, LatencyGrowsSublinearlyWithModestBatch) {
+  // Memory-bandwidth-bound regime: batch 4 must cost far less than 4x batch 1.
+  const auto& m = model::dense_model("GPT-13B");
+  auto ds = EngineModelConfig::deepspeed_fp16();
+  const auto b1 = dense_generation_time(m, ds, kCluster, 1, 1, 128, 8);
+  const auto b4 = dense_generation_time(m, ds, kCluster, 1, 4, 128, 8);
+  EXPECT_LT(b4.total_s, b1.total_s * 2.0);
+  EXPECT_GT(b4.tokens_per_s, b1.tokens_per_s * 2.0);
+}
+
+TEST(DenseModel, GenerationAccountingConsistent) {
+  const auto& m = model::dense_model("GPT-Neo 2.7B");
+  auto ds = EngineModelConfig::deepspeed_fp16();
+  const auto g = dense_generation_time(m, ds, kCluster, 1, 2, 128, 8);
+  EXPECT_GT(g.prompt_s, 0.0);
+  EXPECT_GT(g.per_token_s, 0.0);
+  EXPECT_NEAR(g.total_s, g.prompt_s + 7 * g.per_token_s, g.total_s * 0.05);
+  EXPECT_GT(g.tflops_per_gpu, 0.0);
+  EXPECT_LT(g.tflops_per_gpu, 312.0);
+}
+
+TEST(DenseModel, PromptPhaseDominatedByComputeTokenPhaseByBandwidth) {
+  const auto& m = model::dense_model("LM-175B");
+  auto ds = EngineModelConfig::deepspeed_fp16();
+  // Prompt: 512 tokens in one shot; per-token: 1 row.
+  const auto prompt = dense_layer_time(m, ds, kCluster, 8, 8, 512, 512);
+  const auto token = dense_layer_time(m, ds, kCluster, 8, 8, 1, 512);
+  EXPECT_GT(prompt.total(), token.total());
+}
+
+}  // namespace
+}  // namespace dsinfer::perf

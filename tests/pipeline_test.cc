@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include "parallel/pipeline_partition.h"
+#include "parallel/pipeline_sim.h"
+
+namespace dsinfer::parallel {
+namespace {
+
+TEST(Partition, EvenSplit) {
+  auto p = partition_layers(8, 4);
+  ASSERT_EQ(p.size(), 4u);
+  for (std::size_t s = 0; s < 4; ++s) {
+    EXPECT_EQ(p[s].second - p[s].first, 2);
+  }
+  EXPECT_EQ(p.front().first, 0);
+  EXPECT_EQ(p.back().second, 8);
+}
+
+TEST(Partition, RemainderGoesToEarlyStages) {
+  auto p = partition_layers(10, 4);  // 3,3,2,2
+  EXPECT_EQ(p[0].second - p[0].first, 3);
+  EXPECT_EQ(p[1].second - p[1].first, 3);
+  EXPECT_EQ(p[2].second - p[2].first, 2);
+  EXPECT_EQ(p[3].second - p[3].first, 2);
+  // Contiguous cover.
+  for (std::size_t s = 1; s < p.size(); ++s) {
+    EXPECT_EQ(p[s].first, p[s - 1].second);
+  }
+}
+
+TEST(Partition, InvalidThrows) {
+  EXPECT_THROW(partition_layers(3, 4), std::invalid_argument);
+  EXPECT_THROW(partition_layers(4, 0), std::invalid_argument);
+}
+
+TEST(StageMemoryModel, KvOffloadFreesDeviceMemory) {
+  const auto& m = model::dense_model("LM-530B");
+  auto with = stage_memory(m, 21, 8, 64, 562, model::Dtype::kFP16, false);
+  auto without = stage_memory(m, 21, 8, 64, 562, model::Dtype::kFP16, true);
+  EXPECT_GT(with.kv_cache_gb, 0.0);
+  EXPECT_DOUBLE_EQ(without.kv_cache_gb, 0.0);
+  EXPECT_LT(without.total_gb(), with.total_gb());
+}
+
+TEST(StageMemoryModel, OffloadEnablesLargerBatch) {
+  const auto& m = model::dense_model("LM-530B");
+  const auto gpu = hw::a100_40gb();
+  const auto b_resident =
+      max_batch_for_memory(m, gpu, 21, 8, 562, model::Dtype::kFP16, false);
+  const auto b_offload =
+      max_batch_for_memory(m, gpu, 21, 8, 562, model::Dtype::kFP16, true);
+  EXPECT_GT(b_resident, 0);
+  EXPECT_GT(b_offload, b_resident);
+}
+
+// ---------- Pipeline schedule simulation ----------
+
+const auto kCluster = hw::dgx_a100_cluster(2);
+
+PipelineSimConfig base_config() {
+  PipelineSimConfig c;
+  c.stages = 2;
+  c.tensor_parallel = 8;
+  c.batch = 16;
+  c.prompt_len = 512;
+  c.gen_tokens = 50;
+  c.prompt_microbatches = 4;
+  c.gen_microbatches = 2;
+  c.schedule = PipelineSchedule::kInferenceOptimized;
+  return c;
+}
+
+TEST(PipelineSim, InferenceScheduleBeatsTrainingStyle) {
+  const auto& m = model::dense_model("LM-175B");
+  auto e = perf::EngineModelConfig::deepspeed_fp16();
+  auto cfg = base_config();
+  cfg.schedule = PipelineSchedule::kTrainingStyle;
+  const auto train = simulate_pipeline(m, e, kCluster, cfg);
+  cfg.schedule = PipelineSchedule::kInferenceOptimized;
+  const auto inf = simulate_pipeline(m, e, kCluster, cfg);
+  EXPECT_LT(inf.total_s, train.total_s);
+  EXPECT_LT(inf.bubble_fraction, train.bubble_fraction);
+}
+
+TEST(PipelineSim, HybridBeatsFixedMicrobatchCount) {
+  const auto& m = model::dense_model("LM-175B");
+  auto e = perf::EngineModelConfig::deepspeed_fp16();
+  auto cfg = base_config();
+  cfg.prompt_microbatches = 8;  // good for prompt, wasteful for generation
+  cfg.gen_microbatches = 2;
+  cfg.schedule = PipelineSchedule::kInferenceOptimized;
+  const auto fixed = simulate_pipeline(m, e, kCluster, cfg);
+  cfg.schedule = PipelineSchedule::kHybrid;
+  const auto hybrid = simulate_pipeline(m, e, kCluster, cfg);
+  EXPECT_LT(hybrid.total_s, fixed.total_s);
+}
+
+TEST(PipelineSim, MoreStagesShortenStageTimeButAddFill) {
+  const auto& m = model::dense_model("LM-530B");
+  auto e = perf::EngineModelConfig::deepspeed_fp16();
+  auto cfg = base_config();
+  cfg.stages = 5;
+  cfg.prompt_microbatches = 5;
+  cfg.gen_microbatches = 5;
+  const auto r = simulate_pipeline(m, e, kCluster, cfg);
+  EXPECT_GT(r.total_s, 0.0);
+  EXPECT_EQ(r.gpus, 40);
+  EXPECT_GT(r.tokens_per_s, 0.0);
+}
+
+TEST(PipelineSim, SingleTokenGenerationOnlyPromptPhase) {
+  const auto& m = model::dense_model("GPT-NeoX 20B");
+  auto e = perf::EngineModelConfig::deepspeed_fp16();
+  auto cfg = base_config();
+  cfg.gen_tokens = 1;
+  const auto r = simulate_pipeline(m, e, kCluster, cfg);
+  EXPECT_NEAR(r.prompt_s, r.total_s, r.total_s * 1e-6);
+}
+
+TEST(PipelineSim, OddEvenPcieRemovesOffloadStall) {
+  const auto& m = model::dense_model("LM-530B");
+  auto e = perf::EngineModelConfig::deepspeed_fp16();
+  auto cfg = base_config();
+  cfg.stages = 5;
+  cfg.prompt_microbatches = 5;
+  cfg.gen_microbatches = 5;
+  cfg.batch = 256;  // large enough that the KV cache spills
+  cfg.kv_offload = true;
+  cfg.odd_even_pcie = false;
+  const auto contended = simulate_pipeline(m, e, kCluster, cfg);
+  cfg.odd_even_pcie = true;
+  const auto scheduled = simulate_pipeline(m, e, kCluster, cfg);
+  EXPECT_LE(scheduled.total_s, contended.total_s);
+}
+
+TEST(PipelineSim, ThroughputScalesWithBatchInBandwidthRegime) {
+  const auto& m = model::dense_model("LM-175B");
+  auto e = perf::EngineModelConfig::deepspeed_fp16();
+  auto cfg = base_config();
+  cfg.batch = 8;
+  const auto small = simulate_pipeline(m, e, kCluster, cfg);
+  cfg.batch = 32;
+  const auto large = simulate_pipeline(m, e, kCluster, cfg);
+  EXPECT_GT(large.tokens_per_s, small.tokens_per_s * 2.0);
+}
+
+TEST(PipelineSim, BadConfigThrows) {
+  const auto& m = model::dense_model("GPT-NeoX 20B");
+  auto e = perf::EngineModelConfig::deepspeed_fp16();
+  auto cfg = base_config();
+  cfg.prompt_microbatches = 0;
+  EXPECT_THROW(simulate_pipeline(m, e, kCluster, cfg), std::invalid_argument);
+  cfg = base_config();
+  cfg.prompt_microbatches = cfg.batch + 1;
+  EXPECT_THROW(simulate_pipeline(m, e, kCluster, cfg), std::invalid_argument);
+}
+
+TEST(PipelineSim, BubbleFractionWithinUnitInterval) {
+  const auto& m = model::dense_model("GPT-NeoX 20B");
+  auto e = perf::EngineModelConfig::deepspeed_fp16();
+  const auto r = simulate_pipeline(m, e, kCluster, base_config());
+  EXPECT_GE(r.bubble_fraction, 0.0);
+  EXPECT_LE(r.bubble_fraction, 1.0);
+}
+
+}  // namespace
+}  // namespace dsinfer::parallel

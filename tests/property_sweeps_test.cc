@@ -1,0 +1,197 @@
+// Randomized property sweeps across the kernel and model layers: for many
+// seeded shapes, every optimized path must agree with its reference path,
+// and the analytic models must respect their structural invariants.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "kernels/attention.h"
+#include "kernels/elementwise.h"
+#include "kernels/gemm.h"
+#include "kernels/quant.h"
+#include "kernels/tensor.h"
+#include "moe/gating.h"
+#include "parallel/pipeline_sim.h"
+#include "perf/dense_model.h"
+#include "util/rng.h"
+#include "zero/zero_perf_model.h"
+
+namespace dsinfer {
+namespace {
+
+class SeededSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SeededSweep, GemmPathsAgreeOnRandomShapes) {
+  Rng rng(GetParam());
+  for (int iter = 0; iter < 6; ++iter) {
+    const std::int64_t m = rng.integer(1, 12);
+    const std::int64_t in = rng.integer(1, 200);
+    const std::int64_t out = rng.integer(1, 200);
+    std::vector<float> x(static_cast<std::size_t>(m * in));
+    std::vector<float> w(static_cast<std::size_t>(out * in));
+    std::vector<float> bias(static_cast<std::size_t>(out));
+    rng.fill_normal(x);
+    rng.fill_normal(w, 0.0f, 0.2f);
+    rng.fill_normal(bias, 0.0f, 0.2f);
+    std::vector<float> ref(static_cast<std::size_t>(m * out));
+    std::vector<float> blk(ref.size()), sbi(ref.size());
+    kernels::linear_ref(x, w, bias, ref, m, in, out);
+    kernels::linear_blocked(x, w, bias, blk, m, in, out);
+    kernels::PackedWeight packed(w, out, in);
+    kernels::linear_sbi(x, packed, bias, sbi, m);
+    EXPECT_LT(max_abs_diff(ref, blk), 1e-3f)
+        << "m=" << m << " in=" << in << " out=" << out;
+    EXPECT_LT(max_abs_diff(ref, sbi), 1e-3f)
+        << "m=" << m << " in=" << in << " out=" << out;
+  }
+}
+
+TEST_P(SeededSweep, Int8LinearTracksFp32OnRandomShapes) {
+  Rng rng(GetParam() ^ 0xAB);
+  for (int iter = 0; iter < 4; ++iter) {
+    const std::int64_t m = rng.integer(1, 6);
+    const std::int64_t in = rng.integer(8, 128);
+    const std::int64_t out = rng.integer(1, 64);
+    std::vector<float> x(static_cast<std::size_t>(m * in));
+    std::vector<float> w(static_cast<std::size_t>(out * in));
+    rng.fill_normal(x);
+    rng.fill_normal(w, 0.0f, 0.1f);
+    std::vector<float> ref(static_cast<std::size_t>(m * out)), q(ref.size());
+    kernels::linear_ref(x, w, {}, ref, m, in, out);
+    kernels::QuantizedWeight qw(w, out, in);
+    kernels::linear_int8(x, qw, {}, q, m);
+    const float bound = 0.06f * std::sqrt(static_cast<float>(in));
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      EXPECT_NEAR(q[i], ref[i], bound);
+    }
+  }
+}
+
+TEST_P(SeededSweep, AttentionPathsAgreeCausalAndEncoder) {
+  Rng rng(GetParam() ^ 0xCD);
+  for (bool causal : {true, false}) {
+    const std::int64_t batch = rng.integer(1, 3);
+    const std::int64_t heads = rng.integer(1, 4);
+    const std::int64_t hd = 4 << rng.integer(0, 3);  // 4..32
+    const std::int64_t seq = rng.integer(1, 12);
+    const std::int64_t H = heads * hd;
+    kernels::KVCache cache(batch, heads, hd, seq);
+    std::vector<float> k(static_cast<std::size_t>(batch * seq * H));
+    std::vector<float> v(k.size()), q(k.size());
+    rng.fill_normal(k);
+    rng.fill_normal(v);
+    rng.fill_normal(q);
+    cache.append(k, v, seq);
+    std::vector<float> of(q.size()), ou(q.size());
+    kernels::attention_fused(q, cache, of, seq, causal);
+    kernels::attention_unfused(q, cache, ou, seq, causal);
+    EXPECT_LT(max_abs_diff(of, ou), 1e-4f)
+        << "causal=" << causal << " b=" << batch << " h=" << heads
+        << " d=" << hd << " s=" << seq;
+  }
+}
+
+TEST_P(SeededSweep, EncoderAttentionSeesAllPositions) {
+  // Non-causal: the first query must depend on the last key.
+  Rng rng(GetParam() ^ 0xEF);
+  const std::int64_t heads = 2, hd = 8, seq = 5, H = heads * hd;
+  std::vector<float> k(static_cast<std::size_t>(seq * H)), v(k.size()),
+      q(k.size());
+  rng.fill_normal(k);
+  rng.fill_normal(v);
+  rng.fill_normal(q);
+  auto run = [&](const std::vector<float>& kk) {
+    kernels::KVCache cache(1, heads, hd, seq);
+    cache.append(kk, v, seq);
+    std::vector<float> out(q.size());
+    kernels::attention_fused(q, cache, out, seq, /*causal=*/false);
+    return out;
+  };
+  auto base = run(k);
+  auto k2 = k;
+  for (std::int64_t i = (seq - 1) * H; i < seq * H; ++i) {
+    k2[static_cast<std::size_t>(i)] += 3.0f;
+  }
+  auto changed = run(k2);
+  // First position's output must change in the encoder (it attends ahead).
+  EXPECT_GT(max_abs_diff(std::span(base).subspan(0, static_cast<std::size_t>(H)),
+                         std::span(changed).subspan(0, static_cast<std::size_t>(H))),
+            1e-4f);
+}
+
+TEST_P(SeededSweep, RoutingTableInvariants) {
+  Rng rng(GetParam() ^ 0x11);
+  const std::int64_t S = rng.integer(1, 100);
+  const std::int64_t E = rng.integer(1, 16);
+  std::vector<float> logits(static_cast<std::size_t>(S * E));
+  rng.fill_normal(logits);
+  auto g = moe::top1_gating(logits, S, E);
+  const std::int64_t cap = moe::expert_capacity(S, E, 1.25);
+  auto t = moe::build_routing_table(g, E, cap);
+
+  // Every routed slot points to a valid token routed to that expert; no
+  // token appears twice; fill counts never exceed capacity.
+  std::vector<int> seen(static_cast<std::size_t>(S), 0);
+  for (std::int64_t e = 0; e < E; ++e) {
+    std::int64_t fill = 0;
+    for (std::int64_t c = 0; c < cap; ++c) {
+      const std::int32_t tok =
+          t.expert_tokens[static_cast<std::size_t>(e * cap + c)];
+      if (tok < 0) continue;
+      ++fill;
+      ASSERT_LT(tok, S);
+      EXPECT_EQ(g.expert_of_token[static_cast<std::size_t>(tok)], e);
+      EXPECT_EQ(seen[static_cast<std::size_t>(tok)]++, 0);
+    }
+    EXPECT_LE(fill, cap);
+  }
+  EXPECT_EQ(t.tokens_routed(),
+            static_cast<std::int64_t>(
+                std::count(seen.begin(), seen.end(), 1)));
+}
+
+TEST_P(SeededSweep, PipelineSimStructuralInvariants) {
+  Rng rng(GetParam() ^ 0x22);
+  const auto& m = model::dense_model("GPT-NeoX 20B");
+  auto e = perf::EngineModelConfig::deepspeed_fp16();
+  const auto cluster = hw::dgx_a100_cluster(2);
+  parallel::PipelineSimConfig cfg;
+  cfg.stages = rng.integer(1, 4);
+  cfg.tensor_parallel = 1 << rng.integer(0, 3);
+  cfg.batch = rng.integer(4, 32);
+  cfg.prompt_len = 64 << rng.integer(0, 3);
+  cfg.gen_tokens = rng.integer(1, 20);
+  cfg.prompt_microbatches = rng.integer(1, std::min<std::int64_t>(4, cfg.batch));
+  cfg.gen_microbatches = rng.integer(1, cfg.prompt_microbatches);
+  cfg.schedule = static_cast<parallel::PipelineSchedule>(rng.integer(0, 2));
+  const auto r = simulate_pipeline(m, e, cluster, cfg);
+  EXPECT_GT(r.total_s, 0.0);
+  EXPECT_GE(r.total_s, r.prompt_s - 1e-12);
+  EXPECT_GE(r.bubble_fraction, 0.0);
+  EXPECT_LE(r.bubble_fraction, 1.0);
+  EXPECT_GT(r.tokens_per_s, 0.0);
+  EXPECT_EQ(r.gpus, cfg.stages * cfg.tensor_parallel);
+}
+
+TEST_P(SeededSweep, ZeroThroughputMonotoneInBatch) {
+  const auto& m = model::dense_model("GPT-13B");
+  const auto lambda = hw::lambda_a6000();
+  zero::ZeroConfig cfg;
+  cfg.home = zero::WeightHome::kZeroDram;
+  Rng rng(GetParam() ^ 0x33);
+  const std::int64_t b1 = rng.integer(1, 8);
+  const std::int64_t b2 = b1 * 2;
+  const auto r1 = zero_throughput(m, lambda, cfg, b1);
+  const auto r2 = zero_throughput(m, lambda, cfg, b2);
+  ASSERT_TRUE(r1.fits);
+  EXPECT_GE(r2.tflops_per_gpu, r1.tflops_per_gpu - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededSweep,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace dsinfer

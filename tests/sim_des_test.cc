@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/des.h"
+
+namespace dsinfer::sim {
+namespace {
+
+TEST(Simulator, EventsRunInTimeOrder) {
+  Simulator s;
+  std::vector<int> order;
+  s.schedule_at(2.0, [&] { order.push_back(2); });
+  s.schedule_at(1.0, [&] { order.push_back(1); });
+  s.schedule_at(3.0, [&] { order.push_back(3); });
+  EXPECT_DOUBLE_EQ(s.run(), 3.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, TiesBreakByInsertionOrder) {
+  Simulator s;
+  std::vector<int> order;
+  s.schedule_at(1.0, [&] { order.push_back(10); });
+  s.schedule_at(1.0, [&] { order.push_back(20); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{10, 20}));
+}
+
+TEST(Simulator, NestedSchedulingAdvancesClock) {
+  Simulator s;
+  double inner_time = -1;
+  s.schedule_at(1.0, [&] {
+    s.schedule_after(0.5, [&] { inner_time = s.now(); });
+  });
+  s.run();
+  EXPECT_DOUBLE_EQ(inner_time, 1.5);
+  EXPECT_EQ(s.events_processed(), 2u);
+}
+
+TEST(Simulator, PastSchedulingThrows) {
+  Simulator s;
+  s.schedule_at(5.0, [] {});
+  s.run();
+  EXPECT_THROW(s.schedule_at(1.0, [] {}), std::invalid_argument);
+}
+
+TEST(Resource, FifoQueuesWork) {
+  Simulator s;
+  Resource r(s, "gpu");
+  std::vector<double> completions;
+  s.schedule_at(0.0, [&] {
+    r.submit(2.0, [&] { completions.push_back(s.now()); });
+    r.submit(3.0, [&] { completions.push_back(s.now()); });
+  });
+  s.run();
+  ASSERT_EQ(completions.size(), 2u);
+  EXPECT_DOUBLE_EQ(completions[0], 2.0);
+  EXPECT_DOUBLE_EQ(completions[1], 5.0);  // queued behind the first
+  EXPECT_DOUBLE_EQ(r.busy_time(), 5.0);
+  EXPECT_DOUBLE_EQ(r.utilization(10.0), 0.5);
+}
+
+TEST(Resource, IdleGapsDoNotCountAsBusy) {
+  Simulator s;
+  Resource r(s, "gpu");
+  s.schedule_at(0.0, [&] { r.submit(1.0); });
+  s.schedule_at(5.0, [&] { r.submit(1.0); });
+  s.run();
+  EXPECT_DOUBLE_EQ(r.busy_time(), 2.0);
+  EXPECT_DOUBLE_EQ(r.busy_until(), 6.0);
+}
+
+TEST(Resource, NegativeDurationThrows) {
+  Simulator s;
+  Resource r(s, "gpu");
+  EXPECT_THROW(r.submit(-1.0), std::invalid_argument);
+}
+
+TEST(Resource, PipelineOfTwoStages) {
+  // Two-stage pipeline with 3 jobs of 1s each: total = fill (1s) + 3s = 4s.
+  Simulator s;
+  Resource a(s, "a"), b(s, "b");
+  int done = 0;
+  for (int j = 0; j < 3; ++j) {
+    s.schedule_at(0.0, [&] {
+      a.submit(1.0, [&] { b.submit(1.0, [&] { ++done; }); });
+    });
+  }
+  const double total = s.run();
+  EXPECT_EQ(done, 3);
+  EXPECT_DOUBLE_EQ(total, 4.0);
+}
+
+}  // namespace
+}  // namespace dsinfer::sim

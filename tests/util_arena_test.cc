@@ -1,0 +1,60 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "util/arena.h"
+
+namespace dsinfer {
+namespace {
+
+TEST(Arena, AllocationsAreAlignedAndDisjoint) {
+  Arena arena(4096);
+  auto a = arena.allocate<float>(10);
+  auto b = arena.allocate<std::int64_t>(5);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(a.data()) % kCacheLineBytes, 0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b.data()) % kCacheLineBytes, 0u);
+  // Writing one must not clobber the other.
+  for (auto& v : a) v = 1.5f;
+  for (auto& v : b) v = 7;
+  for (auto v : a) EXPECT_FLOAT_EQ(v, 1.5f);
+  for (auto v : b) EXPECT_EQ(v, 7);
+}
+
+TEST(Arena, ThrowsBeyondCapacity) {
+  Arena arena(128);
+  arena.allocate<float>(16);  // 64 bytes
+  arena.allocate<float>(16);  // 128 total
+  EXPECT_THROW(arena.allocate<float>(1), std::bad_alloc);
+}
+
+TEST(Arena, ResetReclaimsSpaceButKeepsHighWater) {
+  Arena arena(1024);
+  arena.allocate<float>(100);  // 400 -> rounded to 448
+  const auto used_before = arena.used();
+  arena.reset();
+  EXPECT_EQ(arena.used(), 0u);
+  EXPECT_EQ(arena.high_water(), used_before);
+  // Can allocate the full capacity again after reset.
+  auto big = arena.allocate<std::byte>(1024);
+  EXPECT_EQ(big.size(), 1024u);
+}
+
+TEST(Arena, HighWaterTracksWorstPass) {
+  Arena arena(4096);
+  arena.allocate<float>(8);
+  arena.reset();
+  arena.allocate<float>(512);  // the big pass
+  arena.reset();
+  arena.allocate<float>(8);
+  EXPECT_EQ(arena.high_water(), 2048u);
+}
+
+TEST(Arena, ZeroCountAllocationIsEmpty) {
+  Arena arena(64);
+  auto s = arena.allocate<float>(0);
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(arena.used(), 0u);
+}
+
+}  // namespace
+}  // namespace dsinfer

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <sstream>
+#include <vector>
+
+#include "util/aligned_buffer.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "util/thread_pool.h"
+
+namespace dsinfer {
+namespace {
+
+TEST(AlignedBuffer, AlignmentIs64Bytes) {
+  AlignedBuffer<float> buf(17);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(buf.data()) % kCacheLineBytes, 0u);
+  EXPECT_EQ(buf.size(), 17u);
+}
+
+TEST(AlignedBuffer, MoveTransfersOwnership) {
+  AlignedBuffer<int> a(8);
+  a[0] = 42;
+  int* p = a.data();
+  AlignedBuffer<int> b(std::move(a));
+  EXPECT_EQ(b.data(), p);
+  EXPECT_EQ(b[0], 42);
+  EXPECT_TRUE(a.empty());
+}
+
+TEST(AlignedBuffer, ResetReallocates) {
+  AlignedBuffer<double> a(4);
+  a.reset(100);
+  EXPECT_EQ(a.size(), 100u);
+  a.reset(0);
+  EXPECT_TRUE(a.empty());
+}
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(0, hits.size(), [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForEmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(5, 5, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, ParallelForSmallRange) {
+  ThreadPool pool(8);
+  std::atomic<int> sum{0};
+  pool.parallel_for(0, 3, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) sum += static_cast<int>(i);
+  });
+  EXPECT_EQ(sum.load(), 3);
+}
+
+TEST(ThreadPool, SubmitRunsTask) {
+  ThreadPool pool(1);
+  std::atomic<bool> ran{false};
+  pool.submit([&] { ran = true; });
+  // parallel_for flushes the queue because it shares workers.
+  pool.parallel_for(0, 1, [](std::size_t, std::size_t) {});
+  for (int i = 0; i < 1000 && !ran; ++i) std::this_thread::yield();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, FillNormalHasRoughlyCorrectMoments) {
+  Rng rng(3);
+  std::vector<float> v(20000);
+  rng.fill_normal(v, 2.0f, 0.5f);
+  double mean = std::accumulate(v.begin(), v.end(), 0.0) / v.size();
+  EXPECT_NEAR(mean, 2.0, 0.05);
+}
+
+TEST(Rng, IntegerInRange) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    auto v = rng.integer(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+  }
+}
+
+TEST(Stats, SummaryOfKnownSamples) {
+  std::vector<double> v{1, 2, 3, 4, 5};
+  Summary s = summarize(v);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.p50, 3.0);
+  EXPECT_EQ(s.count, 5u);
+}
+
+TEST(Stats, SummaryEmptyIsZero) {
+  Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  std::vector<double> v{0, 10};
+  EXPECT_DOUBLE_EQ(percentile_sorted(v, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(v, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(v, 1.0), 10.0);
+}
+
+TEST(Stats, StopwatchAdvances) {
+  Stopwatch sw;
+  double x = 0;
+  for (int i = 0; i < 100000; ++i) x += i;
+  (void)x;
+  EXPECT_GT(sw.elapsed_s(), 0.0);
+}
+
+TEST(Table, PrintAlignsColumns) {
+  Table t({"a", "bb"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("a"), std::string::npos);
+  EXPECT_NE(os.str().find("--"), std::string::npos);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, CsvQuotesCommas) {
+  Table t({"x"});
+  t.add_row({"a,b"});
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_NE(os.str().find("\"a,b\""), std::string::npos);
+}
+
+TEST(Table, NumFormatsPrecision) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+}
+
+}  // namespace
+}  // namespace dsinfer

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "kernels/attention.h"
+#include "kernels/tensor.h"
+#include "util/rng.h"
+#include "zero/kv_offload.h"
+
+namespace dsinfer::zero {
+namespace {
+
+TEST(KVCacheState, ExportImportRoundTrip) {
+  Rng rng(1);
+  kernels::KVCache a(2, 3, 4, 16);
+  std::vector<float> k(2 * 5 * 12), v(k.size());
+  rng.fill_normal(k);
+  rng.fill_normal(v);
+  a.append(k, v, 5);
+
+  const auto n = static_cast<std::size_t>(2 * 3 * 5 * 4);
+  std::vector<float> sk(n), sv(n);
+  a.export_state(sk, sv);
+
+  kernels::KVCache b(2, 3, 4, 16);
+  b.import_state(sk, sv, 5);
+  EXPECT_EQ(b.seq_len(), 5);
+  for (std::int64_t bb = 0; bb < 2; ++bb) {
+    for (std::int64_t h = 0; h < 3; ++h) {
+      EXPECT_LT(max_abs_diff(a.keys(bb, h), b.keys(bb, h)), 1e-9f);
+      EXPECT_LT(max_abs_diff(a.values(bb, h), b.values(bb, h)), 1e-9f);
+    }
+  }
+}
+
+TEST(KVCacheState, ImportValidatesArguments) {
+  kernels::KVCache c(1, 1, 4, 8);
+  std::vector<float> small(4);
+  EXPECT_THROW(c.import_state(small, small, 9), std::invalid_argument);
+  EXPECT_THROW(c.import_state(small, small, 4), std::invalid_argument);
+}
+
+TEST(OffloadableKVCache, AttentionIdenticalAfterRoundTrip) {
+  Rng rng(2);
+  const std::int64_t heads = 2, hd = 8, T = 6, H = heads * hd;
+  OffloadableKVCache off(1, heads, hd, T + 2);
+  std::vector<float> k(static_cast<std::size_t>(T * H)), v(k.size());
+  rng.fill_normal(k);
+  rng.fill_normal(v);
+  off.device().append(k, v, T);
+
+  std::vector<float> q(static_cast<std::size_t>(H));
+  rng.fill_normal(q);
+  std::vector<float> before(q.size()), after(q.size());
+  // One-token attention over the full history, before and after round trip.
+  {
+    std::vector<float> kq(q.size()), vq(q.size());
+    rng.fill_normal(kq);
+    rng.fill_normal(vq);
+    off.device().append(kq, vq, 1);
+    kernels::attention_fused(q, off.device(), before, 1);
+
+    off.release_to_host();
+    EXPECT_FALSE(off.resident());
+    off.fetch_to_device();
+    kernels::attention_fused(q, off.device(), after, 1);
+  }
+  EXPECT_LT(max_abs_diff(before, after), 1e-9f);
+}
+
+TEST(OffloadableKVCache, LedgerCountsTransfers) {
+  OffloadableKVCache off(1, 2, 4, 8);
+  std::vector<float> kv(3 * 8, 1.0f);
+  off.device().append(kv, kv, 3);
+  const std::size_t expect = 2u * 1 * 2 * 3 * 4 * sizeof(float);
+  off.release_to_host();
+  EXPECT_EQ(off.bytes_offloaded(), expect);
+  off.release_to_host();  // idempotent
+  EXPECT_EQ(off.bytes_offloaded(), expect);
+  off.fetch_to_device();
+  EXPECT_EQ(off.bytes_fetched(), expect);
+  off.fetch_to_device();  // idempotent
+  EXPECT_EQ(off.bytes_fetched(), expect);
+}
+
+TEST(OffloadableKVCache, DeviceAccessWhileOffloadedThrows) {
+  OffloadableKVCache off(1, 1, 4, 4);
+  std::vector<float> kv(4, 0.5f);
+  off.device().append(kv, kv, 1);
+  off.release_to_host();
+  EXPECT_THROW(off.device(), std::logic_error);
+  off.fetch_to_device();
+  EXPECT_EQ(off.device().seq_len(), 1);
+}
+
+TEST(OffloadableKVCache, GenerationContinuesAfterFetch) {
+  // Release/fetch between token steps, then append more tokens — the usual
+  // per-step pattern of Sec. IV-C.2.
+  Rng rng(4);
+  OffloadableKVCache off(1, 2, 4, 8);
+  std::vector<float> kv(2 * 8);
+  rng.fill_normal(kv);
+  off.device().append(kv, kv, 2);
+  off.release_to_host();
+  off.fetch_to_device();
+  std::vector<float> kv2(8);
+  rng.fill_normal(kv2);
+  off.device().append(kv2, kv2, 1);
+  EXPECT_EQ(off.device().seq_len(), 3);
+}
+
+}  // namespace
+}  // namespace dsinfer::zero

@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "kernels/kv_cache.h"
+#include "kernels/tensor.h"
+#include "zero/offload.h"
+
+namespace dsinfer::zero {
+namespace {
+
+using kernels::KernelPolicy;
+using kernels::KVCache;
+using kernels::LayerScratch;
+
+constexpr std::int64_t kLayers = 6;
+constexpr std::int64_t kHidden = 32;
+constexpr std::int64_t kHeads = 4;
+constexpr std::int64_t kFfn = 64;
+
+HostWeightStore make_store(Tier tier = Tier::kDram) {
+  Rng rng(61);
+  return HostWeightStore(rng, kLayers, kHidden, kHeads, kFfn, tier);
+}
+
+std::vector<float> run_resident(const HostWeightStore& store,
+                                std::int64_t tokens, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> x(static_cast<std::size_t>(tokens * kHidden));
+  rng.fill_normal(x);
+  LayerScratch s;
+  for (std::int64_t l = 0; l < store.layers(); ++l) {
+    KVCache cache(1, kHeads, kHidden / kHeads, tokens);
+    transformer_layer_forward(store.layer(l), cache, x, 1, tokens,
+                              KernelPolicy::optimized_large_batch(), s);
+  }
+  return x;
+}
+
+std::vector<float> run_streamed(const HostWeightStore& store,
+                                LayerStreamer& streamer, std::int64_t tokens,
+                                std::uint64_t seed, bool use_prefetch) {
+  Rng rng(seed);
+  std::vector<float> x(static_cast<std::size_t>(tokens * kHidden));
+  rng.fill_normal(x);
+  LayerScratch s;
+  for (std::int64_t l = 0; l < store.layers(); ++l) {
+    if (use_prefetch) streamer.prefetch(l);  // may already be resident
+    const auto& w = streamer.acquire(l);
+    if (use_prefetch) streamer.prefetch(l + 1);
+    KVCache cache(1, kHeads, kHidden / kHeads, tokens);
+    transformer_layer_forward(w, cache, x, 1, tokens,
+                              KernelPolicy::optimized_large_batch(), s);
+  }
+  return x;
+}
+
+TEST(LayerStreamer, StreamedForwardMatchesResident) {
+  auto store = make_store();
+  LayerStreamer streamer(store, 2);
+  auto resident = run_resident(store, 5, 17);
+  auto streamed = run_streamed(store, streamer, 5, 17, false);
+  EXPECT_LT(max_abs_diff(resident, streamed), 1e-6f);
+}
+
+TEST(LayerStreamer, PrefetchingDoesNotChangeResults) {
+  auto store = make_store();
+  LayerStreamer a(store, 3), b(store, 3);
+  auto plain = run_streamed(store, a, 4, 23, false);
+  auto prefetched = run_streamed(store, b, 4, 23, true);
+  EXPECT_LT(max_abs_diff(plain, prefetched), 1e-7f);
+}
+
+TEST(LayerStreamer, TransfersExactlyOneModelPerPass) {
+  auto store = make_store();
+  LayerStreamer streamer(store, 2);
+  run_streamed(store, streamer, 3, 5, false);
+  EXPECT_EQ(streamer.bytes_fetched(),
+            static_cast<std::size_t>(kLayers) * store.layer_bytes());
+  EXPECT_EQ(streamer.fetch_count(), kLayers);
+  EXPECT_EQ(streamer.hit_count(), 0);
+}
+
+TEST(LayerStreamer, SecondPassRefetchesWhenWindowTooSmall) {
+  auto store = make_store();
+  LayerStreamer streamer(store, 2);
+  run_streamed(store, streamer, 2, 5, false);
+  run_streamed(store, streamer, 2, 5, false);
+  EXPECT_EQ(streamer.fetch_count(), 2 * kLayers);
+}
+
+TEST(LayerStreamer, FullWindowCachesWholeModel) {
+  auto store = make_store();
+  LayerStreamer streamer(store, kLayers);
+  run_streamed(store, streamer, 2, 5, false);
+  run_streamed(store, streamer, 2, 5, false);
+  EXPECT_EQ(streamer.fetch_count(), kLayers);       // only the first pass
+  EXPECT_EQ(streamer.hit_count(), kLayers);         // second pass all hits
+}
+
+TEST(LayerStreamer, PrefetchHitAvoidsRefetch) {
+  auto store = make_store();
+  LayerStreamer streamer(store, 2);
+  streamer.prefetch(0);
+  EXPECT_EQ(streamer.fetch_count(), 1);
+  streamer.acquire(0);
+  EXPECT_EQ(streamer.fetch_count(), 1);
+  EXPECT_EQ(streamer.hit_count(), 1);
+  streamer.prefetch(0);  // already resident: no-op
+  EXPECT_EQ(streamer.fetch_count(), 1);
+}
+
+TEST(LayerStreamer, OutOfRangeAcquireThrows) {
+  auto store = make_store();
+  LayerStreamer streamer(store, 2);
+  EXPECT_THROW(streamer.acquire(kLayers), std::out_of_range);
+  EXPECT_THROW(streamer.acquire(-1), std::out_of_range);
+  streamer.prefetch(kLayers);  // hint: silently ignored
+  EXPECT_EQ(streamer.fetch_count(), 0);
+}
+
+TEST(LayerStreamer, WindowClampedToModelSize) {
+  auto store = make_store();
+  LayerStreamer streamer(store, 100);
+  EXPECT_EQ(streamer.window(), kLayers);
+}
+
+TEST(Int8Streaming, StreamedInt8MatchesResidentInt8) {
+  auto store = make_store();
+  LayerStreamer streamer(store, 2, LayerStreamer::Precision::kInt8);
+  kernels::KernelPolicy int8;
+  int8.dtype = kernels::Dtype::kINT8;
+
+  Rng rng(123);
+  std::vector<float> x(static_cast<std::size_t>(4 * kHidden));
+  rng.fill_normal(x);
+  std::vector<float> streamed = x, resident = x;
+
+  LayerScratch s1, s2;
+  for (std::int64_t l = 0; l < store.layers(); ++l) {
+    // Streamed INT8 layer (no FP32 GeMM weights cross the boundary).
+    const auto& w = streamer.acquire(l);
+    KVCache c1(1, kHeads, kHidden / kHeads, 4);
+    transformer_layer_forward(w, c1, streamed, 1, 4, int8, s1);
+    // Resident layer with the same quantized weights.
+    KVCache c2(1, kHeads, kHidden / kHeads, 4);
+    transformer_layer_forward(store.layer(l), c2, resident, 1, 4, int8, s2);
+  }
+  EXPECT_LT(max_abs_diff(streamed, resident), 1e-6f);
+}
+
+TEST(Int8Streaming, QuartersTransferBytes) {
+  auto store = make_store();
+  EXPECT_LT(store.layer_bytes_int8() * 3, store.layer_bytes());
+
+  LayerStreamer fp32(store, 2), int8(store, 2,
+                                     LayerStreamer::Precision::kInt8);
+  fp32.acquire(0);
+  int8.acquire(0);
+  EXPECT_GT(fp32.bytes_fetched(), 3 * int8.bytes_fetched());
+}
+
+TEST(HostWeightStore, LayerBytesMatchesParamCount) {
+  auto store = make_store(Tier::kNvme);
+  EXPECT_EQ(store.tier(), Tier::kNvme);
+  EXPECT_EQ(store.layer_bytes(), store.layer(0).param_count() * sizeof(float));
+}
+
+}  // namespace
+}  // namespace dsinfer::zero

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "zero/zero_perf_model.h"
+
+namespace dsinfer::zero {
+namespace {
+
+const auto kLambda = hw::lambda_a6000();
+const auto kDgx2 = hw::dgx2_v100();
+
+TEST(ZeroScale, ModelScaleMatchesPaperFig9b) {
+  // GPU-only tops out at GPT-NeoX-20B; CPU-only ~50B (10x smaller than
+  // 530B); ZeRO-Inference on NVMe hosts LM-530B: the paper's 25x claim.
+  const auto* gpu_only = largest_feasible_model(kLambda, WeightHome::kGpuOnly);
+  const auto* cpu_only = largest_feasible_model(kLambda, WeightHome::kCpuOnly);
+  const auto* zero_nvme = largest_feasible_model(kLambda, WeightHome::kZeroNvme);
+  ASSERT_NE(gpu_only, nullptr);
+  ASSERT_NE(cpu_only, nullptr);
+  ASSERT_NE(zero_nvme, nullptr);
+  EXPECT_EQ(gpu_only->name, "GPT-NeoX 20B");
+  EXPECT_EQ(cpu_only->name, "GPT-50B");
+  EXPECT_EQ(zero_nvme->name, "LM-530B");
+  const double scale = static_cast<double>(zero_nvme->total_params()) /
+                       static_cast<double>(gpu_only->total_params());
+  EXPECT_GT(scale, 20.0);  // "25x larger models"
+}
+
+TEST(ZeroThroughput, Reaches50PercentOfPeakOnA6000) {
+  // Paper: 84 TFLOPS, 54% of the A6000's 158.4 peak, for LM-530B off NVMe.
+  ZeroConfig cfg;
+  cfg.home = WeightHome::kZeroNvme;
+  const auto t = zero_throughput(model::dense_model("LM-530B"), kLambda, cfg);
+  ASSERT_TRUE(t.fits);
+  EXPECT_GT(t.tflops_per_gpu, 0.5 * 158.4);
+  EXPECT_LT(t.tflops_per_gpu, 158.4);
+}
+
+TEST(ZeroThroughput, BeatsGpuOnlyViaLargerBatch) {
+  // NeoX-20B fits on the GPU, but ZeRO-Inference still wins >1.5x because
+  // the freed memory buys batch size (paper Sec. VII-D.2).
+  const auto& m = model::dense_model("GPT-NeoX 20B");
+  ZeroConfig gpu_cfg;
+  gpu_cfg.home = WeightHome::kGpuOnly;
+  ZeroConfig zero_cfg;
+  zero_cfg.home = WeightHome::kZeroDram;
+  const auto g = zero_throughput(m, kLambda, gpu_cfg);
+  const auto z = zero_throughput(m, kLambda, zero_cfg);
+  ASSERT_TRUE(g.fits);
+  ASSERT_TRUE(z.fits);
+  EXPECT_GT(z.max_batch, g.max_batch * 4);
+  EXPECT_GT(z.tflops_per_gpu, g.tflops_per_gpu * 1.5);
+}
+
+TEST(ZeroThroughput, Beats25xOverCpuOnly) {
+  const auto& m = model::dense_model("GPT-NeoX 20B");
+  ZeroConfig cpu;
+  cpu.home = WeightHome::kCpuOnly;
+  ZeroConfig zero;
+  zero.home = WeightHome::kZeroDram;
+  const auto c = zero_throughput(m, kLambda, cpu, 8);
+  const auto z = zero_throughput(m, kLambda, zero);
+  ASSERT_TRUE(c.fits);
+  EXPECT_GT(z.tflops_per_gpu / c.tflops_per_gpu, 25.0);
+}
+
+TEST(ZeroThroughput, ThroughputGrowsWithBatch) {
+  // Fig. 9(a): throughput across batch sizes.
+  const auto& m = model::dense_model("GPT-NeoX 20B");
+  ZeroConfig cfg;
+  cfg.home = WeightHome::kZeroDram;
+  double prev = 0;
+  for (std::int64_t b : {1, 2, 4, 8, 16, 32}) {
+    const auto t = zero_throughput(m, kLambda, cfg, b);
+    ASSERT_TRUE(t.fits);
+    EXPECT_GT(t.tflops_per_gpu, prev) << "batch " << b;
+    prev = t.tflops_per_gpu;
+  }
+}
+
+TEST(ZeroThroughput, MultiGpuScalingNearLinear) {
+  // Fig. 9(c): GPT-50B on the DGX-2, 1..16 V100s, partitioned PCIe fetch.
+  const auto& m = model::dense_model("GPT-50B");
+  ZeroConfig cfg;
+  cfg.home = WeightHome::kZeroDram;
+  cfg.partitioned_fetch = true;
+  cfg.gpus = 1;
+  const auto one = zero_throughput(m, kDgx2, cfg);
+  ASSERT_TRUE(one.fits);
+  cfg.gpus = 16;
+  const auto sixteen = zero_throughput(m, kDgx2, cfg);
+  const double scaling = sixteen.tokens_per_s / one.tokens_per_s;
+  EXPECT_GT(scaling, 12.0);  // near-perfect linear
+  EXPECT_LE(scaling, 16.5);
+}
+
+TEST(ZeroThroughput, PrefetchHelpsMostWhenFetchBound) {
+  // Fig. 10(c): prefetching wins at small batch, fades as compute dominates.
+  const auto& m = model::dense_model("GPT-50B");
+  ZeroConfig with;
+  with.home = WeightHome::kZeroDram;
+  with.prefetch_depth = 1;
+  ZeroConfig without = with;
+  without.prefetch_depth = 0;
+
+  const auto w1 = zero_throughput(m, kDgx2, with, 1);
+  const auto n1 = zero_throughput(m, kDgx2, without, 1);
+  const double gain_small = w1.tokens_per_s / n1.tokens_per_s;
+
+  const auto w32 = zero_throughput(m, kDgx2, with, 32);
+  const auto n32 = zero_throughput(m, kDgx2, without, 32);
+  const double gain_large = w32.tokens_per_s / n32.tokens_per_s;
+
+  EXPECT_GT(gain_small, 1.2);
+  EXPECT_GT(gain_small, gain_large);
+  EXPECT_LT(gain_large, 1.25);
+}
+
+TEST(ZeroThroughput, OversizedModelDoesNotFit) {
+  ZeroConfig cfg;
+  cfg.home = WeightHome::kGpuOnly;
+  const auto t = zero_throughput(model::dense_model("LM-530B"), kLambda, cfg);
+  EXPECT_FALSE(t.fits);
+  EXPECT_EQ(t.max_batch, 0);
+}
+
+TEST(ZeroThroughput, BadGpuCountThrows) {
+  ZeroConfig cfg;
+  cfg.gpus = 0;
+  EXPECT_THROW(zero_throughput(model::dense_model("GPT-J 6B"), kLambda, cfg),
+               std::invalid_argument);
+  cfg.gpus = 3;  // Lambda has 2
+  EXPECT_THROW(zero_throughput(model::dense_model("GPT-J 6B"), kLambda, cfg),
+               std::invalid_argument);
+}
+
+TEST(ZeroThroughput, BatchClampedToFeasible) {
+  const auto& m = model::dense_model("GPT-NeoX 20B");
+  ZeroConfig cfg;
+  cfg.home = WeightHome::kZeroDram;
+  const auto probe = zero_throughput(m, kLambda, cfg);
+  const auto clamped = zero_throughput(m, kLambda, cfg, probe.max_batch * 10);
+  EXPECT_DOUBLE_EQ(clamped.tflops_per_gpu,
+                   zero_throughput(m, kLambda, cfg).tflops_per_gpu);
+}
+
+}  // namespace
+}  // namespace dsinfer::zero
