@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_hybrid_microbatch.dir/ablation_hybrid_microbatch.cc.o"
+  "CMakeFiles/ablation_hybrid_microbatch.dir/ablation_hybrid_microbatch.cc.o.d"
+  "ablation_hybrid_microbatch"
+  "ablation_hybrid_microbatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hybrid_microbatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10a_kernel_breakdown.dir/fig10a_kernel_breakdown.cc.o"
+  "CMakeFiles/fig10a_kernel_breakdown.dir/fig10a_kernel_breakdown.cc.o.d"
+  "fig10a_kernel_breakdown"
+  "fig10a_kernel_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10a_kernel_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

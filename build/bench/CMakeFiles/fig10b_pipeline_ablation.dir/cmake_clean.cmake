@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10b_pipeline_ablation.dir/fig10b_pipeline_ablation.cc.o"
+  "CMakeFiles/fig10b_pipeline_ablation.dir/fig10b_pipeline_ablation.cc.o.d"
+  "fig10b_pipeline_ablation"
+  "fig10b_pipeline_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10b_pipeline_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10c_prefetch.dir/fig10c_prefetch.cc.o"
+  "CMakeFiles/fig10c_prefetch.dir/fig10c_prefetch.cc.o.d"
+  "fig10c_prefetch"
+  "fig10c_prefetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10c_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_et_comparison.dir/fig12_et_comparison.cc.o"
+  "CMakeFiles/fig12_et_comparison.dir/fig12_et_comparison.cc.o.d"
+  "fig12_et_comparison"
+  "fig12_et_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_et_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_hybrid_schedule.dir/fig13_hybrid_schedule.cc.o"
+  "CMakeFiles/fig13_hybrid_schedule.dir/fig13_hybrid_schedule.cc.o.d"
+  "fig13_hybrid_schedule"
+  "fig13_hybrid_schedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_hybrid_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

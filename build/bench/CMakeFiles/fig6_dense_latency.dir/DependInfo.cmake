@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig6_dense_latency.cc" "bench/CMakeFiles/fig6_dense_latency.dir/fig6_dense_latency.cc.o" "gcc" "bench/CMakeFiles/fig6_dense_latency.dir/fig6_dense_latency.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/perf/CMakeFiles/dsi_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/dsi_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/dsi_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/dsi_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/dsi_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dsi_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

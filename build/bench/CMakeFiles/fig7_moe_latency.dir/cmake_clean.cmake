@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_moe_latency.dir/fig7_moe_latency.cc.o"
+  "CMakeFiles/fig7_moe_latency.dir/fig7_moe_latency.cc.o.d"
+  "fig7_moe_latency"
+  "fig7_moe_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_moe_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_zero_inference.dir/fig9_zero_inference.cc.o"
+  "CMakeFiles/fig9_zero_inference.dir/fig9_zero_inference.cc.o.d"
+  "fig9_zero_inference"
+  "fig9_zero_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_zero_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

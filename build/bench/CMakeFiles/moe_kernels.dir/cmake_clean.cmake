@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moe_kernels.dir/moe_kernels.cc.o"
+  "CMakeFiles/moe_kernels.dir/moe_kernels.cc.o.d"
+  "moe_kernels"
+  "moe_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moe_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serving_latency.dir/serving_latency.cc.o"
+  "CMakeFiles/serving_latency.dir/serving_latency.cc.o.d"
+  "serving_latency"
+  "serving_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serving_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sla_throughput.dir/sla_throughput.cc.o"
+  "CMakeFiles/sla_throughput.dir/sla_throughput.cc.o.d"
+  "sla_throughput"
+  "sla_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sla_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsinfer_cli.dir/dsinfer_cli.cpp.o"
+  "CMakeFiles/dsinfer_cli.dir/dsinfer_cli.cpp.o.d"
+  "dsinfer_cli"
+  "dsinfer_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsinfer_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for dsinfer_cli.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moe_routing.dir/moe_routing.cpp.o"
+  "CMakeFiles/moe_routing.dir/moe_routing.cpp.o.d"
+  "moe_routing"
+  "moe_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moe_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moe_text_generation.dir/moe_text_generation.cpp.o"
+  "CMakeFiles/moe_text_generation.dir/moe_text_generation.cpp.o.d"
+  "moe_text_generation"
+  "moe_text_generation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moe_text_generation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tensor_parallel_inference.dir/tensor_parallel_inference.cpp.o"
+  "CMakeFiles/tensor_parallel_inference.dir/tensor_parallel_inference.cpp.o.d"
+  "tensor_parallel_inference"
+  "tensor_parallel_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tensor_parallel_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

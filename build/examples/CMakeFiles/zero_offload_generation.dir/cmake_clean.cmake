@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zero_offload_generation.dir/zero_offload_generation.cpp.o"
+  "CMakeFiles/zero_offload_generation.dir/zero_offload_generation.cpp.o.d"
+  "zero_offload_generation"
+  "zero_offload_generation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zero_offload_generation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

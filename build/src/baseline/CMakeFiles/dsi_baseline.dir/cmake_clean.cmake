@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsi_baseline.dir/encoder_runner.cc.o"
+  "CMakeFiles/dsi_baseline.dir/encoder_runner.cc.o.d"
+  "libdsi_baseline.a"
+  "libdsi_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsi_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

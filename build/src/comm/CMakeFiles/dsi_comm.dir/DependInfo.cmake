@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/comm/collectives.cc" "src/comm/CMakeFiles/dsi_comm.dir/collectives.cc.o" "gcc" "src/comm/CMakeFiles/dsi_comm.dir/collectives.cc.o.d"
+  "/root/repo/src/comm/comm_grid.cc" "src/comm/CMakeFiles/dsi_comm.dir/comm_grid.cc.o" "gcc" "src/comm/CMakeFiles/dsi_comm.dir/comm_grid.cc.o.d"
+  "/root/repo/src/comm/cost_model.cc" "src/comm/CMakeFiles/dsi_comm.dir/cost_model.cc.o" "gcc" "src/comm/CMakeFiles/dsi_comm.dir/cost_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dsi_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/dsi_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

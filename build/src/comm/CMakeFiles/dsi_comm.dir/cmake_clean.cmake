@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsi_comm.dir/collectives.cc.o"
+  "CMakeFiles/dsi_comm.dir/collectives.cc.o.d"
+  "CMakeFiles/dsi_comm.dir/comm_grid.cc.o"
+  "CMakeFiles/dsi_comm.dir/comm_grid.cc.o.d"
+  "CMakeFiles/dsi_comm.dir/cost_model.cc.o"
+  "CMakeFiles/dsi_comm.dir/cost_model.cc.o.d"
+  "libdsi_comm.a"
+  "libdsi_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsi_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/beam_search.cc" "src/core/CMakeFiles/dsi_core.dir/beam_search.cc.o" "gcc" "src/core/CMakeFiles/dsi_core.dir/beam_search.cc.o.d"
+  "/root/repo/src/core/checkpoint.cc" "src/core/CMakeFiles/dsi_core.dir/checkpoint.cc.o" "gcc" "src/core/CMakeFiles/dsi_core.dir/checkpoint.cc.o.d"
+  "/root/repo/src/core/eval.cc" "src/core/CMakeFiles/dsi_core.dir/eval.cc.o" "gcc" "src/core/CMakeFiles/dsi_core.dir/eval.cc.o.d"
+  "/root/repo/src/core/gpt_model.cc" "src/core/CMakeFiles/dsi_core.dir/gpt_model.cc.o" "gcc" "src/core/CMakeFiles/dsi_core.dir/gpt_model.cc.o.d"
+  "/root/repo/src/core/inference_engine.cc" "src/core/CMakeFiles/dsi_core.dir/inference_engine.cc.o" "gcc" "src/core/CMakeFiles/dsi_core.dir/inference_engine.cc.o.d"
+  "/root/repo/src/core/pipeline_engine.cc" "src/core/CMakeFiles/dsi_core.dir/pipeline_engine.cc.o" "gcc" "src/core/CMakeFiles/dsi_core.dir/pipeline_engine.cc.o.d"
+  "/root/repo/src/core/server.cc" "src/core/CMakeFiles/dsi_core.dir/server.cc.o" "gcc" "src/core/CMakeFiles/dsi_core.dir/server.cc.o.d"
+  "/root/repo/src/core/tokenizer.cc" "src/core/CMakeFiles/dsi_core.dir/tokenizer.cc.o" "gcc" "src/core/CMakeFiles/dsi_core.dir/tokenizer.cc.o.d"
+  "/root/repo/src/core/workload.cc" "src/core/CMakeFiles/dsi_core.dir/workload.cc.o" "gcc" "src/core/CMakeFiles/dsi_core.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dsi_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/dsi_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/dsi_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/dsi_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/zero/CMakeFiles/dsi_zero.dir/DependInfo.cmake"
+  "/root/repo/build/src/moe/CMakeFiles/dsi_moe.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dsi_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/dsi_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/dsi_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/dsi_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

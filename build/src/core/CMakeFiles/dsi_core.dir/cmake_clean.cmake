@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsi_core.dir/beam_search.cc.o"
+  "CMakeFiles/dsi_core.dir/beam_search.cc.o.d"
+  "CMakeFiles/dsi_core.dir/checkpoint.cc.o"
+  "CMakeFiles/dsi_core.dir/checkpoint.cc.o.d"
+  "CMakeFiles/dsi_core.dir/eval.cc.o"
+  "CMakeFiles/dsi_core.dir/eval.cc.o.d"
+  "CMakeFiles/dsi_core.dir/gpt_model.cc.o"
+  "CMakeFiles/dsi_core.dir/gpt_model.cc.o.d"
+  "CMakeFiles/dsi_core.dir/inference_engine.cc.o"
+  "CMakeFiles/dsi_core.dir/inference_engine.cc.o.d"
+  "CMakeFiles/dsi_core.dir/pipeline_engine.cc.o"
+  "CMakeFiles/dsi_core.dir/pipeline_engine.cc.o.d"
+  "CMakeFiles/dsi_core.dir/server.cc.o"
+  "CMakeFiles/dsi_core.dir/server.cc.o.d"
+  "CMakeFiles/dsi_core.dir/tokenizer.cc.o"
+  "CMakeFiles/dsi_core.dir/tokenizer.cc.o.d"
+  "CMakeFiles/dsi_core.dir/workload.cc.o"
+  "CMakeFiles/dsi_core.dir/workload.cc.o.d"
+  "libdsi_core.a"
+  "libdsi_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsi_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsi_hw.dir/topology.cc.o"
+  "CMakeFiles/dsi_hw.dir/topology.cc.o.d"
+  "libdsi_hw.a"
+  "libdsi_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsi_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/attention.cc" "src/kernels/CMakeFiles/dsi_kernels.dir/attention.cc.o" "gcc" "src/kernels/CMakeFiles/dsi_kernels.dir/attention.cc.o.d"
+  "/root/repo/src/kernels/elementwise.cc" "src/kernels/CMakeFiles/dsi_kernels.dir/elementwise.cc.o" "gcc" "src/kernels/CMakeFiles/dsi_kernels.dir/elementwise.cc.o.d"
+  "/root/repo/src/kernels/gemm.cc" "src/kernels/CMakeFiles/dsi_kernels.dir/gemm.cc.o" "gcc" "src/kernels/CMakeFiles/dsi_kernels.dir/gemm.cc.o.d"
+  "/root/repo/src/kernels/kv_cache.cc" "src/kernels/CMakeFiles/dsi_kernels.dir/kv_cache.cc.o" "gcc" "src/kernels/CMakeFiles/dsi_kernels.dir/kv_cache.cc.o.d"
+  "/root/repo/src/kernels/quant.cc" "src/kernels/CMakeFiles/dsi_kernels.dir/quant.cc.o" "gcc" "src/kernels/CMakeFiles/dsi_kernels.dir/quant.cc.o.d"
+  "/root/repo/src/kernels/rope.cc" "src/kernels/CMakeFiles/dsi_kernels.dir/rope.cc.o" "gcc" "src/kernels/CMakeFiles/dsi_kernels.dir/rope.cc.o.d"
+  "/root/repo/src/kernels/tensor.cc" "src/kernels/CMakeFiles/dsi_kernels.dir/tensor.cc.o" "gcc" "src/kernels/CMakeFiles/dsi_kernels.dir/tensor.cc.o.d"
+  "/root/repo/src/kernels/transformer_layer.cc" "src/kernels/CMakeFiles/dsi_kernels.dir/transformer_layer.cc.o" "gcc" "src/kernels/CMakeFiles/dsi_kernels.dir/transformer_layer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dsi_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsi_kernels.dir/attention.cc.o"
+  "CMakeFiles/dsi_kernels.dir/attention.cc.o.d"
+  "CMakeFiles/dsi_kernels.dir/elementwise.cc.o"
+  "CMakeFiles/dsi_kernels.dir/elementwise.cc.o.d"
+  "CMakeFiles/dsi_kernels.dir/gemm.cc.o"
+  "CMakeFiles/dsi_kernels.dir/gemm.cc.o.d"
+  "CMakeFiles/dsi_kernels.dir/kv_cache.cc.o"
+  "CMakeFiles/dsi_kernels.dir/kv_cache.cc.o.d"
+  "CMakeFiles/dsi_kernels.dir/quant.cc.o"
+  "CMakeFiles/dsi_kernels.dir/quant.cc.o.d"
+  "CMakeFiles/dsi_kernels.dir/rope.cc.o"
+  "CMakeFiles/dsi_kernels.dir/rope.cc.o.d"
+  "CMakeFiles/dsi_kernels.dir/tensor.cc.o"
+  "CMakeFiles/dsi_kernels.dir/tensor.cc.o.d"
+  "CMakeFiles/dsi_kernels.dir/transformer_layer.cc.o"
+  "CMakeFiles/dsi_kernels.dir/transformer_layer.cc.o.d"
+  "libdsi_kernels.a"
+  "libdsi_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsi_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsi_model.dir/model_config.cc.o"
+  "CMakeFiles/dsi_model.dir/model_config.cc.o.d"
+  "libdsi_model.a"
+  "libdsi_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsi_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

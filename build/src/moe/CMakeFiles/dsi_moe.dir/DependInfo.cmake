@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/moe/expert_parallel.cc" "src/moe/CMakeFiles/dsi_moe.dir/expert_parallel.cc.o" "gcc" "src/moe/CMakeFiles/dsi_moe.dir/expert_parallel.cc.o.d"
+  "/root/repo/src/moe/gating.cc" "src/moe/CMakeFiles/dsi_moe.dir/gating.cc.o" "gcc" "src/moe/CMakeFiles/dsi_moe.dir/gating.cc.o.d"
+  "/root/repo/src/moe/moe_layer.cc" "src/moe/CMakeFiles/dsi_moe.dir/moe_layer.cc.o" "gcc" "src/moe/CMakeFiles/dsi_moe.dir/moe_layer.cc.o.d"
+  "/root/repo/src/moe/moe_perf_model.cc" "src/moe/CMakeFiles/dsi_moe.dir/moe_perf_model.cc.o" "gcc" "src/moe/CMakeFiles/dsi_moe.dir/moe_perf_model.cc.o.d"
+  "/root/repo/src/moe/moe_transformer.cc" "src/moe/CMakeFiles/dsi_moe.dir/moe_transformer.cc.o" "gcc" "src/moe/CMakeFiles/dsi_moe.dir/moe_transformer.cc.o.d"
+  "/root/repo/src/moe/tp_ep_moe.cc" "src/moe/CMakeFiles/dsi_moe.dir/tp_ep_moe.cc.o" "gcc" "src/moe/CMakeFiles/dsi_moe.dir/tp_ep_moe.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dsi_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/dsi_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/dsi_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/dsi_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/dsi_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/dsi_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsi_moe.dir/expert_parallel.cc.o"
+  "CMakeFiles/dsi_moe.dir/expert_parallel.cc.o.d"
+  "CMakeFiles/dsi_moe.dir/gating.cc.o"
+  "CMakeFiles/dsi_moe.dir/gating.cc.o.d"
+  "CMakeFiles/dsi_moe.dir/moe_layer.cc.o"
+  "CMakeFiles/dsi_moe.dir/moe_layer.cc.o.d"
+  "CMakeFiles/dsi_moe.dir/moe_perf_model.cc.o"
+  "CMakeFiles/dsi_moe.dir/moe_perf_model.cc.o.d"
+  "CMakeFiles/dsi_moe.dir/moe_transformer.cc.o"
+  "CMakeFiles/dsi_moe.dir/moe_transformer.cc.o.d"
+  "CMakeFiles/dsi_moe.dir/tp_ep_moe.cc.o"
+  "CMakeFiles/dsi_moe.dir/tp_ep_moe.cc.o.d"
+  "libdsi_moe.a"
+  "libdsi_moe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsi_moe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

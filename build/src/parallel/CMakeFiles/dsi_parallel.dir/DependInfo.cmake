@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/parallel/device_group.cc" "src/parallel/CMakeFiles/dsi_parallel.dir/device_group.cc.o" "gcc" "src/parallel/CMakeFiles/dsi_parallel.dir/device_group.cc.o.d"
+  "/root/repo/src/parallel/pipeline_partition.cc" "src/parallel/CMakeFiles/dsi_parallel.dir/pipeline_partition.cc.o" "gcc" "src/parallel/CMakeFiles/dsi_parallel.dir/pipeline_partition.cc.o.d"
+  "/root/repo/src/parallel/pipeline_sim.cc" "src/parallel/CMakeFiles/dsi_parallel.dir/pipeline_sim.cc.o" "gcc" "src/parallel/CMakeFiles/dsi_parallel.dir/pipeline_sim.cc.o.d"
+  "/root/repo/src/parallel/tensor_parallel.cc" "src/parallel/CMakeFiles/dsi_parallel.dir/tensor_parallel.cc.o" "gcc" "src/parallel/CMakeFiles/dsi_parallel.dir/tensor_parallel.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dsi_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/dsi_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/dsi_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/dsi_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dsi_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/dsi_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/dsi_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsi_parallel.dir/device_group.cc.o"
+  "CMakeFiles/dsi_parallel.dir/device_group.cc.o.d"
+  "CMakeFiles/dsi_parallel.dir/pipeline_partition.cc.o"
+  "CMakeFiles/dsi_parallel.dir/pipeline_partition.cc.o.d"
+  "CMakeFiles/dsi_parallel.dir/pipeline_sim.cc.o"
+  "CMakeFiles/dsi_parallel.dir/pipeline_sim.cc.o.d"
+  "CMakeFiles/dsi_parallel.dir/tensor_parallel.cc.o"
+  "CMakeFiles/dsi_parallel.dir/tensor_parallel.cc.o.d"
+  "libdsi_parallel.a"
+  "libdsi_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsi_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

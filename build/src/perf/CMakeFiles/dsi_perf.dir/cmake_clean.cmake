@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsi_perf.dir/dense_model.cc.o"
+  "CMakeFiles/dsi_perf.dir/dense_model.cc.o.d"
+  "CMakeFiles/dsi_perf.dir/kernel_model.cc.o"
+  "CMakeFiles/dsi_perf.dir/kernel_model.cc.o.d"
+  "libdsi_perf.a"
+  "libdsi_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsi_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

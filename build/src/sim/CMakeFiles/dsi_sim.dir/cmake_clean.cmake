@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsi_sim.dir/des.cc.o"
+  "CMakeFiles/dsi_sim.dir/des.cc.o.d"
+  "libdsi_sim.a"
+  "libdsi_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsi_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

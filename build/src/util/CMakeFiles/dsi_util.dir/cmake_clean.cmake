@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsi_util.dir/stats.cc.o"
+  "CMakeFiles/dsi_util.dir/stats.cc.o.d"
+  "CMakeFiles/dsi_util.dir/table.cc.o"
+  "CMakeFiles/dsi_util.dir/table.cc.o.d"
+  "CMakeFiles/dsi_util.dir/thread_pool.cc.o"
+  "CMakeFiles/dsi_util.dir/thread_pool.cc.o.d"
+  "libdsi_util.a"
+  "libdsi_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsi_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

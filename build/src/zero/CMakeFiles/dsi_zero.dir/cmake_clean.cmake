@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsi_zero.dir/kv_offload.cc.o"
+  "CMakeFiles/dsi_zero.dir/kv_offload.cc.o.d"
+  "CMakeFiles/dsi_zero.dir/offload.cc.o"
+  "CMakeFiles/dsi_zero.dir/offload.cc.o.d"
+  "CMakeFiles/dsi_zero.dir/zero_perf_model.cc.o"
+  "CMakeFiles/dsi_zero.dir/zero_perf_model.cc.o.d"
+  "libdsi_zero.a"
+  "libdsi_zero.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsi_zero.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdsi_zero.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comm_collectives_test.dir/comm_collectives_test.cc.o"
+  "CMakeFiles/comm_collectives_test.dir/comm_collectives_test.cc.o.d"
+  "comm_collectives_test"
+  "comm_collectives_test.pdb"
+  "comm_collectives_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comm_collectives_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_decoding_test.dir/core_decoding_test.cc.o"
+  "CMakeFiles/core_decoding_test.dir/core_decoding_test.cc.o.d"
+  "core_decoding_test"
+  "core_decoding_test.pdb"
+  "core_decoding_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_decoding_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

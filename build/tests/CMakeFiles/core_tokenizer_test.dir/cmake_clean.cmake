@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tokenizer_test.dir/core_tokenizer_test.cc.o"
+  "CMakeFiles/core_tokenizer_test.dir/core_tokenizer_test.cc.o.d"
+  "core_tokenizer_test"
+  "core_tokenizer_test.pdb"
+  "core_tokenizer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tokenizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feature_extensions_test.dir/feature_extensions_test.cc.o"
+  "CMakeFiles/feature_extensions_test.dir/feature_extensions_test.cc.o.d"
+  "feature_extensions_test"
+  "feature_extensions_test.pdb"
+  "feature_extensions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feature_extensions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernels_attention_test.dir/kernels_attention_test.cc.o"
+  "CMakeFiles/kernels_attention_test.dir/kernels_attention_test.cc.o.d"
+  "kernels_attention_test"
+  "kernels_attention_test.pdb"
+  "kernels_attention_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernels_attention_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernels_edge_test.dir/kernels_edge_test.cc.o"
+  "CMakeFiles/kernels_edge_test.dir/kernels_edge_test.cc.o.d"
+  "kernels_edge_test"
+  "kernels_edge_test.pdb"
+  "kernels_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernels_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernels_gemm_test.dir/kernels_gemm_test.cc.o"
+  "CMakeFiles/kernels_gemm_test.dir/kernels_gemm_test.cc.o.d"
+  "kernels_gemm_test"
+  "kernels_gemm_test.pdb"
+  "kernels_gemm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernels_gemm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernels_layer_test.dir/kernels_layer_test.cc.o"
+  "CMakeFiles/kernels_layer_test.dir/kernels_layer_test.cc.o.d"
+  "kernels_layer_test"
+  "kernels_layer_test.pdb"
+  "kernels_layer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernels_layer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

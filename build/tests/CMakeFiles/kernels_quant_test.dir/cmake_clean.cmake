@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernels_quant_test.dir/kernels_quant_test.cc.o"
+  "CMakeFiles/kernels_quant_test.dir/kernels_quant_test.cc.o.d"
+  "kernels_quant_test"
+  "kernels_quant_test.pdb"
+  "kernels_quant_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernels_quant_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

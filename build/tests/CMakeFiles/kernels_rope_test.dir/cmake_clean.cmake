@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernels_rope_test.dir/kernels_rope_test.cc.o"
+  "CMakeFiles/kernels_rope_test.dir/kernels_rope_test.cc.o.d"
+  "kernels_rope_test"
+  "kernels_rope_test.pdb"
+  "kernels_rope_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernels_rope_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

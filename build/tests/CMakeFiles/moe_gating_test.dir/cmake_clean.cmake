@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moe_gating_test.dir/moe_gating_test.cc.o"
+  "CMakeFiles/moe_gating_test.dir/moe_gating_test.cc.o.d"
+  "moe_gating_test"
+  "moe_gating_test.pdb"
+  "moe_gating_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moe_gating_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moe_layer_test.dir/moe_layer_test.cc.o"
+  "CMakeFiles/moe_layer_test.dir/moe_layer_test.cc.o.d"
+  "moe_layer_test"
+  "moe_layer_test.pdb"
+  "moe_layer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moe_layer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moe_perf_test.dir/moe_perf_test.cc.o"
+  "CMakeFiles/moe_perf_test.dir/moe_perf_test.cc.o.d"
+  "moe_perf_test"
+  "moe_perf_test.pdb"
+  "moe_perf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moe_perf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moe_topk_test.dir/moe_topk_test.cc.o"
+  "CMakeFiles/moe_topk_test.dir/moe_topk_test.cc.o.d"
+  "moe_topk_test"
+  "moe_topk_test.pdb"
+  "moe_topk_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moe_topk_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

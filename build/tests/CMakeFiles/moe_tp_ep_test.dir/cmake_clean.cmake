@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moe_tp_ep_test.dir/moe_tp_ep_test.cc.o"
+  "CMakeFiles/moe_tp_ep_test.dir/moe_tp_ep_test.cc.o.d"
+  "moe_tp_ep_test"
+  "moe_tp_ep_test.pdb"
+  "moe_tp_ep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moe_tp_ep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moe_transformer_test.dir/moe_transformer_test.cc.o"
+  "CMakeFiles/moe_transformer_test.dir/moe_transformer_test.cc.o.d"
+  "moe_transformer_test"
+  "moe_transformer_test.pdb"
+  "moe_transformer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moe_transformer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

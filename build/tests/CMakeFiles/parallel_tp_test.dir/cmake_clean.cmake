@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_tp_test.dir/parallel_tp_test.cc.o"
+  "CMakeFiles/parallel_tp_test.dir/parallel_tp_test.cc.o.d"
+  "parallel_tp_test"
+  "parallel_tp_test.pdb"
+  "parallel_tp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_tp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

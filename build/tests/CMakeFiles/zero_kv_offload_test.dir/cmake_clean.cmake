@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zero_kv_offload_test.dir/zero_kv_offload_test.cc.o"
+  "CMakeFiles/zero_kv_offload_test.dir/zero_kv_offload_test.cc.o.d"
+  "zero_kv_offload_test"
+  "zero_kv_offload_test.pdb"
+  "zero_kv_offload_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zero_kv_offload_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zero_perf_test.dir/zero_perf_test.cc.o"
+  "CMakeFiles/zero_perf_test.dir/zero_perf_test.cc.o.d"
+  "zero_perf_test"
+  "zero_perf_test.pdb"
+  "zero_perf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zero_perf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
