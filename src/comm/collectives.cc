@@ -1,22 +1,92 @@
 #include "comm/collectives.h"
 
+#include <chrono>
 #include <cstring>
 #include <stdexcept>
+#include <thread>
 
 namespace dsinfer::comm {
 
-Communicator::Communicator(std::int64_t n)
-    : n_(n), src_(static_cast<std::size_t>(n)), dst_(static_cast<std::size_t>(n)),
-      gate_(static_cast<std::ptrdiff_t>(n)) {
+Communicator::Communicator(std::int64_t n, CommOptions opts)
+    : n_(n), opts_(std::move(opts)), src_(static_cast<std::size_t>(n)),
+      dst_(static_cast<std::size_t>(n)) {
   if (n < 1) throw std::invalid_argument("Communicator: n must be >= 1");
+  if (opts_.timeout_s < 0) {
+    throw std::invalid_argument("Communicator: negative timeout");
+  }
 }
 
-void Communicator::sync() { gate_.arrive_and_wait(); }
+bool Communicator::failed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return failed_;
+}
+
+void Communicator::poison() {
+  std::lock_guard<std::mutex> lock(mu_);
+  failed_ = true;
+  cv_.notify_all();
+}
+
+void Communicator::inject(std::int64_t rank) {
+  if (!opts_.injector) return;
+  const std::string site = opts_.site_prefix + std::to_string(rank);
+  if (opts_.injector->should_fail(site)) {
+    poison();  // a dead rank takes the whole group down, like NCCL
+    throw CommFault(CommFaultKind::kInjectedFailure, rank,
+                    "comm: injected failure on rank " + std::to_string(rank));
+  }
+  const double d = opts_.injector->delay_s(site);
+  if (d <= 0) return;
+  if (opts_.timeout_s > 0 && d >= opts_.timeout_s) {
+    // The straggler cannot make the barrier; it raises a typed fault while
+    // its peers independently trip the timeout detector. The communicator
+    // is NOT poisoned here on purpose — the peers must detect the straggler
+    // themselves, which is exactly what the timeout path exercises.
+    throw CommFault(CommFaultKind::kInjectedFailure, rank,
+                    "comm: injected straggler delay " + std::to_string(d) +
+                        "s exceeds timeout on rank " + std::to_string(rank));
+  }
+  std::this_thread::sleep_for(std::chrono::duration<double>(d));
+}
+
+void Communicator::sync(std::int64_t rank) {
+  inject(rank);
+  std::unique_lock<std::mutex> lock(mu_);
+  if (failed_) {
+    throw CommFault(CommFaultKind::kPeerFault, rank,
+                    "comm: communicator already failed");
+  }
+  const std::uint64_t gen = generation_;
+  if (++arrived_ == n_) {
+    arrived_ = 0;
+    ++generation_;
+    cv_.notify_all();
+    return;
+  }
+  const auto released = [&] { return generation_ != gen || failed_; };
+  if (opts_.timeout_s <= 0) {
+    cv_.wait(lock, released);
+  } else if (!cv_.wait_for(lock, std::chrono::duration<double>(opts_.timeout_s),
+                           released)) {
+    --arrived_;
+    failed_ = true;  // straggler detected: poison so peers fail fast
+    cv_.notify_all();
+    throw CommFault(CommFaultKind::kStragglerTimeout, rank,
+                    "comm: rank " + std::to_string(rank) +
+                        " timed out waiting for peers (straggler?)");
+  }
+  if (generation_ == gen) {  // woken by poison, not by barrier release
+    --arrived_;
+    throw CommFault(CommFaultKind::kPeerFault, rank,
+                    "comm: peer rank faulted during synchronization");
+  }
+}
+
 
 void Communicator::all_reduce_sum(std::int64_t rank, std::span<float> data) {
   if (n_ == 1) return;
   src_[static_cast<std::size_t>(rank)] = data;
-  sync();
+  sync(rank);
   // Reduce into a private temp while every rank's published span is stable.
   std::vector<float> tmp(data.size(), 0.0f);
   for (std::int64_t r = 0; r < n_; ++r) {
@@ -26,10 +96,10 @@ void Communicator::all_reduce_sum(std::int64_t rank, std::span<float> data) {
     }
     for (std::size_t i = 0; i < tmp.size(); ++i) tmp[i] += peer[i];
   }
-  sync();  // all reads done; safe to overwrite
+  sync(rank);  // all reads done; safe to overwrite
   std::memcpy(data.data(), tmp.data(), tmp.size() * sizeof(float));
   bytes_.fetch_add(data.size() * sizeof(float) * 2, std::memory_order_relaxed);
-  sync();
+  sync(rank);
 }
 
 void Communicator::all_gather(std::int64_t rank, std::span<const float> in,
@@ -38,7 +108,7 @@ void Communicator::all_gather(std::int64_t rank, std::span<const float> in,
     throw std::invalid_argument("all_gather: out too small");
   }
   src_[static_cast<std::size_t>(rank)] = in;
-  sync();
+  sync(rank);
   for (std::int64_t r = 0; r < n_; ++r) {
     const auto peer = src_[static_cast<std::size_t>(r)];
     if (peer.size() != in.size()) {
@@ -49,7 +119,7 @@ void Communicator::all_gather(std::int64_t rank, std::span<const float> in,
   }
   bytes_.fetch_add(in.size() * sizeof(float) * static_cast<std::size_t>(n_ - 1),
                    std::memory_order_relaxed);
-  sync();
+  sync(rank);
 }
 
 void Communicator::all_to_all(std::int64_t rank, std::span<const float> in,
@@ -59,7 +129,7 @@ void Communicator::all_to_all(std::int64_t rank, std::span<const float> in,
   }
   const std::size_t chunk = in.size() / static_cast<std::size_t>(n_);
   src_[static_cast<std::size_t>(rank)] = in;
-  sync();
+  sync(rank);
   for (std::int64_t r = 0; r < n_; ++r) {
     const auto peer = src_[static_cast<std::size_t>(r)];
     if (peer.size() != in.size()) {
@@ -71,14 +141,14 @@ void Communicator::all_to_all(std::int64_t rank, std::span<const float> in,
   }
   bytes_.fetch_add(chunk * sizeof(float) * static_cast<std::size_t>(n_ - 1),
                    std::memory_order_relaxed);
-  sync();
+  sync(rank);
 }
 
 void Communicator::broadcast(std::int64_t rank, std::int64_t root,
                              std::span<float> data) {
   if (n_ == 1) return;
   if (rank == root) src_[static_cast<std::size_t>(root)] = data;
-  sync();
+  sync(rank);
   if (rank != root) {
     const auto rootspan = src_[static_cast<std::size_t>(root)];
     if (rootspan.size() != data.size()) {
@@ -87,7 +157,7 @@ void Communicator::broadcast(std::int64_t rank, std::int64_t root,
     std::memcpy(data.data(), rootspan.data(), data.size() * sizeof(float));
     bytes_.fetch_add(data.size() * sizeof(float), std::memory_order_relaxed);
   }
-  sync();
+  sync(rank);
 }
 
 void Communicator::reduce_scatter_sum(std::int64_t rank,
@@ -101,7 +171,7 @@ void Communicator::reduce_scatter_sum(std::int64_t rank,
     throw std::invalid_argument("reduce_scatter_sum: out too small");
   }
   src_[static_cast<std::size_t>(rank)] = in;
-  sync();
+  sync(rank);
   std::vector<float> tmp(chunk, 0.0f);
   for (std::int64_t r = 0; r < n_; ++r) {
     const auto peer = src_[static_cast<std::size_t>(r)];
@@ -111,18 +181,18 @@ void Communicator::reduce_scatter_sum(std::int64_t rank,
     const float* p = peer.data() + static_cast<std::size_t>(rank) * chunk;
     for (std::size_t i = 0; i < chunk; ++i) tmp[i] += p[i];
   }
-  sync();
+  sync(rank);
   std::memcpy(out.data(), tmp.data(), chunk * sizeof(float));
   bytes_.fetch_add(chunk * sizeof(float) * static_cast<std::size_t>(n_ - 1),
                    std::memory_order_relaxed);
-  sync();
+  sync(rank);
 }
 
 void Communicator::reduce_sum(std::int64_t rank, std::int64_t root,
                               std::span<float> data) {
   if (n_ == 1) return;
   src_[static_cast<std::size_t>(rank)] = data;
-  sync();
+  sync(rank);
   std::vector<float> tmp;
   if (rank == root) {
     tmp.assign(data.size(), 0.0f);
@@ -134,14 +204,14 @@ void Communicator::reduce_sum(std::int64_t rank, std::int64_t root,
       for (std::size_t i = 0; i < tmp.size(); ++i) tmp[i] += peer[i];
     }
   }
-  sync();
+  sync(rank);
   if (rank == root) {
     std::memcpy(data.data(), tmp.data(), tmp.size() * sizeof(float));
     bytes_.fetch_add(data.size() * sizeof(float) *
                          static_cast<std::size_t>(n_ - 1),
                      std::memory_order_relaxed);
   }
-  sync();
+  sync(rank);
 }
 
 void Communicator::gather(std::int64_t rank, std::int64_t root,
@@ -150,7 +220,7 @@ void Communicator::gather(std::int64_t rank, std::int64_t root,
     throw std::invalid_argument("gather: root out too small");
   }
   src_[static_cast<std::size_t>(rank)] = in;
-  sync();
+  sync(rank);
   if (rank == root) {
     for (std::int64_t r = 0; r < n_; ++r) {
       const auto peer = src_[static_cast<std::size_t>(r)];
@@ -164,7 +234,7 @@ void Communicator::gather(std::int64_t rank, std::int64_t root,
                          static_cast<std::size_t>(n_ - 1),
                      std::memory_order_relaxed);
   }
-  sync();
+  sync(rank);
 }
 
 void Communicator::scatter(std::int64_t rank, std::int64_t root,
@@ -175,7 +245,7 @@ void Communicator::scatter(std::int64_t rank, std::int64_t root,
     }
     src_[static_cast<std::size_t>(root)] = in;
   }
-  sync();
+  sync(rank);
   const auto rootspan = src_[static_cast<std::size_t>(root)];
   const std::size_t chunk = rootspan.size() / static_cast<std::size_t>(n_);
   if (out.size() < chunk) {
@@ -187,9 +257,9 @@ void Communicator::scatter(std::int64_t rank, std::int64_t root,
   if (rank != root) {
     bytes_.fetch_add(chunk * sizeof(float), std::memory_order_relaxed);
   }
-  sync();
+  sync(rank);
 }
 
-void Communicator::barrier(std::int64_t /*rank*/) { sync(); }
+void Communicator::barrier(std::int64_t rank) { sync(rank); }
 
 }  // namespace dsinfer::comm

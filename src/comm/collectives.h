@@ -5,22 +5,67 @@
 // reduce-scatter, barrier). Semantics match MPI/NCCL; transport is shared
 // memory. Every rank must call each collective exactly once and in the same
 // order — the same contract NCCL imposes.
+//
+// Resilience (ISSUE 1): the internal barrier is timed. A rank that waits
+// longer than CommOptions::timeout_s for its peers raises a typed CommFault
+// (straggler detection) instead of hanging, and a FaultInjector hook can
+// impose per-rank virtual delays or outright rank failures to exercise that
+// path deterministically. After any CommFault the communicator is poisoned:
+// every subsequent or concurrent synchronization fails fast with kPeerFault.
 #pragma once
 
 #include <atomic>
-#include <barrier>
+#include <condition_variable>
 #include <cstdint>
-#include <memory>
+#include <mutex>
 #include <span>
+#include <stdexcept>
+#include <string>
 #include <vector>
+
+#include "util/fault_injector.h"
 
 namespace dsinfer::comm {
 
+enum class CommFaultKind {
+  kStragglerTimeout,  // peers failed to reach the barrier within timeout_s
+  kInjectedFailure,   // this rank was killed / delayed past the timeout
+  kPeerFault,         // another rank already faulted; failing fast
+};
+
+class CommFault : public std::runtime_error {
+ public:
+  CommFault(CommFaultKind kind, std::int64_t rank, const std::string& what)
+      : std::runtime_error(what), kind_(kind), rank_(rank) {}
+
+  CommFaultKind kind() const { return kind_; }
+  std::int64_t rank() const { return rank_; }
+
+ private:
+  CommFaultKind kind_;
+  std::int64_t rank_;
+};
+
+struct CommOptions {
+  // Max real seconds a rank waits at a synchronization point before raising
+  // CommFault{kStragglerTimeout}. 0 preserves the seed behavior: wait
+  // forever (correct-by-contract callers, no detector).
+  double timeout_s = 0.0;
+  // Optional chaos hook. Each rank draws from site "<site_prefix><rank>"
+  // once per synchronization point: delay_s() imposes a straggler delay
+  // (a delay >= timeout_s means the rank cannot make the barrier and raises
+  // kInjectedFailure while its peers time out), should_fail() kills the
+  // rank outright and poisons the communicator.
+  util::FaultInjector* injector = nullptr;
+  std::string site_prefix = "comm.rank";
+};
+
 class Communicator {
  public:
-  explicit Communicator(std::int64_t n);
+  explicit Communicator(std::int64_t n, CommOptions opts = {});
 
   std::int64_t size() const { return n_; }
+  const CommOptions& options() const { return opts_; }
 
   // In-place sum across all ranks; every rank ends with the same values.
   void all_reduce_sum(std::int64_t rank, std::span<float> data);
@@ -60,14 +105,26 @@ class Communicator {
   // for tests asserting communication volume.
   std::size_t bytes_communicated() const { return bytes_.load(); }
 
+  // True once any rank faulted; the communicator is unusable afterwards.
+  bool failed() const;
+
  private:
-  void sync();
+  void sync(std::int64_t rank);
+  void inject(std::int64_t rank);  // may sleep or throw CommFault
+  void poison();                   // mark failed and wake all waiters
 
   std::int64_t n_;
+  CommOptions opts_;
   std::vector<std::span<const float>> src_;
   std::vector<std::span<float>> dst_;
-  std::barrier<> gate_;
   std::atomic<std::size_t> bytes_{0};
+
+  // Timed reusable barrier (replaces std::barrier, which cannot time out).
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::int64_t arrived_ = 0;
+  std::uint64_t generation_ = 0;
+  bool failed_ = false;
 };
 
 }  // namespace dsinfer::comm

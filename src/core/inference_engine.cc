@@ -21,6 +21,9 @@ InferenceEngine::InferenceEngine(const model::DenseModelConfig& cfg,
     throw std::invalid_argument(
         "EngineOptions: kv_offload is supported on the single-device path");
   }
+  if (opts_.stream_int8 && !opts_.stream_weights) {
+    throw std::invalid_argument("EngineOptions: stream_int8 needs stream_weights");
+  }
   if (opts_.stream_weights && opts_.tensor_parallel > 1) {
     throw std::invalid_argument(
         "EngineOptions: weight streaming and tensor parallelism are mutually "
@@ -35,16 +38,23 @@ InferenceEngine::InferenceEngine(const model::DenseModelConfig& cfg,
   weights_.init_random(rng, cfg);
 
   if (opts_.stream_weights) {
-    // Streamed copies are refetched every pass; packed/quantized
-    // acceleration structures would be rebuilt per fetch, so streaming
-    // pins the plain blocked-FP32 path.
+    // Streamed copies are refetched every pass; packed acceleration
+    // structures would be rebuilt per fetch, so streaming pins the plain
+    // blocked GeMM. FP32 tensors stream as-is; in INT8 mode the host store
+    // quantizes once and the quantized shards are what crosses the boundary.
     opts_.policy.gemm = kernels::GemmKind::kBlocked;
-    opts_.policy.dtype = kernels::Dtype::kFP32;
+    opts_.policy.dtype =
+        opts_.stream_int8 ? kernels::Dtype::kINT8 : kernels::Dtype::kFP32;
     store_ = std::make_unique<zero::HostWeightStore>(
         std::move(weights_.layers), zero::Tier::kDram);
     weights_.layers.clear();
-    streamer_ = std::make_unique<zero::LayerStreamer>(*store_,
-                                                      opts_.stream_window);
+    zero::StreamResilience res;
+    res.injector = opts_.fault_injector;
+    res.max_retries = opts_.stream_max_retries;
+    streamer_ = std::make_unique<zero::LayerStreamer>(
+        *store_, opts_.stream_window,
+        opts_.stream_int8 ? zero::Precision::kInt8 : zero::Precision::kFP32,
+        res);
   } else {
     for (auto& l : weights_.layers) l.prepare(opts_.policy);
     if (opts_.tensor_parallel > 1) {

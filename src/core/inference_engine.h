@@ -32,6 +32,11 @@ struct EngineOptions {
   // small device window. Mutually exclusive with tensor_parallel > 1.
   bool stream_weights = false;
   std::int64_t stream_window = 2;
+  // Stream per-channel INT8 quantized weights instead of FP32 (~4x fewer
+  // boundary bytes; the INT8 GeMM consumes the quantized form directly).
+  // This is the graceful-degradation fidelity the server falls back to
+  // under overload. Requires stream_weights.
+  bool stream_int8 = false;
   // Sec. IV-C.2: release every layer's KV cache to host memory between token
   // steps and fetch it back before the next step. Numerically transparent;
   // the transfer ledger (kv_offload_bytes()) exposes the PCIe traffic the
@@ -39,6 +44,11 @@ struct EngineOptions {
   bool kv_offload = false;
   std::int64_t max_batch = 8;
   std::int64_t max_seq = 128;
+  // Chaos hooks (ISSUE 1). When set, streamed weight reads draw from the
+  // injector's "zero.stream" site; corrupted reads are retried (with
+  // checksum verification) up to stream_max_retries before a StreamFault.
+  util::FaultInjector* fault_injector = nullptr;
+  std::int64_t stream_max_retries = 3;
 };
 
 // Invoked as each token is sampled: (sequence index, step index, token).
@@ -83,6 +93,8 @@ class InferenceEngine {
 
   // Bytes the streamer moved so far (0 when not streaming).
   std::size_t streamed_bytes() const;
+  // Streaming resilience ledger (nullptr when not streaming).
+  const zero::LayerStreamer* streamer() const { return streamer_.get(); }
   // Bytes of KV state round-tripped to host memory (0 unless kv_offload).
   std::size_t kv_offload_bytes() const { return kv_offload_bytes_; }
 

@@ -1,6 +1,7 @@
 #include "core/server.h"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 #include "util/stats.h"
@@ -9,7 +10,8 @@ namespace dsinfer::core {
 
 InferenceServer::InferenceServer(const model::DenseModelConfig& cfg,
                                  ServerOptions opts, std::uint64_t seed)
-    : opts_(opts), engine_(cfg, opts.engine, seed) {
+    : cfg_(cfg), opts_(std::move(opts)), seed_(seed),
+      engine_(cfg, opts_.engine, seed) {
   if (opts_.max_batch < 1 || opts_.max_batch > opts_.engine.max_batch) {
     throw std::invalid_argument(
         "ServerOptions: max_batch must be in [1, engine.max_batch]");
@@ -17,14 +19,62 @@ InferenceServer::InferenceServer(const model::DenseModelConfig& cfg,
   if (opts_.batch_window_s < 0) {
     throw std::invalid_argument("ServerOptions: negative batch window");
   }
+  if (opts_.resilience.max_retries < 0 || opts_.resilience.retry_backoff_s < 0 ||
+      opts_.resilience.overload_queue_s < 0) {
+    throw std::invalid_argument("ServerOptions: bad resilience options");
+  }
+}
+
+InferenceEngine& InferenceServer::degraded_engine() {
+  if (!degraded_) {
+    // Same seed => identical weights; only the execution fidelity drops
+    // (INT8 kernels, or INT8-streamed weights when the primary streams).
+    EngineOptions d = opts_.engine;
+    if (d.stream_weights) {
+      d.stream_int8 = true;
+    } else {
+      d.policy.dtype = kernels::Dtype::kINT8;
+      d.policy.gemm = kernels::GemmKind::kBlocked;
+    }
+    degraded_ = std::make_unique<InferenceEngine>(cfg_, d, seed_);
+  }
+  return *degraded_;
+}
+
+double InferenceServer::estimate_service_s(std::int64_t new_tokens,
+                                           bool degraded) const {
+  const auto& vs = opts_.virtual_service;
+  if (vs.enabled) {
+    return (vs.base_s + vs.per_token_s * static_cast<double>(new_tokens)) *
+           (degraded ? vs.degraded_factor : 1.0);
+  }
+  return ewma_service_s_;  // 0 until the first batch is observed
 }
 
 std::vector<RequestStats> InferenceServer::run_trace(
     std::vector<TimedRequest> requests) {
+  counters_ = ServingCounters{};
+  using Reason = BadRequestError::Reason;
   for (const auto& r : requests) {
-    if (r.prompt.empty() || r.new_tokens < 1) {
-      throw std::invalid_argument("run_trace: bad request " +
-                                  std::to_string(r.id));
+    if (r.prompt.empty()) {
+      throw BadRequestError(Reason::kEmptyPrompt, r.id,
+                            "run_trace: empty prompt in request " +
+                                std::to_string(r.id));
+    }
+    if (r.new_tokens < 1) {
+      throw BadRequestError(Reason::kNonPositiveNewTokens, r.id,
+                            "run_trace: non-positive new_tokens in request " +
+                                std::to_string(r.id));
+    }
+    if (std::isnan(r.arrival_s) || r.arrival_s < 0) {
+      throw BadRequestError(Reason::kBadArrival, r.id,
+                            "run_trace: NaN/negative arrival in request " +
+                                std::to_string(r.id));
+    }
+    if (std::isnan(r.deadline_s) || r.deadline_s < r.arrival_s) {
+      throw BadRequestError(Reason::kBadDeadline, r.id,
+                            "run_trace: NaN or pre-arrival deadline in request " +
+                                std::to_string(r.id));
     }
   }
   // Serve in arrival order (stable for ties).
@@ -34,6 +84,8 @@ std::vector<RequestStats> InferenceServer::run_trace(
     return requests[a].arrival_s < requests[b].arrival_s;
   });
 
+  const auto& res = opts_.resilience;
+  const auto& vs = opts_.virtual_service;
   std::vector<RequestStats> stats(requests.size());
   std::vector<bool> served(requests.size(), false);
   double clock = 0;
@@ -45,12 +97,35 @@ std::vector<RequestStats> InferenceServer::run_trace(
     // Service cannot start before the head arrives; the batcher then waits
     // up to the window for same-shape requests.
     double start = std::max(clock, hr.arrival_s);
+
+    // Admission control: if, by the current service estimate, this request
+    // already cannot meet its deadline, shed it instead of wasting a slot.
+    if (res.admission_control && hr.deadline_s < kNoDeadline &&
+        start + estimate_service_s(hr.new_tokens, false) > hr.deadline_s) {
+      auto& st = stats[head];
+      st.id = hr.id;
+      st.arrival_s = hr.arrival_s;
+      st.deadline_s = hr.deadline_s;
+      st.start_s = st.finish_s = start;  // decision instant; no service
+      st.outcome = RequestStats::Outcome::kShed;
+      served[head] = true;
+      ++counters_.sheds;
+      continue;
+    }
+
+    // Graceful degradation: sustained head-of-line queueing means we are
+    // past capacity — drop to half-size batches on the INT8 engine.
+    const bool degraded = res.degrade_under_overload &&
+                          (start - hr.arrival_s) > res.overload_queue_s;
+    const std::int64_t batch_cap =
+        degraded ? std::max<std::int64_t>(1, opts_.max_batch / 2)
+                 : opts_.max_batch;
     const double cutoff = start + opts_.batch_window_s;
 
     std::vector<std::size_t> batch{head};
     for (std::size_t j = head_pos + 1;
          j < order.size() &&
-         static_cast<std::int64_t>(batch.size()) < opts_.max_batch;
+         static_cast<std::int64_t>(batch.size()) < batch_cap;
          ++j) {
       const std::size_t cand = order[j];
       if (served[cand]) continue;
@@ -68,23 +143,80 @@ std::vector<RequestStats> InferenceServer::run_trace(
       max_new = std::max(max_new, requests[idx].new_tokens);
     }
 
-    Stopwatch sw;
-    auto result = engine_.generate(prompts, max_new);
-    const double service_s = sw.elapsed_s();
-    const double finish = start + service_s;
+    // Engine invocation with bounded retry: injected faults and typed
+    // streaming faults both cost exponential (virtual) backoff.
+    GenerationResult result;
+    std::int64_t tries = 0;
+    double backoff_s = 0;
+    double measured_s = 0;
+    bool ok = false;
+    auto absorb_fault = [&]() {  // true => retry, false => budget exhausted
+      ++counters_.engine_faults;
+      if (tries >= res.max_retries) return false;
+      backoff_s += res.retry_backoff_s * static_cast<double>(1LL << tries);
+      ++tries;
+      ++counters_.retries;
+      return true;
+    };
+    for (;;) {
+      if (res.injector && res.injector->should_fail(res.engine_site)) {
+        if (absorb_fault()) continue;
+        break;
+      }
+      try {
+        Stopwatch sw;
+        result = (degraded ? degraded_engine() : engine_)
+                     .generate(prompts, max_new);
+        measured_s = sw.elapsed_s();
+        ok = true;
+        break;
+      } catch (const zero::StreamFault&) {
+        if (absorb_fault()) continue;
+        break;
+      }
+    }
+
+    const double service_s =
+        !ok ? 0.0
+            : vs.enabled ? estimate_service_s(max_new, degraded) : measured_s;
+    if (ok && !vs.enabled) {
+      ewma_service_s_ = ewma_service_s_ == 0
+                            ? service_s
+                            : 0.7 * ewma_service_s_ + 0.3 * service_s;
+    }
+    const double finish = start + backoff_s + service_s;
 
     for (std::size_t bi = 0; bi < batch.size(); ++bi) {
       const std::size_t idx = batch[bi];
+      const auto& rq = requests[idx];
       auto& st = stats[idx];
-      st.id = requests[idx].id;
-      st.arrival_s = requests[idx].arrival_s;
+      st.id = rq.id;
+      st.arrival_s = rq.arrival_s;
+      st.deadline_s = rq.deadline_s;
       st.start_s = start;
       st.finish_s = finish;
       st.batch_size = static_cast<std::int64_t>(batch.size());
-      // Truncate over-generated tokens to the request's ask.
-      st.tokens = result.tokens[bi];
-      st.tokens.resize(requests[idx].prompt.size() +
-                       static_cast<std::size_t>(requests[idx].new_tokens));
+      st.retries = tries;
+      st.degraded = ok && degraded;
+      if (!ok) {
+        st.outcome = RequestStats::Outcome::kFailed;
+        st.tokens = rq.prompt;  // nothing was generated
+        ++counters_.failures;
+      } else {
+        // Truncate over-generated tokens to the request's ask.
+        st.tokens = result.tokens[bi];
+        st.tokens.resize(rq.prompt.size() +
+                         static_cast<std::size_t>(rq.new_tokens));
+        ++counters_.served;
+        if (degraded) ++counters_.degradations;
+        if (finish > rq.deadline_s) {
+          st.outcome = RequestStats::Outcome::kTimedOut;
+          ++counters_.timeouts;
+        } else {
+          st.outcome = degraded ? RequestStats::Outcome::kDegraded
+                                : RequestStats::Outcome::kOk;
+        }
+      }
       served[idx] = true;
     }
     clock = finish;

@@ -5,39 +5,137 @@
 //
 // Time is virtual for arrivals/queueing and measured for service: the trace
 // replay advances a virtual clock, so latency accounting is reproducible up
-// to the machine's actual compute speed.
+// to the machine's actual compute speed. Enabling VirtualServiceModel makes
+// service time virtual too, so a whole trace replay (including chaos runs)
+// is bit-deterministic.
+//
+// Resilience (ISSUE 1): requests carry deadlines; the batcher can shed load
+// whose predicted completion would miss its deadline (admission control),
+// retries engine faults with exponential virtual backoff, and under overload
+// degrades gracefully — smaller batches on an INT8 engine — marking the
+// affected responses. RequestStats and ServingCounters report timeouts,
+// retries, sheds, and degradations so benches can plot goodput/SLA curves.
 #pragma once
 
 #include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "core/inference_engine.h"
 
 namespace dsinfer::core {
 
+// Typed rejection for malformed trace entries (satellite: hardened
+// validation — every malformed field maps to a distinct reason).
+class BadRequestError : public std::invalid_argument {
+ public:
+  enum class Reason {
+    kEmptyPrompt,
+    kNonPositiveNewTokens,
+    kBadArrival,   // NaN or negative
+    kBadDeadline,  // NaN, or earlier than the arrival
+  };
+
+  BadRequestError(Reason reason, std::int64_t id, const std::string& what)
+      : std::invalid_argument(what), reason_(reason), id_(id) {}
+
+  Reason reason() const { return reason_; }
+  std::int64_t id() const { return id_; }
+
+ private:
+  Reason reason_;
+  std::int64_t id_;
+};
+
+// Resilient-serving knobs. All time quantities are virtual seconds.
+struct ResilienceOptions {
+  // Shed a request (never run it) when its predicted finish, using the
+  // current service-time estimate, already misses its deadline.
+  bool admission_control = false;
+  // Under overload (head-of-line queue delay > overload_queue_s), serve the
+  // batch on the degraded engine (INT8 kernels, half-size batches) and mark
+  // responses kDegraded.
+  bool degrade_under_overload = false;
+  double overload_queue_s = 0.0;
+  // Engine-fault handling: retries per batch with exponential backoff
+  // (retry_backoff_s * 2^attempt of virtual latency per retry).
+  std::int64_t max_retries = 2;
+  double retry_backoff_s = 1e-3;
+  // Chaos hook: each engine invocation attempt draws should_fail() from
+  // `engine_site`. No injector = no faults.
+  util::FaultInjector* injector = nullptr;
+  std::string engine_site = "server.engine";
+};
+
+// Deterministic stand-in for measured service time: a batch serving
+// `new_tokens` decode steps costs base_s + per_token_s * new_tokens,
+// scaled by degraded_factor on the degraded path. Makes whole-trace replay
+// (latency fields included) bit-reproducible, which chaos tests and the
+// resilience sweep rely on.
+struct VirtualServiceModel {
+  bool enabled = false;
+  double base_s = 0.01;
+  double per_token_s = 1e-3;
+  double degraded_factor = 0.5;  // INT8/small-batch path speedup
+};
+
 struct ServerOptions {
   EngineOptions engine;
   std::int64_t max_batch = 8;   // requests per engine invocation
   double batch_window_s = 0.0;  // wait this long (virtual) to fill a batch
+  ResilienceOptions resilience;
+  VirtualServiceModel virtual_service;
 };
+
+inline constexpr double kNoDeadline = std::numeric_limits<double>::infinity();
 
 struct TimedRequest {
   std::int64_t id = 0;
   std::vector<std::int32_t> prompt;
   std::int64_t new_tokens = 1;
-  double arrival_s = 0;  // virtual arrival time
+  double arrival_s = 0;           // virtual arrival time
+  double deadline_s = kNoDeadline;  // absolute virtual SLA bound on finish
 };
 
 struct RequestStats {
+  enum class Outcome {
+    kOk,        // served at full fidelity, deadline met (or none)
+    kDegraded,  // served on the degraded path, deadline met (or none)
+    kTimedOut,  // served, but finished past its deadline
+    kShed,      // rejected by admission control; never ran
+    kFailed,    // engine faults exhausted the retry budget
+  };
+
   std::int64_t id = 0;
   std::vector<std::int32_t> tokens;  // prompt + exactly new_tokens generated
   double arrival_s = 0;
   double start_s = 0;   // when its batch began service
   double finish_s = 0;  // when its batch completed
+  double deadline_s = kNoDeadline;
   std::int64_t batch_size = 0;
+  Outcome outcome = Outcome::kOk;
+  std::int64_t retries = 0;  // engine-fault retries its batch absorbed
+  bool degraded = false;     // served on the degraded path
 
   double queue_delay_s() const { return start_s - arrival_s; }
   double latency_s() const { return finish_s - arrival_s; }
+  bool deadline_met() const { return finish_s <= deadline_s; }
+  bool served() const {
+    return outcome != Outcome::kShed && outcome != Outcome::kFailed;
+  }
+};
+
+// Aggregate chaos/overload accounting for one run_trace call.
+struct ServingCounters {
+  std::int64_t served = 0;         // requests that produced tokens
+  std::int64_t timeouts = 0;       // served but past deadline
+  std::int64_t sheds = 0;          // rejected by admission control
+  std::int64_t degradations = 0;   // served on the degraded path
+  std::int64_t failures = 0;       // retry budget exhausted
+  std::int64_t engine_faults = 0;  // injected faults observed
+  std::int64_t retries = 0;        // engine retries performed
 };
 
 class InferenceServer {
@@ -52,10 +150,22 @@ class InferenceServer {
   std::vector<RequestStats> run_trace(std::vector<TimedRequest> requests);
 
   InferenceEngine& engine() { return engine_; }
+  // Counters from the most recent run_trace (reset at each call).
+  const ServingCounters& counters() const { return counters_; }
 
  private:
+  // Lazily built INT8 twin of the primary engine (same seed => same
+  // weights); the graceful-degradation path serves on it.
+  InferenceEngine& degraded_engine();
+  double estimate_service_s(std::int64_t new_tokens, bool degraded) const;
+
+  model::DenseModelConfig cfg_;
   ServerOptions opts_;
+  std::uint64_t seed_;
   InferenceEngine engine_;
+  std::unique_ptr<InferenceEngine> degraded_;
+  ServingCounters counters_;
+  double ewma_service_s_ = 0;  // observed service time (measured mode)
 };
 
 }  // namespace dsinfer::core

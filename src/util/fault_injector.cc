@@ -1,0 +1,79 @@
+#include "util/fault_injector.h"
+
+#include <algorithm>
+
+namespace dsinfer::util {
+
+namespace {
+
+// FNV-1a over the site name; mixed into the injector seed so each site gets
+// an independent, reproducible stream.
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+FaultInjector::Site& FaultInjector::site_for(const std::string& site) {
+  auto it = sites_.find(site);
+  if (it == sites_.end()) {
+    it = sites_.emplace(site, Site{}).first;
+    it->second.rng = Rng(seed_ ^ fnv1a(site));
+  }
+  return it->second;
+}
+
+void FaultInjector::configure(const std::string& site, FaultSpec spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Site& s = site_for(site);
+  s.spec = spec;
+  s.rng = Rng(seed_ ^ fnv1a(site));
+  s.stats = FaultSiteStats{};
+}
+
+bool FaultInjector::should_fail(const std::string& site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Site& s = site_for(site);
+  if (!s.spec.can_fail()) return false;
+  const std::int64_t draw = s.stats.fail_draws++;
+  bool fail = false;
+  if (draw < s.spec.fail_first_n) {
+    fail = true;  // deterministic fail-N-times-then-succeed schedule
+  } else if (s.spec.fail_probability > 0.0) {
+    fail = s.rng.uniform() < s.spec.fail_probability;
+  }
+  if (fail) ++s.stats.faults;
+  return fail;
+}
+
+double FaultInjector::delay_s(const std::string& site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Site& s = site_for(site);
+  if (!s.spec.can_delay()) return 0.0;
+  ++s.stats.delay_draws;
+  double d = s.spec.fixed_delay_s;
+  if (s.spec.delay_probability > 0.0 && s.spec.delay_mean_s > 0.0 &&
+      s.rng.uniform() < s.spec.delay_probability) {
+    ++s.stats.spikes;
+    double spike = s.spec.delay_mean_s;
+    if (s.spec.delay_jitter_s > 0.0) {
+      spike += s.rng.uniform(-s.spec.delay_jitter_s, s.spec.delay_jitter_s);
+    }
+    d += std::max(0.0, spike);
+  }
+  s.stats.delay_s += d;
+  return d;
+}
+
+FaultSiteStats FaultInjector::stats(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? FaultSiteStats{} : it->second.stats;
+}
+
+}  // namespace dsinfer::util

@@ -1,0 +1,81 @@
+// Deterministic fault injection for chaos testing (ISSUE 1: resilience).
+//
+// Every unreliable boundary in the system (host->device weight reads, rank
+// synchronization, engine invocations) consults a centrally configured
+// FaultInjector through a named *site*. Each site owns an independent RNG
+// stream seeded from (injector seed, site name), so the fault schedule seen
+// at one site is a pure function of the seed and that site's draw sequence —
+// never of interleaving with other sites or threads. Identical seeds yield
+// identical chaos runs; tests assert this.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "util/rng.h"
+
+namespace dsinfer::util {
+
+// What can go wrong at a site. All fields combine: a draw first serves the
+// deterministic fail-N-times-then-succeed schedule, then the probabilistic
+// failure, and independently may incur a latency spike.
+struct FaultSpec {
+  double fail_probability = 0.0;   // chance a draw fails (transient fault)
+  std::int64_t fail_first_n = 0;   // the first N draws fail deterministically
+  double delay_probability = 0.0;  // chance a draw incurs a latency spike
+  double delay_mean_s = 0.0;       // spike magnitude (virtual seconds)
+  double delay_jitter_s = 0.0;     // uniform +/- jitter on the spike
+  double fixed_delay_s = 0.0;      // unconditional per-draw delay (straggler)
+
+  bool can_fail() const { return fail_probability > 0.0 || fail_first_n > 0; }
+  bool can_delay() const {
+    return fixed_delay_s > 0.0 ||
+           (delay_probability > 0.0 && delay_mean_s > 0.0);
+  }
+};
+
+// Per-site accounting so tests and the transfer ledger can price chaos.
+struct FaultSiteStats {
+  std::int64_t fail_draws = 0;   // should_fail() calls
+  std::int64_t faults = 0;       // ... that returned true
+  std::int64_t delay_draws = 0;  // delay_s() calls
+  std::int64_t spikes = 0;       // ... that spiked
+  double delay_s = 0.0;          // total injected delay (virtual seconds)
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(std::uint64_t seed = 0xFA17) : seed_(seed) {}
+
+  // Installs (or replaces) the fault model for `site`. Resets the site's
+  // RNG stream and counters so reconfiguration restarts its schedule.
+  void configure(const std::string& site, FaultSpec spec);
+
+  // Draws from the site's failure schedule. Sites with no configured
+  // failure mode return false without consuming randomness, so unrelated
+  // sites never perturb each other's streams.
+  bool should_fail(const std::string& site);
+
+  // Draws the injected delay (virtual seconds, >= 0) for one operation.
+  double delay_s(const std::string& site);
+
+  FaultSiteStats stats(const std::string& site) const;
+  std::uint64_t seed() const { return seed_; }
+
+ private:
+  struct Site {
+    FaultSpec spec;
+    Rng rng{0};
+    FaultSiteStats stats;
+  };
+
+  Site& site_for(const std::string& site);
+
+  std::uint64_t seed_;
+  mutable std::mutex mu_;
+  std::map<std::string, Site> sites_;
+};
+
+}  // namespace dsinfer::util

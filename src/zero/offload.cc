@@ -52,7 +52,51 @@ void copy_weights_int8(kernels::LayerWeights& dst,
   dst.q_fc2 = src.q_fc2;
 }
 
+std::uint64_t fnv1a_bytes(const void* p, std::size_t n, std::uint64_t h) {
+  const auto* b = static_cast<const unsigned char*>(p);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= b[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::uint64_t hash_tensor(const Tensor& t, std::uint64_t h) {
+  return fnv1a_bytes(t.data(),
+                     static_cast<std::size_t>(t.numel()) * sizeof(float), h);
+}
+
+std::uint64_t hash_quant(const kernels::QuantizedWeight& q, std::uint64_t h) {
+  h = fnv1a_bytes(q.data(), static_cast<std::size_t>(q.out() * q.in()), h);
+  return fnv1a_bytes(q.scales().data(), q.scales().size() * sizeof(float), h);
+}
+
 }  // namespace
+
+std::uint64_t weights_checksum(const kernels::LayerWeights& w, Precision p) {
+  std::uint64_t h = 14695981039346656037ULL;
+  // LN and bias vectors cross the boundary in both precisions.
+  h = hash_tensor(w.ln1_g, h);
+  h = hash_tensor(w.ln1_b, h);
+  h = hash_tensor(w.ln2_g, h);
+  h = hash_tensor(w.ln2_b, h);
+  h = hash_tensor(w.b_qkv, h);
+  h = hash_tensor(w.b_attn_out, h);
+  h = hash_tensor(w.b_fc1, h);
+  h = hash_tensor(w.b_fc2, h);
+  if (p == Precision::kFP32) {
+    h = hash_tensor(w.w_qkv, h);
+    h = hash_tensor(w.w_attn_out, h);
+    h = hash_tensor(w.w_fc1, h);
+    h = hash_tensor(w.w_fc2, h);
+  } else {
+    h = hash_quant(w.q_qkv, h);
+    h = hash_quant(w.q_attn_out, h);
+    h = hash_quant(w.q_fc1, h);
+    h = hash_quant(w.q_fc2, h);
+  }
+  return h;
+}
 
 HostWeightStore::HostWeightStore(Rng& rng, std::int64_t layers,
                                  std::int64_t hidden, std::int64_t heads,
@@ -87,6 +131,23 @@ void HostWeightStore::quantize_all() const {
   }
 }
 
+std::uint64_t HostWeightStore::layer_checksum(std::int64_t i,
+                                              Precision p) const {
+  const auto idx = static_cast<std::size_t>(i);
+  auto& sums = p == Precision::kFP32 ? sum_fp32_ : sum_int8_;
+  auto& set = p == Precision::kFP32 ? sum_fp32_set_ : sum_int8_set_;
+  if (sums.empty()) {
+    sums.assign(weights_.size(), 0);
+    set.assign(weights_.size(), 0);
+  }
+  if (!set.at(idx)) {
+    if (p == Precision::kInt8) quantize_all();
+    sums[idx] = weights_checksum(weights_[idx], p);
+    set[idx] = 1;
+  }
+  return sums[idx];
+}
+
 std::size_t HostWeightStore::layer_bytes_int8() const {
   const auto& w = weights_.front();
   // Quantized GeMM weights (1 byte each + scales) plus FP32 LN/bias vectors.
@@ -100,9 +161,12 @@ std::size_t HostWeightStore::layer_bytes_int8() const {
 }
 
 LayerStreamer::LayerStreamer(const HostWeightStore& store, std::int64_t window,
-                             Precision precision)
-    : store_(store), precision_(precision) {
+                             Precision precision, StreamResilience resilience)
+    : store_(store), precision_(precision), res_(std::move(resilience)) {
   if (window < 1) throw std::invalid_argument("LayerStreamer: window >= 1");
+  if (res_.max_retries < 0) {
+    throw std::invalid_argument("LayerStreamer: max_retries >= 0");
+  }
   slots_.resize(static_cast<std::size_t>(
       std::min<std::int64_t>(window, store.layers())));
   if (precision_ == Precision::kInt8) store.quantize_all();
@@ -114,16 +178,49 @@ LayerStreamer::Slot& LayerStreamer::fetch_into_window(std::int64_t layer) {
   // used furthest in the past).
   Slot& victim = slots_[static_cast<std::size_t>(next_victim_)];
   next_victim_ = (next_victim_ + 1) % static_cast<std::int64_t>(slots_.size());
-  if (precision_ == Precision::kInt8) {
-    copy_weights_int8(victim.weights, store_.layer(layer));
-    bytes_fetched_ += store_.layer_bytes_int8();
-  } else {
-    copy_weights(victim.weights, store_.layer(layer));
-    bytes_fetched_ += store_.layer_bytes();
+  victim.layer = -1;  // invalid until a read verifies
+  const std::int64_t attempts = 1 + res_.max_retries;
+  for (std::int64_t attempt = 0; attempt < attempts; ++attempt) {
+    if (precision_ == Precision::kInt8) {
+      copy_weights_int8(victim.weights, store_.layer(layer));
+      bytes_fetched_ += store_.layer_bytes_int8();
+    } else {
+      copy_weights(victim.weights, store_.layer(layer));
+      bytes_fetched_ += store_.layer_bytes();
+    }
+    // A transient read fault silently corrupts the in-flight copy; only the
+    // checksum pass can tell. Flip one mantissa bit in a vector both
+    // precisions stream so the corruption is always detectable.
+    if (res_.injector && res_.injector->should_fail(res_.site) &&
+        victim.weights.ln1_g.numel() > 0) {
+      float* f = victim.weights.ln1_g.data();
+      std::uint32_t u;
+      std::memcpy(&u, f, sizeof(u));
+      u ^= 1u;
+      std::memcpy(f, &u, sizeof(u));
+    }
+    bool ok = true;
+    if (res_.verify_checksums) {
+      ++verified_fetches_;
+      ok = weights_checksum(victim.weights, precision_) ==
+           store_.layer_checksum(layer, precision_);
+    }
+    if (ok) {
+      victim.layer = layer;
+      ++fetch_count_;
+      return victim;
+    }
+    ++checksum_failures_;
+    if (attempt + 1 < attempts) {
+      ++retry_count_;
+      backoff_virtual_s_ +=
+          res_.backoff_base_s * static_cast<double>(1LL << attempt);
+    }
   }
-  victim.layer = layer;
-  ++fetch_count_;
-  return victim;
+  throw StreamFault(layer, attempts,
+                    "zero: layer " + std::to_string(layer) + " failed " +
+                        std::to_string(attempts) +
+                        " read attempts (corruption beyond retry budget)");
 }
 
 const kernels::LayerWeights& LayerStreamer::acquire(std::int64_t layer) {

@@ -6,17 +6,58 @@
 // bit-identical to a fully resident engine — tests assert it — while the
 // transfer ledger exposes exactly how many bytes crossed the (simulated)
 // PCIe boundary, which the perf model prices.
+//
+// Resilience (ISSUE 1): every fetch is integrity-checked against a per-layer
+// host-side checksum, and a FaultInjector hook can corrupt reads in flight.
+// Corrupted fetches are retried with exponential (virtual) backoff up to a
+// bounded budget; the ledger records retries, verifications, and backoff so
+// the perf model can price chaos. A fetch that exhausts its budget raises a
+// typed StreamFault instead of silently computing on garbage.
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "kernels/transformer_layer.h"
+#include "util/fault_injector.h"
 #include "util/rng.h"
 
 namespace dsinfer::zero {
 
 enum class Tier { kDevice, kDram, kNvme };
+
+enum class Precision { kFP32, kInt8 };
+
+// Checksum over exactly the bytes a streamed copy of `w` transfers at the
+// given precision (FNV-1a). Exposed for tests.
+std::uint64_t weights_checksum(const kernels::LayerWeights& w, Precision p);
+
+// A layer read failed `attempts` times in a row (injected corruption that
+// bounded retry could not absorb).
+class StreamFault : public std::runtime_error {
+ public:
+  StreamFault(std::int64_t layer, std::int64_t attempts,
+              const std::string& what)
+      : std::runtime_error(what), layer_(layer), attempts_(attempts) {}
+
+  std::int64_t layer() const { return layer_; }
+  std::int64_t attempts() const { return attempts_; }
+
+ private:
+  std::int64_t layer_;
+  std::int64_t attempts_;
+};
+
+// Retry/verification policy for streamed reads.
+struct StreamResilience {
+  util::FaultInjector* injector = nullptr;  // site drawn once per read attempt
+  std::string site = "zero.stream";
+  std::int64_t max_retries = 3;    // attempts = 1 + max_retries
+  double backoff_base_s = 1e-4;    // virtual backoff: base * 2^retry
+  bool verify_checksums = true;    // integrity-check every fetch
+};
 
 // Owns the full model's layer weights in host memory.
 class HostWeightStore {
@@ -37,15 +78,24 @@ class HostWeightStore {
   // Pre-builds the host-side quantized forms (idempotent).
   void quantize_all() const;
 
+  // Reference checksum of `layer`'s streamed bytes, computed once and cached
+  // (the host copy is the ground truth streamed reads are verified against).
+  std::uint64_t layer_checksum(std::int64_t i, Precision p) const;
+
  private:
   std::vector<kernels::LayerWeights> weights_;
   Tier tier_;
+  // Lazily filled checksum caches, one slot per layer (0 = not computed;
+  // disambiguated by the parallel `_set` flags).
+  mutable std::vector<std::uint64_t> sum_fp32_, sum_int8_;
+  mutable std::vector<char> sum_fp32_set_, sum_int8_set_;
 };
 
 // A sliding window of device-resident layer copies.
 class LayerStreamer {
  public:
-  enum class Precision { kFP32, kInt8 };
+  // Back-compat alias: callers historically wrote LayerStreamer::Precision.
+  using Precision = zero::Precision;
 
   // `window` = number of layers resident at once (>= 1). window >= 2 allows
   // prefetching the next layer while the current one computes.
@@ -53,7 +103,8 @@ class LayerStreamer {
   // cutting transfer bytes ~4x (an extension beyond the paper's FP16
   // streaming; the INT8 GeMM path consumes the quantized form directly).
   LayerStreamer(const HostWeightStore& store, std::int64_t window,
-                Precision precision = Precision::kFP32);
+                Precision precision = Precision::kFP32,
+                StreamResilience resilience = {});
 
   // Returns device-resident weights for `layer`, fetching on miss.
   const kernels::LayerWeights& acquire(std::int64_t layer);
@@ -66,6 +117,13 @@ class LayerStreamer {
   std::int64_t hit_count() const { return hit_count_; }
   std::int64_t window() const { return static_cast<std::int64_t>(slots_.size()); }
 
+  // Resilience ledger: retried reads, detected corruptions, verified
+  // fetches, and the virtual backoff the retries would have cost.
+  std::int64_t retry_count() const { return retry_count_; }
+  std::int64_t checksum_failures() const { return checksum_failures_; }
+  std::int64_t verified_fetches() const { return verified_fetches_; }
+  double backoff_virtual_s() const { return backoff_virtual_s_; }
+
  private:
   struct Slot {
     std::int64_t layer = -1;
@@ -76,11 +134,16 @@ class LayerStreamer {
 
   const HostWeightStore& store_;
   Precision precision_;
+  StreamResilience res_;
   std::vector<Slot> slots_;
   std::int64_t next_victim_ = 0;  // round-robin eviction
   std::size_t bytes_fetched_ = 0;
   std::int64_t fetch_count_ = 0;
   std::int64_t hit_count_ = 0;
+  std::int64_t retry_count_ = 0;
+  std::int64_t checksum_failures_ = 0;
+  std::int64_t verified_fetches_ = 0;
+  double backoff_virtual_s_ = 0.0;
 };
 
 }  // namespace dsinfer::zero

@@ -81,6 +81,10 @@ ZeroThroughput zero_throughput(const model::DenseModelConfig& m,
        cfg.gpus > cluster.total_gpus())) {
     throw std::invalid_argument("zero_throughput: bad gpu count");
   }
+  if (cfg.read_fault_rate < 0 || cfg.read_fault_rate >= 1.0 ||
+      cfg.read_max_retries < 0) {
+    throw std::invalid_argument("zero_throughput: bad read fault model");
+  }
   const hw::GpuSpec& gpu = cluster.node.gpu;
   ZeroThroughput out;
 
@@ -146,6 +150,21 @@ ZeroThroughput zero_throughput(const model::DenseModelConfig& m,
                   m.layer_param_bytes(Dtype::kFP16) /
                       static_cast<double>(cfg.gpus),
                   cfg.gpus, cluster.node.nvlink);
+    }
+    // Transient read faults force retransfers (LayerStreamer's retry path):
+    // with fault rate p and retry budget r, a successful fetch costs
+    // E[attempts] = sum_{k=0..r} p^k transfers, and the budget suffices with
+    // probability 1 - p^{r+1}.
+    const double p = cfg.read_fault_rate;
+    if (p > 0) {
+      double attempts = 0, pk = 1.0;
+      for (std::int64_t k = 0; k <= cfg.read_max_retries; ++k) {
+        attempts += pk;
+        pk *= p;
+      }
+      out.expected_fetch_attempts = attempts;
+      out.fetch_success_prob = 1.0 - pk;
+      fetch *= attempts;
     }
     out.fetch_s_per_layer = fetch;
   }

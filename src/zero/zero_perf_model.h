@@ -22,6 +22,11 @@ struct ZeroConfig {
   std::int64_t prefetch_depth = 1;  // layers fetched ahead (0 = no overlap)
   bool partitioned_fetch = true;    // multi-GPU aggregate-PCIe optimization
   std::int64_t prompt_len = 2048;   // tokens per sequence
+  // Resilience pricing (ISSUE 1): probability a layer read is corrupted in
+  // flight and must be retransferred, and the bounded retry budget the
+  // streamer applies. Matches LayerStreamer's ledger semantics.
+  double read_fault_rate = 0.0;     // in [0, 1)
+  std::int64_t read_max_retries = 3;
 };
 
 struct ZeroThroughput {
@@ -32,6 +37,10 @@ struct ZeroThroughput {
   double total_s = 0;           // one single-token generation pass
   double tokens_per_s = 0;      // sequences completed per second
   double tflops_per_gpu = 0;    // the paper's headline metric
+  // Expected read attempts per layer fetch and the probability the bounded
+  // retry budget suffices (1.0 when read_fault_rate == 0).
+  double expected_fetch_attempts = 1.0;
+  double fetch_success_prob = 1.0;
 };
 
 // Throughput of `m` under `cfg` on `cluster`. `batch` == 0 selects the

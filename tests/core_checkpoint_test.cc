@@ -12,8 +12,15 @@ namespace {
 
 class CheckpointTest : public ::testing::Test {
  protected:
+  // Per-case file name: ctest runs each case as its own process in the same
+  // CWD, so a shared name races when the suite runs with -j.
+  void SetUp() override {
+    path_ = std::string("test_checkpoint_") +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+            ".dsic";
+  }
   void TearDown() override { std::remove(path_.c_str()); }
-  std::string path_ = "test_checkpoint.dsic";
+  std::string path_;
 };
 
 TEST_F(CheckpointTest, RoundTripPreservesAllTensors) {

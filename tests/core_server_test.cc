@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "core/server.h"
 
 namespace dsinfer::core {
@@ -120,6 +122,83 @@ TEST(InferenceServer, ValidationErrors) {
   InferenceServer server(tiny(), base_opts(), 1);
   EXPECT_THROW(server.run_trace({req(1, {}, 2, 0.0)}), std::invalid_argument);
   EXPECT_THROW(server.run_trace({req(1, {2}, 0, 0.0)}), std::invalid_argument);
+}
+
+TEST(InferenceServer, TypedValidationErrors) {
+  using Reason = BadRequestError::Reason;
+  InferenceServer server(tiny(), base_opts(), 1);
+  auto expect_reason = [&](TimedRequest r, Reason want) {
+    try {
+      server.run_trace({std::move(r)});
+      FAIL() << "expected BadRequestError";
+    } catch (const BadRequestError& e) {
+      EXPECT_EQ(e.reason(), want);
+      EXPECT_EQ(e.id(), 9);
+    }
+  };
+  expect_reason(req(9, {}, 2, 0.0), Reason::kEmptyPrompt);
+  expect_reason(req(9, {2}, 0, 0.0), Reason::kNonPositiveNewTokens);
+  expect_reason(req(9, {2}, -3, 0.0), Reason::kNonPositiveNewTokens);
+  expect_reason(req(9, {2}, 2, -0.5), Reason::kBadArrival);
+  expect_reason(req(9, {2}, 2, std::nan("")), Reason::kBadArrival);
+  auto past_deadline = req(9, {2}, 2, 1.0);
+  past_deadline.deadline_s = 0.5;  // earlier than the arrival
+  expect_reason(std::move(past_deadline), Reason::kBadDeadline);
+  auto nan_deadline = req(9, {2}, 2, 1.0);
+  nan_deadline.deadline_s = std::nan("");
+  expect_reason(std::move(nan_deadline), Reason::kBadDeadline);
+}
+
+TEST(InferenceServer, EmptyTraceYieldsEmptyStats) {
+  InferenceServer server(tiny(), base_opts(), 1);
+  EXPECT_TRUE(server.run_trace({}).empty());
+  EXPECT_EQ(server.counters().served, 0);
+}
+
+TEST(InferenceServer, WindowExactlyEqualToInterArrivalGapStillBatches) {
+  // The window cutoff is inclusive: a request arriving exactly at
+  // start + window joins the head's batch.
+  InferenceServer server(tiny(), base_opts(4, 1.0), 5);
+  auto stats = server.run_trace({
+      req(1, {10, 20}, 2, 0.0),
+      req(2, {30, 40}, 2, 1.0),  // arrival == head start + window
+  });
+  EXPECT_EQ(stats[0].batch_size, 2);
+  EXPECT_EQ(stats[1].batch_size, 2);
+}
+
+TEST(InferenceServer, MaxBatchOneServesEveryRequestSolo) {
+  InferenceServer server(tiny(), base_opts(1, 5.0), 5);
+  auto stats = server.run_trace({
+      req(1, {10, 20}, 2, 0.0),
+      req(2, {30, 40}, 2, 0.0),
+      req(3, {50, 60}, 2, 0.0),
+  });
+  for (const auto& s : stats) EXPECT_EQ(s.batch_size, 1);
+}
+
+TEST(InferenceServer, DeadlineEqualToArrivalIsShedUnderAdmissionControl) {
+  auto opts = base_opts();
+  opts.resilience.admission_control = true;
+  opts.virtual_service.enabled = true;  // nonzero service estimate
+  InferenceServer server(tiny(), opts, 5);
+  auto r = req(1, {10, 20}, 2, 0.25);
+  r.deadline_s = 0.25;  // can never be met: service takes nonzero time
+  auto stats = server.run_trace({std::move(r)});
+  EXPECT_EQ(stats[0].outcome, RequestStats::Outcome::kShed);
+  EXPECT_FALSE(stats[0].served());
+  EXPECT_EQ(server.counters().sheds, 1);
+}
+
+TEST(InferenceServer, DeadlineEqualToArrivalTimesOutWithoutAdmissionControl) {
+  InferenceServer server(tiny(), base_opts(), 5);
+  auto r = req(1, {10, 20}, 2, 0.25);
+  r.deadline_s = 0.25;
+  auto stats = server.run_trace({std::move(r)});
+  EXPECT_EQ(stats[0].outcome, RequestStats::Outcome::kTimedOut);
+  EXPECT_TRUE(stats[0].served());         // it did produce tokens
+  EXPECT_FALSE(stats[0].deadline_met());  // ... but past its SLA
+  EXPECT_EQ(server.counters().timeouts, 1);
 }
 
 }  // namespace
