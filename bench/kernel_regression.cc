@@ -1,0 +1,292 @@
+// Kernel-bench regression harness for the SIMD micro-kernel layer.
+//
+// Times every vectorized kernel at Fig.-6-representative shapes (GPT-2.7B
+// width, decode m<=4 and small-prompt m=16) under both ISAs via the runtime
+// override, and emits machine-readable BENCH_kernels.json (GFLOP/s + GB/s
+// per kernel per ISA) at the repo root — the repo's bench trajectory entry.
+//
+// Modes:
+//   kernel_regression               full sweep, verbose table
+//   kernel_regression --check      quick sweep + regression gate: every SIMD
+//                                  kernel must be no slower than scalar
+//                                  within a generous noise margin (ctest
+//                                  label `perf`); exit 1 on regression.
+//   kernel_regression --json PATH  override the output path.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "kernels/attention.h"
+#include "kernels/elementwise.h"
+#include "kernels/gemm.h"
+#include "kernels/kv_cache.h"
+#include "kernels/quant.h"
+#include "kernels/simd.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace {
+
+using namespace dsinfer;
+using namespace dsinfer::kernels;
+
+struct Entry {
+  std::string kernel;
+  std::string shape;
+  std::string isa;
+  double ms = 0.0;
+  double gflops = 0.0;
+  double gbps = 0.0;
+};
+
+struct Case {
+  std::string kernel;
+  std::string shape;
+  double flops;  // per call
+  double bytes;  // per call
+  std::function<void()> run;
+};
+
+double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Median-of-3 of adaptive-iteration averages: robust against scheduler noise
+// on shared hosts, cheap enough for a ctest gate.
+double time_ms(const std::function<void()>& fn, double min_sample_ms) {
+  fn();  // warmup / touch pages
+  double samples[3];
+  for (double& s : samples) {
+    int iters = 0;
+    const double t0 = now_ms();
+    double t1 = t0;
+    do {
+      fn();
+      ++iters;
+      t1 = now_ms();
+    } while (t1 - t0 < min_sample_ms);
+    s = (t1 - t0) / iters;
+  }
+  std::sort(samples, samples + 3);
+  return samples[1];
+}
+
+class Fixture {
+ public:
+  explicit Fixture(bool quick) : quick_(quick) {}
+
+  void add(std::string kernel, std::string shape, double flops, double bytes,
+           std::function<void()> run) {
+    cases_.push_back({std::move(kernel), std::move(shape), flops, bytes,
+                      std::move(run)});
+  }
+
+  std::vector<Entry> run_all() {
+    std::vector<Entry> out;
+    const double min_sample = quick_ ? 30.0 : 150.0;
+    std::vector<simd::KernelIsa> isas{simd::KernelIsa::kScalar};
+    if (simd::cpu_has_avx2()) isas.push_back(simd::KernelIsa::kAvx2);
+    for (const Case& c : cases_) {
+      for (simd::KernelIsa isa : isas) {
+        simd::IsaOverrideGuard guard(isa);
+        Entry e;
+        e.kernel = c.kernel;
+        e.shape = c.shape;
+        e.isa = simd::isa_name(isa);
+        e.ms = time_ms(c.run, min_sample);
+        e.gflops = c.flops / (e.ms * 1e6);
+        e.gbps = c.bytes / (e.ms * 1e6);
+        std::printf("  %-18s %-24s %-7s %9.4f ms  %8.2f GFLOP/s  %7.2f GB/s\n",
+                    e.kernel.c_str(), e.shape.c_str(), e.isa.c_str(), e.ms,
+                    e.gflops, e.gbps);
+        std::fflush(stdout);
+        out.push_back(std::move(e));
+      }
+    }
+    return out;
+  }
+
+ private:
+  bool quick_;
+  std::vector<Case> cases_;
+};
+
+void write_json(const char* path, const std::vector<Entry>& entries) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "kernel_regression: cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"kernel_regression\",\n");
+  std::fprintf(f, "  \"avx2_available\": %s,\n",
+               simd::cpu_has_avx2() ? "true" : "false");
+  std::fprintf(f, "  \"threads\": %zu,\n", ThreadPool::global().size() + 1);
+  std::fprintf(f, "  \"results\": [\n");
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const Entry& e = entries[i];
+    std::fprintf(f,
+                 "    {\"kernel\": \"%s\", \"shape\": \"%s\", \"isa\": "
+                 "\"%s\", \"ms\": %.6f, \"gflops\": %.3f, \"gbps\": %.3f}%s\n",
+                 e.kernel.c_str(), e.shape.c_str(), e.isa.c_str(), e.ms,
+                 e.gflops, e.gbps, i + 1 < entries.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool check = false;
+  std::string json_path;
+#if defined(DSINFER_REPO_ROOT)
+  json_path = std::string(DSINFER_REPO_ROOT) + "/BENCH_kernels.json";
+#else
+  json_path = "BENCH_kernels.json";
+#endif
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--check") == 0) check = true;
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
+
+  // GPT-2.7B width (Fig. 6 middle model): hidden 2560, ffn 4x, 32 heads.
+  const std::int64_t H = 2560;
+  Rng rng(7);
+  std::vector<float> x(static_cast<std::size_t>(16) * 3 * H);
+  std::vector<float> w(static_cast<std::size_t>(3 * H) * H);
+  std::vector<float> bias(static_cast<std::size_t>(3 * H));
+  std::vector<float> y(static_cast<std::size_t>(16) * 3 * H);
+  rng.fill_normal(x);
+  rng.fill_normal(w, 0.0f, 0.02f);
+  rng.fill_normal(bias);
+
+  PackedWeight packed_sq({w.data(), static_cast<std::size_t>(H * H)}, H, H);
+  PackedWeight packed_qkv(w, 3 * H, H);
+  PackedWeight packed_small({w.data(), static_cast<std::size_t>(320 * H)}, 320,
+                            H);
+  QuantizedWeight quant_sq({w.data(), static_cast<std::size_t>(H * H)}, H, H);
+
+  Fixture fx(check);
+
+  auto add_linear = [&](const char* kernel, std::int64_t m, std::int64_t in,
+                        std::int64_t out, std::function<void()> run) {
+    char shape[64];
+    std::snprintf(shape, sizeof(shape), "m%lld_in%lld_out%lld",
+                  static_cast<long long>(m), static_cast<long long>(in),
+                  static_cast<long long>(out));
+    fx.add(kernel, shape, 2.0 * m * in * out,
+           (static_cast<double>(m) * in + static_cast<double>(in) * out +
+            static_cast<double>(m) * out) *
+               4.0,
+           std::move(run));
+  };
+
+  // Decode-shape GeMMs (acceptance: SBI >= 2x scalar at m<=4 on AVX2).
+  for (std::int64_t m : {std::int64_t{1}, std::int64_t{4}}) {
+    add_linear("linear_sbi", m, H, H,
+               [&, m] { linear_sbi(x, packed_sq, bias, y, m); });
+  }
+  add_linear("linear_sbi", 1, H, 3 * H,
+             [&] { linear_sbi(x, packed_qkv, bias, y, 1); });
+  add_linear("linear_sbi_split", 1, H, 320,
+             [&] { linear_sbi_split(x, packed_small, bias, y, 1, 8); });
+  add_linear("linear_ref", 1, H, H,
+             [&] { linear_ref(x, w, bias, y, 1, H, H); });
+  for (std::int64_t m : {std::int64_t{1}, std::int64_t{16}}) {
+    add_linear("linear_blocked", m, H, H,
+               [&, m] { linear_blocked(x, w, bias, y, m, H, H); });
+  }
+  add_linear("linear_int8", 1, H, H,
+             [&] { linear_int8(x, quant_sq, bias, y, 1); });
+
+  // Attention scores/context product shape: q_len x head_dim x seq.
+  const std::int64_t mm = 16, kk = 80, nn = 512;
+  std::vector<float> mat_c(static_cast<std::size_t>(mm * nn));
+  fx.add("matmul", "m16_k80_n512", 2.0 * mm * kk * nn,
+         (static_cast<double>(mm) * kk + static_cast<double>(kk) * nn +
+          static_cast<double>(mm) * nn) *
+             4.0,
+         [&] { matmul(x, w, mat_c, mm, kk, nn); });
+
+  // Fused attention at decode: batch 1, 32 heads of 80, 512 cached tokens.
+  const std::int64_t heads = 32, hd = 80, seq = 512;
+  KVCache cache(1, heads, hd, seq);
+  std::vector<float> kv(static_cast<std::size_t>(seq * heads * hd));
+  rng.fill_normal(kv);
+  cache.append({kv.data(), static_cast<std::size_t>((seq - 1) * heads * hd)},
+               {kv.data(), static_cast<std::size_t>((seq - 1) * heads * hd)},
+               seq - 1);
+  std::vector<float> qrow(static_cast<std::size_t>(heads * hd));
+  std::vector<float> orow(qrow.size());
+  rng.fill_normal(qrow);
+  cache.append(qrow, qrow, 1);
+  fx.add("attention_fused", "b1_h32_hd80_seq512", 4.0 * heads * hd * seq,
+         (2.0 * heads * seq * hd + 2.0 * heads * hd) * 4.0,
+         [&] { attention_fused(qrow, cache, orow, 1, true); });
+
+  // Fused elementwise at decode-ish token counts.
+  const std::int64_t rows = 4;
+  std::vector<float> ew(static_cast<std::size_t>(rows) * 4 * H);
+  std::vector<float> ew_out(ew.size());
+  rng.fill_normal(ew);
+  std::vector<float> ln_g(static_cast<std::size_t>(H), 1.0f);
+  std::vector<float> ln_b(static_cast<std::size_t>(H), 0.0f);
+  fx.add("layernorm", "r4_c2560", 8.0 * rows * H, 8.0 * rows * H, [&] {
+    layernorm({ew.data(), static_cast<std::size_t>(rows * H)}, ln_g, ln_b,
+              ew_out, rows, H);
+  });
+  fx.add("bias_gelu", "r4_c10240", 15.0 * rows * 4 * H, 8.0 * rows * 4 * H,
+         [&] { bias_gelu(ew, bias, ew_out, rows, 4 * H); });
+  fx.add("bias_residual", "r4_c2560", 2.0 * rows * H, 12.0 * rows * H, [&] {
+    bias_residual({ew.data(), static_cast<std::size_t>(rows * H)}, bias, x,
+                  ew_out, rows, H);
+  });
+  std::vector<float> sm(static_cast<std::size_t>(32) * 512);
+  rng.fill_normal(sm);
+  fx.add("softmax_rows", "r32_c512", 4.0 * 32 * 512, 8.0 * 32 * 512,
+         [&] { softmax_rows(sm, 32, 512); });
+
+  std::printf("kernel_regression (%s mode, avx2 %savailable)\n",
+              check ? "check" : "full", simd::cpu_has_avx2() ? "" : "un");
+  std::vector<Entry> entries = fx.run_all();
+  write_json(json_path.c_str(), entries);
+
+  if (!simd::cpu_has_avx2()) {
+    std::printf("no AVX2 path on this host/build; scalar-only JSON written, "
+                "regression gate skipped\n");
+    return 0;
+  }
+
+  // Regression gate: pair scalar/avx2 entries; SIMD must not lose to scalar
+  // beyond a generous noise margin (real speedups are 2x-8x, so 0.85x only
+  // trips on genuine regressions, not timer jitter).
+  int failures = 0;
+  std::printf("\n%-18s %-24s %10s\n", "kernel", "shape", "simd/scalar");
+  for (const Entry& s : entries) {
+    if (s.isa != "scalar") continue;
+    for (const Entry& v : entries) {
+      if (v.isa == "avx2" && v.kernel == s.kernel && v.shape == s.shape) {
+        const double speedup = s.ms / v.ms;
+        const bool ok = speedup >= 0.85;
+        std::printf("%-18s %-24s %9.2fx%s\n", s.kernel.c_str(),
+                    s.shape.c_str(), speedup, ok ? "" : "  REGRESSION");
+        if (!ok) ++failures;
+      }
+    }
+  }
+  if (check && failures > 0) {
+    std::fprintf(stderr, "kernel_regression: %d SIMD kernel(s) slower than "
+                         "scalar beyond noise\n", failures);
+    return 1;
+  }
+  return 0;
+}

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "kernels/elementwise.h"
+#include "kernels/simd.h"
 #include "util/thread_pool.h"
 
 namespace dsinfer::kernels {
@@ -37,8 +38,13 @@ void attention_fused(std::span<const float> q, const KVCache& cache,
   const std::int64_t past = seq - q_len;
   const float scale = 1.0f / std::sqrt(static_cast<float>(hd));
 
+  // Grain: one (batch, head) item costs ~4 * q_len * seq * hd flops; tiny
+  // decode calls run inline instead of waking the pool.
+  const std::int64_t bh_flops = 4 * q_len * seq * hd;
+  const std::size_t grain = static_cast<std::size_t>(
+      std::max<std::int64_t>(1, (1 << 16) / std::max<std::int64_t>(1, bh_flops)));
   ThreadPool::global().parallel_for(
-      0, static_cast<std::size_t>(batch * heads),
+      0, static_cast<std::size_t>(batch * heads), grain,
       [&](std::size_t bh_begin, std::size_t bh_end) {
         std::vector<float> scores(static_cast<std::size_t>(seq));
         for (std::size_t bh = bh_begin; bh < bh_end; ++bh) {
@@ -50,27 +56,22 @@ void attention_fused(std::span<const float> q, const KVCache& cache,
             const std::int64_t kv_len = causal ? past + t + 1 : seq;
             const float* qv =
                 q.data() + ((b * q_len + t) * heads + h) * hd;
-            // Scores, running max in the same sweep.
-            float mx = -std::numeric_limits<float>::infinity();
+            // Scores: one QK dot per cached key, then scale + max.
             for (std::int64_t j = 0; j < kv_len; ++j) {
-              const float* kj = kbase + j * hd;
-              float dot = 0.0f;
-              for (std::int64_t d = 0; d < hd; ++d) dot += qv[d] * kj[d];
-              scores[static_cast<std::size_t>(j)] = dot * scale;
-              mx = std::max(mx, dot * scale);
+              scores[static_cast<std::size_t>(j)] =
+                  simd::dot(qv, kbase + j * hd, hd);
             }
-            // Exponentiate + accumulate the value reduction in one pass.
+            simd::scale_add(scores.data(), scale, 0.0f, scores.data(), kv_len);
+            const float mx = simd::reduce_max(scores.data(), kv_len);
+            // Exponentiate in place, then the PV reduction as axpy rows.
+            const float denom = simd::exp_sum_inplace(scores.data(), kv_len, mx);
             float* o = out.data() + ((b * q_len + t) * heads + h) * hd;
             std::memset(o, 0, static_cast<std::size_t>(hd) * sizeof(float));
-            float denom = 0.0f;
             for (std::int64_t j = 0; j < kv_len; ++j) {
-              const float p = std::exp(scores[static_cast<std::size_t>(j)] - mx);
-              denom += p;
-              const float* vj = vbase + j * hd;
-              for (std::int64_t d = 0; d < hd; ++d) o[d] += p * vj[d];
+              simd::axpy(scores[static_cast<std::size_t>(j)], vbase + j * hd, o,
+                         hd);
             }
-            const float inv = 1.0f / denom;
-            for (std::int64_t d = 0; d < hd; ++d) o[d] *= inv;
+            simd::scale_add(o, 1.0f / denom, 0.0f, o, hd);
           }
         }
       });

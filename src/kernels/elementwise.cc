@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "kernels/simd.h"
+
 namespace dsinfer::kernels {
 
 namespace {
@@ -26,23 +28,18 @@ void layernorm(std::span<const float> x, std::span<const float> gamma,
   for (std::int64_t r = 0; r < rows; ++r) {
     const float* xr = x.data() + r * cols;
     float* yr = y.data() + r * cols;
-    // Sum and sum-of-squares in one vectorizable sweep; normalize + affine in
+    // Sum and sum-of-squares in one vectorized sweep; normalize + affine in
     // a second cache-hot sweep (double accumulation keeps the E[x^2]-mu^2
     // cancellation benign at transformer widths).
     double sum = 0.0, sumsq = 0.0;
-    for (std::int64_t c = 0; c < cols; ++c) {
-      sum += xr[c];
-      sumsq += static_cast<double>(xr[c]) * xr[c];
-    }
+    simd::sum_sumsq(xr, cols, &sum, &sumsq);
     const double mean = sum / static_cast<double>(cols);
     const double var = std::max(0.0, sumsq / static_cast<double>(cols) - mean * mean);
     const float mu = static_cast<float>(mean);
     const float inv_std = 1.0f / std::sqrt(static_cast<float>(var) + eps);
-    for (std::int64_t c = 0; c < cols; ++c) {
-      const float g = gamma.empty() ? 1.0f : gamma[c];
-      const float b = beta.empty() ? 0.0f : beta[c];
-      yr[c] = (xr[c] - mu) * inv_std * g + b;
-    }
+    simd::norm_affine(xr, gamma.empty() ? nullptr : gamma.data(),
+                      beta.empty() ? nullptr : beta.data(), yr, cols, mu,
+                      inv_std);
   }
 }
 
@@ -95,15 +92,9 @@ void softmax_rows(std::span<float> x, std::int64_t rows, std::int64_t cols) {
   check_rows_cols(x.size(), x.size(), rows, cols);
   for (std::int64_t r = 0; r < rows; ++r) {
     float* xr = x.data() + r * cols;
-    float mx = xr[0];
-    for (std::int64_t c = 1; c < cols; ++c) mx = std::max(mx, xr[c]);
-    float sum = 0.0f;
-    for (std::int64_t c = 0; c < cols; ++c) {
-      xr[c] = std::exp(xr[c] - mx);
-      sum += xr[c];
-    }
-    const float inv = 1.0f / sum;
-    for (std::int64_t c = 0; c < cols; ++c) xr[c] *= inv;
+    const float mx = simd::reduce_max(xr, cols);
+    const float sum = simd::exp_sum_inplace(xr, cols, mx);
+    simd::scale_add(xr, 1.0f / sum, 0.0f, xr, cols);
   }
 }
 
@@ -145,12 +136,9 @@ float gelu(float v) {
 void bias_gelu(std::span<const float> x, std::span<const float> bias,
                std::span<float> y, std::int64_t rows, std::int64_t cols) {
   check_rows_cols(x.size(), y.size(), rows, cols);
+  const float* b = bias.empty() ? nullptr : bias.data();
   for (std::int64_t r = 0; r < rows; ++r) {
-    const float* xr = x.data() + r * cols;
-    float* yr = y.data() + r * cols;
-    for (std::int64_t c = 0; c < cols; ++c) {
-      yr[c] = gelu(xr[c] + (bias.empty() ? 0.0f : bias[c]));
-    }
+    simd::gelu_bias(x.data() + r * cols, b, y.data() + r * cols, cols);
   }
 }
 
@@ -177,13 +165,11 @@ void bias_residual(std::span<const float> x, std::span<const float> bias,
                    std::span<const float> residual, std::span<float> y,
                    std::int64_t rows, std::int64_t cols) {
   check_rows_cols(x.size(), y.size(), rows, cols);
+  const float* b = bias.empty() ? nullptr : bias.data();
   for (std::int64_t r = 0; r < rows; ++r) {
-    const float* xr = x.data() + r * cols;
-    const float* rr = residual.data() + r * cols;
-    float* yr = y.data() + r * cols;
-    for (std::int64_t c = 0; c < cols; ++c) {
-      yr[c] = xr[c] + rr[c] + (bias.empty() ? 0.0f : bias[c]);
-    }
+    simd::add_bias_residual(x.data() + r * cols, b,
+                            residual.data() + r * cols, y.data() + r * cols,
+                            cols);
   }
 }
 

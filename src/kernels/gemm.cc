@@ -4,11 +4,22 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "kernels/simd.h"
 #include "util/thread_pool.h"
 
 namespace dsinfer::kernels {
 
 namespace {
+
+// Minimum FLOPs a parallel_for task should carry before the pool's wakeup
+// latency is worth paying; callers translate this into a grain in items.
+constexpr std::int64_t kMinTaskFlops = 1 << 16;
+
+std::size_t grain_for(std::int64_t flops_per_item) {
+  if (flops_per_item <= 0) return 1;
+  return static_cast<std::size_t>(
+      std::max<std::int64_t>(1, kMinTaskFlops / flops_per_item));
+}
 
 void check_linear_args(std::size_t xs, std::size_t ws, std::size_t bs,
                        std::size_t ys, std::int64_t m, std::int64_t in,
@@ -32,9 +43,7 @@ void linear_ref(std::span<const float> x, std::span<const float> w,
     float* yr = y.data() + r * out;
     for (std::int64_t o = 0; o < out; ++o) {
       const float* wr = w.data() + o * in;
-      float acc = bias.empty() ? 0.0f : bias[o];
-      for (std::int64_t i = 0; i < in; ++i) acc += xr[i] * wr[i];
-      yr[o] = acc;
+      yr[o] = (bias.empty() ? 0.0f : bias[o]) + simd::dot(xr, wr, in);
     }
   }
 }
@@ -64,17 +73,16 @@ void linear_blocked(std::span<const float> x, std::span<const float> w,
         float* yr = y.data() + r * out;
         for (std::int64_t o = o_begin; o < o_end; ++o) {
           const float* wr = w.data() + o * in;
-          float acc = 0.0f;
-          for (std::int64_t i = ib; i < ie; ++i) acc += xr[i] * wr[i];
-          yr[o] += acc;
+          yr[o] += simd::dot(xr + ib, wr + ib, ie - ib);
         }
       }
     }
   };
 
+  const std::int64_t tile_flops = 2 * m * kBlockOut * in;
   ThreadPool::global().parallel_for(
       0, static_cast<std::size_t>((out + kBlockOut - 1) / kBlockOut),
-      [&](std::size_t tb, std::size_t te) {
+      grain_for(tile_flops), [&](std::size_t tb, std::size_t te) {
         for (std::size_t t = tb; t < te; ++t) {
           const std::int64_t o_begin = static_cast<std::int64_t>(t) * kBlockOut;
           const std::int64_t o_end = std::min(out, o_begin + kBlockOut);
@@ -110,6 +118,10 @@ std::span<const float> PackedWeight::panel(std::int64_t panel_idx) const {
           static_cast<std::size_t>(kPanelOut * in_)};
 }
 
+static_assert(PackedWeight::kPanelOut == 8,
+              "SBI panels feed simd::fma_tile8: 8 output lanes per panel is "
+              "one 32-byte half cache line of FP32");
+
 void linear_sbi(std::span<const float> x, const PackedWeight& w,
                 std::span<const float> bias, std::span<float> y,
                 std::int64_t m) {
@@ -123,19 +135,18 @@ void linear_sbi(std::span<const float> x, const PackedWeight& w,
     const float* panel = w.panel(p).data();
     const std::int64_t o_begin = p * kP;
     const std::int64_t o_count = std::min<std::int64_t>(kP, out - o_begin);
-    for (std::int64_t r = 0; r < m; ++r) {
-      const float* xr = x.data() + r * in;
-      float acc[kP] = {};
+    for (std::int64_t r0 = 0; r0 < m; r0 += simd::kTileRows) {
+      const std::int64_t mm = std::min<std::int64_t>(simd::kTileRows, m - r0);
       // One streaming pass over the panel: each step consumes kP contiguous
-      // weights (a full cache line at kP==8 FP32) against one activation.
-      for (std::int64_t i = 0; i < in; ++i) {
-        const float xv = xr[i];
-        const float* wrow = panel + i * kP;
-        for (std::int64_t j = 0; j < kP; ++j) acc[j] += xv * wrow[j];
-      }
-      float* yr = y.data() + r * out;
-      for (std::int64_t j = 0; j < o_count; ++j) {
-        yr[o_begin + j] = acc[j] + (bias.empty() ? 0.0f : bias[o_begin + j]);
+      // weights against one activation — an 8-wide FMA per register-tile row.
+      float acc[simd::kTileRows * kP] = {};
+      simd::fma_tile8(x.data() + r0 * in, in, mm, panel, in, acc);
+      for (std::int64_t rr = 0; rr < mm; ++rr) {
+        float* yr = y.data() + (r0 + rr) * out;
+        const float* ar = acc + rr * kP;
+        for (std::int64_t j = 0; j < o_count; ++j) {
+          yr[o_begin + j] = ar[j] + (bias.empty() ? 0.0f : bias[o_begin + j]);
+        }
       }
     }
   };
@@ -146,7 +157,7 @@ void linear_sbi(std::span<const float> x, const PackedWeight& w,
   // streaming pass when out is large enough.
   const std::int64_t num_panels = w.num_panels();
   ThreadPool::global().parallel_for(
-      0, static_cast<std::size_t>(num_panels),
+      0, static_cast<std::size_t>(num_panels), grain_for(2 * m * kP * in),
       [&](std::size_t pb, std::size_t pe) {
         for (std::size_t p = pb; p < pe; ++p) run_panel(static_cast<std::int64_t>(p));
       });
@@ -172,21 +183,25 @@ void linear_sbi_split(std::span<const float> x, const PackedWeight& w,
   const std::int64_t chunk = (in + input_splits - 1) / input_splits;
   ThreadPool::global().parallel_for(
       0, static_cast<std::size_t>(num_panels * input_splits),
-      [&](std::size_t tb, std::size_t te) {
+      grain_for(2 * m * kP * chunk), [&](std::size_t tb, std::size_t te) {
         for (std::size_t t = tb; t < te; ++t) {
           const std::int64_t p = static_cast<std::int64_t>(t) / input_splits;
           const std::int64_t s = static_cast<std::int64_t>(t) % input_splits;
           const std::int64_t i_begin = s * chunk;
           const std::int64_t i_end = std::min(in, i_begin + chunk);
+          if (i_begin >= i_end) continue;
           const float* panel = w.panel(p).data();
-          for (std::int64_t r = 0; r < m; ++r) {
-            const float* xr = x.data() + r * in;
-            float* acc = partials.data() +
-                         ((s * m + r) * num_panels + p) * kP;
-            for (std::int64_t i = i_begin; i < i_end; ++i) {
-              const float xv = xr[i];
-              const float* wrow = panel + i * kP;
-              for (std::int64_t j = 0; j < kP; ++j) acc[j] += xv * wrow[j];
+          for (std::int64_t r0 = 0; r0 < m; r0 += simd::kTileRows) {
+            const std::int64_t mm =
+                std::min<std::int64_t>(simd::kTileRows, m - r0);
+            float acc[simd::kTileRows * kP] = {};
+            simd::fma_tile8(x.data() + r0 * in + i_begin, in, mm,
+                            panel + i_begin * kP, i_end - i_begin, acc);
+            for (std::int64_t rr = 0; rr < mm; ++rr) {
+              std::memcpy(partials.data() +
+                              ((s * m + r0 + rr) * num_panels + p) * kP,
+                          acc + rr * kP,
+                          static_cast<std::size_t>(kP) * sizeof(float));
             }
           }
         }
@@ -218,14 +233,21 @@ void matmul(std::span<const float> a, std::span<const float> b,
     throw std::invalid_argument("matmul: span too small");
   }
   std::memset(c.data(), 0, static_cast<std::size_t>(m * n) * sizeof(float));
-  for (std::int64_t r = 0; r < m; ++r) {
-    float* cr = c.data() + r * n;
-    for (std::int64_t i = 0; i < k; ++i) {
-      const float av = a[r * k + i];
-      const float* br = b.data() + i * n;
-      for (std::int64_t j = 0; j < n; ++j) cr[j] += av * br[j];
-    }
-  }
+  // Row-parallel: each output row is an independent sum of scaled B rows
+  // (axpy over contiguous memory), so rows shard across the pool with no
+  // write sharing; the grain keeps tiny products (decode-time attention
+  // scores) inline on the calling thread.
+  ThreadPool::global().parallel_for(
+      0, static_cast<std::size_t>(m), grain_for(2 * k * n),
+      [&](std::size_t rb, std::size_t re) {
+        for (std::size_t r = rb; r < re; ++r) {
+          float* cr = c.data() + r * n;
+          const float* ar = a.data() + r * k;
+          for (std::int64_t i = 0; i < k; ++i) {
+            simd::axpy(ar[i], b.data() + i * n, cr, n);
+          }
+        }
+      });
 }
 
 }  // namespace dsinfer::kernels

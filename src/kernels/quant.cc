@@ -5,6 +5,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "kernels/simd.h"
 #include "util/thread_pool.h"
 
 namespace dsinfer::kernels {
@@ -61,18 +62,15 @@ float quantize_row(std::span<const float> x, std::span<std::int8_t> q) {
   if (q.size() < x.size()) {
     throw std::invalid_argument("quantize_row: output span too small");
   }
-  float amax = 0.0f;
-  for (float v : x) amax = std::max(amax, std::fabs(v));
+  const float amax =
+      simd::reduce_absmax(x.data(), static_cast<std::int64_t>(x.size()));
   if (amax == 0.0f) {
     std::memset(q.data(), 0, x.size());
     return 0.0f;
   }
   const float scale = amax / 127.0f;
-  const float inv = 1.0f / scale;
-  for (std::size_t i = 0; i < x.size(); ++i) {
-    q[i] = static_cast<std::int8_t>(std::lrintf(
-        std::clamp(x[i] * inv, -127.0f, 127.0f)));
-  }
+  simd::quantize_i8(x.data(), 1.0f / scale, q.data(),
+                    static_cast<std::int64_t>(x.size()));
   return scale;
 }
 
@@ -93,18 +91,18 @@ void linear_int8(std::span<const float> x, const QuantizedWeight& w,
         {qx.data() + r * in, static_cast<std::size_t>(in)});
   }
 
+  const std::size_t grain = static_cast<std::size_t>(
+      std::max<std::int64_t>(1, (1 << 16) / std::max<std::int64_t>(1, 2 * m * in)));
   ThreadPool::global().parallel_for(
-      0, static_cast<std::size_t>(out), [&](std::size_t ob, std::size_t oe) {
+      0, static_cast<std::size_t>(out), grain,
+      [&](std::size_t ob, std::size_t oe) {
         for (std::size_t o = ob; o < oe; ++o) {
           const std::int8_t* wr = w.data() + static_cast<std::int64_t>(o) * in;
           const float wscale = w.scales()[o];
           for (std::int64_t r = 0; r < m; ++r) {
             const std::int8_t* xr = qx.data() + r * in;
-            std::int32_t acc = 0;
-            for (std::int64_t i = 0; i < in; ++i) {
-              acc += static_cast<std::int32_t>(xr[i]) *
-                     static_cast<std::int32_t>(wr[i]);
-            }
+            // i32-accumulated int8 dot; AVX2 and scalar agree bitwise.
+            const std::int32_t acc = simd::dot_i8(xr, wr, in);
             // Fused dequantize + bias epilogue.
             const float deq = static_cast<float>(acc) * wscale *
                               row_scale[static_cast<std::size_t>(r)];

@@ -1,13 +1,16 @@
 #include "kernels/transformer_layer.h"
 
 #include <cmath>
-#include <vector>
 #include <cstring>
+#include <optional>
 #include <stdexcept>
+#include <vector>
 
 #include "kernels/attention.h"
-#include "kernels/rope.h"
 #include "kernels/elementwise.h"
+#include "kernels/rope.h"
+#include "kernels/simd.h"
+#include "util/thread_pool.h"
 
 namespace dsinfer::kernels {
 
@@ -129,6 +132,10 @@ void transformer_layer_forward(const LayerWeights& w, KVCache& cache,
   }
   scratch.ensure(tokens, H, F);
 
+  // Policy-pinned ISA (scalar/AVX2 A/B runs); kAuto leaves dispatch alone.
+  std::optional<simd::IsaOverrideGuard> isa_guard;
+  if (policy.isa != simd::KernelIsa::kAuto) isa_guard.emplace(policy.isa);
+
   // ---- Fusion region 1: input layernorm + QKV GeMM ----
   if (policy.fuse_elementwise) {
     layernorm(x, w.ln1_g.span(), w.ln1_b.span(), scratch.normed.span(), tokens, H);
@@ -141,18 +148,22 @@ void transformer_layer_forward(const LayerWeights& w, KVCache& cache,
 
   // Split QKV + add projection bias (part of the paper's fused region 2
   // "transposition plus attention": in the fused path this is the only data
-  // reshuffle before attention; the unfused path pays it as well).
-  for (std::int64_t t = 0; t < tokens; ++t) {
-    const float* src = scratch.qkv.data() + t * 3 * H;
-    float* qd = scratch.q.data() + t * H;
-    float* kd = scratch.k.data() + t * H;
-    float* vd = scratch.v.data() + t * H;
-    for (std::int64_t i = 0; i < H; ++i) {
-      qd[i] = src[i] + w.b_qkv.at(i);
-      kd[i] = src[H + i] + w.b_qkv.at(H + i);
-      vd[i] = src[2 * H + i] + w.b_qkv.at(2 * H + i);
-    }
-  }
+  // reshuffle before attention; the unfused path pays it as well). Tokens
+  // shard across the pool — this sweep sits between two parallel GeMMs and
+  // would otherwise serialize a full pass over the QKV tensor.
+  const float* bq = w.b_qkv.data();
+  const std::size_t split_grain = static_cast<std::size_t>(
+      std::max<std::int64_t>(1, (1 << 15) / std::max<std::int64_t>(1, 3 * H)));
+  ThreadPool::global().parallel_for(
+      0, static_cast<std::size_t>(tokens), split_grain,
+      [&](std::size_t tb, std::size_t te) {
+        for (std::size_t t = tb; t < te; ++t) {
+          const float* src = scratch.qkv.data() + t * 3 * H;
+          simd::add_bias(src, bq, scratch.q.data() + t * H, H);
+          simd::add_bias(src + H, bq + H, scratch.k.data() + t * H, H);
+          simd::add_bias(src + 2 * H, bq + 2 * H, scratch.v.data() + t * H, H);
+        }
+      });
   if (policy.use_rope) {
     // Rotate Q and K by their absolute positions before caching; the cached
     // keys then carry their rotation permanently, which is what makes RoPE

@@ -11,6 +11,7 @@
 #include "kernels/gemm.h"
 #include "kernels/kv_cache.h"
 #include "kernels/quant.h"
+#include "kernels/simd.h"
 #include "kernels/tensor.h"
 #include "util/rng.h"
 
@@ -30,6 +31,10 @@ struct KernelPolicy {
   // Rotary position embeddings applied to Q/K inside the layer (GPT-J /
   // GPT-NeoX style); off by default (GPT-2/3 use learned positions).
   bool use_rope = false;
+  // ISA the micro-kernels run with for this layer: kAuto follows hardware
+  // dispatch, kScalar/kAvx2 pin it (scoped for the forward call) so the
+  // scalar baseline stays reachable in policy sweeps and benches.
+  simd::KernelIsa isa = simd::KernelIsa::kAuto;
 
   static KernelPolicy optimized_small_batch() {
     return {true, true, GemmKind::kSbi, Dtype::kFP32, true, false};

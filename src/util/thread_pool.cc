@@ -49,9 +49,23 @@ void ThreadPool::worker_loop() {
 void ThreadPool::parallel_for(
     std::size_t begin, std::size_t end,
     const std::function<void(std::size_t, std::size_t)>& body) {
+  parallel_for(begin, end, 1, body);
+}
+
+void ThreadPool::parallel_for(
+    std::size_t begin, std::size_t end, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& body) {
   if (begin >= end) return;
   const std::size_t n = end - begin;
-  const std::size_t chunks = std::min(n, workers_.size() + 1);
+  if (grain == 0) grain = 1;
+  // Serial fallback: a range that fits in one grain is cheaper to run inline
+  // than to pay a worker wakeup + condvar join per layer.
+  if (n <= grain) {
+    body(begin, end);
+    return;
+  }
+  const std::size_t chunks =
+      std::min(workers_.size() + 1, (n + grain - 1) / grain);
   if (chunks <= 1) {
     body(begin, end);
     return;

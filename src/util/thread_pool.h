@@ -36,6 +36,13 @@ class ThreadPool {
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t, std::size_t)>& body);
 
+  // Grain-aware variant: never creates a chunk smaller than `grain` items,
+  // and runs the whole range inline on the calling thread when it fits in
+  // one grain. Kernels size the grain so tiny ranges (decode with m=1, few
+  // panels) skip the pool's wakeup/join latency entirely.
+  void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                    const std::function<void(std::size_t, std::size_t)>& body);
+
   // Process-wide pool sized to the machine; used by kernels by default.
   static ThreadPool& global();
 

@@ -1,0 +1,5 @@
+// Builds the full SIMD parity suite against dsi_kernels_scalar
+// (DSINFER_SIMD_SCALAR_ONLY): cpu_has_avx2() is false, every dispatch lands
+// on the portable fallback, and the parity tests degenerate to bit-exact
+// scalar-vs-scalar checks — proving the fallback library stands alone.
+#include "kernels_simd_test.cc"  // NOLINT(bugprone-suspicious-include)
