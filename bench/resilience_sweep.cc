@@ -6,12 +6,19 @@
 //
 // Goodput = requests that finished within their deadline at any fidelity,
 // divided by the virtual makespan of the trace.
+// Profiling: `resilience_sweep --trace sweep.trace.json` records the virtual
+// serving timeline of every cell (request lifecycles, retries, chaos
+// instants) as Chrome trace-event JSON.
 #include <algorithm>
 #include <cstdint>
+#include <cstring>
 #include <iostream>
+#include <string>
 #include <vector>
 
 #include "core/server.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/table.h"
 
 namespace {
@@ -98,7 +105,20 @@ Cell run_cell(double fault_rate, double load, bool resilient) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string trace_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else {
+      std::cerr << "usage: resilience_sweep [--trace <out.json>]\n";
+      return 2;
+    }
+  }
+  if (!trace_path.empty()) {
+    dsinfer::obs::TraceRecorder::instance().set_enabled(true);
+    dsinfer::obs::MetricsRegistry::instance().set_enabled(true);
+  }
   dsinfer::Table table({"fault_rate", "load_x", "mode", "goodput_rps",
                         "sla_pct", "sheds", "degraded", "retries",
                         "failures"});
@@ -123,5 +143,16 @@ int main() {
             << kSlaS * 1e3 << " ms)\n";
   table.print(std::cout);
   table.maybe_write_csv_file("resilience_sweep");
+  if (!trace_path.empty()) {
+    if (!dsinfer::obs::TraceRecorder::instance().export_file(trace_path)) {
+      std::cerr << "failed to write trace to " << trace_path << "\n";
+      return 1;
+    }
+    std::cout << "Wrote "
+              << dsinfer::obs::TraceRecorder::instance().event_count()
+              << " trace events to " << trace_path << "\n";
+    dsinfer::obs::MetricsRegistry::instance().export_json(std::cout);
+    std::cout << "\n";
+  }
   return 0;
 }

@@ -4,13 +4,34 @@
 // batching windows; the table shows how a wider window buys batch size (and
 // tokens/s) at the cost of p99 latency. Real measurement: every request runs
 // through the functional engine on this CPU.
+//
+// Profiling: `serving_latency --trace serving.trace.json` records every
+// engine span plus the request lifecycle on the server's virtual timeline
+// and writes a Chrome trace-event file (open it at https://ui.perfetto.dev).
+#include <cstring>
 #include <iostream>
+#include <string>
 
 #include "core/workload.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dsinfer;
+  std::string trace_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else {
+      std::cerr << "usage: serving_latency [--trace <out.json>]\n";
+      return 2;
+    }
+  }
+  if (!trace_path.empty()) {
+    obs::TraceRecorder::instance().set_enabled(true);
+    obs::MetricsRegistry::instance().set_enabled(true);
+  }
   std::cout << "=== Serving latency/throughput under Poisson load "
                "(tiny GPT on this CPU) ===\n\n";
 
@@ -48,5 +69,17 @@ int main() {
   std::cout << "\nExpected: wider windows raise mean batch size and "
                "throughput; at high rates batching keeps the queue stable "
                "where window-0 serving falls behind.\n";
+  if (!trace_path.empty()) {
+    if (!obs::TraceRecorder::instance().export_file(trace_path)) {
+      std::cerr << "failed to write trace to " << trace_path << "\n";
+      return 1;
+    }
+    std::cout << "\nWrote "
+              << obs::TraceRecorder::instance().event_count()
+              << " trace events to " << trace_path
+              << " (load in https://ui.perfetto.dev)\n";
+    obs::MetricsRegistry::instance().export_json(std::cout);
+    std::cout << "\n";
+  }
   return 0;
 }

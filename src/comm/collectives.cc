@@ -5,7 +5,33 @@
 #include <stdexcept>
 #include <thread>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace dsinfer::comm {
+
+namespace {
+
+// Payload-byte accounting shared by every collective: the communicator's own
+// ledger (tests assert on it) plus the metrics registry for profiling runs.
+void account_bytes(std::atomic<std::size_t>& ledger, std::size_t bytes) {
+  ledger.fetch_add(bytes, std::memory_order_relaxed);
+  static obs::Counter& c =
+      obs::MetricsRegistry::instance().counter("comm.bytes");
+  c.add(static_cast<std::int64_t>(bytes));
+}
+
+void trace_comm_fault(const char* what, std::int64_t rank) {
+  static obs::Counter& c =
+      obs::MetricsRegistry::instance().counter("comm.faults");
+  c.add(1);
+  if (obs::trace_enabled()) {
+    obs::TraceRecorder::instance().instant(
+        "chaos", std::string(what) + " rank " + std::to_string(rank));
+  }
+}
+
+}  // namespace
 
 Communicator::Communicator(std::int64_t n, CommOptions opts)
     : n_(n), opts_(std::move(opts)), src_(static_cast<std::size_t>(n)),
@@ -32,6 +58,7 @@ void Communicator::inject(std::int64_t rank) {
   const std::string site = opts_.site_prefix + std::to_string(rank);
   if (opts_.injector->should_fail(site)) {
     poison();  // a dead rank takes the whole group down, like NCCL
+    trace_comm_fault("comm injected failure", rank);
     throw CommFault(CommFaultKind::kInjectedFailure, rank,
                     "comm: injected failure on rank " + std::to_string(rank));
   }
@@ -42,6 +69,7 @@ void Communicator::inject(std::int64_t rank) {
     // its peers independently trip the timeout detector. The communicator
     // is NOT poisoned here on purpose — the peers must detect the straggler
     // themselves, which is exactly what the timeout path exercises.
+    trace_comm_fault("comm injected straggler", rank);
     throw CommFault(CommFaultKind::kInjectedFailure, rank,
                     "comm: injected straggler delay " + std::to_string(d) +
                         "s exceeds timeout on rank " + std::to_string(rank));
@@ -50,6 +78,7 @@ void Communicator::inject(std::int64_t rank) {
 }
 
 void Communicator::sync(std::int64_t rank) {
+  DSI_TRACE_SCOPE("comm", "sync");
   inject(rank);
   std::unique_lock<std::mutex> lock(mu_);
   if (failed_) {
@@ -71,12 +100,14 @@ void Communicator::sync(std::int64_t rank) {
     --arrived_;
     failed_ = true;  // straggler detected: poison so peers fail fast
     cv_.notify_all();
+    trace_comm_fault("comm straggler timeout", rank);
     throw CommFault(CommFaultKind::kStragglerTimeout, rank,
                     "comm: rank " + std::to_string(rank) +
                         " timed out waiting for peers (straggler?)");
   }
   if (generation_ == gen) {  // woken by poison, not by barrier release
     --arrived_;
+    trace_comm_fault("comm peer fault", rank);
     throw CommFault(CommFaultKind::kPeerFault, rank,
                     "comm: peer rank faulted during synchronization");
   }
@@ -84,6 +115,7 @@ void Communicator::sync(std::int64_t rank) {
 
 
 void Communicator::all_reduce_sum(std::int64_t rank, std::span<float> data) {
+  DSI_TRACE_SCOPE("comm", "all_reduce_sum");
   if (n_ == 1) return;
   src_[static_cast<std::size_t>(rank)] = data;
   sync(rank);
@@ -98,12 +130,13 @@ void Communicator::all_reduce_sum(std::int64_t rank, std::span<float> data) {
   }
   sync(rank);  // all reads done; safe to overwrite
   std::memcpy(data.data(), tmp.data(), tmp.size() * sizeof(float));
-  bytes_.fetch_add(data.size() * sizeof(float) * 2, std::memory_order_relaxed);
+  account_bytes(bytes_, data.size() * sizeof(float) * 2);
   sync(rank);
 }
 
 void Communicator::all_gather(std::int64_t rank, std::span<const float> in,
                               std::span<float> out) {
+  DSI_TRACE_SCOPE("comm", "all_gather");
   if (out.size() < in.size() * static_cast<std::size_t>(n_)) {
     throw std::invalid_argument("all_gather: out too small");
   }
@@ -117,13 +150,13 @@ void Communicator::all_gather(std::int64_t rank, std::span<const float> in,
     std::memcpy(out.data() + static_cast<std::size_t>(r) * in.size(),
                 peer.data(), in.size() * sizeof(float));
   }
-  bytes_.fetch_add(in.size() * sizeof(float) * static_cast<std::size_t>(n_ - 1),
-                   std::memory_order_relaxed);
+  account_bytes(bytes_, in.size() * sizeof(float) * static_cast<std::size_t>(n_ - 1));
   sync(rank);
 }
 
 void Communicator::all_to_all(std::int64_t rank, std::span<const float> in,
                               std::span<float> out) {
+  DSI_TRACE_SCOPE("comm", "all_to_all");
   if (in.size() % static_cast<std::size_t>(n_) != 0 || out.size() < in.size()) {
     throw std::invalid_argument("all_to_all: in must be n equal chunks");
   }
@@ -139,13 +172,13 @@ void Communicator::all_to_all(std::int64_t rank, std::span<const float> in,
                 peer.data() + static_cast<std::size_t>(rank) * chunk,
                 chunk * sizeof(float));
   }
-  bytes_.fetch_add(chunk * sizeof(float) * static_cast<std::size_t>(n_ - 1),
-                   std::memory_order_relaxed);
+  account_bytes(bytes_, chunk * sizeof(float) * static_cast<std::size_t>(n_ - 1));
   sync(rank);
 }
 
 void Communicator::broadcast(std::int64_t rank, std::int64_t root,
                              std::span<float> data) {
+  DSI_TRACE_SCOPE("comm", "broadcast");
   if (n_ == 1) return;
   if (rank == root) src_[static_cast<std::size_t>(root)] = data;
   sync(rank);
@@ -155,7 +188,7 @@ void Communicator::broadcast(std::int64_t rank, std::int64_t root,
       throw std::invalid_argument("broadcast: size mismatch");
     }
     std::memcpy(data.data(), rootspan.data(), data.size() * sizeof(float));
-    bytes_.fetch_add(data.size() * sizeof(float), std::memory_order_relaxed);
+    account_bytes(bytes_, data.size() * sizeof(float));
   }
   sync(rank);
 }
@@ -163,6 +196,7 @@ void Communicator::broadcast(std::int64_t rank, std::int64_t root,
 void Communicator::reduce_scatter_sum(std::int64_t rank,
                                       std::span<const float> in,
                                       std::span<float> out) {
+  DSI_TRACE_SCOPE("comm", "reduce_scatter_sum");
   if (in.size() % static_cast<std::size_t>(n_) != 0) {
     throw std::invalid_argument("reduce_scatter_sum: in must be n equal chunks");
   }
@@ -183,13 +217,13 @@ void Communicator::reduce_scatter_sum(std::int64_t rank,
   }
   sync(rank);
   std::memcpy(out.data(), tmp.data(), chunk * sizeof(float));
-  bytes_.fetch_add(chunk * sizeof(float) * static_cast<std::size_t>(n_ - 1),
-                   std::memory_order_relaxed);
+  account_bytes(bytes_, chunk * sizeof(float) * static_cast<std::size_t>(n_ - 1));
   sync(rank);
 }
 
 void Communicator::reduce_sum(std::int64_t rank, std::int64_t root,
                               std::span<float> data) {
+  DSI_TRACE_SCOPE("comm", "reduce_sum");
   if (n_ == 1) return;
   src_[static_cast<std::size_t>(rank)] = data;
   sync(rank);
@@ -207,15 +241,14 @@ void Communicator::reduce_sum(std::int64_t rank, std::int64_t root,
   sync(rank);
   if (rank == root) {
     std::memcpy(data.data(), tmp.data(), tmp.size() * sizeof(float));
-    bytes_.fetch_add(data.size() * sizeof(float) *
-                         static_cast<std::size_t>(n_ - 1),
-                     std::memory_order_relaxed);
+    account_bytes(bytes_, data.size() * sizeof(float) * static_cast<std::size_t>(n_ - 1));
   }
   sync(rank);
 }
 
 void Communicator::gather(std::int64_t rank, std::int64_t root,
                           std::span<const float> in, std::span<float> out) {
+  DSI_TRACE_SCOPE("comm", "gather");
   if (rank == root && out.size() < in.size() * static_cast<std::size_t>(n_)) {
     throw std::invalid_argument("gather: root out too small");
   }
@@ -230,15 +263,14 @@ void Communicator::gather(std::int64_t rank, std::int64_t root,
       std::memcpy(out.data() + static_cast<std::size_t>(r) * in.size(),
                   peer.data(), in.size() * sizeof(float));
     }
-    bytes_.fetch_add(in.size() * sizeof(float) *
-                         static_cast<std::size_t>(n_ - 1),
-                     std::memory_order_relaxed);
+    account_bytes(bytes_, in.size() * sizeof(float) * static_cast<std::size_t>(n_ - 1));
   }
   sync(rank);
 }
 
 void Communicator::scatter(std::int64_t rank, std::int64_t root,
                            std::span<const float> in, std::span<float> out) {
+  DSI_TRACE_SCOPE("comm", "scatter");
   if (rank == root) {
     if (in.size() % static_cast<std::size_t>(n_) != 0) {
       throw std::invalid_argument("scatter: in must be n equal chunks");
@@ -255,7 +287,7 @@ void Communicator::scatter(std::int64_t rank, std::int64_t root,
               rootspan.data() + static_cast<std::size_t>(rank) * chunk,
               chunk * sizeof(float));
   if (rank != root) {
-    bytes_.fetch_add(chunk * sizeof(float), std::memory_order_relaxed);
+    account_bytes(bytes_, chunk * sizeof(float));
   }
   sync(rank);
 }

@@ -4,6 +4,8 @@
 #include <functional>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "parallel/device_group.h"
 #include "util/stats.h"
 
@@ -102,6 +104,9 @@ void InferenceEngine::run_layers(std::span<float> x, std::int64_t batch,
   static thread_local kernels::LayerScratch scratch;
   if (streamer_) {
     for (std::int64_t l = 0; l < store_->layers(); ++l) {
+      obs::TraceScope layer_scope(
+          "engine", obs::trace_enabled() ? "layer " + std::to_string(l)
+                                         : std::string());
       const auto& w = streamer_->acquire(l);
       streamer_->prefetch(l + 1);  // overlap hint: fetch-ahead window
       kernels::transformer_layer_forward(
@@ -111,6 +116,9 @@ void InferenceEngine::run_layers(std::span<float> x, std::int64_t batch,
     return;
   }
   for (std::size_t l = 0; l < weights_.layers.size(); ++l) {
+    obs::TraceScope layer_scope(
+        "engine", obs::trace_enabled() ? "layer " + std::to_string(l)
+                                       : std::string());
     kernels::transformer_layer_forward(weights_.layers[l], caches[l], x,
                                        batch, q_len, opts_.policy, scratch);
   }
@@ -138,6 +146,7 @@ GenerationResult InferenceEngine::generate(
   GenerationResult res;
   res.tokens = prompts;
   res.stopped.assign(static_cast<std::size_t>(B), false);
+  DSI_TRACE_SCOPE("engine", "generate");
   Stopwatch sw;
 
   // The shared generation driver; `layer_fn` hides the execution substrate.
@@ -158,8 +167,11 @@ GenerationResult InferenceEngine::generate(
       }
     }
     std::vector<float> x(static_cast<std::size_t>(B * P * H));
-    weights_.embed(toks, poss, x);
-    layer_fn(x, P);
+    {
+      DSI_TRACE_SCOPE("engine", "prompt");
+      weights_.embed(toks, poss, x);
+      layer_fn(x, P);
+    }
 
     std::vector<float> last(static_cast<std::size_t>(B * H));
     for (std::int64_t b = 0; b < B; ++b) {
@@ -172,6 +184,9 @@ GenerationResult InferenceEngine::generate(
     std::vector<std::int32_t> new_toks(static_cast<std::size_t>(B));
     std::vector<std::int32_t> new_poss(static_cast<std::size_t>(B));
     for (std::int64_t step = 0; step < new_tokens; ++step) {
+      obs::TraceScope step_scope(
+          "engine", obs::trace_enabled() ? "decode step " + std::to_string(step)
+                                         : std::string());
       weights_.lm_head(last, logits, B);
       for (std::int64_t b = 0; b < B; ++b) {
         const std::int32_t tok = sample_token(
@@ -214,6 +229,9 @@ GenerationResult InferenceEngine::generate(
       auto layer_fn = [&](std::span<float> x, std::int64_t q_len) {
         auto& per_rank = shards_[static_cast<std::size_t>(rank)];
         for (std::size_t l = 0; l < per_rank.size(); ++l) {
+          obs::TraceScope layer_scope(
+              "engine", obs::trace_enabled() ? "layer " + std::to_string(l)
+                                             : std::string());
           parallel::tp_layer_forward(per_rank[l], caches[l], x,
                                      B, q_len, opts_.policy, scratch, comm,
                                      rank);
@@ -237,6 +255,8 @@ GenerationResult InferenceEngine::generate(
     std::vector<float> host_k, host_v;
     auto offload_cycle = [&]() {
       if (!opts_.kv_offload) return;
+      DSI_TRACE_SCOPE("engine", "kv_offload");
+      std::size_t moved = 0;
       for (auto& c : caches) {
         const auto n = static_cast<std::size_t>(c.batch() * c.heads() *
                                                 c.seq_len() * c.head_dim());
@@ -247,7 +267,16 @@ GenerationResult InferenceEngine::generate(
         c.export_state(host_k, host_v);
         c.reset();
         c.import_state(host_k, host_v, len);
-        kv_offload_bytes_ += 4 * n * sizeof(float);  // out + back, K and V
+        moved += 4 * n * sizeof(float);  // out + back, K and V
+      }
+      kv_offload_bytes_ += moved;
+      static obs::Counter& kv_bytes =
+          obs::MetricsRegistry::instance().counter("engine.kv_offload.bytes");
+      kv_bytes.add(static_cast<std::int64_t>(moved));
+      if (obs::trace_enabled()) {
+        obs::TraceRecorder::instance().counter(
+            "engine", "kv_offload_bytes",
+            static_cast<double>(kv_offload_bytes_));
       }
     };
     auto layer_fn = [&](std::span<float> x, std::int64_t q_len) {
@@ -272,6 +301,15 @@ GenerationResult InferenceEngine::generate(
     res.generated += static_cast<std::int64_t>(seq.size()) - P;
   }
   res.seconds = sw.elapsed_s();
+  if (obs::metrics_enabled()) {
+    auto& reg = obs::MetricsRegistry::instance();
+    static obs::Counter& tokens = reg.counter("engine.tokens_generated");
+    static obs::Counter& calls = reg.counter("engine.generate_calls");
+    tokens.add(res.generated);
+    calls.add(1);
+    reg.histogram("engine.prompt_s").record(res.prompt_seconds);
+    reg.histogram("engine.generate_s").record(res.seconds);
+  }
   return res;
 }
 

@@ -7,6 +7,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "obs/trace.h"
 #include "parallel/pipeline_partition.h"
 #include "util/stats.h"
 
@@ -132,12 +133,22 @@ GenerationResult PipelineEngine::generate(
   workers.reserve(static_cast<std::size_t>(S));
   for (std::int64_t s = 0; s < S; ++s) {
     workers.emplace_back([&, s] {
+      if (obs::trace_enabled()) {
+        obs::TraceRecorder::instance().set_thread_name(
+            "pipe-stage-" + std::to_string(s));
+      }
       kernels::LayerScratch scratch;
       const auto [lb, le] = stage_ranges_[static_cast<std::size_t>(s)];
       Rng rng(seed_ ^ 0xF00DULL);
       while (true) {
         WorkItem item = queues[static_cast<std::size_t>(s)].pop();
         if (item.mb < 0) break;  // sentinel
+        obs::TraceScope item_scope(
+            "pipeline",
+            obs::trace_enabled()
+                ? "mb" + std::to_string(item.mb) + " step" +
+                      std::to_string(item.step)
+                : std::string());
         const std::int64_t rows = mb_size(item.mb) * item.q_len;
         auto& layer_caches =
             caches[static_cast<std::size_t>(s)][static_cast<std::size_t>(item.mb)];

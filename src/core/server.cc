@@ -3,10 +3,25 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/stats.h"
 
 namespace dsinfer::core {
+
+namespace {
+
+// The serving timeline lives in the server's virtual clock domain
+// (obs::kServerPid): track 0 is the batcher, track id + 1 is request `id`.
+constexpr std::int64_t kBatcherTrack = 0;
+
+std::int64_t request_track(std::int64_t id) { return id + 1; }
+
+double to_us(double virtual_s) { return virtual_s * 1e6; }
+
+}  // namespace
 
 InferenceServer::InferenceServer(const model::DenseModelConfig& cfg,
                                  ServerOptions opts, std::uint64_t seed)
@@ -90,6 +105,18 @@ std::vector<RequestStats> InferenceServer::run_trace(
   std::vector<bool> served(requests.size(), false);
   double clock = 0;
 
+  const bool tracing = obs::trace_enabled();
+  auto& rec = obs::TraceRecorder::instance();
+  if (tracing) {
+    rec.set_track_name(obs::kServerPid, kBatcherTrack, "batcher");
+    for (const auto& r : requests) {
+      rec.set_track_name(obs::kServerPid, request_track(r.id),
+                         "req " + std::to_string(r.id));
+      rec.instant_at(obs::kServerPid, request_track(r.id), to_us(r.arrival_s),
+                     "server", "arrival");
+    }
+  }
+
   for (std::size_t head_pos = 0; head_pos < order.size(); ++head_pos) {
     const std::size_t head = order[head_pos];
     if (served[head]) continue;
@@ -110,6 +137,10 @@ std::vector<RequestStats> InferenceServer::run_trace(
       st.outcome = RequestStats::Outcome::kShed;
       served[head] = true;
       ++counters_.sheds;
+      if (tracing) {
+        rec.instant_at(obs::kServerPid, request_track(hr.id), to_us(start),
+                       "server", "shed");
+      }
       continue;
     }
 
@@ -152,10 +183,19 @@ std::vector<RequestStats> InferenceServer::run_trace(
     bool ok = false;
     auto absorb_fault = [&]() {  // true => retry, false => budget exhausted
       ++counters_.engine_faults;
+      if (tracing) {
+        rec.instant_at(obs::kServerPid, kBatcherTrack,
+                       to_us(start + backoff_s), "server", "engine fault");
+      }
       if (tries >= res.max_retries) return false;
       backoff_s += res.retry_backoff_s * static_cast<double>(1LL << tries);
       ++tries;
       ++counters_.retries;
+      if (tracing) {
+        rec.instant_at(obs::kServerPid, kBatcherTrack,
+                       to_us(start + backoff_s), "server",
+                       "retry " + std::to_string(tries));
+      }
       return true;
     };
     for (;;) {
@@ -186,6 +226,15 @@ std::vector<RequestStats> InferenceServer::run_trace(
     }
     const double finish = start + backoff_s + service_s;
 
+    if (tracing && ok) {
+      rec.complete_at(obs::kServerPid, kBatcherTrack, to_us(start + backoff_s),
+                      to_us(service_s), "server",
+                      "batch x" + std::to_string(batch.size()),
+                      "{\"batch\":" + std::to_string(batch.size()) +
+                          ",\"degraded\":" + (degraded ? "true" : "false") +
+                          "}");
+    }
+
     for (std::size_t bi = 0; bi < batch.size(); ++bi) {
       const std::size_t idx = batch[bi];
       const auto& rq = requests[idx];
@@ -198,6 +247,36 @@ std::vector<RequestStats> InferenceServer::run_trace(
       st.batch_size = static_cast<std::int64_t>(batch.size());
       st.retries = tries;
       st.degraded = ok && degraded;
+      if (tracing) {
+        const std::int64_t track = request_track(rq.id);
+        if (start > rq.arrival_s) {
+          rec.complete_at(obs::kServerPid, track, to_us(rq.arrival_s),
+                          to_us(start - rq.arrival_s), "server", "queue");
+        }
+        rec.complete_at(obs::kServerPid, track, to_us(start),
+                        to_us(finish - start), "server", "service",
+                        "{\"batch\":" + std::to_string(batch.size()) +
+                            ",\"degraded\":" + (degraded ? "true" : "false") +
+                            ",\"retries\":" + std::to_string(tries) + "}");
+        if (!ok) {
+          rec.instant_at(obs::kServerPid, track, to_us(finish), "server",
+                         "failed");
+        } else if (finish > rq.deadline_s) {
+          rec.instant_at(obs::kServerPid, track, to_us(finish), "server",
+                         "deadline miss");
+        } else if (degraded) {
+          rec.instant_at(obs::kServerPid, track, to_us(finish), "server",
+                         "degraded");
+        }
+      }
+      if (obs::metrics_enabled()) {
+        auto& reg = obs::MetricsRegistry::instance();
+        static obs::Histogram& queue_h =
+            reg.histogram("server.queue_delay_s");
+        static obs::Histogram& latency_h = reg.histogram("server.latency_s");
+        queue_h.record(start - rq.arrival_s);
+        latency_h.record(finish - rq.arrival_s);
+      }
       if (!ok) {
         st.outcome = RequestStats::Outcome::kFailed;
         st.tokens = rq.prompt;  // nothing was generated
@@ -220,6 +299,16 @@ std::vector<RequestStats> InferenceServer::run_trace(
       served[idx] = true;
     }
     clock = finish;
+  }
+  if (obs::metrics_enabled()) {
+    auto& reg = obs::MetricsRegistry::instance();
+    reg.counter("server.served").add(counters_.served);
+    reg.counter("server.sheds").add(counters_.sheds);
+    reg.counter("server.timeouts").add(counters_.timeouts);
+    reg.counter("server.failures").add(counters_.failures);
+    reg.counter("server.retries").add(counters_.retries);
+    reg.counter("server.engine_faults").add(counters_.engine_faults);
+    reg.counter("server.degradations").add(counters_.degradations);
   }
   return stats;
 }

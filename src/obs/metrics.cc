@@ -1,0 +1,217 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+namespace dsinfer::obs {
+
+namespace detail {
+std::atomic<bool> g_metrics_enabled{false};
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::vector<double> default_bounds() {
+  // 100 us .. 10 s in a 1/2.5/5 ladder — sized for request latencies,
+  // queue delays, and fetch backoffs.
+  return {1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2,
+          5e-2, 1e-1,   0.25, 0.5,  1.0,    2.5,  5.0,  10.0};
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)) {
+  if (bounds_.empty()) bounds_ = default_bounds();
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    if (!(bounds_[i] > bounds_[i - 1])) {
+      throw std::invalid_argument(
+          "Histogram: bounds must be strictly increasing");
+    }
+  }
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::record(double x) {
+  if (!metrics_enabled()) return;
+  const std::size_t bucket = static_cast<std::size_t>(
+      std::upper_bound(bounds_.begin(), bounds_.end(), x) - bounds_.begin());
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counts_[bucket];
+  if (acc_.count() == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  acc_.add(x);
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot s;
+  std::lock_guard<std::mutex> lock(mu_);
+  s.count = acc_.count();
+  s.mean = acc_.mean();
+  s.variance = acc_.variance();
+  s.min = min_;
+  s.max = max_;
+  s.bounds = bounds_;
+  s.counts = counts_;
+  return s;
+}
+
+void Histogram::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fill(counts_.begin(), counts_.end(), 0);
+  acc_ = Welford{};
+  min_ = max_ = 0.0;
+}
+
+double HistogramSnapshot::quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const double next = cum + static_cast<double>(counts[i]);
+    if (next >= target && counts[i] > 0) {
+      // Interpolate inside bucket i; bucket edges clamped to observed range.
+      const double lo = i == 0 ? min : std::max(min, bounds[i - 1]);
+      const double hi = i >= bounds.size() ? max : std::min(max, bounds[i]);
+      const double frac =
+          counts[i] > 0
+              ? (target - cum) / static_cast<double>(counts[i])
+              : 0.0;
+      return std::clamp(lo + frac * (hi - lo), min, max);
+    }
+    cum = next;
+  }
+  return max;
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+MetricsRegistry& MetricsRegistry::instance() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+void MetricsRegistry::set_enabled(bool on) {
+  detail::g_metrics_enabled.store(on, std::memory_order_relaxed);
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
+  return *slot;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot s;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, c] : counters_) s.counters.push_back({name, c->value()});
+  for (const auto& [name, g] : gauges_) s.gauges.push_back({name, g->value()});
+  for (const auto& [name, h] : histograms_) {
+    s.histograms.push_back(h->snapshot());
+    s.histograms.back().name = name;
+  }
+  return s;
+}
+
+namespace {
+
+void json_escape(std::ostream& os, const std::string& s) {
+  for (const char ch : s) {
+    if (ch == '"' || ch == '\\') os << '\\';
+    os << ch;
+  }
+}
+
+}  // namespace
+
+void MetricsSnapshot::to_json(std::ostream& os) const {
+  os << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, v] : counters) {
+    os << (first ? "\n" : ",\n") << "    \"";
+    json_escape(os, name);
+    os << "\": " << v;
+    first = false;
+  }
+  os << "\n  },\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, v] : gauges) {
+    os << (first ? "\n" : ",\n") << "    \"";
+    json_escape(os, name);
+    os << "\": " << v;
+    first = false;
+  }
+  os << "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const auto& h : histograms) {
+    os << (first ? "\n" : ",\n") << "    \"";
+    json_escape(os, h.name);
+    os << "\": {\"count\": " << h.count << ", \"mean\": " << h.mean
+       << ", \"variance\": " << h.variance << ", \"min\": " << h.min
+       << ", \"max\": " << h.max << ", \"p50\": " << h.quantile(0.5)
+       << ", \"p95\": " << h.quantile(0.95) << ", \"buckets\": [";
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+      if (i != 0) os << ", ";
+      os << "{\"le\": ";
+      if (i < h.bounds.size()) {
+        os << h.bounds[i];
+      } else {
+        os << "\"inf\"";
+      }
+      os << ", \"count\": " << h.counts[i] << "}";
+    }
+    os << "]}";
+    first = false;
+  }
+  os << "\n  }\n}\n";
+}
+
+void MetricsRegistry::export_json(std::ostream& os) const {
+  snapshot().to_json(os);
+}
+
+bool MetricsRegistry::export_file(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  export_json(f);
+  f.flush();
+  return static_cast<bool>(f);
+}
+
+}  // namespace dsinfer::obs

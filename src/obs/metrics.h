@@ -1,0 +1,141 @@
+// Metrics registry: named counters, gauges, and fixed-bucket histograms
+// with snapshot/export-to-JSON (ISSUE 3).
+//
+// Cost model: every instrument op is gated on one relaxed atomic enable
+// flag — disabled metrics cost a single branch, no locks, no allocation.
+// Enabled counters/gauges are single relaxed atomic ops; histograms take a
+// per-histogram mutex (they feed a Welford accumulator, which cannot be
+// updated lock-free) — acceptable for the request/fetch-granularity paths
+// they instrument, never placed inside per-element kernel loops.
+//
+// Handles returned by the registry are stable for the process lifetime
+// (reset() zeroes values but never invalidates instruments), so hot call
+// sites cache them:
+//   static obs::Counter& bytes =
+//       obs::MetricsRegistry::instance().counter("comm.bytes");
+//   bytes.add(n);
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/stats.h"  // Welford (header-only)
+
+namespace dsinfer::obs {
+
+namespace detail {
+extern std::atomic<bool> g_metrics_enabled;
+}  // namespace detail
+
+inline bool metrics_enabled() {
+  return detail::g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+class Counter {
+ public:
+  void add(std::int64_t delta = 1) {
+    if (metrics_enabled()) v_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::int64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+class Gauge {
+ public:
+  void set(double v) {
+    if (metrics_enabled()) v_.store(v, std::memory_order_relaxed);
+  }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+// Snapshot of one histogram; `counts[i]` is the number of samples with
+// value <= bounds[i] (and counts.back() the overflow bucket).
+struct HistogramSnapshot {
+  std::string name;
+  std::size_t count = 0;
+  double mean = 0.0;
+  double variance = 0.0;  // sample variance (Welford)
+  double min = 0.0;
+  double max = 0.0;
+  std::vector<double> bounds;
+  std::vector<std::int64_t> counts;  // bounds.size() + 1 entries
+
+  // Quantile estimate (q in [0,1]): linear interpolation within the bucket
+  // holding the q-th sample; clamped to [min, max].
+  double quantile(double q) const;
+};
+
+class Histogram {
+ public:
+  // `bounds` are strictly increasing bucket upper bounds (inclusive); an
+  // implicit +inf overflow bucket is appended.
+  explicit Histogram(std::vector<double> bounds);
+
+  void record(double x);
+  HistogramSnapshot snapshot() const;  // name left empty; registry fills it
+  void reset();
+
+ private:
+  std::vector<double> bounds_;
+  mutable std::mutex mu_;
+  std::vector<std::int64_t> counts_;
+  Welford acc_;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::int64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<HistogramSnapshot> histograms;
+
+  void to_json(std::ostream& os) const;
+};
+
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& instance();
+
+  void set_enabled(bool on);
+  // Zeroes every instrument. Handles stay valid (instruments are never
+  // destroyed), so cached references keep working.
+  void reset();
+
+  // Get-or-create by name. For histogram(), `bounds` applies only on first
+  // creation; later calls return the existing instrument unchanged. An empty
+  // `bounds` uses a latency-oriented default ladder (100 us .. 10 s).
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name,
+                       std::vector<double> bounds = {});
+
+  MetricsSnapshot snapshot() const;
+  void export_json(std::ostream& os) const;
+  bool export_file(const std::string& path) const;
+
+ private:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace dsinfer::obs

@@ -1,0 +1,659 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <ostream>
+
+namespace dsinfer::obs {
+
+namespace detail {
+std::atomic<bool> g_trace_enabled{false};
+}  // namespace detail
+
+// Per-thread event storage: a singly linked list of fixed-size chunks. The
+// owning thread is the only writer; it fills a slot completely, then
+// publishes it with a release store of `count`. Readers acquire-load `count`
+// and walk the chunk list, touching only published slots. Chunk links are
+// also published with release stores before the count that covers them, so
+// the count acquire is the only synchronization a reader needs.
+struct TraceRecorder::ThreadLog {
+  static constexpr std::size_t kChunkCap = 512;
+  struct Chunk {
+    std::array<TraceEvent, kChunkCap> ev;
+    std::atomic<Chunk*> next{nullptr};
+  };
+
+  explicit ThreadLog(std::int64_t tid_in)
+      : tid(tid_in), head(new Chunk), wchunk(head) {}
+  ~ThreadLog() {
+    for (Chunk* c = head; c != nullptr;) {
+      Chunk* n = c->next.load(std::memory_order_relaxed);
+      delete c;
+      c = n;
+    }
+  }
+
+  std::int64_t tid;
+  Chunk* head;
+  std::atomic<std::size_t> count{0};
+
+  // Writer-only state (never touched by readers).
+  Chunk* wchunk;          // chunk containing slot `wbase`..`wbase + cap - 1`
+  std::size_t wbase = 0;  // first slot index of wchunk
+  std::int64_t depth = 0;  // open-span nesting on this thread
+  std::string name;        // thread_name metadata (guarded by registry mu_)
+};
+
+TraceRecorder::TraceRecorder() : epoch_(std::chrono::steady_clock::now()) {}
+TraceRecorder::~TraceRecorder() = default;
+
+TraceRecorder& TraceRecorder::instance() {
+  static TraceRecorder recorder;
+  return recorder;
+}
+
+void TraceRecorder::set_enabled(bool on) {
+  detail::g_trace_enabled.store(on, std::memory_order_relaxed);
+}
+
+thread_local TraceRecorder::ThreadLog* TraceRecorder::t_log_ = nullptr;
+
+TraceRecorder::ThreadLog& TraceRecorder::local_log() {
+  if (t_log_ == nullptr) {
+    std::lock_guard<std::mutex> lock(mu_);
+    logs_.push_back(std::make_unique<ThreadLog>(next_tid_++));
+    t_log_ = logs_.back().get();
+  }
+  return *t_log_;
+}
+
+TraceRecorder::ThreadLog* TraceRecorder::local_log_if_registered() const {
+  return t_log_;
+}
+
+TraceEvent& TraceRecorder::writable_slot(ThreadLog& log, std::size_t slot) {
+  if (slot < log.wbase) {  // clear() rewound the count; restart at the head
+    log.wchunk = log.head;
+    log.wbase = 0;
+  }
+  while (slot >= log.wbase + ThreadLog::kChunkCap) {
+    ThreadLog::Chunk* next =
+        log.wchunk->next.load(std::memory_order_relaxed);
+    if (next == nullptr) {
+      next = new ThreadLog::Chunk;
+      log.wchunk->next.store(next, std::memory_order_release);
+    }
+    log.wchunk = next;
+    log.wbase += ThreadLog::kChunkCap;
+  }
+  return log.wchunk->ev[slot - log.wbase];
+}
+
+void TraceRecorder::publish(ThreadLog& log, std::size_t slot) {
+  log.count.store(slot + 1, std::memory_order_release);
+}
+
+double TraceRecorder::now_us() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+std::int64_t TraceRecorder::current_tid() { return local_log().tid; }
+
+void TraceRecorder::begin(const char* cat, std::string name) {
+  if (!trace_enabled()) return;
+  ThreadLog& log = local_log();
+  const std::size_t slot = log.count.load(std::memory_order_relaxed);
+  TraceEvent& e = writable_slot(log, slot);
+  e.phase = 'B';
+  e.pid = kWallPid;
+  e.tid = log.tid;
+  e.ts_us = now_us();
+  e.dur_us = 0;
+  e.value = 0;
+  e.cat = cat;
+  e.name = std::move(name);
+  e.args_json.clear();
+  publish(log, slot);
+  ++log.depth;
+}
+
+void TraceRecorder::end() {
+  // Intentionally not gated on trace_enabled(): if tracing was disabled
+  // mid-span, the matching 'E' must still be recorded so the trace stays
+  // structurally valid. Threads that never began a span have no log.
+  ThreadLog* log = local_log_if_registered();
+  if (log == nullptr || log->depth <= 0) return;
+  --log->depth;
+  const std::size_t slot = log->count.load(std::memory_order_relaxed);
+  TraceEvent& e = writable_slot(*log, slot);
+  e.phase = 'E';
+  e.pid = kWallPid;
+  e.tid = log->tid;
+  e.ts_us = now_us();
+  e.dur_us = 0;
+  e.value = 0;
+  e.cat = "";
+  e.name.clear();
+  e.args_json.clear();
+  publish(*log, slot);
+}
+
+void TraceRecorder::instant(const char* cat, std::string name,
+                            std::string args_json) {
+  if (!trace_enabled()) return;
+  ThreadLog& log = local_log();
+  instant_at(kWallPid, log.tid, now_us(), cat, std::move(name),
+             std::move(args_json));
+}
+
+void TraceRecorder::counter(const char* cat, std::string name, double value) {
+  if (!trace_enabled()) return;
+  ThreadLog& log = local_log();
+  const std::size_t slot = log.count.load(std::memory_order_relaxed);
+  TraceEvent& e = writable_slot(log, slot);
+  e.phase = 'C';
+  e.pid = kWallPid;
+  e.tid = log.tid;
+  e.ts_us = now_us();
+  e.dur_us = 0;
+  e.value = value;
+  e.cat = cat;
+  e.name = std::move(name);
+  e.args_json.clear();
+  publish(log, slot);
+}
+
+void TraceRecorder::complete_at(std::int32_t pid, std::int64_t tid,
+                                double ts_us, double dur_us, const char* cat,
+                                std::string name, std::string args_json) {
+  if (!trace_enabled()) return;
+  ThreadLog& log = local_log();
+  const std::size_t slot = log.count.load(std::memory_order_relaxed);
+  TraceEvent& e = writable_slot(log, slot);
+  e.phase = 'X';
+  e.pid = pid;
+  e.tid = tid;
+  e.ts_us = ts_us;
+  e.dur_us = dur_us;
+  e.value = 0;
+  e.cat = cat;
+  e.name = std::move(name);
+  e.args_json = std::move(args_json);
+  publish(log, slot);
+}
+
+void TraceRecorder::instant_at(std::int32_t pid, std::int64_t tid,
+                               double ts_us, const char* cat, std::string name,
+                               std::string args_json) {
+  if (!trace_enabled()) return;
+  ThreadLog& log = local_log();
+  const std::size_t slot = log.count.load(std::memory_order_relaxed);
+  TraceEvent& e = writable_slot(log, slot);
+  e.phase = 'i';
+  e.pid = pid;
+  e.tid = tid;
+  e.ts_us = ts_us;
+  e.dur_us = 0;
+  e.value = 0;
+  e.cat = cat;
+  e.name = std::move(name);
+  e.args_json = std::move(args_json);
+  publish(log, slot);
+}
+
+void TraceRecorder::set_thread_name(std::string name) {
+  ThreadLog& log = local_log();
+  std::lock_guard<std::mutex> lock(mu_);
+  log.name = std::move(name);
+}
+
+void TraceRecorder::set_track_name(std::int32_t pid, std::int64_t tid,
+                                   std::string name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& entry : track_names_) {
+    if (entry.first == std::make_pair(pid, tid)) {
+      entry.second = std::move(name);
+      return;
+    }
+  }
+  track_names_.push_back({{pid, tid}, std::move(name)});
+}
+
+void TraceRecorder::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& log : logs_) {
+    log->count.store(0, std::memory_order_release);
+    log->depth = 0;
+  }
+  track_names_.clear();
+}
+
+std::size_t TraceRecorder::event_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const auto& log : logs_) {
+    n += log->count.load(std::memory_order_acquire);
+  }
+  return n;
+}
+
+std::vector<TraceEvent> TraceRecorder::snapshot() const {
+  std::vector<TraceEvent> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& log : logs_) {
+    const std::size_t n = log->count.load(std::memory_order_acquire);
+    const ThreadLog::Chunk* c = log->head;
+    std::size_t i = 0;
+    while (i < n && c != nullptr) {
+      const std::size_t in_chunk =
+          std::min(n - i, ThreadLog::kChunkCap);
+      for (std::size_t j = 0; j < in_chunk; ++j) out.push_back(c->ev[j]);
+      i += in_chunk;
+      c = c->next.load(std::memory_order_acquire);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void json_escape(std::ostream& os, const std::string& s) {
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(ch)));
+          os << buf;
+        } else {
+          os << ch;
+        }
+    }
+  }
+}
+
+void write_number(std::ostream& os, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  os << buf;
+}
+
+void write_metadata(std::ostream& os, std::int32_t pid, std::int64_t tid,
+                    const char* meta, const std::string& value, bool& first) {
+  if (!first) os << ",\n";
+  first = false;
+  os << R"({"ph":"M","pid":)" << pid << R"(,"tid":)" << tid << R"(,"name":")"
+     << meta << R"(","args":{"name":")";
+  json_escape(os, value);
+  os << "\"}}";
+}
+
+}  // namespace
+
+void TraceRecorder::export_json(std::ostream& os) const {
+  const std::vector<TraceEvent> events = snapshot();
+  os << "{\"traceEvents\":[\n";
+  bool first = true;
+  write_metadata(os, kWallPid, 0, "process_name", "wall clock (steady)",
+                 first);
+  write_metadata(os, kServerPid, 0, "process_name", "server (virtual time)",
+                 first);
+  write_metadata(os, kSimPid, 0, "process_name", "simulator (virtual time)",
+                 first);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& log : logs_) {
+      if (!log->name.empty()) {
+        write_metadata(os, kWallPid, log->tid, "thread_name", log->name,
+                       first);
+      }
+    }
+    for (const auto& entry : track_names_) {
+      write_metadata(os, entry.first.first, entry.first.second, "thread_name",
+                     entry.second, first);
+    }
+  }
+  for (const TraceEvent& e : events) {
+    if (!first) os << ",\n";
+    first = false;
+    os << "{\"ph\":\"" << e.phase << "\",\"pid\":" << e.pid
+       << ",\"tid\":" << e.tid << ",\"ts\":";
+    write_number(os, e.ts_us);
+    if (e.phase != 'E') {
+      os << ",\"cat\":\"";
+      json_escape(os, e.cat);
+      os << "\",\"name\":\"";
+      json_escape(os, e.name);
+      os << "\"";
+    }
+    if (e.phase == 'X') {
+      os << ",\"dur\":";
+      write_number(os, e.dur_us);
+    }
+    if (e.phase == 'i') os << ",\"s\":\"t\"";
+    if (e.phase == 'C') {
+      os << ",\"args\":{\"value\":";
+      write_number(os, e.value);
+      os << "}";
+    } else if (!e.args_json.empty()) {
+      os << ",\"args\":" << e.args_json;
+    }
+    os << "}";
+  }
+  os << "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+bool TraceRecorder::export_file(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  export_json(f);
+  f.flush();
+  return static_cast<bool>(f);
+}
+
+// ---------------------------------------------------------------------------
+// Structural validation (tests + trace_schema_check ctest).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Strict recursive-descent JSON checker. While parsing an element of the
+// top-level "traceEvents" array it captures that event's "ph"/"pid"/"tid"
+// scalars so the caller can run the B/E stack check without a DOM.
+class JsonChecker {
+ public:
+  struct EventKeys {
+    char ph = 0;
+    long long pid = 0;
+    long long tid = 0;
+  };
+
+  JsonChecker(const std::string& text, std::string* error)
+      : begin_(text.data()), p_(text.data()),
+        end_(text.data() + text.size()), error_(error) {}
+
+  // Grammar-only validation of the whole text.
+  bool check_document() {
+    skip_ws();
+    if (!parse_value(nullptr)) return false;
+    skip_ws();
+    if (p_ != end_) return fail("trailing characters after document");
+    return true;
+  }
+
+  // Validates the document AND requires {"traceEvents": [ {..}, .. ]},
+  // collecting event keys into `events`.
+  bool check_trace(std::vector<EventKeys>* events) {
+    events_ = events;
+    skip_ws();
+    if (p_ == end_ || *p_ != '{') return fail("trace must be a JSON object");
+    if (!parse_object(/*is_root=*/true)) return false;
+    skip_ws();
+    if (p_ != end_) return fail("trailing characters after document");
+    if (!saw_trace_events_) return fail("missing traceEvents array");
+    return true;
+  }
+
+ private:
+  bool fail(const std::string& why) {
+    if (error_ != nullptr) {
+      *error_ = why + " (at byte " + std::to_string(p_ - begin_) + ")";
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (p_ != end_ &&
+           (*p_ == ' ' || *p_ == '\t' || *p_ == '\n' || *p_ == '\r')) {
+      ++p_;
+    }
+  }
+
+  bool parse_value(EventKeys* ev, const std::string* key = nullptr) {
+    skip_ws();
+    if (p_ == end_) return fail("unexpected end of input");
+    switch (*p_) {
+      case '{': {
+        // Keys of nested objects (e.g. an event's "args") are not event keys.
+        EventKeys* saved = capturing_;
+        capturing_ = nullptr;
+        const bool ok = parse_object(false);
+        capturing_ = saved;
+        return ok;
+      }
+      case '[': {
+        EventKeys* saved = capturing_;
+        capturing_ = nullptr;
+        const bool ok = parse_array(false);
+        capturing_ = saved;
+        return ok;
+      }
+      case '"': {
+        std::string s;
+        if (!parse_string(&s)) return false;
+        if (ev != nullptr && key != nullptr && *key == "ph" && s.size() == 1) {
+          ev->ph = s[0];
+        }
+        return true;
+      }
+      case 't': return parse_literal("true");
+      case 'f': return parse_literal("false");
+      case 'n': return parse_literal("null");
+      default: {
+        double num = 0;
+        if (!parse_number(&num)) return false;
+        if (ev != nullptr && key != nullptr) {
+          if (*key == "pid") ev->pid = static_cast<long long>(num);
+          if (*key == "tid") ev->tid = static_cast<long long>(num);
+        }
+        return true;
+      }
+    }
+  }
+
+  bool parse_object(bool is_root) {
+    ++p_;  // '{'
+    skip_ws();
+    if (p_ != end_ && *p_ == '}') {
+      ++p_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (p_ == end_ || *p_ != '"' || !parse_string(&key)) {
+        return fail("expected object key string");
+      }
+      skip_ws();
+      if (p_ == end_ || *p_ != ':') return fail("expected ':' after key");
+      ++p_;
+      if (is_root && key == "traceEvents") {
+        skip_ws();
+        if (p_ == end_ || *p_ != '[') {
+          return fail("traceEvents must be an array");
+        }
+        saw_trace_events_ = true;
+        if (!parse_array(/*is_events=*/true)) return false;
+      } else if (capturing_ != nullptr) {
+        if (!parse_value(capturing_, &key)) return false;
+      } else {
+        if (!parse_value(nullptr)) return false;
+      }
+      skip_ws();
+      if (p_ != end_ && *p_ == ',') {
+        ++p_;
+        continue;
+      }
+      if (p_ != end_ && *p_ == '}') {
+        ++p_;
+        return true;
+      }
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  bool parse_array(bool is_events) {
+    ++p_;  // '['
+    skip_ws();
+    if (p_ != end_ && *p_ == ']') {
+      ++p_;
+      return true;
+    }
+    while (true) {
+      if (is_events) {
+        skip_ws();
+        if (p_ == end_ || *p_ != '{') {
+          return fail("traceEvents elements must be objects");
+        }
+        EventKeys ev;
+        capturing_ = &ev;
+        const bool ok = parse_object(false);
+        capturing_ = nullptr;
+        if (!ok) return false;
+        if (events_ != nullptr) events_->push_back(ev);
+      } else {
+        if (!parse_value(nullptr)) return false;
+      }
+      skip_ws();
+      if (p_ != end_ && *p_ == ',') {
+        ++p_;
+        continue;
+      }
+      if (p_ != end_ && *p_ == ']') {
+        ++p_;
+        return true;
+      }
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  bool parse_string(std::string* out) {
+    ++p_;  // '"'
+    while (p_ != end_) {
+      const char c = *p_;
+      if (c == '"') {
+        ++p_;
+        return true;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return fail("unescaped control character in string");
+      }
+      if (c == '\\') {
+        ++p_;
+        if (p_ == end_) return fail("dangling escape");
+        const char esc = *p_;
+        if (esc == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++p_;
+            if (p_ == end_ || !std::isxdigit(static_cast<unsigned char>(*p_))) {
+              return fail("bad \\u escape");
+            }
+          }
+        } else if (esc != '"' && esc != '\\' && esc != '/' && esc != 'b' &&
+                   esc != 'f' && esc != 'n' && esc != 'r' && esc != 't') {
+          return fail("bad escape character");
+        }
+        if (out != nullptr && esc == '"') out->push_back('"');
+        ++p_;
+        continue;
+      }
+      if (out != nullptr) out->push_back(c);
+      ++p_;
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_number(double* out) {
+    const char* start = p_;
+    if (p_ != end_ && *p_ == '-') ++p_;
+    if (p_ == end_ || !std::isdigit(static_cast<unsigned char>(*p_))) {
+      return fail("malformed number");
+    }
+    while (p_ != end_ && std::isdigit(static_cast<unsigned char>(*p_))) ++p_;
+    if (p_ != end_ && *p_ == '.') {
+      ++p_;
+      if (p_ == end_ || !std::isdigit(static_cast<unsigned char>(*p_))) {
+        return fail("malformed fraction");
+      }
+      while (p_ != end_ && std::isdigit(static_cast<unsigned char>(*p_))) ++p_;
+    }
+    if (p_ != end_ && (*p_ == 'e' || *p_ == 'E')) {
+      ++p_;
+      if (p_ != end_ && (*p_ == '+' || *p_ == '-')) ++p_;
+      if (p_ == end_ || !std::isdigit(static_cast<unsigned char>(*p_))) {
+        return fail("malformed exponent");
+      }
+      while (p_ != end_ && std::isdigit(static_cast<unsigned char>(*p_))) ++p_;
+    }
+    *out = std::strtod(std::string(start, p_).c_str(), nullptr);
+    return true;
+  }
+
+  bool parse_literal(const char* lit) {
+    for (const char* q = lit; *q != '\0'; ++q, ++p_) {
+      if (p_ == end_ || *p_ != *q) return fail("bad literal");
+    }
+    return true;
+  }
+
+  const char* begin_;
+  const char* p_;
+  const char* end_;
+  std::string* error_;
+  std::vector<EventKeys>* events_ = nullptr;
+  JsonChecker::EventKeys* capturing_ = nullptr;
+  bool saw_trace_events_ = false;
+};
+
+}  // namespace
+
+bool validate_json(const std::string& text, std::string* error) {
+  return JsonChecker(text, error).check_document();
+}
+
+bool validate_chrome_trace(const std::string& text, std::string* error) {
+  std::vector<JsonChecker::EventKeys> events;
+  if (!JsonChecker(text, error).check_trace(&events)) return false;
+  // Stack-match B/E per (pid, tid) track in file order (per-thread emission
+  // order, which is chronological within a track).
+  std::map<std::pair<long long, long long>, long long> open;
+  for (const auto& ev : events) {
+    const auto key = std::make_pair(ev.pid, ev.tid);
+    if (ev.ph == 'B') {
+      ++open[key];
+    } else if (ev.ph == 'E') {
+      if (--open[key] < 0) {
+        if (error != nullptr) {
+          *error = "unmatched 'E' event on pid " + std::to_string(ev.pid) +
+                   " tid " + std::to_string(ev.tid);
+        }
+        return false;
+      }
+    }
+  }
+  for (const auto& [key, depth] : open) {
+    if (depth != 0) {
+      if (error != nullptr) {
+        *error = "unclosed 'B' event(s) on pid " + std::to_string(key.first) +
+                 " tid " + std::to_string(key.second);
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace dsinfer::obs

@@ -1,8 +1,11 @@
 #include "parallel/device_group.h"
 
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
+
+#include "obs/trace.h"
 
 namespace dsinfer::parallel {
 
@@ -17,6 +20,10 @@ void DeviceGroup::run(
   for (std::int64_t r = 0; r < size(); ++r) {
     threads.emplace_back([&, r] {
       try {
+        if (obs::trace_enabled()) {
+          obs::TraceRecorder::instance().set_thread_name(
+              "tp-rank-" + std::to_string(r));
+        }
         body(r, comm_);
       } catch (...) {
         std::lock_guard<std::mutex> lock(err_mu);

@@ -47,13 +47,19 @@ class Simulator {
 
 // An exclusive FIFO server (a GPU stream, a PCIe link, an NVMe queue).
 // Work submitted while busy queues up in submission order.
+//
+// When tracing is enabled, each Resource becomes a track in the simulator's
+// virtual clock domain (obs::kSimPid) and every submit() emits a complete
+// event covering [start, start + duration) in virtual seconds.
 class Resource {
  public:
   Resource(Simulator& sim, std::string name);
 
   // Occupies the resource for `duration` starting no earlier than now;
-  // `done` fires at completion. Returns the completion time.
-  double submit(double duration, Simulator::Callback done = {});
+  // `done` fires at completion. Returns the completion time. `label`, if
+  // non-empty, names the traced span (defaults to the resource name).
+  double submit(double duration, Simulator::Callback done = {},
+                const std::string& label = {});
 
   double busy_until() const { return free_at_; }
   double busy_time() const { return busy_; }
@@ -67,6 +73,8 @@ class Resource {
   std::string name_;
   double free_at_ = 0.0;
   double busy_ = 0.0;
+  std::int64_t trace_tid_ = 0;   // track id in the kSimPid clock domain
+  bool track_named_ = false;
 };
 
 }  // namespace dsinfer::sim

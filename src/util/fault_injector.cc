@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace dsinfer::util {
 
 namespace {
@@ -15,6 +18,17 @@ std::uint64_t fnv1a(const std::string& s) {
     h *= 1099511628211ULL;
   }
   return h;
+}
+
+// Every injected fault/spike shows up on the timeline as a "chaos" instant,
+// so trace viewers can line failures up against the spans they perturbed.
+void trace_chaos(obs::Counter& counter, const char* what,
+                 const std::string& site) {
+  counter.add(1);
+  if (obs::trace_enabled()) {
+    obs::TraceRecorder::instance().instant(
+        "chaos", std::string(what) + " @ " + site);
+  }
 }
 
 }  // namespace
@@ -47,7 +61,12 @@ bool FaultInjector::should_fail(const std::string& site) {
   } else if (s.spec.fail_probability > 0.0) {
     fail = s.rng.uniform() < s.spec.fail_probability;
   }
-  if (fail) ++s.stats.faults;
+  if (fail) {
+    ++s.stats.faults;
+    static obs::Counter& c =
+        obs::MetricsRegistry::instance().counter("chaos.faults");
+    trace_chaos(c, "fault injected", site);
+  }
   return fail;
 }
 
@@ -60,6 +79,9 @@ double FaultInjector::delay_s(const std::string& site) {
   if (s.spec.delay_probability > 0.0 && s.spec.delay_mean_s > 0.0 &&
       s.rng.uniform() < s.spec.delay_probability) {
     ++s.stats.spikes;
+    static obs::Counter& c =
+        obs::MetricsRegistry::instance().counter("chaos.delay_spikes");
+    trace_chaos(c, "delay spike", site);
     double spike = s.spec.delay_mean_s;
     if (s.spec.delay_jitter_s > 0.0) {
       spike += s.rng.uniform(-s.spec.delay_jitter_s, s.spec.delay_jitter_s);

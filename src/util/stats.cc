@@ -8,6 +8,7 @@ namespace dsinfer {
 double percentile_sorted(std::span<const double> sorted, double q) {
   if (sorted.empty()) return 0.0;
   if (sorted.size() == 1) return sorted[0];
+  if (std::isnan(q)) q = 0.0;
   q = std::clamp(q, 0.0, 1.0);
   const double pos = q * static_cast<double>(sorted.size() - 1);
   const std::size_t lo = static_cast<std::size_t>(pos);
@@ -33,6 +34,8 @@ Summary summarize(std::span<const double> samples) {
   s.min = sorted.front();
   s.max = sorted.back();
   s.p50 = percentile_sorted(sorted, 0.5);
+  s.p90 = percentile_sorted(sorted, 0.9);
+  s.p95 = percentile_sorted(sorted, 0.95);
   s.p99 = percentile_sorted(sorted, 0.99);
   return s;
 }

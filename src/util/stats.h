@@ -2,6 +2,7 @@
 #pragma once
 
 #include <chrono>
+#include <cmath>
 #include <cstddef>
 #include <span>
 #include <vector>
@@ -14,15 +15,59 @@ struct Summary {
   double min = 0.0;
   double max = 0.0;
   double p50 = 0.0;
+  double p90 = 0.0;
+  double p95 = 0.0;
   double p99 = 0.0;
   std::size_t count = 0;
 };
 
 // Computes a full summary of `samples`; does not modify the input.
+// Empty input yields a fully zeroed Summary (count == 0) — callers never
+// need to special-case it.
 Summary summarize(std::span<const double> samples);
 
-// Linear-interpolated percentile of a *sorted* sample vector, q in [0, 1].
+// Linear-interpolated percentile of a *sorted* sample vector, q in [0, 1]
+// (clamped; NaN treated as 0). Empty input returns 0.0.
 double percentile_sorted(std::span<const double> sorted, double q);
+
+// Streaming mean/variance accumulator (Welford's algorithm): numerically
+// stable, O(1) per sample, no sample storage. Used by the obs metrics
+// histograms and anywhere a running summary is needed without keeping the
+// samples. Not thread-safe; guard externally for concurrent use.
+class Welford {
+ public:
+  void add(double x) {
+    n_ += 1.0;
+    const double d = x - mean_;
+    mean_ += d / n_;
+    m2_ += d * (x - mean_);
+  }
+
+  std::size_t count() const { return static_cast<std::size_t>(n_); }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  // Sample variance (n-1 denominator), matching summarize()'s stddev.
+  double variance() const { return n_ > 1 ? m2_ / (n_ - 1.0) : 0.0; }
+  double stddev() const { return std::sqrt(variance()); }
+
+  // Combines two accumulators (Chan et al. parallel update).
+  void merge(const Welford& o) {
+    if (o.n_ == 0) return;
+    if (n_ == 0) {
+      *this = o;
+      return;
+    }
+    const double total = n_ + o.n_;
+    const double d = o.mean_ - mean_;
+    m2_ += o.m2_ + d * d * n_ * o.n_ / total;
+    mean_ += d * o.n_ / total;
+    n_ = total;
+  }
+
+ private:
+  double n_ = 0.0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
 
 // Monotonic stopwatch; `elapsed_s()` can be read repeatedly.
 class Stopwatch {

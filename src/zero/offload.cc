@@ -3,6 +3,9 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace dsinfer::zero {
 
 namespace {
@@ -173,6 +176,9 @@ LayerStreamer::LayerStreamer(const HostWeightStore& store, std::int64_t window,
 }
 
 LayerStreamer::Slot& LayerStreamer::fetch_into_window(std::int64_t layer) {
+  obs::TraceScope fetch_scope(
+      "zero", obs::trace_enabled() ? "fetch layer " + std::to_string(layer)
+                                   : std::string());
   // Round-robin eviction matches the strictly sequential layer access
   // pattern of a forward pass (the oldest resident layer is always the one
   // used furthest in the past).
@@ -208,14 +214,47 @@ LayerStreamer::Slot& LayerStreamer::fetch_into_window(std::int64_t layer) {
     if (ok) {
       victim.layer = layer;
       ++fetch_count_;
+      if (obs::metrics_enabled()) {
+        auto& reg = obs::MetricsRegistry::instance();
+        static obs::Counter& fetches = reg.counter("zero.stream.fetches");
+        static obs::Counter& bytes = reg.counter("zero.stream.bytes");
+        fetches.add(1);
+        bytes.add(static_cast<std::int64_t>(
+            precision_ == Precision::kInt8 ? store_.layer_bytes_int8()
+                                           : store_.layer_bytes()));
+      }
       return victim;
     }
     ++checksum_failures_;
+    {
+      static obs::Counter& c =
+          obs::MetricsRegistry::instance().counter("zero.stream.checksum_failures");
+      c.add(1);
+      if (obs::trace_enabled()) {
+        obs::TraceRecorder::instance().instant(
+            "zero", "checksum fail layer " + std::to_string(layer));
+      }
+    }
     if (attempt + 1 < attempts) {
       ++retry_count_;
+      static obs::Counter& c =
+          obs::MetricsRegistry::instance().counter("zero.stream.retries");
+      c.add(1);
+      if (obs::trace_enabled()) {
+        obs::TraceRecorder::instance().instant(
+            "zero", "retry layer " + std::to_string(layer) + " attempt " +
+                        std::to_string(attempt + 1));
+      }
       backoff_virtual_s_ +=
           res_.backoff_base_s * static_cast<double>(1LL << attempt);
     }
+  }
+  static obs::Counter& c =
+      obs::MetricsRegistry::instance().counter("zero.stream.faults");
+  c.add(1);
+  if (obs::trace_enabled()) {
+    obs::TraceRecorder::instance().instant(
+        "zero", "StreamFault layer " + std::to_string(layer));
   }
   throw StreamFault(layer, attempts,
                     "zero: layer " + std::to_string(layer) + " failed " +

@@ -1,0 +1,205 @@
+// Metrics registry tests (ISSUE 3): counter/gauge/histogram semantics,
+// snapshot isolation, concurrent increments, and JSON export validity.
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "obs/trace.h"  // validate_json
+#include "util/stats.h"
+
+namespace dsinfer::obs {
+namespace {
+
+class MetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MetricsRegistry::instance().set_enabled(true);
+    MetricsRegistry::instance().reset();
+  }
+  void TearDown() override {
+    MetricsRegistry::instance().set_enabled(false);
+    MetricsRegistry::instance().reset();
+  }
+};
+
+TEST_F(MetricsTest, CounterCountsAndGaugeHoldsLastValue) {
+  auto& reg = MetricsRegistry::instance();
+  Counter& c = reg.counter("test.counter");
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42);
+  EXPECT_EQ(&c, &reg.counter("test.counter"));  // get-or-create is stable
+  Gauge& g = reg.gauge("test.gauge");
+  g.set(1.5);
+  g.set(-2.5);
+  EXPECT_DOUBLE_EQ(g.value(), -2.5);
+}
+
+TEST_F(MetricsTest, DisabledInstrumentsAreNoOps) {
+  auto& reg = MetricsRegistry::instance();
+  Counter& c = reg.counter("test.disabled.counter");
+  Gauge& g = reg.gauge("test.disabled.gauge");
+  Histogram& h = reg.histogram("test.disabled.hist");
+  MetricsRegistry::instance().set_enabled(false);
+  c.add(7);
+  g.set(7.0);
+  h.record(7.0);
+  EXPECT_EQ(c.value(), 0);
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  EXPECT_EQ(h.snapshot().count, 0u);
+}
+
+TEST_F(MetricsTest, HistogramBucketsMeanAndQuantiles) {
+  auto& reg = MetricsRegistry::instance();
+  Histogram& h = reg.histogram("test.hist", {1.0, 2.0, 4.0});
+  for (double x : {0.5, 1.5, 1.5, 3.0, 8.0}) h.record(x);
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.min, 0.5);
+  EXPECT_DOUBLE_EQ(s.max, 8.0);
+  EXPECT_NEAR(s.mean, (0.5 + 1.5 + 1.5 + 3.0 + 8.0) / 5.0, 1e-12);
+  ASSERT_EQ(s.counts.size(), 4u);  // 3 bounds + overflow
+  EXPECT_EQ(s.counts[0], 1);      // <= 1.0
+  EXPECT_EQ(s.counts[1], 2);      // <= 2.0
+  EXPECT_EQ(s.counts[2], 1);      // <= 4.0
+  EXPECT_EQ(s.counts[3], 1);      // overflow
+  EXPECT_GE(s.quantile(0.0), s.min);
+  EXPECT_LE(s.quantile(1.0), s.max);
+  const double p50 = s.quantile(0.5);
+  EXPECT_GE(p50, 1.0);
+  EXPECT_LE(p50, 2.0);
+}
+
+TEST_F(MetricsTest, HistogramVarianceMatchesWelford) {
+  auto& reg = MetricsRegistry::instance();
+  Histogram& h = reg.histogram("test.hist.welford");
+  Welford w;
+  for (int i = 0; i < 100; ++i) {
+    const double x = 0.01 * i * i;
+    h.record(x);
+    w.add(x);
+  }
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.count, w.count());
+  EXPECT_NEAR(s.mean, w.mean(), 1e-9);
+  EXPECT_NEAR(s.variance, w.variance(), 1e-9);
+}
+
+TEST_F(MetricsTest, SnapshotIsIsolatedFromLaterUpdates) {
+  auto& reg = MetricsRegistry::instance();
+  reg.counter("test.iso").add(5);
+  reg.histogram("test.iso.hist").record(1.0);
+  const MetricsSnapshot snap = reg.snapshot();
+  reg.counter("test.iso").add(100);
+  reg.histogram("test.iso.hist").record(2.0);
+  bool found = false;
+  for (const auto& [name, v] : snap.counters) {
+    if (name == "test.iso") {
+      EXPECT_EQ(v, 5);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+  for (const auto& h : snap.histograms) {
+    if (h.name == "test.iso.hist") {
+      EXPECT_EQ(h.count, 1u);
+    }
+  }
+}
+
+TEST_F(MetricsTest, ConcurrentIncrementsAreExact) {
+  Counter& c = MetricsRegistry::instance().counter("test.concurrent");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.add();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), static_cast<std::int64_t>(kThreads) * kPerThread);
+}
+
+TEST_F(MetricsTest, ResetZeroesButKeepsHandles) {
+  auto& reg = MetricsRegistry::instance();
+  Counter& c = reg.counter("test.reset");
+  Histogram& h = reg.histogram("test.reset.hist");
+  c.add(9);
+  h.record(3.0);
+  reg.reset();
+  EXPECT_EQ(c.value(), 0);
+  EXPECT_EQ(h.snapshot().count, 0u);
+  c.add(2);  // cached reference still live after reset
+  EXPECT_EQ(c.value(), 2);
+}
+
+TEST_F(MetricsTest, ExportedJsonIsValid) {
+  auto& reg = MetricsRegistry::instance();
+  reg.counter("test.json.counter").add(3);
+  reg.gauge("test.json.gauge").set(0.25);
+  auto& h = reg.histogram("test.json.hist");
+  h.record(0.001);
+  h.record(0.1);
+  std::ostringstream os;
+  reg.export_json(os);
+  std::string err;
+  EXPECT_TRUE(validate_json(os.str(), &err)) << err << "\n" << os.str();
+  EXPECT_NE(os.str().find("test.json.hist"), std::string::npos);
+}
+
+TEST(WelfordTest, MatchesDirectComputation) {
+  Welford w;
+  const std::vector<double> xs = {1.0, 2.0, 4.0, 8.0, 16.0};
+  double sum = 0;
+  for (double x : xs) {
+    w.add(x);
+    sum += x;
+  }
+  const double mean = sum / static_cast<double>(xs.size());
+  double m2 = 0;
+  for (double x : xs) m2 += (x - mean) * (x - mean);
+  EXPECT_EQ(w.count(), xs.size());
+  EXPECT_NEAR(w.mean(), mean, 1e-12);
+  EXPECT_NEAR(w.variance(), m2 / static_cast<double>(xs.size() - 1), 1e-12);
+  EXPECT_NEAR(w.stddev(), std::sqrt(w.variance()), 1e-12);
+}
+
+TEST(WelfordTest, EmptyAndSingletonAreZero) {
+  Welford w;
+  EXPECT_EQ(w.count(), 0u);
+  EXPECT_DOUBLE_EQ(w.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(w.variance(), 0.0);
+  w.add(5.0);
+  EXPECT_DOUBLE_EQ(w.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(w.variance(), 0.0);  // n-1 denominator: undefined -> 0
+}
+
+TEST(WelfordTest, MergeMatchesBulk) {
+  Welford a, b, bulk;
+  for (int i = 0; i < 50; ++i) {
+    const double x = 0.1 * i;
+    a.add(x);
+    bulk.add(x);
+  }
+  for (int i = 50; i < 120; ++i) {
+    const double x = 0.1 * i;
+    b.add(x);
+    bulk.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), bulk.count());
+  EXPECT_NEAR(a.mean(), bulk.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), bulk.variance(), 1e-9);
+  Welford empty;
+  a.merge(empty);  // merging an empty accumulator is a no-op
+  EXPECT_EQ(a.count(), bulk.count());
+}
+
+}  // namespace
+}  // namespace dsinfer::obs

@@ -1,0 +1,224 @@
+// Trace recorder tests (ISSUE 3): span nesting, cross-thread tracks,
+// structural validity of the exported Chrome trace JSON, and the
+// disabled-mode guarantees (no events, no allocation).
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+namespace dsinfer::obs {
+namespace {
+
+// Global allocation counter: the disabled-mode test asserts the
+// instrumentation macros allocate nothing when tracing is off.
+std::atomic<std::size_t> g_allocs{0};
+
+}  // namespace
+}  // namespace dsinfer::obs
+
+void* operator new(std::size_t n) {
+  dsinfer::obs::g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+
+namespace dsinfer::obs {
+namespace {
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TraceRecorder::instance().set_enabled(false);
+    TraceRecorder::instance().clear();
+  }
+  void TearDown() override {
+    TraceRecorder::instance().set_enabled(false);
+    TraceRecorder::instance().clear();
+  }
+};
+
+std::string export_text() {
+  std::ostringstream os;
+  TraceRecorder::instance().export_json(os);
+  return os.str();
+}
+
+TEST_F(TraceTest, DisabledRecordsNothing) {
+  ASSERT_FALSE(trace_enabled());
+  { DSI_TRACE_SCOPE("test", "outer"); }
+  TraceRecorder::instance().instant("test", "point");
+  TraceRecorder::instance().counter("test", "ctr", 1.0);
+  EXPECT_EQ(TraceRecorder::instance().event_count(), 0u);
+}
+
+TEST_F(TraceTest, DisabledAllocatesNothing) {
+  ASSERT_FALSE(trace_enabled());
+  // Warm anything lazily initialised (the singleton itself).
+  { DSI_TRACE_SCOPE("test", "warm"); }
+  const std::size_t before = g_allocs.load();
+  for (int i = 0; i < 1000; ++i) {
+    DSI_TRACE_SCOPE("test", "hot");
+    obs::TraceScope dynamic_name(
+        "test", trace_enabled() ? "iter " + std::to_string(i) : std::string());
+  }
+  EXPECT_EQ(g_allocs.load(), before);
+}
+
+TEST_F(TraceTest, SpansNestPerThread) {
+  TraceRecorder::instance().set_enabled(true);
+  {
+    DSI_TRACE_SCOPE("test", "outer");
+    { DSI_TRACE_SCOPE("test", "inner"); }
+  }
+  const auto events = TraceRecorder::instance().snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0].phase, 'B');
+  EXPECT_EQ(events[0].name, "outer");
+  EXPECT_EQ(events[1].phase, 'B');
+  EXPECT_EQ(events[1].name, "inner");
+  EXPECT_EQ(events[2].phase, 'E');
+  EXPECT_EQ(events[3].phase, 'E');
+  EXPECT_LE(events[0].ts_us, events[1].ts_us);
+}
+
+TEST_F(TraceTest, UnmatchedEndIsDropped) {
+  TraceRecorder::instance().set_enabled(true);
+  TraceRecorder::instance().end();  // no open span: must not record or crash
+  EXPECT_EQ(TraceRecorder::instance().event_count(), 0u);
+}
+
+TEST_F(TraceTest, DisableMidSpanStillClosesIt) {
+  TraceRecorder::instance().set_enabled(true);
+  {
+    DSI_TRACE_SCOPE("test", "span");
+    TraceRecorder::instance().set_enabled(false);
+  }
+  const auto events = TraceRecorder::instance().snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].phase, 'B');
+  EXPECT_EQ(events[1].phase, 'E');
+  std::string err;
+  EXPECT_TRUE(validate_chrome_trace(export_text(), &err)) << err;
+}
+
+TEST_F(TraceTest, ThreadsGetDistinctTracks) {
+  TraceRecorder::instance().set_enabled(true);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 3; ++t) {
+    threads.emplace_back([t] {
+      TraceRecorder::instance().set_thread_name("worker-" + std::to_string(t));
+      DSI_TRACE_SCOPE("test", "work");
+    });
+  }
+  for (auto& t : threads) t.join();
+  const auto events = TraceRecorder::instance().snapshot();
+  std::vector<std::int64_t> tids;
+  for (const auto& e : events) {
+    if (e.phase == 'B') tids.push_back(e.tid);
+  }
+  ASSERT_EQ(tids.size(), 3u);
+  EXPECT_NE(tids[0], tids[1]);
+  EXPECT_NE(tids[1], tids[2]);
+  EXPECT_NE(tids[0], tids[2]);
+  const std::string text = export_text();
+  std::string err;
+  EXPECT_TRUE(validate_chrome_trace(text, &err)) << err;
+  EXPECT_NE(text.find("worker-0"), std::string::npos);
+  EXPECT_NE(text.find("worker-2"), std::string::npos);
+}
+
+TEST_F(TraceTest, ExportedJsonSurvivesHostileNames) {
+  TraceRecorder::instance().set_enabled(true);
+  TraceRecorder::instance().instant("test", "quote \" slash \\ newline \n tab \t");
+  TraceRecorder::instance().counter("test", "ctr", 3.5);
+  TraceRecorder::instance().complete_at(kServerPid, 7, 10.0, 5.0, "test",
+                                        "virtual", "{\"batch\":4}");
+  TraceRecorder::instance().instant_at(kSimPid, 1, 2.5, "test", "sim instant");
+  TraceRecorder::instance().set_track_name(kServerPid, 7, "req 7");
+  const std::string text = export_text();
+  std::string err;
+  EXPECT_TRUE(validate_chrome_trace(text, &err)) << err;
+  EXPECT_NE(text.find("\"batch\":4"), std::string::npos);
+  EXPECT_NE(text.find("req 7"), std::string::npos);
+}
+
+TEST_F(TraceTest, ClearDropsEventsAndBuffersStayUsable) {
+  TraceRecorder::instance().set_enabled(true);
+  for (int i = 0; i < 2000; ++i) {  // spans several buffer chunks
+    DSI_TRACE_SCOPE("test", "spin");
+  }
+  EXPECT_EQ(TraceRecorder::instance().event_count(), 4000u);
+  TraceRecorder::instance().clear();
+  EXPECT_EQ(TraceRecorder::instance().event_count(), 0u);
+  { DSI_TRACE_SCOPE("test", "after clear"); }
+  EXPECT_EQ(TraceRecorder::instance().event_count(), 2u);
+  std::string err;
+  EXPECT_TRUE(validate_chrome_trace(export_text(), &err)) << err;
+}
+
+TEST_F(TraceTest, SnapshotWhileWritersRun) {
+  // Readers must only see published events; run under TSan to verify the
+  // release/acquire protocol on the per-thread buffers. Writers emit a
+  // bounded number of events (spinning-until-stopped writers would grow the
+  // buffers without bound while snapshots copy them).
+  TraceRecorder::instance().set_enabled(true);
+  constexpr int kWriters = 4;
+  constexpr int kIters = 3000;  // spans several 512-event chunks per thread
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kWriters; ++t) {
+    writers.emplace_back([] {
+      for (int i = 0; i < kIters; ++i) {
+        DSI_TRACE_SCOPE("test", "concurrent");
+        TraceRecorder::instance().instant("test", "tick");
+      }
+    });
+  }
+  std::size_t last = 0;
+  while (last < kWriters * kIters) {  // snapshot concurrently until done
+    const auto events = TraceRecorder::instance().snapshot();
+    EXPECT_GE(events.size(), last);  // published counts only grow
+    last = events.size();
+    for (const auto& e : events) {
+      EXPECT_TRUE(e.phase == 'B' || e.phase == 'E' || e.phase == 'i');
+    }
+  }
+  for (auto& t : writers) t.join();
+  EXPECT_EQ(TraceRecorder::instance().event_count(),
+            static_cast<std::size_t>(kWriters) * kIters * 3);
+}
+
+TEST(TraceValidator, RejectsMalformedJson) {
+  std::string err;
+  EXPECT_FALSE(validate_json("{", &err));
+  EXPECT_FALSE(validate_json("{\"a\":}", &err));
+  EXPECT_FALSE(validate_json("[1,2,]", &err));
+  EXPECT_FALSE(validate_json("\"unterminated", &err));
+  EXPECT_TRUE(validate_json("{\"a\": [1, 2.5, -3e4, true, null, \"x\"]}", &err))
+      << err;
+}
+
+TEST(TraceValidator, RejectsUnbalancedSpans) {
+  std::string err;
+  const std::string unbalanced =
+      "{\"traceEvents\":[{\"ph\":\"B\",\"pid\":1,\"tid\":1,\"ts\":0,"
+      "\"name\":\"x\",\"cat\":\"t\"}]}";
+  EXPECT_FALSE(validate_chrome_trace(unbalanced, &err));
+  const std::string balanced =
+      "{\"traceEvents\":[{\"ph\":\"B\",\"pid\":1,\"tid\":1,\"ts\":0,"
+      "\"name\":\"x\",\"cat\":\"t\"},{\"ph\":\"E\",\"pid\":1,\"tid\":1,"
+      "\"ts\":1}]}";
+  EXPECT_TRUE(validate_chrome_trace(balanced, &err)) << err;
+  EXPECT_FALSE(validate_chrome_trace("[1,2,3]", &err));  // no traceEvents
+}
+
+}  // namespace
+}  // namespace dsinfer::obs

@@ -106,10 +106,29 @@ TEST(Stats, SummaryOfKnownSamples) {
   EXPECT_EQ(s.count, 5u);
 }
 
+TEST(Stats, SummaryTailPercentilesOrdered) {
+  std::vector<double> v(101);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    v[i] = static_cast<double>(v.size() - 1 - i);  // 100..0, unsorted input
+  }
+  Summary s = summarize(v);
+  EXPECT_DOUBLE_EQ(s.p50, 50.0);
+  EXPECT_DOUBLE_EQ(s.p90, 90.0);
+  EXPECT_DOUBLE_EQ(s.p95, 95.0);
+  EXPECT_DOUBLE_EQ(s.p99, 99.0);
+  EXPECT_LE(s.p50, s.p90);
+  EXPECT_LE(s.p90, s.p95);
+  EXPECT_LE(s.p95, s.p99);
+  EXPECT_LE(s.p99, s.max);
+}
+
 TEST(Stats, SummaryEmptyIsZero) {
   Summary s = summarize({});
   EXPECT_EQ(s.count, 0u);
   EXPECT_EQ(s.mean, 0.0);
+  EXPECT_EQ(s.p90, 0.0);
+  EXPECT_EQ(s.p95, 0.0);
+  EXPECT_EQ(s.p99, 0.0);
 }
 
 TEST(Stats, PercentileInterpolates) {
@@ -117,6 +136,9 @@ TEST(Stats, PercentileInterpolates) {
   EXPECT_DOUBLE_EQ(percentile_sorted(v, 0.5), 5.0);
   EXPECT_DOUBLE_EQ(percentile_sorted(v, 0.0), 0.0);
   EXPECT_DOUBLE_EQ(percentile_sorted(v, 1.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(v, -1.0), 0.0);   // clamped
+  EXPECT_DOUBLE_EQ(percentile_sorted(v, 2.0), 10.0);   // clamped
+  EXPECT_DOUBLE_EQ(percentile_sorted({}, 0.5), 0.0);   // empty -> 0
 }
 
 TEST(Stats, StopwatchAdvances) {
