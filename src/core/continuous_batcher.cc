@@ -1,0 +1,311 @@
+#include "core/continuous_batcher.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/stats.h"
+
+namespace dsinfer::core {
+
+namespace {
+
+// Same virtual-clock trace convention as the window batcher: track 0 is the
+// batcher, track id + 1 is request `id`, timestamps in virtual microseconds.
+constexpr std::int64_t kBatcherTrack = 0;
+
+std::int64_t request_track(std::int64_t id) { return id + 1; }
+
+double to_us(double virtual_s) { return virtual_s * 1e6; }
+
+}  // namespace
+
+// A decoder lane: the ragged decoder plus per-slot links back to the trace
+// request occupying each slot and the retries its invocations absorbed.
+struct ContinuousBatcher::Lane {
+  Lane(InferenceEngine& engine, std::int64_t slots,
+       const SamplingOptions& sampling, std::uint64_t seed, bool is_degraded)
+      : decoder(engine, slots, sampling, seed),
+        req(static_cast<std::size_t>(slots), 0),
+        retries(static_cast<std::size_t>(slots), 0),
+        degraded(is_degraded) {}
+
+  RaggedDecoder decoder;
+  std::vector<std::size_t> req;
+  std::vector<std::int64_t> retries;
+  bool degraded = false;
+};
+
+ContinuousBatcher::ContinuousBatcher(
+    InferenceEngine& primary, std::function<InferenceEngine&()> degraded,
+    const ServerOptions& opts,
+    std::function<double(std::int64_t, bool)> estimate_s, std::uint64_t seed)
+    : primary_(primary), degraded_factory_(std::move(degraded)), opts_(opts),
+      estimate_s_(std::move(estimate_s)), seed_(seed) {}
+
+ContinuousBatcher::~ContinuousBatcher() = default;
+
+void ContinuousBatcher::run(const std::vector<TimedRequest>& requests,
+                            const std::vector<std::size_t>& order,
+                            std::vector<RequestStats>& stats,
+                            ServingCounters& counters) {
+  const auto& res = opts_.resilience;
+  const auto& vs = opts_.virtual_service;
+  const bool tracing = obs::trace_enabled();
+  const bool metrics = obs::metrics_enabled();
+  auto& rec = obs::TraceRecorder::instance();
+
+  primary_lane_ = std::make_unique<Lane>(primary_, opts_.max_batch,
+                                         opts_.sampling, seed_, false);
+  degraded_lane_.reset();
+
+  double clock = 0;
+  std::size_t qi = 0;  // next unadmitted entry in `order`
+  std::int64_t steps = 0;
+  std::int64_t slots_released = 0;
+
+  auto active_total = [&]() {
+    return primary_lane_->decoder.active() +
+           (degraded_lane_ ? degraded_lane_->decoder.active() : 0);
+  };
+
+  // Chaos-aware engine invocation: each attempt draws the injector and
+  // catches typed streaming faults; failures cost exponential virtual
+  // backoff on the clock. Returns false when the retry budget is exhausted.
+  // On success `measured_s` holds the attempt's wall-clock.
+  auto with_retry = [&](auto&& invoke, std::int64_t& tries,
+                        double& measured_s) {
+    tries = 0;
+    measured_s = 0;
+    for (;;) {
+      bool fault = res.injector && res.injector->should_fail(res.engine_site);
+      if (!fault) {
+        try {
+          Stopwatch sw;
+          invoke();
+          measured_s = sw.elapsed_s();
+          return true;
+        } catch (const zero::StreamFault&) {
+          fault = true;
+        }
+      }
+      ++counters.engine_faults;
+      if (tracing) {
+        rec.instant_at(obs::kServerPid, kBatcherTrack, to_us(clock), "server",
+                       "engine fault");
+      }
+      if (tries >= res.max_retries) return false;
+      clock += res.retry_backoff_s * static_cast<double>(1LL << tries);
+      ++tries;
+      ++counters.retries;
+      if (tracing) {
+        rec.instant_at(obs::kServerPid, kBatcherTrack, to_us(clock), "server",
+                       "retry " + std::to_string(tries));
+      }
+    }
+  };
+
+  // Retires `slot` and writes its request's terminal stats at time `now`.
+  auto finalize = [&](Lane& lane, std::int64_t slot, bool failed, double now) {
+    const std::size_t idx = lane.req[static_cast<std::size_t>(slot)];
+    const auto& rq = requests[idx];
+    auto& st = stats[idx];
+    st.finish_s = now;
+    st.retries = lane.retries[static_cast<std::size_t>(slot)];
+    if (failed) {
+      st.outcome = RequestStats::Outcome::kFailed;
+      st.tokens = rq.prompt;  // nothing usable was generated
+      ++counters.failures;
+    } else {
+      // Exact per-sequence accounting: the decoder's token list is the
+      // prompt plus what was actually generated — truncated at the stop
+      // token, never padded (ISSUE 4 satellite).
+      st.tokens = lane.decoder.tokens(slot);
+      st.stopped = lane.decoder.stopped(slot);
+      st.degraded = lane.degraded;
+      ++counters.served;
+      if (lane.degraded) ++counters.degradations;
+      if (now > rq.deadline_s) {
+        st.outcome = RequestStats::Outcome::kTimedOut;
+        ++counters.timeouts;
+      } else {
+        st.outcome = lane.degraded ? RequestStats::Outcome::kDegraded
+                                   : RequestStats::Outcome::kOk;
+      }
+    }
+    if (tracing) {
+      const std::int64_t track = request_track(rq.id);
+      if (st.start_s > rq.arrival_s) {
+        rec.complete_at(obs::kServerPid, track, to_us(rq.arrival_s),
+                        to_us(st.start_s - rq.arrival_s), "server", "queue");
+      }
+      rec.complete_at(obs::kServerPid, track, to_us(st.start_s),
+                      to_us(now - st.start_s), "server", "service",
+                      "{\"degraded\":" + std::string(lane.degraded ? "true"
+                                                                   : "false") +
+                          ",\"retries\":" + std::to_string(st.retries) + "}");
+      if (failed) {
+        rec.instant_at(obs::kServerPid, track, to_us(now), "server", "failed");
+      } else if (now > rq.deadline_s) {
+        rec.instant_at(obs::kServerPid, track, to_us(now), "server",
+                       "deadline miss");
+      } else if (lane.degraded) {
+        rec.instant_at(obs::kServerPid, track, to_us(now), "server",
+                       "degraded");
+      }
+    }
+    if (metrics) {
+      auto& reg = obs::MetricsRegistry::instance();
+      reg.histogram("server.queue_delay_s").record(st.start_s - rq.arrival_s);
+      reg.histogram("server.latency_s").record(now - rq.arrival_s);
+    }
+    lane.decoder.retire(slot);
+    ++slots_released;
+  };
+
+  // Admits queued arrivals (strict FIFO) whose arrival time has passed.
+  // Stops at the first request whose target lane has no free slot — it keeps
+  // its place at the head of the queue until a retirement frees one.
+  auto try_admit = [&]() {
+    while (qi < order.size()) {
+      const std::size_t idx = order[qi];
+      const auto& rq = requests[idx];
+      if (rq.arrival_s > clock) break;
+
+      // Overload routing is evaluated at the admission instant — the delay
+      // this request has actually accrued, not a stale head-of-window guess.
+      const bool overload = res.degrade_under_overload &&
+                            (clock - rq.arrival_s) > res.overload_queue_s;
+
+      auto& st = stats[idx];
+      st.id = rq.id;
+      st.arrival_s = rq.arrival_s;
+      st.deadline_s = rq.deadline_s;
+
+      if (res.admission_control && rq.deadline_s < kNoDeadline &&
+          clock + estimate_s_(rq.new_tokens, overload) > rq.deadline_s) {
+        st.start_s = st.finish_s = clock;  // decision instant; no service
+        st.outcome = RequestStats::Outcome::kShed;
+        ++counters.sheds;
+        ++qi;
+        if (tracing) {
+          rec.instant_at(obs::kServerPid, request_track(rq.id), to_us(clock),
+                         "server", "shed");
+        }
+        continue;
+      }
+
+      if (overload && !degraded_lane_) {
+        degraded_lane_ = std::make_unique<Lane>(
+            degraded_factory_(), std::max<std::int64_t>(1, opts_.max_batch / 2),
+            opts_.sampling, seed_ + 1, true);
+      }
+      Lane& lane = overload ? *degraded_lane_ : *primary_lane_;
+      if (lane.decoder.free_slots() == 0) break;
+
+      st.start_s = clock;
+      std::int64_t slot = -1;
+      std::int64_t tries = 0;
+      double measured_s = 0;
+      const bool ok = with_retry(
+          [&] { slot = lane.decoder.admit(rq.prompt, rq.new_tokens); }, tries,
+          measured_s);
+      ++qi;
+      if (!ok) {
+        st.finish_s = clock;
+        st.retries = tries;
+        st.outcome = RequestStats::Outcome::kFailed;
+        st.tokens = rq.prompt;
+        ++counters.failures;
+        if (tracing) {
+          rec.instant_at(obs::kServerPid, request_track(rq.id), to_us(clock),
+                         "server", "failed");
+        }
+        continue;
+      }
+      lane.req[static_cast<std::size_t>(slot)] = idx;
+      lane.retries[static_cast<std::size_t>(slot)] = tries;
+      clock += vs.enabled
+                   ? vs.prefill_s * (lane.degraded ? vs.degraded_factor : 1.0)
+                   : measured_s;
+      st.batch_size = active_total();  // step occupancy at admission
+      if (tracing) {
+        rec.instant_at(obs::kServerPid, request_track(rq.id), to_us(st.start_s),
+                       "server", "admit slot " + std::to_string(slot));
+      }
+      if (lane.decoder.finished(slot)) finalize(lane, slot, false, clock);
+    }
+  };
+
+  // One decode iteration over a lane: every live sequence advances one
+  // token, finished sequences retire (and free their slots) immediately.
+  auto step_lane = [&](Lane* lane) {
+    if (!lane || lane->decoder.active() == 0) return;
+    std::int64_t tries = 0;
+    double measured_s = 0;
+    const bool ok =
+        with_retry([&] { lane->decoder.step(); }, tries, measured_s);
+    if (tries > 0) {
+      for (std::int64_t s = 0; s < lane->decoder.capacity(); ++s) {
+        if (lane->decoder.arena().in_use(s)) {
+          lane->retries[static_cast<std::size_t>(s)] += tries;
+        }
+      }
+    }
+    if (!ok) {
+      // Retry budget exhausted mid-stream: every sequence live on this lane
+      // fails; their slots free for the still-queued arrivals.
+      for (std::int64_t s = 0; s < lane->decoder.capacity(); ++s) {
+        if (lane->decoder.arena().in_use(s)) finalize(*lane, s, true, clock);
+      }
+      return;
+    }
+    clock += vs.enabled
+                 ? vs.per_token_s * (lane->degraded ? vs.degraded_factor : 1.0)
+                 : measured_s;
+    for (std::int64_t s = 0; s < lane->decoder.capacity(); ++s) {
+      if (lane->decoder.arena().in_use(s) && lane->decoder.finished(s)) {
+        finalize(*lane, s, false, clock);
+      }
+    }
+  };
+
+  for (;;) {
+    try_admit();
+    const std::int64_t active = active_total();
+    if (active == 0) {
+      if (qi >= order.size()) break;
+      // Idle: jump the virtual clock to the next arrival.
+      clock = std::max(clock, requests[order[qi]].arrival_s);
+      continue;
+    }
+    const double step_begin = clock;
+    if (metrics) {
+      obs::MetricsRegistry::instance()
+          .histogram("server.step_occupancy")
+          .record(static_cast<double>(active));
+    }
+    step_lane(primary_lane_.get());
+    step_lane(degraded_lane_.get());
+    ++steps;
+    if (tracing && clock > step_begin) {
+      rec.complete_at(obs::kServerPid, kBatcherTrack, to_us(step_begin),
+                      to_us(clock - step_begin), "server",
+                      "step x" + std::to_string(active),
+                      "{\"occupancy\":" + std::to_string(active) + "}");
+    }
+  }
+
+  if (metrics) {
+    auto& reg = obs::MetricsRegistry::instance();
+    reg.counter("server.steps").add(steps);
+    reg.counter("server.slots_acquired")
+        .add(primary_lane_->decoder.total_admitted() +
+             (degraded_lane_ ? degraded_lane_->decoder.total_admitted() : 0));
+    reg.counter("server.slots_released").add(slots_released);
+  }
+}
+
+}  // namespace dsinfer::core

@@ -1,0 +1,65 @@
+// Iteration-level (continuous) batching scheduler — the ISSUE 4 tentpole.
+//
+// Where the window batcher forms rigid same-length batches and holds every
+// member until the batch max decodes, ContinuousBatcher runs a RaggedDecoder
+// over a shared KV arena and makes scheduling decisions between decode
+// iterations: arrivals are admitted into free slots the moment the virtual
+// clock passes their arrival, sequences of different prompt lengths and
+// budgets advance together, and each retires (freeing its slot) the instant
+// it hits its stop token or token budget. No batch-wide max_new, no padding,
+// no head-of-line blocking on shape.
+//
+// The resilience machinery matches the window path: admission-control shed,
+// degrade-under-overload (late-queued arrivals route to an INT8 decoder with
+// half the slots), and engine-fault retry with exponential virtual backoff.
+// Time follows the server convention — virtual arrivals/queueing, service
+// priced by VirtualServiceModel when enabled (prefill_s per admission,
+// per_token_s per decode iteration) or measured with a stopwatch otherwise.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/inference_engine.h"
+#include "core/server.h"
+
+namespace dsinfer::core {
+
+class ContinuousBatcher {
+ public:
+  // `degraded` lazily supplies the degraded-fidelity engine; it is invoked
+  // at most once, the first time an arrival is routed to the overload path.
+  // `estimate_s(new_tokens, degraded)` predicts service time for admission
+  // control (the server's EWMA/virtual estimator).
+  ContinuousBatcher(InferenceEngine& primary,
+                    std::function<InferenceEngine&()> degraded,
+                    const ServerOptions& opts,
+                    std::function<double(std::int64_t, bool)> estimate_s,
+                    std::uint64_t seed);
+  ~ContinuousBatcher();
+
+  // Replays `requests` on the virtual clock. `order` holds indices into
+  // `requests` sorted by arrival (FIFO admission follows it); requests are
+  // pre-validated by the caller. Fills stats (indexed like `requests`) and
+  // counters.
+  void run(const std::vector<TimedRequest>& requests,
+           const std::vector<std::size_t>& order,
+           std::vector<RequestStats>& stats, ServingCounters& counters);
+
+ private:
+  // One decoder lane (primary or degraded) plus the bookkeeping tying arena
+  // slots back to trace requests.
+  struct Lane;
+
+  InferenceEngine& primary_;
+  std::function<InferenceEngine&()> degraded_factory_;
+  const ServerOptions& opts_;
+  std::function<double(std::int64_t, bool)> estimate_s_;
+  std::uint64_t seed_;
+  std::unique_ptr<Lane> primary_lane_;
+  std::unique_ptr<Lane> degraded_lane_;  // built on first overload routing
+};
+
+}  // namespace dsinfer::core

@@ -78,6 +78,11 @@ std::size_t InferenceEngine::streamed_bytes() const {
   return streamer_ ? streamer_->bytes_fetched() : 0;
 }
 
+std::int64_t InferenceEngine::layer_count() const {
+  return streamer_ ? store_->layers()
+                   : static_cast<std::int64_t>(weights_.layers.size());
+}
+
 InferenceEngine::Plan InferenceEngine::validate(
     const std::vector<std::vector<std::int32_t>>& prompts) const {
   if (prompts.empty()) throw std::invalid_argument("generate: empty batch");
@@ -121,6 +126,33 @@ void InferenceEngine::run_layers(std::span<float> x, std::int64_t batch,
                                        : std::string());
     kernels::transformer_layer_forward(weights_.layers[l], caches[l], x,
                                        batch, q_len, opts_.policy, scratch);
+  }
+}
+
+void InferenceEngine::run_layers_ragged(std::span<float> x,
+                                        std::span<const std::int32_t> slots,
+                                        std::span<const std::int32_t> positions,
+                                        kernels::KVArena& arena) {
+  static thread_local kernels::LayerScratch scratch;
+  if (streamer_) {
+    for (std::int64_t l = 0; l < store_->layers(); ++l) {
+      obs::TraceScope layer_scope(
+          "engine", obs::trace_enabled() ? "layer " + std::to_string(l)
+                                         : std::string());
+      const auto& w = streamer_->acquire(l);
+      streamer_->prefetch(l + 1);
+      kernels::transformer_layer_forward_ragged(w, arena, l, slots, positions,
+                                                x, opts_.policy, scratch);
+    }
+    return;
+  }
+  for (std::size_t l = 0; l < weights_.layers.size(); ++l) {
+    obs::TraceScope layer_scope(
+        "engine", obs::trace_enabled() ? "layer " + std::to_string(l)
+                                       : std::string());
+    kernels::transformer_layer_forward_ragged(
+        weights_.layers[l], arena, static_cast<std::int64_t>(l), slots,
+        positions, x, opts_.policy, scratch);
   }
 }
 
@@ -353,6 +385,169 @@ void InferenceEngine::forward_logits(
                 static_cast<std::size_t>(H) * sizeof(float));
   }
   weights_.lm_head(last, logits, B);
+}
+
+RaggedDecoder::RaggedDecoder(InferenceEngine& engine, std::int64_t slots,
+                             const SamplingOptions& sampling,
+                             std::uint64_t seed)
+    : eng_(engine), slots_(slots), sampling_(sampling), rng_(seed) {
+  if (slots < 1) {
+    throw std::invalid_argument("RaggedDecoder: slots >= 1");
+  }
+  const auto& opts = engine.options();
+  if (opts.tensor_parallel > 1) {
+    throw std::invalid_argument(
+        "RaggedDecoder: tensor parallelism needs per-rank arenas (unsupported)");
+  }
+  if (opts.kv_offload) {
+    throw std::invalid_argument(
+        "RaggedDecoder: kv_offload is a uniform-batch feature");
+  }
+  const auto& cfg = engine.config();
+  const std::int64_t max_seq = std::min(opts.max_seq, cfg.max_seq);
+  arena_ = kernels::KVArena(engine.layer_count(), slots, cfg.heads,
+                            cfg.head_dim(), max_seq);
+  seqs_.resize(static_cast<std::size_t>(slots));
+}
+
+const RaggedDecoder::Seq& RaggedDecoder::checked(std::int64_t slot) const {
+  if (!arena_.in_use(slot)) {
+    throw std::invalid_argument("RaggedDecoder: slot not active");
+  }
+  return seqs_[static_cast<std::size_t>(slot)];
+}
+
+std::int32_t RaggedDecoder::sample_row(std::span<const float> logits_row) {
+  return sample_token(logits_row, sampling_, rng_);
+}
+
+std::int64_t RaggedDecoder::admit(const std::vector<std::int32_t>& prompt,
+                                  std::int64_t max_new) {
+  if (prompt.empty()) throw std::invalid_argument("admit: empty prompt");
+  if (max_new < 1) throw std::invalid_argument("admit: max_new >= 1");
+  const std::int64_t P = static_cast<std::int64_t>(prompt.size());
+  if (P + max_new > arena_.max_seq()) {
+    throw std::invalid_argument("admit: sequence exceeds max_seq");
+  }
+  const std::int64_t slot = arena_.acquire();
+  if (slot < 0) return -1;
+
+  DSI_TRACE_SCOPE("engine", "prefill");
+  auto& seq = seqs_[static_cast<std::size_t>(slot)];
+  seq = Seq{};
+  seq.tokens = prompt;
+  seq.prompt_len = P;
+  seq.max_new = max_new;
+
+  const std::int64_t H = eng_.config().hidden;
+  const std::int64_t V = eng_.config().vocab;
+  toks_.assign(prompt.begin(), prompt.end());
+  poss_.resize(prompt.size());
+  slot_ids_.assign(prompt.size(), static_cast<std::int32_t>(slot));
+  for (std::size_t i = 0; i < prompt.size(); ++i) {
+    poss_[i] = static_cast<std::int32_t>(i);
+  }
+  x_.resize(static_cast<std::size_t>(P * H));
+  eng_.weights_.embed(toks_, poss_, x_);
+  try {
+    eng_.run_layers_ragged(x_, slot_ids_, poss_, arena_);
+  } catch (...) {
+    // A fault mid-stack (e.g. zero::StreamFault) must not leak the slot:
+    // release it so the caller can retry the admission cleanly.
+    arena_.release(slot);
+    throw;
+  }
+
+  logits_.resize(static_cast<std::size_t>(V));
+  eng_.weights_.lm_head(
+      std::span<const float>(x_).subspan(static_cast<std::size_t>((P - 1) * H),
+                                         static_cast<std::size_t>(H)),
+      logits_, 1);
+  const std::int32_t tok = sample_row(logits_);
+  seq.tokens.push_back(tok);
+  seq.next_tok = tok;
+  seq.generated = 1;
+  seq.stopped = sampling_.stop_token >= 0 && tok == sampling_.stop_token;
+  return slot;
+}
+
+std::int64_t RaggedDecoder::step() {
+  // Live set in ascending slot order: deterministic for a given admission
+  // history, independent of retirement order.
+  slot_ids_.clear();
+  for (std::int64_t s = 0; s < slots_; ++s) {
+    if (arena_.in_use(s) && !finished(s)) {
+      slot_ids_.push_back(static_cast<std::int32_t>(s));
+    }
+  }
+  const std::int64_t n = static_cast<std::int64_t>(slot_ids_.size());
+  if (n == 0) return 0;
+
+  obs::TraceScope step_scope(
+      "engine", obs::trace_enabled() ? "ragged step x" + std::to_string(n)
+                                     : std::string());
+  const std::int64_t H = eng_.config().hidden;
+  const std::int64_t V = eng_.config().vocab;
+  toks_.resize(static_cast<std::size_t>(n));
+  poss_.resize(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::int64_t slot = slot_ids_[static_cast<std::size_t>(i)];
+    toks_[static_cast<std::size_t>(i)] =
+        seqs_[static_cast<std::size_t>(slot)].next_tok;
+    poss_[static_cast<std::size_t>(i)] =
+        static_cast<std::int32_t>(arena_.seq_len(slot));
+  }
+  x_.resize(static_cast<std::size_t>(n * H));
+  eng_.weights_.embed(toks_, poss_, x_);
+  try {
+    eng_.run_layers_ragged(x_, slot_ids_, poss_, arena_);
+  } catch (...) {
+    // A fault mid-stack leaves the early layers one position ahead of the
+    // rest; rewind every live slot to its pre-step length so a retry sees a
+    // consistent arena.
+    for (std::int64_t i = 0; i < n; ++i) {
+      arena_.rewind(slot_ids_[static_cast<std::size_t>(i)],
+                    poss_[static_cast<std::size_t>(i)]);
+    }
+    throw;
+  }
+  logits_.resize(static_cast<std::size_t>(n * V));
+  eng_.weights_.lm_head(x_, logits_, n);
+  for (std::int64_t i = 0; i < n; ++i) {
+    auto& seq = seqs_[static_cast<std::size_t>(slot_ids_[static_cast<std::size_t>(i)])];
+    const std::int32_t tok = sample_row(std::span<const float>(logits_).subspan(
+        static_cast<std::size_t>(i * V), static_cast<std::size_t>(V)));
+    seq.tokens.push_back(tok);
+    seq.next_tok = tok;
+    ++seq.generated;
+    if (sampling_.stop_token >= 0 && tok == sampling_.stop_token) {
+      seq.stopped = true;
+    }
+  }
+  return n;
+}
+
+bool RaggedDecoder::finished(std::int64_t slot) const {
+  const Seq& s = checked(slot);
+  return s.stopped || s.generated >= s.max_new;
+}
+
+bool RaggedDecoder::stopped(std::int64_t slot) const {
+  return checked(slot).stopped;
+}
+
+std::int64_t RaggedDecoder::generated(std::int64_t slot) const {
+  return checked(slot).generated;
+}
+
+const std::vector<std::int32_t>& RaggedDecoder::tokens(
+    std::int64_t slot) const {
+  return checked(slot).tokens;
+}
+
+void RaggedDecoder::retire(std::int64_t slot) {
+  checked(slot);  // validates
+  arena_.release(slot);
 }
 
 std::vector<std::int32_t> byte_tokenize(const std::string& text) {

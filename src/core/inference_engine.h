@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "core/gpt_model.h"
+#include "kernels/kv_arena.h"
 #include "kernels/kv_cache.h"
 #include "parallel/tensor_parallel.h"
 #include "zero/offload.h"
@@ -98,7 +99,12 @@ class InferenceEngine {
   // Bytes of KV state round-tripped to host memory (0 unless kv_offload).
   std::size_t kv_offload_bytes() const { return kv_offload_bytes_; }
 
+  // Transformer layer count (resident or streamed).
+  std::int64_t layer_count() const;
+
  private:
+  friend class RaggedDecoder;
+
   struct Plan {
     std::int64_t batch = 0;
     std::int64_t prompt_len = 0;
@@ -108,6 +114,13 @@ class InferenceEngine {
   // Runs `q_len` new positions through every layer; x is [batch*q_len, H].
   void run_layers(std::span<float> x, std::int64_t batch, std::int64_t q_len,
                   std::vector<kernels::KVCache>& caches);
+
+  // Ragged block through every layer (continuous batching); x is
+  // [tokens, H] with per-token arena slot and absolute position.
+  void run_layers_ragged(std::span<float> x,
+                         std::span<const std::int32_t> slots,
+                         std::span<const std::int32_t> positions,
+                         kernels::KVArena& arena);
 
   EngineOptions opts_;
   GptWeights weights_;
@@ -121,6 +134,77 @@ class InferenceEngine {
   std::vector<std::vector<parallel::TpLayerShard>> shards_;
 
   std::size_t kv_offload_bytes_ = 0;
+};
+
+// Iteration-level decoding front-end over a shared KV arena (ISSUE 4): the
+// substrate of continuous batching. Each sequence occupies one arena slot
+// from admit() until retire(); step() advances every live sequence by one
+// token, so sequences of different prompt lengths, ages, and budgets decode
+// in the same engine iteration and retire the moment they hit their stop
+// token or budget — no batch-wide max_new, no padding.
+//
+// Greedy token streams are bit-identical to InferenceEngine::generate on the
+// same weights (the ragged kernels preserve per-token reduction order).
+// Supported on the single-device resident and ZeRO-streamed paths; tensor
+// parallelism and kv_offload are rejected (per-rank arenas are future work).
+class RaggedDecoder {
+ public:
+  // `slots` bounds concurrent sequences; `max_seq` per slot follows the
+  // engine's limits. Sampling applies to every sequence.
+  RaggedDecoder(InferenceEngine& engine, std::int64_t slots,
+                const SamplingOptions& sampling = {},
+                std::uint64_t seed = 0x5eed);
+
+  std::int64_t capacity() const { return slots_; }
+  std::int64_t free_slots() const { return arena_.free_slots(); }
+  std::int64_t active() const { return arena_.active_slots(); }
+  // Lifetime admissions (slot churn).
+  std::int64_t total_admitted() const { return arena_.total_acquires(); }
+
+  // Prefill: runs `prompt` through the model and samples the sequence's
+  // first token. Returns the slot id, or -1 when no slot is free. The
+  // sequence may already be finished on return (max_new == 1 or immediate
+  // stop) — check finished() before waiting on step().
+  std::int64_t admit(const std::vector<std::int32_t>& prompt,
+                     std::int64_t max_new);
+
+  // One decode iteration over every live (active, unfinished) sequence;
+  // returns how many sequences advanced (0 = nothing to do).
+  std::int64_t step();
+
+  bool finished(std::int64_t slot) const;  // stopped or budget exhausted
+  bool stopped(std::int64_t slot) const;   // emitted the stop token
+  std::int64_t generated(std::int64_t slot) const;
+  // Prompt + generated tokens. Read before retire(); the slot's state is
+  // recycled on reuse.
+  const std::vector<std::int32_t>& tokens(std::int64_t slot) const;
+  void retire(std::int64_t slot);
+
+  const kernels::KVArena& arena() const { return arena_; }
+
+ private:
+  struct Seq {
+    std::vector<std::int32_t> tokens;
+    std::int64_t prompt_len = 0;
+    std::int64_t max_new = 0;
+    std::int64_t generated = 0;
+    std::int32_t next_tok = 0;  // sampled, not yet fed through the layers
+    bool stopped = false;
+  };
+  const Seq& checked(std::int64_t slot) const;
+  std::int32_t sample_row(std::span<const float> logits_row);
+
+  InferenceEngine& eng_;
+  std::int64_t slots_ = 0;
+  SamplingOptions sampling_;
+  Rng rng_;
+  kernels::KVArena arena_;
+  std::vector<Seq> seqs_;
+  // Reused per-call buffers: the decode loop is allocation-free at steady
+  // state.
+  std::vector<float> x_;
+  std::vector<float> logits_;
+  std::vector<std::int32_t> toks_, poss_, slot_ids_;
 };
 
 // Byte-level token helpers for the examples (vocab must be >= 256).

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "core/continuous_batcher.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/stats.h"
@@ -63,7 +64,20 @@ double InferenceServer::estimate_service_s(std::int64_t new_tokens,
     return (vs.base_s + vs.per_token_s * static_cast<double>(new_tokens)) *
            (degraded ? vs.degraded_factor : 1.0);
   }
-  return ewma_service_s_;  // 0 until the first batch is observed
+  // Measured mode: fixed invocation cost plus per-decode-step cost, so a
+  // 100-token request predicts ~10x the service of a 10-token one instead
+  // of the same number (ISSUE 4 satellite). Both terms are 0 until the
+  // first observed batch.
+  return ewma_base_s_ +
+         ewma_per_token_s_ * static_cast<double>(new_tokens);
+}
+
+void InferenceServer::observe_service(double base_s, double per_token_s) {
+  ewma_base_s_ =
+      ewma_base_s_ == 0 ? base_s : 0.7 * ewma_base_s_ + 0.3 * base_s;
+  ewma_per_token_s_ = ewma_per_token_s_ == 0
+                          ? per_token_s
+                          : 0.7 * ewma_per_token_s_ + 0.3 * per_token_s;
 }
 
 std::vector<RequestStats> InferenceServer::run_trace(
@@ -99,15 +113,8 @@ std::vector<RequestStats> InferenceServer::run_trace(
     return requests[a].arrival_s < requests[b].arrival_s;
   });
 
-  const auto& res = opts_.resilience;
-  const auto& vs = opts_.virtual_service;
-  std::vector<RequestStats> stats(requests.size());
-  std::vector<bool> served(requests.size(), false);
-  double clock = 0;
-
-  const bool tracing = obs::trace_enabled();
-  auto& rec = obs::TraceRecorder::instance();
-  if (tracing) {
+  if (obs::trace_enabled()) {
+    auto& rec = obs::TraceRecorder::instance();
     rec.set_track_name(obs::kServerPid, kBatcherTrack, "batcher");
     for (const auto& r : requests) {
       rec.set_track_name(obs::kServerPid, request_track(r.id),
@@ -117,6 +124,50 @@ std::vector<RequestStats> InferenceServer::run_trace(
     }
   }
 
+  std::vector<RequestStats> stats =
+      opts_.scheduler == Scheduler::kContinuous ? run_continuous(requests, order)
+                                                : run_window(requests, order);
+
+  if (obs::metrics_enabled()) {
+    auto& reg = obs::MetricsRegistry::instance();
+    reg.counter("server.served").add(counters_.served);
+    reg.counter("server.sheds").add(counters_.sheds);
+    reg.counter("server.timeouts").add(counters_.timeouts);
+    reg.counter("server.failures").add(counters_.failures);
+    reg.counter("server.retries").add(counters_.retries);
+    reg.counter("server.engine_faults").add(counters_.engine_faults);
+    reg.counter("server.degradations").add(counters_.degradations);
+  }
+  return stats;
+}
+
+std::vector<RequestStats> InferenceServer::run_continuous(
+    const std::vector<TimedRequest>& requests,
+    const std::vector<std::size_t>& order) {
+  std::vector<RequestStats> stats(requests.size());
+  ContinuousBatcher batcher(
+      engine_, [this]() -> InferenceEngine& { return degraded_engine(); },
+      opts_,
+      [this](std::int64_t new_tokens, bool degraded) {
+        return estimate_service_s(new_tokens, degraded);
+      },
+      seed_);
+  batcher.run(requests, order, stats, counters_);
+  return stats;
+}
+
+std::vector<RequestStats> InferenceServer::run_window(
+    const std::vector<TimedRequest>& requests,
+    const std::vector<std::size_t>& order) {
+  const auto& res = opts_.resilience;
+  const auto& vs = opts_.virtual_service;
+  std::vector<RequestStats> stats(requests.size());
+  std::vector<bool> served(requests.size(), false);
+  double clock = 0;
+
+  const bool tracing = obs::trace_enabled();
+  auto& rec = obs::TraceRecorder::instance();
+
   for (std::size_t head_pos = 0; head_pos < order.size(); ++head_pos) {
     const std::size_t head = order[head_pos];
     if (served[head]) continue;
@@ -124,9 +175,30 @@ std::vector<RequestStats> InferenceServer::run_trace(
     // Service cannot start before the head arrives; the batcher then waits
     // up to the window for same-shape requests.
     double start = std::max(clock, hr.arrival_s);
+    const double cutoff = start + opts_.batch_window_s;
 
-    // Admission control: if, by the current service estimate, this request
-    // already cannot meet its deadline, shed it instead of wasting a slot.
+    // Form the batch at full capacity first: joiners inside the window can
+    // push the actual start later, and the admission/degradation decisions
+    // below must see that final start, not the head's provisional one
+    // (ISSUE 4 satellite — the old order made both calls against a stale
+    // clock).
+    std::vector<std::size_t> batch{head};
+    for (std::size_t j = head_pos + 1;
+         j < order.size() &&
+         static_cast<std::int64_t>(batch.size()) < opts_.max_batch;
+         ++j) {
+      const std::size_t cand = order[j];
+      if (served[cand]) continue;
+      const auto& cr = requests[cand];
+      if (cr.prompt.size() != hr.prompt.size()) continue;
+      if (cr.arrival_s > cutoff) break;  // later arrivals are even later
+      batch.push_back(cand);
+      start = std::max(start, cr.arrival_s);
+    }
+
+    // Admission control, evaluated at the batch's true start: if the head
+    // can no longer meet its deadline, shed it (its joiners stay queued and
+    // are re-batched behind the next head).
     if (res.admission_control && hr.deadline_s < kNoDeadline &&
         start + estimate_service_s(hr.new_tokens, false) > hr.deadline_s) {
       auto& st = stats[head];
@@ -144,27 +216,23 @@ std::vector<RequestStats> InferenceServer::run_trace(
       continue;
     }
 
-    // Graceful degradation: sustained head-of-line queueing means we are
-    // past capacity — drop to half-size batches on the INT8 engine.
+    // Graceful degradation: sustained head-of-line queueing — measured at
+    // the start the batch will actually get — means we are past capacity;
+    // drop to half-size batches on the INT8 engine. The trimmed joiners go
+    // back to the queue; the decision itself stands (re-deriving it from
+    // the trimmed batch would oscillate).
     const bool degraded = res.degrade_under_overload &&
                           (start - hr.arrival_s) > res.overload_queue_s;
-    const std::int64_t batch_cap =
-        degraded ? std::max<std::int64_t>(1, opts_.max_batch / 2)
-                 : opts_.max_batch;
-    const double cutoff = start + opts_.batch_window_s;
-
-    std::vector<std::size_t> batch{head};
-    for (std::size_t j = head_pos + 1;
-         j < order.size() &&
-         static_cast<std::int64_t>(batch.size()) < batch_cap;
-         ++j) {
-      const std::size_t cand = order[j];
-      if (served[cand]) continue;
-      const auto& cr = requests[cand];
-      if (cr.prompt.size() != hr.prompt.size()) continue;
-      if (cr.arrival_s > cutoff) break;  // later arrivals are even later
-      batch.push_back(cand);
-      start = std::max(start, cr.arrival_s);
+    if (degraded) {
+      const auto cap = static_cast<std::size_t>(
+          std::max<std::int64_t>(1, opts_.max_batch / 2));
+      if (batch.size() > cap) {
+        batch.resize(cap);
+        start = std::max(clock, hr.arrival_s);
+        for (std::size_t idx : batch) {
+          start = std::max(start, requests[idx].arrival_s);
+        }
+      }
     }
 
     std::vector<std::vector<std::int32_t>> prompts;
@@ -206,7 +274,7 @@ std::vector<RequestStats> InferenceServer::run_trace(
       try {
         Stopwatch sw;
         result = (degraded ? degraded_engine() : engine_)
-                     .generate(prompts, max_new);
+                     .generate(prompts, max_new, opts_.sampling);
         measured_s = sw.elapsed_s();
         ok = true;
         break;
@@ -220,9 +288,13 @@ std::vector<RequestStats> InferenceServer::run_trace(
         !ok ? 0.0
             : vs.enabled ? estimate_service_s(max_new, degraded) : measured_s;
     if (ok && !vs.enabled) {
-      ewma_service_s_ = ewma_service_s_ == 0
-                            ? service_s
-                            : 0.7 * ewma_service_s_ + 0.3 * service_s;
+      // Split the measurement into its fixed and per-step parts so the
+      // estimator scales with a request's ask: the prompt phase stands in
+      // for the invocation cost, the decode remainder amortizes over the
+      // batch's max_new steps.
+      const double decode_s = std::max(0.0, measured_s - result.prompt_seconds);
+      observe_service(result.prompt_seconds,
+                      decode_s / static_cast<double>(max_new));
     }
     const double finish = start + backoff_s + service_s;
 
@@ -270,22 +342,27 @@ std::vector<RequestStats> InferenceServer::run_trace(
         }
       }
       if (obs::metrics_enabled()) {
+        // Handles are fetched per call: registry access is get-or-create,
+        // and a function-local static would pin the first process-lifetime
+        // registry instance across tests that reset it (ISSUE 4 satellite).
         auto& reg = obs::MetricsRegistry::instance();
-        static obs::Histogram& queue_h =
-            reg.histogram("server.queue_delay_s");
-        static obs::Histogram& latency_h = reg.histogram("server.latency_s");
-        queue_h.record(start - rq.arrival_s);
-        latency_h.record(finish - rq.arrival_s);
+        reg.histogram("server.queue_delay_s").record(start - rq.arrival_s);
+        reg.histogram("server.latency_s").record(finish - rq.arrival_s);
       }
       if (!ok) {
         st.outcome = RequestStats::Outcome::kFailed;
         st.tokens = rq.prompt;  // nothing was generated
         ++counters_.failures;
       } else {
-        // Truncate over-generated tokens to the request's ask.
+        // The batch decodes to its max_new; trim over-generation down to
+        // this request's ask, but never extend — a sequence that hit the
+        // stop token early is genuinely shorter, and padding it with zeros
+        // would fabricate tokens (ISSUE 4 satellite).
+        const std::size_t want =
+            rq.prompt.size() + static_cast<std::size_t>(rq.new_tokens);
         st.tokens = result.tokens[bi];
-        st.tokens.resize(rq.prompt.size() +
-                         static_cast<std::size_t>(rq.new_tokens));
+        st.stopped = result.stopped[bi] && st.tokens.size() <= want;
+        if (st.tokens.size() > want) st.tokens.resize(want);
         ++counters_.served;
         if (degraded) ++counters_.degradations;
         if (finish > rq.deadline_s) {
@@ -299,16 +376,6 @@ std::vector<RequestStats> InferenceServer::run_trace(
       served[idx] = true;
     }
     clock = finish;
-  }
-  if (obs::metrics_enabled()) {
-    auto& reg = obs::MetricsRegistry::instance();
-    reg.counter("server.served").add(counters_.served);
-    reg.counter("server.sheds").add(counters_.sheds);
-    reg.counter("server.timeouts").add(counters_.timeouts);
-    reg.counter("server.failures").add(counters_.failures);
-    reg.counter("server.retries").add(counters_.retries);
-    reg.counter("server.engine_faults").add(counters_.engine_faults);
-    reg.counter("server.degradations").add(counters_.degradations);
   }
   return stats;
 }

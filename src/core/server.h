@@ -79,12 +79,32 @@ struct VirtualServiceModel {
   double base_s = 0.01;
   double per_token_s = 1e-3;
   double degraded_factor = 0.5;  // INT8/small-batch path speedup
+  // Continuous scheduler: virtual cost of one prefill (admission). Priced as
+  // roughly one decode iteration, not base_s — base_s models the per-
+  // invocation overhead of standing a window batch up, which the always-hot
+  // continuous engine does not pay per request.
+  double prefill_s = 1e-3;
 };
+
+// Which batch-formation policy run_trace uses (ISSUE 4).
+//  * kWindow — classic head-of-line window batching: same-prompt-length
+//    requests group behind the head, the whole batch decodes to the batch
+//    max and members are truncated to their ask.
+//  * kContinuous — iteration-level scheduling over a shared KV arena:
+//    arrivals are admitted between decode steps, sequences of any prompt
+//    length coexist, and each retires the moment it hits its budget or stop
+//    token (RaggedDecoder + ContinuousBatcher).
+enum class Scheduler { kWindow, kContinuous };
 
 struct ServerOptions {
   EngineOptions engine;
-  std::int64_t max_batch = 8;   // requests per engine invocation
-  double batch_window_s = 0.0;  // wait this long (virtual) to fill a batch
+  Scheduler scheduler = Scheduler::kWindow;
+  // kWindow: requests per engine invocation. kContinuous: concurrent KV
+  // arena slots. Same knob so the two schedulers compare at equal resources.
+  std::int64_t max_batch = 8;
+  double batch_window_s = 0.0;  // kWindow: wait this long (virtual) to fill
+  // Applied to every request (notably stop_token for early termination).
+  SamplingOptions sampling;
   ResilienceOptions resilience;
   VirtualServiceModel virtual_service;
 };
@@ -109,7 +129,10 @@ struct RequestStats {
   };
 
   std::int64_t id = 0;
-  std::vector<std::int32_t> tokens;  // prompt + exactly new_tokens generated
+  // Prompt + generated tokens. Exactly prompt+new_tokens when the sequence
+  // ran its full budget; shorter (truncated at the stop token, inclusive)
+  // when it stopped early — never zero-padded (ISSUE 4 satellite).
+  std::vector<std::int32_t> tokens;
   double arrival_s = 0;
   double start_s = 0;   // when its batch began service
   double finish_s = 0;  // when its batch completed
@@ -118,6 +141,7 @@ struct RequestStats {
   Outcome outcome = Outcome::kOk;
   std::int64_t retries = 0;  // engine-fault retries its batch absorbed
   bool degraded = false;     // served on the degraded path
+  bool stopped = false;      // emitted the stop token before its budget
 
   double queue_delay_s() const { return start_s - arrival_s; }
   double latency_s() const { return finish_s - arrival_s; }
@@ -153,11 +177,26 @@ class InferenceServer {
   // Counters from the most recent run_trace (reset at each call).
   const ServingCounters& counters() const { return counters_; }
 
+  // Predicted service time for a request of `new_tokens` decode steps.
+  // Virtual mode reads the service model; measured mode blends a per-token
+  // EWMA so the estimate scales with the request's ask (ISSUE 4 satellite:
+  // the old single-EWMA ignored new_tokens entirely). Public so tests can
+  // assert the scaling.
+  double estimate_service_s(std::int64_t new_tokens, bool degraded) const;
+
  private:
   // Lazily built INT8 twin of the primary engine (same seed => same
   // weights); the graceful-degradation path serves on it.
   InferenceEngine& degraded_engine();
-  double estimate_service_s(std::int64_t new_tokens, bool degraded) const;
+  // Folds one measured batch invocation into the EWMA estimator.
+  void observe_service(double base_s, double per_token_s);
+
+  std::vector<RequestStats> run_window(
+      const std::vector<TimedRequest>& requests,
+      const std::vector<std::size_t>& order);
+  std::vector<RequestStats> run_continuous(
+      const std::vector<TimedRequest>& requests,
+      const std::vector<std::size_t>& order);
 
   model::DenseModelConfig cfg_;
   ServerOptions opts_;
@@ -165,7 +204,10 @@ class InferenceServer {
   InferenceEngine engine_;
   std::unique_ptr<InferenceEngine> degraded_;
   ServingCounters counters_;
-  double ewma_service_s_ = 0;  // observed service time (measured mode)
+  // Measured-mode service estimator: fixed cost per invocation plus cost per
+  // decode step, each tracked as its own EWMA (0 until first observation).
+  double ewma_base_s_ = 0;
+  double ewma_per_token_s_ = 0;
 };
 
 }  // namespace dsinfer::core

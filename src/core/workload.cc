@@ -50,19 +50,24 @@ ServingSummary summarize_serving(const std::vector<RequestStats>& stats) {
   double last_finish = 0;
   std::int64_t generated = 0;
   for (const auto& r : stats) {
-    lat.push_back(r.latency_s());
-    batch_sum += static_cast<double>(r.batch_size);
     first_arrival = std::min(first_arrival, r.arrival_s);
     last_finish = std::max(last_finish, r.finish_s);
+    if (!r.served()) continue;
+    ++s.served;
+    lat.push_back(r.latency_s());
+    batch_sum += static_cast<double>(r.batch_size);
     generated += static_cast<std::int64_t>(r.tokens.size());
   }
+  if (s.served == 0) return s;
   const Summary lsum = summarize(lat);
   s.mean_latency_s = lsum.mean;
   s.p50_latency_s = lsum.p50;
+  s.p95_latency_s = lsum.p95;
   s.p99_latency_s = lsum.p99;
-  s.mean_batch_size = batch_sum / static_cast<double>(stats.size());
+  s.mean_batch_size = batch_sum / static_cast<double>(s.served);
   const double makespan = std::max(1e-12, last_finish - first_arrival);
   s.tokens_per_s = static_cast<double>(generated) / makespan;
+  s.served_per_s = static_cast<double>(s.served) / makespan;
   return s;
 }
 

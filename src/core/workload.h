@@ -25,14 +25,19 @@ struct WorkloadSpec {
 // rate, truncated at `duration_s`. Ids are assigned in arrival order.
 std::vector<TimedRequest> generate_poisson_trace(const WorkloadSpec& spec);
 
-// Aggregate latency statistics over served requests.
+// Aggregate latency statistics. Latency percentiles cover served requests
+// only (shed/failed requests have no end-to-end latency to speak of);
+// `requests` counts everything that entered the trace.
 struct ServingSummary {
   std::size_t requests = 0;
+  std::size_t served = 0;  // produced tokens (kOk/kDegraded/kTimedOut)
   double mean_latency_s = 0;
   double p50_latency_s = 0;
+  double p95_latency_s = 0;
   double p99_latency_s = 0;
   double mean_batch_size = 0;
   double tokens_per_s = 0;  // generated tokens / makespan
+  double served_per_s = 0;  // served requests / makespan (goodput)
 };
 
 ServingSummary summarize_serving(const std::vector<RequestStats>& stats);

@@ -1,5 +1,6 @@
 #include "kernels/attention.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 #include <limits>
@@ -73,6 +74,68 @@ void attention_fused(std::span<const float> q, const KVCache& cache,
             }
             simd::scale_add(o, 1.0f / denom, 0.0f, o, hd);
           }
+        }
+      });
+}
+
+void attention_fused_ragged(std::span<const float> q, const KVArena& arena,
+                            std::int64_t layer,
+                            std::span<const std::int32_t> slots,
+                            std::span<const std::int32_t> positions,
+                            std::span<float> out) {
+  const std::int64_t tokens = static_cast<std::int64_t>(slots.size());
+  if (positions.size() != slots.size()) {
+    throw std::invalid_argument("attention ragged: slots/positions mismatch");
+  }
+  const std::int64_t heads = arena.heads();
+  const std::int64_t hd = arena.head_dim();
+  const auto need = static_cast<std::size_t>(tokens * heads * hd);
+  if (q.size() < need || out.size() < need) {
+    throw std::invalid_argument("attention ragged: span too small");
+  }
+  std::int64_t max_kv = 0;
+  for (std::int64_t t = 0; t < tokens; ++t) {
+    const std::int64_t pos = positions[static_cast<std::size_t>(t)];
+    if (pos < 0 || pos >= arena.seq_len(layer, slots[static_cast<std::size_t>(t)])) {
+      throw std::invalid_argument(
+          "attention ragged: position outside the slot's cached history");
+    }
+    max_kv = std::max(max_kv, pos + 1);
+  }
+  const float scale = 1.0f / std::sqrt(static_cast<float>(hd));
+
+  // Grain as in attention_fused: one (token, head) item costs
+  // ~4 * kv_len * hd flops; decode-sized calls stay inline.
+  const std::int64_t th_flops = 4 * max_kv * hd;
+  const std::size_t grain = static_cast<std::size_t>(std::max<std::int64_t>(
+      1, (1 << 16) / std::max<std::int64_t>(1, th_flops)));
+  ThreadPool::global().parallel_for(
+      0, static_cast<std::size_t>(tokens * heads), grain,
+      [&](std::size_t th_begin, std::size_t th_end) {
+        std::vector<float> scores(static_cast<std::size_t>(max_kv));
+        for (std::size_t th = th_begin; th < th_end; ++th) {
+          const std::int64_t t = static_cast<std::int64_t>(th) / heads;
+          const std::int64_t h = static_cast<std::int64_t>(th) % heads;
+          const std::int64_t slot = slots[static_cast<std::size_t>(t)];
+          const std::int64_t kv_len =
+              positions[static_cast<std::size_t>(t)] + 1;
+          const float* kbase = arena.keys(layer, slot, h).data();
+          const float* vbase = arena.values(layer, slot, h).data();
+          const float* qv = q.data() + (t * heads + h) * hd;
+          for (std::int64_t j = 0; j < kv_len; ++j) {
+            scores[static_cast<std::size_t>(j)] =
+                simd::dot(qv, kbase + j * hd, hd);
+          }
+          simd::scale_add(scores.data(), scale, 0.0f, scores.data(), kv_len);
+          const float mx = simd::reduce_max(scores.data(), kv_len);
+          const float denom = simd::exp_sum_inplace(scores.data(), kv_len, mx);
+          float* o = out.data() + (t * heads + h) * hd;
+          std::memset(o, 0, static_cast<std::size_t>(hd) * sizeof(float));
+          for (std::int64_t j = 0; j < kv_len; ++j) {
+            simd::axpy(scores[static_cast<std::size_t>(j)], vbase + j * hd, o,
+                       hd);
+          }
+          simd::scale_add(o, 1.0f / denom, 0.0f, o, hd);
         }
       });
 }

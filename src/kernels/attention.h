@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <span>
 
+#include "kernels/kv_arena.h"
 #include "kernels/kv_cache.h"
 
 namespace dsinfer::kernels {
@@ -31,5 +32,18 @@ void attention_fused(std::span<const float> q, const KVCache& cache,
 void attention_unfused(std::span<const float> q, const KVCache& cache,
                        std::span<float> out, std::int64_t q_len,
                        bool causal = true);
+
+// Ragged fused attention for continuous batching: row t of q (layout
+// [tokens, heads*head_dim]) belongs to arena slot slots[t] at absolute
+// position positions[t] and attends causally over that slot's cached
+// positions [0, positions[t]] at `layer` — which must already hold row t's
+// own key/value (append happens before attention, as with KVCache). The
+// per-(token, head) reduction order is identical to attention_fused, so a
+// ragged batch reproduces the uniform path bit-for-bit.
+void attention_fused_ragged(std::span<const float> q, const KVArena& arena,
+                            std::int64_t layer,
+                            std::span<const std::int32_t> slots,
+                            std::span<const std::int32_t> positions,
+                            std::span<float> out);
 
 }  // namespace dsinfer::kernels

@@ -1,0 +1,130 @@
+#include "kernels/kv_arena.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace dsinfer::kernels {
+
+KVArena::KVArena(std::int64_t layers, std::int64_t slots, std::int64_t heads,
+                 std::int64_t head_dim, std::int64_t max_seq)
+    : layers_(layers), slots_(slots), heads_(heads), head_dim_(head_dim),
+      max_seq_(max_seq) {
+  if (layers < 1 || slots < 1 || heads < 1 || head_dim < 1 || max_seq < 1) {
+    throw std::invalid_argument("KVArena: all dimensions must be positive");
+  }
+  const auto n =
+      static_cast<std::size_t>(layers * slots * heads * max_seq * head_dim);
+  k_.reset(n);
+  v_.reset(n);
+  len_.assign(static_cast<std::size_t>(layers * slots), 0);
+  used_.assign(static_cast<std::size_t>(slots), 0);
+  free_.reserve(static_cast<std::size_t>(slots));
+  // LIFO list with slot 0 on top: acquire order is 0, 1, 2, ...
+  for (std::int64_t s = slots - 1; s >= 0; --s) free_.push_back(s);
+}
+
+std::int64_t KVArena::acquire() {
+  if (free_.empty()) return -1;
+  const std::int64_t slot = free_.back();
+  free_.pop_back();
+  used_[static_cast<std::size_t>(slot)] = 1;
+  ++total_acquires_;
+  return slot;
+}
+
+void KVArena::release(std::int64_t slot) {
+  if (slot < 0 || slot >= slots_ || !used_[static_cast<std::size_t>(slot)]) {
+    throw std::invalid_argument("KVArena::release: slot not in use");
+  }
+  used_[static_cast<std::size_t>(slot)] = 0;
+  for (std::int64_t l = 0; l < layers_; ++l) {
+    len_[static_cast<std::size_t>(l * slots_ + slot)] = 0;
+  }
+  free_.push_back(slot);
+}
+
+bool KVArena::in_use(std::int64_t slot) const {
+  return slot >= 0 && slot < slots_ && used_[static_cast<std::size_t>(slot)];
+}
+
+void KVArena::check_slot(std::int64_t layer, std::int64_t slot) const {
+  if (layer < 0 || layer >= layers_) {
+    throw std::invalid_argument("KVArena: layer out of range");
+  }
+  if (!in_use(slot)) {
+    throw std::invalid_argument("KVArena: slot not in use");
+  }
+}
+
+std::int64_t KVArena::seq_len(std::int64_t layer, std::int64_t slot) const {
+  check_slot(layer, slot);
+  return len_[static_cast<std::size_t>(layer * slots_ + slot)];
+}
+
+void KVArena::append(std::int64_t layer, std::int64_t slot,
+                     std::span<const float> k, std::span<const float> v,
+                     std::int64_t tokens) {
+  check_slot(layer, slot);
+  const auto need = static_cast<std::size_t>(tokens * heads_ * head_dim_);
+  if (tokens < 1 || k.size() < need || v.size() < need) {
+    throw std::invalid_argument("KVArena::append: span too small");
+  }
+  auto& len = len_[static_cast<std::size_t>(layer * slots_ + slot)];
+  if (len + tokens > max_seq_) {
+    throw std::length_error("KVArena::append: exceeds max_seq");
+  }
+  for (std::int64_t t = 0; t < tokens; ++t) {
+    const float* ksrc = k.data() + t * heads_ * head_dim_;
+    const float* vsrc = v.data() + t * heads_ * head_dim_;
+    for (std::int64_t h = 0; h < heads_; ++h) {
+      const std::int64_t off = strip(layer, slot, h) + (len + t) * head_dim_;
+      std::memcpy(k_.data() + off, ksrc + h * head_dim_,
+                  static_cast<std::size_t>(head_dim_) * sizeof(float));
+      std::memcpy(v_.data() + off, vsrc + h * head_dim_,
+                  static_cast<std::size_t>(head_dim_) * sizeof(float));
+    }
+  }
+  len += tokens;
+}
+
+void KVArena::rewind(std::int64_t slot, std::int64_t len) {
+  check_slot(0, slot);
+  if (len < 0) {
+    throw std::invalid_argument("KVArena::rewind: negative length");
+  }
+  for (std::int64_t l = 0; l < layers_; ++l) {
+    auto& n = len_[static_cast<std::size_t>(l * slots_ + slot)];
+    if (n > len) n = len;
+  }
+}
+
+std::span<const float> KVArena::keys(std::int64_t layer, std::int64_t slot,
+                                     std::int64_t head) const {
+  check_slot(layer, slot);
+  const auto len = len_[static_cast<std::size_t>(layer * slots_ + slot)];
+  return {k_.data() + strip(layer, slot, head),
+          static_cast<std::size_t>(len * head_dim_)};
+}
+
+std::span<const float> KVArena::values(std::int64_t layer, std::int64_t slot,
+                                       std::int64_t head) const {
+  check_slot(layer, slot);
+  const auto len = len_[static_cast<std::size_t>(layer * slots_ + slot)];
+  return {v_.data() + strip(layer, slot, head),
+          static_cast<std::size_t>(len * head_dim_)};
+}
+
+std::size_t KVArena::bytes_in_use() const {
+  std::size_t rows = 0;
+  for (std::int64_t s = 0; s < slots_; ++s) {
+    if (!used_[static_cast<std::size_t>(s)]) continue;
+    for (std::int64_t l = 0; l < layers_; ++l) {
+      rows += static_cast<std::size_t>(
+          len_[static_cast<std::size_t>(l * slots_ + s)]);
+    }
+  }
+  return 2 * rows * static_cast<std::size_t>(heads_ * head_dim_) *
+         sizeof(float);
+}
+
+}  // namespace dsinfer::kernels

@@ -1,0 +1,91 @@
+// Slot-granular key/value storage shared by the sequences of a continuous
+// batch (ISSUE 4). Where KVCache stores one rigid [batch, heads, max_seq,
+// head_dim] block with a single batch-wide length, the arena holds `slots`
+// independent per-sequence slots for every layer, each with its own length,
+// and recycles slots as sequences retire — so sequences of different ages
+// and lengths coexist in one engine iteration (iteration-level scheduling;
+// cf. the full-stack inference survey's batching discussion).
+//
+// Layout per (layer, slot, head) is a contiguous [max_seq, head_dim] strip,
+// the same stream-once-per-token pattern attention reads from KVCache.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/aligned_buffer.h"
+
+namespace dsinfer::kernels {
+
+class KVArena {
+ public:
+  KVArena() = default;
+  KVArena(std::int64_t layers, std::int64_t slots, std::int64_t heads,
+          std::int64_t head_dim, std::int64_t max_seq);
+
+  // Slot lifecycle. acquire() returns -1 when every slot is in use; release
+  // zeroes the slot's lengths and makes it reusable (LIFO, cache-warm).
+  std::int64_t acquire();
+  void release(std::int64_t slot);
+  bool in_use(std::int64_t slot) const;
+
+  std::int64_t layers() const { return layers_; }
+  std::int64_t slots() const { return slots_; }
+  std::int64_t heads() const { return heads_; }
+  std::int64_t head_dim() const { return head_dim_; }
+  std::int64_t max_seq() const { return max_seq_; }
+  std::int64_t free_slots() const {
+    return static_cast<std::int64_t>(free_.size());
+  }
+  std::int64_t active_slots() const { return slots_ - free_slots(); }
+  // Lifetime acquire count — the slot-churn signal obs exports.
+  std::int64_t total_acquires() const { return total_acquires_; }
+
+  // Cached positions of `slot` at `layer`. Layers advance one by one inside
+  // an engine iteration; between iterations every layer agrees, and the
+  // layer-0 value is that common logical sequence length.
+  std::int64_t seq_len(std::int64_t layer, std::int64_t slot) const;
+  std::int64_t seq_len(std::int64_t slot) const { return seq_len(0, slot); }
+
+  // Appends `tokens` new positions to `slot` at `layer`. k/v are laid out
+  // [tokens, heads * head_dim] (projection output order, matching
+  // KVCache::append for batch = 1).
+  void append(std::int64_t layer, std::int64_t slot, std::span<const float> k,
+              std::span<const float> v, std::int64_t tokens);
+
+  // Rolls `slot` back to at most `len` cached positions at every layer —
+  // restores a consistent cross-layer state after a fault interrupts an
+  // iteration mid-stack (layers past the fault simply never advanced).
+  void rewind(std::int64_t slot, std::int64_t len);
+
+  // Contiguous [seq_len, head_dim] history for one (layer, slot, head).
+  std::span<const float> keys(std::int64_t layer, std::int64_t slot,
+                              std::int64_t head) const;
+  std::span<const float> values(std::int64_t layer, std::int64_t slot,
+                                std::int64_t head) const;
+
+  // Bytes currently live (K and V) across in-use slots.
+  std::size_t bytes_in_use() const;
+
+ private:
+  std::int64_t strip(std::int64_t layer, std::int64_t slot,
+                     std::int64_t head) const {
+    return (((layer * slots_) + slot) * heads_ + head) * max_seq_ * head_dim_;
+  }
+  void check_slot(std::int64_t layer, std::int64_t slot) const;
+
+  AlignedBuffer<float> k_;
+  AlignedBuffer<float> v_;
+  std::vector<std::int64_t> len_;    // [layers * slots]
+  std::vector<std::uint8_t> used_;   // [slots]
+  std::vector<std::int64_t> free_;   // LIFO free list
+  std::int64_t layers_ = 0;
+  std::int64_t slots_ = 0;
+  std::int64_t heads_ = 0;
+  std::int64_t head_dim_ = 0;
+  std::int64_t max_seq_ = 0;
+  std::int64_t total_acquires_ = 0;
+};
+
+}  // namespace dsinfer::kernels

@@ -48,6 +48,92 @@ void run_linear(std::span<const float> x, const Tensor& w,
   }
 }
 
+// Fusion region 1 plus the QKV split: fills scratch.q/k/v from x. Shared by
+// the uniform (KVCache) and ragged (KVArena) entry points; RoPE and the
+// cache append differ between them and stay with the callers.
+void layer_front(const LayerWeights& w, std::span<const float> x,
+                 std::int64_t tokens, const KernelPolicy& policy,
+                 LayerScratch& scratch) {
+  const std::int64_t H = w.hidden;
+  if (policy.fuse_elementwise) {
+    layernorm(x, w.ln1_g.span(), w.ln1_b.span(), scratch.normed.span(), tokens,
+              H);
+  } else {
+    layernorm_unfused(x, w.ln1_g.span(), w.ln1_b.span(), scratch.normed.span(),
+                      tokens, H);
+  }
+  run_linear(scratch.normed.span(), w.w_qkv, w.p_qkv, w.q_qkv,
+             scratch.qkv.span(), tokens, H, 3 * H, policy);
+
+  // Split QKV + add projection bias (part of the paper's fused region 2
+  // "transposition plus attention": in the fused path this is the only data
+  // reshuffle before attention; the unfused path pays it as well). Tokens
+  // shard across the pool — this sweep sits between two parallel GeMMs and
+  // would otherwise serialize a full pass over the QKV tensor.
+  const float* bq = w.b_qkv.data();
+  const std::size_t split_grain = static_cast<std::size_t>(
+      std::max<std::int64_t>(1, (1 << 15) / std::max<std::int64_t>(1, 3 * H)));
+  ThreadPool::global().parallel_for(
+      0, static_cast<std::size_t>(tokens), split_grain,
+      [&](std::size_t tb, std::size_t te) {
+        for (std::size_t t = tb; t < te; ++t) {
+          const float* src = scratch.qkv.data() + t * 3 * H;
+          simd::add_bias(src, bq, scratch.q.data() + t * H, H);
+          simd::add_bias(src + H, bq + H, scratch.k.data() + t * H, H);
+          simd::add_bias(src + 2 * H, bq + 2 * H, scratch.v.data() + t * H, H);
+        }
+      });
+}
+
+// Fusion regions 3/4: attention output projection + residual, then the FFN.
+// Consumes scratch.attn, updates x in place. Shared by both entry points.
+void layer_tail(const LayerWeights& w, std::span<float> x, std::int64_t tokens,
+                const KernelPolicy& policy, LayerScratch& scratch) {
+  const std::int64_t H = w.hidden;
+  const std::int64_t F = w.ffn;
+  run_linear(scratch.attn.span(), w.w_attn_out, w.p_attn_out, w.q_attn_out,
+             scratch.proj.span(), tokens, H, H, policy);
+  if (policy.fuse_elementwise) {
+    bias_residual(scratch.proj.span(), w.b_attn_out.span(), x, x, tokens, H);
+  } else {
+    // The pass-per-micro-op baseline cannot alias output and residual: it
+    // accumulates into the GeMM output and copies back (one more sweep, as a
+    // framework's out-of-place add would incur).
+    bias_residual_unfused(scratch.proj.span(), w.b_attn_out.span(), x,
+                          scratch.proj.span(), tokens, H);
+    std::memcpy(x.data(), scratch.proj.data(),
+                static_cast<std::size_t>(tokens * H) * sizeof(float));
+  }
+
+  if (policy.fuse_elementwise) {
+    layernorm(x, w.ln2_g.span(), w.ln2_b.span(), scratch.normed.span(), tokens,
+              H);
+  } else {
+    layernorm_unfused(x, w.ln2_g.span(), w.ln2_b.span(), scratch.normed.span(),
+                      tokens, H);
+  }
+  run_linear(scratch.normed.span(), w.w_fc1, w.p_fc1, w.q_fc1,
+             scratch.ffn1.span(), tokens, H, F, policy);
+  if (policy.fuse_elementwise) {
+    bias_gelu(scratch.ffn1.span(), w.b_fc1.span(), scratch.act.span(), tokens,
+              F);
+  } else {
+    bias_gelu_unfused(scratch.ffn1.span(), w.b_fc1.span(), scratch.act.span(),
+                      tokens, F);
+  }
+
+  run_linear(scratch.act.span(), w.w_fc2, w.p_fc2, w.q_fc2,
+             scratch.ffn2.span(), tokens, F, H, policy);
+  if (policy.fuse_elementwise) {
+    bias_residual(scratch.ffn2.span(), w.b_fc2.span(), x, x, tokens, H);
+  } else {
+    bias_residual_unfused(scratch.ffn2.span(), w.b_fc2.span(), x,
+                          scratch.ffn2.span(), tokens, H);
+    std::memcpy(x.data(), scratch.ffn2.data(),
+                static_cast<std::size_t>(tokens * H) * sizeof(float));
+  }
+}
+
 }  // namespace
 
 void LayerWeights::init_random(Rng& rng, std::int64_t hidden_dim,
@@ -136,34 +222,7 @@ void transformer_layer_forward(const LayerWeights& w, KVCache& cache,
   std::optional<simd::IsaOverrideGuard> isa_guard;
   if (policy.isa != simd::KernelIsa::kAuto) isa_guard.emplace(policy.isa);
 
-  // ---- Fusion region 1: input layernorm + QKV GeMM ----
-  if (policy.fuse_elementwise) {
-    layernorm(x, w.ln1_g.span(), w.ln1_b.span(), scratch.normed.span(), tokens, H);
-  } else {
-    layernorm_unfused(x, w.ln1_g.span(), w.ln1_b.span(), scratch.normed.span(),
-                      tokens, H);
-  }
-  run_linear(scratch.normed.span(), w.w_qkv, w.p_qkv, w.q_qkv,
-             scratch.qkv.span(), tokens, H, 3 * H, policy);
-
-  // Split QKV + add projection bias (part of the paper's fused region 2
-  // "transposition plus attention": in the fused path this is the only data
-  // reshuffle before attention; the unfused path pays it as well). Tokens
-  // shard across the pool — this sweep sits between two parallel GeMMs and
-  // would otherwise serialize a full pass over the QKV tensor.
-  const float* bq = w.b_qkv.data();
-  const std::size_t split_grain = static_cast<std::size_t>(
-      std::max<std::int64_t>(1, (1 << 15) / std::max<std::int64_t>(1, 3 * H)));
-  ThreadPool::global().parallel_for(
-      0, static_cast<std::size_t>(tokens), split_grain,
-      [&](std::size_t tb, std::size_t te) {
-        for (std::size_t t = tb; t < te; ++t) {
-          const float* src = scratch.qkv.data() + t * 3 * H;
-          simd::add_bias(src, bq, scratch.q.data() + t * H, H);
-          simd::add_bias(src + H, bq + H, scratch.k.data() + t * H, H);
-          simd::add_bias(src + 2 * H, bq + 2 * H, scratch.v.data() + t * H, H);
-        }
-      });
+  layer_front(w, x, tokens, policy, scratch);
   if (policy.use_rope) {
     // Rotate Q and K by their absolute positions before caching; the cached
     // keys then carry their rotation permanently, which is what makes RoPE
@@ -190,47 +249,65 @@ void transformer_layer_forward(const LayerWeights& w, KVCache& cache,
                       policy.causal);
   }
 
-  // Attention output projection + fused bias/residual (region 4).
-  run_linear(scratch.attn.span(), w.w_attn_out, w.p_attn_out, w.q_attn_out,
-             scratch.proj.span(), tokens, H, H, policy);
-  if (policy.fuse_elementwise) {
-    bias_residual(scratch.proj.span(), w.b_attn_out.span(), x, x, tokens, H);
-  } else {
-    // The pass-per-micro-op baseline cannot alias output and residual: it
-    // accumulates into the GeMM output and copies back (one more sweep, as a
-    // framework's out-of-place add would incur).
-    bias_residual_unfused(scratch.proj.span(), w.b_attn_out.span(), x,
-                          scratch.proj.span(), tokens, H);
-    std::memcpy(x.data(), scratch.proj.data(),
-                static_cast<std::size_t>(tokens * H) * sizeof(float));
+  layer_tail(w, x, tokens, policy, scratch);
+}
+
+void transformer_layer_forward_ragged(const LayerWeights& w, KVArena& arena,
+                                      std::int64_t layer,
+                                      std::span<const std::int32_t> slots,
+                                      std::span<const std::int32_t> positions,
+                                      std::span<float> x,
+                                      const KernelPolicy& policy,
+                                      LayerScratch& scratch) {
+  const std::int64_t tokens = static_cast<std::int64_t>(slots.size());
+  const std::int64_t H = w.hidden;
+  const std::int64_t F = w.ffn;
+  if (tokens < 1 || positions.size() != slots.size()) {
+    throw std::invalid_argument("ragged layer forward: bad slots/positions");
+  }
+  if (x.size() < static_cast<std::size_t>(tokens * H)) {
+    throw std::invalid_argument("ragged layer forward: x span too small");
+  }
+  scratch.ensure(tokens, H, F);
+
+  std::optional<simd::IsaOverrideGuard> isa_guard;
+  if (policy.isa != simd::KernelIsa::kAuto) isa_guard.emplace(policy.isa);
+
+  layer_front(w, x, tokens, policy, scratch);
+  if (policy.use_rope) {
+    apply_rope(scratch.q.span(), positions, w.heads, H / w.heads);
+    apply_rope(scratch.k.span(), positions, w.heads, H / w.heads);
   }
 
-  // ---- Fusion region 3: post-attention layernorm + intermediate GeMM ----
-  if (policy.fuse_elementwise) {
-    layernorm(x, w.ln2_g.span(), w.ln2_b.span(), scratch.normed.span(), tokens, H);
-  } else {
-    layernorm_unfused(x, w.ln2_g.span(), w.ln2_b.span(), scratch.normed.span(),
-                      tokens, H);
-  }
-  run_linear(scratch.normed.span(), w.w_fc1, w.p_fc1, w.q_fc1,
-             scratch.ffn1.span(), tokens, H, F, policy);
-  if (policy.fuse_elementwise) {
-    bias_gelu(scratch.ffn1.span(), w.b_fc1.span(), scratch.act.span(), tokens, F);
-  } else {
-    bias_gelu_unfused(scratch.ffn1.span(), w.b_fc1.span(), scratch.act.span(),
-                      tokens, F);
+  // Append each slot's run of new positions. Rows for one slot must be
+  // contiguous, in position order, and land exactly at the slot's current
+  // length — the scheduler guarantees this; misuse throws.
+  std::int64_t r0 = 0;
+  while (r0 < tokens) {
+    std::int64_t r1 = r0 + 1;
+    while (r1 < tokens &&
+           slots[static_cast<std::size_t>(r1)] ==
+               slots[static_cast<std::size_t>(r0)]) {
+      ++r1;
+    }
+    const std::int64_t slot = slots[static_cast<std::size_t>(r0)];
+    if (positions[static_cast<std::size_t>(r0)] != arena.seq_len(layer, slot)) {
+      throw std::invalid_argument(
+          "ragged layer forward: positions must extend the slot history");
+    }
+    const auto off = static_cast<std::size_t>(r0 * H);
+    const auto n = static_cast<std::size_t>((r1 - r0) * H);
+    arena.append(layer, slot, scratch.k.span().subspan(off, n),
+                 scratch.v.span().subspan(off, n), r1 - r0);
+    r0 = r1;
   }
 
-  run_linear(scratch.act.span(), w.w_fc2, w.p_fc2, w.q_fc2,
-             scratch.ffn2.span(), tokens, F, H, policy);
-  if (policy.fuse_elementwise) {
-    bias_residual(scratch.ffn2.span(), w.b_fc2.span(), x, x, tokens, H);
-  } else {
-    bias_residual_unfused(scratch.ffn2.span(), w.b_fc2.span(), x,
-                          scratch.ffn2.span(), tokens, H);
-    std::memcpy(x.data(), scratch.ffn2.data(),
-                static_cast<std::size_t>(tokens * H) * sizeof(float));
-  }
+  // Fusion region 2, ragged: always the fused form — the unfused variant
+  // exists only for the framework-baseline A/B, which serves uniform batches.
+  attention_fused_ragged(scratch.q.span(), arena, layer, slots, positions,
+                         scratch.attn.span());
+
+  layer_tail(w, x, tokens, policy, scratch);
 }
 
 }  // namespace dsinfer::kernels

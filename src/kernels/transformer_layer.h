@@ -9,6 +9,7 @@
 #include <span>
 
 #include "kernels/gemm.h"
+#include "kernels/kv_arena.h"
 #include "kernels/kv_cache.h"
 #include "kernels/quant.h"
 #include "kernels/simd.h"
@@ -95,5 +96,19 @@ void transformer_layer_forward(const LayerWeights& w, KVCache& cache,
                                std::span<float> x, std::int64_t batch,
                                std::int64_t q_len, const KernelPolicy& policy,
                                LayerScratch& scratch);
+
+// Ragged variant for continuous batching: row t of x = [tokens, hidden]
+// belongs to arena slot slots[t] at absolute position positions[t]. Rows of
+// one slot must be contiguous and extend the slot's history in order (the
+// prompt block at admission, or one row per live sequence at decode). The
+// block's keys/values append to `arena` at `layer` and each token attends
+// causally over its own slot history; attention always runs fused.
+void transformer_layer_forward_ragged(const LayerWeights& w, KVArena& arena,
+                                      std::int64_t layer,
+                                      std::span<const std::int32_t> slots,
+                                      std::span<const std::int32_t> positions,
+                                      std::span<float> x,
+                                      const KernelPolicy& policy,
+                                      LayerScratch& scratch);
 
 }  // namespace dsinfer::kernels

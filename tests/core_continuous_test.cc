@@ -1,0 +1,272 @@
+// Continuous-batching scheduler suite (ISSUE 4, ctest label `serving`):
+// RaggedDecoder semantics over the shared KV arena, window-vs-continuous
+// output equivalence on one trace, iteration-level admission/retirement, and
+// the resilience machinery (shed / degrade / retry) on the continuous path.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/inference_engine.h"
+#include "core/server.h"
+#include "core/workload.h"
+#include "util/fault_injector.h"
+
+namespace dsinfer::core {
+namespace {
+
+model::DenseModelConfig tiny() { return model::tiny_gpt(64, 2, 4); }
+
+ServerOptions sched_opts(Scheduler sched, std::int64_t max_batch = 4) {
+  ServerOptions o;
+  o.engine.policy = kernels::KernelPolicy::optimized_large_batch();
+  o.engine.max_batch = 8;
+  o.engine.max_seq = 64;
+  o.scheduler = sched;
+  o.max_batch = max_batch;
+  o.batch_window_s = sched == Scheduler::kWindow ? 0.02 : 0.0;
+  o.virtual_service.enabled = true;
+  return o;
+}
+
+TimedRequest req(std::int64_t id, std::vector<std::int32_t> prompt,
+                 std::int64_t new_tokens, double arrival) {
+  TimedRequest r;
+  r.id = id;
+  r.prompt = std::move(prompt);
+  r.new_tokens = new_tokens;
+  r.arrival_s = arrival;
+  return r;
+}
+
+std::vector<TimedRequest> mixed_trace() {
+  return {
+      req(0, {10, 20}, 4, 0.0),
+      req(1, {30, 40, 50}, 2, 0.001),
+      req(2, {1, 2, 3, 4}, 6, 0.002),
+      req(3, {10, 21}, 3, 0.01),
+      req(4, {7, 8, 9}, 5, 0.02),
+      req(5, {11, 12}, 2, 0.05),
+  };
+}
+
+TEST(RaggedDecoder, MatchesUniformGenerateBitwise) {
+  // Greedy continuation through the ragged kernels must be bit-identical to
+  // InferenceEngine::generate on the same weights — the property the
+  // window-vs-continuous equivalence rests on.
+  EngineOptions eopts;
+  eopts.policy = kernels::KernelPolicy::optimized_large_batch();
+  eopts.max_batch = 4;
+  eopts.max_seq = 64;
+  InferenceEngine engine(tiny(), eopts, 3);
+
+  const std::vector<std::vector<std::int32_t>> prompts = {{10, 20},
+                                                          {30, 40}};
+  auto uniform = engine.generate(prompts, 6);
+
+  RaggedDecoder dec(engine, /*slots=*/4);
+  const auto s0 = dec.admit(prompts[0], 6);
+  const auto s1 = dec.admit(prompts[1], 6);
+  ASSERT_GE(s0, 0);
+  ASSERT_GE(s1, 0);
+  while (dec.step() > 0) {
+  }
+  EXPECT_TRUE(dec.finished(s0));
+  EXPECT_TRUE(dec.finished(s1));
+  EXPECT_EQ(dec.tokens(s0), uniform.tokens[0]);
+  EXPECT_EQ(dec.tokens(s1), uniform.tokens[1]);
+}
+
+TEST(RaggedDecoder, SlotLifecycleAndCapacity) {
+  EngineOptions eopts;
+  eopts.max_batch = 4;
+  eopts.max_seq = 64;
+  InferenceEngine engine(tiny(), eopts, 3);
+  RaggedDecoder dec(engine, /*slots=*/2);
+  EXPECT_EQ(dec.capacity(), 2);
+  const auto a = dec.admit({1, 2}, 2);
+  const auto b = dec.admit({3, 4}, 2);
+  ASSERT_GE(a, 0);
+  ASSERT_GE(b, 0);
+  EXPECT_EQ(dec.free_slots(), 0);
+  EXPECT_EQ(dec.admit({5, 6}, 2), -1);  // arena full
+  while (dec.step() > 0) {
+  }
+  dec.retire(a);
+  EXPECT_EQ(dec.free_slots(), 1);
+  const auto c = dec.admit({5, 6}, 2);  // reuses the freed slot
+  EXPECT_EQ(c, a);
+  EXPECT_EQ(dec.total_admitted(), 3);
+}
+
+TEST(RaggedDecoder, RejectsUnsupportedEngineModes) {
+  EngineOptions tp;
+  tp.tensor_parallel = 2;
+  InferenceEngine tp_engine(tiny(), tp, 3);
+  EXPECT_THROW(RaggedDecoder(tp_engine, 2), std::invalid_argument);
+}
+
+TEST(ContinuousServer, TokensMatchWindowSchedulerOnSameTrace) {
+  // Same trace, same seed, no early stops: the two schedulers must produce
+  // identical token streams for every request — only the timing differs.
+  InferenceServer window(tiny(), sched_opts(Scheduler::kWindow), 9);
+  InferenceServer cont(tiny(), sched_opts(Scheduler::kContinuous), 9);
+  auto trace = mixed_trace();
+  auto ws = window.run_trace(trace);
+  auto cs = cont.run_trace(trace);
+  ASSERT_EQ(ws.size(), cs.size());
+  for (std::size_t i = 0; i < ws.size(); ++i) {
+    EXPECT_TRUE(ws[i].served());
+    EXPECT_TRUE(cs[i].served());
+    EXPECT_EQ(ws[i].tokens, cs[i].tokens) << "request " << i;
+  }
+}
+
+TEST(ContinuousServer, ServesExactRequestedLengths) {
+  InferenceServer server(tiny(), sched_opts(Scheduler::kContinuous), 9);
+  auto trace = mixed_trace();
+  auto stats = server.run_trace(trace);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(stats[i].tokens.size(),
+              trace[i].prompt.size() +
+                  static_cast<std::size_t>(trace[i].new_tokens));
+    EXPECT_FALSE(stats[i].stopped);
+    EXPECT_GE(stats[i].start_s, stats[i].arrival_s);
+    EXPECT_GT(stats[i].finish_s, stats[i].start_s);
+  }
+  EXPECT_EQ(server.counters().served,
+            static_cast<std::int64_t>(trace.size()));
+}
+
+TEST(ContinuousServer, EarlyStopRetiresWithoutPadding) {
+  // Learn a token the greedy decode actually emits, then rerun with it as
+  // the stop token: the sequence must truncate at its first occurrence —
+  // same prefix, no fabricated zeros after it.
+  auto opts = sched_opts(Scheduler::kContinuous);
+  InferenceServer plain(tiny(), opts, 9);
+  auto base = plain.run_trace({req(0, {10, 20}, 8, 0.0)});
+  const auto& toks = base[0].tokens;
+  ASSERT_EQ(toks.size(), 2u + 8u);
+  const std::int32_t stop = toks[2 + 3];  // 4th generated token
+  std::size_t first = 2;
+  while (toks[first] != stop) ++first;  // first generated occurrence
+
+  opts.sampling.stop_token = stop;
+  InferenceServer stopping(tiny(), opts, 9);
+  auto stats = stopping.run_trace({req(0, {10, 20}, 8, 0.0)});
+  ASSERT_TRUE(stats[0].served());
+  EXPECT_TRUE(stats[0].stopped);
+  ASSERT_EQ(stats[0].tokens.size(), first + 1);  // truncated at stop, incl.
+  for (std::size_t i = 0; i <= first; ++i) {
+    EXPECT_EQ(stats[0].tokens[i], toks[i]);
+  }
+}
+
+TEST(ContinuousServer, LateArrivalJoinsMidDecodeAndRetiresFirst) {
+  // Iteration-level scheduling: B arrives while A decodes, is admitted into
+  // a free slot between iterations, and — with a smaller budget — finishes
+  // before A does. A window batcher can only serve B after A's batch.
+  InferenceServer server(tiny(), sched_opts(Scheduler::kContinuous), 9);
+  auto a = req(0, {10, 20}, 10, 0.0);
+  auto b = req(1, {30, 40}, 2, 0.004);
+  auto stats = server.run_trace({a, b});
+  EXPECT_TRUE(stats[0].served());
+  EXPECT_TRUE(stats[1].served());
+  EXPECT_LT(stats[1].start_s, stats[0].finish_s);   // overlapped service
+  EXPECT_LT(stats[1].finish_s, stats[0].finish_s);  // retired first
+  EXPECT_EQ(stats[1].batch_size, 2);  // occupancy at B's admission
+}
+
+TEST(ContinuousServer, MoreRequestsThanSlotsAllServedFifo) {
+  InferenceServer server(tiny(),
+                         sched_opts(Scheduler::kContinuous, /*max_batch=*/2),
+                         9);
+  std::vector<TimedRequest> trace;
+  for (int i = 0; i < 5; ++i) {
+    trace.push_back(req(i, {10, static_cast<std::int32_t>(i)}, 3, 0.0));
+  }
+  auto stats = server.run_trace(trace);
+  for (const auto& s : stats) {
+    EXPECT_TRUE(s.served());
+    EXPECT_EQ(s.tokens.size(), 2u + 3u);
+  }
+  // FIFO admission: starts are non-decreasing in arrival (= id) order.
+  for (std::size_t i = 1; i < stats.size(); ++i) {
+    EXPECT_GE(stats[i].start_s, stats[i - 1].start_s);
+  }
+}
+
+TEST(ContinuousServer, AdmissionControlShedsImpossibleDeadline) {
+  auto opts = sched_opts(Scheduler::kContinuous);
+  opts.resilience.admission_control = true;
+  InferenceServer server(tiny(), opts, 9);
+  auto r = req(0, {10, 20}, 4, 0.25);
+  r.deadline_s = 0.25;  // service takes nonzero virtual time
+  auto stats = server.run_trace({std::move(r)});
+  EXPECT_EQ(stats[0].outcome, RequestStats::Outcome::kShed);
+  EXPECT_EQ(server.counters().sheds, 1);
+}
+
+TEST(ContinuousServer, OverloadRoutesLateArrivalsToDegradedLane) {
+  auto opts = sched_opts(Scheduler::kContinuous, /*max_batch=*/1);
+  opts.resilience.degrade_under_overload = true;
+  opts.resilience.overload_queue_s = 0.005;
+  InferenceServer server(tiny(), opts, 9);
+  std::vector<TimedRequest> trace;
+  for (int i = 0; i < 4; ++i) {
+    trace.push_back(req(i, {10, static_cast<std::int32_t>(i)}, 6, 0.0));
+  }
+  auto stats = server.run_trace(trace);
+  EXPECT_FALSE(stats[0].degraded);  // admitted immediately at full fidelity
+  EXPECT_GT(server.counters().degradations, 0);
+  bool any_degraded = false;
+  for (const auto& s : stats) {
+    EXPECT_TRUE(s.served());
+    any_degraded = any_degraded || s.degraded;
+    if (s.degraded) {
+      EXPECT_EQ(s.outcome, RequestStats::Outcome::kDegraded);
+    }
+  }
+  EXPECT_TRUE(any_degraded);
+}
+
+TEST(ContinuousServer, EngineFaultsExhaustRetryBudget) {
+  util::FaultInjector inj(42);
+  util::FaultSpec spec;
+  spec.fail_probability = 1.0;  // every invocation attempt fails
+  inj.configure("server.engine", spec);
+  auto opts = sched_opts(Scheduler::kContinuous);
+  opts.resilience.injector = &inj;
+  opts.resilience.max_retries = 2;
+  InferenceServer server(tiny(), opts, 9);
+  auto stats = server.run_trace({req(0, {10, 20}, 4, 0.0)});
+  EXPECT_EQ(stats[0].outcome, RequestStats::Outcome::kFailed);
+  EXPECT_EQ(stats[0].tokens, std::vector<std::int32_t>({10, 20}));
+  EXPECT_EQ(stats[0].retries, 2);
+  EXPECT_EQ(server.counters().failures, 1);
+  EXPECT_EQ(server.counters().engine_faults, 3);  // initial try + 2 retries
+}
+
+TEST(ContinuousServer, FaultBackoffIsDeterministicOnVirtualClock) {
+  // Two faults then success: the admission absorbs backoff_s * (1 + 2) of
+  // virtual backoff before the prefill lands.
+  util::FaultInjector inj(7);
+  util::FaultSpec spec;
+  spec.fail_first_n = 2;
+  inj.configure("server.engine", spec);
+  auto opts = sched_opts(Scheduler::kContinuous);
+  opts.resilience.injector = &inj;
+  opts.resilience.max_retries = 3;
+  opts.resilience.retry_backoff_s = 1e-3;
+  InferenceServer server(tiny(), opts, 9);
+  auto stats = server.run_trace({req(0, {10, 20}, 3, 0.0)});
+  ASSERT_TRUE(stats[0].served());
+  EXPECT_EQ(stats[0].retries, 2);
+  const auto& vs = opts.virtual_service;
+  const double expected = 1e-3 * (1 + 2)                 // backoff
+                          + vs.prefill_s                 // admission
+                          + vs.per_token_s * 2;          // 2 decode steps
+  EXPECT_NEAR(stats[0].finish_s - stats[0].start_s, expected, 1e-12);
+}
+
+}  // namespace
+}  // namespace dsinfer::core

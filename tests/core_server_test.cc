@@ -177,6 +177,90 @@ TEST(InferenceServer, MaxBatchOneServesEveryRequestSolo) {
   for (const auto& s : stats) EXPECT_EQ(s.batch_size, 1);
 }
 
+TEST(InferenceServer, EarlyStopTruncatesWithoutZeroPadding) {
+  // Regression (ISSUE 4): a sequence that emits the stop token early used to
+  // be resized up to prompt + new_tokens, fabricating zero tokens. Learn a
+  // token the greedy decode emits, rerun with it as the stop token, and
+  // require the exact truncated prefix.
+  InferenceServer plain(tiny(), base_opts(), 9);
+  auto base = plain.run_trace({req(1, {10, 20}, 8, 0.0)});
+  const auto& toks = base[0].tokens;
+  ASSERT_EQ(toks.size(), 2u + 8u);
+  EXPECT_FALSE(base[0].stopped);
+  const std::int32_t stop = toks[2 + 3];  // 4th generated token
+  std::size_t first = 2;
+  while (toks[first] != stop) ++first;  // its first generated occurrence
+
+  auto opts = base_opts();
+  opts.sampling.stop_token = stop;
+  InferenceServer stopping(tiny(), opts, 9);
+  auto stats = stopping.run_trace({req(1, {10, 20}, 8, 0.0)});
+  ASSERT_TRUE(stats[0].served());
+  EXPECT_TRUE(stats[0].stopped);
+  ASSERT_EQ(stats[0].tokens.size(), first + 1);  // truncated at stop, incl.
+  for (std::size_t i = 0; i <= first; ++i) {
+    EXPECT_EQ(stats[0].tokens[i], toks[i]);
+  }
+}
+
+TEST(InferenceServer, LateJoinerAdvancingStartTriggersDegradation) {
+  // Regression (ISSUE 4): the overload decision used to be made against the
+  // head's provisional start, before joiners inside the window pushed the
+  // real start past the overload threshold. Head at t=0, joiner at t=0.08
+  // with a 0.1 s window: the batch starts at 0.08 > overload_queue_s, so it
+  // must serve degraded.
+  auto opts = base_opts(4, 0.1);
+  opts.resilience.degrade_under_overload = true;
+  opts.resilience.overload_queue_s = 0.05;
+  opts.virtual_service.enabled = true;
+  InferenceServer server(tiny(), opts, 9);
+  auto stats = server.run_trace({
+      req(1, {10, 20}, 2, 0.0),
+      req(2, {30, 40}, 2, 0.08),
+  });
+  EXPECT_EQ(stats[0].batch_size, 2);
+  EXPECT_TRUE(stats[0].degraded);
+  EXPECT_TRUE(stats[1].degraded);
+  EXPECT_EQ(stats[0].outcome, RequestStats::Outcome::kDegraded);
+  EXPECT_EQ(server.counters().degradations, 2);
+}
+
+TEST(InferenceServer, DegradedBatchTrimsToHalfCapacity) {
+  // When the (full-capacity) batch tips into overload, it serves on the
+  // degraded engine at half size; the trimmed joiners are re-batched later.
+  auto opts = base_opts(4, 0.1);
+  opts.resilience.degrade_under_overload = true;
+  opts.resilience.overload_queue_s = 0.05;
+  opts.virtual_service.enabled = true;
+  InferenceServer server(tiny(), opts, 9);
+  std::vector<TimedRequest> trace;
+  trace.push_back(req(0, {10, 20}, 2, 0.0));
+  for (int i = 1; i < 4; ++i) {
+    trace.push_back(req(i, {30, static_cast<std::int32_t>(i)}, 2, 0.08));
+  }
+  auto stats = server.run_trace(trace);
+  EXPECT_TRUE(stats[0].degraded);
+  EXPECT_EQ(stats[0].batch_size, 2);  // max_batch 4 -> degraded cap 2
+  for (const auto& s : stats) EXPECT_TRUE(s.served());
+}
+
+TEST(InferenceServer, MeasuredServiceEstimateScalesWithRequestedTokens) {
+  // Regression (ISSUE 4): the measured-mode estimator was a single EWMA of
+  // whole-batch service time, so a 100-token request predicted the same
+  // service as a 10-token one. The split base/per-token estimator must
+  // scale with the ask.
+  InferenceServer server(tiny(), base_opts(), 9);  // measured mode
+  server.run_trace({req(1, {10, 20}, 8, 0.0)});
+  const double e10 = server.estimate_service_s(10, false);
+  const double e100 = server.estimate_service_s(100, false);
+  EXPECT_GT(e10, 0.0);
+  EXPECT_GT(e100, e10);
+  // And it keeps scaling after more observations.
+  server.run_trace({req(2, {10, 21}, 4, 0.0)});
+  EXPECT_GT(server.estimate_service_s(100, false),
+            server.estimate_service_s(10, false));
+}
+
 TEST(InferenceServer, DeadlineEqualToArrivalIsShedUnderAdmissionControl) {
   auto opts = base_opts();
   opts.resilience.admission_control = true;

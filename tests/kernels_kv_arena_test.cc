@@ -1,0 +1,119 @@
+// KVArena unit suite (ISSUE 4): slot lifecycle and reuse, per-layer length
+// tracking, append layout against the strip views, rewind after a faulted
+// iteration, and the accounting the continuous batcher exports.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "kernels/kv_arena.h"
+
+namespace dsinfer::kernels {
+namespace {
+
+KVArena small() {
+  return KVArena(/*layers=*/2, /*slots=*/3, /*heads=*/2, /*head_dim=*/4,
+                 /*max_seq=*/8);
+}
+
+// k/v block for `tokens` positions in projection order [tokens, heads*hd],
+// filled with a recognizable ramp starting at `base`.
+std::vector<float> ramp(std::int64_t tokens, float base) {
+  std::vector<float> v(static_cast<std::size_t>(tokens * 2 * 4));
+  std::iota(v.begin(), v.end(), base);
+  return v;
+}
+
+TEST(KVArena, AcquireReleaseReuse) {
+  auto a = small();
+  EXPECT_EQ(a.free_slots(), 3);
+  EXPECT_EQ(a.acquire(), 0);
+  EXPECT_EQ(a.acquire(), 1);
+  EXPECT_EQ(a.acquire(), 2);
+  EXPECT_EQ(a.acquire(), -1);  // full
+  EXPECT_EQ(a.active_slots(), 3);
+  a.release(1);
+  EXPECT_TRUE(a.in_use(0));
+  EXPECT_FALSE(a.in_use(1));
+  EXPECT_EQ(a.acquire(), 1);  // LIFO reuse of the freed slot
+  EXPECT_EQ(a.total_acquires(), 4);
+}
+
+TEST(KVArena, PerSlotLengthsAreIndependent) {
+  auto a = small();
+  const auto s0 = a.acquire();
+  const auto s1 = a.acquire();
+  a.append(0, s0, ramp(3, 0), ramp(3, 100), 3);
+  a.append(0, s1, ramp(1, 0), ramp(1, 100), 1);
+  EXPECT_EQ(a.seq_len(0, s0), 3);
+  EXPECT_EQ(a.seq_len(0, s1), 1);
+  EXPECT_EQ(a.seq_len(1, s0), 0);  // other layer untouched
+  a.release(s0);
+  const auto s2 = a.acquire();  // same storage as s0
+  EXPECT_EQ(s2, s0);
+  EXPECT_EQ(a.seq_len(0, s2), 0);  // release zeroed the lengths
+}
+
+TEST(KVArena, AppendLayoutMatchesHeadStrips) {
+  auto a = small();
+  const auto s = a.acquire();
+  // Two positions at once: row t holds heads side by side.
+  a.append(0, s, ramp(2, 0), ramp(2, 100), 2);
+  const auto k0 = a.keys(0, s, 0);
+  const auto k1 = a.keys(0, s, 1);
+  ASSERT_EQ(k0.size(), 2u * 4u);
+  // Position 0: head 0 = [0..3], head 1 = [4..7]; position 1 shifts by 8.
+  EXPECT_EQ(k0[0], 0.0f);
+  EXPECT_EQ(k1[0], 4.0f);
+  EXPECT_EQ(k0[4], 8.0f);
+  EXPECT_EQ(k1[4], 12.0f);
+  const auto v1 = a.values(0, s, 1);
+  EXPECT_EQ(v1[0], 104.0f);
+  // A later single-position append lands behind the first two.
+  a.append(0, s, ramp(1, 50), ramp(1, 150), 1);
+  EXPECT_EQ(a.keys(0, s, 0)[8], 50.0f);
+  EXPECT_EQ(a.seq_len(0, s), 3);
+}
+
+TEST(KVArena, RewindRestoresConsistentLengths) {
+  auto a = small();
+  const auto s = a.acquire();
+  a.append(0, s, ramp(2, 0), ramp(2, 100), 2);
+  a.append(1, s, ramp(2, 0), ramp(2, 100), 2);
+  // Simulate a fault mid-iteration: layer 0 advanced, layer 1 did not.
+  a.append(0, s, ramp(1, 50), ramp(1, 150), 1);
+  EXPECT_NE(a.seq_len(0, s), a.seq_len(1, s));
+  a.rewind(s, 2);
+  EXPECT_EQ(a.seq_len(0, s), 2);
+  EXPECT_EQ(a.seq_len(1, s), 2);
+  a.rewind(s, 5);  // never extends
+  EXPECT_EQ(a.seq_len(0, s), 2);
+}
+
+TEST(KVArena, BytesInUseTracksLiveRows) {
+  auto a = small();
+  EXPECT_EQ(a.bytes_in_use(), 0u);
+  const auto s = a.acquire();
+  a.append(0, s, ramp(2, 0), ramp(2, 100), 2);
+  // 2 rows * heads(2) * head_dim(4) floats, K and V.
+  EXPECT_EQ(a.bytes_in_use(), 2u * 2u * 2u * 4u * sizeof(float));
+  a.release(s);
+  EXPECT_EQ(a.bytes_in_use(), 0u);
+}
+
+TEST(KVArena, Validation) {
+  EXPECT_THROW(KVArena(0, 1, 1, 1, 1), std::invalid_argument);
+  auto a = small();
+  EXPECT_THROW(a.release(0), std::invalid_argument);  // not in use
+  EXPECT_THROW(a.seq_len(0, 0), std::invalid_argument);
+  const auto s = a.acquire();
+  EXPECT_THROW(a.seq_len(7, s), std::invalid_argument);  // bad layer
+  EXPECT_THROW(a.append(0, s, ramp(1, 0), ramp(1, 0), 0),
+               std::invalid_argument);  // no tokens
+  auto big = ramp(9, 0);
+  EXPECT_THROW(a.append(0, s, big, big, 9), std::length_error);  // > max_seq
+  EXPECT_THROW(a.rewind(s, -1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dsinfer::kernels
