@@ -1,0 +1,50 @@
+// Typed configuration diagnostics for the spec API (ISSUE 5).
+//
+// EngineSpec::validate() / ServeSpec::validate() return ConfigError values —
+// one per violated constraint — instead of throwing on the first problem the
+// way the legacy option-struct constructors did. The deprecated constructor
+// shims translate the first error into a ConfigException, which still IS-A
+// std::invalid_argument, so every pre-existing catch/EXPECT_THROW site keeps
+// working unchanged.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace dsinfer::core {
+
+struct ConfigError {
+  enum class Code {
+    kBadTensorParallel,            // tensor_parallel < 1
+    kTpIndivisible,                // tp does not divide heads and ffn
+    kStreamInt8NeedsStreaming,     // stream_int8 without stream_weights
+    kStreamingWithTensorParallel,  // stream_weights with tp > 1
+    kBadStreamWindow,              // stream_window < 1 while streaming
+    kBadStreamRetries,             // stream_max_retries < 0
+    kBadEngineLimit,               // engine max_batch/max_seq < 1
+    kBadServeBatch,                // server max_batch outside [1, engine max]
+    kNegativeBatchWindow,          // batch_window_s < 0
+    kBadResilience,                // negative retries/backoff/overload queue
+    kBadSlots,                     // decoder slots < 1
+  };
+
+  Code code = Code::kBadEngineLimit;
+  std::string message;
+};
+
+// Thrown by the deprecated constructor shims (and the spec-based
+// constructors) when validation fails; carries the first typed error.
+class ConfigException : public std::invalid_argument {
+ public:
+  explicit ConfigException(ConfigError err)
+      : std::invalid_argument(err.message), err_(std::move(err)) {}
+
+  const ConfigError& error() const { return err_; }
+  ConfigError::Code code() const { return err_.code; }
+
+ private:
+  ConfigError err_;
+};
+
+}  // namespace dsinfer::core

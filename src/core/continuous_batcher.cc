@@ -4,6 +4,7 @@
 #include <string>
 #include <utility>
 
+#include "comm/collectives.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/stats.h"
@@ -88,6 +89,12 @@ void ContinuousBatcher::run(const std::vector<TimedRequest>& requests,
           measured_s = sw.elapsed_s();
           return true;
         } catch (const zero::StreamFault&) {
+          fault = true;
+        } catch (const comm::CommFault&) {
+          // A rank fault on the TP ragged path (ISSUE 5). The decoder has
+          // already rewound every arena shard, and each fused step runs on a
+          // fresh DeviceGroup, so the retry starts from a clean
+          // communicator.
           fault = true;
         }
       }

@@ -1,0 +1,187 @@
+#include "core/engine_spec.h"
+
+#include <utility>
+
+namespace dsinfer::core {
+
+namespace {
+
+void add(std::vector<ConfigError>& errs, ConfigError::Code code,
+         std::string message) {
+  errs.push_back(ConfigError{code, std::move(message)});
+}
+
+}  // namespace
+
+EngineSpec::EngineSpec(model::DenseModelConfig cfg) : cfg_(std::move(cfg)) {}
+
+EngineSpec& EngineSpec::policy(const kernels::KernelPolicy& p) {
+  opts_.policy = p;
+  return *this;
+}
+EngineSpec& EngineSpec::tensor_parallel(std::int64_t tp) {
+  opts_.tensor_parallel = tp;
+  return *this;
+}
+EngineSpec& EngineSpec::stream_weights(bool on) {
+  opts_.stream_weights = on;
+  return *this;
+}
+EngineSpec& EngineSpec::stream_window(std::int64_t layers) {
+  opts_.stream_window = layers;
+  return *this;
+}
+EngineSpec& EngineSpec::stream_int8(bool on) {
+  opts_.stream_int8 = on;
+  return *this;
+}
+EngineSpec& EngineSpec::kv_offload(bool on) {
+  opts_.kv_offload = on;
+  return *this;
+}
+EngineSpec& EngineSpec::max_batch(std::int64_t n) {
+  opts_.max_batch = n;
+  return *this;
+}
+EngineSpec& EngineSpec::max_seq(std::int64_t n) {
+  opts_.max_seq = n;
+  return *this;
+}
+EngineSpec& EngineSpec::fault_injector(util::FaultInjector* inj) {
+  opts_.fault_injector = inj;
+  return *this;
+}
+EngineSpec& EngineSpec::stream_max_retries(std::int64_t n) {
+  opts_.stream_max_retries = n;
+  return *this;
+}
+
+std::vector<ConfigError> EngineSpec::validate() const {
+  std::vector<ConfigError> errs;
+  if (opts_.tensor_parallel < 1) {
+    add(errs, ConfigError::Code::kBadTensorParallel,
+        "EngineSpec: tensor_parallel must be >= 1");
+  } else if (opts_.tensor_parallel > 1 &&
+             (cfg_.heads % opts_.tensor_parallel != 0 ||
+              cfg_.ffn() % opts_.tensor_parallel != 0)) {
+    add(errs, ConfigError::Code::kTpIndivisible,
+        "EngineSpec: tensor_parallel must divide heads and ffn");
+  }
+  if (opts_.stream_int8 && !opts_.stream_weights) {
+    add(errs, ConfigError::Code::kStreamInt8NeedsStreaming,
+        "EngineSpec: stream_int8 requires stream_weights");
+  }
+  if (opts_.stream_weights && opts_.tensor_parallel > 1) {
+    add(errs, ConfigError::Code::kStreamingWithTensorParallel,
+        "EngineSpec: weight streaming and tensor parallelism are mutually "
+        "exclusive (ZeRO-Inference scales data-parallel; see DESIGN.md)");
+  }
+  if (opts_.stream_weights && opts_.stream_window < 1) {
+    add(errs, ConfigError::Code::kBadStreamWindow,
+        "EngineSpec: stream_window must be >= 1 when streaming");
+  }
+  if (opts_.stream_max_retries < 0) {
+    add(errs, ConfigError::Code::kBadStreamRetries,
+        "EngineSpec: stream_max_retries must be >= 0");
+  }
+  if (opts_.max_batch < 1 || opts_.max_seq < 1) {
+    add(errs, ConfigError::Code::kBadEngineLimit,
+        "EngineSpec: max_batch and max_seq must be >= 1");
+  }
+  return errs;
+}
+
+EngineSpec EngineSpec::from_options(const model::DenseModelConfig& cfg,
+                                    const EngineOptions& opts) {
+  EngineSpec spec(cfg);
+  spec.opts_ = opts;
+  return spec;
+}
+
+ServeSpec::ServeSpec(EngineSpec engine) : engine_(std::move(engine)) {
+  opts_.engine = engine_.options();
+}
+
+ServeSpec& ServeSpec::scheduler(Scheduler s) {
+  opts_.scheduler = s;
+  return *this;
+}
+ServeSpec& ServeSpec::max_batch(std::int64_t n) {
+  opts_.max_batch = n;
+  return *this;
+}
+ServeSpec& ServeSpec::batch_window_s(double s) {
+  opts_.batch_window_s = s;
+  return *this;
+}
+ServeSpec& ServeSpec::sampling(const SamplingOptions& s) {
+  opts_.sampling = s;
+  return *this;
+}
+ServeSpec& ServeSpec::admission_control(bool on) {
+  opts_.resilience.admission_control = on;
+  return *this;
+}
+ServeSpec& ServeSpec::degrade_under_overload(bool on, double overload_queue_s) {
+  opts_.resilience.degrade_under_overload = on;
+  opts_.resilience.overload_queue_s = overload_queue_s;
+  return *this;
+}
+ServeSpec& ServeSpec::retries(std::int64_t max_retries, double backoff_s) {
+  opts_.resilience.max_retries = max_retries;
+  opts_.resilience.retry_backoff_s = backoff_s;
+  return *this;
+}
+ServeSpec& ServeSpec::fault_injector(util::FaultInjector* inj,
+                                     const std::string& engine_site) {
+  opts_.resilience.injector = inj;
+  opts_.resilience.engine_site = engine_site;
+  return *this;
+}
+ServeSpec& ServeSpec::virtual_service(const VirtualServiceModel& vs) {
+  opts_.virtual_service = vs;
+  return *this;
+}
+
+std::vector<ConfigError> ServeSpec::validate() const {
+  std::vector<ConfigError> errs = engine_.validate();
+  if (opts_.max_batch < 1 || opts_.max_batch > opts_.engine.max_batch) {
+    add(errs, ConfigError::Code::kBadServeBatch,
+        "ServeSpec: max_batch must be in [1, engine.max_batch]");
+  }
+  if (opts_.batch_window_s < 0) {
+    add(errs, ConfigError::Code::kNegativeBatchWindow,
+        "ServeSpec: negative batch window");
+  }
+  if (opts_.resilience.max_retries < 0 ||
+      opts_.resilience.retry_backoff_s < 0 ||
+      opts_.resilience.overload_queue_s < 0) {
+    add(errs, ConfigError::Code::kBadResilience,
+        "ServeSpec: bad resilience options");
+  }
+  if (errs.empty() && opts_.scheduler == Scheduler::kContinuous) {
+    // Probe the continuous substrate at this spec's slot count; since
+    // ISSUE 5 the ragged path composes with TP and kv_offload, so this only
+    // fires for genuinely unsupported combinations.
+    const auto caps =
+        RaggedDecoder::Capabilities::supports(opts_.engine, opts_.max_batch);
+    if (!caps.ok) errs.push_back(caps.reason);
+  }
+  return errs;
+}
+
+ServeSpec ServeSpec::from_options(const model::DenseModelConfig& cfg,
+                                  const ServerOptions& opts) {
+  ServeSpec spec(EngineSpec::from_options(cfg, opts.engine));
+  spec.opts_ = opts;
+  return spec;
+}
+
+RaggedDecoder::Capabilities RaggedDecoder::Capabilities::supports(
+    const EngineSpec& spec, std::int64_t slots) {
+  auto errs = spec.validate();
+  if (!errs.empty()) return {false, std::move(errs.front())};
+  return supports(spec.options(), slots);
+}
+
+}  // namespace dsinfer::core

@@ -1,0 +1,98 @@
+// Unified configuration API (ISSUE 5, api_redesign).
+//
+// The engine/server knobs historically sprawled across EngineOptions,
+// ServerOptions, ResilienceOptions and VirtualServiceModel, each constructor
+// policing its own slice with ad-hoc std::invalid_argument throws. EngineSpec
+// and ServeSpec consolidate them: fluent setters build the configuration, a
+// single validate() reports every violated constraint as a typed
+// ConfigError, and the legacy option structs become thin views (options())
+// consumed by the engine/server internals. The old constructors remain as
+// deprecated shims that route through the specs, so existing call sites
+// compile unchanged and still see std::invalid_argument on bad input.
+//
+//   core::EngineSpec spec(model::tiny_gpt());
+//   spec.tensor_parallel(2).kv_offload(true).max_batch(8);
+//   if (auto errs = spec.validate(); !errs.empty()) { /* typed reasons */ }
+//   core::InferenceEngine engine(spec, /*seed=*/42);
+//
+//   core::ServeSpec serve(spec);
+//   serve.scheduler(core::Scheduler::kContinuous).max_batch(4);
+//   core::InferenceServer server(serve, /*seed=*/42);
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/config_error.h"
+#include "core/server.h"
+
+namespace dsinfer::core {
+
+class EngineSpec {
+ public:
+  explicit EngineSpec(model::DenseModelConfig cfg);
+
+  // Fluent setters (return *this so configurations chain).
+  EngineSpec& policy(const kernels::KernelPolicy& p);
+  EngineSpec& tensor_parallel(std::int64_t tp);
+  EngineSpec& stream_weights(bool on);
+  EngineSpec& stream_window(std::int64_t layers);
+  EngineSpec& stream_int8(bool on);
+  EngineSpec& kv_offload(bool on);
+  EngineSpec& max_batch(std::int64_t n);
+  EngineSpec& max_seq(std::int64_t n);
+  EngineSpec& fault_injector(util::FaultInjector* inj);
+  EngineSpec& stream_max_retries(std::int64_t n);
+
+  const model::DenseModelConfig& model() const { return cfg_; }
+  // The thin view the engine internals consume.
+  const EngineOptions& options() const { return opts_; }
+
+  // Every violated constraint, in a stable order; empty means valid. Covers
+  // each rejection the legacy InferenceEngine constructor threw, plus basic
+  // limit sanity the old path deferred to first use.
+  std::vector<ConfigError> validate() const;
+
+  // Bridges the deprecated constructor shims onto the spec path.
+  static EngineSpec from_options(const model::DenseModelConfig& cfg,
+                                 const EngineOptions& opts);
+
+ private:
+  model::DenseModelConfig cfg_;
+  EngineOptions opts_;
+};
+
+class ServeSpec {
+ public:
+  explicit ServeSpec(EngineSpec engine);
+
+  ServeSpec& scheduler(Scheduler s);
+  ServeSpec& max_batch(std::int64_t n);
+  ServeSpec& batch_window_s(double s);
+  ServeSpec& sampling(const SamplingOptions& s);
+  ServeSpec& admission_control(bool on);
+  ServeSpec& degrade_under_overload(bool on, double overload_queue_s = 0.0);
+  ServeSpec& retries(std::int64_t max_retries, double backoff_s = 1e-3);
+  ServeSpec& fault_injector(util::FaultInjector* inj,
+                            const std::string& engine_site = "server.engine");
+  ServeSpec& virtual_service(const VirtualServiceModel& vs);
+
+  const EngineSpec& engine() const { return engine_; }
+  const ServerOptions& options() const { return opts_; }
+
+  // Engine errors first (a server is only as valid as its engine), then the
+  // server-level constraints the legacy InferenceServer constructor threw,
+  // then — for the continuous scheduler — the RaggedDecoder capability probe
+  // at this spec's slot count.
+  std::vector<ConfigError> validate() const;
+
+  static ServeSpec from_options(const model::DenseModelConfig& cfg,
+                                const ServerOptions& opts);
+
+ private:
+  EngineSpec engine_;
+  ServerOptions opts_;
+};
+
+}  // namespace dsinfer::core

@@ -4,6 +4,7 @@
 #include <functional>
 #include <stdexcept>
 
+#include "core/engine_spec.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "parallel/device_group.h"
@@ -13,29 +14,20 @@ namespace dsinfer::core {
 
 using kernels::KVCache;
 
+InferenceEngine::InferenceEngine(const EngineSpec& spec, std::uint64_t seed)
+    : opts_(spec.options()), sample_rng_(seed) {
+  if (auto errs = spec.validate(); !errs.empty()) {
+    throw ConfigException(std::move(errs.front()));
+  }
+  init(spec.model(), seed);
+}
+
 InferenceEngine::InferenceEngine(const model::DenseModelConfig& cfg,
                                  EngineOptions opts, std::uint64_t seed)
-    : opts_(opts), sample_rng_(seed) {
-  if (opts_.tensor_parallel < 1) {
-    throw std::invalid_argument("EngineOptions: tensor_parallel >= 1");
-  }
-  if (opts_.kv_offload && opts_.tensor_parallel > 1) {
-    throw std::invalid_argument(
-        "EngineOptions: kv_offload is supported on the single-device path");
-  }
-  if (opts_.stream_int8 && !opts_.stream_weights) {
-    throw std::invalid_argument("EngineOptions: stream_int8 needs stream_weights");
-  }
-  if (opts_.stream_weights && opts_.tensor_parallel > 1) {
-    throw std::invalid_argument(
-        "EngineOptions: weight streaming and tensor parallelism are mutually "
-        "exclusive (ZeRO-Inference scales data-parallel; see DESIGN.md)");
-  }
-  if (opts_.tensor_parallel > 1 &&
-      (cfg.heads % opts_.tensor_parallel != 0 ||
-       cfg.ffn() % opts_.tensor_parallel != 0)) {
-    throw std::invalid_argument("EngineOptions: tp must divide heads and ffn");
-  }
+    : InferenceEngine(EngineSpec::from_options(cfg, opts), seed) {}
+
+void InferenceEngine::init(const model::DenseModelConfig& cfg,
+                           std::uint64_t seed) {
   Rng rng(seed);
   weights_.init_random(rng, cfg);
 
@@ -156,6 +148,50 @@ void InferenceEngine::run_layers_ragged(std::span<float> x,
   }
 }
 
+void InferenceEngine::run_layers_ragged_tp(
+    std::span<float> x, std::span<const std::int32_t> slots,
+    std::span<const std::int32_t> positions,
+    std::vector<kernels::KVArena>& arenas, std::vector<float>& xr,
+    std::vector<parallel::TpScratch>& scratches) {
+  const std::int64_t tp = opts_.tensor_parallel;
+  if (tp < 2 || streamer_) {
+    throw std::logic_error("run_layers_ragged_tp: needs resident TP shards");
+  }
+  const std::int64_t tokens = static_cast<std::int64_t>(slots.size());
+  const auto n = static_cast<std::size_t>(tokens * config().hidden);
+  xr.resize(static_cast<std::size_t>(tp - 1) * n);
+  for (std::int64_t r = 0; r + 1 < tp; ++r) {
+    std::memcpy(xr.data() + static_cast<std::size_t>(r) * n, x.data(),
+                n * sizeof(float));
+  }
+  // Fresh group per fused step: a Communicator is poisoned forever after a
+  // CommFault, so per-call groups let the batcher retry a faulted step on a
+  // clean communicator while the injector's schedule advances.
+  comm::CommOptions copts;
+  copts.injector = opts_.fault_injector;
+  parallel::DeviceGroup group(tp, copts);
+  group.run([&](std::int64_t rank, comm::Communicator& comm) {
+    obs::TraceScope rank_scope(
+        "engine", obs::trace_enabled()
+                      ? "ragged tp step r" + std::to_string(rank)
+                      : std::string());
+    std::span<float> xs =
+        rank == 0 ? x.subspan(0, n)
+                  : std::span<float>(
+                        xr.data() + static_cast<std::size_t>(rank - 1) * n, n);
+    auto& per_rank = shards_[static_cast<std::size_t>(rank)];
+    for (std::size_t l = 0; l < per_rank.size(); ++l) {
+      obs::TraceScope layer_scope(
+          "engine", obs::trace_enabled() ? "layer " + std::to_string(l)
+                                         : std::string());
+      parallel::tp_layer_forward_ragged(
+          per_rank[l], arenas[static_cast<std::size_t>(rank)],
+          static_cast<std::int64_t>(l), slots, positions, xs, opts_.policy,
+          scratches[static_cast<std::size_t>(rank)], comm, rank);
+    }
+  });
+}
+
 GenerationResult InferenceEngine::generate(
     const std::vector<std::vector<std::int32_t>>& prompts,
     std::int64_t new_tokens, const SamplingOptions& sampling,
@@ -249,6 +285,9 @@ GenerationResult InferenceEngine::generate(
     std::vector<std::vector<std::vector<std::int32_t>>> outs(
         static_cast<std::size_t>(tp), res.tokens);
     std::vector<double> prompt_times(static_cast<std::size_t>(tp), 0.0);
+    // Each rank round-trips its own head slice between steps (kv_offload);
+    // summed after the join so the member ledger is updated race-free.
+    std::vector<std::size_t> offload_moved(static_cast<std::size_t>(tp), 0);
     parallel::DeviceGroup group(tp);
     group.run([&](std::int64_t rank, comm::Communicator& comm) {
       std::vector<KVCache> caches;
@@ -258,6 +297,24 @@ GenerationResult InferenceEngine::generate(
                             config().head_dim(), total_len);
       }
       parallel::TpScratch scratch;
+      std::vector<float> host_k, host_v;
+      auto offload_cycle = [&]() {
+        if (!opts_.kv_offload) return;
+        DSI_TRACE_SCOPE("engine", "kv_offload");
+        for (auto& c : caches) {
+          const auto n = static_cast<std::size_t>(c.batch() * c.heads() *
+                                                  c.seq_len() * c.head_dim());
+          if (n == 0) continue;
+          host_k.resize(n);
+          host_v.resize(n);
+          const std::int64_t len = c.seq_len();
+          c.export_state(host_k, host_v);
+          c.reset();
+          c.import_state(host_k, host_v, len);
+          offload_moved[static_cast<std::size_t>(rank)] +=
+              4 * n * sizeof(float);  // out + back, K and V
+        }
+      };
       auto layer_fn = [&](std::span<float> x, std::int64_t q_len) {
         auto& per_rank = shards_[static_cast<std::size_t>(rank)];
         for (std::size_t l = 0; l < per_rank.size(); ++l) {
@@ -268,12 +325,21 @@ GenerationResult InferenceEngine::generate(
                                      B, q_len, opts_.policy, scratch, comm,
                                      rank);
         }
+        offload_cycle();
       };
       drive(layer_fn, outs[static_cast<std::size_t>(rank)],
             &prompt_times[static_cast<std::size_t>(rank)], rank == 0);
     });
     res.tokens = outs[0];
     res.prompt_seconds = prompt_times[0];
+    if (opts_.kv_offload) {
+      std::size_t moved = 0;
+      for (auto m : offload_moved) moved += m;
+      kv_offload_bytes_ += moved;
+      static obs::Counter& kv_bytes =
+          obs::MetricsRegistry::instance().counter("engine.kv_offload.bytes");
+      kv_bytes.add(static_cast<std::int64_t>(moved));
+    }
   } else {
     std::vector<KVCache> caches;
     const std::int64_t layers =
@@ -387,31 +453,94 @@ void InferenceEngine::forward_logits(
   weights_.lm_head(last, logits, B);
 }
 
+RaggedDecoder::Capabilities RaggedDecoder::Capabilities::supports(
+    const EngineOptions& opts, std::int64_t slots) {
+  if (slots < 1) {
+    return {false,
+            {ConfigError::Code::kBadSlots, "RaggedDecoder: slots must be >= 1"}};
+  }
+  if (opts.tensor_parallel < 1) {
+    return {false,
+            {ConfigError::Code::kBadTensorParallel,
+             "RaggedDecoder: tensor_parallel must be >= 1"}};
+  }
+  // Since ISSUE 5 every engine substrate — resident, streamed, tensor-
+  // parallel, kv_offload — is serveable on the ragged path.
+  return {};
+}
+
 RaggedDecoder::RaggedDecoder(InferenceEngine& engine, std::int64_t slots,
                              const SamplingOptions& sampling,
                              std::uint64_t seed)
     : eng_(engine), slots_(slots), sampling_(sampling), rng_(seed) {
-  if (slots < 1) {
-    throw std::invalid_argument("RaggedDecoder: slots >= 1");
-  }
+  const auto caps = Capabilities::supports(engine.options(), slots);
+  if (!caps.ok) throw ConfigException(caps.reason);
   const auto& opts = engine.options();
-  if (opts.tensor_parallel > 1) {
-    throw std::invalid_argument(
-        "RaggedDecoder: tensor parallelism needs per-rank arenas (unsupported)");
-  }
-  if (opts.kv_offload) {
-    throw std::invalid_argument(
-        "RaggedDecoder: kv_offload is a uniform-batch feature");
-  }
   const auto& cfg = engine.config();
+  const std::int64_t tp = opts.tensor_parallel;
   const std::int64_t max_seq = std::min(opts.max_seq, cfg.max_seq);
-  arena_ = kernels::KVArena(engine.layer_count(), slots, cfg.heads,
-                            cfg.head_dim(), max_seq);
+  // One head-slice shard per virtual rank; at tp == 1 the single shard is
+  // the whole arena. Slot lifecycle is mirrored across shards, so the LIFO
+  // free lists stay identical by construction.
+  arenas_.reserve(static_cast<std::size_t>(tp));
+  for (std::int64_t r = 0; r < tp; ++r) {
+    arenas_.emplace_back(engine.layer_count(), slots, cfg.heads / tp,
+                         cfg.head_dim(), max_seq);
+  }
+  if (tp > 1) scratches_.resize(static_cast<std::size_t>(tp));
+  if (opts.kv_offload) {
+    offload_ = std::make_unique<zero::ArenaOffloadLedger>(tp);
+  }
   seqs_.resize(static_cast<std::size_t>(slots));
 }
 
+std::size_t RaggedDecoder::offload_bytes(std::int64_t rank) const {
+  return offload_ ? offload_->bytes(rank) : 0;
+}
+
+std::int64_t RaggedDecoder::acquire_all() {
+  const std::int64_t slot = arenas_[0].acquire();
+  if (slot < 0) return -1;
+  for (std::size_t r = 1; r < arenas_.size(); ++r) {
+    if (arenas_[r].acquire() != slot) {
+      throw std::logic_error("RaggedDecoder: arena shards diverged");
+    }
+  }
+  return slot;
+}
+
+void RaggedDecoder::release_all(std::int64_t slot) {
+  for (auto& a : arenas_) a.release(slot);
+}
+
+void RaggedDecoder::rewind_all(std::int64_t slot, std::int64_t len) {
+  for (auto& a : arenas_) a.rewind(slot, len);
+}
+
+void RaggedDecoder::run_ragged(std::span<const std::int32_t> slots,
+                               std::span<const std::int32_t> positions) {
+  if (arenas_.size() > 1) {
+    eng_.run_layers_ragged_tp(x_, slots, positions, arenas_, xr_, scratches_);
+  } else {
+    eng_.run_layers_ragged(x_, slots, positions, arenas_[0]);
+  }
+}
+
+void RaggedDecoder::offload_cycle() {
+  if (!offload_) return;
+  DSI_TRACE_SCOPE("engine", "kv_offload");
+  std::size_t moved = 0;
+  for (std::size_t r = 0; r < arenas_.size(); ++r) {
+    moved += offload_->round_trip(arenas_[r], static_cast<std::int64_t>(r));
+  }
+  eng_.kv_offload_bytes_ += moved;
+  static obs::Counter& kv_bytes =
+      obs::MetricsRegistry::instance().counter("engine.kv_offload.bytes");
+  kv_bytes.add(static_cast<std::int64_t>(moved));
+}
+
 const RaggedDecoder::Seq& RaggedDecoder::checked(std::int64_t slot) const {
-  if (!arena_.in_use(slot)) {
+  if (!arenas_[0].in_use(slot)) {
     throw std::invalid_argument("RaggedDecoder: slot not active");
   }
   return seqs_[static_cast<std::size_t>(slot)];
@@ -426,10 +555,10 @@ std::int64_t RaggedDecoder::admit(const std::vector<std::int32_t>& prompt,
   if (prompt.empty()) throw std::invalid_argument("admit: empty prompt");
   if (max_new < 1) throw std::invalid_argument("admit: max_new >= 1");
   const std::int64_t P = static_cast<std::int64_t>(prompt.size());
-  if (P + max_new > arena_.max_seq()) {
+  if (P + max_new > arenas_[0].max_seq()) {
     throw std::invalid_argument("admit: sequence exceeds max_seq");
   }
-  const std::int64_t slot = arena_.acquire();
+  const std::int64_t slot = acquire_all();
   if (slot < 0) return -1;
 
   DSI_TRACE_SCOPE("engine", "prefill");
@@ -450,11 +579,12 @@ std::int64_t RaggedDecoder::admit(const std::vector<std::int32_t>& prompt,
   x_.resize(static_cast<std::size_t>(P * H));
   eng_.weights_.embed(toks_, poss_, x_);
   try {
-    eng_.run_layers_ragged(x_, slot_ids_, poss_, arena_);
+    run_ragged(slot_ids_, poss_);
   } catch (...) {
-    // A fault mid-stack (e.g. zero::StreamFault) must not leak the slot:
-    // release it so the caller can retry the admission cleanly.
-    arena_.release(slot);
+    // A fault mid-stack (zero::StreamFault, comm::CommFault) must not leak
+    // the slot: release every shard so the caller can retry the admission
+    // cleanly.
+    release_all(slot);
     throw;
   }
 
@@ -468,6 +598,7 @@ std::int64_t RaggedDecoder::admit(const std::vector<std::int32_t>& prompt,
   seq.next_tok = tok;
   seq.generated = 1;
   seq.stopped = sampling_.stop_token >= 0 && tok == sampling_.stop_token;
+  offload_cycle();
   return slot;
 }
 
@@ -476,7 +607,7 @@ std::int64_t RaggedDecoder::step() {
   // history, independent of retirement order.
   slot_ids_.clear();
   for (std::int64_t s = 0; s < slots_; ++s) {
-    if (arena_.in_use(s) && !finished(s)) {
+    if (arenas_[0].in_use(s) && !finished(s)) {
       slot_ids_.push_back(static_cast<std::int32_t>(s));
     }
   }
@@ -495,19 +626,20 @@ std::int64_t RaggedDecoder::step() {
     toks_[static_cast<std::size_t>(i)] =
         seqs_[static_cast<std::size_t>(slot)].next_tok;
     poss_[static_cast<std::size_t>(i)] =
-        static_cast<std::int32_t>(arena_.seq_len(slot));
+        static_cast<std::int32_t>(arenas_[0].seq_len(slot));
   }
   x_.resize(static_cast<std::size_t>(n * H));
   eng_.weights_.embed(toks_, poss_, x_);
   try {
-    eng_.run_layers_ragged(x_, slot_ids_, poss_, arena_);
+    run_ragged(slot_ids_, poss_);
   } catch (...) {
     // A fault mid-stack leaves the early layers one position ahead of the
-    // rest; rewind every live slot to its pre-step length so a retry sees a
-    // consistent arena.
+    // rest; rewind every live slot on every shard to its pre-step length so
+    // a retry sees a consistent arena (the all-reduce barriers keep ranks in
+    // lockstep, so every shard appended the same layers before the fault).
     for (std::int64_t i = 0; i < n; ++i) {
-      arena_.rewind(slot_ids_[static_cast<std::size_t>(i)],
-                    poss_[static_cast<std::size_t>(i)]);
+      rewind_all(slot_ids_[static_cast<std::size_t>(i)],
+                 poss_[static_cast<std::size_t>(i)]);
     }
     throw;
   }
@@ -524,6 +656,7 @@ std::int64_t RaggedDecoder::step() {
       seq.stopped = true;
     }
   }
+  offload_cycle();
   return n;
 }
 
@@ -547,7 +680,7 @@ const std::vector<std::int32_t>& RaggedDecoder::tokens(
 
 void RaggedDecoder::retire(std::int64_t slot) {
   checked(slot);  // validates
-  arena_.release(slot);
+  release_all(slot);
 }
 
 std::vector<std::int32_t> byte_tokenize(const std::string& text) {

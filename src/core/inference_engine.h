@@ -17,14 +17,24 @@
 #include <string>
 #include <vector>
 
+#include "core/config_error.h"
 #include "core/gpt_model.h"
 #include "kernels/kv_arena.h"
 #include "kernels/kv_cache.h"
 #include "parallel/tensor_parallel.h"
+#include "zero/kv_offload.h"
 #include "zero/offload.h"
 
 namespace dsinfer::core {
 
+class EngineSpec;  // core/engine_spec.h — the validated configuration API
+
+// Thin view of an engine configuration (ISSUE 5): build one through
+// core::EngineSpec (fluent setters + typed validate()) and pass the spec to
+// InferenceEngine. Filling the struct by hand and using the legacy
+// constructor still works — that path is a deprecated shim that routes
+// through EngineSpec::validate() and throws ConfigException (IS-A
+// std::invalid_argument) on the first error.
 struct EngineOptions {
   kernels::KernelPolicy policy = kernels::KernelPolicy::optimized_small_batch();
   // >1 shards every layer Megatron-style across virtual devices (threads).
@@ -70,7 +80,14 @@ struct GenerationResult {
 class InferenceEngine {
  public:
   // Builds a randomly initialized model (this reproduction has no trained
-  // checkpoints; all evaluation is performance- and correctness-oriented).
+  // checkpoints; all evaluation is performance- and correctness-oriented)
+  // from a validated spec. Throws ConfigException if spec.validate() is
+  // non-empty.
+  explicit InferenceEngine(const EngineSpec& spec, std::uint64_t seed = 0x5eed);
+
+  // Deprecated shim: prefer InferenceEngine(EngineSpec). Routes through
+  // EngineSpec::validate() and throws ConfigException (a
+  // std::invalid_argument) on the first violated constraint.
   InferenceEngine(const model::DenseModelConfig& cfg, EngineOptions opts,
                   std::uint64_t seed = 0x5eed);
 
@@ -105,6 +122,10 @@ class InferenceEngine {
  private:
   friend class RaggedDecoder;
 
+  // Shared constructor body: builds weights and the execution substrate.
+  // Callers have already validated opts_.
+  void init(const model::DenseModelConfig& cfg, std::uint64_t seed);
+
   struct Plan {
     std::int64_t batch = 0;
     std::int64_t prompt_len = 0;
@@ -121,6 +142,20 @@ class InferenceEngine {
                          std::span<const std::int32_t> slots,
                          std::span<const std::int32_t> positions,
                          kernels::KVArena& arena);
+
+  // Tensor-parallel ragged block (ISSUE 5): one fused step across every
+  // rank, with arenas[r] holding rank r's head-slice shard. Spawns a fresh
+  // DeviceGroup per call — a Communicator is poisoned forever after a
+  // CommFault, so per-call groups are what make retry-after-fault possible.
+  // On return x (rank 0's replica) holds the updated activations; xr and
+  // scratches are caller-owned per-rank working storage, reused across
+  // calls.
+  void run_layers_ragged_tp(std::span<float> x,
+                            std::span<const std::int32_t> slots,
+                            std::span<const std::int32_t> positions,
+                            std::vector<kernels::KVArena>& arenas,
+                            std::vector<float>& xr,
+                            std::vector<parallel::TpScratch>& scratches);
 
   EngineOptions opts_;
   GptWeights weights_;
@@ -145,21 +180,45 @@ class InferenceEngine {
 //
 // Greedy token streams are bit-identical to InferenceEngine::generate on the
 // same weights (the ragged kernels preserve per-token reduction order).
-// Supported on the single-device resident and ZeRO-streamed paths; tensor
-// parallelism and kv_offload are rejected (per-rank arenas are future work).
+// Supported on the single-device resident, ZeRO-streamed, tensor-parallel,
+// and kv_offload paths (ISSUE 5): with tensor_parallel > 1 the decoder keeps
+// one head-slice arena shard per virtual rank and drives the rank group in
+// lockstep — one decode iteration is one fused step across ranks, with slot
+// lifecycle (admit/retire/fault-rewind) decided once and applied to every
+// shard; with kv_offload each rank round-trips its slots' KV strips through
+// the zero::ArenaOffloadLedger between iterations.
 class RaggedDecoder {
  public:
+  // Feature probe (ISSUE 5 api_redesign): benches and the server ask
+  // whether a configuration is serveable on the ragged path instead of
+  // catch-and-fallback. ok == false carries the first typed reason.
+  struct Capabilities {
+    bool ok = true;
+    ConfigError reason{};  // meaningful only when !ok
+    explicit operator bool() const { return ok; }
+
+    // Probes an already-constructed engine's options at `slots` arena slots.
+    static Capabilities supports(const EngineOptions& opts,
+                                 std::int64_t slots = 1);
+    // Probes a spec before any engine exists (defined with EngineSpec in
+    // core/engine_spec.cc).
+    static Capabilities supports(const EngineSpec& spec,
+                                 std::int64_t slots = 1);
+  };
+
   // `slots` bounds concurrent sequences; `max_seq` per slot follows the
-  // engine's limits. Sampling applies to every sequence.
+  // engine's limits. Sampling applies to every sequence. Throws
+  // ConfigException when !Capabilities::supports(engine.options(), slots)
+  // (the legacy throw path, preserved through the shim).
   RaggedDecoder(InferenceEngine& engine, std::int64_t slots,
                 const SamplingOptions& sampling = {},
                 std::uint64_t seed = 0x5eed);
 
   std::int64_t capacity() const { return slots_; }
-  std::int64_t free_slots() const { return arena_.free_slots(); }
-  std::int64_t active() const { return arena_.active_slots(); }
+  std::int64_t free_slots() const { return arenas_[0].free_slots(); }
+  std::int64_t active() const { return arenas_[0].active_slots(); }
   // Lifetime admissions (slot churn).
-  std::int64_t total_admitted() const { return arena_.total_acquires(); }
+  std::int64_t total_admitted() const { return arenas_[0].total_acquires(); }
 
   // Prefill: runs `prompt` through the model and samples the sequence's
   // first token. Returns the slot id, or -1 when no slot is free. The
@@ -180,7 +239,14 @@ class RaggedDecoder {
   const std::vector<std::int32_t>& tokens(std::int64_t slot) const;
   void retire(std::int64_t slot);
 
-  const kernels::KVArena& arena() const { return arena_; }
+  // Rank 0's arena shard (the full arena at tensor_parallel == 1). Slot
+  // lifecycle and lengths agree across shards by construction.
+  const kernels::KVArena& arena() const { return arenas_[0]; }
+  std::int64_t rank_count() const {
+    return static_cast<std::int64_t>(arenas_.size());
+  }
+  // Per-rank PCIe bytes moved by the ragged offload path (kv_offload only).
+  std::size_t offload_bytes(std::int64_t rank) const;
 
  private:
   struct Seq {
@@ -193,16 +259,29 @@ class RaggedDecoder {
   };
   const Seq& checked(std::int64_t slot) const;
   std::int32_t sample_row(std::span<const float> logits_row);
+  // Applies one lifecycle op to every rank's shard (lockstep).
+  std::int64_t acquire_all();
+  void release_all(std::int64_t slot);
+  void rewind_all(std::int64_t slot, std::int64_t len);
+  // Runs the live tokens through the layer stack on the configured
+  // substrate (single device or the TP rank group).
+  void run_ragged(std::span<const std::int32_t> slots,
+                  std::span<const std::int32_t> positions);
+  // Host round-trip of every live slot's KV strips, per rank (kv_offload).
+  void offload_cycle();
 
   InferenceEngine& eng_;
   std::int64_t slots_ = 0;
   SamplingOptions sampling_;
   Rng rng_;
-  kernels::KVArena arena_;
+  std::vector<kernels::KVArena> arenas_;  // one shard per virtual TP rank
   std::vector<Seq> seqs_;
+  std::unique_ptr<zero::ArenaOffloadLedger> offload_;  // kv_offload only
   // Reused per-call buffers: the decode loop is allocation-free at steady
   // state.
   std::vector<float> x_;
+  std::vector<float> xr_;  // ranks >= 1 activation replicas (TP only)
+  std::vector<parallel::TpScratch> scratches_;
   std::vector<float> logits_;
   std::vector<std::int32_t> toks_, poss_, slot_ids_;
 };

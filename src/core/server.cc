@@ -6,6 +6,7 @@
 #include <string>
 
 #include "core/continuous_batcher.h"
+#include "core/engine_spec.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/stats.h"
@@ -28,18 +29,16 @@ InferenceServer::InferenceServer(const model::DenseModelConfig& cfg,
                                  ServerOptions opts, std::uint64_t seed)
     : cfg_(cfg), opts_(std::move(opts)), seed_(seed),
       engine_(cfg, opts_.engine, seed) {
-  if (opts_.max_batch < 1 || opts_.max_batch > opts_.engine.max_batch) {
-    throw std::invalid_argument(
-        "ServerOptions: max_batch must be in [1, engine.max_batch]");
-  }
-  if (opts_.batch_window_s < 0) {
-    throw std::invalid_argument("ServerOptions: negative batch window");
-  }
-  if (opts_.resilience.max_retries < 0 || opts_.resilience.retry_backoff_s < 0 ||
-      opts_.resilience.overload_queue_s < 0) {
-    throw std::invalid_argument("ServerOptions: bad resilience options");
+  // Engine-level constraints already held (engine_ constructed above);
+  // validate() re-reports them plus the server-level ones with typed codes.
+  if (auto errs = ServeSpec::from_options(cfg_, opts_).validate();
+      !errs.empty()) {
+    throw ConfigException(std::move(errs.front()));
   }
 }
+
+InferenceServer::InferenceServer(const ServeSpec& spec, std::uint64_t seed)
+    : InferenceServer(spec.engine().model(), spec.options(), seed) {}
 
 InferenceEngine& InferenceServer::degraded_engine() {
   if (!degraded_) {

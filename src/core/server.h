@@ -162,8 +162,17 @@ struct ServingCounters {
   std::int64_t retries = 0;        // engine retries performed
 };
 
+class ServeSpec;  // core/engine_spec.h — the validated configuration API
+
 class InferenceServer {
  public:
+  // Preferred: build the configuration through core::ServeSpec (fluent
+  // setters + typed validate()). Throws ConfigException if validation fails.
+  explicit InferenceServer(const ServeSpec& spec, std::uint64_t seed = 0x5eed);
+
+  // Deprecated shim: prefer InferenceServer(ServeSpec). Routes through
+  // ServeSpec::validate() and throws ConfigException (a
+  // std::invalid_argument) on the first violated constraint.
   InferenceServer(const model::DenseModelConfig& cfg, ServerOptions opts,
                   std::uint64_t seed = 0x5eed);
 

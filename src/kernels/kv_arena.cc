@@ -114,6 +114,56 @@ std::span<const float> KVArena::values(std::int64_t layer, std::int64_t slot,
           static_cast<std::size_t>(len * head_dim_)};
 }
 
+std::int64_t KVArena::export_slot(std::int64_t slot, std::vector<float>& k,
+                                  std::vector<float>& v) const {
+  check_slot(0, slot);
+  const auto len = len_[static_cast<std::size_t>(slot)];
+  for (std::int64_t l = 1; l < layers_; ++l) {
+    if (len_[static_cast<std::size_t>(l * slots_ + slot)] != len) {
+      throw std::logic_error(
+          "KVArena::export_slot: layers disagree (mid-iteration state)");
+    }
+  }
+  const auto row = static_cast<std::size_t>(len * head_dim_);
+  k.resize(static_cast<std::size_t>(layers_ * heads_) * row);
+  v.resize(k.size());
+  std::size_t off = 0;
+  for (std::int64_t l = 0; l < layers_; ++l) {
+    for (std::int64_t h = 0; h < heads_; ++h) {
+      std::memcpy(k.data() + off, k_.data() + strip(l, slot, h),
+                  row * sizeof(float));
+      std::memcpy(v.data() + off, v_.data() + strip(l, slot, h),
+                  row * sizeof(float));
+      off += row;
+    }
+  }
+  return len;
+}
+
+void KVArena::import_slot(std::int64_t slot, std::span<const float> k,
+                          std::span<const float> v, std::int64_t len) {
+  check_slot(0, slot);
+  if (len < 0 || len > max_seq_) {
+    throw std::invalid_argument("KVArena::import_slot: bad length");
+  }
+  const auto row = static_cast<std::size_t>(len * head_dim_);
+  const auto need = static_cast<std::size_t>(layers_ * heads_) * row;
+  if (k.size() < need || v.size() < need) {
+    throw std::invalid_argument("KVArena::import_slot: span too small");
+  }
+  std::size_t off = 0;
+  for (std::int64_t l = 0; l < layers_; ++l) {
+    for (std::int64_t h = 0; h < heads_; ++h) {
+      std::memcpy(k_.data() + strip(l, slot, h), k.data() + off,
+                  row * sizeof(float));
+      std::memcpy(v_.data() + strip(l, slot, h), v.data() + off,
+                  row * sizeof(float));
+      off += row;
+    }
+    len_[static_cast<std::size_t>(l * slots_ + slot)] = len;
+  }
+}
+
 std::size_t KVArena::bytes_in_use() const {
   std::size_t rows = 0;
   for (std::int64_t s = 0; s < slots_; ++s) {

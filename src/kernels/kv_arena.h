@@ -68,6 +68,20 @@ class KVArena {
   // Bytes currently live (K and V) across in-use slots.
   std::size_t bytes_in_use() const;
 
+  // Host offload round-trip for one in-use slot (ISSUE 5): export_slot packs
+  // every layer's cached K/V history into `k`/`v` (resizing them to
+  // layers * len * heads * head_dim floats, [layer, head, pos, head_dim]
+  // strip order) and returns the common per-layer length; import_slot writes
+  // the same packing back. Together they model the device->host->device trip
+  // the uniform path performs through OffloadableKVCache, for arenas that
+  // are sharded per TP rank (each rank round-trips its own head slice).
+  // Both require every layer of the slot to agree on seq_len (the steady
+  // state between engine iterations).
+  std::int64_t export_slot(std::int64_t slot, std::vector<float>& k,
+                           std::vector<float>& v) const;
+  void import_slot(std::int64_t slot, std::span<const float> k,
+                   std::span<const float> v, std::int64_t len);
+
  private:
   std::int64_t strip(std::int64_t layer, std::int64_t slot,
                      std::int64_t head) const {

@@ -11,6 +11,10 @@ namespace dsinfer::parallel {
 
 DeviceGroup::DeviceGroup(std::int64_t num_devices) : comm_(num_devices) {}
 
+DeviceGroup::DeviceGroup(std::int64_t num_devices,
+                         const comm::CommOptions& opts)
+    : comm_(num_devices, opts) {}
+
 void DeviceGroup::run(
     const std::function<void(std::int64_t, comm::Communicator&)>& body) {
   std::vector<std::thread> threads;

@@ -15,6 +15,10 @@ namespace dsinfer::parallel {
 class DeviceGroup {
  public:
   explicit DeviceGroup(std::int64_t num_devices);
+  // With fault-injection / timeout options for the shared communicator
+  // (sites "comm.rank<r>"). A Communicator is poisoned forever after a
+  // fault, so fault-tolerant callers build a fresh group per retried step.
+  DeviceGroup(std::int64_t num_devices, const comm::CommOptions& opts);
 
   std::int64_t size() const { return comm_.size(); }
   comm::Communicator& communicator() { return comm_; }

@@ -26,12 +26,22 @@ StageMemory stage_memory(const model::DenseModelConfig& m,
                          std::int64_t stage_layers, std::int64_t tp,
                          std::int64_t batch, std::int64_t seq,
                          model::Dtype dtype, bool kv_offload) {
+  if (tp < 1) {
+    throw std::invalid_argument("stage_memory: tp must be >= 1");
+  }
+  if (stage_layers < 1 || stage_layers > m.layers) {
+    throw std::invalid_argument(
+        "stage_memory: stage_layers must be in [1, model layers]");
+  }
   StageMemory mem;
   mem.weight_gb = static_cast<double>(stage_layers) * m.layer_param_bytes(dtype) /
                   static_cast<double>(tp) / 1e9;
   if (!kv_offload) {
     // This stage caches only its own layers' K/V; tensor slicing splits the
-    // head dimension across the tp GPUs.
+    // head dimension across the tp GPUs, so each rank holds heads/tp of
+    // every cached position (audited under ISSUE 5: the per-rank division
+    // applies exactly when kv_offload is off — offloaded caches live in
+    // host memory and cost no device bytes regardless of tp).
     mem.kv_cache_gb = m.kv_cache_bytes(batch, seq) *
                       (static_cast<double>(stage_layers) /
                        static_cast<double>(m.layers)) /

@@ -204,4 +204,88 @@ void tp_layer_forward(const TpLayerShard& w, kernels::KVCache& cache,
                          H);
 }
 
+void tp_layer_forward_ragged(const TpLayerShard& w, kernels::KVArena& arena,
+                             std::int64_t layer,
+                             std::span<const std::int32_t> slots,
+                             std::span<const std::int32_t> positions,
+                             std::span<float> x, const KernelPolicy& policy,
+                             TpScratch& scratch, comm::Communicator& comm,
+                             std::int64_t rank) {
+  const std::int64_t tokens = static_cast<std::int64_t>(slots.size());
+  const std::int64_t H = w.hidden;
+  const std::int64_t Hl = w.hidden_local;
+  const std::int64_t Fl = w.ffn_local;
+  if (tokens < 1 || positions.size() != slots.size()) {
+    throw std::invalid_argument("tp_layer_forward_ragged: bad slots/positions");
+  }
+  if (x.size() < static_cast<std::size_t>(tokens * H)) {
+    throw std::invalid_argument("tp_layer_forward_ragged: x span too small");
+  }
+  if (arena.heads() != w.heads_local) {
+    throw std::invalid_argument(
+        "tp_layer_forward_ragged: arena shard does not match heads_local");
+  }
+  scratch.ensure(tokens, H, Hl, Fl);
+
+  // Replicated layernorm, local QKV shard (same math as tp_layer_forward).
+  kernels::layernorm(x, w.ln1_g.span(), w.ln1_b.span(), scratch.normed.span(),
+                     tokens, H);
+  run_linear(scratch.normed.span(), w.w_qkv, w.p_qkv, w.q_qkv,
+             w.b_qkv.span(), scratch.qkv.span(), tokens, H, 3 * Hl, policy);
+  for (std::int64_t t = 0; t < tokens; ++t) {
+    const float* src = scratch.qkv.data() + t * 3 * Hl;
+    std::memcpy(scratch.q.data() + t * Hl, src,
+                static_cast<std::size_t>(Hl) * sizeof(float));
+    std::memcpy(scratch.k.data() + t * Hl, src + Hl,
+                static_cast<std::size_t>(Hl) * sizeof(float));
+    std::memcpy(scratch.v.data() + t * Hl, src + 2 * Hl,
+                static_cast<std::size_t>(Hl) * sizeof(float));
+  }
+
+  // Append each slot's run of new positions to this rank's shard. Rows for
+  // one slot must be contiguous, in position order, and land exactly at the
+  // slot's current length — identical to the single-device ragged step.
+  std::int64_t r0 = 0;
+  while (r0 < tokens) {
+    std::int64_t r1 = r0 + 1;
+    while (r1 < tokens &&
+           slots[static_cast<std::size_t>(r1)] ==
+               slots[static_cast<std::size_t>(r0)]) {
+      ++r1;
+    }
+    const std::int64_t slot = slots[static_cast<std::size_t>(r0)];
+    if (positions[static_cast<std::size_t>(r0)] != arena.seq_len(layer, slot)) {
+      throw std::invalid_argument(
+          "tp_layer_forward_ragged: positions must extend the slot history");
+    }
+    const auto off = static_cast<std::size_t>(r0 * Hl);
+    const auto n = static_cast<std::size_t>((r1 - r0) * Hl);
+    arena.append(layer, slot, scratch.k.span().subspan(off, n),
+                 scratch.v.span().subspan(off, n), r1 - r0);
+    r0 = r1;
+  }
+  kernels::attention_fused_ragged(scratch.q.span(), arena, layer, slots,
+                                  positions, scratch.attn.span());
+
+  // Row-parallel projection: partial results summed across ranks.
+  run_linear(scratch.attn.span(), w.w_attn_out, w.p_attn_out, w.q_attn_out,
+             {}, scratch.partial.span(), tokens, Hl, H, policy);
+  comm.all_reduce_sum(rank, scratch.partial.span());
+  kernels::bias_residual(scratch.partial.span(), w.b_attn_out.span(), x, x,
+                         tokens, H);
+
+  // FFN block.
+  kernels::layernorm(x, w.ln2_g.span(), w.ln2_b.span(), scratch.normed.span(),
+                     tokens, H);
+  run_linear(scratch.normed.span(), w.w_fc1, w.p_fc1, w.q_fc1, /*bias=*/{},
+             scratch.ffn1.span(), tokens, H, Fl, policy);
+  kernels::bias_gelu(scratch.ffn1.span(), w.b_fc1.span(), scratch.act.span(),
+                     tokens, Fl);
+  run_linear(scratch.act.span(), w.w_fc2, w.p_fc2, w.q_fc2, {},
+             scratch.partial.span(), tokens, Fl, H, policy);
+  comm.all_reduce_sum(rank, scratch.partial.span());
+  kernels::bias_residual(scratch.partial.span(), w.b_fc2.span(), x, x, tokens,
+                         H);
+}
+
 }  // namespace dsinfer::parallel

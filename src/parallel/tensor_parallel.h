@@ -9,6 +9,7 @@
 #include <span>
 
 #include "comm/collectives.h"
+#include "kernels/kv_arena.h"
 #include "kernels/kv_cache.h"
 #include "kernels/quant.h"
 #include "kernels/tensor.h"
@@ -59,5 +60,21 @@ void tp_layer_forward(const TpLayerShard& w, kernels::KVCache& cache,
                       std::int64_t q_len, const kernels::KernelPolicy& policy,
                       TpScratch& scratch, comm::Communicator& comm,
                       std::int64_t rank);
+
+// Ragged-batch variant for the continuous scheduler (ISSUE 5): one row per
+// live sequence token, slot-grouped as in transformer_layer_forward_ragged.
+// `arena` is this rank's shard of the KV arena, sized for `heads_local`
+// heads; slot ids and lifecycle are shared across ranks (the scheduler
+// decides admissions/retirements once), so `slots`/`positions` are identical
+// on every rank. Same two all-reduce sync points per layer as the uniform
+// TP step; after the call every rank holds the identical updated activation.
+void tp_layer_forward_ragged(const TpLayerShard& w, kernels::KVArena& arena,
+                             std::int64_t layer,
+                             std::span<const std::int32_t> slots,
+                             std::span<const std::int32_t> positions,
+                             std::span<float> x,
+                             const kernels::KernelPolicy& policy,
+                             TpScratch& scratch, comm::Communicator& comm,
+                             std::int64_t rank);
 
 }  // namespace dsinfer::parallel

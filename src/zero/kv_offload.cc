@@ -49,4 +49,42 @@ void OffloadableKVCache::fetch_to_device() {
   resident_ = true;
 }
 
+ArenaOffloadLedger::ArenaOffloadLedger(std::int64_t ranks) {
+  if (ranks < 1) {
+    throw std::invalid_argument("ArenaOffloadLedger: ranks must be >= 1");
+  }
+  bytes_.assign(static_cast<std::size_t>(ranks), 0);
+}
+
+std::size_t ArenaOffloadLedger::round_trip(kernels::KVArena& arena,
+                                           std::int64_t rank) {
+  if (rank < 0 || rank >= ranks()) {
+    throw std::invalid_argument("ArenaOffloadLedger: rank out of range");
+  }
+  std::size_t moved = 0;
+  for (std::int64_t slot = 0; slot < arena.slots(); ++slot) {
+    if (!arena.in_use(slot)) continue;
+    const auto len = arena.export_slot(slot, host_k_, host_v_);
+    arena.import_slot(slot, host_k_, host_v_, len);
+    // out + back, K + V — the same 4x accounting the uniform engine path
+    // applies per offload cycle.
+    moved += 4 * host_k_.size() * sizeof(float);
+  }
+  bytes_[static_cast<std::size_t>(rank)] += moved;
+  return moved;
+}
+
+std::size_t ArenaOffloadLedger::bytes(std::int64_t rank) const {
+  if (rank < 0 || rank >= ranks()) {
+    throw std::invalid_argument("ArenaOffloadLedger: rank out of range");
+  }
+  return bytes_[static_cast<std::size_t>(rank)];
+}
+
+std::size_t ArenaOffloadLedger::total_bytes() const {
+  std::size_t total = 0;
+  for (auto b : bytes_) total += b;
+  return total;
+}
+
 }  // namespace dsinfer::zero

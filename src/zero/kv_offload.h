@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "kernels/kv_arena.h"
 #include "kernels/kv_cache.h"
 
 namespace dsinfer::zero {
@@ -45,6 +46,30 @@ class OffloadableKVCache {
   std::size_t bytes_in_ = 0;
 
   std::int64_t batch_, heads_, head_dim_, max_seq_;
+};
+
+// Per-rank transfer ledger for the ragged/continuous path (ISSUE 5). The
+// continuous scheduler keeps one KVArena shard per virtual TP rank; between
+// engine iterations each live slot's K/V strips take the same host
+// round-trip OffloadableKVCache models for the uniform path, and this
+// ledger accounts the PCIe bytes per rank (each rank moves only its own
+// head slice, so total traffic is independent of the TP degree).
+class ArenaOffloadLedger {
+ public:
+  explicit ArenaOffloadLedger(std::int64_t ranks);
+
+  // Round-trips every in-use slot of `arena` (rank `rank`'s shard) through
+  // the host store: export, drop, re-import. Returns the bytes moved this
+  // call (out + back, K + V) and adds them to the rank's ledger.
+  std::size_t round_trip(kernels::KVArena& arena, std::int64_t rank);
+
+  std::int64_t ranks() const { return static_cast<std::int64_t>(bytes_.size()); }
+  std::size_t bytes(std::int64_t rank) const;
+  std::size_t total_bytes() const;
+
+ private:
+  std::vector<std::size_t> bytes_;  // per rank, out + back
+  std::vector<float> host_k_, host_v_;  // reused staging buffers
 };
 
 }  // namespace dsinfer::zero

@@ -6,6 +6,7 @@
 
 #include <algorithm>
 
+#include "core/engine_spec.h"
 #include "core/inference_engine.h"
 #include "core/server.h"
 #include "core/workload.h"
@@ -98,11 +99,62 @@ TEST(RaggedDecoder, SlotLifecycleAndCapacity) {
   EXPECT_EQ(dec.total_admitted(), 3);
 }
 
-TEST(RaggedDecoder, RejectsUnsupportedEngineModes) {
+TEST(RaggedDecoder, CapabilitiesReportTypedReasons) {
+  // ISSUE 5: the TP / kv_offload rejections are lifted; callers probe
+  // support with a typed query instead of catch-and-fallback.
   EngineOptions tp;
   tp.tensor_parallel = 2;
-  InferenceEngine tp_engine(tiny(), tp, 3);
-  EXPECT_THROW(RaggedDecoder(tp_engine, 2), std::invalid_argument);
+  tp.kv_offload = true;
+  EXPECT_TRUE(RaggedDecoder::Capabilities::supports(tp, 4).ok);
+
+  const auto bad_slots = RaggedDecoder::Capabilities::supports(tp, 0);
+  EXPECT_FALSE(bad_slots.ok);
+  EXPECT_EQ(bad_slots.reason.code, ConfigError::Code::kBadSlots);
+
+  EngineSpec spec(tiny());
+  spec.tensor_parallel(3);  // does not divide 4 heads
+  const auto bad_spec = RaggedDecoder::Capabilities::supports(spec, 4);
+  EXPECT_FALSE(bad_spec.ok);
+  EXPECT_EQ(bad_spec.reason.code, ConfigError::Code::kTpIndivisible);
+}
+
+TEST(RaggedDecoder, UnsupportedConfigStillThrowsThroughShim) {
+  // The legacy throw path survives: constructing a decoder on an
+  // unsupported configuration raises ConfigException, which remains a
+  // std::invalid_argument for pre-ISSUE-5 call sites.
+  InferenceEngine engine(tiny(), EngineOptions{}, 3);
+  EXPECT_THROW(RaggedDecoder(engine, 0), std::invalid_argument);
+  try {
+    RaggedDecoder dec(engine, 0);
+    FAIL() << "expected ConfigException";
+  } catch (const ConfigException& e) {
+    EXPECT_EQ(e.code(), ConfigError::Code::kBadSlots);
+  }
+}
+
+TEST(ContinuousServer, TokensMatchAcrossSchedulersAndTpDegrees) {
+  // ISSUE 5 acceptance: one mixed-length trace replayed through
+  // (window, tp=1), (continuous, tp=1), (continuous, tp=2) produces
+  // identical greedy tokens — batch formation and tensor sharding change
+  // the schedule, never the output.
+  auto tp2 = sched_opts(Scheduler::kContinuous);
+  tp2.engine.tensor_parallel = 2;
+  InferenceServer window(tiny(), sched_opts(Scheduler::kWindow), 9);
+  InferenceServer cont1(tiny(), sched_opts(Scheduler::kContinuous), 9);
+  InferenceServer cont2(tiny(), tp2, 9);
+  auto trace = mixed_trace();
+  auto ws = window.run_trace(trace);
+  auto c1 = cont1.run_trace(trace);
+  auto c2 = cont2.run_trace(trace);
+  ASSERT_EQ(ws.size(), c1.size());
+  ASSERT_EQ(ws.size(), c2.size());
+  for (std::size_t i = 0; i < ws.size(); ++i) {
+    EXPECT_TRUE(ws[i].served());
+    EXPECT_TRUE(c1[i].served());
+    EXPECT_TRUE(c2[i].served());
+    EXPECT_EQ(ws[i].tokens, c1[i].tokens) << "request " << i;
+    EXPECT_EQ(ws[i].tokens, c2[i].tokens) << "request " << i;
+  }
 }
 
 TEST(ContinuousServer, TokensMatchWindowSchedulerOnSameTrace) {

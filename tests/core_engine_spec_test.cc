@@ -1,0 +1,219 @@
+// Unified configuration API suite (ISSUE 5, api_redesign): EngineSpec /
+// ServeSpec fluent construction, typed validate() coverage for every
+// rejection the legacy constructors threw, multi-error accumulation, and the
+// deprecated-shim equivalence guarantees (old ctors still throw
+// std::invalid_argument, now carrying a typed ConfigError).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/engine_spec.h"
+#include "core/inference_engine.h"
+#include "core/server.h"
+
+namespace dsinfer::core {
+namespace {
+
+model::DenseModelConfig tiny() { return model::tiny_gpt(64, 2, 4); }
+
+std::vector<ConfigError::Code> codes(const std::vector<ConfigError>& errs) {
+  std::vector<ConfigError::Code> out;
+  for (const auto& e : errs) out.push_back(e.code);
+  return out;
+}
+
+TEST(EngineSpec, ValidConfigHasNoErrors) {
+  EngineSpec spec(tiny());
+  spec.tensor_parallel(2).kv_offload(true).max_batch(4).max_seq(64);
+  EXPECT_TRUE(spec.validate().empty());
+  EXPECT_EQ(spec.options().tensor_parallel, 2);
+  EXPECT_TRUE(spec.options().kv_offload);
+}
+
+TEST(EngineSpec, EachLegacyRejectionHasATypedCode) {
+  using C = ConfigError::Code;
+  {
+    EngineSpec s(tiny());
+    s.tensor_parallel(0);
+    ASSERT_EQ(s.validate().size(), 1u);
+    EXPECT_EQ(s.validate().front().code, C::kBadTensorParallel);
+  }
+  {
+    EngineSpec s(tiny());
+    s.tensor_parallel(3);  // does not divide 4 heads
+    EXPECT_EQ(s.validate().front().code, C::kTpIndivisible);
+  }
+  {
+    EngineSpec s(tiny());
+    s.stream_int8(true);
+    EXPECT_EQ(s.validate().front().code, C::kStreamInt8NeedsStreaming);
+  }
+  {
+    EngineSpec s(tiny());
+    s.tensor_parallel(2).stream_weights(true);
+    EXPECT_EQ(s.validate().front().code, C::kStreamingWithTensorParallel);
+  }
+  {
+    EngineSpec s(tiny());
+    s.stream_weights(true).stream_window(0);
+    EXPECT_EQ(s.validate().front().code, C::kBadStreamWindow);
+  }
+  {
+    EngineSpec s(tiny());
+    s.stream_max_retries(-1);
+    EXPECT_EQ(s.validate().front().code, C::kBadStreamRetries);
+  }
+  {
+    EngineSpec s(tiny());
+    s.max_batch(0);
+    EXPECT_EQ(s.validate().front().code, C::kBadEngineLimit);
+  }
+}
+
+TEST(EngineSpec, ValidateAccumulatesEveryViolation) {
+  EngineSpec spec(tiny());
+  spec.tensor_parallel(2).stream_weights(true).stream_window(0).max_batch(0);
+  const auto errs = spec.validate();
+  const auto cs = codes(errs);
+  using C = ConfigError::Code;
+  // One pass reports all three problems instead of the first throw.
+  ASSERT_EQ(errs.size(), 3u);
+  EXPECT_NE(std::find(cs.begin(), cs.end(), C::kStreamingWithTensorParallel),
+            cs.end());
+  EXPECT_NE(std::find(cs.begin(), cs.end(), C::kBadStreamWindow), cs.end());
+  EXPECT_NE(std::find(cs.begin(), cs.end(), C::kBadEngineLimit), cs.end());
+  for (const auto& e : errs) EXPECT_FALSE(e.message.empty());
+}
+
+TEST(EngineSpec, SpecConstructorMatchesLegacyShim) {
+  EngineSpec spec(tiny());
+  spec.policy(kernels::KernelPolicy::optimized_large_batch())
+      .tensor_parallel(2)
+      .max_batch(4)
+      .max_seq(64);
+  EngineOptions legacy = spec.options();
+  InferenceEngine a(spec, 7);
+  InferenceEngine b(tiny(), legacy, 7);  // deprecated shim
+  std::vector<std::vector<std::int32_t>> prompts{{10, 20, 30}, {5, 6, 7}};
+  EXPECT_EQ(a.generate(prompts, 5).tokens, b.generate(prompts, 5).tokens);
+}
+
+TEST(EngineSpec, InvalidSpecThrowsTypedFromEitherEntryPoint) {
+  EngineSpec spec(tiny());
+  spec.tensor_parallel(3);  // kTpIndivisible
+  try {
+    InferenceEngine e(spec, 1);
+    FAIL() << "expected ConfigException";
+  } catch (const ConfigException& e) {
+    EXPECT_EQ(e.code(), ConfigError::Code::kTpIndivisible);
+  }
+  // The deprecated shim surfaces the same typed error and still IS-A
+  // std::invalid_argument for pre-ISSUE-5 catch sites.
+  EngineOptions opts;
+  opts.tensor_parallel = 3;
+  try {
+    InferenceEngine e(tiny(), opts, 1);
+    FAIL() << "expected ConfigException";
+  } catch (const ConfigException& e) {
+    EXPECT_EQ(e.code(), ConfigError::Code::kTpIndivisible);
+  }
+  EXPECT_THROW(InferenceEngine(tiny(), opts, 1), std::invalid_argument);
+}
+
+TEST(ServeSpec, ValidatesServerConstraintsAfterEngine) {
+  EngineSpec eng(tiny());
+  eng.max_batch(8).max_seq(64);
+  {
+    ServeSpec s(eng);
+    s.scheduler(Scheduler::kContinuous).max_batch(4);
+    EXPECT_TRUE(s.validate().empty());
+  }
+  {
+    ServeSpec s(eng);
+    s.max_batch(16);  // > engine.max_batch
+    ASSERT_EQ(s.validate().size(), 1u);
+    EXPECT_EQ(s.validate().front().code, ConfigError::Code::kBadServeBatch);
+  }
+  {
+    ServeSpec s(eng);
+    s.max_batch(4).batch_window_s(-0.5);
+    EXPECT_EQ(s.validate().front().code,
+              ConfigError::Code::kNegativeBatchWindow);
+  }
+  {
+    ServeSpec s(eng);
+    s.max_batch(4).retries(-1);
+    EXPECT_EQ(s.validate().front().code, ConfigError::Code::kBadResilience);
+  }
+  {
+    ServeSpec s(eng);
+    s.max_batch(4).degrade_under_overload(true, -1.0);
+    EXPECT_EQ(s.validate().front().code, ConfigError::Code::kBadResilience);
+  }
+}
+
+TEST(ServeSpec, EngineErrorsComeFirst) {
+  EngineSpec eng(tiny());
+  eng.tensor_parallel(0).max_batch(8).max_seq(64);
+  ServeSpec s(eng);
+  s.max_batch(16);
+  const auto errs = s.validate();
+  ASSERT_EQ(errs.size(), 2u);
+  EXPECT_EQ(errs[0].code, ConfigError::Code::kBadTensorParallel);
+  EXPECT_EQ(errs[1].code, ConfigError::Code::kBadServeBatch);
+}
+
+TEST(ServeSpec, ContinuousProbeUsesRaggedCapabilities) {
+  // A valid continuous spec passes the capability probe even with TP and
+  // kv_offload enabled — exactly the combinations ISSUE 5 legalizes.
+  EngineSpec eng(tiny());
+  eng.tensor_parallel(2).kv_offload(true).max_batch(8).max_seq(64);
+  ServeSpec s(eng);
+  s.scheduler(Scheduler::kContinuous).max_batch(4);
+  EXPECT_TRUE(s.validate().empty());
+}
+
+TEST(ServeSpec, SpecServerMatchesLegacyShim) {
+  EngineSpec eng(tiny());
+  eng.policy(kernels::KernelPolicy::optimized_large_batch())
+      .max_batch(8)
+      .max_seq(64);
+  ServeSpec spec(eng);
+  VirtualServiceModel vs;
+  vs.enabled = true;
+  spec.scheduler(Scheduler::kContinuous).max_batch(4).virtual_service(vs);
+  InferenceServer a(spec, 9);
+  InferenceServer b(tiny(), spec.options(), 9);  // deprecated shim
+  std::vector<TimedRequest> trace;
+  for (std::int64_t i = 0; i < 3; ++i) {
+    TimedRequest r;
+    r.id = i;
+    r.prompt = {static_cast<std::int32_t>(10 + i), 3, 4};
+    r.new_tokens = 4;
+    r.arrival_s = 0.01 * static_cast<double>(i);
+    trace.push_back(r);
+  }
+  auto ra = a.run_trace(trace);
+  auto rb = b.run_trace(trace);
+  ASSERT_EQ(ra.size(), rb.size());
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    EXPECT_EQ(ra[i].tokens, rb[i].tokens);
+  }
+}
+
+TEST(ServeSpec, LegacyServerCtorThrowsTypedOnBadServerOptions) {
+  ServerOptions opts;
+  opts.engine.max_batch = 8;
+  opts.engine.max_seq = 64;
+  opts.max_batch = 0;  // server-level violation, engine is fine
+  try {
+    InferenceServer s(tiny(), opts, 1);
+    FAIL() << "expected ConfigException";
+  } catch (const ConfigException& e) {
+    EXPECT_EQ(e.code(), ConfigError::Code::kBadServeBatch);
+  }
+}
+
+}  // namespace
+}  // namespace dsinfer::core

@@ -102,11 +102,27 @@ TEST(InferenceEngine, KvOffloadIsTransparentAndMetered) {
   EXPECT_GT(offloaded.kv_offload_bytes(), 0u);
 }
 
-TEST(InferenceEngine, KvOffloadRejectsTensorParallel) {
-  auto opts = base_opts();
-  opts.kv_offload = true;
-  opts.tensor_parallel = 2;
-  EXPECT_THROW(InferenceEngine(tiny(), opts, 1), std::invalid_argument);
+TEST(InferenceEngine, KvOffloadComposesWithTensorParallel) {
+  // ISSUE 5: the tp > 1 rejection is lifted — each rank round-trips its own
+  // head slice, so offload stays numerically transparent and the total
+  // ledger matches the single-device traffic (the slices partition the
+  // cache).
+  auto opts_tp = base_opts();
+  opts_tp.tensor_parallel = 2;
+  auto opts_tp_off = opts_tp;
+  opts_tp_off.kv_offload = true;
+  auto opts_off = base_opts();
+  opts_off.kv_offload = true;
+  InferenceEngine plain(tiny(), opts_tp, 13);
+  InferenceEngine offloaded(tiny(), opts_tp_off, 13);
+  InferenceEngine single_off(tiny(), opts_off, 13);
+  auto a = plain.generate(prompts2(), 6);
+  auto b = offloaded.generate(prompts2(), 6);
+  EXPECT_EQ(a.tokens, b.tokens);  // numerically transparent
+  EXPECT_EQ(plain.kv_offload_bytes(), 0u);
+  EXPECT_GT(offloaded.kv_offload_bytes(), 0u);
+  single_off.generate(prompts2(), 6);
+  EXPECT_EQ(offloaded.kv_offload_bytes(), single_off.kv_offload_bytes());
 }
 
 TEST(InferenceEngine, TensorParallelMatchesSingleDevice) {

@@ -1,0 +1,185 @@
+// Tensor-parallel continuous batching suite (ISSUE 5, ctest labels
+// `tp_serving` + `serving`): lockstep arena shards under mid-decode joins,
+// CommFault rewind-and-retry at tp=2, per-rank kv_offload accounting on the
+// ragged path, and the batcher's end-to-end retry through a rank fault.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "comm/collectives.h"
+#include "core/engine_spec.h"
+#include "core/inference_engine.h"
+#include "core/server.h"
+#include "core/workload.h"
+#include "util/fault_injector.h"
+
+namespace dsinfer::core {
+namespace {
+
+model::DenseModelConfig tiny() { return model::tiny_gpt(64, 2, 4); }
+
+EngineSpec base_spec(std::int64_t tp) {
+  EngineSpec spec(tiny());
+  spec.policy(kernels::KernelPolicy::optimized_large_batch())
+      .tensor_parallel(tp)
+      .max_batch(8)
+      .max_seq(64);
+  return spec;
+}
+
+const std::vector<std::int32_t> kPromptA{10, 20, 30, 40};
+const std::vector<std::int32_t> kPromptB{5, 6, 7};
+
+// Drives the same admit/step/retire schedule on a decoder: admit A, decode
+// one iteration, admit B mid-decode, then run both to completion. Returns
+// the two finished token streams.
+std::pair<std::vector<std::int32_t>, std::vector<std::int32_t>> join_schedule(
+    RaggedDecoder& dec) {
+  const auto a = dec.admit(kPromptA, 6);
+  EXPECT_GE(a, 0);
+  dec.step();  // A is one token ahead when B joins
+  const auto b = dec.admit(kPromptB, 4);
+  EXPECT_GE(b, 0);
+  while (!dec.finished(a) || !dec.finished(b)) dec.step();
+  auto out = std::make_pair(dec.tokens(a), dec.tokens(b));
+  dec.retire(a);
+  dec.retire(b);
+  return out;
+}
+
+TEST(TpServing, MidDecodeJoinMatchesSingleDevice) {
+  InferenceEngine single(base_spec(1), 21);
+  InferenceEngine sharded(base_spec(2), 21);
+  RaggedDecoder d1(single, 4);
+  RaggedDecoder d2(sharded, 4);
+  EXPECT_EQ(d1.rank_count(), 1);
+  EXPECT_EQ(d2.rank_count(), 2);
+  const auto r1 = join_schedule(d1);
+  const auto r2 = join_schedule(d2);
+  EXPECT_EQ(r1.first, r2.first);
+  EXPECT_EQ(r1.second, r2.second);
+}
+
+TEST(TpServing, CommFaultRewindsShardsAndRetrySucceeds) {
+  // Reference: same schedule, no chaos.
+  InferenceEngine ref_engine(base_spec(1), 23);
+  RaggedDecoder ref(ref_engine, 4);
+  const auto want = join_schedule(ref);
+
+  util::FaultInjector inj(0xC0FFEE);
+  auto spec = base_spec(2);
+  spec.fault_injector(&inj);
+  InferenceEngine engine(spec, 23);
+  RaggedDecoder dec(engine, 4);
+
+  const auto a = dec.admit(kPromptA, 6);
+  dec.step();
+  const auto b = dec.admit(kPromptB, 4);
+
+  // Snapshot pre-step state, then kill rank 0 at its next sync point.
+  const auto len_a = dec.arena().seq_len(a);
+  const auto len_b = dec.arena().seq_len(b);
+  const auto toks_a = dec.tokens(a);
+  const auto toks_b = dec.tokens(b);
+  util::FaultSpec kill;
+  kill.fail_first_n = 1;
+  inj.configure("comm.rank0", kill);
+  EXPECT_THROW(dec.step(), comm::CommFault);
+
+  // The fused step is atomic: every shard rewound to the pre-step lengths
+  // and no token leaked into the sequences.
+  for (std::int64_t layer = 0; layer < engine.layer_count(); ++layer) {
+    EXPECT_EQ(dec.arena().seq_len(layer, a), len_a);
+    EXPECT_EQ(dec.arena().seq_len(layer, b), len_b);
+  }
+  EXPECT_EQ(dec.tokens(a), toks_a);
+  EXPECT_EQ(dec.tokens(b), toks_b);
+
+  // The schedule is spent (fail_first_n consumed) and each fused step runs
+  // on a fresh DeviceGroup, so the retry sees a clean communicator and the
+  // decode finishes bit-identical to the fault-free reference.
+  while (!dec.finished(a) || !dec.finished(b)) dec.step();
+  EXPECT_EQ(dec.tokens(a), want.first);
+  EXPECT_EQ(dec.tokens(b), want.second);
+}
+
+TEST(TpServing, RaggedOffloadAccountsBytesPerRank) {
+  auto off1 = base_spec(1);
+  off1.kv_offload(true);
+  auto off2 = base_spec(2);
+  off2.kv_offload(true);
+  InferenceEngine plain(base_spec(2), 25);
+  InferenceEngine single(off1, 25);
+  InferenceEngine sharded(off2, 25);
+  RaggedDecoder d0(plain, 4);
+  RaggedDecoder d1(single, 4);
+  RaggedDecoder d2(sharded, 4);
+
+  const auto want = join_schedule(d0);  // offload must stay transparent
+  const auto r1 = join_schedule(d1);
+  const auto r2 = join_schedule(d2);
+  EXPECT_EQ(r1.first, want.first);
+  EXPECT_EQ(r2.first, want.first);
+  EXPECT_EQ(r1.second, want.second);
+  EXPECT_EQ(r2.second, want.second);
+
+  // Each rank moved its own head slice; the slices partition the cache, so
+  // the sharded ledger sums to the single-device traffic.
+  EXPECT_EQ(d0.offload_bytes(0), 0u);
+  EXPECT_GT(d1.offload_bytes(0), 0u);
+  EXPECT_GT(d2.offload_bytes(0), 0u);
+  EXPECT_GT(d2.offload_bytes(1), 0u);
+  EXPECT_EQ(d2.offload_bytes(0), d2.offload_bytes(1));
+  EXPECT_EQ(d2.offload_bytes(0) + d2.offload_bytes(1), d1.offload_bytes(0));
+  EXPECT_EQ(sharded.kv_offload_bytes(), single.kv_offload_bytes());
+}
+
+TEST(TpServing, ContinuousBatcherRetriesThroughRankFault) {
+  auto trace = [] {
+    std::vector<TimedRequest> t;
+    for (std::int64_t i = 0; i < 4; ++i) {
+      TimedRequest r;
+      r.id = i;
+      r.prompt = {static_cast<std::int32_t>(10 + 2 * i), 3, 4};
+      r.new_tokens = 3 + i;
+      r.arrival_s = 0.01 * static_cast<double>(i);
+      t.push_back(r);
+    }
+    return t;
+  }();
+
+  auto serve = [&](std::int64_t tp, util::FaultInjector* inj) {
+    ServerOptions o;
+    o.engine.policy = kernels::KernelPolicy::optimized_large_batch();
+    o.engine.max_batch = 8;
+    o.engine.max_seq = 64;
+    o.engine.tensor_parallel = tp;
+    o.engine.fault_injector = inj;
+    o.scheduler = Scheduler::kContinuous;
+    o.max_batch = 4;
+    o.virtual_service.enabled = true;
+    o.resilience.max_retries = 2;
+    InferenceServer server(tiny(), o, 27);
+    return server.run_trace(trace);
+  };
+
+  const auto want = serve(1, nullptr);
+
+  util::FaultInjector inj(0xBADD1E);
+  util::FaultSpec kill;
+  kill.fail_first_n = 1;  // first rank-0 sync point dies, then the run heals
+  inj.configure("comm.rank0", kill);
+  const auto got = serve(2, &inj);
+
+  ASSERT_EQ(got.size(), want.size());
+  std::int64_t retried = 0;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_TRUE(got[i].served()) << "request " << i;
+    EXPECT_EQ(got[i].tokens, want[i].tokens) << "request " << i;
+    retried += got[i].retries;
+  }
+  EXPECT_GE(retried, 1);  // the fault cost someone exactly one retry
+}
+
+}  // namespace
+}  // namespace dsinfer::core

@@ -42,6 +42,40 @@ TEST(StageMemoryModel, KvOffloadFreesDeviceMemory) {
   EXPECT_LT(without.total_gb(), with.total_gb());
 }
 
+TEST(StageMemoryModel, KvCacheDividesExactlyAcrossTpRanks) {
+  // ISSUE 5 audit: tensor slicing splits the head dimension, so each of the
+  // tp ranks holds exactly 1/tp of the stage's cached K/V bytes — the
+  // shards partition the cache with nothing replicated and nothing dropped.
+  const auto& m = model::dense_model("LM-530B");
+  const auto tp1 = stage_memory(m, 21, 1, 64, 562, model::Dtype::kFP16, false);
+  for (std::int64_t tp : {1, 2, 4}) {
+    const auto mem =
+        stage_memory(m, 21, tp, 64, 562, model::Dtype::kFP16, false);
+    EXPECT_GT(mem.kv_cache_gb, 0.0);
+    EXPECT_DOUBLE_EQ(mem.kv_cache_gb * static_cast<double>(tp),
+                     tp1.kv_cache_gb)
+        << "tp=" << tp;
+  }
+  // Offloaded caches live in host memory: zero device bytes at every tp.
+  for (std::int64_t tp : {1, 2, 4}) {
+    EXPECT_DOUBLE_EQ(
+        stage_memory(m, 21, tp, 64, 562, model::Dtype::kFP16, true)
+            .kv_cache_gb,
+        0.0);
+  }
+}
+
+TEST(StageMemoryModel, RejectsBadTpAndLayerCounts) {
+  const auto& m = model::dense_model("LM-530B");
+  EXPECT_THROW(stage_memory(m, 21, 0, 64, 562, model::Dtype::kFP16, false),
+               std::invalid_argument);
+  EXPECT_THROW(stage_memory(m, 0, 8, 64, 562, model::Dtype::kFP16, false),
+               std::invalid_argument);
+  EXPECT_THROW(
+      stage_memory(m, m.layers + 1, 8, 64, 562, model::Dtype::kFP16, false),
+      std::invalid_argument);
+}
+
 TEST(StageMemoryModel, OffloadEnablesLargerBatch) {
   const auto& m = model::dense_model("LM-530B");
   const auto gpu = hw::a100_40gb();
