@@ -1,32 +1,48 @@
-// Serving-layer bench: window vs continuous batching on the same Poisson
-// trace (ISSUE 4). The head-to-head section replays one mixed-prompt-length
-// trace through both schedulers on the virtual service clock, so the
-// comparison is deterministic and machine-independent; the measured section
-// keeps the original latency-vs-window table on this CPU.
+// Serving-layer bench: window vs continuous batching swept through
+// saturation on the same Poisson traces (ISSUE 4 + 6), continuous x tensor
+// parallelism (ISSUE 5), and the replica fleet per routing policy x SLO
+// class at a post-knee rate (ISSUE 6). Everything replays on the virtual
+// service clock, so rows are deterministic and machine-independent; the
+// measured section keeps the original latency-vs-window table on this CPU.
+//
+// The head-to-head sweep deliberately runs past each scheduler's saturation
+// knee (the first rate where goodput falls below 90% of offered load) —
+// pre-knee rows compare latency, post-knee rows compare how each scheduler
+// degrades.
 //
 // Modes:
-//   serving_latency                        full run, both sections
+//   serving_latency                        full run, all sections
 //   serving_latency --scheduler window     head-to-head restricted to one
 //   serving_latency --scheduler continuous   scheduler (still one JSON row
 //                                            per configuration)
 //   serving_latency --tp 2,4               tensor-parallel degrees for the
 //                                          continuous x TP section (tp=1 is
 //                                          always the baseline)
-//   serving_latency --check                head-to-head only + gate: the
-//                                          continuous scheduler must beat
-//                                          window on served requests per
-//                                          virtual second AND p95 latency at
-//                                          every arrival rate, tp=2
-//                                          continuous must beat tp=1 on the
-//                                          modeled per-decode-step latency
-//                                          at the Fig-6 GPT-NeoX 20B shape,
-//                                          and the sharded replay must match
-//                                          tp=1's tokens; exit 1 otherwise
-//                                          (ctest label `serving`).
+//   serving_latency --check                gates, exit 1 on any failure
+//                                          (ctest label `serving`):
+//                                          * window saturates inside the
+//                                            sweep and continuous saturates
+//                                            at a strictly higher rate;
+//                                          * at/past window's knee,
+//                                            continuous beats window on both
+//                                            goodput and p99;
+//                                          * pre-knee, continuous beats
+//                                            window on goodput and p95;
+//                                          * tp>1 beats tp=1 on the modeled
+//                                            Fig-6 step and the sharded
+//                                            replay matches tp=1's tokens;
+//                                          * fleet chaos: crashing 1 of 3
+//                                            replicas mid-run at a post-knee
+//                                            rate keeps accounting total and
+//                                            surviving goodput >= 60% of the
+//                                            fault-free fleet.
 //   serving_latency --trace <out.json>     Chrome trace of the replay
 //                                          (https://ui.perfetto.dev).
 //
-// Results land in BENCH_serving.json at the repo root.
+// Results land in BENCH_serving.json at the repo root: one JSON array, one
+// schema for every row, discriminated by "mode" — "replay" (head-to-head
+// sweep), "modeled" (continuous x TP with the Fig-6 step model), "fleet"
+// (replica fleet per policy x SLO class).
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -35,6 +51,9 @@
 #include <vector>
 
 #include "core/workload.h"
+#include "fleet/fleet_spec.h"
+#include "fleet/load_harness.h"
+#include "fleet/router.h"
 #include "hw/topology.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -46,12 +65,27 @@ namespace {
 using namespace dsinfer;
 
 struct Row {
+  std::string mode = "replay";  // replay | modeled | fleet
   double rate_hz = 0;
   std::string scheduler;
   std::int64_t tp = 1;
+  std::string policy = "-";     // fleet rows: routing policy
+  std::string slo_class = "all";  // fleet rows: latency | batch
+  std::int64_t replicas = 1;
+  double offered_hz = 0;  // actual trace arrivals / duration
   double step_s = 0;  // modeled per-decode-step latency at the fig-6 shape
   core::ServingSummary s;
 };
+
+// First sweep index whose goodput falls below 90% of offered load — the
+// saturation knee. Returns summaries.size() if the scheduler never
+// saturates inside the sweep.
+std::size_t knee_index(const std::vector<Row>& rows) {
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if (rows[i].s.served_per_s < 0.9 * rows[i].offered_hz) return i;
+  }
+  return rows.size();
+}
 
 // Per-decode-step latency of the continuous scheduler's fused iteration at
 // the paper's Fig-6 GPT-NeoX 20B shape (prompt 128, generate 8, DeepSpeed
@@ -79,6 +113,15 @@ core::ServerOptions scheduler_options(core::Scheduler sched) {
   opts.virtual_service.per_token_s = 1e-3;
   opts.virtual_service.prefill_s = 1e-3;
   return opts;
+}
+
+// Per-replica ServeSpec for the fleet section: the same virtual service
+// clock as the head-to-head sweep, continuous scheduler, replica-sized
+// batch (the fleet stacks three of these).
+core::ServeSpec fleet_serve(const model::DenseModelConfig& cfg) {
+  auto opts = scheduler_options(core::Scheduler::kContinuous);
+  opts.max_batch = 4;
+  return core::ServeSpec::from_options(cfg, opts);
 }
 
 std::vector<core::TimedRequest> mixed_trace(double rate_hz) {
@@ -142,13 +185,18 @@ int main(int argc, char** argv) {
 
   const auto cfg = model::tiny_gpt(64, 2, 4);
 
-  std::cout << "=== Window vs continuous batching, same Poisson trace "
-               "(virtual service clock) ===\n\n";
+  std::cout << "=== Window vs continuous batching, same Poisson traces, "
+               "swept through saturation (virtual service clock) ===\n\n";
+  // The sweep straddles both knees: the window batcher folds first, the
+  // continuous batcher holds goodput for several more doublings.
+  const std::vector<double> sweep_rates = {50, 200, 400, 800, 1600};
   std::vector<Row> rows;
-  Table cmp({"arrival hz", "scheduler", "requests", "served", "served/s",
+  std::vector<Row> window_rows, cont_rows;  // per-scheduler, sweep order
+  Table cmp({"arrival hz", "offered/s", "scheduler", "served", "served/s",
              "p50 ms", "p95 ms", "p99 ms", "tokens/s"});
-  for (double rate : {50.0, 200.0}) {
+  for (double rate : sweep_rates) {
     const auto trace = mixed_trace(rate);
+    const double offered = static_cast<double>(trace.size()) / 0.5;
     for (auto sched : {core::Scheduler::kWindow, core::Scheduler::kContinuous}) {
       const bool is_window = sched == core::Scheduler::kWindow;
       if (scheduler == "window" && !is_window) continue;
@@ -157,24 +205,37 @@ int main(int argc, char** argv) {
       auto stats = server.run_trace(trace);
       Row row;
       row.rate_hz = rate;
+      row.offered_hz = offered;
       row.scheduler = is_window ? "window" : "continuous";
       row.s = core::summarize_serving(stats);
-      cmp.add_row({Table::num(rate, 0), row.scheduler,
-                   std::to_string(row.s.requests),
+      cmp.add_row({Table::num(rate, 0), Table::num(offered, 0), row.scheduler,
                    std::to_string(row.s.served),
                    Table::num(row.s.served_per_s, 1),
                    Table::num(row.s.p50_latency_s * 1e3, 1),
                    Table::num(row.s.p95_latency_s * 1e3, 1),
                    Table::num(row.s.p99_latency_s * 1e3, 1),
                    Table::num(row.s.tokens_per_s, 0)});
+      (is_window ? window_rows : cont_rows).push_back(row);
       rows.push_back(std::move(row));
     }
   }
   cmp.print(std::cout);
+  if (!window_rows.empty() && !cont_rows.empty()) {
+    const auto wk = knee_index(window_rows);
+    const auto ck = knee_index(cont_rows);
+    auto knee_str = [&](std::size_t k) {
+      return k < sweep_rates.size()
+                 ? Table::num(sweep_rates[k], 0) + " hz"
+                 : std::string("past the sweep");
+    };
+    std::cout << "\nSaturation knee (goodput < 90% of offered): window at "
+              << knee_str(wk) << ", continuous at " << knee_str(ck) << ".\n";
+  }
   std::cout << "\nExpected: continuous batching retires each sequence at its "
                "own budget and backfills freed slots between iterations, so "
                "it serves more requests per virtual second at lower tail "
-               "latency than the rigid same-length window batches.\n";
+               "latency pre-knee, and saturates at a strictly higher arrival "
+               "rate than the rigid same-length window batches.\n";
 
   // --- Continuous batching × tensor parallelism (ISSUE 5) ---
   // Functional replay of the same mixed trace with the ragged path sharded
@@ -211,7 +272,9 @@ int main(int argc, char** argv) {
         }
       }
       Row row;
+      row.mode = "modeled";
       row.rate_hz = rate;
+      row.offered_hz = static_cast<double>(trace.size()) / 0.5;
       row.scheduler = "continuous";
       row.tp = tp;
       row.step_s = modeled_step_s(tp, opts.max_batch);
@@ -233,6 +296,76 @@ int main(int argc, char** argv) {
               << " on this replay).\n";
   }
 
+  // --- Replica fleet per routing policy x SLO class (ISSUE 6) ---
+  // A 3-replica fleet at a post-knee offered rate: every policy routes the
+  // same bursty hot-prefix trace; rows split per SLO class (the batch class
+  // rides each replica's degraded INT8 half-capacity lane). The chaos gate
+  // below reuses this shape with one replica crashed mid-run.
+  std::vector<Row> fleet_rows;
+  fleet::FleetResult fleet_baseline, fleet_chaos;
+  bool fleet_accounting_ok = true;
+  if (scheduler != "window") {
+    std::cout << "\n=== Replica fleet at a post-knee rate (3 replicas, "
+                 "per routing policy x SLO class) ===\n\n";
+    fleet::FleetWorkloadSpec w;
+    w.base_rate_hz = 900;  // past the single-replica continuous knee
+    w.duration_s = 0.4;
+    w.seed = 91;
+    const auto ftrace = fleet::generate_fleet_trace(w);
+    const double offered = static_cast<double>(ftrace.size()) / w.duration_s;
+    Table flt({"policy", "slo class", "requests", "served", "served/s",
+               "p50 ms", "p99 ms", "sheds", "hedges"});
+    const std::pair<fleet::RoutePolicy, const char*> policies[] = {
+        {fleet::RoutePolicy::kLeastOutstanding, "least-outstanding"},
+        {fleet::RoutePolicy::kPowerOfTwo, "p2c"},
+        {fleet::RoutePolicy::kPrefixAffinity, "prefix-affinity"},
+    };
+    for (const auto& [pol, pname] : policies) {
+      fleet::FleetSpec fspec(fleet_serve(cfg));
+      fspec.replicas(3).policy(pol).hedge(true, 15e-3).failover_budget(2)
+          .queue_limits(256, 128);
+      fleet::FleetRouter router(fspec, 101);
+      auto res = router.run_trace(ftrace);
+      fleet_accounting_ok =
+          fleet_accounting_ok && fleet::check_accounting(res).empty();
+      const auto sum = fleet::summarize_fleet(res.stats);
+      if (pol == fleet::RoutePolicy::kPowerOfTwo) {
+        fleet_baseline = res;
+        fleet_chaos = router.run_trace(
+            ftrace, {fleet::standard_chaos_schedule(3, w.duration_s)[0]});
+        fleet_accounting_ok = fleet_accounting_ok &&
+                              fleet::check_accounting(fleet_chaos).empty();
+      }
+      const std::pair<const char*, const core::ServingSummary*> classes[] = {
+          {"latency", &sum.latency}, {"batch", &sum.batch}};
+      for (const auto& [cname, cs] : classes) {
+        Row row;
+        row.mode = "fleet";
+        row.rate_hz = w.base_rate_hz;
+        row.offered_hz = offered;
+        row.scheduler = "continuous";
+        row.policy = pname;
+        row.slo_class = cname;
+        row.replicas = 3;
+        row.s = *cs;
+        flt.add_row({pname, cname, std::to_string(row.s.requests),
+                     std::to_string(row.s.served),
+                     Table::num(row.s.served_per_s, 1),
+                     Table::num(row.s.p50_latency_s * 1e3, 1),
+                     Table::num(row.s.p99_latency_s * 1e3, 1),
+                     std::to_string(res.counters.sheds),
+                     std::to_string(res.counters.hedges)});
+        fleet_rows.push_back(std::move(row));
+      }
+    }
+    flt.print(std::cout);
+    std::cout << "\nExpected: all three policies hold fleet goodput near 3x "
+                 "a single replica; prefix affinity trades a little balance "
+                 "for KV locality on the hot prefixes, and the batch class "
+                 "keeps its half-capacity lane without starving the latency "
+                 "class. Sheds are typed backpressure, not losses.\n";
+  }
+
   std::string json_path;
 #if defined(DSINFER_REPO_ROOT)
   json_path = std::string(DSINFER_REPO_ROOT) + "/BENCH_serving.json";
@@ -240,14 +373,24 @@ int main(int argc, char** argv) {
   json_path = "BENCH_serving.json";
 #endif
   {
+    // One schema for every row, discriminated by "mode": replay rows carry
+    // scheduler + offered rate, modeled rows add tp + step_s, fleet rows add
+    // policy + slo_class + replicas. Absent dimensions keep their defaults
+    // (tp 1, policy "-", slo_class "all", replicas 1) so consumers can
+    // filter on mode alone.
     std::vector<Row> all = rows;
     all.insert(all.end(), tp_rows.begin(), tp_rows.end());
+    all.insert(all.end(), fleet_rows.begin(), fleet_rows.end());
     std::ofstream out(json_path);
     out << "[\n";
     for (std::size_t i = 0; i < all.size(); ++i) {
       const auto& r = all[i];
-      out << "  {\"arrival_hz\": " << r.rate_hz << ", \"scheduler\": \""
+      out << "  {\"mode\": \"" << r.mode << "\", \"arrival_hz\": " << r.rate_hz
+          << ", \"offered_hz\": " << r.offered_hz << ", \"scheduler\": \""
           << r.scheduler << "\", \"tp\": " << r.tp
+          << ", \"policy\": \"" << r.policy
+          << "\", \"slo_class\": \"" << r.slo_class
+          << "\", \"replicas\": " << r.replicas
           << ", \"step_s\": " << r.step_s
           << ", \"requests\": " << r.s.requests
           << ", \"served\": " << r.s.served
@@ -268,16 +411,38 @@ int main(int argc, char** argv) {
       return 2;
     }
     bool pass = true;
-    for (std::size_t i = 0; i + 1 < rows.size(); i += 2) {
-      const auto& w = rows[i];      // window first per rate
-      const auto& c = rows[i + 1];  // then continuous
-      const bool ok =
-          c.s.served_per_s > w.s.served_per_s &&
-          c.s.p95_latency_s < w.s.p95_latency_s;
+    // Saturation gate: window must fold inside the sweep and continuous must
+    // hold out strictly longer.
+    const auto wk = knee_index(window_rows);
+    const auto ck = knee_index(cont_rows);
+    {
+      const bool ok = wk < sweep_rates.size() && ck > wk;
+      std::cout << (ok ? "PASS" : "FAIL")
+                << " saturation knees: window at sweep index " << wk
+                << ", continuous at " << ck << " (of " << sweep_rates.size()
+                << " rates)\n";
+      pass = pass && ok;
+    }
+    // Per-rate gate: pre-knee continuous wins on goodput and p95; at/past
+    // the window knee it must also win on p99 — the regime where the rigid
+    // window batches pile queueing delay onto every tail request.
+    for (std::size_t i = 0; i < window_rows.size(); ++i) {
+      const auto& w = window_rows[i];
+      const auto& c = cont_rows[i];
+      const bool past_knee = i >= wk;
+      bool ok = c.s.served_per_s > w.s.served_per_s;
+      ok = ok && (past_knee ? c.s.p99_latency_s < w.s.p99_latency_s
+                            : c.s.p95_latency_s < w.s.p95_latency_s);
       std::cout << (ok ? "PASS" : "FAIL") << " @" << w.rate_hz
-                << " hz: continuous served/s " << c.s.served_per_s << " vs "
-                << w.s.served_per_s << ", p95 " << c.s.p95_latency_s << " vs "
-                << w.s.p95_latency_s << "\n";
+                << " hz" << (past_knee ? " (post-knee)" : "")
+                << ": continuous served/s " << c.s.served_per_s << " vs "
+                << w.s.served_per_s
+                << (past_knee
+                        ? ", p99 " + std::to_string(c.s.p99_latency_s) +
+                              " vs " + std::to_string(w.s.p99_latency_s)
+                        : ", p95 " + std::to_string(c.s.p95_latency_s) +
+                              " vs " + std::to_string(w.s.p95_latency_s))
+                << "\n";
       pass = pass && ok;
     }
     // TP gate (ISSUE 5): at the Fig-6 model shape, every sharded degree must
@@ -294,6 +459,29 @@ int main(int argc, char** argv) {
     std::cout << (tp_tokens_match ? "PASS" : "FAIL")
               << " tp replay output parity\n";
     pass = pass && tp_tokens_match;
+    // Fleet chaos gate (ISSUE 6): crash 1 of 3 replicas halfway through the
+    // post-knee trace — accounting must stay total (every request served or
+    // typed-shed) and surviving goodput must hold >= 60% of the fault-free
+    // fleet.
+    {
+      std::cout << (fleet_accounting_ok ? "PASS" : "FAIL")
+                << " fleet accounting total (served + typed sheds/failures "
+                   "== requests, no deadline-miss leaks)\n";
+      pass = pass && fleet_accounting_ok;
+      const auto base = fleet::summarize_fleet(fleet_baseline.stats);
+      const auto chaos = fleet::summarize_fleet(fleet_chaos.stats);
+      const double ratio = base.all.served_per_s > 0
+                               ? chaos.all.served_per_s / base.all.served_per_s
+                               : 0.0;
+      const bool ok = ratio >= 0.60;
+      std::cout << (ok ? "PASS" : "FAIL")
+                << " fleet chaos: surviving goodput " << chaos.all.served_per_s
+                << "/s vs fault-free " << base.all.served_per_s
+                << "/s (ratio " << ratio << ", need >= 0.60; "
+                << fleet_chaos.counters.failovers << " failovers, "
+                << fleet_chaos.counters.sheds << " typed sheds)\n";
+      pass = pass && ok;
+    }
     if (!pass) return 1;
     std::cout << "serving regression gate: PASS\n";
     if (!trace_path.empty()) {

@@ -27,6 +27,18 @@ struct ConfigError {
     kNegativeBatchWindow,          // batch_window_s < 0
     kBadResilience,                // negative retries/backoff/overload queue
     kBadSlots,                     // decoder slots < 1
+    // Fleet layer (ISSUE 6, fleet::FleetSpec::validate()).
+    kBadReplicaCount,          // replicas outside [1, 256]
+    kBadHedgeDelay,            // hedging with non-positive/NaN hedge delay
+    kBadFailoverBudget,        // failover re-dispatch budget < 0
+    kBadSloClass,              // bad per-class lane config (queue limit < 1,
+                               // hedging on the batch lane, ...)
+    kBadProbe,                 // probe interval <= 0, breaker threshold < 1,
+                               // or negative breaker cooldown
+    kBadAffinity,              // prefix-affinity policy with prefix < 1 token
+    kFleetNeedsContinuous,     // fleet replicas require Scheduler::kContinuous
+    kFleetNeedsVirtualService, // fleet replay requires the virtual service
+                               // clock (enabled, positive prefill/per-token)
   };
 
   Code code = Code::kBadEngineLimit;

@@ -183,8 +183,12 @@ void ContinuousBatcher::run(const std::vector<TimedRequest>& requests,
 
       // Overload routing is evaluated at the admission instant — the delay
       // this request has actually accrued, not a stale head-of-window guess.
-      const bool overload = res.degrade_under_overload &&
-                            (clock - rq.arrival_s) > res.overload_queue_s;
+      // Batch-class requests (ISSUE 6) always ride the degraded INT8
+      // half-capacity lane: the SLO class pins the lane the overload path
+      // only falls back to.
+      const bool overload = rq.slo == SloClass::kBatch ||
+                            (res.degrade_under_overload &&
+                             (clock - rq.arrival_s) > res.overload_queue_s);
 
       auto& st = stats[idx];
       st.id = rq.id;

@@ -111,12 +111,21 @@ struct ServerOptions {
 
 inline constexpr double kNoDeadline = std::numeric_limits<double>::infinity();
 
+// Per-tenant service class (ISSUE 6, fleet layer). Latency-sensitive
+// requests ride the full-fidelity lane (and are eligible for hedging at the
+// fleet router); batch requests ride the degraded INT8 half-capacity lane —
+// the same lane the overload path falls back to — trading fidelity and tail
+// latency for capacity.
+enum class SloClass { kLatency, kBatch };
+
 struct TimedRequest {
   std::int64_t id = 0;
   std::vector<std::int32_t> prompt;
   std::int64_t new_tokens = 1;
   double arrival_s = 0;           // virtual arrival time
   double deadline_s = kNoDeadline;  // absolute virtual SLA bound on finish
+  SloClass slo = SloClass::kLatency;
+  std::int64_t tenant = 0;  // logical user/tenant id (routing affinity key)
 };
 
 struct RequestStats {

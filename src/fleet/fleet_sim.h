@@ -1,0 +1,34 @@
+// DES twin of the fleet (ISSUE 6 satellite): the same router policies,
+// breaker state machine, hedging, failover, and backpressure as
+// fleet::FleetRouter — run as events on sim::Simulator over a *synthetic*
+// service model instead of real decoders. Mirroring is by construction, not
+// reimplementation: route_choose(), Breaker, FleetOptions, and the
+// virtual-service cost constants are shared with the functional router, so
+// the two goodput/latency curves must agree in shape (the cross-check test
+// asserts the saturation knee lands within one rate step).
+//
+// Differences from the functional fleet, by design:
+//   * No engines, no KV, no tokens: a served request's `tokens` is a
+//     placeholder of the right LENGTH (prompt + new_tokens zeros) so the
+//     shared accounting checker and summaries work; contents are meaningless.
+//   * Engine-level fault injection (util::FaultInjector) is not modeled —
+//     only the scheduled ReplicaFault timeline (crash/stall/straggle).
+//   * Events live on sim::Simulator (obs::kSimPid clock domain); hedge
+//     timers use Simulator::cancel for first-wins cancellation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fleet/router.h"
+
+namespace dsinfer::fleet {
+
+// Simulates the trace through the fleet twin. Validates the spec like
+// FleetRouter (throws core::ConfigException on the first error).
+FleetResult simulate_fleet(const FleetSpec& spec,
+                           const std::vector<core::TimedRequest>& requests,
+                           std::vector<ReplicaFault> faults = {},
+                           std::uint64_t seed = 0x5eed);
+
+}  // namespace dsinfer::fleet

@@ -1,0 +1,257 @@
+#include "fleet/fleet_spec.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace dsinfer::fleet {
+
+using core::ConfigError;
+
+namespace {
+
+void add(std::vector<ConfigError>& errs, ConfigError::Code code,
+         std::string message) {
+  errs.push_back(ConfigError{code, std::move(message)});
+}
+
+}  // namespace
+
+const char* route_policy_name(RoutePolicy p) {
+  switch (p) {
+    case RoutePolicy::kLeastOutstanding: return "least-outstanding";
+    case RoutePolicy::kPowerOfTwo: return "power-of-two";
+    case RoutePolicy::kPrefixAffinity: return "prefix-affinity";
+  }
+  return "?";
+}
+
+FleetSpec::FleetSpec(core::ServeSpec serve) : serve_(std::move(serve)) {}
+
+FleetSpec& FleetSpec::replicas(std::int64_t n) {
+  opts_.replicas = n;
+  return *this;
+}
+FleetSpec& FleetSpec::policy(RoutePolicy p) {
+  opts_.policy = p;
+  return *this;
+}
+FleetSpec& FleetSpec::hedge(bool on, double delay_s) {
+  opts_.latency.hedging = on;
+  opts_.latency.hedge_delay_s = delay_s;
+  return *this;
+}
+FleetSpec& FleetSpec::queue_limits(std::int64_t latency, std::int64_t batch) {
+  opts_.latency.queue_limit = latency;
+  opts_.batch.queue_limit = batch;
+  return *this;
+}
+FleetSpec& FleetSpec::failover_budget(std::int64_t n) {
+  opts_.failover_budget = n;
+  return *this;
+}
+FleetSpec& FleetSpec::probe(double interval_s, std::int64_t breaker_threshold,
+                            double cooldown_s) {
+  opts_.probe_interval_s = interval_s;
+  opts_.breaker_threshold = breaker_threshold;
+  opts_.breaker_cooldown_s = cooldown_s;
+  return *this;
+}
+FleetSpec& FleetSpec::affinity(std::int64_t prefix_tokens,
+                               double spill_factor) {
+  opts_.affinity_prefix = prefix_tokens;
+  opts_.affinity_spill = spill_factor;
+  return *this;
+}
+FleetSpec& FleetSpec::batch_lane(bool on) {
+  opts_.batch_lane = on;
+  return *this;
+}
+FleetSpec& FleetSpec::fault_injector(util::FaultInjector* inj) {
+  opts_.injector = inj;
+  return *this;
+}
+
+std::vector<ConfigError> FleetSpec::validate() const {
+  std::vector<ConfigError> errs = serve_.validate();
+  if (opts_.replicas < 1 || opts_.replicas > 256) {
+    add(errs, ConfigError::Code::kBadReplicaCount,
+        "FleetSpec: replicas must be in [1, 256]");
+  }
+  if (opts_.latency.hedging &&
+      !(opts_.latency.hedge_delay_s > 0 &&
+        std::isfinite(opts_.latency.hedge_delay_s))) {
+    add(errs, ConfigError::Code::kBadHedgeDelay,
+        "FleetSpec: hedging requires a positive, finite hedge delay");
+  }
+  if (opts_.failover_budget < 0) {
+    add(errs, ConfigError::Code::kBadFailoverBudget,
+        "FleetSpec: failover_budget must be >= 0");
+  }
+  if (opts_.latency.queue_limit < 1 || opts_.batch.queue_limit < 1) {
+    add(errs, ConfigError::Code::kBadSloClass,
+        "FleetSpec: per-class queue limits must be >= 1");
+  }
+  if (opts_.batch.hedging) {
+    add(errs, ConfigError::Code::kBadSloClass,
+        "FleetSpec: the batch lane does not hedge (latency class only)");
+  }
+  if (opts_.probe_interval_s <= 0 || opts_.breaker_threshold < 1 ||
+      opts_.breaker_cooldown_s < 0) {
+    add(errs, ConfigError::Code::kBadProbe,
+        "FleetSpec: probe interval must be > 0, breaker threshold >= 1, "
+        "breaker cooldown >= 0");
+  }
+  if (opts_.policy == RoutePolicy::kPrefixAffinity &&
+      opts_.affinity_prefix < 1) {
+    add(errs, ConfigError::Code::kBadAffinity,
+        "FleetSpec: prefix affinity needs affinity_prefix >= 1 tokens");
+  }
+  const auto& sopts = serve_.options();
+  if (sopts.scheduler != core::Scheduler::kContinuous) {
+    add(errs, ConfigError::Code::kFleetNeedsContinuous,
+        "FleetSpec: fleet replicas run the continuous scheduler "
+        "(Scheduler::kContinuous)");
+  }
+  const auto& vs = sopts.virtual_service;
+  if (!vs.enabled || vs.per_token_s <= 0 || vs.prefill_s <= 0) {
+    add(errs, ConfigError::Code::kFleetNeedsVirtualService,
+        "FleetSpec: fleet replay needs the virtual service clock (enabled, "
+        "positive prefill_s and per_token_s)");
+  }
+  return errs;
+}
+
+std::uint64_t prefix_hash(std::span<const std::int32_t> prompt,
+                          std::int64_t prefix_tokens) {
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis
+  const std::size_t n =
+      std::min(prompt.size(), static_cast<std::size_t>(
+                                  std::max<std::int64_t>(0, prefix_tokens)));
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(prompt[i]));
+    h *= 1099511628211ull;  // FNV prime
+  }
+  return h;
+}
+
+namespace {
+
+// Uniform draw over the dispatchable replicas, excluding `exclude`.
+std::int64_t draw_dispatchable(std::span<const ReplicaLoadView> views,
+                               std::int64_t exclude, Rng& rng) {
+  std::int64_t n = 0;
+  for (std::int64_t r = 0; r < static_cast<std::int64_t>(views.size()); ++r) {
+    if (views[static_cast<std::size_t>(r)].dispatchable && r != exclude) ++n;
+  }
+  if (n == 0) return -1;
+  std::int64_t k = rng.integer(0, n - 1);
+  for (std::int64_t r = 0; r < static_cast<std::int64_t>(views.size()); ++r) {
+    if (!views[static_cast<std::size_t>(r)].dispatchable || r == exclude) {
+      continue;
+    }
+    if (k-- == 0) return r;
+  }
+  return -1;
+}
+
+std::int64_t least_outstanding(std::span<const ReplicaLoadView> views,
+                               std::int64_t exclude) {
+  std::int64_t best = -1;
+  for (std::int64_t r = 0; r < static_cast<std::int64_t>(views.size()); ++r) {
+    const auto& v = views[static_cast<std::size_t>(r)];
+    if (!v.dispatchable || r == exclude) continue;
+    if (best < 0 ||
+        v.outstanding_s < views[static_cast<std::size_t>(best)].outstanding_s) {
+      best = r;  // ties break toward the lowest id (stable, deterministic)
+    }
+  }
+  return best;
+}
+
+std::int64_t power_of_two(std::span<const ReplicaLoadView> views,
+                          std::int64_t exclude, Rng& rng) {
+  const std::int64_t a = draw_dispatchable(views, exclude, rng);
+  if (a < 0) return -1;
+  std::int64_t b = draw_dispatchable(views, exclude, rng);
+  if (b < 0) b = a;
+  const auto& va = views[static_cast<std::size_t>(a)];
+  const auto& vb = views[static_cast<std::size_t>(b)];
+  return vb.outstanding_s < va.outstanding_s ? b : a;
+}
+
+}  // namespace
+
+std::int64_t route_choose(RoutePolicy policy, const FleetOptions& opts,
+                          std::span<const ReplicaLoadView> views,
+                          std::uint64_t affinity_key, std::int64_t exclude,
+                          Rng& rng) {
+  switch (policy) {
+    case RoutePolicy::kLeastOutstanding:
+      return least_outstanding(views, exclude);
+    case RoutePolicy::kPowerOfTwo:
+      return power_of_two(views, exclude, rng);
+    case RoutePolicy::kPrefixAffinity: {
+      const auto home = static_cast<std::int64_t>(
+          affinity_key % static_cast<std::uint64_t>(views.size()));
+      if (home != exclude &&
+          views[static_cast<std::size_t>(home)].dispatchable) {
+        // Spill only when the home is clearly hotter than the fleet mean —
+        // affinity trades some imbalance for prefix locality.
+        double total = 0;
+        std::int64_t n = 0;
+        for (const auto& v : views) {
+          if (!v.dispatchable) continue;
+          total += v.outstanding_s;
+          ++n;
+        }
+        const double mean = n > 0 ? total / static_cast<double>(n) : 0.0;
+        const auto& hv = views[static_cast<std::size_t>(home)];
+        if (mean <= 0 || hv.outstanding_s <= opts.affinity_spill * mean) {
+          return home;
+        }
+        // Overloaded home: spill means *away* — keep the home out of the
+        // fallback draw (unless a failover exclusion already claims the
+        // slot, which takes priority).
+        if (exclude < 0) return power_of_two(views, home, rng);
+      }
+      return power_of_two(views, exclude, rng);
+    }
+  }
+  return -1;
+}
+
+bool Breaker::on_failure(double now_s, std::int64_t threshold) {
+  ++consecutive_failures;
+  if (state == State::kHalfOpen) {
+    // The trial failed: straight back to open, cooldown restarts.
+    state = State::kOpen;
+    opened_at_s = now_s;
+    ++opens;
+    return true;
+  }
+  if (state == State::kClosed && consecutive_failures >= threshold) {
+    state = State::kOpen;
+    opened_at_s = now_s;
+    ++opens;
+    return true;
+  }
+  return false;
+}
+
+void Breaker::on_success() {
+  consecutive_failures = 0;
+  if (state == State::kHalfOpen) {
+    state = State::kClosed;
+    ++closes;
+  }
+}
+
+void Breaker::maybe_half_open(double now_s, double cooldown_s) {
+  if (state == State::kOpen && now_s >= opened_at_s + cooldown_s) {
+    state = State::kHalfOpen;
+    ++half_opens;
+  }
+}
+
+}  // namespace dsinfer::fleet

@@ -1,0 +1,122 @@
+#include "fleet/load_harness.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/rng.h"
+
+namespace dsinfer::fleet {
+
+std::vector<core::TimedRequest> generate_fleet_trace(
+    const FleetWorkloadSpec& spec) {
+  std::vector<core::TimedRequest> out;
+  if (spec.base_rate_hz <= 0 || spec.duration_s <= 0) return out;
+  Rng rng(spec.seed);
+  const double burst = std::max(1.0, spec.burst_factor);
+  // Thinning: draw candidate arrivals at the peak rate, keep each with
+  // probability rate(t)/peak. rate(t) swings in [base/burst, base*burst].
+  const double peak = spec.base_rate_hz * burst;
+  const double mid =
+      0.5 * (spec.base_rate_hz * burst + spec.base_rate_hz / burst);
+  const double amp =
+      0.5 * (spec.base_rate_hz * burst - spec.base_rate_hz / burst);
+  const double period = spec.burst_period_s > 0 ? spec.burst_period_s
+                                                : spec.duration_s;
+
+  // Zipf-ish hot-prefix pool: prefix k drawn with weight 1/(k+1).
+  const auto n_hot = std::max<std::int64_t>(1, spec.hot_prefixes);
+  const auto plen = std::max<std::int64_t>(1, spec.prefix_len);
+  std::vector<std::vector<std::int32_t>> prefixes(
+      static_cast<std::size_t>(n_hot));
+  for (auto& p : prefixes) {
+    p.resize(static_cast<std::size_t>(plen));
+    for (auto& tok : p) {
+      tok = static_cast<std::int32_t>(rng.integer(0, spec.vocab - 1));
+    }
+  }
+  double zipf_total = 0;
+  for (std::int64_t k = 0; k < n_hot; ++k) {
+    zipf_total += 1.0 / static_cast<double>(k + 1);
+  }
+
+  double t = 0;
+  std::int64_t id = 0;
+  while (true) {
+    t += -std::log(1.0 - static_cast<double>(rng.uniform())) / peak;
+    if (t >= spec.duration_s) break;
+    const double rate =
+        mid + amp * std::sin(2.0 * std::numbers::pi * t / period);
+    if (static_cast<double>(rng.uniform()) > rate / peak) continue;  // thinned
+
+    core::TimedRequest rq;
+    rq.id = id++;
+    rq.arrival_s = t;
+    rq.tenant = rng.integer(0, std::max<std::int64_t>(1, spec.tenants) - 1);
+
+    const auto plen_i = static_cast<std::size_t>(
+        spec.prompt_lengths[static_cast<std::size_t>(rng.integer(
+            0, static_cast<std::int64_t>(spec.prompt_lengths.size()) - 1))]);
+    rq.prompt.reserve(plen_i);
+    if (static_cast<double>(rng.uniform()) < spec.hot_fraction) {
+      double u = static_cast<double>(rng.uniform()) * zipf_total;
+      std::size_t k = 0;
+      while (k + 1 < prefixes.size() &&
+             (u -= 1.0 / static_cast<double>(k + 1)) > 0) {
+        ++k;
+      }
+      const auto& pre = prefixes[k];
+      for (std::size_t j = 0; j < std::min(pre.size(), plen_i); ++j) {
+        rq.prompt.push_back(pre[j]);
+      }
+    }
+    while (rq.prompt.size() < plen_i) {
+      rq.prompt.push_back(
+          static_cast<std::int32_t>(rng.integer(0, spec.vocab - 1)));
+    }
+    rq.new_tokens = rng.integer(spec.min_new_tokens, spec.max_new_tokens);
+
+    if (static_cast<double>(rng.uniform()) < spec.batch_fraction) {
+      rq.slo = core::SloClass::kBatch;
+    } else {
+      rq.slo = core::SloClass::kLatency;
+      if (spec.latency_deadline_s > 0) {
+        rq.deadline_s = rq.arrival_s + spec.latency_deadline_s;
+      }
+    }
+    out.push_back(std::move(rq));
+  }
+  return out;
+}
+
+std::vector<ReplicaFault> standard_chaos_schedule(std::int64_t replicas,
+                                                  double duration_s,
+                                                  double crash_at_frac) {
+  std::vector<ReplicaFault> out;
+  if (replicas < 1 || duration_s <= 0) return out;
+  ReplicaFault crash;
+  crash.replica = 0;
+  crash.at_s = duration_s * std::clamp(crash_at_frac, 0.0, 1.0);
+  crash.kind = ReplicaFault::Kind::kCrash;
+  out.push_back(crash);
+  if (replicas > 1) {
+    ReplicaFault straggle;
+    straggle.replica = 1;
+    straggle.at_s = duration_s / 3.0;
+    straggle.kind = ReplicaFault::Kind::kStraggle;
+    straggle.duration_s = duration_s / 3.0;
+    straggle.factor = 2.0;
+    out.push_back(straggle);
+  }
+  if (replicas > 2) {
+    ReplicaFault stall;
+    stall.replica = 2;
+    stall.at_s = duration_s * 0.4;
+    stall.kind = ReplicaFault::Kind::kStall;
+    stall.duration_s = duration_s * 0.05;
+    out.push_back(stall);
+  }
+  return out;
+}
+
+}  // namespace dsinfer::fleet

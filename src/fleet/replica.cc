@@ -1,0 +1,291 @@
+#include "fleet/replica.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "comm/collectives.h"
+#include "zero/offload.h"
+
+namespace dsinfer::fleet {
+
+// One decoder lane: the ragged decoder plus per-slot links back to the
+// router's request table, mirroring ContinuousBatcher::Lane but with the
+// admission queue owned here (the router dispatches, the replica admits).
+struct Replica::Lane {
+  Lane(core::InferenceEngine& engine, std::int64_t slots,
+       const core::SamplingOptions& sampling, std::uint64_t seed,
+       bool is_degraded, double factor)
+      : decoder(engine, slots, sampling, seed),
+        ridx(static_cast<std::size_t>(slots), 0),
+        retries(static_cast<std::size_t>(slots), 0),
+        est(static_cast<std::size_t>(slots), 0.0),
+        admit_s(static_cast<std::size_t>(slots), 0.0),
+        occ(static_cast<std::size_t>(slots), 0),
+        degraded(is_degraded), cost_factor(factor) {}
+
+  core::RaggedDecoder decoder;
+  std::vector<std::size_t> ridx;        // slot -> router request index
+  std::vector<std::int64_t> retries;    // engine retries absorbed per slot
+  std::vector<double> est;              // outstanding-work charge per slot
+  std::vector<double> admit_s;          // service start per slot
+  std::vector<std::int64_t> occ;        // occupancy at admission per slot
+  std::deque<std::pair<std::size_t, const core::TimedRequest*>> queue;
+  bool degraded = false;
+  double cost_factor = 1.0;  // degraded_factor on the batch lane
+};
+
+Replica::Replica(const FleetSpec& spec, std::int64_t id, std::uint64_t seed)
+    : id_(id), spec_(spec), site_("fleet.r" + std::to_string(id)),
+      seed_(seed), engine_(spec.serve().engine(), seed) {
+  const auto& sopts = spec_.serve().options();
+  primary_ = std::make_unique<Lane>(engine_, sopts.max_batch, sopts.sampling,
+                                    seed_, false, 1.0);
+}
+
+Replica::~Replica() = default;
+
+Replica::Lane& Replica::lane_for(const core::TimedRequest& rq) {
+  const auto& sopts = spec_.serve().options();
+  if (rq.slo != core::SloClass::kBatch || !spec_.options().batch_lane) {
+    return *primary_;
+  }
+  if (!batch_) {
+    if (!degraded_engine_) {
+      // Same seed => identical weights; only the execution fidelity drops —
+      // the same INT8 twin the overload path serves on (core/server.cc).
+      core::EngineOptions d = sopts.engine;
+      if (d.stream_weights) {
+        d.stream_int8 = true;
+      } else {
+        d.policy.dtype = kernels::Dtype::kINT8;
+        d.policy.gemm = kernels::GemmKind::kBlocked;
+      }
+      degraded_engine_ = std::make_unique<core::InferenceEngine>(
+          spec_.serve().engine().model(), d, seed_);
+    }
+    batch_ = std::make_unique<Lane>(
+        *degraded_engine_, std::max<std::int64_t>(1, sopts.max_batch / 2),
+        sopts.sampling, seed_ + 1, true,
+        sopts.virtual_service.degraded_factor);
+  }
+  return *batch_;
+}
+
+double Replica::estimate_s(const core::TimedRequest& rq,
+                           bool degraded) const {
+  const auto& vs = spec_.serve().options().virtual_service;
+  return (vs.prefill_s + vs.per_token_s * static_cast<double>(rq.new_tokens)) *
+         (degraded ? vs.degraded_factor : 1.0);
+}
+
+void Replica::enqueue(std::size_t ridx, const core::TimedRequest* rq) {
+  Lane& lane = lane_for(*rq);
+  lane.queue.emplace_back(ridx, rq);
+  outstanding_s_ += estimate_s(*rq, lane.degraded);
+}
+
+bool Replica::cancel(std::size_t ridx) {
+  for (Lane* lane : {primary_.get(), batch_.get()}) {
+    if (!lane) continue;
+    auto it = std::find_if(lane->queue.begin(), lane->queue.end(),
+                           [&](const auto& e) { return e.first == ridx; });
+    if (it != lane->queue.end()) {
+      outstanding_s_ =
+          std::max(0.0, outstanding_s_ - estimate_s(*it->second,
+                                                    lane->degraded));
+      lane->queue.erase(it);
+      return true;
+    }
+    for (std::int64_t s = 0; s < lane->decoder.capacity(); ++s) {
+      const auto us = static_cast<std::size_t>(s);
+      if (lane->decoder.arena().in_use(s) && lane->ridx[us] == ridx) {
+        lane->decoder.retire(s);  // mid-decode cancellation frees the slot
+        outstanding_s_ = std::max(0.0, outstanding_s_ - lane->est[us]);
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+std::vector<std::size_t> Replica::drain() {
+  std::vector<std::size_t> out;
+  for (Lane* lane : {primary_.get(), batch_.get()}) {
+    if (!lane) continue;
+    for (const auto& [ridx, rq] : lane->queue) out.push_back(ridx);
+    lane->queue.clear();
+    for (std::int64_t s = 0; s < lane->decoder.capacity(); ++s) {
+      if (lane->decoder.arena().in_use(s)) {
+        out.push_back(lane->ridx[static_cast<std::size_t>(s)]);
+        lane->decoder.retire(s);
+      }
+    }
+  }
+  outstanding_s_ = 0;
+  return out;
+}
+
+bool Replica::has_work() const {
+  for (const Lane* lane : {primary_.get(), batch_.get()}) {
+    if (lane && (!lane->queue.empty() || lane->decoder.active() > 0)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+double Replica::ready_s() const {
+  if (crashed_ || !has_work()) return kNever;
+  return std::max(clock_, stall_until_);
+}
+
+std::int64_t Replica::active() const {
+  std::int64_t n = 0;
+  for (const Lane* lane : {primary_.get(), batch_.get()}) {
+    if (lane) n += lane->decoder.active();
+  }
+  return n;
+}
+
+std::int64_t Replica::queued() const {
+  std::int64_t n = 0;
+  for (const Lane* lane : {primary_.get(), batch_.get()}) {
+    if (lane) n += static_cast<std::int64_t>(lane->queue.size());
+  }
+  return n;
+}
+
+void Replica::crash() { crashed_ = true; }
+
+void Replica::stall_until(double t) { stall_until_ = std::max(stall_until_, t); }
+
+void Replica::straggle(double factor, double until_s) {
+  straggle_factor_ = factor;
+  straggle_until_ = until_s;
+}
+
+bool Replica::with_retry(const std::function<void()>& invoke,
+                         std::int64_t& tries) {
+  const auto& res = spec_.serve().options().resilience;
+  util::FaultInjector* inj = spec_.options().injector;
+  tries = 0;
+  for (;;) {
+    bool fault = inj && inj->should_fail(site_);
+    if (!fault) {
+      try {
+        invoke();
+        return true;
+      } catch (const zero::StreamFault&) {
+        fault = true;
+      } catch (const comm::CommFault&) {
+        fault = true;
+      }
+    }
+    ++engine_faults_;
+    if (tries >= res.max_retries) return false;
+    clock_ += res.retry_backoff_s * static_cast<double>(1LL << tries);
+    ++tries;
+    ++engine_retries_;
+  }
+}
+
+void Replica::finish_slot(Lane& lane, std::int64_t slot, bool failed,
+                          std::int64_t extra_retries,
+                          std::vector<Completion>& out) {
+  const auto us = static_cast<std::size_t>(slot);
+  Completion c;
+  c.ridx = lane.ridx[us];
+  c.failed = failed;
+  c.batch_lane = lane.degraded;
+  c.admit_s = lane.admit_s[us];
+  c.finish_s = clock_;
+  c.retries = lane.retries[us] + extra_retries;
+  c.occupancy = lane.occ[us];
+  if (!failed) {
+    c.tokens = lane.decoder.tokens(slot);
+    c.stopped = lane.decoder.stopped(slot);
+  }
+  lane.decoder.retire(slot);
+  outstanding_s_ = std::max(0.0, outstanding_s_ - lane.est[us]);
+  out.push_back(std::move(c));
+}
+
+void Replica::admit_one(Lane& lane, std::vector<Completion>& out) {
+  const auto& vs = spec_.serve().options().virtual_service;
+  auto [ridx, rq] = lane.queue.front();
+  lane.queue.pop_front();
+  const double admit_start = clock_;
+  std::int64_t slot = -1;
+  std::int64_t tries = 0;
+  const bool ok =
+      with_retry([&] { slot = lane.decoder.admit(rq->prompt, rq->new_tokens); },
+                 tries);
+  if (!ok) {
+    outstanding_s_ =
+        std::max(0.0, outstanding_s_ - estimate_s(*rq, lane.degraded));
+    Completion c;
+    c.ridx = ridx;
+    c.failed = true;
+    c.batch_lane = lane.degraded;
+    c.admit_s = admit_start;
+    c.finish_s = clock_;
+    c.retries = tries;
+    out.push_back(std::move(c));
+    return;
+  }
+  const auto us = static_cast<std::size_t>(slot);
+  lane.ridx[us] = ridx;
+  lane.retries[us] = tries;
+  lane.est[us] = estimate_s(*rq, lane.degraded);
+  lane.admit_s[us] = admit_start;
+  clock_ += vs.prefill_s * lane.cost_factor * straggle_factor(clock_);
+  lane.occ[us] = active();
+  if (lane.decoder.finished(slot)) finish_slot(lane, slot, false, 0, out);
+}
+
+void Replica::step_lanes(std::vector<Completion>& out) {
+  const auto& vs = spec_.serve().options().virtual_service;
+  for (Lane* lane : {primary_.get(), batch_.get()}) {
+    if (!lane || lane->decoder.active() == 0) continue;
+    std::int64_t tries = 0;
+    const bool ok = with_retry([&] { lane->decoder.step(); }, tries);
+    if (tries > 0) {
+      for (std::int64_t s = 0; s < lane->decoder.capacity(); ++s) {
+        if (lane->decoder.arena().in_use(s)) {
+          lane->retries[static_cast<std::size_t>(s)] += tries;
+        }
+      }
+    }
+    if (!ok) {
+      // Retry budget exhausted mid-stream: every sequence live on this lane
+      // fails (the router decides whether their failover budget re-admits
+      // them elsewhere); their slots free immediately.
+      for (std::int64_t s = 0; s < lane->decoder.capacity(); ++s) {
+        if (lane->decoder.arena().in_use(s)) finish_slot(*lane, s, true, 0, out);
+      }
+      continue;
+    }
+    clock_ += vs.per_token_s * lane->cost_factor * straggle_factor(clock_);
+    for (std::int64_t s = 0; s < lane->decoder.capacity(); ++s) {
+      if (lane->decoder.arena().in_use(s) && lane->decoder.finished(s)) {
+        finish_slot(*lane, s, false, 0, out);
+      }
+    }
+  }
+}
+
+void Replica::process_one(double now, std::vector<Completion>& out) {
+  clock_ = std::max(clock_, now);
+  if (util::FaultInjector* inj = spec_.options().injector) {
+    clock_ += inj->delay_s(site_);  // transient latency spikes / stragglers
+  }
+  for (Lane* lane : {primary_.get(), batch_.get()}) {
+    if (lane && !lane->queue.empty() && lane->decoder.free_slots() > 0) {
+      admit_one(*lane, out);
+      return;
+    }
+  }
+  step_lanes(out);
+}
+
+}  // namespace dsinfer::fleet

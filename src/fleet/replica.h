@@ -1,0 +1,138 @@
+// One fleet replica (ISSUE 6): an independent serving box — its own
+// InferenceEngine (plus a lazily built INT8 twin for the batch lane), its
+// own KV arenas via two RaggedDecoder lanes, its own virtual clock, and its
+// own FaultInjector site ("fleet.r<id>") — made *steppable* so the
+// FleetRouter can interleave N replicas, scheduled faults, probes, and
+// hedge timers on one fleet-wide virtual timeline.
+//
+// This is the continuous batcher's lane machinery (admit between decode
+// iterations, retire on stop/budget, engine-fault retry with exponential
+// virtual backoff) factored into an event-loop shape: process_one() performs
+// exactly one scheduling action — admit one queued request, or run one
+// decode iteration across the lanes — and advances the replica clock by that
+// action's virtual cost. The router always advances the globally earliest
+// replica, so replica timelines never run more than one action ahead of the
+// fleet clock.
+//
+// Chaos surface: crash() freezes the replica forever (work is lost and must
+// fail over), stall_until() freezes it temporarily (probes fail, work
+// resumes), straggle() multiplies its virtual service costs (the slow-
+// replica mode hedging exists for). All replicas share the engine seed, so
+// greedy token streams are bit-identical across replicas — failover
+// re-admission on a survivor reproduces exactly the tokens a fault-free run
+// would have produced.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/inference_engine.h"
+#include "fleet/fleet_spec.h"
+
+namespace dsinfer::fleet {
+
+// One terminal event a replica reports back to the router.
+struct Completion {
+  std::size_t ridx = 0;       // index into the router's request vector
+  bool failed = false;        // engine retry budget exhausted (not a crash)
+  bool batch_lane = false;    // served on the degraded INT8 lane
+  double admit_s = 0;         // when the copy entered a slot
+  double finish_s = 0;        // replica-clock completion time
+  std::int64_t retries = 0;   // engine-fault retries this copy absorbed
+  std::int64_t occupancy = 0; // live sequences at admission (batch_size)
+  std::vector<std::int32_t> tokens;  // prompt + generated (never padded)
+  bool stopped = false;
+};
+
+class Replica {
+ public:
+  Replica(const FleetSpec& spec, std::int64_t id, std::uint64_t seed);
+  ~Replica();
+
+  std::int64_t id() const { return id_; }
+
+  // Queues a copy of request `ridx` for admission; the SLO class picks the
+  // lane (batch -> INT8 half-capacity lane when enabled).
+  void enqueue(std::size_t ridx, const core::TimedRequest* rq);
+
+  // Drops the copy of `ridx` (hedge lost / failover): erased from the lane
+  // queue, or its slot retired mid-decode. Returns false if no copy exists.
+  bool cancel(std::size_t ridx);
+
+  // Cancels everything outstanding (queued + in-slot) and returns the
+  // affected request indices — the failover sweep when the breaker opens.
+  std::vector<std::size_t> drain();
+
+  // Earliest virtual time this replica can perform its next action:
+  // +inf when crashed or idle, max(clock, stall end) otherwise.
+  double ready_s() const;
+  bool has_work() const;
+
+  // Performs one scheduling action no earlier than `now` (admit one request,
+  // else one decode iteration over the lanes) and appends any terminal
+  // events to `out`. Precondition: ready_s() <= now, not crashed.
+  void process_one(double now, std::vector<Completion>& out);
+
+  // ---- Chaos controls (router applies the ReplicaFault timeline). ----
+  void crash();
+  void stall_until(double t);
+  void straggle(double factor, double until_s);
+
+  bool crashed() const { return crashed_; }
+  // What a health probe at `now` observes: alive and not mid-stall.
+  bool responsive(double now) const {
+    return !crashed_ && now >= stall_until_;
+  }
+
+  double clock() const { return clock_; }
+  // Estimated queued + in-flight work, the router's load signal.
+  double outstanding_s() const { return outstanding_s_; }
+  std::int64_t active() const;
+  std::int64_t queued() const;
+  std::int64_t engine_faults() const { return engine_faults_; }
+  std::int64_t engine_retries() const { return engine_retries_; }
+
+ private:
+  struct Lane;
+
+  Lane& lane_for(const core::TimedRequest& rq);
+  double straggle_factor(double t) const {
+    return t < straggle_until_ ? straggle_factor_ : 1.0;
+  }
+  // Estimated full service cost of one request on `degraded` fidelity.
+  double estimate_s(const core::TimedRequest& rq, bool degraded) const;
+  // Runs `invoke` under the engine-fault retry budget, charging backoff to
+  // the replica clock. Returns false when the budget is exhausted.
+  bool with_retry(const std::function<void()>& invoke, std::int64_t& tries);
+  void admit_one(Lane& lane, std::vector<Completion>& out);
+  void step_lanes(std::vector<Completion>& out);
+  void finish_slot(Lane& lane, std::int64_t slot, bool failed,
+                   std::int64_t extra_retries, std::vector<Completion>& out);
+
+  std::int64_t id_;
+  const FleetSpec& spec_;
+  std::string site_;  // injector site "fleet.r<id>"
+  std::uint64_t seed_;
+  core::InferenceEngine engine_;
+  std::unique_ptr<core::InferenceEngine> degraded_engine_;
+  std::unique_ptr<Lane> primary_;
+  std::unique_ptr<Lane> batch_;  // built on first batch-class enqueue
+
+  double clock_ = 0;
+  double outstanding_s_ = 0;
+  bool crashed_ = false;
+  double stall_until_ = 0;
+  double straggle_factor_ = 1.0;
+  double straggle_until_ = 0;
+  std::int64_t engine_faults_ = 0;
+  std::int64_t engine_retries_ = 0;
+};
+
+inline constexpr double kNever = std::numeric_limits<double>::infinity();
+
+}  // namespace dsinfer::fleet

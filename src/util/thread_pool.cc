@@ -1,7 +1,6 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
-#include <atomic>
 
 namespace dsinfer {
 
@@ -70,29 +69,38 @@ void ThreadPool::parallel_for(
     body(begin, end);
     return;
   }
-  std::atomic<std::size_t> remaining{chunks - 1};
+  // The count, and the notify, both happen under done_mu: the waiter can
+  // only observe remaining == 0 after the last worker has released the
+  // lock, so these stack locals are never destroyed while a worker still
+  // holds (or is about to take) them. Decrementing outside the lock and
+  // locking only to notify leaves a window where a spurious wakeup lets
+  // parallel_for return and unwind while the last worker is between its
+  // decrement and the lock — a use-after-scope that hangs on the dead
+  // mutex's futex.
+  std::size_t remaining = chunks - 1;
   std::mutex done_mu;
   std::condition_variable done_cv;
+  auto finish_one = [&] {
+    std::lock_guard<std::mutex> lock(done_mu);
+    if (--remaining == 0) done_cv.notify_one();
+  };
   const std::size_t step = (n + chunks - 1) / chunks;
   // Chunks 1..chunks-1 run on the pool; chunk 0 runs inline below.
   for (std::size_t c = 1; c < chunks; ++c) {
     const std::size_t lo = begin + c * step;
     const std::size_t hi = std::min(end, lo + step);
     if (lo >= hi) {
-      remaining.fetch_sub(1, std::memory_order_acq_rel);
+      finish_one();
       continue;
     }
     submit([&, lo, hi] {
       body(lo, hi);
-      if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-        std::lock_guard<std::mutex> lock(done_mu);
-        done_cv.notify_one();
-      }
+      finish_one();
     });
   }
   body(begin, std::min(end, begin + step));
   std::unique_lock<std::mutex> lock(done_mu);
-  done_cv.wait(lock, [&] { return remaining.load(std::memory_order_acquire) == 0; });
+  done_cv.wait(lock, [&] { return remaining == 0; });
 }
 
 ThreadPool& ThreadPool::global() {

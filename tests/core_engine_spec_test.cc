@@ -11,6 +11,8 @@
 #include "core/engine_spec.h"
 #include "core/inference_engine.h"
 #include "core/server.h"
+#include "fleet/fleet_spec.h"
+#include "fleet/router.h"
 
 namespace dsinfer::core {
 namespace {
@@ -199,6 +201,90 @@ TEST(ServeSpec, SpecServerMatchesLegacyShim) {
   ASSERT_EQ(ra.size(), rb.size());
   for (std::size_t i = 0; i < ra.size(); ++i) {
     EXPECT_EQ(ra[i].tokens, rb[i].tokens);
+  }
+}
+
+// ---- FleetSpec (ISSUE 6): the configuration family extended one level up.
+
+ServeSpec fleet_ready_serve() {
+  EngineSpec eng(tiny());
+  eng.policy(kernels::KernelPolicy::optimized_large_batch())
+      .max_batch(8)
+      .max_seq(64);
+  ServeSpec s(eng);
+  VirtualServiceModel vs;
+  vs.enabled = true;
+  s.scheduler(Scheduler::kContinuous).max_batch(4).virtual_service(vs);
+  return s;
+}
+
+TEST(FleetSpec, ValidFleetConfigHasNoErrors) {
+  fleet::FleetSpec spec(fleet_ready_serve());
+  spec.replicas(3)
+      .policy(fleet::RoutePolicy::kPrefixAffinity)
+      .hedge(true, 10e-3)
+      .queue_limits(32, 16)
+      .failover_budget(2)
+      .probe(2e-3, 3, 15e-3)
+      .affinity(4, 1.5);
+  EXPECT_TRUE(spec.validate().empty());
+  EXPECT_EQ(spec.options().replicas, 3);
+  EXPECT_TRUE(spec.options().latency.hedging);
+  EXPECT_EQ(spec.options().batch.queue_limit, 16);
+}
+
+TEST(FleetSpec, AccumulatesEveryFleetViolationTyped) {
+  // One validate() pass reports every violated fleet constraint, in stable
+  // order, appended after the per-replica ServeSpec errors — same
+  // multi-error contract as EngineSpec/ServeSpec.
+  EngineSpec eng(tiny());
+  eng.max_batch(8).max_seq(64);
+  ServeSpec serve(eng);
+  serve.scheduler(Scheduler::kWindow).max_batch(4);  // valid serve spec,
+                                                     // but not fleet-legal
+  fleet::FleetSpec spec(serve);
+  spec.replicas(0)
+      .policy(fleet::RoutePolicy::kPrefixAffinity)
+      .hedge(true, 0.0)
+      .queue_limits(0, 64)
+      .failover_budget(-1)
+      .probe(0.0, 0, -1.0)
+      .affinity(0, 2.0);
+  const auto got = codes(spec.validate());
+  using C = ConfigError::Code;
+  const std::vector<C> want = {
+      C::kBadReplicaCount,       C::kBadHedgeDelay, C::kBadFailoverBudget,
+      C::kBadSloClass,           C::kBadProbe,      C::kBadAffinity,
+      C::kFleetNeedsContinuous,  C::kFleetNeedsVirtualService,
+  };
+  EXPECT_EQ(got, want);
+}
+
+TEST(FleetSpec, PerReplicaServeErrorsComeFirst) {
+  EngineSpec eng(tiny());
+  eng.max_batch(8).max_seq(64);
+  ServeSpec serve(eng);
+  VirtualServiceModel vs;
+  vs.enabled = true;
+  serve.scheduler(Scheduler::kContinuous)
+      .max_batch(0)  // per-replica violation
+      .virtual_service(vs);
+  fleet::FleetSpec spec(serve);
+  spec.replicas(0);  // fleet violation
+  const auto got = codes(spec.validate());
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0], ConfigError::Code::kBadServeBatch);
+  EXPECT_EQ(got[1], ConfigError::Code::kBadReplicaCount);
+}
+
+TEST(FleetSpec, RouterCtorThrowsTypedOnFirstError) {
+  fleet::FleetSpec spec(fleet_ready_serve());
+  spec.replicas(0).failover_budget(-1);
+  try {
+    fleet::FleetRouter router(spec, 1);
+    FAIL() << "expected ConfigException";
+  } catch (const ConfigException& e) {
+    EXPECT_EQ(e.code(), ConfigError::Code::kBadReplicaCount);
   }
 }
 

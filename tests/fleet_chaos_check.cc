@@ -1,0 +1,127 @@
+// End-to-end fleet chaos gate (ISSUE 6, ctest `fleet_chaos_check`, label
+// `fleet`): replay a seeded saturation-regime trace through a 3-replica
+// fleet twice — fault-free baseline, then the standard chaos schedule
+// (replica 0 crashes mid-run, replica 1 straggles, replica 2 stalls) — under
+// tracing and metrics, and gate on:
+//   1. accounting totality: every admitted request completes or sheds with a
+//      typed error, zero deadline-miss-without-shed leaks (check_accounting);
+//   2. resilience: surviving goodput >= 60% of the fault-free baseline;
+//   3. observability: the exported Chrome trace passes the structural
+//      validator, and the fleet metrics counters are coherent.
+// Plain binary (not gtest): prints PASS/FAIL per gate, exit code is the gate.
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+#include "core/engine_spec.h"
+#include "fleet/fleet_spec.h"
+#include "fleet/load_harness.h"
+#include "fleet/router.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace {
+
+int g_failures = 0;
+
+void check(bool ok, const std::string& what) {
+  std::printf("%s: %s\n", ok ? "PASS" : "FAIL", what.c_str());
+  if (!ok) ++g_failures;
+}
+
+}  // namespace
+
+int main() {
+  using namespace dsinfer;
+
+  core::ServerOptions o;
+  o.engine.policy = kernels::KernelPolicy::optimized_large_batch();
+  o.engine.max_batch = 8;
+  o.engine.max_seq = 64;
+  o.scheduler = core::Scheduler::kContinuous;
+  o.max_batch = 4;
+  o.virtual_service.enabled = true;
+  auto serve = core::ServeSpec::from_options(model::tiny_gpt(64, 2, 4), o);
+
+  fleet::FleetSpec spec(serve);
+  spec.replicas(3)
+      .policy(fleet::RoutePolicy::kPowerOfTwo)
+      .hedge(true, 15e-3)
+      .failover_budget(2)
+      .queue_limits(256, 128);
+
+  // Post-knee offered load: ~3 replica-capacities' worth of bursty arrivals.
+  fleet::FleetWorkloadSpec w;
+  w.base_rate_hz = 900;
+  w.duration_s = 0.4;
+  w.seed = 91;
+  const auto trace = fleet::generate_fleet_trace(w);
+  check(trace.size() > 100, "trace has saturation-regime volume (" +
+                                std::to_string(trace.size()) + " requests)");
+  const auto faults = fleet::standard_chaos_schedule(3, w.duration_s);
+
+  obs::TraceRecorder::instance().set_enabled(true);
+  obs::MetricsRegistry::instance().set_enabled(true);
+
+  fleet::FleetRouter router(spec, /*seed=*/101);
+  const auto baseline = router.run_trace(trace);
+  const auto chaos = router.run_trace(trace, faults);
+
+  // Gate 1: totality + typed errors + zero accounting leaks (both runs).
+  const std::string leak_base = fleet::check_accounting(baseline);
+  const std::string leak_chaos = fleet::check_accounting(chaos);
+  check(leak_base.empty(), "baseline accounting clean" +
+                               (leak_base.empty() ? "" : ": " + leak_base));
+  check(leak_chaos.empty(), "chaos accounting clean" +
+                                (leak_chaos.empty() ? "" : ": " + leak_chaos));
+  check(chaos.counters.crashes == 1 && chaos.counters.stragglers == 1 &&
+            chaos.counters.stalls == 1,
+        "chaos schedule applied (crash + straggle + stall)");
+  check(chaos.counters.failovers > 0, "crash drained work failed over (" +
+                                          std::to_string(
+                                              chaos.counters.failovers) +
+                                          " failovers)");
+
+  // Gate 2: surviving goodput under chaos >= 60% of the fault-free fleet.
+  const auto sum_base = fleet::summarize_fleet(baseline.stats);
+  const auto sum_chaos = fleet::summarize_fleet(chaos.stats);
+  const double ratio = sum_base.all.served_per_s > 0
+                           ? sum_chaos.all.served_per_s /
+                                 sum_base.all.served_per_s
+                           : 0.0;
+  {
+    std::ostringstream msg;
+    msg << "surviving goodput " << sum_chaos.all.served_per_s
+        << " req/s >= 60% of baseline " << sum_base.all.served_per_s
+        << " req/s (ratio " << ratio << ")";
+    check(ratio >= 0.60, msg.str());
+  }
+
+  // Gate 3a: the Chrome trace of both runs validates structurally.
+  std::ostringstream trace_json;
+  obs::TraceRecorder::instance().export_json(trace_json);
+  std::string err;
+  const bool trace_ok = obs::validate_chrome_trace(trace_json.str(), &err);
+  check(trace_ok, "chrome trace validates (" +
+                      std::to_string(trace_json.str().size()) + " bytes)" +
+                      (trace_ok ? "" : ": " + err));
+
+  // Gate 3b: metrics coherence — the registry saw both runs' serving totals.
+  const auto snap = obs::MetricsRegistry::instance().snapshot();
+  std::int64_t metric_served = -1;
+  for (const auto& [name, value] : snap.counters) {
+    if (name == "fleet.served") metric_served = value;
+  }
+  check(metric_served == baseline.counters.served + chaos.counters.served,
+        "fleet.served metric matches both runs (" +
+            std::to_string(metric_served) + ")");
+
+  obs::TraceRecorder::instance().set_enabled(false);
+  obs::MetricsRegistry::instance().set_enabled(false);
+
+  std::printf("%s (%d gate failure%s)\n",
+              g_failures == 0 ? "fleet_chaos_check PASS"
+                              : "fleet_chaos_check FAIL",
+              g_failures, g_failures == 1 ? "" : "s");
+  return g_failures == 0 ? 0 : 1;
+}

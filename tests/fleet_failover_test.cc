@@ -1,0 +1,209 @@
+// Fleet failover suite (ISSUE 6, ctest label `fleet`): the killed-replica-
+// mid-decode guarantee — every admitted request either completes with tokens
+// bit-identical to a fault-free single-replica run or is shed with a typed
+// error; no hangs, no lost requests — plus breaker-driven failover, budgets,
+// stall recovery, and engine-fault re-dispatch.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/engine_spec.h"
+#include "fleet/fleet_spec.h"
+#include "fleet/load_harness.h"
+#include "fleet/router.h"
+#include "util/fault_injector.h"
+
+namespace dsinfer::fleet {
+namespace {
+
+using core::SloClass;
+using core::TimedRequest;
+using Outcome = core::RequestStats::Outcome;
+
+core::ServeSpec serve_spec(std::int64_t max_batch = 4) {
+  core::ServerOptions o;
+  o.engine.policy = kernels::KernelPolicy::optimized_large_batch();
+  o.engine.max_batch = 8;
+  o.engine.max_seq = 64;
+  o.scheduler = core::Scheduler::kContinuous;
+  o.max_batch = max_batch;
+  o.virtual_service.enabled = true;
+  return core::ServeSpec::from_options(model::tiny_gpt(64, 2, 4), o);
+}
+
+TimedRequest req(std::int64_t id, std::vector<std::int32_t> prompt,
+                 std::int64_t new_tokens, double arrival,
+                 SloClass slo = SloClass::kLatency) {
+  TimedRequest r;
+  r.id = id;
+  r.prompt = std::move(prompt);
+  r.new_tokens = new_tokens;
+  r.arrival_s = arrival;
+  r.slo = slo;
+  return r;
+}
+
+ReplicaFault crash(std::int64_t replica, double at_s) {
+  ReplicaFault f;
+  f.replica = replica;
+  f.at_s = at_s;
+  f.kind = ReplicaFault::Kind::kCrash;
+  return f;
+}
+
+TEST(FleetFailover, KilledReplicaMidDecodeServesBitIdenticalOrTypedSheds) {
+  // The chaos-gate correctness core: a replica dies mid-decode under load;
+  // every request either completes with exactly the tokens a fault-free
+  // single-replica fleet produces for it, or leaves with a typed shed/fail.
+  FleetWorkloadSpec w;
+  w.base_rate_hz = 300;
+  w.duration_s = 0.3;
+  w.latency_deadline_s = 0;  // no deadlines: isolate crash effects
+  w.seed = 31;
+  const auto trace = generate_fleet_trace(w);
+  ASSERT_GT(trace.size(), 20u);
+
+  FleetSpec ref(serve_spec());
+  ref.replicas(1).queue_limits(100000, 100000).failover_budget(0);
+  const auto baseline = FleetRouter(ref, 41).run_trace(trace);
+  std::map<std::int64_t, std::vector<std::int32_t>> expect_tokens;
+  for (const auto& s : baseline.stats) {
+    ASSERT_TRUE(s.base.served());
+    expect_tokens[s.base.id] = s.base.tokens;
+  }
+
+  FleetSpec spec(serve_spec());
+  spec.replicas(3).failover_budget(2).queue_limits(100000, 100000);
+  FleetRouter router(spec, 41);
+  const auto out = router.run_trace(trace, {crash(0, 0.15)});
+
+  EXPECT_TRUE(check_accounting(out).empty()) << check_accounting(out);
+  EXPECT_EQ(out.counters.crashes, 1);
+  std::int64_t served = 0, typed = 0;
+  for (const auto& s : out.stats) {
+    if (s.base.served()) {
+      ++served;
+      // Bit-identical to the fault-free run, wherever (and however many
+      // times) it was dispatched: all replicas share the engine seed.
+      EXPECT_EQ(s.base.tokens, expect_tokens.at(s.base.id))
+          << "request " << s.base.id << " on replica " << s.replica;
+    } else {
+      ++typed;
+      EXPECT_NE(s.reason, ShedReason::kNone);
+    }
+  }
+  EXPECT_EQ(served + typed, static_cast<std::int64_t>(trace.size()));
+  EXPECT_GT(served, 0);
+}
+
+TEST(FleetFailover, CrashedWorkFailsOverAndServes) {
+  FleetSpec spec(serve_spec());
+  spec.replicas(2).failover_budget(2).probe(1e-3, 2, 5e-3);
+  FleetRouter router(spec, 19);
+  // Two long requests at t=0 land one per replica; replica 0 dies almost
+  // immediately, its request re-admits on replica 1 and still serves.
+  const auto out = router.run_trace(
+      {req(0, {1, 2}, 10, 0.0), req(1, {3, 4}, 10, 0.0)},
+      {crash(0, 2e-3)});
+  EXPECT_TRUE(check_accounting(out).empty()) << check_accounting(out);
+  for (const auto& s : out.stats) {
+    EXPECT_TRUE(s.base.served()) << "request " << s.base.id;
+    EXPECT_EQ(s.replica, 1);
+  }
+  EXPECT_EQ(out.counters.failovers, 1);
+  EXPECT_GE(out.counters.breaker_opens, 1);
+  std::int64_t failovers = 0;
+  for (const auto& s : out.stats) failovers += s.failovers;
+  EXPECT_EQ(failovers, 1);
+}
+
+TEST(FleetFailover, FailoverBudgetZeroFailsTyped) {
+  FleetSpec spec(serve_spec());
+  spec.replicas(2).failover_budget(0).probe(1e-3, 2, 5e-3);
+  FleetRouter router(spec, 23);
+  const auto out = router.run_trace(
+      {req(0, {1, 2}, 10, 0.0), req(1, {3, 4}, 10, 0.0)},
+      {crash(0, 2e-3)});
+  EXPECT_TRUE(check_accounting(out).empty()) << check_accounting(out);
+  std::int64_t failed = 0;
+  for (const auto& s : out.stats) {
+    if (s.base.outcome == Outcome::kFailed) {
+      ++failed;
+      EXPECT_EQ(s.reason, ShedReason::kFailoverBudget);
+    }
+  }
+  EXPECT_EQ(failed, 1);  // the crashed replica's request, budget exhausted
+  EXPECT_EQ(out.counters.failures, 1);
+  EXPECT_EQ(out.counters.served, 1);
+}
+
+TEST(FleetFailover, AllReplicasCrashedShedsTypedNoHang) {
+  FleetSpec spec(serve_spec());
+  spec.replicas(2).failover_budget(3);
+  FleetRouter router(spec, 29);
+  std::vector<TimedRequest> trace = {
+      req(0, {1, 2}, 12, 0.0),    // in flight when the fleet dies
+      req(1, {3, 4}, 12, 0.0),
+      req(2, {5, 6}, 4, 0.05),    // arrives into a dead fleet
+      req(3, {7, 8}, 4, 0.08),
+  };
+  const auto out =
+      router.run_trace(trace, {crash(0, 3e-3), crash(1, 3e-3)});
+  EXPECT_TRUE(check_accounting(out).empty()) << check_accounting(out);
+  for (const auto& s : out.stats) {
+    EXPECT_EQ(s.base.outcome, Outcome::kShed) << "request " << s.base.id;
+    EXPECT_EQ(s.reason, ShedReason::kNoHealthyReplica);
+  }
+  EXPECT_EQ(out.counters.shed_no_healthy, 4);
+  EXPECT_EQ(out.counters.crashes, 2);
+}
+
+TEST(FleetFailover, StallOpensBreakerThenRecovers) {
+  FleetSpec spec(serve_spec());
+  // Probes every 2ms, trip after 2 failures, half-open after 10ms.
+  spec.replicas(2).probe(2e-3, 2, 10e-3).failover_budget(2);
+  FleetRouter router(spec, 37);
+  ReplicaFault stall;
+  stall.replica = 0;
+  stall.at_s = 1e-3;
+  stall.kind = ReplicaFault::Kind::kStall;
+  stall.duration_s = 30e-3;
+  // A steady trickle spanning stall, breaker-open, and recovery.
+  std::vector<TimedRequest> trace;
+  for (std::int64_t i = 0; i < 12; ++i) {
+    trace.push_back(
+        req(i, {static_cast<std::int32_t>(i + 1), 2}, 4,
+            static_cast<double>(i) * 8e-3));
+  }
+  const auto out = router.run_trace(trace, {stall});
+  EXPECT_TRUE(check_accounting(out).empty()) << check_accounting(out);
+  EXPECT_EQ(out.counters.served, 12);  // nothing lost to a transient stall
+  EXPECT_GE(out.counters.breaker_opens, 1);
+  EXPECT_GE(out.counters.breaker_half_opens, 1);
+  EXPECT_GE(out.counters.breaker_closes, 1);  // replica rejoined the fleet
+  EXPECT_GE(out.counters.probe_failures, 2);
+}
+
+TEST(FleetFailover, EngineFaultExhaustionFailsOverToHealthyReplica) {
+  util::FaultInjector inj(/*seed=*/7);
+  util::FaultSpec always;
+  always.fail_probability = 1.0;  // replica 0's engine never succeeds
+  inj.configure("fleet.r0", always);
+
+  FleetSpec spec(serve_spec());
+  spec.replicas(2).failover_budget(2).fault_injector(&inj)
+      .probe(2e-3, 100, 10e-3);  // breaker effectively disabled via threshold
+  FleetRouter router(spec, 43);
+  const auto out = router.run_trace(
+      {req(0, {1, 2}, 6, 0.0), req(1, {3, 4}, 6, 0.0)});
+  EXPECT_TRUE(check_accounting(out).empty()) << check_accounting(out);
+  for (const auto& s : out.stats) {
+    EXPECT_TRUE(s.base.served()) << "request " << s.base.id;
+    EXPECT_EQ(s.replica, 1);  // everything ends up on the healthy replica
+  }
+  EXPECT_GT(out.counters.engine_faults, 0);
+  EXPECT_GE(out.counters.failovers, 1);
+}
+
+}  // namespace
+}  // namespace dsinfer::fleet

@@ -1,0 +1,161 @@
+// Fleet DES-twin suite (ISSUE 6, ctest label `fleet`): the simulator mirrors
+// the functional router's policies, breaker, hedging, and failover over a
+// synthetic service model — cross-checked by requiring the simulated and
+// functional goodput curves to agree in shape (saturation knee within one
+// rate step) and the chaos counters to tell the same story.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/engine_spec.h"
+#include "fleet/fleet_sim.h"
+#include "fleet/load_harness.h"
+#include "fleet/router.h"
+
+namespace dsinfer::fleet {
+namespace {
+
+using core::SloClass;
+using core::TimedRequest;
+using Outcome = core::RequestStats::Outcome;
+
+core::ServeSpec serve_spec(std::int64_t max_batch = 4) {
+  core::ServerOptions o;
+  o.engine.policy = kernels::KernelPolicy::optimized_large_batch();
+  o.engine.max_batch = 8;
+  o.engine.max_seq = 64;
+  o.scheduler = core::Scheduler::kContinuous;
+  o.max_batch = max_batch;
+  o.virtual_service.enabled = true;
+  return core::ServeSpec::from_options(model::tiny_gpt(64, 2, 4), o);
+}
+
+FleetWorkloadSpec workload(double rate_hz, double duration_s,
+                           std::uint64_t seed) {
+  FleetWorkloadSpec w;
+  w.base_rate_hz = rate_hz;
+  w.duration_s = duration_s;
+  w.seed = seed;
+  return w;
+}
+
+TEST(FleetSim, AccountingIsTotalAndDeterministic) {
+  FleetSpec spec(serve_spec());
+  spec.replicas(3).policy(RoutePolicy::kPowerOfTwo).hedge(true, 10e-3);
+  const auto trace = generate_fleet_trace(workload(400, 0.4, 51));
+  ASSERT_FALSE(trace.empty());
+  const auto faults = standard_chaos_schedule(3, 0.4);
+
+  const auto a = simulate_fleet(spec, trace, faults, 61);
+  const auto b = simulate_fleet(spec, trace, faults, 61);
+  EXPECT_TRUE(check_accounting(a).empty()) << check_accounting(a);
+  EXPECT_EQ(a.counters.served, b.counters.served);
+  EXPECT_EQ(a.counters.sheds, b.counters.sheds);
+  EXPECT_EQ(a.counters.failovers, b.counters.failovers);
+  EXPECT_EQ(a.counters.hedges, b.counters.hedges);
+  ASSERT_EQ(a.stats.size(), b.stats.size());
+  for (std::size_t i = 0; i < a.stats.size(); ++i) {
+    EXPECT_EQ(a.stats[i].base.outcome, b.stats[i].base.outcome);
+    EXPECT_EQ(a.stats[i].replica, b.stats[i].replica);
+    EXPECT_DOUBLE_EQ(a.stats[i].base.finish_s, b.stats[i].base.finish_s);
+  }
+  EXPECT_EQ(a.counters.crashes, 1);
+  EXPECT_GT(a.counters.served, 0);
+}
+
+TEST(FleetSim, CrashTriggersBreakerAndFailoverLikeFunctional) {
+  FleetSpec spec(serve_spec());
+  spec.replicas(2).failover_budget(2).probe(1e-3, 2, 5e-3);
+  std::vector<TimedRequest> trace;
+  for (std::int64_t i = 0; i < 2; ++i) {
+    TimedRequest r;
+    r.id = i;
+    r.prompt = {static_cast<std::int32_t>(i + 1), 2};
+    r.new_tokens = 10;
+    r.arrival_s = 0;
+    trace.push_back(r);
+  }
+  ReplicaFault f;
+  f.replica = 0;
+  f.at_s = 2e-3;
+  f.kind = ReplicaFault::Kind::kCrash;
+
+  const auto sim = simulate_fleet(spec, trace, {f}, 19);
+  const auto fn = FleetRouter(spec, 19).run_trace(trace, {f});
+  // Same protocol outcome on both substrates: everything completes on the
+  // survivor after exactly one failover.
+  EXPECT_EQ(sim.counters.served, fn.counters.served);
+  EXPECT_EQ(sim.counters.failovers, fn.counters.failovers);
+  // Both breakers trip; the exact reopen-churn count while the replica stays
+  // dead depends on when the last completion stops the probe loop, which is
+  // substrate timing, not protocol.
+  EXPECT_GE(sim.counters.breaker_opens, 1);
+  EXPECT_GE(fn.counters.breaker_opens, 1);
+  for (const auto& s : sim.stats) {
+    EXPECT_TRUE(s.base.served());
+    EXPECT_EQ(s.replica, 1);
+  }
+}
+
+TEST(FleetSim, HedgingRescuesStragglerInTheTwinToo) {
+  FleetSpec spec(serve_spec());
+  spec.replicas(2).hedge(true, 5e-3);
+  TimedRequest r;
+  r.id = 0;
+  r.prompt = {9, 9, 9};
+  r.new_tokens = 8;
+  ReplicaFault slow;
+  slow.replica = 0;
+  slow.at_s = 0;
+  slow.kind = ReplicaFault::Kind::kStraggle;
+  slow.factor = 50.0;
+  const auto out = simulate_fleet(spec, {r}, {slow}, 17);
+  ASSERT_TRUE(out.stats[0].base.served());
+  EXPECT_TRUE(out.stats[0].hedged);
+  EXPECT_TRUE(out.stats[0].hedge_won);
+  EXPECT_EQ(out.stats[0].replica, 1);
+  EXPECT_EQ(out.counters.hedge_cancels, 1);
+}
+
+// Saturation-knee agreement (ISSUE 6 satellite): sweep the arrival rate
+// through saturation on both substrates; the first rate where goodput falls
+// below 90% of offered load (the knee) must land within one rate step.
+TEST(FleetSim, KneeMatchesFunctionalWithinOneRateStep) {
+  const std::vector<double> rates = {200, 400, 800, 1600, 3200};
+  FleetSpec spec(serve_spec());
+  spec.replicas(2).queue_limits(100000, 100000);
+
+  auto knee = [&](bool functional) {
+    for (std::size_t k = 0; k < rates.size(); ++k) {
+      const auto trace = generate_fleet_trace(workload(rates[k], 0.25, 71));
+      if (trace.empty()) continue;
+      FleetResult res = functional
+                            ? FleetRouter(spec, 81).run_trace(trace)
+                            : simulate_fleet(spec, trace, {}, 81);
+      const auto sum = summarize_fleet(res.stats);
+      const double arrived_per_s =
+          static_cast<double>(trace.size()) / 0.25;
+      if (sum.all.served_per_s < 0.9 * arrived_per_s) return k;
+    }
+    return rates.size();
+  };
+
+  const auto fn_knee = knee(true);
+  const auto sim_knee = knee(false);
+  EXPECT_LE(fn_knee >= sim_knee ? fn_knee - sim_knee : sim_knee - fn_knee, 1u)
+      << "functional knee at index " << fn_knee << ", simulated at "
+      << sim_knee;
+  // Both must actually saturate inside the sweep — otherwise the check is
+  // vacuous.
+  EXPECT_LT(fn_knee, rates.size());
+  EXPECT_LT(sim_knee, rates.size());
+}
+
+TEST(FleetSim, ValidatesSpecLikeTheRouter) {
+  FleetSpec bad(serve_spec());
+  bad.replicas(0).hedge(true, 0.0);
+  EXPECT_THROW(simulate_fleet(bad, {}), core::ConfigException);
+}
+
+}  // namespace
+}  // namespace dsinfer::fleet

@@ -64,6 +64,30 @@ TEST(ThreadPool, ParallelForSmallRange) {
   EXPECT_EQ(sum.load(), 3);
 }
 
+TEST(ThreadPool, ParallelForJoinSurvivesOversubscribedChurn) {
+  // Regression: the join's completion count must be mutated under the same
+  // mutex the waiter sleeps on — a decrement outside it let a spurious
+  // wakeup unwind parallel_for's stack locals while the last worker was
+  // still about to lock them (observed as a permanent futex hang under
+  // TSan with concurrent test processes). Churn many tiny joined loops
+  // from several threads over one shared pool to keep that window hot.
+  ThreadPool pool(4);
+  std::atomic<long> total{0};
+  std::vector<std::thread> callers;
+  for (int t = 0; t < 4; ++t) {
+    callers.emplace_back([&] {
+      for (int iter = 0; iter < 500; ++iter) {
+        pool.parallel_for(0, 16, [&](std::size_t b, std::size_t e) {
+          total.fetch_add(static_cast<long>(e - b),
+                          std::memory_order_relaxed);
+        });
+      }
+    });
+  }
+  for (auto& c : callers) c.join();
+  EXPECT_EQ(total.load(), 4L * 500L * 16L);
+}
+
 TEST(ThreadPool, SubmitRunsTask) {
   ThreadPool pool(1);
   std::atomic<bool> ran{false};
