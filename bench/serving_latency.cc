@@ -65,13 +65,15 @@ namespace {
 using namespace dsinfer;
 
 struct Row {
-  std::string mode = "replay";  // replay | modeled | fleet
+  std::string mode = "replay";  // replay | modeled | fleet | capacity
   double rate_hz = 0;
   std::string scheduler;
   std::int64_t tp = 1;
   std::string policy = "-";     // fleet rows: routing policy
   std::string slo_class = "all";  // fleet rows: latency | batch
   std::int64_t replicas = 1;
+  std::string kv_mode = "-";    // capacity rows: strip | paged | paged+prefix
+  double prefix_hit_rate = 0;   // capacity rows: hit tokens / prompt tokens
   double offered_hz = 0;  // actual trace arrivals / duration
   double step_s = 0;  // modeled per-decode-step latency at the fig-6 shape
   core::ServingSummary s;
@@ -122,6 +124,54 @@ core::ServeSpec fleet_serve(const model::DenseModelConfig& cfg) {
   auto opts = scheduler_options(core::Scheduler::kContinuous);
   opts.max_batch = 4;
   return core::ServeSpec::from_options(cfg, opts);
+}
+
+// Hot-prefix trace for the paged-KV capacity section (ISSUE 7): every
+// request opens with the same `shared`-token system prompt, then diverges
+// for `tail` tokens — the workload shape prefix caching exists for.
+std::vector<core::TimedRequest> hot_prefix_trace(std::int64_t n,
+                                                 std::int64_t shared,
+                                                 std::int64_t tail,
+                                                 double rate_hz, double sla_s) {
+  std::vector<core::TimedRequest> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    core::TimedRequest rq;
+    rq.id = i;
+    for (std::int64_t t = 0; t < shared; ++t) {
+      rq.prompt.push_back(static_cast<std::int32_t>(1 + t % 50));
+    }
+    for (std::int64_t t = 0; t < tail; ++t) {
+      rq.prompt.push_back(static_cast<std::int32_t>(1 + (i * 7 + t) % 60));
+    }
+    rq.new_tokens = 8;
+    rq.arrival_s = static_cast<double>(i) / rate_hz;
+    rq.deadline_s = rq.arrival_s + sla_s;
+    out.push_back(std::move(rq));
+  }
+  return out;
+}
+
+// The three KV layouts of the capacity head-to-head, all at *equal arena
+// bytes* per rank: strip reserves max_seq rows per slot (4 x 64 = 256 rows),
+// the paged configs virtualize the same 256 rows as a 32-page x 8-token pool
+// shared by 16 slots — admission is bounded by actual token budgets (and, in
+// paged+prefix mode, discounted by resident shared prefix pages), not by the
+// worst-case strip reservation.
+core::ServerOptions capacity_options(const std::string& kv_mode) {
+  auto opts = scheduler_options(core::Scheduler::kContinuous);
+  opts.resilience.admission_control = true;
+  if (kv_mode == "strip") {
+    opts.engine.max_batch = 4;
+    opts.max_batch = 4;
+  } else {
+    opts.engine.max_batch = 16;
+    opts.max_batch = 16;
+    opts.engine.kv_page_tokens = 8;
+    opts.engine.kv_pages = 32;  // 32 x 8 rows == strip's 4 x 64 rows
+    opts.engine.kv_prefix_cache = kv_mode == "paged+prefix";
+  }
+  return opts;
 }
 
 std::vector<core::TimedRequest> mixed_trace(double rate_hz) {
@@ -366,6 +416,82 @@ int main(int argc, char** argv) {
                  "class. Sheds are typed backpressure, not losses.\n";
   }
 
+  // --- Paged KV capacity at equal arena bytes (ISSUE 7) ---
+  // Hot shared-prefix workload through three KV layouts of identical arena
+  // footprint: strip reservation, paged block tables, and paged + CoW prefix
+  // cache. Served counts are the capacity signal (admission control sheds
+  // what the KV budget cannot hold by each request's SLA); the hit rate is
+  // read back from the kv.* metrics the decoder publishes.
+  std::vector<Row> cap_rows;
+  bool cap_tokens_match = true;
+  if (scheduler != "window") {
+    std::cout << "\n=== Paged KV capacity at equal arena bytes (hot shared "
+                 "prefix, 24 of 28 prompt tokens common) ===\n\n";
+    const double cap_rate = 1000.0;
+    const auto ctrace = hot_prefix_trace(160, 24, 4, cap_rate, 0.05);
+    const double cap_dur = ctrace.back().arrival_s;
+    auto& reg = obs::MetricsRegistry::instance();
+    const bool metrics_were_on = obs::metrics_enabled();
+    reg.set_enabled(true);
+    Table cap({"kv mode", "requests", "served", "served/s", "sheds",
+               "p95 ms", "prefix hit rate"});
+    std::vector<std::vector<core::RequestStats>> cap_stats;
+    for (const std::string kv_mode : {"strip", "paged", "paged+prefix"}) {
+      const auto hits0 = reg.counter("kv.prefix_hit_tokens").value();
+      const auto prompts0 = reg.counter("kv.prompt_tokens").value();
+      core::InferenceServer server(cfg, capacity_options(kv_mode), 7);
+      auto stats = server.run_trace(ctrace);
+      const auto hits = reg.counter("kv.prefix_hit_tokens").value() - hits0;
+      const auto prompts =
+          reg.counter("kv.prompt_tokens").value() - prompts0;
+      Row row;
+      row.mode = "capacity";
+      row.rate_hz = cap_rate;
+      row.offered_hz = static_cast<double>(ctrace.size()) / cap_dur;
+      row.scheduler = "continuous";
+      row.kv_mode = kv_mode;
+      row.prefix_hit_rate =
+          prompts > 0 ? static_cast<double>(hits) / static_cast<double>(prompts)
+                      : 0.0;
+      row.s = core::summarize_serving(stats);
+      std::int64_t sheds = 0;
+      for (const auto& st : stats) {
+        if (st.outcome == core::RequestStats::Outcome::kShed) ++sheds;
+      }
+      cap.add_row({kv_mode, std::to_string(row.s.requests),
+                   std::to_string(row.s.served),
+                   Table::num(row.s.served_per_s, 1), std::to_string(sheds),
+                   Table::num(row.s.p95_latency_s * 1e3, 1),
+                   Table::num(row.prefix_hit_rate, 3)});
+      cap_rows.push_back(std::move(row));
+      cap_stats.push_back(std::move(stats));
+    }
+    if (!metrics_were_on) reg.set_enabled(false);
+    cap.print(std::cout);
+    // Bit-identity across KV layouts: any request served by several modes
+    // must carry identical greedy tokens — paging and prefix sharing are
+    // memory layouts, never a numerics change.
+    for (std::size_t i = 0; i < ctrace.size(); ++i) {
+      const std::vector<std::int32_t>* ref = nullptr;
+      for (const auto& stats : cap_stats) {
+        if (!stats[i].served()) continue;
+        if (ref == nullptr) {
+          ref = &stats[i].tokens;
+        } else {
+          cap_tokens_match = cap_tokens_match && stats[i].tokens == *ref;
+        }
+      }
+    }
+    std::cout << "\nExpected: at the same arena bytes, paging admits by "
+                 "actual token budgets instead of worst-case strip "
+                 "reservations, and the prefix cache dedups the shared "
+                 "system prompt into refcounted pages — each step multiplies "
+                 "concurrent sequences, so served capacity climbs while "
+                 "greedy tokens stay bit-identical ("
+              << (cap_tokens_match ? "verified" : "VIOLATED")
+              << " on this replay).\n";
+  }
+
   std::string json_path;
 #if defined(DSINFER_REPO_ROOT)
   json_path = std::string(DSINFER_REPO_ROOT) + "/BENCH_serving.json";
@@ -381,6 +507,7 @@ int main(int argc, char** argv) {
     std::vector<Row> all = rows;
     all.insert(all.end(), tp_rows.begin(), tp_rows.end());
     all.insert(all.end(), fleet_rows.begin(), fleet_rows.end());
+    all.insert(all.end(), cap_rows.begin(), cap_rows.end());
     std::ofstream out(json_path);
     out << "[\n";
     for (std::size_t i = 0; i < all.size(); ++i) {
@@ -391,6 +518,8 @@ int main(int argc, char** argv) {
           << ", \"policy\": \"" << r.policy
           << "\", \"slo_class\": \"" << r.slo_class
           << "\", \"replicas\": " << r.replicas
+          << ", \"kv_mode\": \"" << r.kv_mode
+          << "\", \"prefix_hit_rate\": " << r.prefix_hit_rate
           << ", \"step_s\": " << r.step_s
           << ", \"requests\": " << r.s.requests
           << ", \"served\": " << r.s.served
@@ -481,6 +610,32 @@ int main(int argc, char** argv) {
                 << fleet_chaos.counters.failovers << " failovers, "
                 << fleet_chaos.counters.sheds << " typed sheds)\n";
       pass = pass && ok;
+    }
+    // Paged KV capacity gate (ISSUE 7): at equal arena bytes on the hot-
+    // prefix trace, paged + prefix cache must serve >= 1.5x the strip
+    // layout, with real prefix hits and bit-identical greedy tokens.
+    if (cap_rows.size() == 3) {
+      const auto& strip = cap_rows[0];
+      const auto& pp = cap_rows[2];
+      const double ratio =
+          strip.s.served > 0 ? static_cast<double>(pp.s.served) /
+                                   static_cast<double>(strip.s.served)
+                             : 0.0;
+      bool ok = ratio >= 1.5;
+      std::cout << (ok ? "PASS" : "FAIL")
+                << " kv capacity: paged+prefix served " << pp.s.served
+                << " vs strip " << strip.s.served << " at equal arena bytes "
+                   "(ratio " << ratio << ", need >= 1.5)\n";
+      pass = pass && ok;
+      ok = pp.prefix_hit_rate > 0;
+      std::cout << (ok ? "PASS" : "FAIL")
+                << " kv capacity: prefix hit rate " << pp.prefix_hit_rate
+                << " (need > 0)\n";
+      pass = pass && ok;
+      std::cout << (cap_tokens_match ? "PASS" : "FAIL")
+                << " kv capacity output parity across strip/paged/"
+                   "paged+prefix\n";
+      pass = pass && cap_tokens_match;
     }
     if (!pass) return 1;
     std::cout << "serving regression gate: PASS\n";

@@ -23,6 +23,8 @@ struct ConfigError {
     kBadStreamWindow,              // stream_window < 1 while streaming
     kBadStreamRetries,             // stream_max_retries < 0
     kBadEngineLimit,               // engine max_batch/max_seq < 1
+    kBadKvPaging,                  // kv_page_tokens outside [0, max_seq], or
+                                   // kv_pages/kv_prefix_cache without paging
     kBadServeBatch,                // server max_batch outside [1, engine max]
     kNegativeBatchWindow,          // batch_window_s < 0
     kBadResilience,                // negative retries/backoff/overload queue

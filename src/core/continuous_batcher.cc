@@ -214,7 +214,34 @@ void ContinuousBatcher::run(const std::vector<TimedRequest>& requests,
             opts_.sampling, seed_ + 1, true);
       }
       Lane& lane = overload ? *degraded_lane_ : *primary_lane_;
-      if (lane.decoder.free_slots() == 0) break;
+      // Structural KV shed (ISSUE 7): a request whose worst-case pages can
+      // never fit the lane's pool (or whose tokens exceed max_seq) would
+      // block the FIFO head forever — reject it now, reporting the page
+      // arithmetic instead of a bare refusal.
+      const auto P = static_cast<std::int64_t>(rq.prompt.size());
+      if (!lane.decoder.fits(P, rq.new_tokens)) {
+        const auto& arena = lane.decoder.arena();
+        st.start_s = st.finish_s = clock;
+        st.outcome = RequestStats::Outcome::kShed;
+        st.shed_reason =
+            "kv pages: need " +
+            std::to_string(arena.pages_needed(P + rq.new_tokens)) + " of " +
+            std::to_string(arena.total_pages()) + " (page_tokens " +
+            std::to_string(arena.page_tokens()) + ", max_seq " +
+            std::to_string(arena.max_seq()) + ")";
+        ++counters.sheds;
+        ++qi;
+        if (tracing) {
+          rec.instant_at(obs::kServerPid, request_track(rq.id), to_us(clock),
+                         "server", "shed (kv pages)");
+        }
+        continue;
+      }
+      // Admission budgets pages on prompt + max_new *actual* tokens, not
+      // worst-case max_seq (ISSUE 7): the queue head waits for retirements
+      // to free slots AND page budget. Strip mode degenerates to the old
+      // free-slot gate.
+      if (!lane.decoder.can_admit(rq.prompt, rq.new_tokens)) break;
 
       st.start_s = clock;
       std::int64_t slot = -1;

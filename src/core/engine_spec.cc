@@ -47,6 +47,18 @@ EngineSpec& EngineSpec::max_seq(std::int64_t n) {
   opts_.max_seq = n;
   return *this;
 }
+EngineSpec& EngineSpec::kv_page_tokens(std::int64_t n) {
+  opts_.kv_page_tokens = n;
+  return *this;
+}
+EngineSpec& EngineSpec::kv_pages(std::int64_t n) {
+  opts_.kv_pages = n;
+  return *this;
+}
+EngineSpec& EngineSpec::kv_prefix_cache(bool on) {
+  opts_.kv_prefix_cache = on;
+  return *this;
+}
 EngineSpec& EngineSpec::fault_injector(util::FaultInjector* inj) {
   opts_.fault_injector = inj;
   return *this;
@@ -87,6 +99,17 @@ std::vector<ConfigError> EngineSpec::validate() const {
   if (opts_.max_batch < 1 || opts_.max_seq < 1) {
     add(errs, ConfigError::Code::kBadEngineLimit,
         "EngineSpec: max_batch and max_seq must be >= 1");
+  }
+  if (opts_.kv_page_tokens < 0 || opts_.kv_pages < 0 ||
+      (opts_.max_seq >= 1 && opts_.kv_page_tokens > opts_.max_seq)) {
+    add(errs, ConfigError::Code::kBadKvPaging,
+        "EngineSpec: kv_page_tokens must be in [0, max_seq] and kv_pages "
+        ">= 0");
+  } else if ((opts_.kv_pages > 0 || opts_.kv_prefix_cache) &&
+             opts_.kv_page_tokens == 0) {
+    add(errs, ConfigError::Code::kBadKvPaging,
+        "EngineSpec: kv_pages and kv_prefix_cache require paging "
+        "(kv_page_tokens > 0)");
   }
   return errs;
 }

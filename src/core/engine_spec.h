@@ -42,6 +42,10 @@ class EngineSpec {
   EngineSpec& kv_offload(bool on);
   EngineSpec& max_batch(std::int64_t n);
   EngineSpec& max_seq(std::int64_t n);
+  // Paged KV + prefix cache (ISSUE 7): see EngineOptions::kv_page_tokens.
+  EngineSpec& kv_page_tokens(std::int64_t n);
+  EngineSpec& kv_pages(std::int64_t n);
+  EngineSpec& kv_prefix_cache(bool on);
   EngineSpec& fault_injector(util::FaultInjector* inj);
   EngineSpec& stream_max_retries(std::int64_t n);
 

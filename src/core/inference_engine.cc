@@ -479,19 +479,36 @@ RaggedDecoder::RaggedDecoder(InferenceEngine& engine, std::int64_t slots,
   const auto& cfg = engine.config();
   const std::int64_t tp = opts.tensor_parallel;
   const std::int64_t max_seq = std::min(opts.max_seq, cfg.max_seq);
+  // Paging geometry (ISSUE 7): kv_page_tokens == 0 keeps the strip layout
+  // (page_tokens == max_seq, one page per slot, cache off) — the 8-argument
+  // arena constructor degenerates to the legacy behavior exactly.
+  const bool paging = opts.kv_page_tokens > 0;
+  const std::int64_t pt =
+      paging ? std::min(opts.kv_page_tokens, max_seq) : max_seq;
+  const std::int64_t pages = paging ? opts.kv_pages : 0;
+  const bool prefix = paging && opts.kv_prefix_cache;
   // One head-slice shard per virtual rank; at tp == 1 the single shard is
-  // the whole arena. Slot lifecycle is mirrored across shards, so the LIFO
-  // free lists stay identical by construction.
+  // the whole arena. Slot lifecycle — and with paging, every page
+  // allocation, prefix match, CoW split, and eviction — is mirrored across
+  // shards, so the LIFO free lists and block tables stay identical by
+  // construction.
   arenas_.reserve(static_cast<std::size_t>(tp));
   for (std::int64_t r = 0; r < tp; ++r) {
     arenas_.emplace_back(engine.layer_count(), slots, cfg.heads / tp,
-                         cfg.head_dim(), max_seq);
+                         cfg.head_dim(), max_seq, pt, pages, prefix);
   }
   if (tp > 1) scratches_.resize(static_cast<std::size_t>(tp));
   if (opts.kv_offload) {
     offload_ = std::make_unique<zero::ArenaOffloadLedger>(tp);
   }
+  for (std::size_t r = 0; r < arenas_.size(); ++r) {
+    arenas_[r].set_spill_sink(
+        [this, r](std::size_t out, std::size_t in) {
+          on_spill(static_cast<std::int64_t>(r), out, in);
+        });
+  }
   seqs_.resize(static_cast<std::size_t>(slots));
+  commit_.assign(static_cast<std::size_t>(slots), 0);
 }
 
 std::size_t RaggedDecoder::offload_bytes(std::int64_t rank) const {
@@ -510,7 +527,34 @@ std::int64_t RaggedDecoder::acquire_all() {
 }
 
 void RaggedDecoder::release_all(std::int64_t slot) {
+  committed_pages_ -= commit_[static_cast<std::size_t>(slot)];
+  commit_[static_cast<std::size_t>(slot)] = 0;
   for (auto& a : arenas_) a.release(slot);
+}
+
+bool RaggedDecoder::fits(std::int64_t prompt_tokens,
+                         std::int64_t max_new) const {
+  if (prompt_tokens < 1 || max_new < 1) return false;
+  const auto& a = arenas_[0];
+  if (prompt_tokens + max_new > a.max_seq()) return false;
+  return a.pages_needed(prompt_tokens + max_new) <= a.total_pages();
+}
+
+bool RaggedDecoder::can_admit(std::span<const std::int32_t> prompt,
+                              std::int64_t max_new) const {
+  const auto& a = arenas_[0];
+  const auto P = static_cast<std::int64_t>(prompt.size());
+  if (!fits(P, max_new) || a.free_slots() == 0) return false;
+  if (!a.paged()) return true;  // strip mode: one page == one slot
+  // Worst-case private-page demand for this request: every page it may ever
+  // write. Fully-matched resident prefix pages are never written by this
+  // slot (appends start past them), so they discount the commitment; the
+  // match does pin them (evictable -> held), which `new_holds` charges.
+  const auto pr = a.probe_prefix(prompt);
+  const std::int64_t commit =
+      a.pages_needed(P + max_new) - pr.full_pages_resident;
+  return committed_pages_ + a.shared_held_pages() + pr.new_holds + commit <=
+         a.total_pages();
 }
 
 void RaggedDecoder::rewind_all(std::int64_t slot, std::int64_t len) {
@@ -539,6 +583,36 @@ void RaggedDecoder::offload_cycle() {
   kv_bytes.add(static_cast<std::int64_t>(moved));
 }
 
+void RaggedDecoder::on_spill(std::int64_t rank, std::size_t out,
+                             std::size_t in) {
+  if (offload_) offload_->add_spill(rank, out + in);
+  if (obs::metrics_enabled()) {
+    static obs::Counter& spill =
+        obs::MetricsRegistry::instance().counter("engine.kv_spill.bytes");
+    spill.add(static_cast<std::int64_t>(out + in));
+  }
+}
+
+void RaggedDecoder::publish_kv_metrics() {
+  if (!obs::metrics_enabled()) return;
+  auto& reg = obs::MetricsRegistry::instance();
+  static obs::Gauge& pages = reg.gauge("kv.pages_in_use");
+  static obs::Counter& hits = reg.counter("kv.prefix_hits");
+  static obs::Counter& hit_toks = reg.counter("kv.prefix_hit_tokens");
+  static obs::Counter& cows = reg.counter("kv.cow_splits");
+  static obs::Counter& prompt_toks = reg.counter("kv.prompt_tokens");
+  const auto& a = arenas_[0];
+  pages.set(static_cast<double>(a.pages_in_use()));
+  hits.add(a.prefix_hits() - pub_hits_);
+  hit_toks.add(a.prefix_hit_tokens() - pub_hit_tokens_);
+  cows.add(a.cow_splits() - pub_cow_);
+  prompt_toks.add(prompt_tokens_ - pub_prompt_tokens_);
+  pub_hits_ = a.prefix_hits();
+  pub_hit_tokens_ = a.prefix_hit_tokens();
+  pub_cow_ = a.cow_splits();
+  pub_prompt_tokens_ = prompt_tokens_;
+}
+
 const RaggedDecoder::Seq& RaggedDecoder::checked(std::int64_t slot) const {
   if (!arenas_[0].in_use(slot)) {
     throw std::invalid_argument("RaggedDecoder: slot not active");
@@ -562,6 +636,29 @@ std::int64_t RaggedDecoder::admit(const std::vector<std::int32_t>& prompt,
   if (slot < 0) return -1;
 
   DSI_TRACE_SCOPE("engine", "prefill");
+  // Prefix-cache match in shard lockstep (ISSUE 7): the match is a pure
+  // function of token ids and call order, so every rank shares the same
+  // pages of its own head slice and reports the same length. The match
+  // always leaves >= 1 prompt token for the suffix prefill (logits row).
+  std::int64_t matched = 0;
+  if (arenas_[0].prefix_cache_enabled()) {
+    matched = arenas_[0].match_prefix(slot, prompt);
+    for (std::size_t r = 1; r < arenas_.size(); ++r) {
+      if (arenas_[r].match_prefix(slot, prompt) != matched) {
+        throw std::logic_error("RaggedDecoder: arena shards diverged");
+      }
+    }
+  }
+  // Page-budget commitment: every page this slot may still write (shared
+  // full pages excluded — appends start past them). Released with the slot.
+  commit_[static_cast<std::size_t>(slot)] =
+      arenas_[0].paged()
+          ? arenas_[0].pages_needed(P + max_new) -
+                matched / arenas_[0].page_tokens()
+          : 1;
+  committed_pages_ += commit_[static_cast<std::size_t>(slot)];
+  prompt_tokens_ += P;
+
   auto& seq = seqs_[static_cast<std::size_t>(slot)];
   seq = Seq{};
   seq.tokens = prompt;
@@ -570,27 +667,44 @@ std::int64_t RaggedDecoder::admit(const std::vector<std::int32_t>& prompt,
 
   const std::int64_t H = eng_.config().hidden;
   const std::int64_t V = eng_.config().vocab;
-  toks_.assign(prompt.begin(), prompt.end());
-  poss_.resize(prompt.size());
-  slot_ids_.assign(prompt.size(), static_cast<std::int32_t>(slot));
-  for (std::size_t i = 0; i < prompt.size(); ++i) {
-    poss_[i] = static_cast<std::int32_t>(i);
+  const std::int64_t S = P - matched;  // suffix still to prefill
+  toks_.assign(prompt.begin() + matched, prompt.end());
+  poss_.resize(static_cast<std::size_t>(S));
+  slot_ids_.assign(static_cast<std::size_t>(S),
+                   static_cast<std::int32_t>(slot));
+  for (std::int64_t i = 0; i < S; ++i) {
+    poss_[static_cast<std::size_t>(i)] = static_cast<std::int32_t>(matched + i);
   }
-  x_.resize(static_cast<std::size_t>(P * H));
+  x_.resize(static_cast<std::size_t>(S * H));
   eng_.weights_.embed(toks_, poss_, x_);
   try {
     run_ragged(slot_ids_, poss_);
   } catch (...) {
     // A fault mid-stack (zero::StreamFault, comm::CommFault) must not leak
     // the slot: release every shard so the caller can retry the admission
-    // cleanly.
+    // cleanly (shared prefix pages survive in the cache for the retry).
     release_all(slot);
     throw;
+  }
+  if (arenas_[0].prefix_cache_enabled()) {
+    const std::int64_t pub = arenas_[0].publish_prefix(slot, prompt);
+    for (std::size_t r = 1; r < arenas_.size(); ++r) {
+      if (arenas_[r].publish_prefix(slot, prompt) != pub) {
+        throw std::logic_error("RaggedDecoder: arena shards diverged");
+      }
+    }
+    // Published pages moved from this slot's private commitment to the
+    // cache's shared-held accounting; drop them so can_admit doesn't count
+    // them twice.
+    auto& c = commit_[static_cast<std::size_t>(slot)];
+    const std::int64_t drop = std::min(pub, c);
+    c -= drop;
+    committed_pages_ -= drop;
   }
 
   logits_.resize(static_cast<std::size_t>(V));
   eng_.weights_.lm_head(
-      std::span<const float>(x_).subspan(static_cast<std::size_t>((P - 1) * H),
+      std::span<const float>(x_).subspan(static_cast<std::size_t>((S - 1) * H),
                                          static_cast<std::size_t>(H)),
       logits_, 1);
   const std::int32_t tok = sample_row(logits_);
@@ -599,6 +713,7 @@ std::int64_t RaggedDecoder::admit(const std::vector<std::int32_t>& prompt,
   seq.generated = 1;
   seq.stopped = sampling_.stop_token >= 0 && tok == sampling_.stop_token;
   offload_cycle();
+  publish_kv_metrics();
   return slot;
 }
 
@@ -657,6 +772,7 @@ std::int64_t RaggedDecoder::step() {
     }
   }
   offload_cycle();
+  publish_kv_metrics();
   return n;
 }
 

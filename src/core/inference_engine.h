@@ -55,6 +55,19 @@ struct EngineOptions {
   bool kv_offload = false;
   std::int64_t max_batch = 8;
   std::int64_t max_seq = 128;
+  // Paged KV virtualization (ISSUE 7). 0 keeps the contiguous strip layout
+  // (one max_seq-sized page per slot, no oversubscription). > 0 breaks each
+  // slot's KV into kv_page_tokens-row pages behind a per-slot block table:
+  // admission budgets pages for prompt + max_new actual tokens, not
+  // worst-case max_seq.
+  std::int64_t kv_page_tokens = 0;
+  // Page-pool size when paging (0 = fully provisioned: every slot can reach
+  // max_seq). Smaller pools oversubscribe; admission keeps the pool safe.
+  std::int64_t kv_pages = 0;
+  // Copy-on-write shared-prefix cache across slots (requires paging):
+  // identical prompt prefixes dedup onto refcounted shared page chains,
+  // prefill runs only the unmatched suffix.
+  bool kv_prefix_cache = false;
   // Chaos hooks (ISSUE 1). When set, streamed weight reads draw from the
   // injector's "zero.stream" site; corrupted reads are retried (with
   // checksum verification) up to stream_max_retries before a StreamFault.
@@ -220,6 +233,33 @@ class RaggedDecoder {
   // Lifetime admissions (slot churn).
   std::int64_t total_admitted() const { return arenas_[0].total_acquires(); }
 
+  // Structural fit (ISSUE 7): can this request EVER run here — within
+  // max_seq and, when paged, within the whole page pool? A false here is a
+  // permanent rejection, not backpressure.
+  bool fits(std::int64_t prompt_tokens, std::int64_t max_new) const;
+  // Page-budget admission: a free slot exists AND the pool can commit this
+  // request's worst-case private-page demand for prompt + max_new *actual*
+  // tokens (discounted by resident shared-prefix pages), on top of every
+  // live slot's outstanding commitment. Guarantees decode never runs out of
+  // pages. Strip mode degenerates to free_slots() > 0.
+  bool can_admit(std::span<const std::int32_t> prompt,
+                 std::int64_t max_new) const;
+  // Outstanding worst-case page commitment across live slots (paged mode).
+  std::int64_t committed_pages() const { return committed_pages_; }
+
+  // Prefix-cache signals (rank 0's shard; shards agree by construction).
+  std::int64_t prefix_hits() const { return arenas_[0].prefix_hits(); }
+  std::int64_t prefix_hit_tokens() const {
+    return arenas_[0].prefix_hit_tokens();
+  }
+  // Lifetime prompt tokens across admissions — the hit-rate denominator.
+  std::int64_t prompt_tokens() const { return prompt_tokens_; }
+  // Cache-contents probe for fleet prefix-affinity routing.
+  std::int64_t cached_prefix_tokens(
+      std::span<const std::int32_t> prompt) const {
+    return arenas_[0].cached_prefix_tokens(prompt);
+  }
+
   // Prefill: runs `prompt` through the model and samples the sequence's
   // first token. Returns the slot id, or -1 when no slot is free. The
   // sequence may already be finished on return (max_new == 1 or immediate
@@ -242,6 +282,11 @@ class RaggedDecoder {
   // Rank 0's arena shard (the full arena at tensor_parallel == 1). Slot
   // lifecycle and lengths agree across shards by construction.
   const kernels::KVArena& arena() const { return arenas_[0]; }
+  // Any rank's shard — mirroring checks (free lists, block tables,
+  // fingerprints) at tensor_parallel > 1.
+  const kernels::KVArena& arena(std::int64_t rank) const {
+    return arenas_[static_cast<std::size_t>(rank)];
+  }
   std::int64_t rank_count() const {
     return static_cast<std::int64_t>(arenas_.size());
   }
@@ -269,6 +314,13 @@ class RaggedDecoder {
                   std::span<const std::int32_t> positions);
   // Host round-trip of every live slot's KV strips, per rank (kv_offload).
   void offload_cycle();
+  // Bridges arena spill events (prefix-cache LRU eviction / re-fetch) to the
+  // offload ledger and obs metrics.
+  void on_spill(std::int64_t rank, std::size_t out, std::size_t in);
+  // Publishes kv.* gauges/counters (pages in use, prefix hits, CoW splits)
+  // after admissions and steps; delta-tracked so multiple decoders share the
+  // registry counters.
+  void publish_kv_metrics();
 
   InferenceEngine& eng_;
   std::int64_t slots_ = 0;
@@ -276,6 +328,14 @@ class RaggedDecoder {
   Rng rng_;
   std::vector<kernels::KVArena> arenas_;  // one shard per virtual TP rank
   std::vector<Seq> seqs_;
+  // Page-budget admission state (ISSUE 7): per-slot worst-case private-page
+  // commitment and its running sum (see can_admit()).
+  std::vector<std::int64_t> commit_;
+  std::int64_t committed_pages_ = 0;
+  std::int64_t prompt_tokens_ = 0;
+  // Last-published arena counter values (publish_kv_metrics deltas).
+  std::int64_t pub_hits_ = 0, pub_hit_tokens_ = 0, pub_cow_ = 0,
+               pub_prompt_tokens_ = 0;
   std::unique_ptr<zero::ArenaOffloadLedger> offload_;  // kv_offload only
   // Reused per-call buffers: the decode loop is allocation-free at steady
   // state.

@@ -148,6 +148,10 @@ struct RequestStats {
   double deadline_s = kNoDeadline;
   std::int64_t batch_size = 0;
   Outcome outcome = Outcome::kOk;
+  // Human-readable rejection detail for kShed outcomes (ISSUE 7): the page
+  // arithmetic behind a structural KV shed ("kv pages: need N of M"), empty
+  // for deadline sheds and served requests.
+  std::string shed_reason;
   std::int64_t retries = 0;  // engine-fault retries its batch absorbed
   bool degraded = false;     // served on the degraded path
   bool stopped = false;      // emitted the stop token before its budget

@@ -192,6 +192,37 @@ std::int64_t route_choose(RoutePolicy policy, const FleetOptions& opts,
     case RoutePolicy::kPowerOfTwo:
       return power_of_two(views, exclude, rng);
     case RoutePolicy::kPrefixAffinity: {
+      // ISSUE 7: when any replica's KV cache *actually holds* a prefix of
+      // this request (prefix_warm — cache contents, not the hash bucket),
+      // route to the least-loaded warm replica under the same spill guard:
+      // reusing resident shared pages beats the hash home's cold miss.
+      {
+        double total = 0;
+        std::int64_t n = 0;
+        for (const auto& v : views) {
+          if (!v.dispatchable) continue;
+          total += v.outstanding_s;
+          ++n;
+        }
+        const double mean = n > 0 ? total / static_cast<double>(n) : 0.0;
+        std::int64_t warm = -1;
+        for (std::int64_t r = 0; r < static_cast<std::int64_t>(views.size());
+             ++r) {
+          const auto& v = views[static_cast<std::size_t>(r)];
+          if (!v.dispatchable || r == exclude || !v.prefix_warm) continue;
+          if (warm < 0 || v.outstanding_s <
+                              views[static_cast<std::size_t>(warm)]
+                                  .outstanding_s) {
+            warm = r;
+          }
+        }
+        if (warm >= 0 &&
+            (mean <= 0 ||
+             views[static_cast<std::size_t>(warm)].outstanding_s <=
+                 opts.affinity_spill * mean)) {
+          return warm;
+        }
+      }
       const auto home = static_cast<std::int64_t>(
           affinity_key % static_cast<std::uint64_t>(views.size()));
       if (home != exclude &&

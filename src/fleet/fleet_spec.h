@@ -123,6 +123,10 @@ class FleetSpec {
 struct ReplicaLoadView {
   bool dispatchable = true;
   double outstanding_s = 0.0;
+  // ISSUE 7: this replica's KV prefix cache already holds a prefix of the
+  // request being routed — actual cache *contents*, not a hash bucket.
+  // Prefix-affinity routing prefers a warm replica over the hash home.
+  bool prefix_warm = false;
 };
 
 // FNV-1a over the leading `prefix_tokens` tokens — the prefix-affinity key.

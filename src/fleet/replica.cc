@@ -155,6 +155,17 @@ std::int64_t Replica::queued() const {
   return n;
 }
 
+bool Replica::fits_request(const core::TimedRequest& rq) const {
+  return primary_->decoder.fits(static_cast<std::int64_t>(rq.prompt.size()),
+                                rq.new_tokens);
+}
+
+bool Replica::holds_prefix(const core::TimedRequest& rq) const {
+  const auto& d = primary_->decoder;
+  return d.arena().prefix_cache_enabled() &&
+         d.cached_prefix_tokens(rq.prompt) > 0;
+}
+
 void Replica::crash() { crashed_ = true; }
 
 void Replica::stall_until(double t) { stall_until_ = std::max(stall_until_, t); }
@@ -280,7 +291,14 @@ void Replica::process_one(double now, std::vector<Completion>& out) {
     clock_ += inj->delay_s(site_);  // transient latency spikes / stragglers
   }
   for (Lane* lane : {primary_.get(), batch_.get()}) {
-    if (lane && !lane->queue.empty() && lane->decoder.free_slots() > 0) {
+    // Page-budget admission (ISSUE 7): the queue head needs a free slot AND
+    // committable pool pages for its actual prompt + max_new tokens. The
+    // router only dispatches structurally-fitting requests, so when a lane
+    // is idle can_admit reduces to the old free-slot gate — a blocked head
+    // always has live sequences ahead of it to step (no stall).
+    if (lane && !lane->queue.empty() &&
+        lane->decoder.can_admit(lane->queue.front().second->prompt,
+                                lane->queue.front().second->new_tokens)) {
       admit_one(*lane, out);
       return;
     }

@@ -89,6 +89,15 @@ class Replica {
     return !crashed_ && now >= stall_until_;
   }
 
+  // ISSUE 7 KV-page probes (primary-lane decoder; the batch lane's pool is
+  // at least as permissive for any request that fits the primary).
+  // Can this request's worst-case pages ever fit the pool? A false is a
+  // structural rejection the router sheds as kArenaPages.
+  bool fits_request(const core::TimedRequest& rq) const;
+  // Does the KV prefix cache already hold a prefix of `rq`'s prompt? Actual
+  // cache contents — the prefix-warm routing signal.
+  bool holds_prefix(const core::TimedRequest& rq) const;
+
   double clock() const { return clock_; }
   // Estimated queued + in-flight work, the router's load signal.
   double outstanding_s() const { return outstanding_s_; }

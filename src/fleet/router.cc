@@ -137,11 +137,16 @@ struct Run {
     return true;
   }
 
-  std::vector<ReplicaLoadView> views() const {
+  // `rq` (optional) is the request being routed: when present, each view's
+  // prefix_warm reflects whether that replica's KV prefix cache actually
+  // holds a prefix of it (ISSUE 7 warm routing; false when the prefix cache
+  // is disabled, so older configs route exactly as before).
+  std::vector<ReplicaLoadView> views(const TimedRequest* rq = nullptr) const {
     std::vector<ReplicaLoadView> v(replicas.size());
     for (std::size_t r = 0; r < replicas.size(); ++r) {
       v[r].dispatchable = breakers[r].dispatchable();
       v[r].outstanding_s = replicas[r]->outstanding_s();
+      if (rq) v[r].prefix_warm = replicas[r]->holds_prefix(*rq);
     }
     return v;
   }
@@ -177,6 +182,9 @@ struct Run {
       case ShedReason::kNoHealthyReplica:
         ++result.counters.shed_no_healthy;
         break;
+      case ShedReason::kArenaPages:
+        ++result.counters.shed_arena_pages;
+        break;
       default: break;
     }
     terminalize(i);
@@ -198,7 +206,7 @@ struct Run {
   // enqueues it. Returns the chosen replica, or -1 when none is dispatchable.
   std::int64_t dispatch_copy(std::size_t i, double now, std::int64_t exclude,
                              bool is_hedge) {
-    const auto v = views();
+    const auto v = views(&requests[i]);
     const std::int64_t r = route_choose(
         fo.policy, fo, v, prefix_hash(requests[i].prompt, fo.affinity_prefix),
         exclude, rng);
@@ -221,6 +229,15 @@ struct Run {
   // control; parks the request in `pending` when no replica is dispatchable.
   void try_dispatch(std::size_t i, double now) {
     const auto& rq = requests[i];
+    // Structural KV-page rejection (ISSUE 7): if the request's worst-case
+    // pages can never fit a replica's pool, no amount of waiting helps —
+    // shed typed now. Replicas share one spec, so probing any one suffices;
+    // this also guarantees every enqueued request is eventually admissible
+    // (the replica's page-budget gate never wedges on an impossible head).
+    if (!replicas.front()->fits_request(rq)) {
+      shed(i, now, ShedReason::kArenaPages);
+      return;
+    }
     const auto& res = spec.serve().options().resilience;
     if (res.admission_control && rq.deadline_s < core::kNoDeadline) {
       const auto& vs = spec.serve().options().virtual_service;
@@ -503,6 +520,7 @@ const char* shed_reason_name(ShedReason r) {
     case ShedReason::kAdmissionDeadline: return "admission-deadline";
     case ShedReason::kFailoverBudget: return "failover-budget";
     case ShedReason::kNoHealthyReplica: return "no-healthy-replica";
+    case ShedReason::kArenaPages: return "arena-pages";
   }
   return "?";
 }
@@ -575,7 +593,8 @@ std::string check_accounting(const FleetResult& result) {
   if (c.degraded != degraded) return "counters.degraded mismatch";
   if (c.sheds != sheds) return "counters.sheds mismatch";
   if (c.failures != failures) return "counters.failures mismatch";
-  if (c.shed_queue_full + c.shed_deadline + c.shed_no_healthy != sheds) {
+  if (c.shed_queue_full + c.shed_deadline + c.shed_no_healthy +
+          c.shed_arena_pages != sheds) {
     return "typed shed reasons do not sum to counters.sheds";
   }
   if (c.hedges != hedged) return "counters.hedges mismatch";

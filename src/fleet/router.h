@@ -39,6 +39,8 @@ enum class ShedReason {
   kAdmissionDeadline,  // predicted or actual deadline miss before admission
   kFailoverBudget,     // crash/fault re-dispatch budget exhausted -> kFailed
   kNoHealthyReplica,   // every replica crashed
+  kArenaPages,         // worst-case KV pages can never fit any replica's
+                       // page pool (ISSUE 7 structural rejection)
 };
 
 const char* shed_reason_name(ShedReason r);
@@ -57,6 +59,7 @@ struct FleetCounters {
   std::int64_t requests = 0, dispatches = 0;
   std::int64_t served = 0, degraded = 0, timeouts = 0, sheds = 0, failures = 0;
   std::int64_t shed_queue_full = 0, shed_deadline = 0, shed_no_healthy = 0;
+  std::int64_t shed_arena_pages = 0;
   std::int64_t failovers = 0, copies_dropped = 0;
   std::int64_t hedges = 0, hedge_wins = 0, hedge_cancels = 0;
   std::int64_t probes = 0, probe_failures = 0;

@@ -119,21 +119,37 @@ void attention_fused_ragged(std::span<const float> q, const KVArena& arena,
           const std::int64_t slot = slots[static_cast<std::size_t>(t)];
           const std::int64_t kv_len =
               positions[static_cast<std::size_t>(t)] + 1;
-          const float* kbase = arena.keys(layer, slot, h).data();
-          const float* vbase = arena.values(layer, slot, h).data();
+          const auto chain = arena.slot_pages(slot);
+          const std::int64_t pt = arena.page_tokens();
           const float* qv = q.data() + (t * heads + h) * hd;
-          for (std::int64_t j = 0; j < kv_len; ++j) {
-            scores[static_cast<std::size_t>(j)] =
-                simd::dot(qv, kbase + j * hd, hd);
+          // Gather K through the block table: position j lives in page
+          // chain[j / pt] at row j % pt. j stays ascending, so the score
+          // vector — and every reduction below — is bit-identical to the
+          // contiguous-strip layout (strip mode is just chain.size() == 1).
+          for (std::int64_t j = 0; j < kv_len;) {
+            const float* kbase =
+                arena.page_k_data(layer, chain[static_cast<std::size_t>(j / pt)], h);
+            const std::int64_t r0 = j % pt;
+            const std::int64_t rows = std::min(pt - r0, kv_len - j);
+            for (std::int64_t r = r0; r < r0 + rows; ++r, ++j) {
+              scores[static_cast<std::size_t>(j)] =
+                  simd::dot(qv, kbase + r * hd, hd);
+            }
           }
           simd::scale_add(scores.data(), scale, 0.0f, scores.data(), kv_len);
           const float mx = simd::reduce_max(scores.data(), kv_len);
           const float denom = simd::exp_sum_inplace(scores.data(), kv_len, mx);
           float* o = out.data() + (t * heads + h) * hd;
           std::memset(o, 0, static_cast<std::size_t>(hd) * sizeof(float));
-          for (std::int64_t j = 0; j < kv_len; ++j) {
-            simd::axpy(scores[static_cast<std::size_t>(j)], vbase + j * hd, o,
-                       hd);
+          for (std::int64_t j = 0; j < kv_len;) {
+            const float* vbase =
+                arena.page_v_data(layer, chain[static_cast<std::size_t>(j / pt)], h);
+            const std::int64_t r0 = j % pt;
+            const std::int64_t rows = std::min(pt - r0, kv_len - j);
+            for (std::int64_t r = r0; r < r0 + rows; ++r, ++j) {
+              simd::axpy(scores[static_cast<std::size_t>(j)], vbase + r * hd, o,
+                         hd);
+            }
           }
           simd::scale_add(o, 1.0f / denom, 0.0f, o, hd);
         }

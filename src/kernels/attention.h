@@ -37,9 +37,11 @@ void attention_unfused(std::span<const float> q, const KVCache& cache,
 // [tokens, heads*head_dim]) belongs to arena slot slots[t] at absolute
 // position positions[t] and attends causally over that slot's cached
 // positions [0, positions[t]] at `layer` — which must already hold row t's
-// own key/value (append happens before attention, as with KVCache). The
-// per-(token, head) reduction order is identical to attention_fused, so a
-// ragged batch reproduces the uniform path bit-for-bit.
+// own key/value (append happens before attention, as with KVCache). K/V are
+// gathered through the arena's per-slot block table page by page, with the
+// per-(token, head) reduction order identical to attention_fused — so a
+// ragged batch reproduces the uniform path bit-for-bit, whether the slot's
+// history is one contiguous strip or a paged (possibly prefix-shared) chain.
 void attention_fused_ragged(std::span<const float> q, const KVArena& arena,
                             std::int64_t layer,
                             std::span<const std::int32_t> slots,

@@ -1,5 +1,7 @@
 #include "zero/kv_offload.h"
 
+#include <algorithm>
+#include <map>
 #include <stdexcept>
 
 namespace dsinfer::zero {
@@ -62,16 +64,49 @@ std::size_t ArenaOffloadLedger::round_trip(kernels::KVArena& arena,
     throw std::invalid_argument("ArenaOffloadLedger: rank out of range");
   }
   std::size_t moved = 0;
-  for (std::int64_t slot = 0; slot < arena.slots(); ++slot) {
-    if (!arena.in_use(slot)) continue;
-    const auto len = arena.export_slot(slot, host_k_, host_v_);
-    arena.import_slot(slot, host_k_, host_v_, len);
-    // out + back, K + V — the same 4x accounting the uniform engine path
-    // applies per offload cycle.
-    moved += 4 * host_k_.size() * sizeof(float);
+  if (!arena.paged()) {
+    for (std::int64_t slot = 0; slot < arena.slots(); ++slot) {
+      if (!arena.in_use(slot)) continue;
+      const auto len = arena.export_slot(slot, host_k_, host_v_);
+      arena.import_slot(slot, host_k_, host_v_, len);
+      // out + back, K + V — the same 4x accounting the uniform engine path
+      // applies per offload cycle.
+      moved += 4 * host_k_.size() * sizeof(float);
+    }
+  } else {
+    // Page-granular: collect the distinct pages reachable from live chains
+    // with the rows actually filled (the last page of a chain is partial),
+    // then move each exactly once. std::map keeps the transfer order
+    // deterministic across TP shards.
+    std::map<std::int32_t, std::int64_t> pages;  // page -> filled rows
+    const std::int64_t pt = arena.page_tokens();
+    for (std::int64_t slot = 0; slot < arena.slots(); ++slot) {
+      if (!arena.in_use(slot)) continue;
+      const std::int64_t len = arena.seq_len(slot);
+      const auto chain = arena.slot_pages(slot);
+      for (std::size_t i = 0; i < chain.size(); ++i) {
+        const std::int64_t rows =
+            std::min<std::int64_t>(pt, len - static_cast<std::int64_t>(i) * pt);
+        if (rows <= 0) break;
+        auto& r = pages[chain[i]];
+        r = std::max(r, rows);
+      }
+    }
+    for (const auto& [page, rows] : pages) {
+      arena.export_page(page, rows, host_k_, host_v_);
+      arena.import_page(page, rows, host_k_, host_v_);
+      moved += 4 * host_k_.size() * sizeof(float);
+    }
   }
   bytes_[static_cast<std::size_t>(rank)] += moved;
   return moved;
+}
+
+void ArenaOffloadLedger::add_spill(std::int64_t rank, std::size_t bytes) {
+  if (rank < 0 || rank >= ranks()) {
+    throw std::invalid_argument("ArenaOffloadLedger: rank out of range");
+  }
+  bytes_[static_cast<std::size_t>(rank)] += bytes;
 }
 
 std::size_t ArenaOffloadLedger::bytes(std::int64_t rank) const {

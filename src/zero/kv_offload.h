@@ -60,8 +60,16 @@ class ArenaOffloadLedger {
 
   // Round-trips every in-use slot of `arena` (rank `rank`'s shard) through
   // the host store: export, drop, re-import. Returns the bytes moved this
-  // call (out + back, K + V) and adds them to the rank's ledger.
+  // call (out + back, K + V) and adds them to the rank's ledger. On a paged
+  // arena (ISSUE 7) the transfer is page-granular: every distinct in-use
+  // page moves exactly once with only its filled rows, no matter how many
+  // prefix-sharing chains reference it, and the restore is an in-place
+  // import (import_page), so sharing survives the cycle.
   std::size_t round_trip(kernels::KVArena& arena, std::int64_t rank);
+
+  // Prefix-cache host-tier spill traffic (LRU evictions + re-fetches),
+  // charged to the same per-rank ledger by RaggedDecoder's spill sink.
+  void add_spill(std::int64_t rank, std::size_t bytes);
 
   std::int64_t ranks() const { return static_cast<std::int64_t>(bytes_.size()); }
   std::size_t bytes(std::int64_t rank) const;

@@ -281,6 +281,69 @@ TEST(ContinuousServer, OverloadRoutesLateArrivalsToDegradedLane) {
   EXPECT_TRUE(any_degraded);
 }
 
+TEST(ContinuousServer, SharedSystemPromptHitsPrefixCacheBitIdentical) {
+  // ISSUE 7: a paged arena with the CoW prefix cache dedups a shared system
+  // prompt across slots — later admits score real prefix hits while greedy
+  // tokens stay bit-identical to a cold strip-arena run.
+  EngineOptions strip;
+  strip.policy = kernels::KernelPolicy::optimized_large_batch();
+  strip.max_batch = 8;
+  strip.max_seq = 64;
+  EngineOptions paged = strip;
+  paged.kv_page_tokens = 8;
+  paged.kv_pages = 48;
+  paged.kv_prefix_cache = true;
+
+  std::vector<std::int32_t> sys(16);
+  for (std::size_t i = 0; i < sys.size(); ++i) {
+    sys[i] = static_cast<std::int32_t>(1 + i);
+  }
+  std::vector<std::vector<std::int32_t>> prompts;
+  for (std::int32_t t = 0; t < 3; ++t) {
+    auto p = sys;
+    p.push_back(20 + t);
+    p.push_back(30 + t);
+    prompts.push_back(std::move(p));
+  }
+
+  InferenceEngine cold_engine(tiny(), strip, 3);
+  InferenceEngine warm_engine(tiny(), paged, 3);
+  RaggedDecoder cold(cold_engine, 4);
+  RaggedDecoder warm(warm_engine, 4);
+  for (const auto& p : prompts) {
+    ASSERT_GE(cold.admit(p, 5), 0);
+    ASSERT_GE(warm.admit(p, 5), 0);
+  }
+  while (cold.step() > 0) {
+  }
+  while (warm.step() > 0) {
+  }
+  for (std::int64_t s = 0; s < 3; ++s) {
+    EXPECT_EQ(warm.tokens(s), cold.tokens(s));
+  }
+  EXPECT_GT(warm.prefix_hits(), 0);  // admits 2 and 3 reused the system prompt
+  EXPECT_GT(warm.prefix_hit_tokens(), 0);
+  EXPECT_EQ(cold.prefix_hits(), 0);  // the strip arena has no cache
+}
+
+TEST(ContinuousServer, StructuralKvShedReportsPageArithmetic) {
+  // ISSUE 7 satellite: a request whose prompt + max_new page budget can
+  // never fit the pool is shed with the page arithmetic in the message,
+  // instead of wedging the admission queue; later requests still serve.
+  auto o = sched_opts(Scheduler::kContinuous);
+  o.engine.kv_page_tokens = 8;
+  o.engine.kv_pages = 4;  // 32 token-rows total
+  InferenceServer server(tiny(), o, 7);
+  const std::vector<std::int32_t> big(20, 5);  // 20 prompt + 20 new = 5 pages
+  auto stats =
+      server.run_trace({req(0, big, 20, 0.0), req(1, {10, 20}, 2, 0.001)});
+  EXPECT_EQ(stats[0].outcome, RequestStats::Outcome::kShed);
+  EXPECT_NE(stats[0].shed_reason.find("kv pages"), std::string::npos);
+  EXPECT_NE(stats[0].shed_reason.find("5"), std::string::npos);  // need
+  EXPECT_NE(stats[0].shed_reason.find("4"), std::string::npos);  // total
+  EXPECT_EQ(stats[1].outcome, RequestStats::Outcome::kOk);
+}
+
 TEST(ContinuousServer, EngineFaultsExhaustRetryBudget) {
   util::FaultInjector inj(42);
   util::FaultSpec spec;

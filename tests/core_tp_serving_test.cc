@@ -181,5 +181,62 @@ TEST(TpServing, ContinuousBatcherRetriesThroughRankFault) {
   EXPECT_GE(retried, 1);  // the fault cost someone exactly one retry
 }
 
+TEST(TpServing, PagedPrefixShardsMirrorAndMatchSingleDevice) {
+  // ISSUE 7: the paged arena + prefix cache at tp=2 must reproduce the tp=1
+  // strip-arena tokens bit-for-bit, and the per-rank page state must mirror
+  // by construction (same free list, same occupancy, same layout).
+  auto paged = base_spec(2);
+  paged.kv_page_tokens(8).kv_pages(32).kv_prefix_cache(true);
+  InferenceEngine single(base_spec(1), 21);
+  InferenceEngine sharded(paged, 21);
+  RaggedDecoder d1(single, 4);
+  RaggedDecoder d2(sharded, 4);
+  const auto r1 = join_schedule(d1);
+  const auto r2 = join_schedule(d2);
+  EXPECT_EQ(r1.first, r2.first);
+  EXPECT_EQ(r1.second, r2.second);
+  const auto& a0 = d2.arena(0);
+  const auto& a1 = d2.arena(1);
+  EXPECT_EQ(a0.free_pages(), a1.free_pages());
+  EXPECT_EQ(a0.pages_in_use(), a1.pages_in_use());
+  EXPECT_EQ(a0.layout_fingerprint(), a1.layout_fingerprint());
+}
+
+TEST(TpServing, SharedSystemPromptHitsMirrorAcrossRanks) {
+  // A shared 16-token system prompt at tp=2: the second admit hits the
+  // published prefix on every rank in lockstep, tokens match a tp=1 strip
+  // decode, and both shards agree on the page free list afterwards.
+  auto spec = base_spec(2);
+  spec.kv_page_tokens(8).kv_pages(32).kv_prefix_cache(true);
+  InferenceEngine sharded(spec, 21);
+  RaggedDecoder dec(sharded, 4);
+  std::vector<std::int32_t> sys(16);
+  for (std::size_t i = 0; i < sys.size(); ++i) {
+    sys[i] = static_cast<std::int32_t>(1 + i);
+  }
+  auto p1 = sys;
+  p1.push_back(40);
+  auto p2 = sys;
+  p2.push_back(41);
+  const auto a = dec.admit(p1, 4);
+  const auto b = dec.admit(p2, 4);
+  ASSERT_GE(a, 0);
+  ASSERT_GE(b, 0);
+  EXPECT_GT(dec.prefix_hits(), 0);
+  EXPECT_GE(dec.prefix_hit_tokens(), 16);
+  while (dec.step() > 0) {
+  }
+  InferenceEngine ref_engine(base_spec(1), 21);
+  RaggedDecoder ref(ref_engine, 4);
+  const auto ra = ref.admit(p1, 4);
+  const auto rb = ref.admit(p2, 4);
+  while (ref.step() > 0) {
+  }
+  EXPECT_EQ(dec.tokens(a), ref.tokens(ra));
+  EXPECT_EQ(dec.tokens(b), ref.tokens(rb));
+  EXPECT_EQ(dec.arena(0).free_pages(), dec.arena(1).free_pages());
+  EXPECT_EQ(dec.arena(0).pages_in_use(), dec.arena(1).pages_in_use());
+}
+
 }  // namespace
 }  // namespace dsinfer::core

@@ -105,6 +105,31 @@ TEST(RouteChoose, PrefixAffinityPinsHomeUntilOverloaded) {
   }
 }
 
+TEST(RouteChoose, PrefixAffinityPrefersWarmReplicaUnderSpillGuard) {
+  // ISSUE 7: a replica whose KV cache actually holds the request's prefix
+  // outranks the hash home — until it is overloaded or excluded.
+  FleetOptions opts;
+  opts.affinity_spill = 2.0;
+  Rng rng(3);
+  std::vector<ReplicaLoadView> views = {{true, 1.0}, {true, 1.0}, {true, 1.0}};
+  views[2].prefix_warm = true;
+  for (std::uint64_t key : {0ull, 1ull, 2ull}) {  // every hash home loses
+    EXPECT_EQ(route_choose(RoutePolicy::kPrefixAffinity, opts, views, key, -1,
+                           rng),
+              2);
+  }
+  // Overloaded warm replica (10 > spill x mean = 8): back to the hash home.
+  views[2].outstanding_s = 10.0;
+  EXPECT_EQ(route_choose(RoutePolicy::kPrefixAffinity, opts, views, 0, -1,
+                         rng),
+            0);
+  // Warm but excluded (hedge twin / failover source) never wins either.
+  views[2].outstanding_s = 1.0;
+  EXPECT_EQ(route_choose(RoutePolicy::kPrefixAffinity, opts, views, 0, 2,
+                         rng),
+            0);
+}
+
 TEST(PrefixHash, DependsOnlyOnLeadingTokens) {
   const std::vector<std::int32_t> a = {1, 2, 3, 4, 99};
   const std::vector<std::int32_t> b = {1, 2, 3, 4, -7};
@@ -285,6 +310,79 @@ TEST(FleetRouter, RejectsBadRequestsAndBadSpecs) {
   auto r = req(1, {2}, 3, 0.0);
   r.new_tokens = 0;
   EXPECT_THROW(router.run_trace({r}), core::BadRequestError);
+}
+
+TEST(FleetRouter, StructuralKvShedIsTypedArenaPages) {
+  // ISSUE 7: a request whose prompt + max_new page budget can never fit any
+  // replica's pool is shed as kArenaPages at dispatch (counted in the typed
+  // shed sum — run_trace's internal accounting check covers the new term),
+  // while fitting requests keep serving.
+  core::ServerOptions o;
+  o.engine.policy = kernels::KernelPolicy::optimized_large_batch();
+  o.engine.max_batch = 8;
+  o.engine.max_seq = 64;
+  o.engine.kv_page_tokens = 8;
+  o.engine.kv_pages = 4;  // 32 token-rows per replica
+  o.scheduler = core::Scheduler::kContinuous;
+  o.max_batch = 4;
+  o.virtual_service.enabled = true;
+  FleetSpec spec(core::ServeSpec::from_options(model::tiny_gpt(64, 2, 4), o));
+  spec.replicas(2);
+  FleetRouter router(spec, 5);
+  const std::vector<std::int32_t> big(30, 3);  // 30 + 10 = 5 pages > 4
+  auto res =
+      router.run_trace({req(0, big, 10, 0.0), req(1, {1, 2}, 2, 0.001)});
+  EXPECT_EQ(res.stats[0].base.outcome, Outcome::kShed);
+  EXPECT_EQ(res.stats[0].reason, ShedReason::kArenaPages);
+  EXPECT_EQ(res.counters.shed_arena_pages, 1);
+  EXPECT_TRUE(res.stats[1].base.served());
+  EXPECT_EQ(std::string(shed_reason_name(ShedReason::kArenaPages)),
+            "arena-pages");
+}
+
+TEST(FleetRouter, WarmRoutingFollowsActualCacheContentsPastDeadHome) {
+  // ISSUE 7 warm routing end-to-end: the hash home of a hot system prompt is
+  // crashed, so the first request lands on a survivor and publishes the
+  // prefix there. Every later same-prefix request must follow the *actual
+  // cache contents* to that same survivor — not bounce between survivors the
+  // way the cold power-of-two spill would.
+  core::ServerOptions o;
+  o.engine.policy = kernels::KernelPolicy::optimized_large_batch();
+  o.engine.max_batch = 8;
+  o.engine.max_seq = 64;
+  o.engine.kv_page_tokens = 8;
+  o.engine.kv_pages = 48;
+  o.engine.kv_prefix_cache = true;
+  o.scheduler = core::Scheduler::kContinuous;
+  o.max_batch = 4;
+  o.virtual_service.enabled = true;
+  FleetSpec spec(core::ServeSpec::from_options(model::tiny_gpt(64, 2, 4), o));
+  spec.replicas(3).policy(RoutePolicy::kPrefixAffinity);
+  std::vector<std::int32_t> sys(16);
+  for (std::size_t i = 0; i < sys.size(); ++i) {
+    sys[i] = static_cast<std::int32_t>(1 + i);
+  }
+  const auto home = static_cast<std::int64_t>(
+      prefix_hash(sys, spec.options().affinity_prefix) %
+      static_cast<std::uint64_t>(3));
+  std::vector<TimedRequest> trace;
+  for (std::int64_t i = 0; i < 6; ++i) {
+    auto p = sys;
+    p.push_back(static_cast<std::int32_t>(40 + i));
+    // Spaced far enough apart that each request completes before the next
+    // arrives (and well after the dead home's breaker has opened).
+    trace.push_back(req(i, std::move(p), 3, 0.05 + 0.05 * i));
+  }
+  FleetRouter router(spec, 9);
+  auto res = router.run_trace(
+      trace, {{home, 0.0, ReplicaFault::Kind::kCrash, 0.0, 1.0}});
+  const auto first = res.stats[0].replica;
+  ASSERT_GE(first, 0);
+  EXPECT_NE(first, home);
+  for (const auto& s : res.stats) {
+    EXPECT_TRUE(s.base.served());
+    EXPECT_EQ(s.replica, first);  // warm cache, not a random survivor
+  }
 }
 
 TEST(LoadHarness, TraceIsDeterministicSkewedAndMixed) {
