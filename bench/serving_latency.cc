@@ -38,15 +38,32 @@
 //                                            fault-free fleet.
 //   serving_latency --trace <out.json>     Chrome trace of the replay
 //                                          (https://ui.perfetto.dev).
+//   serving_latency --attr                 tail-latency attribution (ISSUE
+//                                          8): per-phase p50/p95/p99
+//                                          breakdown rows (mode "attr") from
+//                                          the fleet chaos run land in
+//                                          BENCH_serving.json, the SLO
+//                                          watchdog burn rates print as
+//                                          Prometheus text, and the flight
+//                                          recorder retains tail/violating
+//                                          span chains (dumped next to
+//                                          --trace output as
+//                                          <out>.flight.json). --check
+//                                          implies --attr and additionally
+//                                          gates totality, breakdown-row
+//                                          presence, and >= 95% violator
+//                                          retention.
 //
 // Results land in BENCH_serving.json at the repo root: one JSON array, one
 // schema for every row, discriminated by "mode" — "replay" (head-to-head
 // sweep), "modeled" (continuous x TP with the Fig-6 step model), "fleet"
 // (replica fleet per policy x SLO class).
+#include <algorithm>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -55,7 +72,10 @@
 #include "fleet/load_harness.h"
 #include "fleet/router.h"
 #include "hw/topology.h"
+#include "obs/attribution.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/slo_watchdog.h"
 #include "obs/trace.h"
 #include "perf/dense_model.h"
 #include "util/table.h"
@@ -76,6 +96,13 @@ struct Row {
   double prefix_hit_rate = 0;   // capacity rows: hit tokens / prompt tokens
   double offered_hz = 0;  // actual trace arrivals / duration
   double step_s = 0;  // modeled per-decode-step latency at the fig-6 shape
+  // Attribution rows (mode "attr", ISSUE 8): which phase, its share of the
+  // chaos run's total attributed time, and its summed duration. The
+  // per-phase p50/p95/p99 ride the shared latency fields; `requests` counts
+  // requests the phase touched.
+  std::string phase = "-";
+  double phase_share = 0;
+  double phase_total_s = 0;
   core::ServingSummary s;
 };
 
@@ -192,6 +219,7 @@ int main(int argc, char** argv) {
   std::string scheduler = "both";
   std::vector<std::int64_t> tp_degrees{1, 2};
   bool check = false;
+  bool attr = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       trace_path = argv[++i];
@@ -222,15 +250,27 @@ int main(int argc, char** argv) {
       }
     } else if (std::strcmp(argv[i], "--check") == 0) {
       check = true;
+    } else if (std::strcmp(argv[i], "--attr") == 0) {
+      attr = true;
     } else {
       std::cerr << "usage: serving_latency [--scheduler window|continuous|"
-                   "both] [--tp 2,4] [--check] [--trace <out.json>]\n";
+                   "both] [--tp 2,4] [--check] [--attr] "
+                   "[--trace <out.json>]\n";
       return 2;
     }
   }
+  // The check gate includes the attribution/flight-recorder invariants, so
+  // it needs the same instrumentation --attr turns on.
+  if (check) attr = true;
   if (!trace_path.empty()) {
     obs::TraceRecorder::instance().set_enabled(true);
     obs::MetricsRegistry::instance().set_enabled(true);
+  }
+  if (attr) {
+    obs::set_attribution_enabled(true);
+    auto& fr = obs::FlightRecorder::instance();
+    fr.configure(256, 512);
+    fr.set_enabled(true);
   }
 
   const auto cfg = model::tiny_gpt(64, 2, 4);
@@ -352,8 +392,11 @@ int main(int argc, char** argv) {
   // rides each replica's degraded INT8 half-capacity lane). The chaos gate
   // below reuses this shape with one replica crashed mid-run.
   std::vector<Row> fleet_rows;
+  std::vector<Row> attr_rows;
   fleet::FleetResult fleet_baseline, fleet_chaos;
   bool fleet_accounting_ok = true;
+  std::string totality_leak;     // from the chaos run, "" when clean
+  std::string watchdog_prom;     // Prometheus text of the chaos watchdog
   if (scheduler != "window") {
     std::cout << "\n=== Replica fleet at a post-knee rate (3 replicas, "
                  "per routing policy x SLO class) ===\n\n";
@@ -361,6 +404,12 @@ int main(int argc, char** argv) {
     w.base_rate_hz = 900;  // past the single-replica continuous knee
     w.duration_s = 0.4;
     w.seed = 91;
+    // Post-knee tail SLA: the chaos run's p99 sits near 180 ms, so a 120 ms
+    // latency-class deadline makes the tail genuinely violate — the flight
+    // recorder's retention gate needs real SLO misses to measure against.
+    // Timeouts still count as served, so the chaos-goodput ratio is
+    // insensitive to this bound.
+    w.latency_deadline_s = 0.12;
     const auto ftrace = fleet::generate_fleet_trace(w);
     const double offered = static_cast<double>(ftrace.size()) / w.duration_s;
     Table flt({"policy", "slo class", "requests", "served", "served/s",
@@ -385,6 +434,35 @@ int main(int argc, char** argv) {
             ftrace, {fleet::standard_chaos_schedule(3, w.duration_s)[0]});
         fleet_accounting_ok = fleet_accounting_ok &&
                               fleet::check_accounting(fleet_chaos).empty();
+        // Attribution section (ISSUE 8): per-phase quantiles over the chaos
+        // run, the explicit totality verdict, and the router watchdog's
+        // burn-rate view of the same window.
+        const auto areqs = fleet::attributed_requests(fleet_chaos);
+        totality_leak = obs::check_totality(areqs);
+        double last_finish = 0;
+        for (const auto& ar : areqs) {
+          last_finish = std::max(last_finish, ar.finish_s);
+        }
+        std::ostringstream wd;
+        router.watchdog().export_prometheus(wd, last_finish);
+        watchdog_prom = wd.str();
+        for (const auto& ps : obs::summarize_phases(areqs)) {
+          Row row;
+          row.mode = "attr";
+          row.rate_hz = w.base_rate_hz;
+          row.offered_hz = offered;
+          row.scheduler = "continuous";
+          row.policy = pname;
+          row.replicas = 3;
+          row.phase = obs::phase_name(ps.phase);
+          row.phase_share = ps.share;
+          row.phase_total_s = ps.total_s;
+          row.s.requests = static_cast<std::int64_t>(ps.count);
+          row.s.p50_latency_s = ps.p50_s;
+          row.s.p95_latency_s = ps.p95_s;
+          row.s.p99_latency_s = ps.p99_s;
+          attr_rows.push_back(std::move(row));
+        }
       }
       const std::pair<const char*, const core::ServingSummary*> classes[] = {
           {"latency", &sum.latency}, {"batch", &sum.batch}};
@@ -414,6 +492,35 @@ int main(int argc, char** argv) {
                  "for KV locality on the hot prefixes, and the batch class "
                  "keeps its half-capacity lane without starving the latency "
                  "class. Sheds are typed backpressure, not losses.\n";
+
+    if (attr) {
+      std::cout << "\n=== Tail-latency attribution of the chaos run "
+                   "(p2c, 1 of 3 replicas crashed mid-run) ===\n\n";
+      Table at({"phase", "requests", "share", "total s", "p50 ms", "p95 ms",
+                "p99 ms"});
+      for (const auto& r : attr_rows) {
+        at.add_row({r.phase, std::to_string(r.s.requests),
+                    Table::num(r.phase_share, 3),
+                    Table::num(r.phase_total_s, 4),
+                    Table::num(r.s.p50_latency_s * 1e3, 2),
+                    Table::num(r.s.p95_latency_s * 1e3, 2),
+                    Table::num(r.s.p99_latency_s * 1e3, 2)});
+      }
+      at.print(std::cout);
+      std::cout << "\nTotality: "
+                << (totality_leak.empty() ? "every request's phases sum to "
+                                            "its end-to-end latency"
+                                          : totality_leak)
+                << "\n";
+      const auto& fr = obs::FlightRecorder::instance();
+      std::cout << "Flight recorder: " << fr.kept() << " span chains retained "
+                << "of " << fr.seen() << " requests seen ("
+                << fr.kept_violating() << "/" << fr.seen_violating()
+                << " SLO-violating kept; rolling p99 "
+                << fr.rolling_p99() * 1e3 << " ms)\n\n";
+      std::cout << "SLO watchdog (chaos run, sliding 0.5 s window):\n"
+                << watchdog_prom;
+    }
   }
 
   // --- Paged KV capacity at equal arena bytes (ISSUE 7) ---
@@ -508,6 +615,7 @@ int main(int argc, char** argv) {
     all.insert(all.end(), tp_rows.begin(), tp_rows.end());
     all.insert(all.end(), fleet_rows.begin(), fleet_rows.end());
     all.insert(all.end(), cap_rows.begin(), cap_rows.end());
+    all.insert(all.end(), attr_rows.begin(), attr_rows.end());
     std::ofstream out(json_path);
     out << "[\n";
     for (std::size_t i = 0; i < all.size(); ++i) {
@@ -521,6 +629,9 @@ int main(int argc, char** argv) {
           << ", \"kv_mode\": \"" << r.kv_mode
           << "\", \"prefix_hit_rate\": " << r.prefix_hit_rate
           << ", \"step_s\": " << r.step_s
+          << ", \"phase\": \"" << r.phase
+          << "\", \"phase_share\": " << r.phase_share
+          << ", \"phase_total_s\": " << r.phase_total_s
           << ", \"requests\": " << r.s.requests
           << ", \"served\": " << r.s.served
           << ", \"served_per_s\": " << r.s.served_per_s
@@ -611,6 +722,33 @@ int main(int argc, char** argv) {
                 << fleet_chaos.counters.sheds << " typed sheds)\n";
       pass = pass && ok;
     }
+    // Attribution gate (ISSUE 8): the chaos run's phase ledger must be
+    // total for every request (served, shed, hedged, failed-over alike),
+    // the per-phase breakdown rows must have landed in BENCH_serving.json,
+    // and the flight recorder must have retained >= 95% of SLO violators.
+    {
+      bool ok = totality_leak.empty();
+      std::cout << (ok ? "PASS" : "FAIL")
+                << " attribution totality on the chaos run"
+                << (ok ? "" : ": " + totality_leak) << "\n";
+      pass = pass && ok;
+      ok = !attr_rows.empty();
+      std::cout << (ok ? "PASS" : "FAIL") << " attribution breakdown rows: "
+                << attr_rows.size() << " phase rows in BENCH_serving.json\n";
+      pass = pass && ok;
+      const auto& fr = obs::FlightRecorder::instance();
+      const double retention =
+          fr.seen_violating() > 0
+              ? static_cast<double>(fr.kept_violating()) /
+                    static_cast<double>(fr.seen_violating())
+              : 0.0;
+      ok = fr.seen_violating() > 0 && retention >= 0.95;
+      std::cout << (ok ? "PASS" : "FAIL") << " flight recorder retention: "
+                << fr.kept_violating() << "/" << fr.seen_violating()
+                << " SLO-violating requests kept (ratio " << retention
+                << ", need >= 0.95)\n";
+      pass = pass && ok;
+    }
     // Paged KV capacity gate (ISSUE 7): at equal arena bytes on the hot-
     // prefix trace, paged + prefix cache must serve >= 1.5x the strip
     // layout, with real prefix hits and bit-identical greedy tokens.
@@ -641,6 +779,10 @@ int main(int argc, char** argv) {
     std::cout << "serving regression gate: PASS\n";
     if (!trace_path.empty()) {
       obs::TraceRecorder::instance().export_file(trace_path);
+      if (attr) {
+        obs::FlightRecorder::instance().export_file(trace_path +
+                                                    ".flight.json");
+      }
     }
     return 0;
   }
@@ -689,6 +831,13 @@ int main(int argc, char** argv) {
               << obs::TraceRecorder::instance().event_count()
               << " trace events to " << trace_path
               << " (load in https://ui.perfetto.dev)\n";
+    if (attr &&
+        obs::FlightRecorder::instance().export_file(trace_path +
+                                                    ".flight.json")) {
+      std::cout << "Wrote " << obs::FlightRecorder::instance().kept()
+                << " retained flight-recorder span chains to " << trace_path
+                << ".flight.json\n";
+    }
     obs::MetricsRegistry::instance().export_json(std::cout);
     std::cout << "\n";
   }

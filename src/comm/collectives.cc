@@ -5,12 +5,31 @@
 #include <stdexcept>
 #include <thread>
 
+#include "obs/attribution.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/stats.h"
 
 namespace dsinfer::comm {
 
 namespace {
+
+// ISSUE 8: each collective's wall time feeds the tail-latency attribution
+// ledger as kTpAllreduce (serving-path TP communication, barrier skew
+// included). Charged in the destructor so faulted attempts are accounted
+// too — the batcher's per-attempt SubPhaseScope re-arm discards charges from
+// attempts that did not win. A disabled gate costs one relaxed load.
+class AttrCommScope {
+ public:
+  AttrCommScope() : armed_(obs::attribution_enabled()) {}
+  ~AttrCommScope() {
+    if (armed_) obs::attr_charge(obs::Phase::kTpAllreduce, sw_.elapsed_s());
+  }
+
+ private:
+  bool armed_;
+  Stopwatch sw_;
+};
 
 // Payload-byte accounting shared by every collective: the communicator's own
 // ledger (tests assert on it) plus the metrics registry for profiling runs.
@@ -116,6 +135,7 @@ void Communicator::sync(std::int64_t rank) {
 
 void Communicator::all_reduce_sum(std::int64_t rank, std::span<float> data) {
   DSI_TRACE_SCOPE("comm", "all_reduce_sum");
+  AttrCommScope attr_scope;
   if (n_ == 1) return;
   src_[static_cast<std::size_t>(rank)] = data;
   sync(rank);
@@ -137,6 +157,7 @@ void Communicator::all_reduce_sum(std::int64_t rank, std::span<float> data) {
 void Communicator::all_gather(std::int64_t rank, std::span<const float> in,
                               std::span<float> out) {
   DSI_TRACE_SCOPE("comm", "all_gather");
+  AttrCommScope attr_scope;
   if (out.size() < in.size() * static_cast<std::size_t>(n_)) {
     throw std::invalid_argument("all_gather: out too small");
   }
@@ -157,6 +178,7 @@ void Communicator::all_gather(std::int64_t rank, std::span<const float> in,
 void Communicator::all_to_all(std::int64_t rank, std::span<const float> in,
                               std::span<float> out) {
   DSI_TRACE_SCOPE("comm", "all_to_all");
+  AttrCommScope attr_scope;
   if (in.size() % static_cast<std::size_t>(n_) != 0 || out.size() < in.size()) {
     throw std::invalid_argument("all_to_all: in must be n equal chunks");
   }
@@ -179,6 +201,7 @@ void Communicator::all_to_all(std::int64_t rank, std::span<const float> in,
 void Communicator::broadcast(std::int64_t rank, std::int64_t root,
                              std::span<float> data) {
   DSI_TRACE_SCOPE("comm", "broadcast");
+  AttrCommScope attr_scope;
   if (n_ == 1) return;
   if (rank == root) src_[static_cast<std::size_t>(root)] = data;
   sync(rank);
@@ -197,6 +220,7 @@ void Communicator::reduce_scatter_sum(std::int64_t rank,
                                       std::span<const float> in,
                                       std::span<float> out) {
   DSI_TRACE_SCOPE("comm", "reduce_scatter_sum");
+  AttrCommScope attr_scope;
   if (in.size() % static_cast<std::size_t>(n_) != 0) {
     throw std::invalid_argument("reduce_scatter_sum: in must be n equal chunks");
   }
@@ -224,6 +248,7 @@ void Communicator::reduce_scatter_sum(std::int64_t rank,
 void Communicator::reduce_sum(std::int64_t rank, std::int64_t root,
                               std::span<float> data) {
   DSI_TRACE_SCOPE("comm", "reduce_sum");
+  AttrCommScope attr_scope;
   if (n_ == 1) return;
   src_[static_cast<std::size_t>(rank)] = data;
   sync(rank);
@@ -249,6 +274,7 @@ void Communicator::reduce_sum(std::int64_t rank, std::int64_t root,
 void Communicator::gather(std::int64_t rank, std::int64_t root,
                           std::span<const float> in, std::span<float> out) {
   DSI_TRACE_SCOPE("comm", "gather");
+  AttrCommScope attr_scope;
   if (rank == root && out.size() < in.size() * static_cast<std::size_t>(n_)) {
     throw std::invalid_argument("gather: root out too small");
   }
@@ -271,6 +297,7 @@ void Communicator::gather(std::int64_t rank, std::int64_t root,
 void Communicator::scatter(std::int64_t rank, std::int64_t root,
                            std::span<const float> in, std::span<float> out) {
   DSI_TRACE_SCOPE("comm", "scatter");
+  AttrCommScope attr_scope;
   if (rank == root) {
     if (in.size() % static_cast<std::size_t>(n_) != 0) {
       throw std::invalid_argument("scatter: in must be n equal chunks");

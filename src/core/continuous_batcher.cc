@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "comm/collectives.h"
+#include "obs/attribution.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/stats.h"
@@ -31,11 +32,13 @@ struct ContinuousBatcher::Lane {
       : decoder(engine, slots, sampling, seed),
         req(static_cast<std::size_t>(slots), 0),
         retries(static_cast<std::size_t>(slots), 0),
+        phases(static_cast<std::size_t>(slots)),
         degraded(is_degraded) {}
 
   RaggedDecoder decoder;
   std::vector<std::size_t> req;
   std::vector<std::int64_t> retries;
+  std::vector<obs::PhaseBreakdown> phases;  // attribution ledger per slot
   bool degraded = false;
 };
 
@@ -72,21 +75,63 @@ void ContinuousBatcher::run(const std::vector<TimedRequest>& requests,
            (degraded_lane_ ? degraded_lane_->decoder.active() : 0);
   };
 
+  // Attribution (ISSUE 8): every virtual-clock advance is charged, by cause,
+  // to every slot live while it elapses — the single shared clock means all
+  // co-scheduled sequences experience the same advance, so each slot's
+  // ledger sums exactly to its residency and per-request totality holds by
+  // construction.
+  auto charge_active = [&](double dt, obs::Phase p) {
+    if (dt <= 0) return;
+    for (Lane* lane : {primary_lane_.get(), degraded_lane_.get()}) {
+      if (!lane) continue;
+      for (std::int64_t s = 0; s < lane->decoder.capacity(); ++s) {
+        if (lane->decoder.arena().in_use(s)) {
+          lane->phases[static_cast<std::size_t>(s)].add(p, dt);
+        }
+      }
+    }
+  };
+
+  // Measured-mode split of one invocation: the comm/zero/kv hooks report
+  // their wall time through obs::attr_charge; concurrent TP ranks can
+  // over-count past the invocation's wall clock, so sub-phases are scaled
+  // down to fit and the remainder is compute. Parts sum to `dt` exactly.
+  auto charge_split = [&](double dt, const obs::PhaseBreakdown& sub,
+                          obs::Phase compute) {
+    constexpr obs::Phase kSub[] = {obs::Phase::kTpAllreduce,
+                                   obs::Phase::kZeroFetch,
+                                   obs::Phase::kKvSpill};
+    double sub_total = 0;
+    for (obs::Phase p : kSub) sub_total += sub.get(p);
+    const double scale = sub_total > dt ? dt / sub_total : 1.0;
+    double charged = 0;
+    for (obs::Phase p : kSub) {
+      const double part = sub.get(p) * scale;
+      charge_active(part, p);
+      charged += part;
+    }
+    charge_active(dt - charged, compute);
+  };
+
   // Chaos-aware engine invocation: each attempt draws the injector and
   // catches typed streaming faults; failures cost exponential virtual
   // backoff on the clock. Returns false when the retry budget is exhausted.
-  // On success `measured_s` holds the attempt's wall-clock.
-  auto with_retry = [&](auto&& invoke, std::int64_t& tries,
-                        double& measured_s) {
+  // On success `measured_s` holds the attempt's wall-clock and `sub` the
+  // comm/zero/kv sub-phase wall time that attempt reported (re-armed per
+  // attempt, so a failed attempt's charges never leak into the winner's).
+  auto with_retry = [&](auto&& invoke, std::int64_t& tries, double& measured_s,
+                        obs::PhaseBreakdown& sub) {
     tries = 0;
     measured_s = 0;
     for (;;) {
       bool fault = res.injector && res.injector->should_fail(res.engine_site);
       if (!fault) {
         try {
+          obs::SubPhaseScope sub_scope;
           Stopwatch sw;
           invoke();
           measured_s = sw.elapsed_s();
+          sub = sub_scope.take();
           return true;
         } catch (const zero::StreamFault&) {
           fault = true;
@@ -104,7 +149,10 @@ void ContinuousBatcher::run(const std::vector<TimedRequest>& requests,
                        "engine fault");
       }
       if (tries >= res.max_retries) return false;
-      clock += res.retry_backoff_s * static_cast<double>(1LL << tries);
+      const double backoff =
+          res.retry_backoff_s * static_cast<double>(1LL << tries);
+      clock += backoff;
+      charge_active(backoff, obs::Phase::kRetryBackoff);
       ++tries;
       ++counters.retries;
       if (tracing) {
@@ -121,6 +169,9 @@ void ContinuousBatcher::run(const std::vector<TimedRequest>& requests,
     auto& st = stats[idx];
     st.finish_s = now;
     st.retries = lane.retries[static_cast<std::size_t>(slot)];
+    // [start_s, finish_s] from the slot's ledger; queue wait was attributed
+    // at admission. Together they sum to latency_s() (ISSUE 8 totality).
+    st.attr.merge(lane.phases[static_cast<std::size_t>(slot)]);
     if (failed) {
       st.outcome = RequestStats::Outcome::kFailed;
       st.tokens = rq.prompt;  // nothing usable was generated
@@ -199,6 +250,7 @@ void ContinuousBatcher::run(const std::vector<TimedRequest>& requests,
           clock + estimate_s_(rq.new_tokens, overload) > rq.deadline_s) {
         st.start_s = st.finish_s = clock;  // decision instant; no service
         st.outcome = RequestStats::Outcome::kShed;
+        st.attr.add(obs::Phase::kShed, clock - rq.arrival_s);
         ++counters.sheds;
         ++qi;
         if (tracing) {
@@ -229,6 +281,7 @@ void ContinuousBatcher::run(const std::vector<TimedRequest>& requests,
             std::to_string(arena.total_pages()) + " (page_tokens " +
             std::to_string(arena.page_tokens()) + ", max_seq " +
             std::to_string(arena.max_seq()) + ")";
+        st.attr.add(obs::Phase::kShed, clock - rq.arrival_s);
         ++counters.sheds;
         ++qi;
         if (tracing) {
@@ -247,15 +300,18 @@ void ContinuousBatcher::run(const std::vector<TimedRequest>& requests,
       std::int64_t slot = -1;
       std::int64_t tries = 0;
       double measured_s = 0;
+      obs::PhaseBreakdown sub;
       const bool ok = with_retry(
           [&] { slot = lane.decoder.admit(rq.prompt, rq.new_tokens); }, tries,
-          measured_s);
+          measured_s, sub);
       ++qi;
       if (!ok) {
         st.finish_s = clock;
         st.retries = tries;
         st.outcome = RequestStats::Outcome::kFailed;
         st.tokens = rq.prompt;
+        st.attr.add(obs::Phase::kAdmissionWait, st.start_s - rq.arrival_s);
+        st.attr.add(obs::Phase::kRetryBackoff, clock - st.start_s);
         ++counters.failures;
         if (tracing) {
           rec.instant_at(obs::kServerPid, request_track(rq.id), to_us(clock),
@@ -265,9 +321,22 @@ void ContinuousBatcher::run(const std::vector<TimedRequest>& requests,
       }
       lane.req[static_cast<std::size_t>(slot)] = idx;
       lane.retries[static_cast<std::size_t>(slot)] = tries;
-      clock += vs.enabled
-                   ? vs.prefill_s * (lane.degraded ? vs.degraded_factor : 1.0)
-                   : measured_s;
+      // The slot only became chargeable when admit() succeeded, so back-fill
+      // the backoff its own admission attempts cost (other live slots were
+      // charged as the clock moved; this one was not yet in a slot).
+      lane.phases[static_cast<std::size_t>(slot)].clear();
+      lane.phases[static_cast<std::size_t>(slot)].add(
+          obs::Phase::kRetryBackoff, clock - st.start_s);
+      st.attr.add(obs::Phase::kAdmissionWait, st.start_s - rq.arrival_s);
+      const double prefill_dt =
+          vs.enabled ? vs.prefill_s * (lane.degraded ? vs.degraded_factor : 1.0)
+                     : measured_s;
+      if (vs.enabled) {
+        charge_active(prefill_dt, obs::Phase::kPrefill);
+      } else {
+        charge_split(prefill_dt, sub, obs::Phase::kPrefill);
+      }
+      clock += prefill_dt;
       st.batch_size = active_total();  // step occupancy at admission
       if (tracing) {
         rec.instant_at(obs::kServerPid, request_track(rq.id), to_us(st.start_s),
@@ -283,8 +352,9 @@ void ContinuousBatcher::run(const std::vector<TimedRequest>& requests,
     if (!lane || lane->decoder.active() == 0) return;
     std::int64_t tries = 0;
     double measured_s = 0;
+    obs::PhaseBreakdown sub;
     const bool ok =
-        with_retry([&] { lane->decoder.step(); }, tries, measured_s);
+        with_retry([&] { lane->decoder.step(); }, tries, measured_s, sub);
     if (tries > 0) {
       for (std::int64_t s = 0; s < lane->decoder.capacity(); ++s) {
         if (lane->decoder.arena().in_use(s)) {
@@ -300,9 +370,15 @@ void ContinuousBatcher::run(const std::vector<TimedRequest>& requests,
       }
       return;
     }
-    clock += vs.enabled
-                 ? vs.per_token_s * (lane->degraded ? vs.degraded_factor : 1.0)
-                 : measured_s;
+    const double step_dt =
+        vs.enabled ? vs.per_token_s * (lane->degraded ? vs.degraded_factor : 1.0)
+                   : measured_s;
+    if (vs.enabled) {
+      charge_active(step_dt, obs::Phase::kDecodeCompute);
+    } else {
+      charge_split(step_dt, sub, obs::Phase::kDecodeCompute);
+    }
+    clock += step_dt;
     for (std::int64_t s = 0; s < lane->decoder.capacity(); ++s) {
       if (lane->decoder.arena().in_use(s) && lane->decoder.finished(s)) {
         finalize(*lane, s, false, clock);

@@ -206,6 +206,7 @@ std::vector<RequestStats> InferenceServer::run_window(
       st.deadline_s = hr.deadline_s;
       st.start_s = st.finish_s = start;  // decision instant; no service
       st.outcome = RequestStats::Outcome::kShed;
+      st.attr.add(obs::Phase::kShed, start - hr.arrival_s);
       served[head] = true;
       ++counters_.sheds;
       if (tracing) {
@@ -265,16 +266,19 @@ std::vector<RequestStats> InferenceServer::run_window(
       }
       return true;
     };
+    obs::PhaseBreakdown sub;  // comm/zero/kv wall time of the winning attempt
     for (;;) {
       if (res.injector && res.injector->should_fail(res.engine_site)) {
         if (absorb_fault()) continue;
         break;
       }
       try {
+        obs::SubPhaseScope sub_scope;
         Stopwatch sw;
         result = (degraded ? degraded_engine() : engine_)
                      .generate(prompts, max_new, opts_.sampling);
         measured_s = sw.elapsed_s();
+        sub = sub_scope.take();
         ok = true;
         break;
       } catch (const zero::StreamFault&) {
@@ -286,6 +290,36 @@ std::vector<RequestStats> InferenceServer::run_window(
     const double service_s =
         !ok ? 0.0
             : vs.enabled ? estimate_service_s(max_new, degraded) : measured_s;
+    // Attribution of the batch's service interval (ISSUE 8): shared by every
+    // member, it splits into prefill, the comm/zero/kv sub-phases (measured
+    // mode; scaled down if concurrent ranks over-counted wall time), and a
+    // decode-compute remainder — parts sum to service_s exactly.
+    obs::PhaseBreakdown service_attr;
+    if (ok) {
+      const double factor = degraded ? vs.degraded_factor : 1.0;
+      const double prefill_part =
+          vs.enabled ? vs.base_s * factor
+                     : std::min(std::max(result.prompt_seconds, 0.0),
+                                service_s);
+      double rest = service_s - prefill_part;
+      service_attr.add(obs::Phase::kPrefill, prefill_part);
+      double sub_total = 0;
+      constexpr obs::Phase kSub[] = {obs::Phase::kTpAllreduce,
+                                     obs::Phase::kZeroFetch,
+                                     obs::Phase::kKvSpill};
+      if (!vs.enabled) {
+        double reported = 0;
+        for (obs::Phase p : kSub) reported += sub.get(p);
+        const double scale = reported > rest ? rest / reported : 1.0;
+        for (obs::Phase p : kSub) {
+          const double part = sub.get(p) * scale;
+          service_attr.add(p, part);
+          sub_total += part;
+        }
+      }
+      service_attr.add(obs::Phase::kDecodeCompute,
+                       std::max(0.0, rest - sub_total));
+    }
     if (ok && !vs.enabled) {
       // Split the measurement into its fixed and per-step parts so the
       // estimator scales with a request's ask: the prompt phase stands in
@@ -318,6 +352,9 @@ std::vector<RequestStats> InferenceServer::run_window(
       st.batch_size = static_cast<std::int64_t>(batch.size());
       st.retries = tries;
       st.degraded = ok && degraded;
+      st.attr.add(obs::Phase::kAdmissionWait, start - rq.arrival_s);
+      st.attr.add(obs::Phase::kRetryBackoff, backoff_s);
+      st.attr.merge(service_attr);
       if (tracing) {
         const std::int64_t track = request_track(rq.id);
         if (start > rq.arrival_s) {

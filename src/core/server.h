@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "core/inference_engine.h"
+#include "obs/attribution.h"
 
 namespace dsinfer::core {
 
@@ -155,6 +156,10 @@ struct RequestStats {
   std::int64_t retries = 0;  // engine-fault retries its batch absorbed
   bool degraded = false;     // served on the degraded path
   bool stopped = false;      // emitted the stop token before its budget
+  // Tail-latency attribution ledger (ISSUE 8): phase durations summing to
+  // latency_s() within obs::kTotalityEps on both schedulers (and, through
+  // FleetRequestStats, on the fleet path).
+  obs::PhaseBreakdown attr;
 
   double queue_delay_s() const { return start_s - arrival_s; }
   double latency_s() const { return finish_s - arrival_s; }

@@ -33,6 +33,12 @@ struct ReqState {
   bool hedge_pending = false;  // timer scheduled and not yet fired/cancelled
   sim::Simulator::EventId hedge_event = 0;
   std::vector<Copy> copies;
+  // Attribution frontier (ISSUE 8): everything in [mark_s, next event] is
+  // still unattributed; each router decision closes the interval behind it.
+  // Mirrors the functional router's scheme so the twin satisfies the same
+  // totality invariant.
+  double mark_s = 0;
+  double hedge_fire_s = -1;
 };
 
 // A replica modeled as the same one-action-at-a-time machine the functional
@@ -199,6 +205,8 @@ struct SimRun {
     fs.reason = reason;
     fs.base.outcome = Outcome::kShed;
     fs.base.start_s = fs.base.finish_s = sim.now();
+    fs.base.attr.add(obs::Phase::kShed, sim.now() - st[i].mark_s);
+    st[i].mark_s = sim.now();
     ++result.counters.sheds;
     switch (reason) {
       case ShedReason::kQueueFull: ++result.counters.shed_queue_full; break;
@@ -219,6 +227,8 @@ struct SimRun {
     fs.reason = ShedReason::kFailoverBudget;
     fs.base.outcome = Outcome::kFailed;
     fs.base.start_s = fs.base.finish_s = sim.now();
+    fs.base.attr.add(obs::Phase::kFailover, sim.now() - st[i].mark_s);
+    st[i].mark_s = sim.now();
     ++result.counters.failures;
     terminalize(i);
   }
@@ -238,6 +248,13 @@ struct SimRun {
     lane.queue.push_back(i);
     st[i].copies.push_back(Copy{r, is_hedge});
     ++result.counters.dispatches;
+    if (!is_hedge) {
+      // Hedge dispatches never move the frontier: the primary wait keeps
+      // accruing and is split at completion (hedge_wait vs admission_wait).
+      result.stats[i].base.attr.add(obs::Phase::kRouterQueue,
+                                    sim.now() - st[i].mark_s);
+      st[i].mark_s = sim.now();
+    }
     if (!is_hedge && requests[i].slo == SloClass::kLatency &&
         fo.latency.hedging && !st[i].hedge_armed) {
       st[i].hedge_armed = true;
@@ -272,6 +289,7 @@ struct SimRun {
 
   void arrival(std::size_t i) {
     const auto& rq = requests[i];
+    st[i].mark_s = rq.arrival_s;
     if (in_system[cls(rq.slo)] >= lane_opts(rq.slo).queue_limit) {
       shed(i, ShedReason::kQueueFull);
       return;
@@ -288,6 +306,7 @@ struct SimRun {
     if (dispatch_copy(i, primary, true) >= 0) {
       ++result.counters.hedges;
       result.stats[i].hedged = true;
+      st[i].hedge_fire_s = sim.now();
     }
   }
 
@@ -298,6 +317,9 @@ struct SimRun {
     }
     ++result.stats[i].failovers;
     ++result.counters.failovers;
+    result.stats[i].base.attr.add(obs::Phase::kFailover,
+                                  sim.now() - st[i].mark_s);
+    st[i].mark_s = sim.now();
     if (dispatch_copy(i, exclude, false) < 0) {
       if (all_crashed()) {
         shed(i, ShedReason::kNoHealthyReplica);
@@ -497,6 +519,20 @@ struct SimRun {
     fs.hedge_won = winner_is_hedge;
     fs.base.start_s = admit_s;
     fs.base.finish_s = sim.now();
+    if (winner_is_hedge && st[i].hedge_fire_s >= st[i].mark_s) {
+      fs.base.attr.add(obs::Phase::kHedgeWait,
+                       st[i].hedge_fire_s - st[i].mark_s);
+      fs.base.attr.add(obs::Phase::kAdmissionWait,
+                       admit_s - st[i].hedge_fire_s);
+    } else {
+      const double wait = admit_s - st[i].mark_s;
+      fs.base.attr.add(obs::Phase::kAdmissionWait, std::max(0.0, wait));
+      if (wait < 0) fs.base.attr.add(obs::Phase::kFailover, wait);
+    }
+    // The twin has no replica-side ledger: the whole service residency is
+    // its coarse service phase (prefill and stall are not modeled apart).
+    fs.base.attr.add(obs::Phase::kDecodeCompute, sim.now() - admit_s);
+    st[i].mark_s = sim.now();
     // Placeholder of the right LENGTH (no real decode in the twin).
     fs.base.tokens.assign(
         requests[i].prompt.size() +

@@ -21,6 +21,7 @@ struct Replica::Lane {
         est(static_cast<std::size_t>(slots), 0.0),
         admit_s(static_cast<std::size_t>(slots), 0.0),
         occ(static_cast<std::size_t>(slots), 0),
+        phases(static_cast<std::size_t>(slots)),
         degraded(is_degraded), cost_factor(factor) {}
 
   core::RaggedDecoder decoder;
@@ -29,6 +30,7 @@ struct Replica::Lane {
   std::vector<double> est;              // outstanding-work charge per slot
   std::vector<double> admit_s;          // service start per slot
   std::vector<std::int64_t> occ;        // occupancy at admission per slot
+  std::vector<obs::PhaseBreakdown> phases;  // attribution ledger per slot
   std::deque<std::pair<std::size_t, const core::TimedRequest*>> queue;
   bool degraded = false;
   double cost_factor = 1.0;  // degraded_factor on the batch lane
@@ -194,10 +196,28 @@ bool Replica::with_retry(const std::function<void()>& invoke,
     }
     ++engine_faults_;
     if (tries >= res.max_retries) return false;
-    clock_ += res.retry_backoff_s * static_cast<double>(1LL << tries);
+    advance(res.retry_backoff_s * static_cast<double>(1LL << tries),
+            obs::Phase::kRetryBackoff);
     ++tries;
     ++engine_retries_;
   }
+}
+
+void Replica::charge_active(double dt, obs::Phase p) {
+  for (Lane* lane : {primary_.get(), batch_.get()}) {
+    if (!lane) continue;
+    for (std::int64_t s = 0; s < lane->decoder.capacity(); ++s) {
+      if (lane->decoder.arena().in_use(s)) {
+        lane->phases[static_cast<std::size_t>(s)].add(p, dt);
+      }
+    }
+  }
+}
+
+void Replica::advance(double dt, obs::Phase p) {
+  if (dt <= 0) return;
+  clock_ += dt;
+  charge_active(dt, p);
 }
 
 void Replica::finish_slot(Lane& lane, std::int64_t slot, bool failed,
@@ -212,6 +232,7 @@ void Replica::finish_slot(Lane& lane, std::int64_t slot, bool failed,
   c.finish_s = clock_;
   c.retries = lane.retries[us] + extra_retries;
   c.occupancy = lane.occ[us];
+  c.phases = lane.phases[us];
   if (!failed) {
     c.tokens = lane.decoder.tokens(slot);
     c.stopped = lane.decoder.stopped(slot);
@@ -241,6 +262,8 @@ void Replica::admit_one(Lane& lane, std::vector<Completion>& out) {
     c.admit_s = admit_start;
     c.finish_s = clock_;
     c.retries = tries;
+    // The copy never held a slot; [admit_s, finish_s] is all backoff.
+    c.phases.add(obs::Phase::kRetryBackoff, clock_ - admit_start);
     out.push_back(std::move(c));
     return;
   }
@@ -249,7 +272,13 @@ void Replica::admit_one(Lane& lane, std::vector<Completion>& out) {
   lane.retries[us] = tries;
   lane.est[us] = estimate_s(*rq, lane.degraded);
   lane.admit_s[us] = admit_start;
-  clock_ += vs.prefill_s * lane.cost_factor * straggle_factor(clock_);
+  // Fresh ledger (slots are reused); the slot was not yet in use during its
+  // own admission retries, so the backoff accrued since admit_start is
+  // back-charged here to keep [admit_s, finish_s] fully covered.
+  lane.phases[us].clear();
+  lane.phases[us].add(obs::Phase::kRetryBackoff, clock_ - admit_start);
+  advance(vs.prefill_s * lane.cost_factor * straggle_factor(clock_),
+          obs::Phase::kPrefill);
   lane.occ[us] = active();
   if (lane.decoder.finished(slot)) finish_slot(lane, slot, false, 0, out);
 }
@@ -276,7 +305,8 @@ void Replica::step_lanes(std::vector<Completion>& out) {
       }
       continue;
     }
-    clock_ += vs.per_token_s * lane->cost_factor * straggle_factor(clock_);
+    advance(vs.per_token_s * lane->cost_factor * straggle_factor(clock_),
+            obs::Phase::kDecodeCompute);
     for (std::int64_t s = 0; s < lane->decoder.capacity(); ++s) {
       if (lane->decoder.arena().in_use(s) && lane->decoder.finished(s)) {
         finish_slot(*lane, s, false, 0, out);
@@ -286,9 +316,17 @@ void Replica::step_lanes(std::vector<Completion>& out) {
 }
 
 void Replica::process_one(double now, std::vector<Completion>& out) {
-  clock_ = std::max(clock_, now);
+  // Catching up to the fleet clock (stall recovery, idle wakeup) and
+  // injected latency spikes are dead time for every sequence in a slot. The
+  // clock itself still snaps to `now` exactly (clock_ + (now - clock_) can
+  // round differently, and downstream timestamps must stay bit-identical
+  // to the pre-attribution event loop).
+  if (now > clock_) {
+    charge_active(now - clock_, obs::Phase::kStall);
+    clock_ = now;
+  }
   if (util::FaultInjector* inj = spec_.options().injector) {
-    clock_ += inj->delay_s(site_);  // transient latency spikes / stragglers
+    advance(inj->delay_s(site_), obs::Phase::kStall);
   }
   for (Lane* lane : {primary_.get(), batch_.get()}) {
     // Page-budget admission (ISSUE 7): the queue head needs a free slot AND

@@ -33,6 +33,7 @@
 
 #include "core/inference_engine.h"
 #include "fleet/fleet_spec.h"
+#include "obs/attribution.h"
 
 namespace dsinfer::fleet {
 
@@ -47,6 +48,10 @@ struct Completion {
   std::int64_t occupancy = 0; // live sequences at admission (batch_size)
   std::vector<std::int32_t> tokens;  // prompt + generated (never padded)
   bool stopped = false;
+  // Phase attribution of [admit_s, finish_s] (ISSUE 8): every replica-clock
+  // advance while this copy held a slot, charged by cause. Sums exactly to
+  // finish_s - admit_s — the replica's share of the totality invariant.
+  obs::PhaseBreakdown phases;
 };
 
 class Replica {
@@ -118,6 +123,14 @@ class Replica {
   // Runs `invoke` under the engine-fault retry budget, charging backoff to
   // the replica clock. Returns false when the budget is exhausted.
   bool with_retry(const std::function<void()>& invoke, std::int64_t& tries);
+  // Adds `dt` to phase `p` on every in-use slot of both lanes (co-scheduled
+  // sequences all experience a shared clock advance).
+  void charge_active(double dt, obs::Phase p);
+  // The only way the replica clock moves forward: advances by `dt` and
+  // charges the same `dt` via charge_active. Keeping every mutation behind
+  // this function (plus the exact catch-up in process_one) is what makes
+  // per-request totality hold by construction (ISSUE 8).
+  void advance(double dt, obs::Phase p);
   void admit_one(Lane& lane, std::vector<Completion>& out);
   void step_lanes(std::vector<Completion>& out);
   void finish_slot(Lane& lane, std::int64_t slot, bool failed,

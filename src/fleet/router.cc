@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "core/server.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -40,6 +41,13 @@ struct ReqState {
   bool terminal = false;
   bool hedge_armed = false;
   std::vector<Copy> copies;
+  // Attribution frontier (ISSUE 8): everything in [arrival_s, mark_s] is
+  // already charged to a phase. Advanced at non-hedge dispatch
+  // (router_queue), failover (the lost copy's time collapses into
+  // failover), and terminal shed/fail; the winning copy's completion
+  // closes [mark_s, finish_s].
+  double mark_s = 0;
+  double hedge_fire_s = -1;  // when the hedge copy was dispatched
 };
 
 // The whole event loop's state for one run_trace call, so the handlers can
@@ -173,6 +181,8 @@ struct Run {
     fs.reason = reason;
     fs.base.outcome = Outcome::kShed;
     fs.base.start_s = fs.base.finish_s = now;
+    fs.base.attr.add(obs::Phase::kShed, now - st[i].mark_s);
+    st[i].mark_s = now;
     ++result.counters.sheds;
     switch (reason) {
       case ShedReason::kQueueFull: ++result.counters.shed_queue_full; break;
@@ -197,6 +207,8 @@ struct Run {
     fs.reason = ShedReason::kFailoverBudget;
     fs.base.outcome = Outcome::kFailed;
     fs.base.start_s = fs.base.finish_s = now;
+    fs.base.attr.add(obs::Phase::kFailover, now - st[i].mark_s);
+    st[i].mark_s = now;
     ++result.counters.failures;
     terminalize(i);
     req_instant(i, now, "failed: failover budget exhausted");
@@ -213,6 +225,13 @@ struct Run {
     if (r < 0) return -1;
     replicas[static_cast<std::size_t>(r)]->enqueue(i, &requests[i]);
     st[i].copies.push_back(Copy{r, is_hedge});
+    if (!is_hedge) {
+      // Hedge dispatches don't advance the frontier: the primary is still
+      // in flight, and the race is attributed at completion.
+      result.stats[i].base.attr.add(obs::Phase::kRouterQueue,
+                                    now - st[i].mark_s);
+      st[i].mark_s = now;
+    }
     ++result.counters.dispatches;
     req_instant(i, now,
                 std::string(is_hedge ? "hedge -> r" : "dispatch -> r") +
@@ -259,6 +278,7 @@ struct Run {
 
   void arrival(std::size_t i, double now) {
     const auto& rq = requests[i];
+    st[i].mark_s = rq.arrival_s;  // attribution starts at arrival
     if (in_system[cls(rq.slo)] >= lane(rq.slo).queue_limit) {
       shed(i, now, ShedReason::kQueueFull);  // backpressure, typed
       return;
@@ -275,6 +295,7 @@ struct Run {
     if (dispatch_copy(i, now, primary, true) >= 0) {
       ++result.counters.hedges;
       result.stats[i].hedged = true;
+      st[i].hedge_fire_s = now;
     }
   }
 
@@ -285,6 +306,11 @@ struct Run {
       fail_budget(i, now);
       return;
     }
+    // The lost copy's whole life since the frontier (replica queue time,
+    // any partial service) collapses into the failover phase: that work
+    // bought the request nothing.
+    result.stats[i].base.attr.add(obs::Phase::kFailover, now - st[i].mark_s);
+    st[i].mark_s = now;
     ++result.stats[i].failovers;
     ++result.counters.failovers;
     req_instant(i, now, "failover from r" + std::to_string(exclude));
@@ -431,6 +457,25 @@ struct Run {
     breakers[r].on_success();
     fs.replica = static_cast<std::int64_t>(r);
     fs.hedge_won = winner_is_hedge;
+    // Close the attribution chain: [mark, admit] is the wait for the
+    // winning copy (split at the hedge-fire instant when the hedge won),
+    // [admit, finish] is the replica's own ledger. A failed-over copy's
+    // replica clock can trail the previous copy's fail time, leaving the
+    // admit slightly before the frontier; the (bounded) overlap is folded
+    // back into the failover phase so the sum stays exact and every phase
+    // stays nonnegative.
+    if (winner_is_hedge && st[i].hedge_fire_s >= st[i].mark_s) {
+      fs.base.attr.add(obs::Phase::kHedgeWait,
+                       st[i].hedge_fire_s - st[i].mark_s);
+      fs.base.attr.add(obs::Phase::kAdmissionWait,
+                       c.admit_s - st[i].hedge_fire_s);
+    } else {
+      const double wait = c.admit_s - st[i].mark_s;
+      fs.base.attr.add(obs::Phase::kAdmissionWait, std::max(0.0, wait));
+      if (wait < 0) fs.base.attr.add(obs::Phase::kFailover, wait);
+    }
+    st[i].mark_s = c.finish_s;
+    fs.base.attr.merge(c.phases);
     fs.base.start_s = c.admit_s;
     fs.base.finish_s = c.finish_s;
     fs.base.tokens = std::move(c.tokens);
@@ -600,11 +645,31 @@ std::string check_accounting(const FleetResult& result) {
   if (c.hedges != hedged) return "counters.hedges mismatch";
   if (c.hedge_wins != hedge_wins) return "counters.hedge_wins mismatch";
   if (c.hedge_wins > c.hedges) return "more hedge wins than hedges";
-  return "";
+  // ISSUE 8: the phase ledger must account for every request's entire
+  // end-to-end latency — served, shed, hedged, and failed-over alike.
+  return obs::check_totality(attributed_requests(result));
+}
+
+std::vector<obs::AttributedRequest> attributed_requests(
+    const FleetResult& result) {
+  std::vector<obs::AttributedRequest> out;
+  out.reserve(result.stats.size());
+  for (const auto& s : result.stats) {
+    obs::AttributedRequest a;
+    a.id = s.base.id;
+    a.arrival_s = s.base.arrival_s;
+    a.finish_s = s.base.finish_s;
+    a.violated = !s.base.served() || s.base.finish_s > s.base.deadline_s;
+    a.phases = s.base.attr;
+    out.push_back(a);
+  }
+  return out;
 }
 
 FleetRouter::FleetRouter(FleetSpec spec, std::uint64_t seed)
-    : spec_(std::move(spec)), seed_(seed) {
+    : spec_(std::move(spec)), seed_(seed),
+      watchdog_({{"latency", 0.05}, {"batch", 0.20}},
+                obs::WindowedHistogramOptions{0.5, 10, {}}) {
   const auto errs = spec_.validate();
   if (!errs.empty()) throw core::ConfigException(errs.front());
 }
@@ -649,6 +714,40 @@ FleetResult FleetRouter::run_trace(std::vector<core::TimedRequest> requests,
   // internal leak loudly rather than returning silently wrong accounting.
   if (const std::string leak = check_accounting(run.result); !leak.empty()) {
     throw std::logic_error("FleetRouter accounting leak: " + leak);
+  }
+
+  // Terminal requests feed the SLO watchdog and (when enabled) the flight
+  // recorder in finish order — the virtual-time equivalent of observing
+  // completions live.
+  {
+    std::vector<std::size_t> by_finish(run.result.stats.size());
+    for (std::size_t i = 0; i < by_finish.size(); ++i) by_finish[i] = i;
+    std::stable_sort(by_finish.begin(), by_finish.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return run.result.stats[a].base.finish_s <
+                              run.result.stats[b].base.finish_s;
+                     });
+    const bool flight = obs::flight_enabled();
+    for (std::size_t i : by_finish) {
+      const auto& s = run.result.stats[i];
+      const bool violated =
+          !s.base.served() || s.base.finish_s > s.base.deadline_s;
+      watchdog_.observe(s.base.finish_s, cls(s.slo), s.base.latency_s(),
+                        violated);
+      if (flight) {
+        obs::FlightRecord rec;
+        rec.id = s.base.id;
+        rec.slo = static_cast<std::int64_t>(cls(s.slo));
+        rec.replica = s.replica;
+        rec.violated = violated;
+        rec.served = s.base.served();
+        rec.arrival_s = s.base.arrival_s;
+        rec.finish_s = s.base.finish_s;
+        rec.phases = s.base.attr;
+        rec.spans = obs::spans_from_breakdown(s.base.attr, s.base.arrival_s);
+        obs::FlightRecorder::instance().observe(std::move(rec));
+      }
+    }
   }
 
   if (obs::metrics_enabled()) {

@@ -28,6 +28,8 @@
 #include "core/workload.h"
 #include "fleet/fleet_spec.h"
 #include "fleet/replica.h"
+#include "obs/attribution.h"
+#include "obs/slo_watchdog.h"
 
 namespace dsinfer::fleet {
 
@@ -81,10 +83,18 @@ struct FleetSummary {
 FleetSummary summarize_fleet(const std::vector<FleetRequestStats>& stats);
 
 // Cross-checks stats against counters: every request terminal, counter sums
-// exact, and zero deadline-miss-without-shed leaks (a served request past
-// its deadline MUST be kTimedOut and counted). Returns "" when clean, else a
-// description of the first leak — the fleet_chaos_check gate.
+// exact, zero deadline-miss-without-shed leaks (a served request past its
+// deadline MUST be kTimedOut and counted), and — ISSUE 8 — phase-ledger
+// totality: every request's attributed phase durations sum to its
+// end-to-end latency within obs::kTotalityEps. Returns "" when clean, else
+// a description of the first leak — the fleet_chaos_check gate.
 std::string check_accounting(const FleetResult& result);
+
+// Projects a fleet result into the obs attribution vocabulary (one entry
+// per request; violated = shed/failed/deadline-missed) for check_totality,
+// summarize_phases, and the bench's --attr rows.
+std::vector<obs::AttributedRequest> attributed_requests(
+    const FleetResult& result);
 
 class FleetRouter {
  public:
@@ -103,9 +113,17 @@ class FleetRouter {
 
   const FleetSpec& spec() const { return spec_; }
 
+  // Live SLO watchdog (ISSUE 8): run_trace feeds every terminal request
+  // (in finish order, on the fleet's virtual clock) into per-class sliding
+  // windows; persistent across runs on the same router. Class 0 = latency
+  // (5% error budget), class 1 = batch (20%).
+  const obs::SloWatchdog& watchdog() const { return watchdog_; }
+  obs::SloWatchdog& watchdog() { return watchdog_; }
+
  private:
   FleetSpec spec_;
   std::uint64_t seed_;
+  obs::SloWatchdog watchdog_;
 };
 
 }  // namespace dsinfer::fleet

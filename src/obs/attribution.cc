@@ -1,0 +1,155 @@
+#include "obs/attribution.h"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+namespace dsinfer::obs {
+
+namespace {
+
+// Same linear-interpolation quantile as util::percentile_sorted, local here
+// because dsi_obs sits below dsi_util in the link graph (the base layer
+// everything else links against) and so cannot call into it.
+double quantile_sorted(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  if (sorted.size() == 1) return sorted[0];
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace
+
+namespace detail {
+std::atomic<bool> g_attr_enabled{false};
+std::atomic<std::int64_t> g_charge_ns[kPhaseCount] = {};
+}  // namespace detail
+
+const char* phase_name(Phase p) {
+  switch (p) {
+    case Phase::kRouterQueue: return "router_queue";
+    case Phase::kHedgeWait: return "hedge_wait";
+    case Phase::kFailover: return "failover";
+    case Phase::kAdmissionWait: return "admission_wait";
+    case Phase::kPrefill: return "prefill";
+    case Phase::kDecodeCompute: return "decode_compute";
+    case Phase::kTpAllreduce: return "tp_allreduce";
+    case Phase::kZeroFetch: return "zero_fetch";
+    case Phase::kKvSpill: return "kv_spill";
+    case Phase::kRetryBackoff: return "retry_backoff";
+    case Phase::kShed: return "shed";
+    case Phase::kStall: return "stall";
+    case Phase::kCount: break;
+  }
+  return "unknown";
+}
+
+void PhaseBreakdown::to_json(std::ostream& os) const {
+  os << '{';
+  bool first = true;
+  for (std::size_t i = 0; i < kPhaseCount; ++i) {
+    if (s[i] == 0.0) continue;
+    if (!first) os << ',';
+    first = false;
+    os << '"' << phase_name(static_cast<Phase>(i)) << "\":" << s[i];
+  }
+  os << '}';
+}
+
+void set_attribution_enabled(bool on) {
+  detail::g_attr_enabled.store(on, std::memory_order_relaxed);
+  if (on) {
+    // Fresh accounting epoch: stale charges from a previous (possibly
+    // abandoned) run must not leak into the first SubPhaseScope delta.
+    for (auto& c : detail::g_charge_ns) {
+      c.store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+SubPhaseScope::SubPhaseScope() {
+  for (std::size_t i = 0; i < kPhaseCount; ++i) {
+    base_ns_[i] = detail::g_charge_ns[i].load(std::memory_order_relaxed);
+  }
+}
+
+PhaseBreakdown SubPhaseScope::take() {
+  PhaseBreakdown out;
+  for (std::size_t i = 0; i < kPhaseCount; ++i) {
+    const std::int64_t now =
+        detail::g_charge_ns[i].load(std::memory_order_relaxed);
+    out.s[i] = static_cast<double>(now - base_ns_[i]) * 1e-9;
+    base_ns_[i] = now;
+  }
+  return out;
+}
+
+std::string check_totality(const std::vector<AttributedRequest>& reqs,
+                           double eps) {
+  for (const auto& r : reqs) {
+    const double sum = r.phases.total();
+    const double e2e = r.e2e_s();
+    if (std::abs(sum - e2e) > eps || !std::isfinite(sum)) {
+      std::ostringstream os;
+      os << "attribution leak: request " << r.id << " phase sum " << sum
+         << " != e2e " << e2e << " (|diff| " << std::abs(sum - e2e)
+         << " > eps " << eps << "; breakdown ";
+      r.phases.to_json(os);
+      os << ")";
+      return os.str();
+    }
+    for (std::size_t i = 0; i < kPhaseCount; ++i) {
+      // Tiny negative residues can only come from a bookkeeping bug, not
+      // from float reordering: every charge is a nonnegative duration.
+      if (r.phases.s[i] < -eps) {
+        std::ostringstream os;
+        os << "attribution leak: request " << r.id << " negative phase "
+           << phase_name(static_cast<Phase>(i)) << " = " << r.phases.s[i];
+        return os.str();
+      }
+    }
+  }
+  return "";
+}
+
+std::vector<PhaseSummary> summarize_phases(
+    const std::vector<AttributedRequest>& reqs) {
+  std::vector<PhaseSummary> out;
+  double grand_total = 0;
+  for (std::size_t i = 0; i < kPhaseCount; ++i) {
+    const auto p = static_cast<Phase>(i);
+    std::vector<double> samples;
+    double total = 0;
+    for (const auto& r : reqs) {
+      const double v = r.phases.s[i];
+      if (v <= 0.0) continue;
+      samples.push_back(v);
+      total += v;
+    }
+    if (samples.empty()) continue;
+    std::sort(samples.begin(), samples.end());
+    PhaseSummary ps;
+    ps.phase = p;
+    ps.count = samples.size();
+    ps.total_s = total;
+    ps.p50_s = quantile_sorted(samples, 0.50);
+    ps.p95_s = quantile_sorted(samples, 0.95);
+    ps.p99_s = quantile_sorted(samples, 0.99);
+    grand_total += total;
+    out.push_back(ps);
+  }
+  for (auto& ps : out) {
+    ps.share = grand_total > 0 ? ps.total_s / grand_total : 0.0;
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.total_s > b.total_s;
+  });
+  return out;
+}
+
+}  // namespace dsinfer::obs

@@ -1,0 +1,162 @@
+// Per-request tail-latency attribution ledger (ISSUE 8 tentpole).
+//
+// Every layer that can eat a request's deadline — router queueing, hedge
+// waits, failover re-serves, admission waits, prefill, decode steps, TP
+// all-reduces, ZeRO fetches, KV spills, retry backoff, sheds — charges its
+// share of the request's wall (or virtual) time into a fixed-size
+// `PhaseBreakdown`. The accounting-totality invariant mirrors PR 6's shed
+// taxonomy: for every terminal request, the phase durations must sum to the
+// end-to-end latency within epsilon. `check_totality` enforces it in tests
+// and in `serving_latency --check`.
+//
+// Two collection modes coexist:
+//  * Virtual-clock paths (fleet replicas, modeled continuous batching)
+//    charge phases directly from their deterministic clock advances.
+//  * Measured paths (real kernel execution) additionally split a decode
+//    step's wall time into sub-phases via the process-global charge
+//    accumulators below: comm all-reduces, ZeRO layer fetches, and KV page
+//    spills call `attr_charge` from whatever thread they run on (TP rank
+//    threads included), and the batcher drains the deltas with a
+//    `SubPhaseScope` around each engine invocation.
+//
+// Cost model matches PR 3: one relaxed atomic branch when disabled, no
+// locks, no allocation.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dsinfer::obs {
+
+// Phases a request's end-to-end latency decomposes into. kStall covers
+// replica virtual-clock jumps (crash stalls, injector delays, idle
+// catch-up) that belong to no other phase — without it the totality
+// invariant could not hold by construction.
+enum class Phase : std::uint8_t {
+  kRouterQueue = 0,  // waiting in the router's SLO lane for dispatch
+  kHedgeWait,        // primary dispatch -> hedge fire, when the hedge won
+  kFailover,         // copy lost -> re-dispatch (or terminal budget fail)
+  kAdmissionWait,    // dispatched/enqueued on a replica -> slot admit
+  kPrefill,          // prompt phase compute (own or co-scheduled admits)
+  kDecodeCompute,    // per-token decode steps minus attributed sub-phases
+  kTpAllreduce,      // tensor-parallel collectives inside a step
+  kZeroFetch,        // ZeRO-style streamed weight fetches inside a step
+  kKvSpill,          // KV page spill/restore round-trips
+  kRetryBackoff,     // exponential backoff after engine/stream/comm faults
+  kShed,             // decision instant of a terminal shed
+  kStall,            // replica stall/straggle/idle clock jumps
+  kCount,
+};
+
+inline constexpr std::size_t kPhaseCount =
+    static_cast<std::size_t>(Phase::kCount);
+
+// Stable snake_case name used in JSON exports and bench rows.
+const char* phase_name(Phase p);
+
+// Fixed-size per-request ledger; POD, no allocation.
+struct PhaseBreakdown {
+  double s[kPhaseCount] = {};
+
+  void add(Phase p, double dt) { s[static_cast<std::size_t>(p)] += dt; }
+  double get(Phase p) const { return s[static_cast<std::size_t>(p)]; }
+  double total() const {
+    double t = 0;
+    for (double v : s) t += v;
+    return t;
+  }
+  void merge(const PhaseBreakdown& o) {
+    for (std::size_t i = 0; i < kPhaseCount; ++i) s[i] += o.s[i];
+  }
+  void clear() { *this = PhaseBreakdown{}; }
+
+  // {"router_queue":...,"decode_compute":...} — only nonzero phases.
+  void to_json(std::ostream& os) const;
+};
+
+// ---------------------------------------------------------------------------
+// Enable gate + global sub-phase charge accumulators (measured mode).
+
+namespace detail {
+extern std::atomic<bool> g_attr_enabled;
+// Nanosecond accumulators, one per phase. Global (not thread_local) on
+// purpose: TP rank work runs on ThreadPool threads, so charges from any
+// thread must land in one place the batcher can drain. Relaxed is enough —
+// the drain happens strictly after the engine invocation returns (the
+// thread pool joins), which orders the writes.
+extern std::atomic<std::int64_t> g_charge_ns[kPhaseCount];
+}  // namespace detail
+
+inline bool attribution_enabled() {
+  return detail::g_attr_enabled.load(std::memory_order_relaxed);
+}
+
+void set_attribution_enabled(bool on);
+
+// Charges `seconds` of wall time to phase `p` from any thread. No-op (one
+// relaxed load) when attribution is disabled.
+inline void attr_charge(Phase p, double seconds) {
+  if (!attribution_enabled()) return;
+  detail::g_charge_ns[static_cast<std::size_t>(p)].fetch_add(
+      static_cast<std::int64_t>(seconds * 1e9), std::memory_order_relaxed);
+}
+
+// Drains charge-accumulator deltas accumulated since construction (or the
+// last take()). Used by the batcher around each measured engine invocation;
+// only one measured invocation runs at a time per process, matching the
+// event-loop structure of both schedulers.
+class SubPhaseScope {
+ public:
+  SubPhaseScope();
+  // Deltas since arm, in seconds, then re-arms at the current totals.
+  PhaseBreakdown take();
+
+ private:
+  std::int64_t base_ns_[kPhaseCount];
+};
+
+// ---------------------------------------------------------------------------
+// Totality checking + per-phase summaries.
+
+// One finished request as the checker/summarizer sees it.
+struct AttributedRequest {
+  std::int64_t id = 0;
+  double arrival_s = 0;
+  double finish_s = 0;  // terminal instant (finish, shed, or fail time)
+  bool violated = false;  // missed its SLO (deadline, shed, or failure)
+  PhaseBreakdown phases;
+
+  double e2e_s() const { return finish_s - arrival_s; }
+};
+
+// Epsilon for the totality invariant: virtual clocks accumulate the same
+// doubles in a different order than finish-arrival, measured clocks add
+// nanosecond-quantized sub-phases; 1 us absolute covers both.
+inline constexpr double kTotalityEps = 1e-6;
+
+// Returns "" when every request's phase sum matches its end-to-end latency
+// within eps; otherwise a description of the first leak (id, sum, e2e).
+std::string check_totality(const std::vector<AttributedRequest>& reqs,
+                           double eps = kTotalityEps);
+
+// Per-phase quantile row for bench export.
+struct PhaseSummary {
+  Phase phase = Phase::kCount;
+  std::size_t count = 0;  // requests with a nonzero charge for this phase
+  double total_s = 0;
+  double share = 0;  // total_s / sum of all phases' total_s
+  double p50_s = 0;
+  double p95_s = 0;
+  double p99_s = 0;
+};
+
+// Summarizes nonzero phases across `reqs` (quantiles over the requests
+// that touched the phase), ordered by descending total_s.
+std::vector<PhaseSummary> summarize_phases(
+    const std::vector<AttributedRequest>& reqs);
+
+}  // namespace dsinfer::obs

@@ -1,0 +1,208 @@
+#include "obs/flight_recorder.h"
+
+#include <algorithm>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+namespace dsinfer::obs {
+
+namespace detail {
+std::atomic<bool> g_flight_enabled{false};
+}  // namespace detail
+
+namespace {
+
+constexpr std::size_t kWarmup = 32;
+
+void json_escape(std::ostream& os, const std::string& s) {
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          static const char* hex = "0123456789abcdef";
+          os << "\\u00" << hex[(ch >> 4) & 0xF] << hex[ch & 0xF];
+        } else {
+          os << ch;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+FlightRecorder& FlightRecorder::instance() {
+  static FlightRecorder* rec = new FlightRecorder();
+  return *rec;
+}
+
+void FlightRecorder::set_enabled(bool on) {
+  detail::g_flight_enabled.store(on, std::memory_order_relaxed);
+}
+
+void FlightRecorder::configure(std::size_t capacity, std::size_t window) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = std::max<std::size_t>(1, capacity);
+  window_ = std::max<std::size_t>(1, window);
+  ring_.clear();
+  latencies_.clear();
+  lat_next_ = 0;
+  seen_ = seen_violating_ = kept_violating_ = 0;
+}
+
+void FlightRecorder::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  latencies_.clear();
+  lat_next_ = 0;
+  seen_ = seen_violating_ = kept_violating_ = 0;
+}
+
+double FlightRecorder::rolling_p99_locked() const {
+  if (latencies_.size() < kWarmup) return 0.0;
+  std::vector<double> w = latencies_;
+  const std::size_t k =
+      static_cast<std::size_t>(static_cast<double>(w.size() - 1) * 0.99);
+  std::nth_element(w.begin(), w.begin() + static_cast<std::ptrdiff_t>(k),
+                   w.end());
+  return w[k];
+}
+
+double FlightRecorder::rolling_p99() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rolling_p99_locked();
+}
+
+void FlightRecorder::observe(FlightRecord rec) {
+  if (!flight_enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  ++seen_;
+  if (rec.violated) ++seen_violating_;
+
+  // Keep/drop: violations always kept; otherwise only the rolling tail.
+  const double p99 = rolling_p99_locked();
+  const bool keep =
+      rec.violated || (latencies_.size() >= kWarmup && rec.e2e_s() >= p99);
+
+  // The latency feeds the window either way (the threshold must track all
+  // traffic, not just the kept tail).
+  if (latencies_.size() < window_) {
+    latencies_.push_back(rec.e2e_s());
+  } else {
+    latencies_[lat_next_] = rec.e2e_s();
+    lat_next_ = (lat_next_ + 1) % window_;
+  }
+
+  if (!keep) return;  // retroactive drop: span chain freed here
+  if (rec.violated) ++kept_violating_;
+  if (ring_.size() >= capacity_) {
+    ring_.erase(ring_.begin());  // evict oldest
+  }
+  ring_.push_back(std::move(rec));
+}
+
+std::size_t FlightRecorder::kept() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+std::int64_t FlightRecorder::seen() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return seen_;
+}
+
+std::int64_t FlightRecorder::seen_violating() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return seen_violating_;
+}
+
+std::int64_t FlightRecorder::kept_violating() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return kept_violating_;
+}
+
+std::vector<FlightRecord> FlightRecorder::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_;
+}
+
+void FlightRecorder::export_chrome_json(std::ostream& os) const {
+  const std::vector<FlightRecord> recs = snapshot();
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  auto emit = [&](auto&& body) {
+    if (!first) os << ',';
+    first = false;
+    os << '{';
+    body();
+    os << '}';
+  };
+  emit([&] {
+    os << "\"ph\":\"M\",\"pid\":" << kFlightPid
+       << ",\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":"
+          "\"flight recorder\"}";
+  });
+  for (const auto& r : recs) {
+    emit([&] {
+      os << "\"ph\":\"M\",\"pid\":" << kFlightPid << ",\"tid\":" << r.id
+         << ",\"name\":\"thread_name\",\"args\":{\"name\":\"";
+      json_escape(os, "req " + std::to_string(r.id));
+      os << "\"}";
+    });
+    for (const auto& sp : r.spans) {
+      emit([&] {
+        os << "\"ph\":\"X\",\"pid\":" << kFlightPid << ",\"tid\":" << r.id
+           << ",\"ts\":" << sp.start_s * 1e6 << ",\"dur\":" << sp.dur_s * 1e6
+           << ",\"cat\":\"flight\",\"name\":\"";
+        json_escape(os, phase_name(sp.phase));
+        os << "\",\"args\":{\"seconds\":" << sp.dur_s << "}";
+      });
+    }
+    emit([&] {
+      os << "\"ph\":\"i\",\"pid\":" << kFlightPid << ",\"tid\":" << r.id
+         << ",\"ts\":" << r.finish_s * 1e6 << ",\"s\":\"t\",\"cat\":\"flight\""
+         << ",\"name\":\"" << (r.violated ? "slo_violation" : "tail_p99")
+         << "\",\"args\":{\"served\":" << (r.served ? "true" : "false")
+         << ",\"slo\":" << r.slo << ",\"replica\":" << r.replica
+         << ",\"e2e_s\":" << r.e2e_s() << "}";
+    });
+  }
+  os << "]}";
+}
+
+bool FlightRecorder::export_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  export_chrome_json(out);
+  return static_cast<bool>(out);
+}
+
+std::vector<FlightSpan> spans_from_breakdown(const PhaseBreakdown& phases,
+                                             double arrival_s) {
+  // Deterministic layout order: the router-side waits come before replica
+  // service, sheds terminate. Interleavings inside the service window
+  // (e.g. backoff between decode steps) are flattened into one block per
+  // phase; totals are exact, boundaries are the canonical ordering.
+  static constexpr Phase kOrder[] = {
+      Phase::kRouterQueue,  Phase::kHedgeWait,   Phase::kFailover,
+      Phase::kAdmissionWait, Phase::kRetryBackoff, Phase::kPrefill,
+      Phase::kDecodeCompute, Phase::kTpAllreduce, Phase::kZeroFetch,
+      Phase::kKvSpill,      Phase::kStall,       Phase::kShed,
+  };
+  std::vector<FlightSpan> out;
+  double t = arrival_s;
+  for (Phase p : kOrder) {
+    const double dur = phases.get(p);
+    if (dur <= 0.0) continue;
+    out.push_back(FlightSpan{p, t, dur});
+    t += dur;
+  }
+  return out;
+}
+
+}  // namespace dsinfer::obs

@@ -1,0 +1,126 @@
+// Tail-sampled flight recorder (ISSUE 8 tentpole).
+//
+// A bounded ring buffer of finished requests that keeps the full span chain
+// only for the requests worth debugging: the ones that violated their SLO,
+// or whose end-to-end latency landed at or above a rolling p99 of recent
+// traffic. Everything else is retroactively dropped at the keep/drop
+// decision point (the request's terminal event), so steady-state healthy
+// traffic costs nothing but a latency sample.
+//
+// Gate discipline matches PR 3's TraceRecorder: recording is off by default
+// behind one relaxed atomic flag, and when disabled the instrumented paths
+// perform zero allocation — callers must gate span-chain construction on
+// flight_enabled() (mirroring trace_enabled()), and observe() itself is a
+// single branch.
+//
+// The dump format is Chrome trace-event JSON (pid kFlightPid, one track per
+// retained request) so a kept tail request opens directly in
+// chrome://tracing / Perfetto next to the PR 3 traces; trace_schema_check
+// validates it structurally.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/attribution.h"
+
+namespace dsinfer::obs {
+
+namespace detail {
+extern std::atomic<bool> g_flight_enabled;
+}  // namespace detail
+
+inline bool flight_enabled() {
+  return detail::g_flight_enabled.load(std::memory_order_relaxed);
+}
+
+// Chrome trace "process" for flight-recorder dumps (kWallPid/kServerPid/
+// kSimPid are taken by the PR 3 clock domains).
+inline constexpr std::int32_t kFlightPid = 4;
+
+// One contiguous attributed interval of a request's life.
+struct FlightSpan {
+  Phase phase = Phase::kCount;
+  double start_s = 0;
+  double dur_s = 0;
+};
+
+// A finished request with its full span chain.
+struct FlightRecord {
+  std::int64_t id = 0;
+  std::int64_t slo = 0;      // SLO class index
+  std::int64_t replica = -1; // serving replica, -1 if never dispatched
+  bool violated = false;     // missed deadline / shed / failed
+  bool served = false;
+  double arrival_s = 0;
+  double finish_s = 0;
+  PhaseBreakdown phases;
+  std::vector<FlightSpan> spans;  // timeline order
+
+  double e2e_s() const { return finish_s - arrival_s; }
+};
+
+class FlightRecorder {
+ public:
+  static FlightRecorder& instance();
+
+  void set_enabled(bool on);
+  // `capacity` bounds retained records (oldest evicted first); `window`
+  // bounds the rolling-latency ring the p99 threshold is computed over.
+  // Resets retained state. Values are clamped to >= 1.
+  void configure(std::size_t capacity, std::size_t window);
+  void clear();
+
+  // Keep/drop decision for one finished request. Kept iff violated, or the
+  // rolling window has warmed up (>= 32 samples) and e2e >= its p99. The
+  // record is moved in only when kept; dropped span chains free here —
+  // that is the "retroactive drop". Single branch when disabled.
+  void observe(FlightRecord rec);
+
+  // Rolling p99 of the latency window (0 until warmed up).
+  double rolling_p99() const;
+
+  std::size_t kept() const;
+  std::int64_t seen() const;
+  std::int64_t seen_violating() const;
+  std::int64_t kept_violating() const;  // counts evicted keeps too
+
+  std::vector<FlightRecord> snapshot() const;
+
+  // {"traceEvents":[...]}: per retained request one kFlightPid track named
+  // "req <id>", 'X' events per span (phase name, args carry seconds), and
+  // an 'i' terminal marker. Validates against validate_chrome_trace.
+  void export_chrome_json(std::ostream& os) const;
+  bool export_file(const std::string& path) const;
+
+ private:
+  FlightRecorder() = default;
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  double rolling_p99_locked() const;
+
+  mutable std::mutex mu_;
+  std::size_t capacity_ = 256;
+  std::size_t window_ = 512;
+  std::vector<FlightRecord> ring_;  // insertion order; front = oldest
+  std::vector<double> latencies_;   // rolling window ring
+  std::size_t lat_next_ = 0;
+  std::int64_t seen_ = 0;
+  std::int64_t seen_violating_ = 0;
+  std::int64_t kept_violating_ = 0;
+};
+
+// Lays a request's phase breakdown out as a deterministic span chain over
+// [arrival_s, finish_s]: router-side phases in queue order, then the
+// replica-side phases, then the terminal shed. Shared by the fleet router
+// and the continuous batcher so dumps look identical across layers.
+std::vector<FlightSpan> spans_from_breakdown(const PhaseBreakdown& phases,
+                                             double arrival_s);
+
+}  // namespace dsinfer::obs

@@ -15,20 +15,16 @@ std::atomic<bool> g_metrics_enabled{false};
 // Histogram
 // ---------------------------------------------------------------------------
 
-namespace {
-
-std::vector<double> default_bounds() {
+std::vector<double> default_latency_bounds() {
   // 100 us .. 10 s in a 1/2.5/5 ladder — sized for request latencies,
   // queue delays, and fetch backoffs.
   return {1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2,
           5e-2, 1e-1,   0.25, 0.5,  1.0,    2.5,  5.0,  10.0};
 }
 
-}  // namespace
-
 Histogram::Histogram(std::vector<double> bounds)
     : bounds_(std::move(bounds)) {
-  if (bounds_.empty()) bounds_ = default_bounds();
+  if (bounds_.empty()) bounds_ = default_latency_bounds();
   for (std::size_t i = 1; i < bounds_.size(); ++i) {
     if (!(bounds_[i] > bounds_[i - 1])) {
       throw std::invalid_argument(
@@ -108,8 +104,27 @@ void MetricsRegistry::set_enabled(bool on) {
   detail::g_metrics_enabled.store(on, std::memory_order_relaxed);
 }
 
+void MetricsRegistry::claim_name(const std::string& name, Kind kind) {
+  const auto [it, inserted] = kinds_.emplace(name, kind);
+  if (!inserted && it->second != kind) {
+    auto kind_name = [](Kind k) {
+      switch (k) {
+        case Kind::kCounter: return "counter";
+        case Kind::kGauge: return "gauge";
+        case Kind::kHistogram: return "histogram";
+      }
+      return "?";
+    };
+    throw std::logic_error("MetricsRegistry: metric name '" + name +
+                           "' already registered as a " +
+                           kind_name(it->second) + ", requested as a " +
+                           kind_name(kind));
+  }
+}
+
 Counter& MetricsRegistry::counter(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
+  claim_name(name, Kind::kCounter);
   auto& slot = counters_[name];
   if (!slot) slot = std::make_unique<Counter>();
   return *slot;
@@ -117,6 +132,7 @@ Counter& MetricsRegistry::counter(const std::string& name) {
 
 Gauge& MetricsRegistry::gauge(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
+  claim_name(name, Kind::kGauge);
   auto& slot = gauges_[name];
   if (!slot) slot = std::make_unique<Gauge>();
   return *slot;
@@ -125,6 +141,7 @@ Gauge& MetricsRegistry::gauge(const std::string& name) {
 Histogram& MetricsRegistry::histogram(const std::string& name,
                                       std::vector<double> bounds) {
   std::lock_guard<std::mutex> lock(mu_);
+  claim_name(name, Kind::kHistogram);
   auto& slot = histograms_[name];
   if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
   return *slot;
@@ -152,9 +169,24 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
 namespace {
 
 void json_escape(std::ostream& os, const std::string& s) {
+  // Control characters must become \uXXXX escapes, not raw bytes — a metric
+  // name with an embedded newline/tab previously produced invalid JSON
+  // (ISSUE 8 satellite).
   for (const char ch : s) {
-    if (ch == '"' || ch == '\\') os << '\\';
-    os << ch;
+    switch (ch) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          static const char* hex = "0123456789abcdef";
+          os << "\\u00" << hex[(ch >> 4) & 0xF] << hex[ch & 0xF];
+        } else {
+          os << ch;
+        }
+    }
   }
 }
 

@@ -38,6 +38,11 @@ inline bool metrics_enabled() {
   return detail::g_metrics_enabled.load(std::memory_order_relaxed);
 }
 
+// The default histogram bucket ladder (100 us .. 10 s in a 1/2.5/5
+// progression) — shared with the windowed SLO histograms so aggregate and
+// sliding views quantize identically.
+std::vector<double> default_latency_bounds();
+
 class Counter {
  public:
   void add(std::int64_t delta = 1) {
@@ -118,6 +123,10 @@ class MetricsRegistry {
   // Get-or-create by name. For histogram(), `bounds` applies only on first
   // creation; later calls return the existing instrument unchanged. An empty
   // `bounds` uses a latency-oriented default ladder (100 us .. 10 s).
+  // The name namespace is shared across kinds: registering a name as one
+  // kind and later requesting it as another throws std::logic_error — a
+  // collision would silently fork the metric between exports (ISSUE 8
+  // satellite; the registry table lives in DESIGN "Metric-name registry").
   Counter& counter(const std::string& name);
   Gauge& gauge(const std::string& name);
   Histogram& histogram(const std::string& name,
@@ -132,10 +141,16 @@ class MetricsRegistry {
   MetricsRegistry(const MetricsRegistry&) = delete;
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
+  enum class Kind { kCounter, kGauge, kHistogram };
+  // Records `name` as `kind`, throwing std::logic_error if it is already
+  // registered as a different kind. Caller holds mu_.
+  void claim_name(const std::string& name, Kind kind);
+
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, Kind> kinds_;
 };
 
 }  // namespace dsinfer::obs

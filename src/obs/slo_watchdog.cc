@@ -1,0 +1,226 @@
+#include "obs/slo_watchdog.h"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <stdexcept>
+
+namespace dsinfer::obs {
+
+// ---------------------------------------------------------------------------
+// WindowedHistogram
+// ---------------------------------------------------------------------------
+
+WindowedHistogram::WindowedHistogram(WindowedHistogramOptions opts)
+    : opts_(std::move(opts)) {
+  if (!(opts_.window_s > 0)) {
+    throw std::invalid_argument("WindowedHistogram: window_s must be > 0");
+  }
+  opts_.sub_windows = std::max(1, opts_.sub_windows);
+  sub_s_ = opts_.window_s / static_cast<double>(opts_.sub_windows);
+  bounds_ = opts_.bounds.empty() ? default_latency_bounds()
+                                 : opts_.bounds;
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    if (!(bounds_[i] > bounds_[i - 1])) {
+      throw std::invalid_argument(
+          "WindowedHistogram: bounds must be strictly increasing");
+    }
+  }
+  ring_.resize(static_cast<std::size_t>(opts_.sub_windows));
+  for (auto& w : ring_) w.counts.assign(bounds_.size() + 1, 0);
+}
+
+std::int64_t WindowedHistogram::abs_index(double now_s) const {
+  return static_cast<std::int64_t>(std::floor(now_s / sub_s_));
+}
+
+bool WindowedHistogram::live(const SubWindow& w, std::int64_t cur) const {
+  return w.index >= 0 && w.index > cur - opts_.sub_windows && w.index <= cur;
+}
+
+void WindowedHistogram::advance(double now_s) {
+  cur_ = std::max(cur_, abs_index(now_s));
+}
+
+void WindowedHistogram::record(double now_s, double value) {
+  advance(now_s);
+  // Late samples (time moving backwards across a sub-window edge) land in
+  // the current sub-window: totals stay exact, placement is approximate.
+  const std::int64_t idx = std::min(cur_, std::max(abs_index(now_s),
+                                                   cur_ - opts_.sub_windows + 1));
+  auto& w = ring_[static_cast<std::size_t>(
+      ((idx % opts_.sub_windows) + opts_.sub_windows) % opts_.sub_windows)];
+  if (w.index != idx) {
+    // Rotating into this slot: drop the expired sub-window it held.
+    w.index = idx;
+    std::fill(w.counts.begin(), w.counts.end(), 0);
+    w.acc = Welford{};
+    w.min = w.max = 0.0;
+  }
+  const std::size_t bucket = static_cast<std::size_t>(
+      std::upper_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin());
+  ++w.counts[bucket];
+  if (w.acc.count() == 0) {
+    w.min = w.max = value;
+  } else {
+    w.min = std::min(w.min, value);
+    w.max = std::max(w.max, value);
+  }
+  w.acc.add(value);
+}
+
+HistogramSnapshot WindowedHistogram::snapshot(double now_s) const {
+  const std::int64_t cur = std::max(cur_, abs_index(now_s));
+  HistogramSnapshot s;
+  s.bounds = bounds_;
+  s.counts.assign(bounds_.size() + 1, 0);
+  Welford acc;
+  bool any = false;
+  for (const auto& w : ring_) {
+    if (!live(w, cur) || w.acc.count() == 0) continue;
+    for (std::size_t i = 0; i < s.counts.size(); ++i) s.counts[i] += w.counts[i];
+    if (!any) {
+      s.min = w.min;
+      s.max = w.max;
+      any = true;
+    } else {
+      s.min = std::min(s.min, w.min);
+      s.max = std::max(s.max, w.max);
+    }
+    acc.merge(w.acc);
+  }
+  s.count = acc.count();
+  s.mean = acc.mean();
+  s.variance = acc.variance();
+  return s;
+}
+
+std::size_t WindowedHistogram::window_count(double now_s) const {
+  return snapshot(now_s).count;
+}
+
+// ---------------------------------------------------------------------------
+// SloWatchdog
+// ---------------------------------------------------------------------------
+
+SloWatchdog::SloWatchdog(std::vector<SloClassConfig> classes,
+                         WindowedHistogramOptions hist_opts)
+    : classes_(std::move(classes)) {
+  if (classes_.empty()) {
+    throw std::invalid_argument("SloWatchdog: at least one SLO class");
+  }
+  for (const auto& c : classes_) {
+    if (!(c.error_budget > 0) || c.error_budget > 1) {
+      throw std::invalid_argument(
+          "SloWatchdog: error_budget must be in (0, 1]");
+    }
+  }
+  WindowedHistogramOptions vopts = hist_opts;
+  vopts.bounds = {0.5};  // 0/1 samples: bucket edge between miss and hit
+  per_class_.reserve(classes_.size());
+  for (std::size_t i = 0; i < classes_.size(); ++i) {
+    per_class_.push_back(PerClass{WindowedHistogram(hist_opts),
+                                  WindowedHistogram(vopts), 0, 0});
+  }
+}
+
+void SloWatchdog::observe(double now_s, std::size_t cls, double latency_s,
+                          bool violation) {
+  if (cls >= per_class_.size()) {
+    throw std::out_of_range("SloWatchdog::observe: bad class index");
+  }
+  auto& pc = per_class_[cls];
+  pc.latency.record(now_s, latency_s);
+  pc.violations.record(now_s, violation ? 1.0 : 0.0);
+  ++pc.total;
+  if (violation) ++pc.total_violations;
+}
+
+std::vector<SloWatchdog::ClassStatus> SloWatchdog::status(
+    double now_s) const {
+  std::vector<ClassStatus> out;
+  out.reserve(classes_.size());
+  for (std::size_t i = 0; i < classes_.size(); ++i) {
+    const auto& pc = per_class_[i];
+    ClassStatus st;
+    st.name = classes_[i].name;
+    st.error_budget = classes_[i].error_budget;
+    const HistogramSnapshot lat = pc.latency.snapshot(now_s);
+    const HistogramSnapshot vio = pc.violations.snapshot(now_s);
+    st.window_count = lat.count;
+    // The violations histogram holds 0/1 samples; its windowed mean is the
+    // violation rate, mean * count the violation count.
+    st.window_violations = static_cast<std::size_t>(
+        std::llround(vio.mean * static_cast<double>(vio.count)));
+    st.violation_rate =
+        lat.count > 0
+            ? static_cast<double>(st.window_violations) /
+                  static_cast<double>(lat.count)
+            : 0.0;
+    st.burn_rate = st.violation_rate / classes_[i].error_budget;
+    st.alerting = st.burn_rate > 1.0;
+    st.p50_s = lat.quantile(0.50);
+    st.p95_s = lat.quantile(0.95);
+    st.p99_s = lat.quantile(0.99);
+    st.total = pc.total;
+    st.total_violations = pc.total_violations;
+    out.push_back(std::move(st));
+  }
+  return out;
+}
+
+void SloWatchdog::export_json(std::ostream& os, double now_s) const {
+  const auto sts = status(now_s);
+  os << "{\"window_s\":" << per_class_.front().latency.window_s()
+     << ",\"now_s\":" << now_s << ",\"classes\":[";
+  for (std::size_t i = 0; i < sts.size(); ++i) {
+    const auto& st = sts[i];
+    if (i) os << ',';
+    os << "{\"name\":\"" << st.name << "\",\"error_budget\":"
+       << st.error_budget << ",\"window_count\":" << st.window_count
+       << ",\"window_violations\":" << st.window_violations
+       << ",\"violation_rate\":" << st.violation_rate
+       << ",\"burn_rate\":" << st.burn_rate
+       << ",\"alerting\":" << (st.alerting ? "true" : "false")
+       << ",\"p50_s\":" << st.p50_s << ",\"p95_s\":" << st.p95_s
+       << ",\"p99_s\":" << st.p99_s << ",\"total\":" << st.total
+       << ",\"total_violations\":" << st.total_violations << '}';
+  }
+  os << "]}";
+}
+
+void SloWatchdog::export_prometheus(std::ostream& os, double now_s) const {
+  const auto sts = status(now_s);
+  os << "# TYPE slo_requests_total counter\n";
+  for (const auto& st : sts) {
+    os << "slo_requests_total{slo_class=\"" << st.name << "\"} " << st.total
+       << '\n';
+  }
+  os << "# TYPE slo_violations_total counter\n";
+  for (const auto& st : sts) {
+    os << "slo_violations_total{slo_class=\"" << st.name << "\"} "
+       << st.total_violations << '\n';
+  }
+  os << "# TYPE slo_latency_seconds summary\n";
+  for (const auto& st : sts) {
+    os << "slo_latency_seconds{slo_class=\"" << st.name
+       << "\",quantile=\"0.5\"} " << st.p50_s << '\n';
+    os << "slo_latency_seconds{slo_class=\"" << st.name
+       << "\",quantile=\"0.95\"} " << st.p95_s << '\n';
+    os << "slo_latency_seconds{slo_class=\"" << st.name
+       << "\",quantile=\"0.99\"} " << st.p99_s << '\n';
+  }
+  os << "# TYPE slo_burn_rate gauge\n";
+  for (const auto& st : sts) {
+    os << "slo_burn_rate{slo_class=\"" << st.name << "\"} " << st.burn_rate
+       << '\n';
+  }
+  os << "# TYPE slo_alerting gauge\n";
+  for (const auto& st : sts) {
+    os << "slo_alerting{slo_class=\"" << st.name << "\"} "
+       << (st.alerting ? 1 : 0) << '\n';
+  }
+}
+
+}  // namespace dsinfer::obs

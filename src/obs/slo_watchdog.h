@@ -1,0 +1,126 @@
+// Live SLO watchdog: time-windowed sliding latency histograms and per-class
+// error-budget burn rates, with JSON and Prometheus-text exporters
+// (ISSUE 8 tentpole).
+//
+// A WindowedHistogram splits its window into R rotating sub-windows; each
+// sample lands in the sub-window owning its timestamp and whole sub-windows
+// expire at once as time advances, so the merged snapshot always covers
+// (window_s - sub_window) .. window_s of trailing traffic with O(R) rotate
+// cost and zero per-sample allocation. Timestamps are whatever clock the
+// caller serves on — virtual seconds for the deterministic paths, wall
+// seconds for measured ones — they only need to be (weakly) monotone.
+//
+// Burn rate is the SRE definition: (violation fraction in the window) /
+// (error budget), so burn > 1 means the class is consuming budget faster
+// than it is allotted and the watchdog alerts.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"  // HistogramSnapshot
+
+namespace dsinfer::obs {
+
+struct WindowedHistogramOptions {
+  double window_s = 1.0;   // total trailing coverage
+  int sub_windows = 8;     // rotation granularity (>= 1)
+  std::vector<double> bounds;  // empty => registry default latency ladder
+};
+
+class WindowedHistogram {
+ public:
+  explicit WindowedHistogram(WindowedHistogramOptions opts = {});
+
+  // Records `value` at time `now_s`, expiring sub-windows first. Samples
+  // older than the current sub-window (time moving backwards) land in the
+  // current one — the window only needs weak monotonicity.
+  void record(double now_s, double value);
+  // Expires sub-windows up to `now_s` without recording.
+  void advance(double now_s);
+
+  // Merged snapshot of the live sub-windows at `now_s` (const: expiry is
+  // applied by filtering, not mutation). Empty window => count 0 snapshot
+  // whose quantile() returns 0.
+  HistogramSnapshot snapshot(double now_s) const;
+  std::size_t window_count(double now_s) const;
+
+  double window_s() const { return opts_.window_s; }
+
+ private:
+  struct SubWindow {
+    std::int64_t index = -1;  // absolute sub-window index, -1 = empty
+    std::vector<std::int64_t> counts;
+    Welford acc;
+    double min = 0.0;
+    double max = 0.0;
+  };
+
+  std::int64_t abs_index(double now_s) const;
+  bool live(const SubWindow& w, std::int64_t cur) const;
+
+  WindowedHistogramOptions opts_;
+  double sub_s_;
+  std::vector<double> bounds_;
+  std::vector<SubWindow> ring_;
+  std::int64_t cur_ = 0;  // highest absolute sub-window index seen
+};
+
+// One SLO class the watchdog tracks. `error_budget` is the allowed
+// violation fraction (e.g. 0.05 => 95% of requests must meet the SLO).
+struct SloClassConfig {
+  std::string name;
+  double error_budget = 0.05;
+};
+
+class SloWatchdog {
+ public:
+  SloWatchdog(std::vector<SloClassConfig> classes,
+              WindowedHistogramOptions hist_opts = {});
+
+  // Records one terminal request of class `cls` at time `now_s`.
+  // `violation` is the caller's SLO verdict (deadline miss, shed, failure).
+  void observe(double now_s, std::size_t cls, double latency_s,
+               bool violation);
+
+  struct ClassStatus {
+    std::string name;
+    double error_budget = 0;
+    std::size_t window_count = 0;     // requests in the trailing window
+    std::size_t window_violations = 0;
+    double violation_rate = 0;        // window_violations / window_count
+    double burn_rate = 0;             // violation_rate / error_budget
+    bool alerting = false;            // burn_rate > 1
+    double p50_s = 0;
+    double p95_s = 0;
+    double p99_s = 0;
+    std::int64_t total = 0;           // lifetime observations
+    std::int64_t total_violations = 0;
+  };
+
+  std::vector<ClassStatus> status(double now_s) const;
+  std::size_t class_count() const { return classes_.size(); }
+
+  // {"window_s":...,"classes":[{...}]}
+  void export_json(std::ostream& os, double now_s) const;
+  // Prometheus text exposition: slo_requests_total / slo_violations_total
+  // counters and slo_latency_seconds{quantile=...} / slo_burn_rate gauges,
+  // labeled by slo_class.
+  void export_prometheus(std::ostream& os, double now_s) const;
+
+ private:
+  struct PerClass {
+    WindowedHistogram latency;
+    WindowedHistogram violations;  // 0/1 samples; window mean = rate
+    std::int64_t total = 0;
+    std::int64_t total_violations = 0;
+  };
+
+  std::vector<SloClassConfig> classes_;
+  std::vector<PerClass> per_class_;
+};
+
+}  // namespace dsinfer::obs

@@ -349,7 +349,19 @@ void TraceRecorder::export_json(std::ostream& os) const {
       write_number(os, e.value);
       os << "}";
     } else if (!e.args_json.empty()) {
-      os << ",\"args\":" << e.args_json;
+      // args_json is caller-supplied pre-rendered JSON. A malformed blob
+      // (stray quote, raw control char) used to pass through verbatim and
+      // corrupt the whole export; emit it as an escaped string instead so
+      // the trace stays loadable and the bad payload stays inspectable
+      // (ISSUE 8 satellite).
+      std::string err;
+      if (validate_json(e.args_json, &err) && e.args_json.front() == '{') {
+        os << ",\"args\":" << e.args_json;
+      } else {
+        os << ",\"args\":{\"invalid_args_json\":\"";
+        json_escape(os, e.args_json);
+        os << "\"}";
+      }
     }
     os << "}";
   }

@@ -4,7 +4,28 @@
 #include <map>
 #include <stdexcept>
 
+#include "obs/attribution.h"
+#include "util/stats.h"
+
 namespace dsinfer::zero {
+
+namespace {
+
+// ISSUE 8: KV spill/restore wall time feeds the tail-latency attribution
+// ledger as kKvSpill; one relaxed load when the gate is off.
+class AttrSpillScope {
+ public:
+  AttrSpillScope() : armed_(obs::attribution_enabled()) {}
+  ~AttrSpillScope() {
+    if (armed_) obs::attr_charge(obs::Phase::kKvSpill, sw_.elapsed_s());
+  }
+
+ private:
+  bool armed_;
+  Stopwatch sw_;
+};
+
+}  // namespace
 
 OffloadableKVCache::OffloadableKVCache(std::int64_t batch, std::int64_t heads,
                                        std::int64_t head_dim,
@@ -33,6 +54,7 @@ const kernels::KVCache& OffloadableKVCache::device() const {
 
 void OffloadableKVCache::release_to_host() {
   if (!resident_) return;
+  AttrSpillScope attr_scope;
   host_seq_len_ = cache_.seq_len();
   const auto n =
       static_cast<std::size_t>(batch_ * heads_ * host_seq_len_ * head_dim_);
@@ -46,6 +68,7 @@ void OffloadableKVCache::release_to_host() {
 
 void OffloadableKVCache::fetch_to_device() {
   if (resident_) return;
+  AttrSpillScope attr_scope;
   cache_.import_state(host_k_, host_v_, host_seq_len_);
   bytes_in_ += 2 * host_k_.size() * sizeof(float);
   resident_ = true;
@@ -63,6 +86,7 @@ std::size_t ArenaOffloadLedger::round_trip(kernels::KVArena& arena,
   if (rank < 0 || rank >= ranks()) {
     throw std::invalid_argument("ArenaOffloadLedger: rank out of range");
   }
+  AttrSpillScope attr_scope;
   std::size_t moved = 0;
   if (!arena.paged()) {
     for (std::int64_t slot = 0; slot < arena.slots(); ++slot) {

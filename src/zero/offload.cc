@@ -3,12 +3,29 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "obs/attribution.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/stats.h"
 
 namespace dsinfer::zero {
 
 namespace {
+
+// ISSUE 8: host->device weight-fetch wall time feeds the tail-latency
+// attribution ledger as kZeroFetch. Destructor-charged so faulted/retried
+// fetches are accounted; one relaxed load when the gate is off.
+class AttrFetchScope {
+ public:
+  AttrFetchScope() : armed_(obs::attribution_enabled()) {}
+  ~AttrFetchScope() {
+    if (armed_) obs::attr_charge(obs::Phase::kZeroFetch, sw_.elapsed_s());
+  }
+
+ private:
+  bool armed_;
+  Stopwatch sw_;
+};
 
 void copy_tensor(Tensor& dst, const Tensor& src) {
   dst.reshape(src.shape());
@@ -176,6 +193,7 @@ LayerStreamer::LayerStreamer(const HostWeightStore& store, std::int64_t window,
 }
 
 LayerStreamer::Slot& LayerStreamer::fetch_into_window(std::int64_t layer) {
+  AttrFetchScope attr_scope;
   obs::TraceScope fetch_scope(
       "zero", obs::trace_enabled() ? "fetch layer " + std::to_string(layer)
                                    : std::string());

@@ -10,6 +10,7 @@
 #include "core/inference_engine.h"
 #include "core/server.h"
 #include "core/workload.h"
+#include "obs/attribution.h"
 #include "util/fault_injector.h"
 
 namespace dsinfer::core {
@@ -381,6 +382,125 @@ TEST(ContinuousServer, FaultBackoffIsDeterministicOnVirtualClock) {
                           + vs.prefill_s                 // admission
                           + vs.per_token_s * 2;          // 2 decode steps
   EXPECT_NEAR(stats[0].finish_s - stats[0].start_s, expected, 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// Tail-latency attribution (ISSUE 8, also under ctest label `attr`).
+
+std::vector<obs::AttributedRequest> attributed(
+    const std::vector<RequestStats>& stats) {
+  std::vector<obs::AttributedRequest> out;
+  for (const auto& s : stats) {
+    obs::AttributedRequest a;
+    a.id = s.id;
+    a.arrival_s = s.arrival_s;
+    a.finish_s = s.finish_s;
+    a.phases = s.attr;
+    out.push_back(a);
+  }
+  return out;
+}
+
+TEST(Attribution, LedgersAreTotalOnBothSchedulersVirtualClock) {
+  for (auto sched : {Scheduler::kWindow, Scheduler::kContinuous}) {
+    InferenceServer server(tiny(), sched_opts(sched), 9);
+    const auto stats = server.run_trace(mixed_trace());
+    EXPECT_EQ(obs::check_totality(attributed(stats)), "")
+        << "scheduler " << static_cast<int>(sched);
+    for (const auto& s : stats) {
+      // Queue time lands in admission_wait, service in prefill + decode.
+      EXPECT_NEAR(s.attr.get(obs::Phase::kAdmissionWait), s.queue_delay_s(),
+                  obs::kTotalityEps);
+      EXPECT_GT(s.attr.get(obs::Phase::kPrefill) +
+                    s.attr.get(obs::Phase::kDecodeCompute),
+                0.0);
+    }
+  }
+}
+
+TEST(Attribution, ShedTimeoutAndFailureOutcomesStayTotal) {
+  // Shed by admission control: the whole e2e is the shed decision wait.
+  {
+    auto opts = sched_opts(Scheduler::kContinuous);
+    opts.resilience.admission_control = true;
+    InferenceServer server(tiny(), opts, 9);
+    auto r = req(0, {10, 20}, 4, 0.25);
+    r.deadline_s = 0.25;
+    const auto stats = server.run_trace({std::move(r)});
+    ASSERT_EQ(stats[0].outcome, RequestStats::Outcome::kShed);
+    EXPECT_EQ(obs::check_totality(attributed(stats)), "");
+    EXPECT_NEAR(stats[0].attr.get(obs::Phase::kShed),
+                stats[0].finish_s - stats[0].arrival_s, obs::kTotalityEps);
+  }
+  // Timeout (served past deadline, no admission control): totality still
+  // holds; the ledger records service phases, not the verdict.
+  {
+    auto opts = sched_opts(Scheduler::kContinuous);
+    InferenceServer server(tiny(), opts, 9);
+    auto r = req(0, {10, 20}, 4, 0.0);
+    r.deadline_s = 1e-6;
+    const auto stats = server.run_trace({std::move(r)});
+    ASSERT_EQ(stats[0].outcome, RequestStats::Outcome::kTimedOut);
+    EXPECT_EQ(obs::check_totality(attributed(stats)), "");
+  }
+  // Exhausted retry budget: backoff is charged to retry_backoff and the
+  // terminal failure stays total.
+  {
+    util::FaultInjector inj(42);
+    util::FaultSpec spec;
+    spec.fail_probability = 1.0;
+    inj.configure("server.engine", spec);
+    auto opts = sched_opts(Scheduler::kContinuous);
+    opts.resilience.injector = &inj;
+    opts.resilience.max_retries = 2;
+    opts.resilience.retry_backoff_s = 1e-3;
+    InferenceServer server(tiny(), opts, 9);
+    const auto stats = server.run_trace({req(0, {10, 20}, 4, 0.0)});
+    ASSERT_EQ(stats[0].outcome, RequestStats::Outcome::kFailed);
+    EXPECT_EQ(obs::check_totality(attributed(stats)), "");
+    EXPECT_GT(stats[0].attr.get(obs::Phase::kRetryBackoff), 0.0);
+  }
+}
+
+TEST(Attribution, BackoffChargeMatchesTheDeterministicSchedule) {
+  // Mirror of FaultBackoffIsDeterministicOnVirtualClock through the ledger:
+  // 1e-3 * (1 + 2) of backoff, the rest split prefill/decode.
+  util::FaultInjector inj(7);
+  util::FaultSpec spec;
+  spec.fail_first_n = 2;
+  inj.configure("server.engine", spec);
+  auto opts = sched_opts(Scheduler::kContinuous);
+  opts.resilience.injector = &inj;
+  opts.resilience.max_retries = 3;
+  opts.resilience.retry_backoff_s = 1e-3;
+  InferenceServer server(tiny(), opts, 9);
+  const auto stats = server.run_trace({req(0, {10, 20}, 3, 0.0)});
+  ASSERT_TRUE(stats[0].served());
+  EXPECT_NEAR(stats[0].attr.get(obs::Phase::kRetryBackoff), 1e-3 * (1 + 2),
+              obs::kTotalityEps);
+  EXPECT_EQ(obs::check_totality(attributed(stats)), "");
+}
+
+TEST(Attribution, MeasuredModeSplitsTpAllreduceOutOfDecode) {
+  // Measured clock (virtual service off) with tensor parallelism: the
+  // sharded engine's collectives charge kTpAllreduce through the global
+  // accumulators, the batcher drains them per invocation, and the ledger
+  // still sums to the measured end-to-end latency.
+  obs::set_attribution_enabled(true);
+  auto opts = sched_opts(Scheduler::kContinuous);
+  opts.virtual_service.enabled = false;
+  opts.engine.tensor_parallel = 2;
+  InferenceServer server(tiny(), opts, 9);
+  const auto stats = server.run_trace(
+      {req(0, {10, 20}, 4, 0.0), req(1, {30, 40, 50}, 3, 0.0)});
+  obs::set_attribution_enabled(false);
+  double allreduce = 0;
+  for (const auto& s : stats) {
+    ASSERT_TRUE(s.served());
+    allreduce += s.attr.get(obs::Phase::kTpAllreduce);
+  }
+  EXPECT_GT(allreduce, 0.0);
+  EXPECT_EQ(obs::check_totality(attributed(stats)), "");
 }
 
 }  // namespace

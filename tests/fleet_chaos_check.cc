@@ -17,6 +17,8 @@
 #include "fleet/fleet_spec.h"
 #include "fleet/load_harness.h"
 #include "fleet/router.h"
+#include "obs/attribution.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -55,6 +57,10 @@ int main() {
   w.base_rate_hz = 900;
   w.duration_s = 0.4;
   w.seed = 91;
+  // Tail SLA below the post-knee p99 (~180 ms) so the chaos run genuinely
+  // misses deadlines — gate 4's flight-recorder retention needs real
+  // violators to measure. Timeouts still count as served for gate 2.
+  w.latency_deadline_s = 0.12;
   const auto trace = fleet::generate_fleet_trace(w);
   check(trace.size() > 100, "trace has saturation-regime volume (" +
                                 std::to_string(trace.size()) + " requests)");
@@ -62,6 +68,8 @@ int main() {
 
   obs::TraceRecorder::instance().set_enabled(true);
   obs::MetricsRegistry::instance().set_enabled(true);
+  obs::FlightRecorder::instance().configure(256, 512);
+  obs::FlightRecorder::instance().set_enabled(true);
 
   fleet::FleetRouter router(spec, /*seed=*/101);
   const auto baseline = router.run_trace(trace);
@@ -116,8 +124,39 @@ int main() {
         "fleet.served metric matches both runs (" +
             std::to_string(metric_served) + ")");
 
+  // Gate 4 (ISSUE 8): per-request phase ledgers are total on the chaos run,
+  // the flight recorder retained every SLO violator it saw, and its span
+  // dump validates against the same Chrome schema as the main trace.
+  {
+    const auto areqs = fleet::attributed_requests(chaos);
+    const std::string tleak = obs::check_totality(areqs);
+    check(tleak.empty(), "chaos attribution ledgers total (phases sum to "
+                         "e2e for every request)" +
+                             (tleak.empty() ? "" : ": " + tleak));
+    const auto& fr = obs::FlightRecorder::instance();
+    check(fr.seen_violating() > 0,
+          "chaos run produced SLO violators (" +
+              std::to_string(fr.seen_violating()) + " seen)");
+    const double retention =
+        fr.seen_violating() > 0
+            ? static_cast<double>(fr.kept_violating()) /
+                  static_cast<double>(fr.seen_violating())
+            : 0.0;
+    check(fr.seen_violating() > 0 && retention >= 0.95,
+          "flight recorder retained " + std::to_string(fr.kept_violating()) +
+              "/" + std::to_string(fr.seen_violating()) + " violators");
+    std::ostringstream flight_json;
+    fr.export_chrome_json(flight_json);
+    const bool flight_ok =
+        obs::validate_chrome_trace(flight_json.str(), &err);
+    check(flight_ok, "flight dump validates (" +
+                         std::to_string(flight_json.str().size()) +
+                         " bytes)" + (flight_ok ? "" : ": " + err));
+  }
+
   obs::TraceRecorder::instance().set_enabled(false);
   obs::MetricsRegistry::instance().set_enabled(false);
+  obs::FlightRecorder::instance().set_enabled(false);
 
   std::printf("%s (%d gate failure%s)\n",
               g_failures == 0 ? "fleet_chaos_check PASS"

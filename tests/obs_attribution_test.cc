@@ -1,0 +1,209 @@
+// Attribution ledger tests (ISSUE 8 tentpole): PhaseBreakdown arithmetic,
+// the global charge accumulators + SubPhaseScope drain discipline, the
+// totality invariant (leak and negative-phase detection), and the per-phase
+// quantile summaries the bench exports.
+#include "obs/attribution.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+namespace dsinfer::obs {
+namespace {
+
+class AttributionTest : public ::testing::Test {
+ protected:
+  void SetUp() override { set_attribution_enabled(true); }
+  void TearDown() override { set_attribution_enabled(false); }
+};
+
+TEST(PhaseBreakdownTest, AddGetTotalMergeClear) {
+  PhaseBreakdown b;
+  EXPECT_DOUBLE_EQ(b.total(), 0.0);
+  b.add(Phase::kPrefill, 0.25);
+  b.add(Phase::kDecodeCompute, 0.5);
+  b.add(Phase::kDecodeCompute, 0.5);
+  EXPECT_DOUBLE_EQ(b.get(Phase::kPrefill), 0.25);
+  EXPECT_DOUBLE_EQ(b.get(Phase::kDecodeCompute), 1.0);
+  EXPECT_DOUBLE_EQ(b.total(), 1.25);
+
+  PhaseBreakdown other;
+  other.add(Phase::kPrefill, 0.75);
+  other.add(Phase::kShed, 0.1);
+  b.merge(other);
+  EXPECT_DOUBLE_EQ(b.get(Phase::kPrefill), 1.0);
+  EXPECT_DOUBLE_EQ(b.get(Phase::kShed), 0.1);
+  EXPECT_DOUBLE_EQ(b.total(), 2.1);
+
+  b.clear();
+  EXPECT_DOUBLE_EQ(b.total(), 0.0);
+}
+
+TEST(PhaseBreakdownTest, JsonSkipsZeroPhasesAndUsesStableNames) {
+  PhaseBreakdown b;
+  b.add(Phase::kRouterQueue, 0.5);
+  b.add(Phase::kTpAllreduce, 0.25);
+  std::ostringstream os;
+  b.to_json(os);
+  EXPECT_EQ(os.str(), "{\"router_queue\":0.5,\"tp_allreduce\":0.25}");
+}
+
+TEST(PhaseBreakdownTest, EveryPhaseHasADistinctName) {
+  std::vector<std::string> names;
+  for (std::size_t i = 0; i < kPhaseCount; ++i) {
+    names.emplace_back(phase_name(static_cast<Phase>(i)));
+  }
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    EXPECT_NE(names[i], "unknown");
+    for (std::size_t j = i + 1; j < names.size(); ++j) {
+      EXPECT_NE(names[i], names[j]) << "duplicate phase name";
+    }
+  }
+}
+
+TEST_F(AttributionTest, ChargeAccumulatesAndScopeDrainsDeltas) {
+  SubPhaseScope scope;
+  attr_charge(Phase::kTpAllreduce, 0.010);
+  attr_charge(Phase::kTpAllreduce, 0.005);
+  attr_charge(Phase::kZeroFetch, 0.002);
+  PhaseBreakdown d = scope.take();
+  EXPECT_NEAR(d.get(Phase::kTpAllreduce), 0.015, 1e-9);
+  EXPECT_NEAR(d.get(Phase::kZeroFetch), 0.002, 1e-9);
+  // take() re-arms: a second drain sees only post-drain charges.
+  attr_charge(Phase::kKvSpill, 0.001);
+  PhaseBreakdown d2 = scope.take();
+  EXPECT_NEAR(d2.get(Phase::kTpAllreduce), 0.0, 1e-9);
+  EXPECT_NEAR(d2.get(Phase::kKvSpill), 0.001, 1e-9);
+}
+
+TEST_F(AttributionTest, ScopeArmIgnoresPriorCharges) {
+  attr_charge(Phase::kZeroFetch, 0.5);  // before the scope exists
+  SubPhaseScope scope;
+  attr_charge(Phase::kZeroFetch, 0.125);
+  EXPECT_NEAR(scope.take().get(Phase::kZeroFetch), 0.125, 1e-9);
+}
+
+TEST_F(AttributionTest, ChargesFromManyThreadsAllLand) {
+  SubPhaseScope scope;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 1000;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([] {
+      for (int i = 0; i < kPerThread; ++i) {
+        attr_charge(Phase::kTpAllreduce, 1e-6);
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  const double got = scope.take().get(Phase::kTpAllreduce);
+  EXPECT_NEAR(got, kThreads * kPerThread * 1e-6, 1e-6);
+}
+
+TEST(AttributionGateTest, DisabledChargeIsANoOp) {
+  set_attribution_enabled(false);
+  SubPhaseScope scope;
+  attr_charge(Phase::kTpAllreduce, 123.0);
+  EXPECT_DOUBLE_EQ(scope.take().get(Phase::kTpAllreduce), 0.0);
+}
+
+TEST(AttributionGateTest, EnableResetsStaleAccumulators) {
+  set_attribution_enabled(true);
+  attr_charge(Phase::kKvSpill, 42.0);
+  set_attribution_enabled(false);
+  // Re-enabling opens a fresh accounting epoch: a scope armed after the
+  // enable must not see the stale pre-disable charge as a delta.
+  set_attribution_enabled(true);
+  SubPhaseScope scope;
+  attr_charge(Phase::kKvSpill, 0.001);
+  EXPECT_NEAR(scope.take().get(Phase::kKvSpill), 0.001, 1e-9);
+  set_attribution_enabled(false);
+}
+
+AttributedRequest make_request(std::int64_t id, double arrival, double e2e) {
+  AttributedRequest r;
+  r.id = id;
+  r.arrival_s = arrival;
+  r.finish_s = arrival + e2e;
+  return r;
+}
+
+TEST(TotalityTest, ExactAndWithinEpsilonPass) {
+  auto a = make_request(1, 0.0, 1.0);
+  a.phases.add(Phase::kRouterQueue, 0.25);
+  a.phases.add(Phase::kDecodeCompute, 0.75);
+  auto b = make_request(2, 5.0, 0.5);
+  b.phases.add(Phase::kPrefill, 0.5 + 0.5 * kTotalityEps);
+  EXPECT_EQ(check_totality({a, b}), "");
+}
+
+TEST(TotalityTest, LeakIsReportedWithIdAndBreakdown) {
+  auto r = make_request(7, 0.0, 1.0);
+  r.phases.add(Phase::kDecodeCompute, 0.9);  // 100 ms unaccounted
+  const std::string err = check_totality({r});
+  EXPECT_NE(err.find("request 7"), std::string::npos) << err;
+  EXPECT_NE(err.find("decode_compute"), std::string::npos) << err;
+}
+
+TEST(TotalityTest, NegativePhaseIsALeakEvenWhenSumsMatch) {
+  auto r = make_request(3, 0.0, 1.0);
+  r.phases.add(Phase::kPrefill, 1.5);
+  r.phases.add(Phase::kAdmissionWait, -0.5);  // cancels in the sum
+  const std::string err = check_totality({r});
+  EXPECT_NE(err.find("negative phase"), std::string::npos) << err;
+  EXPECT_NE(err.find("admission_wait"), std::string::npos) << err;
+}
+
+TEST(TotalityTest, NonFiniteSumIsALeak) {
+  auto r = make_request(4, 0.0, 1.0);
+  r.phases.add(Phase::kPrefill, std::nan(""));
+  EXPECT_NE(check_totality({r}), "");
+}
+
+TEST(TotalityTest, EmptySetIsTriviallyTotal) {
+  EXPECT_EQ(check_totality({}), "");
+}
+
+TEST(SummarizeTest, SharesSumToOneAndOrderIsByTotal) {
+  std::vector<AttributedRequest> reqs;
+  for (int i = 0; i < 10; ++i) {
+    auto r = make_request(i, 0.0, 1.0);
+    r.phases.add(Phase::kDecodeCompute, 0.8);
+    r.phases.add(Phase::kRouterQueue, 0.2);
+    reqs.push_back(r);
+  }
+  const auto rows = summarize_phases(reqs);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].phase, Phase::kDecodeCompute);  // biggest total first
+  EXPECT_EQ(rows[1].phase, Phase::kRouterQueue);
+  EXPECT_EQ(rows[0].count, 10u);
+  EXPECT_NEAR(rows[0].share + rows[1].share, 1.0, 1e-12);
+  EXPECT_NEAR(rows[0].total_s, 8.0, 1e-9);
+  // Identical samples => all quantiles equal the sample.
+  EXPECT_NEAR(rows[0].p50_s, 0.8, 1e-12);
+  EXPECT_NEAR(rows[0].p99_s, 0.8, 1e-12);
+}
+
+TEST(SummarizeTest, CountsOnlyRequestsThatTouchedThePhase) {
+  auto a = make_request(1, 0.0, 1.0);
+  a.phases.add(Phase::kPrefill, 1.0);
+  auto b = make_request(2, 0.0, 2.0);
+  b.phases.add(Phase::kPrefill, 1.0);
+  b.phases.add(Phase::kKvSpill, 1.0);
+  const auto rows = summarize_phases({a, b});
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].phase, Phase::kPrefill);
+  EXPECT_EQ(rows[0].count, 2u);
+  EXPECT_EQ(rows[1].phase, Phase::kKvSpill);
+  EXPECT_EQ(rows[1].count, 1u);
+}
+
+TEST(SummarizeTest, EmptyInputYieldsNoRows) {
+  EXPECT_TRUE(summarize_phases({}).empty());
+}
+
+}  // namespace
+}  // namespace dsinfer::obs

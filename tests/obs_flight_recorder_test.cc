@@ -1,0 +1,181 @@
+// Flight recorder tests (ISSUE 8 tentpole): tail-sampling keep/drop
+// decisions, the >= 95% violator-retention guarantee, ring eviction, the
+// disabled-path no-op, and the Chrome-trace dump's structural validity.
+#include "obs/flight_recorder.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"  // validate_chrome_trace
+
+namespace dsinfer::obs {
+namespace {
+
+FlightRecord make_record(std::int64_t id, double e2e, bool violated) {
+  FlightRecord r;
+  r.id = id;
+  r.arrival_s = static_cast<double>(id) * 0.01;
+  r.finish_s = r.arrival_s + e2e;
+  r.violated = violated;
+  r.served = !violated;
+  r.phases.add(Phase::kRouterQueue, e2e * 0.25);
+  r.phases.add(Phase::kDecodeCompute, e2e * 0.75);
+  r.spans = spans_from_breakdown(r.phases, r.arrival_s);
+  return r;
+}
+
+class FlightRecorderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FlightRecorder::instance().configure(256, 512);
+    FlightRecorder::instance().set_enabled(true);
+  }
+  void TearDown() override {
+    FlightRecorder::instance().set_enabled(false);
+    FlightRecorder::instance().clear();
+  }
+};
+
+TEST_F(FlightRecorderTest, DisabledObserveIsANoOp) {
+  auto& fr = FlightRecorder::instance();
+  fr.set_enabled(false);
+  fr.observe(make_record(1, 0.1, true));
+  EXPECT_EQ(fr.seen(), 0);
+  EXPECT_EQ(fr.kept(), 0u);
+  EXPECT_EQ(fr.seen_violating(), 0);
+}
+
+TEST_F(FlightRecorderTest, ViolationsAreAlwaysKeptEvenBeforeWarmup) {
+  auto& fr = FlightRecorder::instance();
+  fr.observe(make_record(0, 0.05, true));  // first sample, window cold
+  EXPECT_EQ(fr.kept(), 1u);
+  EXPECT_EQ(fr.kept_violating(), 1);
+  EXPECT_EQ(fr.seen_violating(), 1);
+}
+
+TEST_F(FlightRecorderTest, HealthyTrafficDroppedUntilWarmupThenTailKept) {
+  auto& fr = FlightRecorder::instance();
+  // 100 healthy requests at a flat 10 ms: never at/above p99 is impossible
+  // for a flat distribution (everything equals the p99), so use a spread.
+  for (int i = 0; i < 100; ++i) {
+    fr.observe(make_record(i, 0.010 + 1e-5 * i, false));
+  }
+  // Pre-warmup (first 32) healthy requests are all dropped; afterwards only
+  // the rolling tail is kept, so retention is well under the full count.
+  EXPECT_GT(fr.seen(), static_cast<std::int64_t>(fr.kept()));
+  // A fresh outlier far above the window p99 must be kept.
+  const std::size_t before = fr.kept();
+  fr.observe(make_record(1000, 1.0, false));
+  EXPECT_EQ(fr.kept(), before + 1);
+}
+
+TEST_F(FlightRecorderTest, ViolatorRetentionIsTotalUnderMixedLoad) {
+  auto& fr = FlightRecorder::instance();
+  std::int64_t violators = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const bool viol = (i % 7) == 0;
+    violators += viol ? 1 : 0;
+    fr.observe(make_record(i, viol ? 0.25 : 0.01, viol));
+  }
+  EXPECT_EQ(fr.seen(), 1000);
+  EXPECT_EQ(fr.seen_violating(), violators);
+  // The acceptance bound is >= 95%; violated records are kept
+  // unconditionally (eviction does not decrement the counter), so the
+  // recorder actually retains 100% of them.
+  EXPECT_EQ(fr.kept_violating(), violators);
+  EXPECT_GE(static_cast<double>(fr.kept_violating()),
+            0.95 * static_cast<double>(fr.seen_violating()));
+}
+
+TEST_F(FlightRecorderTest, RingEvictsOldestAtCapacity) {
+  auto& fr = FlightRecorder::instance();
+  fr.configure(4, 512);
+  for (int i = 0; i < 10; ++i) {
+    fr.observe(make_record(i, 0.1, true));
+  }
+  const auto snap = fr.snapshot();
+  ASSERT_EQ(snap.size(), 4u);
+  EXPECT_EQ(snap.front().id, 6);  // 0..5 evicted
+  EXPECT_EQ(snap.back().id, 9);
+  EXPECT_EQ(fr.kept_violating(), 10);  // counter survives eviction
+}
+
+TEST_F(FlightRecorderTest, RollingP99TracksTheWindow) {
+  auto& fr = FlightRecorder::instance();
+  EXPECT_DOUBLE_EQ(fr.rolling_p99(), 0.0);  // cold
+  for (int i = 0; i < 31; ++i) fr.observe(make_record(i, 0.01, false));
+  EXPECT_DOUBLE_EQ(fr.rolling_p99(), 0.0);  // still below warmup (31 < 32)
+  fr.observe(make_record(31, 0.01, false));
+  EXPECT_NEAR(fr.rolling_p99(), 0.01, 1e-9);  // warmed up on a flat window
+}
+
+TEST_F(FlightRecorderTest, WindowIsBoundedAndRolls) {
+  auto& fr = FlightRecorder::instance();
+  fr.configure(8, 64);
+  // Fill the window with slow traffic, then roll it over entirely with fast
+  // traffic: the p99 threshold must follow the *recent* regime.
+  for (int i = 0; i < 64; ++i) fr.observe(make_record(i, 1.0, false));
+  EXPECT_NEAR(fr.rolling_p99(), 1.0, 1e-9);
+  for (int i = 64; i < 128; ++i) fr.observe(make_record(i, 0.01, false));
+  EXPECT_NEAR(fr.rolling_p99(), 0.01, 1e-9);
+}
+
+TEST_F(FlightRecorderTest, ConfigureResetsCountersAndRecords) {
+  auto& fr = FlightRecorder::instance();
+  fr.observe(make_record(1, 0.1, true));
+  fr.configure(16, 32);
+  EXPECT_EQ(fr.seen(), 0);
+  EXPECT_EQ(fr.kept(), 0u);
+  EXPECT_EQ(fr.kept_violating(), 0);
+}
+
+TEST(SpanLayoutTest, SpansAreContiguousFromArrivalAndCoverTheBreakdown) {
+  PhaseBreakdown b;
+  b.add(Phase::kDecodeCompute, 0.06);
+  b.add(Phase::kRouterQueue, 0.01);
+  b.add(Phase::kPrefill, 0.03);
+  const auto spans = spans_from_breakdown(b, 10.0);
+  ASSERT_EQ(spans.size(), 3u);
+  // Canonical order: queue, prefill, decode — regardless of add() order.
+  EXPECT_EQ(spans[0].phase, Phase::kRouterQueue);
+  EXPECT_EQ(spans[1].phase, Phase::kPrefill);
+  EXPECT_EQ(spans[2].phase, Phase::kDecodeCompute);
+  double t = 10.0;
+  for (const auto& sp : spans) {
+    EXPECT_DOUBLE_EQ(sp.start_s, t);  // contiguous chain
+    t += sp.dur_s;
+  }
+  EXPECT_NEAR(t - 10.0, b.total(), 1e-12);
+}
+
+TEST(SpanLayoutTest, ZeroPhasesProduceNoSpans) {
+  EXPECT_TRUE(spans_from_breakdown(PhaseBreakdown{}, 0.0).empty());
+}
+
+TEST_F(FlightRecorderTest, ChromeDumpValidatesStructurally) {
+  auto& fr = FlightRecorder::instance();
+  for (int i = 0; i < 5; ++i) {
+    fr.observe(make_record(i, 0.1 + 0.01 * i, i % 2 == 0));
+  }
+  std::ostringstream os;
+  fr.export_chrome_json(os);
+  std::string err;
+  EXPECT_TRUE(validate_chrome_trace(os.str(), &err)) << err;
+  // Every retained request contributes a named track and a terminal marker.
+  EXPECT_NE(os.str().find("\"flight recorder\""), std::string::npos);
+  EXPECT_NE(os.str().find("req 0"), std::string::npos);
+  EXPECT_NE(os.str().find("slo_violation"), std::string::npos);
+}
+
+TEST_F(FlightRecorderTest, EmptyDumpIsStillAValidTrace) {
+  std::ostringstream os;
+  FlightRecorder::instance().export_chrome_json(os);
+  std::string err;
+  EXPECT_TRUE(validate_chrome_trace(os.str(), &err)) << err;
+}
+
+}  // namespace
+}  // namespace dsinfer::obs

@@ -6,6 +6,8 @@
 
 #include <cmath>
 #include <sstream>
+#include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -151,6 +153,79 @@ TEST_F(MetricsTest, ExportedJsonIsValid) {
   std::string err;
   EXPECT_TRUE(validate_json(os.str(), &err)) << err << "\n" << os.str();
   EXPECT_NE(os.str().find("test.json.hist"), std::string::npos);
+}
+
+TEST_F(MetricsTest, KindCollisionThrowsInsteadOfForkingTheMetric) {
+  auto& reg = MetricsRegistry::instance();
+  reg.counter("test.collision");
+  // Same name, same kind: get-or-create as usual.
+  EXPECT_NO_THROW(reg.counter("test.collision"));
+  // Same name, different kind: the registry refuses rather than silently
+  // keeping two metrics under one exported name (ISSUE 8 satellite; the
+  // full name table lives in DESIGN "Metric-name registry").
+  EXPECT_THROW(reg.gauge("test.collision"), std::logic_error);
+  EXPECT_THROW(reg.histogram("test.collision"), std::logic_error);
+  try {
+    reg.gauge("test.collision");
+    FAIL() << "expected std::logic_error";
+  } catch (const std::logic_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("test.collision"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("counter"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("gauge"), std::string::npos) << msg;
+  }
+}
+
+TEST_F(MetricsTest, KindClaimSurvivesReset) {
+  auto& reg = MetricsRegistry::instance();
+  reg.histogram("test.collision.reset");
+  reg.reset();  // zeroes values; instruments and name claims stay
+  EXPECT_THROW(reg.counter("test.collision.reset"), std::logic_error);
+  EXPECT_NO_THROW(reg.histogram("test.collision.reset"));
+}
+
+TEST_F(MetricsTest, ControlCharactersInNamesExportAsValidJson) {
+  auto& reg = MetricsRegistry::instance();
+  // Embedded newline/tab/quote in a metric name previously leaked raw into
+  // the JSON export and corrupted it (ISSUE 8 satellite).
+  reg.counter("test.bad\nname\twith\"quote\x01").add(1);
+  std::ostringstream os;
+  reg.export_json(os);
+  std::string err;
+  EXPECT_TRUE(validate_json(os.str(), &err)) << err << "\n" << os.str();
+  EXPECT_NE(os.str().find("\\n"), std::string::npos);
+  EXPECT_NE(os.str().find("\\t"), std::string::npos);
+  EXPECT_NE(os.str().find("\\u0001"), std::string::npos);
+}
+
+TEST_F(MetricsTest, HistogramSnapshotConcurrentWithWritesIsConsistent) {
+  // Snapshots race with writers (the TSan matrix runs this under -L obs):
+  // every intermediate snapshot must be internally consistent — bucket
+  // counts summing to `count` — and the final one exact.
+  auto& reg = MetricsRegistry::instance();
+  Histogram& h = reg.histogram("test.concurrent.hist", {0.5, 1.0, 2.0});
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.record(0.25 * static_cast<double>((t + i) % 12));
+      }
+    });
+  }
+  for (int i = 0; i < 200; ++i) {
+    const auto s = h.snapshot();
+    std::int64_t bucket_sum = 0;
+    for (const auto c : s.counts) bucket_sum += c;
+    EXPECT_EQ(static_cast<std::size_t>(bucket_sum), s.count);
+    EXPECT_LE(s.count, static_cast<std::size_t>(kThreads) * kPerThread);
+  }
+  for (auto& t : writers) t.join();
+  const auto fin = h.snapshot();
+  EXPECT_EQ(fin.count, static_cast<std::size_t>(kThreads) * kPerThread);
+  EXPECT_DOUBLE_EQ(fin.min, 0.0);
+  EXPECT_DOUBLE_EQ(fin.max, 2.75);
 }
 
 TEST(WelfordTest, MatchesDirectComputation) {

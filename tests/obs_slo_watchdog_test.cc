@@ -1,0 +1,183 @@
+// SLO watchdog tests (ISSUE 8 tentpole + satellite): windowed-histogram
+// rotation edge cases (empty window, single sample, full-ring rollover,
+// weakly-monotone clocks), burn-rate/alerting semantics, and the JSON and
+// Prometheus exporters.
+#include "obs/slo_watchdog.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "obs/trace.h"  // validate_json
+
+namespace dsinfer::obs {
+namespace {
+
+WindowedHistogramOptions small_opts() {
+  WindowedHistogramOptions o;
+  o.window_s = 1.0;
+  o.sub_windows = 4;
+  return o;
+}
+
+TEST(WindowedHistogramTest, EmptyWindowSnapshotIsZero) {
+  WindowedHistogram h(small_opts());
+  const auto s = h.snapshot(0.0);
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.quantile(0.99), 0.0);
+  EXPECT_EQ(h.window_count(123.0), 0u);
+}
+
+TEST(WindowedHistogramTest, SingleSampleQuantilesAreThatSample) {
+  WindowedHistogram h(small_opts());
+  h.record(0.1, 0.020);
+  const auto s = h.snapshot(0.1);
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.min, 0.020);
+  EXPECT_DOUBLE_EQ(s.max, 0.020);
+  // Bucketed quantiles interpolate inside the owning bucket; they must stay
+  // within that bucket's bounds for every q.
+  for (double q : {0.0, 0.5, 0.99, 1.0}) {
+    EXPECT_GT(s.quantile(q), 0.0);
+    EXPECT_LE(s.quantile(q), 0.025);  // ladder bucket containing 20 ms
+  }
+}
+
+TEST(WindowedHistogramTest, SamplesExpireAsTimeAdvances) {
+  WindowedHistogram h(small_opts());  // 1 s window, 250 ms sub-windows
+  h.record(0.0, 0.010);
+  EXPECT_EQ(h.window_count(0.0), 1u);
+  // Still inside the trailing window.
+  EXPECT_EQ(h.window_count(0.9), 1u);
+  // A full window later the sample's sub-window has rotated out.
+  EXPECT_EQ(h.window_count(1.3), 0u);
+}
+
+TEST(WindowedHistogramTest, RolloverKeepsOnlyTheTrailingWindow) {
+  WindowedHistogram h(small_opts());
+  // One sample per sub-window for 3 windows' worth of time.
+  for (int i = 0; i < 12; ++i) {
+    h.record(0.25 * static_cast<double>(i) + 0.01, 1e-3);
+  }
+  // Only the last `sub_windows` sub-windows are live.
+  EXPECT_EQ(h.window_count(0.25 * 11 + 0.01), 4u);
+}
+
+TEST(WindowedHistogramTest, WeaklyMonotoneClockNeverLosesSamples) {
+  WindowedHistogram h(small_opts());
+  h.record(1.00, 1e-3);
+  h.record(0.10, 1e-3);  // way in the past: lands in the current sub-window
+  h.record(1.01, 1e-3);
+  EXPECT_EQ(h.window_count(1.01), 3u);
+}
+
+TEST(WindowedHistogramTest, AdvanceWithoutRecordingExpires) {
+  WindowedHistogram h(small_opts());
+  h.record(0.0, 1e-3);
+  h.advance(5.0);
+  EXPECT_EQ(h.window_count(5.0), 0u);
+}
+
+TEST(WindowedHistogramTest, RejectsBadOptions) {
+  WindowedHistogramOptions o;
+  o.window_s = 0.0;
+  EXPECT_THROW(WindowedHistogram{o}, std::invalid_argument);
+  WindowedHistogramOptions b = small_opts();
+  b.bounds = {2.0, 1.0};
+  EXPECT_THROW(WindowedHistogram{b}, std::invalid_argument);
+}
+
+SloWatchdog make_watchdog() {
+  // latency: tight 5% budget; batch: loose 20% budget. 1 s window.
+  return SloWatchdog({{"latency", 0.05}, {"batch", 0.20}}, small_opts());
+}
+
+TEST(SloWatchdogTest, BurnRateIsViolationRateOverBudget) {
+  auto wd = make_watchdog();
+  // 10% violations against a 5% budget => burn 2.0, alerting.
+  for (int i = 0; i < 100; ++i) {
+    wd.observe(0.5, 0, 0.010, i % 10 == 0);
+  }
+  const auto sts = wd.status(0.5);
+  ASSERT_EQ(sts.size(), 2u);
+  EXPECT_EQ(sts[0].name, "latency");
+  EXPECT_EQ(sts[0].window_count, 100u);
+  EXPECT_EQ(sts[0].window_violations, 10u);
+  EXPECT_NEAR(sts[0].burn_rate, 2.0, 1e-9);
+  EXPECT_TRUE(sts[0].alerting);
+  // The batch class saw nothing: zero counts, no alert, quantiles 0.
+  EXPECT_EQ(sts[1].window_count, 0u);
+  EXPECT_FALSE(sts[1].alerting);
+  EXPECT_DOUBLE_EQ(sts[1].p99_s, 0.0);
+}
+
+TEST(SloWatchdogTest, BurnBelowBudgetDoesNotAlert) {
+  auto wd = make_watchdog();
+  // 10% violations against the 20% batch budget => burn 0.5.
+  for (int i = 0; i < 100; ++i) {
+    wd.observe(0.5, 1, 0.050, i % 10 == 0);
+  }
+  const auto sts = wd.status(0.5);
+  EXPECT_NEAR(sts[1].burn_rate, 0.5, 1e-9);
+  EXPECT_FALSE(sts[1].alerting);
+}
+
+TEST(SloWatchdogTest, WindowForgetsButLifetimeTotalsPersist) {
+  auto wd = make_watchdog();
+  for (int i = 0; i < 50; ++i) wd.observe(0.1, 0, 0.010, true);
+  // Two windows later the burn window is clean but totals remember.
+  const auto sts = wd.status(2.5);
+  EXPECT_EQ(sts[0].window_count, 0u);
+  EXPECT_EQ(sts[0].window_violations, 0u);
+  EXPECT_FALSE(sts[0].alerting);
+  EXPECT_EQ(sts[0].total, 50);
+  EXPECT_EQ(sts[0].total_violations, 50);
+}
+
+TEST(SloWatchdogTest, RejectsEmptyClassesBadBudgetAndBadIndex) {
+  EXPECT_THROW(SloWatchdog({}, small_opts()), std::invalid_argument);
+  EXPECT_THROW(SloWatchdog({{"x", 0.0}}, small_opts()),
+               std::invalid_argument);
+  EXPECT_THROW(SloWatchdog({{"x", 1.5}}, small_opts()),
+               std::invalid_argument);
+  auto wd = make_watchdog();
+  EXPECT_THROW(wd.observe(0.0, 99, 0.01, false), std::out_of_range);
+}
+
+TEST(SloWatchdogTest, JsonExportIsValidAndCarriesBothClasses) {
+  auto wd = make_watchdog();
+  for (int i = 0; i < 40; ++i) wd.observe(0.2, 0, 0.015, i % 4 == 0);
+  std::ostringstream os;
+  wd.export_json(os, 0.2);
+  std::string err;
+  EXPECT_TRUE(validate_json(os.str(), &err)) << err << "\n" << os.str();
+  EXPECT_NE(os.str().find("\"name\":\"latency\""), std::string::npos);
+  EXPECT_NE(os.str().find("\"name\":\"batch\""), std::string::npos);
+  EXPECT_NE(os.str().find("\"alerting\":true"), std::string::npos);
+}
+
+TEST(SloWatchdogTest, PrometheusExportHasTypedSeriesPerClass) {
+  auto wd = make_watchdog();
+  for (int i = 0; i < 40; ++i) wd.observe(0.2, 0, 0.015, i % 4 == 0);
+  std::ostringstream os;
+  wd.export_prometheus(os, 0.2);
+  const std::string text = os.str();
+  for (const char* needle :
+       {"# TYPE slo_requests_total counter",
+        "# TYPE slo_violations_total counter",
+        "# TYPE slo_latency_seconds summary", "# TYPE slo_burn_rate gauge",
+        "# TYPE slo_alerting gauge",
+        "slo_requests_total{slo_class=\"latency\"} 40",
+        "slo_violations_total{slo_class=\"latency\"} 10",
+        "slo_latency_seconds{slo_class=\"batch\",quantile=\"0.99\"}",
+        "slo_alerting{slo_class=\"latency\"} 1",
+        "slo_alerting{slo_class=\"batch\"} 0"}) {
+    EXPECT_NE(text.find(needle), std::string::npos)
+        << "missing: " << needle << "\n" << text;
+  }
+}
+
+}  // namespace
+}  // namespace dsinfer::obs

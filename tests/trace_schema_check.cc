@@ -10,6 +10,8 @@
 #include <vector>
 
 #include "core/server.h"
+#include "obs/attribution.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sim/des.h"
@@ -45,6 +47,12 @@ int main() {
   }
 
   // Server virtual domain: a few timed requests through the batching server.
+  // Attribution + the flight recorder ride along (ISSUE 8): the stats feed
+  // FlightRecords whose Chrome dump is validated below next to the main
+  // trace.
+  obs::set_attribution_enabled(true);
+  obs::FlightRecorder::instance().configure(64, 128);
+  obs::FlightRecorder::instance().set_enabled(true);
   {
     core::ServerOptions so;
     so.engine.policy = kernels::KernelPolicy::optimized_large_batch();
@@ -65,7 +73,33 @@ int main() {
       r.arrival_s = 0.005 * i;
       reqs.push_back(r);
     }
-    server.run_trace(reqs);
+    const auto stats = server.run_trace(reqs);
+    expect(obs::check_totality(
+               [&] {
+                 std::vector<obs::AttributedRequest> ar;
+                 for (const auto& s : stats) {
+                   obs::AttributedRequest a;
+                   a.id = s.id;
+                   a.arrival_s = s.arrival_s;
+                   a.finish_s = s.finish_s;
+                   a.phases = s.attr;
+                   ar.push_back(a);
+                 }
+                 return ar;
+               }())
+               .empty(),
+           "server trace phase ledgers are total");
+    for (const auto& s : stats) {
+      obs::FlightRecord rec;
+      rec.id = s.id;
+      rec.violated = true;  // force-keep: the dump must carry every request
+      rec.served = s.served();
+      rec.arrival_s = s.arrival_s;
+      rec.finish_s = s.finish_s;
+      rec.phases = s.attr;
+      rec.spans = obs::spans_from_breakdown(s.attr, s.arrival_s);
+      obs::FlightRecorder::instance().observe(std::move(rec));
+    }
   }
 
   // Simulator virtual domain: overlapping work on two DES resources.
@@ -78,6 +112,11 @@ int main() {
     gpu.submit(1.0, {}, "compute L1");
     sim.run();
   }
+
+  // args_json hardening (ISSUE 8 satellite): a malformed caller-supplied
+  // blob must not corrupt the export — it is wrapped as an escaped string.
+  obs::TraceRecorder::instance().instant(
+      "test", "bad args", "{\"oops\": \"unterminated");
 
   std::ostringstream os;
   obs::TraceRecorder::instance().export_json(os);
@@ -95,6 +134,28 @@ int main() {
   }
   expect(obs::TraceRecorder::instance().event_count() > 50,
          "trace has a non-trivial number of events");
+  expect(text.find("invalid_args_json") != std::string::npos,
+         "malformed args_json is quarantined, not emitted raw");
+
+  // Flight-recorder dump (ISSUE 8): same structural schema as the main
+  // trace, on its own pid, one track per retained request.
+  {
+    std::ostringstream fs;
+    obs::FlightRecorder::instance().export_chrome_json(fs);
+    const std::string flight = fs.str();
+    expect(obs::validate_json(flight, &err),
+           "flight dump parses as JSON (" + err + ")");
+    expect(obs::validate_chrome_trace(flight, &err),
+           "flight dump is a structurally valid Chrome trace (" + err + ")");
+    expect(obs::FlightRecorder::instance().kept() == 4,
+           "flight recorder kept all four forced records");
+    for (const char* needle :
+         {"\"flight recorder\"", "\"req 0\"", "\"req 3\"", "\"e2e_s\"",
+          "admission_wait"}) {
+      expect(flight.find(needle) != std::string::npos,
+             std::string("flight dump mentions ") + needle);
+    }
+  }
 
   std::ostringstream ms;
   obs::MetricsRegistry::instance().export_json(ms);
