@@ -35,7 +35,15 @@
 //                                            replicas mid-run at a post-knee
 //                                            rate keeps accounting total and
 //                                            surviving goodput >= 60% of the
-//                                            fault-free fleet.
+//                                            fault-free fleet;
+//                                          * chunked prefill (ISSUE 9): on
+//                                            the mixed long-prompt trace the
+//                                            p99 inter-decode-step interval
+//                                            with chunking is <= 0.5x the
+//                                            monolithic admit path at equal-
+//                                            or-better goodput, greedy
+//                                            tokens bit-identical across kv
+//                                            modes x tp x chunk sizes.
 //   serving_latency --trace <out.json>     Chrome trace of the replay
 //                                          (https://ui.perfetto.dev).
 //   serving_latency --attr                 tail-latency attribution (ISSUE
@@ -103,8 +111,19 @@ struct Row {
   std::string phase = "-";
   double phase_share = 0;
   double phase_total_s = 0;
+  // Chunked-prefill rows (mode "chunked", ISSUE 9): the per-iteration prompt
+  // budget (0 = monolithic admit) and the p99 clock interval between
+  // consecutive decode-bearing iterations of the primary lane.
+  std::int64_t chunk_tokens = 0;
+  double p99_decode_interval_s = 0;
   core::ServingSummary s;
 };
+
+double p99_of(std::vector<double> v) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  return v[static_cast<std::size_t>(0.99 * static_cast<double>(v.size() - 1))];
+}
 
 // First sweep index whose goodput falls below 90% of offered load — the
 // saturation knee. Returns summaries.size() if the scheduler never
@@ -196,6 +215,49 @@ core::ServerOptions capacity_options(const std::string& kv_mode) {
     opts.max_batch = 16;
     opts.engine.kv_page_tokens = 8;
     opts.engine.kv_pages = 32;  // 32 x 8 rows == strip's 4 x 64 rows
+    opts.engine.kv_prefix_cache = kv_mode == "paged+prefix";
+  }
+  return opts;
+}
+
+// Mixed long/short trace for the chunked-prefill section (ISSUE 9): every
+// fourth request carries a 48-token prompt, the rest stay short — the shape
+// where a monolithic long-prompt admit stalls every in-flight decode for the
+// whole prefill. No deadlines: the section compares decode-tail smoothness
+// and goodput with all requests served on both paths.
+std::vector<core::TimedRequest> long_prompt_trace(std::int64_t n,
+                                                  double rate_hz) {
+  std::vector<core::TimedRequest> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    core::TimedRequest rq;
+    rq.id = i;
+    const std::int64_t plen = i % 4 == 1 ? 48 : 4 + i % 5;
+    for (std::int64_t t = 0; t < plen; ++t) {
+      rq.prompt.push_back(static_cast<std::int32_t>(1 + (i * 13 + t * 3) % 61));
+    }
+    rq.new_tokens = 8 + i % 5;
+    rq.arrival_s = static_cast<double>(i) / rate_hz;
+    out.push_back(std::move(rq));
+  }
+  return out;
+}
+
+// Options for the chunked-prefill section: continuous scheduler, per-prompt-
+// token virtual prefill (so prompt length is visible on the clock), and the
+// requested per-iteration chunk budget, across the three KV layouts at full
+// reservation (64 pages x 8 tokens == 8 slots x 64-token strips — no
+// structural sheds, so every run serves the whole trace and token parity is
+// total).
+core::ServerOptions chunk_options(const std::string& kv_mode, std::int64_t tp,
+                                  std::int64_t chunk) {
+  auto opts = scheduler_options(core::Scheduler::kContinuous);
+  opts.virtual_service.prefill_token_s = 2e-4;
+  opts.engine.prefill_chunk_tokens = chunk;
+  opts.engine.tensor_parallel = tp;
+  if (kv_mode != "strip") {
+    opts.engine.kv_page_tokens = 8;
+    opts.engine.kv_pages = 64;
     opts.engine.kv_prefix_cache = kv_mode == "paged+prefix";
   }
   return opts;
@@ -599,6 +661,81 @@ int main(int argc, char** argv) {
               << " on this replay).\n";
   }
 
+  // --- Chunked prefill vs monolithic long-prompt admits (ISSUE 9) ---
+  // The same mixed long/short trace through the continuous scheduler with
+  // per-prompt-token virtual prefill: monolithic admits run the whole
+  // 48-token prefill in one iteration (stalling every in-flight decode for
+  // 48 x prefill_token_s), chunking bounds each iteration to 8 prompt tokens
+  // interleaved with the one-token decode rows. The decode-interval sink
+  // captures the stall directly; parity runs prove chunking never changes
+  // greedy tokens.
+  std::vector<Row> chunk_rows;
+  bool chunk_tokens_match = true;
+  if (scheduler != "window") {
+    std::cout << "\n=== Chunked prefill: long-prompt admits interleaved with "
+                 "decode (48-token prompt every 4th request, per-prompt-token "
+                 "virtual prefill) ===\n\n";
+    const double chunk_rate = 150.0;
+    const auto ltrace = long_prompt_trace(64, chunk_rate);
+    const double ldur = ltrace.back().arrival_s;
+    Table cht({"prefill", "chunk", "served", "served/s", "p99 ms",
+               "decode intervals", "p99 interval ms"});
+    for (std::int64_t chunk : {std::int64_t{0}, std::int64_t{8}}) {
+      auto opts = chunk_options("strip", 1, chunk);
+      std::vector<double> intervals;
+      opts.decode_interval_sink = &intervals;
+      core::InferenceServer server(cfg, opts, 7);
+      auto stats = server.run_trace(ltrace);
+      Row row;
+      row.mode = "chunked";
+      row.rate_hz = chunk_rate;
+      row.offered_hz = static_cast<double>(ltrace.size()) / ldur;
+      row.scheduler = "continuous";
+      row.chunk_tokens = chunk;
+      row.p99_decode_interval_s = p99_of(intervals);
+      row.s = core::summarize_serving(stats);
+      cht.add_row({chunk == 0 ? "monolithic" : "chunked",
+                   std::to_string(chunk), std::to_string(row.s.served),
+                   Table::num(row.s.served_per_s, 1),
+                   Table::num(row.s.p99_latency_s * 1e3, 1),
+                   std::to_string(intervals.size()),
+                   Table::num(row.p99_decode_interval_s * 1e3, 2)});
+      chunk_rows.push_back(std::move(row));
+    }
+    cht.print(std::cout);
+    // Bit-identity: chunking is a scheduling change, never a numerics
+    // change — greedy tokens must match the monolithic baseline for every
+    // request across KV layouts and TP degrees (chunk 5 exercises chunks
+    // that divide neither the prompt lengths nor the 8-token page).
+    const auto ptrace = long_prompt_trace(32, chunk_rate);
+    std::vector<std::vector<core::RequestStats>> chunk_runs;
+    for (const std::string kv_mode : {"strip", "paged", "paged+prefix"}) {
+      for (std::int64_t tp : {std::int64_t{1}, std::int64_t{2}}) {
+        if (cfg.heads % tp != 0) continue;
+        for (std::int64_t chunk :
+             {std::int64_t{0}, std::int64_t{5}, std::int64_t{8}}) {
+          core::InferenceServer server(cfg, chunk_options(kv_mode, tp, chunk),
+                                       7);
+          chunk_runs.push_back(server.run_trace(ptrace));
+        }
+      }
+    }
+    for (std::size_t i = 0; i < ptrace.size(); ++i) {
+      for (const auto& stats : chunk_runs) {
+        chunk_tokens_match = chunk_tokens_match && stats[i].served() &&
+                             stats[i].tokens == chunk_runs.front()[i].tokens;
+      }
+    }
+    std::cout << "\nExpected: bounding each iteration's prefill to the chunk "
+                 "budget keeps one-token decode rows flowing beside long-"
+                 "prompt admits, so the p99 inter-decode-step interval "
+                 "collapses while goodput holds and greedy tokens stay "
+                 "bit-identical ("
+              << (chunk_tokens_match ? "verified" : "VIOLATED")
+              << " across strip/paged/paged+prefix x tp{1,2} x chunk{0,5,8} "
+                 "on this replay).\n";
+  }
+
   std::string json_path;
 #if defined(DSINFER_REPO_ROOT)
   json_path = std::string(DSINFER_REPO_ROOT) + "/BENCH_serving.json";
@@ -615,6 +752,7 @@ int main(int argc, char** argv) {
     all.insert(all.end(), tp_rows.begin(), tp_rows.end());
     all.insert(all.end(), fleet_rows.begin(), fleet_rows.end());
     all.insert(all.end(), cap_rows.begin(), cap_rows.end());
+    all.insert(all.end(), chunk_rows.begin(), chunk_rows.end());
     all.insert(all.end(), attr_rows.begin(), attr_rows.end());
     std::ofstream out(json_path);
     out << "[\n";
@@ -629,6 +767,8 @@ int main(int argc, char** argv) {
           << ", \"kv_mode\": \"" << r.kv_mode
           << "\", \"prefix_hit_rate\": " << r.prefix_hit_rate
           << ", \"step_s\": " << r.step_s
+          << ", \"chunk_tokens\": " << r.chunk_tokens
+          << ", \"p99_decode_interval_s\": " << r.p99_decode_interval_s
           << ", \"phase\": \"" << r.phase
           << "\", \"phase_share\": " << r.phase_share
           << ", \"phase_total_s\": " << r.phase_total_s
@@ -774,6 +914,33 @@ int main(int argc, char** argv) {
                 << " kv capacity output parity across strip/paged/"
                    "paged+prefix\n";
       pass = pass && cap_tokens_match;
+    }
+    // Chunked-prefill gate (ISSUE 9): with per-prompt-token virtual prefill
+    // on the mixed long/short trace, chunking must cut the p99 inter-decode-
+    // step interval to <= 0.5x the monolithic admit path at equal-or-better
+    // goodput, with bit-identical greedy tokens across KV layouts, TP
+    // degrees, and chunk sizes.
+    if (chunk_rows.size() == 2) {
+      const auto& mono = chunk_rows[0];
+      const auto& chk = chunk_rows[1];
+      bool ok = mono.p99_decode_interval_s > 0 &&
+                chk.p99_decode_interval_s <= 0.5 * mono.p99_decode_interval_s;
+      std::cout << (ok ? "PASS" : "FAIL")
+                << " chunked prefill p99 decode interval: "
+                << chk.p99_decode_interval_s * 1e3 << " ms vs monolithic "
+                << mono.p99_decode_interval_s * 1e3 << " ms (need <= 0.5x)\n";
+      pass = pass && ok;
+      ok = chk.s.served >= mono.s.served &&
+           chk.s.served_per_s >= 0.999 * mono.s.served_per_s;
+      std::cout << (ok ? "PASS" : "FAIL") << " chunked prefill goodput: served "
+                << chk.s.served << " @ " << chk.s.served_per_s
+                << "/s vs monolithic " << mono.s.served << " @ "
+                << mono.s.served_per_s << "/s (need equal-or-better)\n";
+      pass = pass && ok;
+      std::cout << (chunk_tokens_match ? "PASS" : "FAIL")
+                << " chunked prefill output parity across kv modes x tp x "
+                   "chunk sizes\n";
+      pass = pass && chunk_tokens_match;
     }
     if (!pass) return 1;
     std::cout << "serving regression gate: PASS\n";

@@ -45,7 +45,9 @@ struct ContinuousBatcher::Lane {
 ContinuousBatcher::ContinuousBatcher(
     InferenceEngine& primary, std::function<InferenceEngine&()> degraded,
     const ServerOptions& opts,
-    std::function<double(std::int64_t, bool)> estimate_s, std::uint64_t seed)
+    std::function<double(std::int64_t, std::int64_t, bool, std::int64_t)>
+        estimate_s,
+    std::uint64_t seed)
     : primary_(primary), degraded_factory_(std::move(degraded)), opts_(opts),
       estimate_s_(std::move(estimate_s)), seed_(seed) {}
 
@@ -246,8 +248,17 @@ void ContinuousBatcher::run(const std::vector<TimedRequest>& requests,
       st.arrival_s = rq.arrival_s;
       st.deadline_s = rq.deadline_s;
 
+      // Prompt-aware admission pricing (ISSUE 9): the estimate carries the
+      // prompt length so long prompts price their prefill, discounted by the
+      // tokens already resident in the target lane's prefix cache (they are
+      // reused, not recomputed). A lane that doesn't exist yet has no cache.
+      Lane* target = overload ? degraded_lane_.get() : primary_lane_.get();
+      const std::int64_t hit_tokens =
+          target ? target->decoder.resident_prefix_tokens(rq.prompt) : 0;
       if (res.admission_control && rq.deadline_s < kNoDeadline &&
-          clock + estimate_s_(rq.new_tokens, overload) > rq.deadline_s) {
+          clock + estimate_s_(static_cast<std::int64_t>(rq.prompt.size()),
+                              rq.new_tokens, overload, hit_tokens) >
+              rq.deadline_s) {
         st.start_s = st.finish_s = clock;  // decision instant; no service
         st.outcome = RequestStats::Outcome::kShed;
         st.attr.add(obs::Phase::kShed, clock - rq.arrival_s);
@@ -328,9 +339,17 @@ void ContinuousBatcher::run(const std::vector<TimedRequest>& requests,
       lane.phases[static_cast<std::size_t>(slot)].add(
           obs::Phase::kRetryBackoff, clock - st.start_s);
       st.attr.add(obs::Phase::kAdmissionWait, st.start_s - rq.arrival_s);
+      // Prefill is charged per chunk (ISSUE 9): admit() ran only the first
+      // prefill_chunk_tokens prompt rows (all of them when chunking is off);
+      // later chunks ride — and are priced inside — subsequent step()s.
       const double prefill_dt =
-          vs.enabled ? vs.prefill_s * (lane.degraded ? vs.degraded_factor : 1.0)
-                     : measured_s;
+          vs.enabled
+              ? (vs.prefill_s +
+                 vs.prefill_token_s *
+                     static_cast<double>(
+                         lane.decoder.last_step_prefill_rows())) *
+                    (lane.degraded ? vs.degraded_factor : 1.0)
+              : measured_s;
       if (vs.enabled) {
         charge_active(prefill_dt, obs::Phase::kPrefill);
       } else {
@@ -346,8 +365,17 @@ void ContinuousBatcher::run(const std::vector<TimedRequest>& requests,
     }
   };
 
+  // Inter-decode-step interval probe (ISSUE 9): the bench's stall metric.
+  // Marks the clock at every decode-bearing primary-lane iteration; the gap
+  // between consecutive marks accumulates whatever ran in between (admit
+  // prefill chunks, backoff, the degraded lane) — exactly the stall a
+  // monolithic long-prompt admit injects into co-scheduled decodes.
+  std::vector<double>* interval_sink = opts_.decode_interval_sink;
+  double decode_mark = -1;
+
   // One decode iteration over a lane: every live sequence advances one
-  // token, finished sequences retire (and free their slots) immediately.
+  // token (mid-prefill sequences advance one prompt chunk), finished
+  // sequences retire (and free their slots) immediately.
   auto step_lane = [&](Lane* lane) {
     if (!lane || lane->decoder.active() == 0) return;
     std::int64_t tries = 0;
@@ -370,15 +398,38 @@ void ContinuousBatcher::run(const std::vector<TimedRequest>& requests,
       }
       return;
     }
-    const double step_dt =
-        vs.enabled ? vs.per_token_s * (lane->degraded ? vs.degraded_factor : 1.0)
-                   : measured_s;
+    const std::int64_t prefill_rows = lane->decoder.last_step_prefill_rows();
+    const std::int64_t decode_rows = lane->decoder.last_step_decode_rows();
+    const double factor = lane->degraded ? vs.degraded_factor : 1.0;
     if (vs.enabled) {
-      charge_active(step_dt, obs::Phase::kDecodeCompute);
+      // Price the fused iteration as max(prefill part, decode part), split
+      // by row type for attribution (ISSUE 9): the one-token decode rows
+      // are memory-bound, so a bounded prompt chunk rides the iteration's
+      // idle compute — the piggyback that makes chunked prefill nearly free
+      // is the model, not a special case. Monolithic prefill runs inside
+      // admit() with nothing to overlap and pays its full serial price; a
+      // pure-prefill iteration (no decode-ready slot) likewise pays its
+      // chunk alone.
+      const double prefill_part =
+          vs.prefill_token_s * static_cast<double>(prefill_rows) * factor;
+      const double decode_dt = decode_rows > 0 ? vs.per_token_s * factor : 0.0;
+      const double prefill_dt =
+          std::max(prefill_part, decode_dt) - decode_dt;
+      charge_active(prefill_dt, obs::Phase::kPrefill);
+      charge_active(decode_dt, obs::Phase::kDecodeCompute);
+      clock += prefill_dt + decode_dt;
     } else {
-      charge_split(step_dt, sub, obs::Phase::kDecodeCompute);
+      // Measured mode can't separate the fused rows' wall time; attribute
+      // the remainder to the dominant row type.
+      charge_split(measured_s, sub,
+                   decode_rows > 0 ? obs::Phase::kDecodeCompute
+                                   : obs::Phase::kPrefill);
+      clock += measured_s;
     }
-    clock += step_dt;
+    if (interval_sink && !lane->degraded && decode_rows > 0) {
+      if (decode_mark >= 0) interval_sink->push_back(clock - decode_mark);
+      decode_mark = clock;
+    }
     for (std::int64_t s = 0; s < lane->decoder.capacity(); ++s) {
       if (lane->decoder.arena().in_use(s) && lane->decoder.finished(s)) {
         finalize(*lane, s, false, clock);

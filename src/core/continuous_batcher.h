@@ -31,13 +31,17 @@ class ContinuousBatcher {
  public:
   // `degraded` lazily supplies the degraded-fidelity engine; it is invoked
   // at most once, the first time an arrival is routed to the overload path.
-  // `estimate_s(new_tokens, degraded)` predicts service time for admission
-  // control (the server's EWMA/virtual estimator).
-  ContinuousBatcher(InferenceEngine& primary,
-                    std::function<InferenceEngine&()> degraded,
-                    const ServerOptions& opts,
-                    std::function<double(std::int64_t, bool)> estimate_s,
-                    std::uint64_t seed);
+  // `estimate_s(prompt_tokens, new_tokens, degraded, prefix_hit_tokens)`
+  // predicts service time for admission control (the server's EWMA/virtual
+  // estimator) — prompt-aware since ISSUE 9, with `prefix_hit_tokens`
+  // prompt tokens already resident in the target lane's prefix cache
+  // discounted from the prefill term.
+  ContinuousBatcher(
+      InferenceEngine& primary, std::function<InferenceEngine&()> degraded,
+      const ServerOptions& opts,
+      std::function<double(std::int64_t, std::int64_t, bool, std::int64_t)>
+          estimate_s,
+      std::uint64_t seed);
   ~ContinuousBatcher();
 
   // Replays `requests` on the virtual clock. `order` holds indices into
@@ -56,7 +60,8 @@ class ContinuousBatcher {
   InferenceEngine& primary_;
   std::function<InferenceEngine&()> degraded_factory_;
   const ServerOptions& opts_;
-  std::function<double(std::int64_t, bool)> estimate_s_;
+  std::function<double(std::int64_t, std::int64_t, bool, std::int64_t)>
+      estimate_s_;
   std::uint64_t seed_;
   std::unique_ptr<Lane> primary_lane_;
   std::unique_ptr<Lane> degraded_lane_;  // built on first overload routing

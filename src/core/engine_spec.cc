@@ -59,6 +59,10 @@ EngineSpec& EngineSpec::kv_prefix_cache(bool on) {
   opts_.kv_prefix_cache = on;
   return *this;
 }
+EngineSpec& EngineSpec::prefill_chunk_tokens(std::int64_t n) {
+  opts_.prefill_chunk_tokens = n;
+  return *this;
+}
 EngineSpec& EngineSpec::fault_injector(util::FaultInjector* inj) {
   opts_.fault_injector = inj;
   return *this;
@@ -110,6 +114,13 @@ std::vector<ConfigError> EngineSpec::validate() const {
     add(errs, ConfigError::Code::kBadKvPaging,
         "EngineSpec: kv_pages and kv_prefix_cache require paging "
         "(kv_page_tokens > 0)");
+  }
+  // Chunked prefill (ISSUE 9): 0 = monolithic; a positive chunk bounds the
+  // prompt tokens any single fused iteration may prefill. Works on every
+  // substrate and KV layout, so the only constraint is the sign.
+  if (opts_.prefill_chunk_tokens < 0) {
+    add(errs, ConfigError::Code::kBadEngineLimit,
+        "EngineSpec: prefill_chunk_tokens must be >= 0 (0 = monolithic)");
   }
   return errs;
 }

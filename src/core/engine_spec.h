@@ -46,6 +46,8 @@ class EngineSpec {
   EngineSpec& kv_page_tokens(std::int64_t n);
   EngineSpec& kv_pages(std::int64_t n);
   EngineSpec& kv_prefix_cache(bool on);
+  // Chunked prefill (ISSUE 9): see EngineOptions::prefill_chunk_tokens.
+  EngineSpec& prefill_chunk_tokens(std::int64_t n);
   EngineSpec& fault_injector(util::FaultInjector* inj);
   EngineSpec& stream_max_retries(std::int64_t n);
 

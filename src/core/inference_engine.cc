@@ -1,7 +1,9 @@
 #include "core/inference_engine.h"
 
+#include <algorithm>
 #include <cstring>
 #include <functional>
+#include <limits>
 #include <stdexcept>
 
 #include "core/engine_spec.h"
@@ -624,6 +626,26 @@ std::int32_t RaggedDecoder::sample_row(std::span<const float> logits_row) {
   return sample_token(logits_row, sampling_, rng_);
 }
 
+void RaggedDecoder::publish_chunk(std::int64_t slot,
+                                  std::span<const std::int32_t> prompt) {
+  if (!arenas_[0].prefix_cache_enabled()) return;
+  const std::int64_t pub = arenas_[0].publish_prefix(slot, prompt);
+  for (std::size_t r = 1; r < arenas_.size(); ++r) {
+    if (arenas_[r].publish_prefix(slot, prompt) != pub) {
+      throw std::logic_error("RaggedDecoder: arena shards diverged");
+    }
+  }
+  // Published pages moved from this slot's private commitment to the
+  // cache's shared-held accounting; drop them so can_admit doesn't count
+  // them twice. publish_prefix covers only fully written prompt pages, so a
+  // chunk boundary landing mid-page leaves that page private until a later
+  // chunk completes it.
+  auto& c = commit_[static_cast<std::size_t>(slot)];
+  const std::int64_t drop = std::min(pub, c);
+  c -= drop;
+  committed_pages_ -= drop;
+}
+
 std::int64_t RaggedDecoder::admit(const std::vector<std::int32_t>& prompt,
                                   std::int64_t max_new) {
   if (prompt.empty()) throw std::invalid_argument("admit: empty prompt");
@@ -658,24 +680,34 @@ std::int64_t RaggedDecoder::admit(const std::vector<std::int32_t>& prompt,
           : 1;
   committed_pages_ += commit_[static_cast<std::size_t>(slot)];
   prompt_tokens_ += P;
+  // Counted at the same commit point as prompt_tokens_ and the arena's hit
+  // counter, so prompt_tokens == prefix_hit_tokens + suffix_prefill_tokens
+  // holds exactly — including across faulted-and-retried admissions, which
+  // re-run the match and re-count all three sides (ISSUE 9 metric audit).
+  suffix_tokens_ += P - matched;
 
   auto& seq = seqs_[static_cast<std::size_t>(slot)];
   seq = Seq{};
   seq.tokens = prompt;
   seq.prompt_len = P;
   seq.max_new = max_new;
+  seq.prefill_pos = matched;
 
   const std::int64_t H = eng_.config().hidden;
   const std::int64_t V = eng_.config().vocab;
   const std::int64_t S = P - matched;  // suffix still to prefill
-  toks_.assign(prompt.begin() + matched, prompt.end());
-  poss_.resize(static_cast<std::size_t>(S));
-  slot_ids_.assign(static_cast<std::size_t>(S),
+  // Chunked prefill (ISSUE 9): run only the first chunk here; step() carries
+  // the cursor forward interleaved with the other slots' decode rows.
+  const std::int64_t chunk = eng_.opts_.prefill_chunk_tokens;
+  const std::int64_t rows = (chunk > 0 && chunk < S) ? chunk : S;
+  toks_.assign(prompt.begin() + matched, prompt.begin() + matched + rows);
+  poss_.resize(static_cast<std::size_t>(rows));
+  slot_ids_.assign(static_cast<std::size_t>(rows),
                    static_cast<std::int32_t>(slot));
-  for (std::int64_t i = 0; i < S; ++i) {
+  for (std::int64_t i = 0; i < rows; ++i) {
     poss_[static_cast<std::size_t>(i)] = static_cast<std::int32_t>(matched + i);
   }
-  x_.resize(static_cast<std::size_t>(S * H));
+  x_.resize(static_cast<std::size_t>(rows * H));
   eng_.weights_.embed(toks_, poss_, x_);
   try {
     run_ragged(slot_ids_, poss_);
@@ -686,32 +718,24 @@ std::int64_t RaggedDecoder::admit(const std::vector<std::int32_t>& prompt,
     release_all(slot);
     throw;
   }
-  if (arenas_[0].prefix_cache_enabled()) {
-    const std::int64_t pub = arenas_[0].publish_prefix(slot, prompt);
-    for (std::size_t r = 1; r < arenas_.size(); ++r) {
-      if (arenas_[r].publish_prefix(slot, prompt) != pub) {
-        throw std::logic_error("RaggedDecoder: arena shards diverged");
-      }
-    }
-    // Published pages moved from this slot's private commitment to the
-    // cache's shared-held accounting; drop them so can_admit doesn't count
-    // them twice.
-    auto& c = commit_[static_cast<std::size_t>(slot)];
-    const std::int64_t drop = std::min(pub, c);
-    c -= drop;
-    committed_pages_ -= drop;
-  }
+  seq.prefill_pos = matched + rows;
+  last_prefill_rows_ = rows;
+  last_decode_rows_ = 0;
+  publish_chunk(slot, prompt);
 
-  logits_.resize(static_cast<std::size_t>(V));
-  eng_.weights_.lm_head(
-      std::span<const float>(x_).subspan(static_cast<std::size_t>((S - 1) * H),
-                                         static_cast<std::size_t>(H)),
-      logits_, 1);
-  const std::int32_t tok = sample_row(logits_);
-  seq.tokens.push_back(tok);
-  seq.next_tok = tok;
-  seq.generated = 1;
-  seq.stopped = sampling_.stop_token >= 0 && tok == sampling_.stop_token;
+  if (seq.prefill_pos == P) {
+    logits_.resize(static_cast<std::size_t>(V));
+    eng_.weights_.lm_head(
+        std::span<const float>(x_).subspan(
+            static_cast<std::size_t>((rows - 1) * H),
+            static_cast<std::size_t>(H)),
+        logits_, 1);
+    const std::int32_t tok = sample_row(logits_);
+    seq.tokens.push_back(tok);
+    seq.next_tok = tok;
+    seq.generated = 1;
+    seq.stopped = sampling_.stop_token >= 0 && tok == sampling_.stop_token;
+  }
   offload_cycle();
   publish_kv_metrics();
   return slot;
@@ -719,14 +743,69 @@ std::int64_t RaggedDecoder::admit(const std::vector<std::int32_t>& prompt,
 
 std::int64_t RaggedDecoder::step() {
   // Live set in ascending slot order: deterministic for a given admission
-  // history, independent of retirement order.
+  // history, independent of retirement order. Mid-prefill slots share one
+  // global budget of prefill_chunk_tokens prompt rows per iteration (slot
+  // order, first-come) so the iteration's prefill work — and its charge on
+  // the virtual clock — stays bounded no matter how many long prompts are
+  // in flight; every other unfinished slot contributes one decode row — all
+  // in the same fused ragged step (ISSUE 9).
+  const std::int64_t chunk = eng_.opts_.prefill_chunk_tokens;
+  std::int64_t budget =
+      chunk > 0 ? chunk : std::numeric_limits<std::int64_t>::max();
   slot_ids_.clear();
+  toks_.clear();
+  poss_.clear();
+  step_slots_.clear();
+  step_pre_len_.clear();
+  step_prefill_rows_.clear();
+  sample_slots_.clear();
+  sample_row_idx_.clear();
+  last_prefill_rows_ = 0;
+  last_decode_rows_ = 0;
   for (std::int64_t s = 0; s < slots_; ++s) {
-    if (arenas_[0].in_use(s) && !finished(s)) {
+    if (!arenas_[0].in_use(s)) continue;
+    auto& seq = seqs_[static_cast<std::size_t>(s)];
+    std::int64_t prefill_rows = 0;
+    if (seq.prefill_pos < seq.prompt_len) {
+      // Mid-prefill: the next chunk of prompt rows, cursor onward, capped
+      // by what is left of this iteration's budget. A slot that gets no
+      // budget sits the iteration out (it cannot decode yet either).
+      const std::int64_t left = seq.prompt_len - seq.prefill_pos;
+      const std::int64_t rows = std::min(left, budget);
+      if (rows == 0) continue;
+      budget -= rows;
+      prefill_rows = rows;
+      for (std::int64_t i = 0; i < rows; ++i) {
+        slot_ids_.push_back(static_cast<std::int32_t>(s));
+        toks_.push_back(
+            seq.tokens[static_cast<std::size_t>(seq.prefill_pos + i)]);
+        poss_.push_back(static_cast<std::int32_t>(seq.prefill_pos + i));
+      }
+      if (seq.prefill_pos + rows == seq.prompt_len) {
+        // This chunk completes the prompt: its final row's logits sample
+        // the sequence's first token.
+        sample_slots_.push_back(static_cast<std::int32_t>(s));
+        sample_row_idx_.push_back(
+            static_cast<std::int64_t>(slot_ids_.size()) - 1);
+      }
+      last_prefill_rows_ += rows;
+    } else if (!finished(s)) {
       slot_ids_.push_back(static_cast<std::int32_t>(s));
+      toks_.push_back(seq.next_tok);
+      poss_.push_back(static_cast<std::int32_t>(arenas_[0].seq_len(s)));
+      sample_slots_.push_back(static_cast<std::int32_t>(s));
+      sample_row_idx_.push_back(static_cast<std::int64_t>(slot_ids_.size()) -
+                                1);
+      ++last_decode_rows_;
+    } else {
+      continue;
     }
+    step_slots_.push_back(static_cast<std::int32_t>(s));
+    step_pre_len_.push_back(arenas_[0].seq_len(s));
+    step_prefill_rows_.push_back(prefill_rows);
   }
   const std::int64_t n = static_cast<std::int64_t>(slot_ids_.size());
+  const std::int64_t advanced = static_cast<std::int64_t>(step_slots_.size());
   if (n == 0) return 0;
 
   obs::TraceScope step_scope(
@@ -734,46 +813,61 @@ std::int64_t RaggedDecoder::step() {
                                      : std::string());
   const std::int64_t H = eng_.config().hidden;
   const std::int64_t V = eng_.config().vocab;
-  toks_.resize(static_cast<std::size_t>(n));
-  poss_.resize(static_cast<std::size_t>(n));
-  for (std::int64_t i = 0; i < n; ++i) {
-    const std::int64_t slot = slot_ids_[static_cast<std::size_t>(i)];
-    toks_[static_cast<std::size_t>(i)] =
-        seqs_[static_cast<std::size_t>(slot)].next_tok;
-    poss_[static_cast<std::size_t>(i)] =
-        static_cast<std::int32_t>(arenas_[0].seq_len(slot));
-  }
   x_.resize(static_cast<std::size_t>(n * H));
   eng_.weights_.embed(toks_, poss_, x_);
   try {
     run_ragged(slot_ids_, poss_);
   } catch (...) {
-    // A fault mid-stack leaves the early layers one position ahead of the
-    // rest; rewind every live slot on every shard to its pre-step length so
-    // a retry sees a consistent arena (the all-reduce barriers keep ranks in
+    // A fault mid-stack leaves the early layers ahead of the rest; rewind
+    // every participating slot on every shard to its pre-step length so a
+    // retry sees a consistent arena (the all-reduce barriers keep ranks in
     // lockstep, so every shard appended the same layers before the fault).
-    for (std::int64_t i = 0; i < n; ++i) {
-      rewind_all(slot_ids_[static_cast<std::size_t>(i)],
-                 poss_[static_cast<std::size_t>(i)]);
+    // One rewind per slot — a mid-prefill slot's whole chunk unwinds to the
+    // cursor, which only advances after a successful step.
+    for (std::size_t i = 0; i < step_slots_.size(); ++i) {
+      rewind_all(step_slots_[i], step_pre_len_[i]);
     }
     throw;
   }
-  logits_.resize(static_cast<std::size_t>(n * V));
-  eng_.weights_.lm_head(x_, logits_, n);
-  for (std::int64_t i = 0; i < n; ++i) {
-    auto& seq = seqs_[static_cast<std::size_t>(slot_ids_[static_cast<std::size_t>(i)])];
-    const std::int32_t tok = sample_row(std::span<const float>(logits_).subspan(
-        static_cast<std::size_t>(i * V), static_cast<std::size_t>(V)));
-    seq.tokens.push_back(tok);
-    seq.next_tok = tok;
-    ++seq.generated;
-    if (sampling_.stop_token >= 0 && tok == sampling_.stop_token) {
-      seq.stopped = true;
+  // Advance prefill cursors by exactly the rows each slot ran and publish
+  // completed prompt pages per chunk.
+  for (std::size_t i = 0; i < step_slots_.size(); ++i) {
+    if (step_prefill_rows_[i] == 0) continue;
+    auto& seq = seqs_[static_cast<std::size_t>(step_slots_[i])];
+    seq.prefill_pos += step_prefill_rows_[i];
+    publish_chunk(step_slots_[i], seq.tokens);
+  }
+  // Sampling runs only over the decode rows and the final prompt row of any
+  // slot that just completed prefill, gathered compactly (per-row lm_head
+  // results are independent of the gather, so greedy tokens stay
+  // bit-identical to monolithic prefill).
+  const std::int64_t k = static_cast<std::int64_t>(sample_slots_.size());
+  if (k > 0) {
+    last_.resize(static_cast<std::size_t>(k * H));
+    for (std::int64_t i = 0; i < k; ++i) {
+      std::memcpy(last_.data() + i * H,
+                  x_.data() + sample_row_idx_[static_cast<std::size_t>(i)] * H,
+                  static_cast<std::size_t>(H) * sizeof(float));
+    }
+    logits_.resize(static_cast<std::size_t>(k * V));
+    eng_.weights_.lm_head(last_, logits_, k);
+    for (std::int64_t i = 0; i < k; ++i) {
+      auto& seq =
+          seqs_[static_cast<std::size_t>(sample_slots_[static_cast<std::size_t>(i)])];
+      const std::int32_t tok =
+          sample_row(std::span<const float>(logits_).subspan(
+              static_cast<std::size_t>(i * V), static_cast<std::size_t>(V)));
+      seq.tokens.push_back(tok);
+      seq.next_tok = tok;
+      ++seq.generated;
+      if (sampling_.stop_token >= 0 && tok == sampling_.stop_token) {
+        seq.stopped = true;
+      }
     }
   }
   offload_cycle();
   publish_kv_metrics();
-  return n;
+  return advanced;
 }
 
 bool RaggedDecoder::finished(std::int64_t slot) const {

@@ -68,6 +68,17 @@ struct EngineOptions {
   // identical prompt prefixes dedup onto refcounted shared page chains,
   // prefill runs only the unmatched suffix.
   bool kv_prefix_cache = false;
+  // Chunked prefill (ISSUE 9). 0 runs the whole prompt suffix inside
+  // admit() (monolithic — the legacy behavior). > 0 bounds the prompt
+  // tokens any single fused iteration may prefill: admit() runs only the
+  // first chunk, and each subsequent step() advances at most this many
+  // prompt rows TOTAL across all mid-prefill slots (one global budget,
+  // slot order, first-come), interleaved with the one-token decode rows of
+  // the other live slots in the same ragged step — so the per-iteration
+  // prefill work stays bounded no matter how many long prompts are in
+  // flight. Greedy token streams stay bit-identical to monolithic prefill
+  // (per-row reduction order is independent of co-batched row count).
+  std::int64_t prefill_chunk_tokens = 0;
   // Chaos hooks (ISSUE 1). When set, streamed weight reads draw from the
   // injector's "zero.stream" site; corrupted reads are retried (with
   // checksum verification) up to stream_max_retries before a StreamFault.
@@ -254,21 +265,56 @@ class RaggedDecoder {
   }
   // Lifetime prompt tokens across admissions — the hit-rate denominator.
   std::int64_t prompt_tokens() const { return prompt_tokens_; }
+  // Lifetime suffix tokens committed for prefill at admission (the part of
+  // each prompt past its prefix-cache match). Counted at the same commit
+  // point as prompt_tokens() and the arena's prefix_hit_tokens(), so the
+  // accounting identity
+  //     prompt_tokens() == prefix_hit_tokens() + suffix_prefill_tokens()
+  // holds exactly, including across faulted-and-retried admissions (ISSUE 9
+  // metric audit: matched tokens are never charged as prefill work twice).
+  std::int64_t suffix_prefill_tokens() const { return suffix_tokens_; }
   // Cache-contents probe for fleet prefix-affinity routing.
   std::int64_t cached_prefix_tokens(
       std::span<const std::int32_t> prompt) const {
     return arenas_[0].cached_prefix_tokens(prompt);
   }
+  // Read-only probe of how many of `prompt`'s tokens are covered by resident
+  // shared-prefix pages right now — the admission estimator's discount
+  // (resident tokens won't be prefilled). 0 when the cache is off.
+  std::int64_t resident_prefix_tokens(
+      std::span<const std::int32_t> prompt) const {
+    return arenas_[0].probe_prefix(prompt).tokens;
+  }
 
-  // Prefill: runs `prompt` through the model and samples the sequence's
-  // first token. Returns the slot id, or -1 when no slot is free. The
-  // sequence may already be finished on return (max_new == 1 or immediate
-  // stop) — check finished() before waiting on step().
+  // Chunked-prefill progress (ISSUE 9). prefill_remaining(slot) is the
+  // count of prompt tokens not yet run through the layers; > 0 means the
+  // slot is mid-prefill (it has no sampled token yet and contributes prompt
+  // rows, not a decode row, to the next step()).
+  std::int64_t prefill_remaining(std::int64_t slot) const {
+    const Seq& s = checked(slot);
+    return s.prompt_len - s.prefill_pos;
+  }
+  // Row counts of the most recent admit()/step() call — the virtual-clock
+  // schedulers price prefill per chunk (prefill rows actually run this
+  // iteration), not per admission, off these.
+  std::int64_t last_step_prefill_rows() const { return last_prefill_rows_; }
+  std::int64_t last_step_decode_rows() const { return last_decode_rows_; }
+
+  // Prefill: reserves the slot's full page commitment and runs the prompt
+  // suffix through the model — all of it when prefill_chunk_tokens == 0
+  // (sampling the first token before returning), otherwise only the first
+  // chunk (the slot returns mid-prefill; step() advances the cursor and
+  // samples the first token when the final prompt row runs). Returns the
+  // slot id, or -1 when no slot is free. The sequence may already be
+  // finished on return (max_new == 1 or immediate stop) — check finished()
+  // before waiting on step().
   std::int64_t admit(const std::vector<std::int32_t>& prompt,
                      std::int64_t max_new);
 
-  // One decode iteration over every live (active, unfinished) sequence;
-  // returns how many sequences advanced (0 = nothing to do).
+  // One fused iteration over every live slot: mid-prefill slots share a
+  // global budget of up to prefill_chunk_tokens prompt rows (slot order),
+  // every other unfinished slot contributes one decode row, all in the same
+  // ragged step. Returns how many sequences advanced (0 = nothing to do).
   std::int64_t step();
 
   bool finished(std::int64_t slot) const;  // stopped or budget exhausted
@@ -299,11 +345,22 @@ class RaggedDecoder {
     std::int64_t prompt_len = 0;
     std::int64_t max_new = 0;
     std::int64_t generated = 0;
+    // Prefill cursor (ISSUE 9): prompt tokens already resident in the KV
+    // arena (prefix-cache match + chunks run so far). == prompt_len once
+    // prefill is complete; advanced only after a fused step succeeds, so a
+    // faulted step rewinds to a consistent cursor for free.
+    std::int64_t prefill_pos = 0;
     std::int32_t next_tok = 0;  // sampled, not yet fed through the layers
     bool stopped = false;
   };
   const Seq& checked(std::int64_t slot) const;
   std::int32_t sample_row(std::span<const float> logits_row);
+  // Lockstep publish of the slot's completed prompt pages into the shared
+  // prefix cache, dropping published pages from the slot's private
+  // commitment. Called after every successful prefill chunk — publish_prefix
+  // only ever publishes fully written pages, so a chunk boundary landing
+  // mid-page defers that page to the chunk that completes it.
+  void publish_chunk(std::int64_t slot, std::span<const std::int32_t> prompt);
   // Applies one lifecycle op to every rank's shard (lockstep).
   std::int64_t acquire_all();
   void release_all(std::int64_t slot);
@@ -333,6 +390,10 @@ class RaggedDecoder {
   std::vector<std::int64_t> commit_;
   std::int64_t committed_pages_ = 0;
   std::int64_t prompt_tokens_ = 0;
+  std::int64_t suffix_tokens_ = 0;  // see suffix_prefill_tokens()
+  // Prefill/decode row counts of the most recent admit()/step().
+  std::int64_t last_prefill_rows_ = 0;
+  std::int64_t last_decode_rows_ = 0;
   // Last-published arena counter values (publish_kv_metrics deltas).
   std::int64_t pub_hits_ = 0, pub_hit_tokens_ = 0, pub_cow_ = 0,
                pub_prompt_tokens_ = 0;
@@ -344,6 +405,15 @@ class RaggedDecoder {
   std::vector<parallel::TpScratch> scratches_;
   std::vector<float> logits_;
   std::vector<std::int32_t> toks_, poss_, slot_ids_;
+  // Mixed prefill+decode step() working state (ISSUE 9): participating
+  // slots with their pre-step arena lengths (fault rewind is one rewind per
+  // slot, not per row), the prefill rows each ran this iteration (0 for
+  // decode rows; drives exact cursor advance under the global chunk
+  // budget), and the rows whose logits feed sampling (each decode row plus
+  // the final prompt row of any slot completing prefill).
+  std::vector<std::int32_t> step_slots_, sample_slots_;
+  std::vector<std::int64_t> step_pre_len_, step_prefill_rows_, sample_row_idx_;
+  std::vector<float> last_;  // gathered sample-row activations
 };
 
 // Byte-level token helpers for the examples (vocab must be >= 256).

@@ -58,25 +58,44 @@ InferenceEngine& InferenceServer::degraded_engine() {
 
 double InferenceServer::estimate_service_s(std::int64_t new_tokens,
                                            bool degraded) const {
+  return estimate_service_s(0, new_tokens, degraded, 0);
+}
+
+double InferenceServer::estimate_service_s(
+    std::int64_t prompt_tokens, std::int64_t new_tokens, bool degraded,
+    std::int64_t prefix_hit_tokens) const {
+  // Prefill work is the suffix past the resident prefix-cache hit — matched
+  // tokens are reused, not recomputed, so they must not be priced (ISSUE 9:
+  // the old estimator ignored the prompt entirely; pricing the full prompt
+  // would over-shed cache-warm requests instead).
+  const std::int64_t suffix =
+      std::max<std::int64_t>(0, prompt_tokens - prefix_hit_tokens);
   const auto& vs = opts_.virtual_service;
   if (vs.enabled) {
-    return (vs.base_s + vs.per_token_s * static_cast<double>(new_tokens)) *
+    return (vs.base_s + vs.prefill_token_s * static_cast<double>(suffix) +
+            vs.per_token_s * static_cast<double>(new_tokens)) *
            (degraded ? vs.degraded_factor : 1.0);
   }
   // Measured mode: fixed invocation cost plus per-decode-step cost, so a
   // 100-token request predicts ~10x the service of a 10-token one instead
-  // of the same number (ISSUE 4 satellite). Both terms are 0 until the
+  // of the same number (ISSUE 4 satellite). All terms are 0 until the
   // first observed batch.
   return ewma_base_s_ +
+         ewma_prefill_token_s_ * static_cast<double>(suffix) +
          ewma_per_token_s_ * static_cast<double>(new_tokens);
 }
 
-void InferenceServer::observe_service(double base_s, double per_token_s) {
+void InferenceServer::observe_service(double base_s, double per_token_s,
+                                      double prefill_token_s) {
   ewma_base_s_ =
       ewma_base_s_ == 0 ? base_s : 0.7 * ewma_base_s_ + 0.3 * base_s;
   ewma_per_token_s_ = ewma_per_token_s_ == 0
                           ? per_token_s
                           : 0.7 * ewma_per_token_s_ + 0.3 * per_token_s;
+  ewma_prefill_token_s_ =
+      ewma_prefill_token_s_ == 0
+          ? prefill_token_s
+          : 0.7 * ewma_prefill_token_s_ + 0.3 * prefill_token_s;
 }
 
 std::vector<RequestStats> InferenceServer::run_trace(
@@ -147,8 +166,10 @@ std::vector<RequestStats> InferenceServer::run_continuous(
   ContinuousBatcher batcher(
       engine_, [this]() -> InferenceEngine& { return degraded_engine(); },
       opts_,
-      [this](std::int64_t new_tokens, bool degraded) {
-        return estimate_service_s(new_tokens, degraded);
+      [this](std::int64_t prompt_tokens, std::int64_t new_tokens,
+             bool degraded, std::int64_t prefix_hit_tokens) {
+        return estimate_service_s(prompt_tokens, new_tokens, degraded,
+                                  prefix_hit_tokens);
       },
       seed_);
   batcher.run(requests, order, stats, counters_);
@@ -198,8 +219,13 @@ std::vector<RequestStats> InferenceServer::run_window(
     // Admission control, evaluated at the batch's true start: if the head
     // can no longer meet its deadline, shed it (its joiners stay queued and
     // are re-batched behind the next head).
+    // Prompt-aware pricing (ISSUE 9): the window engine rebuilds its KV
+    // caches per invocation, so there is no resident prefix to discount.
     if (res.admission_control && hr.deadline_s < kNoDeadline &&
-        start + estimate_service_s(hr.new_tokens, false) > hr.deadline_s) {
+        start + estimate_service_s(
+                    static_cast<std::int64_t>(hr.prompt.size()),
+                    hr.new_tokens, false, 0) >
+            hr.deadline_s) {
       auto& st = stats[head];
       st.id = hr.id;
       st.arrival_s = hr.arrival_s;
@@ -287,9 +313,13 @@ std::vector<RequestStats> InferenceServer::run_window(
       }
     }
 
+    const std::int64_t batch_prompt_len =
+        static_cast<std::int64_t>(hr.prompt.size());
     const double service_s =
         !ok ? 0.0
-            : vs.enabled ? estimate_service_s(max_new, degraded) : measured_s;
+            : vs.enabled
+                  ? estimate_service_s(batch_prompt_len, max_new, degraded, 0)
+                  : measured_s;
     // Attribution of the batch's service interval (ISSUE 8): shared by every
     // member, it splits into prefill, the comm/zero/kv sub-phases (measured
     // mode; scaled down if concurrent ranks over-counted wall time), and a
@@ -298,7 +328,9 @@ std::vector<RequestStats> InferenceServer::run_window(
     if (ok) {
       const double factor = degraded ? vs.degraded_factor : 1.0;
       const double prefill_part =
-          vs.enabled ? vs.base_s * factor
+          vs.enabled ? (vs.base_s + vs.prefill_token_s *
+                                        static_cast<double>(batch_prompt_len)) *
+                           factor
                      : std::min(std::max(result.prompt_seconds, 0.0),
                                 service_s);
       double rest = service_s - prefill_part;
@@ -327,7 +359,9 @@ std::vector<RequestStats> InferenceServer::run_window(
       // batch's max_new steps.
       const double decode_s = std::max(0.0, measured_s - result.prompt_seconds);
       observe_service(result.prompt_seconds,
-                      decode_s / static_cast<double>(max_new));
+                      decode_s / static_cast<double>(max_new),
+                      result.prompt_seconds /
+                          static_cast<double>(batch_prompt_len));
     }
     const double finish = start + backoff_s + service_s;
 

@@ -85,6 +85,16 @@ struct VirtualServiceModel {
   // invocation overhead of standing a window batch up, which the always-hot
   // continuous engine does not pay per request.
   double prefill_s = 1e-3;
+  // Per-prompt-token prefill cost (ISSUE 9). 0 keeps the legacy flat-cost
+  // model (prefill priced independent of prompt length). > 0 makes long
+  // prompts cost proportionally more: the admission estimators charge it
+  // serially on the suffix past any resident prefix-cache hit, and the
+  // continuous batcher charges it per chunk actually run. A fused
+  // prefill+decode iteration prices at max(prefill part, per_token_s) —
+  // the one-token decode rows are memory-bound, so a bounded prompt chunk
+  // rides the iteration's idle compute; monolithic prefill runs inside
+  // admit() with nothing to overlap and always pays its full serial price.
+  double prefill_token_s = 0.0;
 };
 
 // Which batch-formation policy run_trace uses (ISSUE 4).
@@ -108,6 +118,13 @@ struct ServerOptions {
   SamplingOptions sampling;
   ResilienceOptions resilience;
   VirtualServiceModel virtual_service;
+  // Bench/diagnostic hook (ISSUE 9): when set, the continuous batcher
+  // appends the clock interval between consecutive decode-bearing
+  // iterations of the primary lane. A monolithic long-prompt admit shows up
+  // as one giant interval (the decode-tail stall chunked prefill removes);
+  // serving_latency gates its p99. Not part of validation; ignored by the
+  // window scheduler.
+  std::vector<double>* decode_interval_sink = nullptr;
 };
 
 inline constexpr double kNoDeadline = std::numeric_limits<double>::infinity();
@@ -208,15 +225,26 @@ class InferenceServer {
   // Virtual mode reads the service model; measured mode blends a per-token
   // EWMA so the estimate scales with the request's ask (ISSUE 4 satellite:
   // the old single-EWMA ignored new_tokens entirely). Public so tests can
-  // assert the scaling.
+  // assert the scaling. The two-argument form prices decode only — the
+  // ISSUE 9 bug was that admission used it for the whole request, leaving
+  // prompt length (prefill cost) invisible and admitting long-prompt
+  // requests into certain deadline misses.
   double estimate_service_s(std::int64_t new_tokens, bool degraded) const;
+  // Prompt-aware form (ISSUE 9): adds a prefill term — per-prompt-token,
+  // discounted by `prefix_hit_tokens` prompt tokens already resident in the
+  // prefix cache (they will not be prefilled). Both admission paths price
+  // through this.
+  double estimate_service_s(std::int64_t prompt_tokens,
+                            std::int64_t new_tokens, bool degraded,
+                            std::int64_t prefix_hit_tokens) const;
 
  private:
   // Lazily built INT8 twin of the primary engine (same seed => same
   // weights); the graceful-degradation path serves on it.
   InferenceEngine& degraded_engine();
   // Folds one measured batch invocation into the EWMA estimator.
-  void observe_service(double base_s, double per_token_s);
+  void observe_service(double base_s, double per_token_s,
+                       double prefill_token_s);
 
   std::vector<RequestStats> run_window(
       const std::vector<TimedRequest>& requests,
@@ -233,8 +261,12 @@ class InferenceServer {
   ServingCounters counters_;
   // Measured-mode service estimator: fixed cost per invocation plus cost per
   // decode step, each tracked as its own EWMA (0 until first observation).
+  // ISSUE 9 adds a per-prompt-token EWMA so long prompts price their
+  // prefill; it leans conservative (the base EWMA already absorbs one
+  // observed prompt's prefill), which is the safe direction for admission.
   double ewma_base_s_ = 0;
   double ewma_per_token_s_ = 0;
+  double ewma_prefill_token_s_ = 0;
 };
 
 }  // namespace dsinfer::core

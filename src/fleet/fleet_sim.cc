@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <deque>
+#include <limits>
 #include <stdexcept>
 #include <unordered_map>
 #include <utility>
@@ -55,6 +56,11 @@ struct SimLane {
     std::int64_t remaining;  // decode iterations left after prefill
     double admit_s;
     std::int64_t occ;  // live sequences at admission
+    // Chunked-prefill occupancy (ISSUE 9): prompt rows still to prefill
+    // after the admit chunk. > 0 means the slot occupies capacity but
+    // advances prompt chunks (priced prefill_token_s per row), not decode
+    // iterations; decode starts when it reaches 0. Always 0 monolithic.
+    std::int64_t prefill_left = 0;
   };
   std::vector<Slot> slots;
 };
@@ -127,10 +133,31 @@ struct SimRun {
   }
 
   double estimate_s(const TimedRequest& rq, bool degraded) const {
+    // Mirrors Replica::estimate_s, prompt term included (ISSUE 9).
     const auto& vs = spec.serve().options().virtual_service;
     return (vs.prefill_s +
+            vs.prefill_token_s * static_cast<double>(rq.prompt.size()) +
             vs.per_token_s * static_cast<double>(rq.new_tokens)) *
            (degraded ? vs.degraded_factor : 1.0);
+  }
+
+  // Chunked prefill (ISSUE 9): prompt rows the admit action runs for a
+  // prompt with `left` unprefilled tokens (0 = monolithic: everything runs
+  // inside the admit action).
+  std::int64_t chunk_rows(std::int64_t left) const {
+    const std::int64_t chunk =
+        spec.serve().options().engine.prefill_chunk_tokens;
+    return (chunk > 0 && chunk < left) ? chunk : left;
+  }
+
+  // Per-iteration global prefill budget, mirroring RaggedDecoder::step():
+  // mid-prefill slots share prefill_chunk_tokens prompt rows per fused
+  // iteration in slot order (unbounded when monolithic — but then
+  // prefill_left is always 0 anyway).
+  std::int64_t chunk_budget() const {
+    const std::int64_t chunk =
+        spec.serve().options().engine.prefill_chunk_tokens;
+    return chunk > 0 ? chunk : std::numeric_limits<std::int64_t>::max();
   }
 
   bool has_work(const SimReplica& rep) const {
@@ -272,7 +299,9 @@ struct SimRun {
     if (res.admission_control && rq.deadline_s < core::kNoDeadline) {
       const auto& vs = spec.serve().options().virtual_service;
       const double est =
-          vs.prefill_s + vs.per_token_s * static_cast<double>(rq.new_tokens);
+          vs.prefill_s +
+          vs.prefill_token_s * static_cast<double>(rq.prompt.size()) +
+          vs.per_token_s * static_cast<double>(rq.new_tokens);
       if (sim.now() + est > rq.deadline_s) {
         shed(i, ShedReason::kAdmissionDeadline);
         return;
@@ -435,18 +464,45 @@ struct SimRun {
         const double start = sim.now();
         const bool degraded = lane->degraded;
         rep.action_scheduled = true;
+        // Admit runs only the first prefill chunk (ISSUE 9); the rest of
+        // the prompt advances through finish_step iterations below.
+        const std::int64_t first = chunk_rows(
+            static_cast<std::int64_t>(requests[i].prompt.size()));
         sim.schedule_after(
-            vs.prefill_s * lane->cost_factor * f,
+            (vs.prefill_s + vs.prefill_token_s * static_cast<double>(first)) *
+                lane->cost_factor * f,
             [this, r, i, start, degraded] { finish_admit(r, i, start,
                                                          degraded); });
         return;
       }
     }
+    // One fused iteration per lane (ISSUE 9): mid-prefill slots advance a
+    // prompt chunk (prefill_token_s per row), decode-ready slots share one
+    // per_token_s advance — the same split the functional replica charges.
+    bool any_slots = false;
     double cost = 0;
     for (const SimLane* lane : {&rep.primary, &rep.batch}) {
-      if (!lane->slots.empty()) cost += vs.per_token_s * lane->cost_factor * f;
+      if (lane->slots.empty()) continue;
+      any_slots = true;
+      std::int64_t budget = chunk_budget();
+      std::int64_t prefill_rows = 0;
+      bool any_decode = false;
+      for (const auto& slot : lane->slots) {
+        if (slot.prefill_left > 0) {
+          const std::int64_t rows = std::min(slot.prefill_left, budget);
+          budget -= rows;
+          prefill_rows += rows;
+        } else {
+          any_decode = true;
+        }
+      }
+      // max(prefill part, decode part) — the same piggyback pricing as the
+      // functional replica's fused iteration.
+      cost += std::max(vs.prefill_token_s * static_cast<double>(prefill_rows),
+                       any_decode ? vs.per_token_s : 0.0) *
+              lane->cost_factor * f;
     }
-    if (cost <= 0) return;  // raced with a drain; nothing to do
+    if (!any_slots) return;  // raced with a drain; nothing to do
     rep.action_scheduled = true;
     sim.schedule_after(cost, [this, r] { finish_step(r); });
   }
@@ -462,11 +518,15 @@ struct SimRun {
       const std::int64_t occ =
           static_cast<std::int64_t>(rep.primary.slots.size()) +
           static_cast<std::int64_t>(rep.batch.slots.size()) + 1;
+      const std::int64_t P =
+          static_cast<std::int64_t>(requests[i].prompt.size());
+      const std::int64_t prefill_left = P - chunk_rows(P);
       const std::int64_t remaining = requests[i].new_tokens - 1;
-      if (remaining <= 0) {
+      if (prefill_left <= 0 && remaining <= 0) {
         complete(r, i, start, occ, degraded);
       } else {
-        lane.slots.push_back(SimLane::Slot{i, remaining, start, occ});
+        lane.slots.push_back(
+            SimLane::Slot{i, remaining, start, occ, prefill_left});
       }
     }
     ensure_action(r);
@@ -477,8 +537,28 @@ struct SimRun {
     rep.action_scheduled = false;
     if (rep.crashed) return;
     for (SimLane* lane : {&rep.primary, &rep.batch}) {
+      std::int64_t budget = chunk_budget();
       for (std::size_t s = 0; s < lane->slots.size();) {
         auto& slot = lane->slots[s];
+        if (slot.prefill_left > 0) {
+          // Mid-prefill: this iteration advanced a prompt chunk (its share
+          // of the lane's global budget, slot order), not a decode token.
+          // The first decode token samples on the iteration that completes
+          // the prompt (remaining was set at admit).
+          const std::int64_t rows = std::min(slot.prefill_left, budget);
+          budget -= rows;
+          slot.prefill_left -= rows;
+          if (slot.prefill_left <= 0 && slot.remaining <= 0) {
+            const SimLane::Slot finished = slot;
+            lane->slots.erase(lane->slots.begin() +
+                              static_cast<std::ptrdiff_t>(s));
+            complete(r, finished.ridx, finished.admit_s, finished.occ,
+                     lane->degraded);
+          } else {
+            ++s;
+          }
+          continue;
+        }
         if (--slot.remaining <= 0) {
           const SimLane::Slot finished = slot;
           lane->slots.erase(lane->slots.begin() +

@@ -75,8 +75,15 @@ Replica::Lane& Replica::lane_for(const core::TimedRequest& rq) {
 
 double Replica::estimate_s(const core::TimedRequest& rq,
                            bool degraded) const {
+  // Prompt-aware (ISSUE 9): long prompts charge prefill_token_s per token.
+  // No live prefix-cache discount here, deliberately — this estimate is a
+  // refundable ledger entry (enqueue adds it, cancel/failed-admit/finish
+  // subtract the same value), and cache contents change between those
+  // calls; a cache-dependent value would leak the ledger.
   const auto& vs = spec_.serve().options().virtual_service;
-  return (vs.prefill_s + vs.per_token_s * static_cast<double>(rq.new_tokens)) *
+  return (vs.prefill_s +
+          vs.prefill_token_s * static_cast<double>(rq.prompt.size()) +
+          vs.per_token_s * static_cast<double>(rq.new_tokens)) *
          (degraded ? vs.degraded_factor : 1.0);
 }
 
@@ -277,7 +284,13 @@ void Replica::admit_one(Lane& lane, std::vector<Completion>& out) {
   // back-charged here to keep [admit_s, finish_s] fully covered.
   lane.phases[us].clear();
   lane.phases[us].add(obs::Phase::kRetryBackoff, clock_ - admit_start);
-  advance(vs.prefill_s * lane.cost_factor * straggle_factor(clock_),
+  // Prefill charged per chunk (ISSUE 9): admit() ran only the first
+  // prefill_chunk_tokens prompt rows; the rest ride subsequent step_lanes
+  // iterations, each priced as it runs.
+  advance((vs.prefill_s +
+           vs.prefill_token_s *
+               static_cast<double>(lane.decoder.last_step_prefill_rows())) *
+              lane.cost_factor * straggle_factor(clock_),
           obs::Phase::kPrefill);
   lane.occ[us] = active();
   if (lane.decoder.finished(slot)) finish_slot(lane, slot, false, 0, out);
@@ -305,8 +318,22 @@ void Replica::step_lanes(std::vector<Completion>& out) {
       }
       continue;
     }
-    advance(vs.per_token_s * lane->cost_factor * straggle_factor(clock_),
-            obs::Phase::kDecodeCompute);
+    // Mixed prefill+decode iteration (ISSUE 9), priced max(prefill part,
+    // decode part) exactly like the continuous batcher: the bounded prompt
+    // chunk piggybacks on the memory-bound decode iteration's idle compute,
+    // so only the excess over the decode charge lands as prefill. A pure-
+    // prefill iteration pays its chunk alone and no per_token_s.
+    const std::int64_t prefill_rows = lane->decoder.last_step_prefill_rows();
+    const std::int64_t decode_rows = lane->decoder.last_step_decode_rows();
+    const double scale = lane->cost_factor * straggle_factor(clock_);
+    const double prefill_part =
+        vs.prefill_token_s * static_cast<double>(prefill_rows) * scale;
+    const double decode_dt = decode_rows > 0 ? vs.per_token_s * scale : 0.0;
+    advance(std::max(prefill_part, decode_dt) - decode_dt,
+            obs::Phase::kPrefill);
+    if (decode_rows > 0) {
+      advance(decode_dt, obs::Phase::kDecodeCompute);
+    }
     for (std::int64_t s = 0; s < lane->decoder.capacity(); ++s) {
       if (lane->decoder.arena().in_use(s) && lane->decoder.finished(s)) {
         finish_slot(*lane, s, false, 0, out);

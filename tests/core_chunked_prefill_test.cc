@@ -1,0 +1,314 @@
+// Chunked-prefill suite (ISSUE 9, ctest label `chunked_prefill`): bounding
+// prompt prefill to per-iteration chunks interleaved with decode must be a
+// pure scheduling change — bit-identical greedy tokens across KV layouts,
+// TP degrees, and chunk sizes (including chunks dividing neither the prompt
+// nor the page), exact cursor/budget accounting, page return on mid-prefill
+// rewind/shed, publish deferral at mid-page chunk boundaries, and ledger
+// totality through the continuous batcher.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "comm/collectives.h"
+#include "core/engine_spec.h"
+#include "core/inference_engine.h"
+#include "core/server.h"
+#include "obs/attribution.h"
+#include "util/fault_injector.h"
+
+namespace dsinfer::core {
+namespace {
+
+model::DenseModelConfig tiny() { return model::tiny_gpt(64, 2, 4); }
+
+// kv_mode: "strip" | "paged" | "paged+prefix" — the same three layouts the
+// serving bench replays, at full reservation (no structural sheds).
+EngineOptions engine_opts(const std::string& kv_mode, std::int64_t tp,
+                          std::int64_t chunk) {
+  EngineOptions o;
+  o.policy = kernels::KernelPolicy::optimized_large_batch();
+  o.max_batch = 4;
+  o.max_seq = 64;
+  o.tensor_parallel = tp;
+  o.prefill_chunk_tokens = chunk;
+  if (kv_mode != "strip") {
+    o.kv_page_tokens = 8;
+    o.kv_pages = 32;  // 4 slots x 64 rows
+    o.kv_prefix_cache = kv_mode == "paged+prefix";
+  }
+  return o;
+}
+
+std::vector<std::int32_t> long_prompt(std::int64_t n) {
+  std::vector<std::int32_t> p;
+  for (std::int64_t t = 0; t < n; ++t) {
+    p.push_back(static_cast<std::int32_t>(1 + (t * 3) % 61));
+  }
+  return p;
+}
+
+// Admit a long prompt, join a short one mid-prefill, run both out. The
+// late joiner lands while the first slot's cursor is still inside its
+// prompt whenever chunk > 0 — exactly the interleaving the feature exists
+// for. Returns both token streams.
+std::pair<std::vector<std::int32_t>, std::vector<std::int32_t>> join_schedule(
+    RaggedDecoder& dec) {
+  const auto a = dec.admit(long_prompt(19), 6);
+  EXPECT_GE(a, 0);
+  const auto b = dec.admit({5, 6, 7}, 4);
+  EXPECT_GE(b, 0);
+  while (!dec.finished(a) || !dec.finished(b)) dec.step();
+  auto out = std::make_pair(dec.tokens(a), dec.tokens(b));
+  dec.retire(a);
+  dec.retire(b);
+  return out;
+}
+
+TEST(ChunkedPrefill, BitIdenticalAcrossKvModesTpDegreesAndChunkSizes) {
+  // chunk 3 divides neither the 19-token prompt nor the 8-token page;
+  // chunk 8 aligns with the page; 0 is the monolithic baseline.
+  InferenceEngine base_engine(tiny(), engine_opts("strip", 1, 0), 31);
+  RaggedDecoder base(base_engine, 4);
+  const auto want = join_schedule(base);
+  for (const std::string kv_mode : {"strip", "paged", "paged+prefix"}) {
+    for (std::int64_t tp : {std::int64_t{1}, std::int64_t{2}}) {
+      for (std::int64_t chunk : {std::int64_t{3}, std::int64_t{8}}) {
+        InferenceEngine engine(tiny(), engine_opts(kv_mode, tp, chunk), 31);
+        RaggedDecoder dec(engine, 4);
+        const auto got = join_schedule(dec);
+        EXPECT_EQ(got.first, want.first)
+            << kv_mode << " tp=" << tp << " chunk=" << chunk;
+        EXPECT_EQ(got.second, want.second)
+            << kv_mode << " tp=" << tp << " chunk=" << chunk;
+      }
+    }
+  }
+}
+
+TEST(ChunkedPrefill, AdmitRunsFirstChunkAndStepsAdvanceTheCursor) {
+  InferenceEngine engine(tiny(), engine_opts("strip", 1, 4), 33);
+  RaggedDecoder dec(engine, 4);
+  const auto s = dec.admit(long_prompt(10), 3);
+  ASSERT_GE(s, 0);
+  // Admit ran rows [0,4): no first token sampled yet, 6 prompt rows left.
+  EXPECT_EQ(dec.prefill_remaining(s), 6);
+  EXPECT_EQ(dec.last_step_prefill_rows(), 4);
+  EXPECT_EQ(dec.tokens(s).size(), 10u);  // prompt only
+  EXPECT_FALSE(dec.finished(s));
+
+  dec.step();  // rows [4,8)
+  EXPECT_EQ(dec.prefill_remaining(s), 2);
+  EXPECT_EQ(dec.last_step_prefill_rows(), 4);
+  EXPECT_EQ(dec.last_step_decode_rows(), 0);
+  EXPECT_EQ(dec.tokens(s).size(), 10u);
+
+  dec.step();  // rows [8,10): completes the prompt, samples the first token
+  EXPECT_EQ(dec.prefill_remaining(s), 0);
+  EXPECT_EQ(dec.last_step_prefill_rows(), 2);
+  EXPECT_EQ(dec.tokens(s).size(), 11u);
+
+  dec.step();  // plain decode from here on
+  EXPECT_EQ(dec.last_step_prefill_rows(), 0);
+  EXPECT_EQ(dec.last_step_decode_rows(), 1);
+  EXPECT_EQ(dec.tokens(s).size(), 12u);
+}
+
+TEST(ChunkedPrefill, StepSharesOneGlobalBudgetAcrossSlots) {
+  // Two 20-token prompts, chunk 8: each admit runs its own first chunk,
+  // but every subsequent iteration advances at most 8 prompt rows TOTAL in
+  // slot order — the per-iteration stall bound the decode tail relies on.
+  InferenceEngine engine(tiny(), engine_opts("strip", 1, 8), 35);
+  RaggedDecoder dec(engine, 4);
+  const auto a = dec.admit(long_prompt(20), 2);
+  const auto b = dec.admit(long_prompt(20), 2);
+  ASSERT_GE(a, 0);
+  ASSERT_GE(b, 0);
+  EXPECT_EQ(dec.prefill_remaining(a), 12);
+  EXPECT_EQ(dec.prefill_remaining(b), 12);
+
+  dec.step();  // slot a takes the whole budget; b sits the iteration out
+  EXPECT_EQ(dec.last_step_prefill_rows(), 8);
+  EXPECT_EQ(dec.prefill_remaining(a), 4);
+  EXPECT_EQ(dec.prefill_remaining(b), 12);
+
+  dec.step();  // a finishes its 4, b gets the remaining 4 of the budget
+  EXPECT_EQ(dec.last_step_prefill_rows(), 8);
+  EXPECT_EQ(dec.prefill_remaining(a), 0);
+  EXPECT_EQ(dec.prefill_remaining(b), 8);
+
+  dec.step();  // a decodes alongside b's next chunk
+  EXPECT_EQ(dec.last_step_prefill_rows(), 8);
+  EXPECT_EQ(dec.last_step_decode_rows(), 1);
+  EXPECT_EQ(dec.prefill_remaining(b), 0);
+}
+
+TEST(ChunkedPrefill, MidPrefillRetireReturnsEveryPage) {
+  InferenceEngine engine(tiny(), engine_opts("paged", 1, 4), 37);
+  RaggedDecoder dec(engine, 4);
+  const auto s = dec.admit(long_prompt(24), 8);
+  ASSERT_GE(s, 0);
+  ASSERT_GT(dec.prefill_remaining(s), 0);  // genuinely mid-prefill
+  EXPECT_GT(dec.arena().pages_in_use(), 0);
+  EXPECT_GT(dec.committed_pages(), 0);
+
+  // Shedding/cancelling a mid-prefill slot must refund both the physical
+  // pages and the admission commitment — nothing leaks from a prompt that
+  // never finished prefilling.
+  dec.retire(s);
+  EXPECT_EQ(dec.arena().pages_in_use(), 0);
+  EXPECT_EQ(dec.committed_pages(), 0);
+  EXPECT_TRUE(dec.can_admit(long_prompt(24), 40));  // full budget is back
+}
+
+TEST(ChunkedPrefill, CommFaultMidPrefillRewindsAndRetryMatches) {
+  // Fault-free tp=2 reference for the expected streams.
+  InferenceEngine ref_engine(tiny(), engine_opts("strip", 2, 4), 39);
+  RaggedDecoder ref(ref_engine, 4);
+  const auto want = join_schedule(ref);
+
+  util::FaultInjector inj(0xC0FFEE);
+  EngineSpec spec(tiny());
+  spec.policy(kernels::KernelPolicy::optimized_large_batch())
+      .tensor_parallel(2)
+      .max_batch(4)
+      .max_seq(64)
+      .prefill_chunk_tokens(4)
+      .fault_injector(&inj);
+  InferenceEngine engine(spec, 39);
+  RaggedDecoder dec(engine, 4);
+  const auto a = dec.admit(long_prompt(19), 6);
+  const auto b = dec.admit({5, 6, 7}, 4);
+  ASSERT_GT(dec.prefill_remaining(a), 0);
+
+  // Kill rank 0 at its next sync point: the fused mixed prefill+decode
+  // step must unwind atomically — per-layer arena lengths back to the
+  // pre-step cursor on every shard, cursor not advanced, no token leaked.
+  const auto len_a = dec.arena().seq_len(a);
+  const auto len_b = dec.arena().seq_len(b);
+  const auto left_a = dec.prefill_remaining(a);
+  const auto toks_b = dec.tokens(b);
+  util::FaultSpec kill;
+  kill.fail_first_n = 1;
+  inj.configure("comm.rank0", kill);
+  EXPECT_THROW(dec.step(), comm::CommFault);
+  for (std::int64_t layer = 0; layer < engine.layer_count(); ++layer) {
+    EXPECT_EQ(dec.arena().seq_len(layer, a), len_a);
+    EXPECT_EQ(dec.arena().seq_len(layer, b), len_b);
+  }
+  EXPECT_EQ(dec.prefill_remaining(a), left_a);
+  EXPECT_EQ(dec.tokens(b), toks_b);
+
+  // The schedule is spent; the retry replays the identical chunk and the
+  // decode finishes bit-identical to the fault-free reference.
+  while (!dec.finished(a) || !dec.finished(b)) dec.step();
+  EXPECT_EQ(dec.tokens(a), want.first);
+  EXPECT_EQ(dec.tokens(b), want.second);
+}
+
+TEST(ChunkedPrefill, ChunkBoundaryMidPageDefersPublishUntilPageCompletes) {
+  // page_tokens 8, chunk 6: the first chunk ends mid-page, so nothing is
+  // publishable; the second chunk (cursor 12) completes page 0 and only
+  // that full page lands in the cache. A twin admit scores hits exactly on
+  // the published pages, never on a half-written one.
+  InferenceEngine engine(tiny(), engine_opts("paged+prefix", 1, 6), 41);
+  RaggedDecoder dec(engine, 4);
+  const auto prompt = long_prompt(16);
+  const auto a = dec.admit(prompt, 4);
+  ASSERT_GE(a, 0);
+  EXPECT_EQ(dec.prefill_remaining(a), 10);
+  EXPECT_EQ(dec.arena().cached_prefix_tokens(prompt), 0);  // mid-page: defer
+
+  dec.step();  // cursor 12: page 0 (tokens 0..7) is complete and published
+  EXPECT_EQ(dec.prefill_remaining(a), 4);
+  EXPECT_EQ(dec.arena().cached_prefix_tokens(prompt), 8);
+
+  dec.step();  // cursor 16: page 1 completes too
+  EXPECT_EQ(dec.prefill_remaining(a), 0);
+  // An identical prompt matches everything but its final position — the
+  // last token is always recomputed to produce the first-token logits.
+  EXPECT_EQ(dec.arena().cached_prefix_tokens(prompt), 15);
+
+  const auto b = dec.admit(prompt, 4);
+  ASSERT_GE(b, 0);
+  EXPECT_EQ(dec.prefix_hit_tokens(), 15);  // the twin reused the cache
+  while (!dec.finished(a) || !dec.finished(b)) dec.step();
+  EXPECT_EQ(dec.tokens(a), dec.tokens(b));
+}
+
+TEST(ChunkedPrefill, LateJoinerDecodesWhilePrefillStreams) {
+  // The whole point of chunking: a short request admitted behind a long
+  // prompt starts decoding immediately, riding the same fused iterations
+  // that stream the long prompt's chunks.
+  InferenceEngine engine(tiny(), engine_opts("strip", 1, 4), 43);
+  RaggedDecoder dec(engine, 4);
+  const auto a = dec.admit(long_prompt(24), 4);
+  const auto b = dec.admit({5, 6, 7}, 4);
+  ASSERT_GT(dec.prefill_remaining(a), 0);
+  const auto b_before = dec.tokens(b).size();
+  dec.step();
+  EXPECT_GT(dec.last_step_prefill_rows(), 0);  // a's chunk ran...
+  EXPECT_EQ(dec.last_step_decode_rows(), 1);   // ...fused with b's decode
+  EXPECT_EQ(dec.tokens(b).size(), b_before + 1);
+  EXPECT_GT(dec.prefill_remaining(a), 0);
+}
+
+TEST(ChunkedPrefill, BatcherKeepsLedgerTotalityWithChunking) {
+  // End-to-end through the continuous batcher on the virtual clock with
+  // per-prompt-token prefill pricing: every request's phase ledger must
+  // sum to its latency, including requests shed before admission and
+  // sequences whose prefill spans several iterations.
+  ServerOptions o;
+  o.engine.policy = kernels::KernelPolicy::optimized_large_batch();
+  o.engine.max_batch = 4;
+  o.engine.max_seq = 64;
+  o.engine.prefill_chunk_tokens = 4;
+  o.scheduler = Scheduler::kContinuous;
+  o.max_batch = 4;
+  o.virtual_service.enabled = true;
+  o.virtual_service.prefill_token_s = 2e-4;
+  o.resilience.admission_control = true;
+  InferenceServer server(tiny(), o, 45);
+
+  TimedRequest lng;
+  lng.id = 0;
+  lng.prompt = long_prompt(32);
+  lng.new_tokens = 4;
+  TimedRequest shrt;
+  shrt.id = 1;
+  shrt.prompt = {5, 6, 7};
+  shrt.new_tokens = 6;
+  shrt.arrival_s = 0.001;
+  TimedRequest doomed;  // prefill-priced estimate can never meet this SLA
+  doomed.id = 2;
+  doomed.prompt = long_prompt(40);
+  doomed.new_tokens = 4;
+  doomed.arrival_s = 0.002;
+  doomed.deadline_s = 0.003;
+  const auto stats = server.run_trace({lng, shrt, doomed});
+  ASSERT_TRUE(stats[0].served());
+  ASSERT_TRUE(stats[1].served());
+  EXPECT_EQ(stats[2].outcome, RequestStats::Outcome::kShed);
+
+  std::vector<obs::AttributedRequest> attributed;
+  for (const auto& s : stats) {
+    obs::AttributedRequest a;
+    a.id = s.id;
+    a.arrival_s = s.arrival_s;
+    a.finish_s = s.finish_s;
+    a.phases = s.attr;
+    attributed.push_back(a);
+  }
+  EXPECT_EQ(obs::check_totality(attributed), "");
+  EXPECT_GT(stats[0].attr.get(obs::Phase::kPrefill), 0.0);
+}
+
+TEST(ChunkedPrefill, NegativeChunkRejectedBySpecValidation) {
+  EngineSpec spec(tiny());
+  spec.prefill_chunk_tokens(-1);
+  const auto errs = spec.validate();
+  ASSERT_FALSE(errs.empty());
+  EXPECT_EQ(errs.front().code, ConfigError::Code::kBadEngineLimit);
+}
+
+}  // namespace
+}  // namespace dsinfer::core

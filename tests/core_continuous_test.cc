@@ -325,6 +325,16 @@ TEST(ContinuousServer, SharedSystemPromptHitsPrefixCacheBitIdentical) {
   EXPECT_GT(warm.prefix_hits(), 0);  // admits 2 and 3 reused the system prompt
   EXPECT_GT(warm.prefix_hit_tokens(), 0);
   EXPECT_EQ(cold.prefix_hits(), 0);  // the strip arena has no cache
+  // Metric audit (ISSUE 9): hit + suffix tokens partition the prompt
+  // exactly — a cached token is never also charged as prefill work, and no
+  // prompt token escapes both buckets. Holds on the cache-less strip arena
+  // too (hits 0, suffix == everything).
+  EXPECT_EQ(warm.prompt_tokens(),
+            warm.prefix_hit_tokens() + warm.suffix_prefill_tokens());
+  EXPECT_EQ(warm.prompt_tokens(), 3 * 18);
+  EXPECT_EQ(cold.prompt_tokens(),
+            cold.prefix_hit_tokens() + cold.suffix_prefill_tokens());
+  EXPECT_EQ(cold.suffix_prefill_tokens(), cold.prompt_tokens());
 }
 
 TEST(ContinuousServer, StructuralKvShedReportsPageArithmetic) {

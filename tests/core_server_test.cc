@@ -274,6 +274,58 @@ TEST(InferenceServer, DeadlineEqualToArrivalIsShedUnderAdmissionControl) {
   EXPECT_EQ(server.counters().sheds, 1);
 }
 
+TEST(InferenceServer, LongPromptPrefillCostShedsPreAdmissionNotPostMiss) {
+  // Regression (ISSUE 9): admission priced requests on new_tokens only, so
+  // a 48-token prompt asking for 2 tokens estimated the same service as a
+  // 2-token prompt and was admitted into a certain deadline miss (served,
+  // then counted as a timeout). The prompt-aware estimator must price the
+  // prefill and shed it pre-admission instead.
+  auto opts = base_opts();
+  opts.resilience.admission_control = true;
+  opts.virtual_service.enabled = true;
+  opts.virtual_service.prefill_token_s = 1e-3;
+  InferenceServer server(tiny(), opts, 5);
+  const auto& vs = opts.virtual_service;
+
+  // Pin the prompt-aware formula:
+  //   (base + prefill_token_s * (prompt - hits) + per_token_s * new) * factor
+  EXPECT_DOUBLE_EQ(server.estimate_service_s(48, 2, false, 0),
+                   vs.base_s + vs.prefill_token_s * 48 + vs.per_token_s * 2);
+  EXPECT_DOUBLE_EQ(
+      server.estimate_service_s(48, 2, true, 16),
+      (vs.base_s + vs.prefill_token_s * 32 + vs.per_token_s * 2) *
+          vs.degraded_factor);
+  // Hits never drive the suffix negative.
+  EXPECT_DOUBLE_EQ(server.estimate_service_s(8, 2, false, 99),
+                   server.estimate_service_s(0, 2, false, 0));
+
+  std::vector<std::int32_t> long_prompt(48);
+  for (std::size_t i = 0; i < long_prompt.size(); ++i) {
+    long_prompt[i] = static_cast<std::int32_t>(1 + i % 61);
+  }
+  auto r = req(1, long_prompt, 2, 0.0);
+  // Slack covers base + decode (0.012s) with room, but not 48 prompt
+  // tokens of prefill (true service 0.06s). The old decode-only estimate
+  // (the 2-arg form) predicts this deadline is met — the bug.
+  r.deadline_s = 0.032;
+  EXPECT_LT(server.estimate_service_s(2, false), r.deadline_s);
+  EXPECT_GT(server.estimate_service_s(48, 2, false, 0), r.deadline_s);
+
+  auto stats = server.run_trace({r});
+  EXPECT_EQ(stats[0].outcome, RequestStats::Outcome::kShed);  // never ran
+  EXPECT_EQ(server.counters().sheds, 1);
+  EXPECT_EQ(server.counters().timeouts, 0);
+
+  // Ground truth: without admission control the same request is served and
+  // misses — the prefill really does blow the deadline, so the shed above
+  // is a correct prediction, not over-shedding.
+  opts.resilience.admission_control = false;
+  InferenceServer uncontrolled(tiny(), opts, 5);
+  auto served = uncontrolled.run_trace({r});
+  EXPECT_EQ(served[0].outcome, RequestStats::Outcome::kTimedOut);
+  EXPECT_GT(served[0].finish_s, r.deadline_s);
+}
+
 TEST(InferenceServer, DeadlineEqualToArrivalTimesOutWithoutAdmissionControl) {
   InferenceServer server(tiny(), base_opts(), 5);
   auto r = req(1, {10, 20}, 2, 0.25);

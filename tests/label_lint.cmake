@@ -1,0 +1,38 @@
+# ctest label-coverage lint (ISSUE 9 satellite). The sanitizer matrices and
+# the serving --check gate select chunked-prefill coverage by the
+# `chunked_prefill` ctest label; a test added later that exercises
+# `prefill_chunk_tokens` but is registered without the label would silently
+# drop out of those runs. This script fails when any tests/*_test.cc that
+# references the knob is not registered via
+#   dsi_add_labeled_test(<name> chunked_prefill ...)
+# in tests/CMakeLists.txt.
+#
+# Run as: cmake -DSRC_DIR=<repo>/tests -P label_lint.cmake
+if(NOT DEFINED SRC_DIR)
+  message(FATAL_ERROR "label_lint: pass -DSRC_DIR=<repo>/tests")
+endif()
+
+file(READ "${SRC_DIR}/CMakeLists.txt" _cmake_lists)
+file(GLOB _test_sources "${SRC_DIR}/*_test.cc")
+
+set(_missing "")
+foreach(_src ${_test_sources})
+  file(READ "${_src}" _body)
+  if(NOT _body MATCHES "prefill_chunk_tokens")
+    continue()
+  endif()
+  get_filename_component(_name "${_src}" NAME_WE)
+  if(NOT _cmake_lists MATCHES "dsi_add_labeled_test\\(${_name} +chunked_prefill[ )]")
+    list(APPEND _missing "${_name}")
+  endif()
+endforeach()
+
+if(_missing)
+  message(FATAL_ERROR
+      "label_lint: test binaries reference prefill_chunk_tokens but are not "
+      "registered with the chunked_prefill ctest label in "
+      "tests/CMakeLists.txt: ${_missing}. Register them with "
+      "dsi_add_labeled_test(<name> chunked_prefill <libs...>) so the "
+      "sanitizer matrices and serving gates keep covering them.")
+endif()
+message(STATUS "label_lint: chunked_prefill label coverage OK")
