@@ -43,7 +43,21 @@
 //                                            monolithic admit path at equal-
 //                                            or-better goodput, greedy
 //                                            tokens bit-identical across kv
-//                                            modes x tp x chunk sizes.
+//                                            modes x tp x chunk sizes;
+//                                          * speculative decode (ISSUE 10):
+//                                            spec outputs stay bit-identical
+//                                            to non-spec, modeled tokens/s
+//                                            at acceptance 0.7 is >= 1.3x
+//                                            non-spec for k in {2,4} at
+//                                            batch <= 4, and the batcher and
+//                                            DES-twin curves agree within
+//                                            15% on every swept point.
+//   serving_latency --spec                 speculative-decode section (ISSUE
+//                                          10): acceptance x draft-depth x
+//                                          batch sweep, batcher replay vs the
+//                                          1-replica DES twin, rows with
+//                                          mode "spec" + source batcher|des.
+//                                          --check implies --spec.
 //   serving_latency --trace <out.json>     Chrome trace of the replay
 //                                          (https://ui.perfetto.dev).
 //   serving_latency --attr                 tail-latency attribution (ISSUE
@@ -67,6 +81,7 @@
 // sweep), "modeled" (continuous x TP with the Fig-6 step model), "fleet"
 // (replica fleet per policy x SLO class).
 #include <algorithm>
+#include <cmath>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -75,7 +90,9 @@
 #include <string>
 #include <vector>
 
+#include "core/inference_engine.h"
 #include "core/workload.h"
+#include "fleet/fleet_sim.h"
 #include "fleet/fleet_spec.h"
 #include "fleet/load_harness.h"
 #include "fleet/router.h"
@@ -116,8 +133,68 @@ struct Row {
   // consecutive decode-bearing iterations of the primary lane.
   std::int64_t chunk_tokens = 0;
   double p99_decode_interval_s = 0;
+  // Speculative-decode rows (mode "spec", ISSUE 10): draft window size
+  // (spec_k 1 = non-speculative baseline), modeled acceptance knob (-1 in
+  // baseline rows), and which clock produced the row — the continuous
+  // batcher's functional replay or the 1-replica fleet DES twin.
+  std::int64_t spec_k = 1;
+  double acceptance = -1;
+  std::string source = "-";  // spec rows: batcher | des
+  std::int64_t batch = 0;    // spec rows: swept slot count (0 = not swept)
   core::ServingSummary s;
 };
+
+// One swept speculative-decode configuration with both clocks' throughput —
+// the shape the --check gates reason over (vs-baseline speedup, batcher/DES
+// agreement) without re-parsing rows.
+struct SpecPoint {
+  std::int64_t batch = 1;
+  std::int64_t k = 1;
+  double acc = -1;
+  double batcher_tps = 0;
+  double des_tps = 0;
+};
+
+// Single emission point for BENCH_serving.json (ISSUE 10 satellite): every
+// section appends Rows, and exactly one writer renders the one shared
+// schema, discriminated by "mode" — adding a field here is the whole change
+// when a new section lands. Absent dimensions keep their defaults (tp 1,
+// policy "-", slo_class "all", replicas 1, spec_k 1, source "-") so
+// consumers can filter on mode alone.
+void write_rows_json(const std::string& path, const std::vector<Row>& all) {
+  std::ofstream out(path);
+  out << "[\n";
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    const auto& r = all[i];
+    out << "  {\"mode\": \"" << r.mode << "\", \"arrival_hz\": " << r.rate_hz
+        << ", \"offered_hz\": " << r.offered_hz << ", \"scheduler\": \""
+        << r.scheduler << "\", \"tp\": " << r.tp
+        << ", \"policy\": \"" << r.policy
+        << "\", \"slo_class\": \"" << r.slo_class
+        << "\", \"replicas\": " << r.replicas
+        << ", \"kv_mode\": \"" << r.kv_mode
+        << "\", \"prefix_hit_rate\": " << r.prefix_hit_rate
+        << ", \"step_s\": " << r.step_s
+        << ", \"chunk_tokens\": " << r.chunk_tokens
+        << ", \"p99_decode_interval_s\": " << r.p99_decode_interval_s
+        << ", \"spec_k\": " << r.spec_k
+        << ", \"acceptance\": " << r.acceptance
+        << ", \"batch\": " << r.batch
+        << ", \"source\": \"" << r.source
+        << "\", \"phase\": \"" << r.phase
+        << "\", \"phase_share\": " << r.phase_share
+        << ", \"phase_total_s\": " << r.phase_total_s
+        << ", \"requests\": " << r.s.requests
+        << ", \"served\": " << r.s.served
+        << ", \"served_per_s\": " << r.s.served_per_s
+        << ", \"p50_latency_s\": " << r.s.p50_latency_s
+        << ", \"p95_latency_s\": " << r.s.p95_latency_s
+        << ", \"p99_latency_s\": " << r.s.p99_latency_s
+        << ", \"tokens_per_s\": " << r.s.tokens_per_s << "}"
+        << (i + 1 < all.size() ? "," : "") << "\n";
+  }
+  out << "]\n";
+}
 
 double p99_of(std::vector<double> v) {
   if (v.empty()) return 0;
@@ -282,6 +359,7 @@ int main(int argc, char** argv) {
   std::vector<std::int64_t> tp_degrees{1, 2};
   bool check = false;
   bool attr = false;
+  bool spec = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       trace_path = argv[++i];
@@ -314,16 +392,22 @@ int main(int argc, char** argv) {
       check = true;
     } else if (std::strcmp(argv[i], "--attr") == 0) {
       attr = true;
+    } else if (std::strcmp(argv[i], "--spec") == 0) {
+      spec = true;
     } else {
       std::cerr << "usage: serving_latency [--scheduler window|continuous|"
-                   "both] [--tp 2,4] [--check] [--attr] "
+                   "both] [--tp 2,4] [--check] [--attr] [--spec] "
                    "[--trace <out.json>]\n";
       return 2;
     }
   }
   // The check gate includes the attribution/flight-recorder invariants, so
-  // it needs the same instrumentation --attr turns on.
-  if (check) attr = true;
+  // it needs the same instrumentation --attr turns on; likewise the
+  // speculative-decode gates need the --spec sweep's rows.
+  if (check) {
+    attr = true;
+    spec = true;
+  }
   if (!trace_path.empty()) {
     obs::TraceRecorder::instance().set_enabled(true);
     obs::MetricsRegistry::instance().set_enabled(true);
@@ -736,6 +820,129 @@ int main(int argc, char** argv) {
                  "on this replay).\n";
   }
 
+  // --- Speculative decode: acceptance x draft depth x batch (ISSUE 10) ---
+  // Decode-heavy closed-loop trace (4-token prompts, 32 generated tokens,
+  // all arrivals at t=0) so per_token_s dominates the clock: the tokens/s
+  // ratio vs the k=1 baseline isolates the fused verify step's multi-token
+  // advance (1 + a + ... + a^(k-1) modeled tokens per step) against its
+  // draft-lane surcharge (the truncated-depth proposal passes, priced
+  // max(verify, draft) per fused step). Every configuration runs on both
+  // clocks — the continuous batcher's functional replay and the 1-replica
+  // fleet DES twin — and the --check gate holds their curves together:
+  // speculation's modeled win must survive in *both* models or the pricing
+  // drifted somewhere.
+  std::vector<Row> spec_rows;
+  std::vector<SpecPoint> spec_points;
+  bool spec_tokens_match = true;
+  if (spec && scheduler != "window") {
+    std::cout << "\n=== Speculative decode: draft-propose + fused verify vs "
+                 "plain decode (decode-heavy trace, modeled acceptance) "
+                 "===\n\n";
+    const auto spec_trace = [](std::int64_t n) {
+      std::vector<core::TimedRequest> out;
+      out.reserve(static_cast<std::size_t>(n));
+      for (std::int64_t i = 0; i < n; ++i) {
+        core::TimedRequest rq;
+        rq.id = i;
+        for (std::int64_t t = 0; t < 4; ++t) {
+          rq.prompt.push_back(
+              static_cast<std::int32_t>(1 + (i * 5 + t * 3) % 61));
+        }
+        rq.new_tokens = 32;
+        rq.arrival_s = 0;
+        out.push_back(std::move(rq));
+      }
+      return out;
+    };
+    // Draft lane: 1 of the model's 2 layers, fp32 — draft cost factor
+    // (k-1)/2, so k=2 drafts ride the verify step free (factor 0.5 < 1)
+    // and k=4 pays a 1.5x fused step for up to 4 tokens of advance.
+    const auto spec_options = [](std::int64_t batch, std::int64_t k,
+                                 double acc) {
+      auto opts = scheduler_options(core::Scheduler::kContinuous);
+      opts.engine.max_batch = batch;
+      opts.max_batch = batch;
+      opts.engine.spec_draft_tokens = k;
+      opts.engine.spec_draft_layers = k > 1 ? 1 : 0;
+      opts.engine.spec_acceptance = acc;
+      return opts;
+    };
+    Table spt({"batch", "k", "acceptance", "batcher tok/s", "des tok/s",
+               "x vs k=1", "modeled adv"});
+    for (std::int64_t batch : {std::int64_t{1}, std::int64_t{4}}) {
+      const auto strace = spec_trace(batch * 2);
+      std::vector<core::RequestStats> base_stats;
+      double base_tps = 0;
+      // k=1 baseline first, then the acceptance x depth grid.
+      struct Cfg { std::int64_t k; double acc; };
+      std::vector<Cfg> cfgs{{1, -1.0}};
+      for (double acc : {0.0, 0.5, 0.7, 0.9}) {
+        for (std::int64_t k : {std::int64_t{2}, std::int64_t{4}}) {
+          cfgs.push_back({k, acc});
+        }
+      }
+      for (const auto& c : cfgs) {
+        const auto opts = spec_options(batch, c.k, c.acc);
+        core::InferenceServer server(cfg, opts, 17);
+        auto stats = server.run_trace(strace);
+        const auto bsum = core::summarize_serving(stats);
+        fleet::FleetSpec fspec(core::ServeSpec::from_options(cfg, opts));
+        fspec.replicas(1).queue_limits(64, 32);
+        const auto dsum =
+            fleet::summarize_fleet(fleet::simulate_fleet(fspec, strace).stats)
+                .all;
+        if (c.k == 1) {
+          base_stats = stats;
+          base_tps = bsum.tokens_per_s;
+        } else {
+          // Exact-match verification: speculation may only change *when*
+          // tokens land, never *which* tokens — bit-identity per request
+          // against this batch's non-speculative baseline.
+          for (std::size_t i = 0; i < strace.size(); ++i) {
+            spec_tokens_match = spec_tokens_match && stats[i].served() &&
+                                stats[i].tokens == base_stats[i].tokens;
+          }
+        }
+        SpecPoint pt;
+        pt.batch = batch;
+        pt.k = c.k;
+        pt.acc = c.acc;
+        pt.batcher_tps = bsum.tokens_per_s;
+        pt.des_tps = dsum.tokens_per_s;
+        spec_points.push_back(pt);
+        spt.add_row({std::to_string(batch), std::to_string(c.k),
+                     c.k == 1 ? "-" : Table::num(c.acc, 1),
+                     Table::num(pt.batcher_tps, 0), Table::num(pt.des_tps, 0),
+                     c.k == 1 ? "1.00"
+                              : Table::num(pt.batcher_tps / base_tps, 2),
+                     Table::num(
+                         core::RaggedDecoder::spec_step_tokens(opts.engine),
+                         2)});
+        for (const char* source : {"batcher", "des"}) {
+          Row row;
+          row.mode = "spec";
+          row.scheduler = "continuous";
+          row.spec_k = c.k;
+          row.acceptance = c.acc;
+          row.batch = batch;
+          row.source = source;
+          row.s = std::strcmp(source, "batcher") == 0 ? bsum : dsum;
+          spec_rows.push_back(std::move(row));
+        }
+      }
+    }
+    spt.print(std::cout);
+    std::cout << "\nExpected: acceptance buys geometric multi-token advance "
+                 "per fused step while the 1-layer draft lane keeps the "
+                 "surcharge under 1.5x, so tokens/s climbs with acceptance "
+                 "(crossing 1.3x the k=1 baseline by acceptance 0.7), "
+                 "adversarial acceptance 0 only costs the draft surcharge, "
+                 "greedy tokens stay bit-identical throughout ("
+              << (spec_tokens_match ? "verified" : "VIOLATED")
+              << " on this replay), and the DES twin's curve tracks the "
+                 "batcher's point for point.\n";
+  }
+
   std::string json_path;
 #if defined(DSINFER_REPO_ROOT)
   json_path = std::string(DSINFER_REPO_ROOT) + "/BENCH_serving.json";
@@ -743,45 +950,14 @@ int main(int argc, char** argv) {
   json_path = "BENCH_serving.json";
 #endif
   {
-    // One schema for every row, discriminated by "mode": replay rows carry
-    // scheduler + offered rate, modeled rows add tp + step_s, fleet rows add
-    // policy + slo_class + replicas. Absent dimensions keep their defaults
-    // (tp 1, policy "-", slo_class "all", replicas 1) so consumers can
-    // filter on mode alone.
     std::vector<Row> all = rows;
     all.insert(all.end(), tp_rows.begin(), tp_rows.end());
     all.insert(all.end(), fleet_rows.begin(), fleet_rows.end());
     all.insert(all.end(), cap_rows.begin(), cap_rows.end());
     all.insert(all.end(), chunk_rows.begin(), chunk_rows.end());
+    all.insert(all.end(), spec_rows.begin(), spec_rows.end());
     all.insert(all.end(), attr_rows.begin(), attr_rows.end());
-    std::ofstream out(json_path);
-    out << "[\n";
-    for (std::size_t i = 0; i < all.size(); ++i) {
-      const auto& r = all[i];
-      out << "  {\"mode\": \"" << r.mode << "\", \"arrival_hz\": " << r.rate_hz
-          << ", \"offered_hz\": " << r.offered_hz << ", \"scheduler\": \""
-          << r.scheduler << "\", \"tp\": " << r.tp
-          << ", \"policy\": \"" << r.policy
-          << "\", \"slo_class\": \"" << r.slo_class
-          << "\", \"replicas\": " << r.replicas
-          << ", \"kv_mode\": \"" << r.kv_mode
-          << "\", \"prefix_hit_rate\": " << r.prefix_hit_rate
-          << ", \"step_s\": " << r.step_s
-          << ", \"chunk_tokens\": " << r.chunk_tokens
-          << ", \"p99_decode_interval_s\": " << r.p99_decode_interval_s
-          << ", \"phase\": \"" << r.phase
-          << "\", \"phase_share\": " << r.phase_share
-          << ", \"phase_total_s\": " << r.phase_total_s
-          << ", \"requests\": " << r.s.requests
-          << ", \"served\": " << r.s.served
-          << ", \"served_per_s\": " << r.s.served_per_s
-          << ", \"p50_latency_s\": " << r.s.p50_latency_s
-          << ", \"p95_latency_s\": " << r.s.p95_latency_s
-          << ", \"p99_latency_s\": " << r.s.p99_latency_s
-          << ", \"tokens_per_s\": " << r.s.tokens_per_s << "}"
-          << (i + 1 < all.size() ? "," : "") << "\n";
-    }
-    out << "]\n";
+    write_rows_json(json_path, all);
     std::cout << "\nWrote " << all.size() << " rows to " << json_path << "\n";
   }
 
@@ -941,6 +1117,49 @@ int main(int argc, char** argv) {
                 << " chunked prefill output parity across kv modes x tp x "
                    "chunk sizes\n";
       pass = pass && chunk_tokens_match;
+    }
+    // Speculative-decode gate (ISSUE 10): exact-match verification keeps
+    // greedy tokens bit-identical at every acceptance x depth x batch; at
+    // acceptance 0.7 the modeled fused-step advance must beat its draft
+    // surcharge by >= 1.3x tokens/s over the k=1 baseline for k in {2,4}
+    // at every swept batch; and the batcher replay and the DES twin must
+    // agree within 15% on every point — the two service models price the
+    // same speculation arithmetic, so divergence means the model drifted.
+    if (!spec_points.empty()) {
+      std::cout << (spec_tokens_match ? "PASS" : "FAIL")
+                << " spec decode output parity vs non-speculative baseline "
+                   "across acceptance x k x batch\n";
+      pass = pass && spec_tokens_match;
+      for (const auto& pt : spec_points) {
+        if (pt.k == 1 || pt.acc != 0.7) continue;
+        double base_tps = 0;
+        for (const auto& b : spec_points) {
+          if (b.k == 1 && b.batch == pt.batch) base_tps = b.batcher_tps;
+        }
+        const double ratio = base_tps > 0 ? pt.batcher_tps / base_tps : 0.0;
+        const bool ok = ratio >= 1.3;
+        std::cout << (ok ? "PASS" : "FAIL") << " spec speedup batch="
+                  << pt.batch << " k=" << pt.k << " acceptance=0.7: "
+                  << pt.batcher_tps << " tok/s vs baseline " << base_tps
+                  << " (ratio " << ratio << ", need >= 1.3)\n";
+        pass = pass && ok;
+      }
+      bool agree = true;
+      double worst = 0;
+      for (const auto& pt : spec_points) {
+        const double rel = pt.des_tps > 0
+                               ? std::abs(pt.batcher_tps - pt.des_tps) /
+                                     pt.des_tps
+                               : 1.0;
+        worst = std::max(worst, rel);
+        agree = agree && rel <= 0.15;
+      }
+      std::cout << (agree ? "PASS" : "FAIL")
+                << " spec batcher/DES curve agreement: worst relative "
+                   "tokens/s gap "
+                << worst << " across " << spec_points.size()
+                << " points (need <= 0.15)\n";
+      pass = pass && agree;
     }
     if (!pass) return 1;
     std::cout << "serving regression gate: PASS\n";

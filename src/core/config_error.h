@@ -41,6 +41,13 @@ struct ConfigError {
     kFleetNeedsContinuous,     // fleet replicas require Scheduler::kContinuous
     kFleetNeedsVirtualService, // fleet replay requires the virtual service
                                // clock (enabled, positive prefill/per-token)
+    // Speculative decode (ISSUE 10, SpecDecodeSpec): draft_tokens outside
+    // [1, 8], draft_layers outside [0, model layers], acceptance knob outside
+    // [0, 1] (or the -1 "measure the real draft" sentinel), speculation on a
+    // streamed-weight engine (the draft lane shares the resident target
+    // layers), on the window scheduler, or with non-greedy sampling
+    // (exact-match acceptance is a greedy-path identity).
+    kBadSpecDecode,
   };
 
   Code code = Code::kBadEngineLimit;

@@ -59,6 +59,11 @@ void ContinuousBatcher::run(const std::vector<TimedRequest>& requests,
                             ServingCounters& counters) {
   const auto& res = opts_.resilience;
   const auto& vs = opts_.virtual_service;
+  // Constant per configuration: the draft lane's cost per fused verify step
+  // in decode-iteration units (0 when speculation is off — see ISSUE 10
+  // pricing in step_lane below).
+  const double draft_cost_factor = RaggedDecoder::spec_draft_cost_factor(
+      opts_.engine, primary_.layer_count());
   const bool tracing = obs::trace_enabled();
   const bool metrics = obs::metrics_enabled();
   auto& rec = obs::TraceRecorder::instance();
@@ -410,14 +415,27 @@ void ContinuousBatcher::run(const std::vector<TimedRequest>& requests,
       // admit() with nothing to overlap and pays its full serial price; a
       // pure-prefill iteration (no decode-ready slot) likewise pays its
       // chunk alone.
+      //
+      // Speculative decode (ISSUE 10): the fused verify iteration costs
+      // max(verify lane, draft lane) — k one-token verify rows stay
+      // memory-bound like a plain decode row, while the draft lane's k-1
+      // truncated-depth passes cost spec_draft_cost_factor() decode
+      // iterations. The excess over the verify lane is charged to
+      // kDraftCompute (attribution totality keeps holding: the three parts
+      // sum to the clock advance), and prefill chunks interleave against
+      // the whole fused step.
       const double prefill_part =
           vs.prefill_token_s * static_cast<double>(prefill_rows) * factor;
       const double decode_dt = decode_rows > 0 ? vs.per_token_s * factor : 0.0;
-      const double prefill_dt =
-          std::max(prefill_part, decode_dt) - decode_dt;
+      const double draft_dt =
+          decode_rows > 0 ? vs.per_token_s * draft_cost_factor * factor : 0.0;
+      const double draft_excess = std::max(0.0, draft_dt - decode_dt);
+      const double fused_dt = decode_dt + draft_excess;
+      const double prefill_dt = std::max(prefill_part, fused_dt) - fused_dt;
       charge_active(prefill_dt, obs::Phase::kPrefill);
       charge_active(decode_dt, obs::Phase::kDecodeCompute);
-      clock += prefill_dt + decode_dt;
+      charge_active(draft_excess, obs::Phase::kDraftCompute);
+      clock += prefill_dt + fused_dt;
     } else {
       // Measured mode can't separate the fused rows' wall time; attribute
       // the remainder to the dominant row type.

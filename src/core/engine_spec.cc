@@ -63,6 +63,29 @@ EngineSpec& EngineSpec::prefill_chunk_tokens(std::int64_t n) {
   opts_.prefill_chunk_tokens = n;
   return *this;
 }
+EngineSpec& EngineSpec::spec_decode(const SpecDecodeSpec& sd) {
+  opts_.spec_draft_tokens = sd.draft_tokens_;
+  opts_.spec_draft_layers = sd.draft_layers_;
+  opts_.spec_draft_int8 = sd.draft_int8_;
+  opts_.spec_acceptance = sd.acceptance_;
+  return *this;
+}
+EngineSpec& EngineSpec::spec_draft_tokens(std::int64_t k) {
+  opts_.spec_draft_tokens = k;
+  return *this;
+}
+EngineSpec& EngineSpec::spec_draft_layers(std::int64_t n) {
+  opts_.spec_draft_layers = n;
+  return *this;
+}
+EngineSpec& EngineSpec::spec_draft_int8(bool on) {
+  opts_.spec_draft_int8 = on;
+  return *this;
+}
+EngineSpec& EngineSpec::spec_acceptance(double a) {
+  opts_.spec_acceptance = a;
+  return *this;
+}
 EngineSpec& EngineSpec::fault_injector(util::FaultInjector* inj) {
   opts_.fault_injector = inj;
   return *this;
@@ -121,6 +144,29 @@ std::vector<ConfigError> EngineSpec::validate() const {
   if (opts_.prefill_chunk_tokens < 0) {
     add(errs, ConfigError::Code::kBadEngineLimit,
         "EngineSpec: prefill_chunk_tokens must be >= 0 (0 = monolithic)");
+  }
+  // Speculative decode (ISSUE 10): every violated SpecDecodeSpec constraint
+  // accumulates — each is an independently fixable knob.
+  if (opts_.spec_draft_tokens < 1 || opts_.spec_draft_tokens > 8) {
+    add(errs, ConfigError::Code::kBadSpecDecode,
+        "EngineSpec: spec_draft_tokens must be in [1, 8] (1 = off)");
+  }
+  if (opts_.spec_draft_layers < 0 || opts_.spec_draft_layers > cfg_.layers) {
+    add(errs, ConfigError::Code::kBadSpecDecode,
+        "EngineSpec: spec_draft_layers must be in [0, model layers] "
+        "(0 = half the target)");
+  }
+  if (opts_.spec_acceptance >= 0 ? opts_.spec_acceptance > 1.0
+                                 : opts_.spec_acceptance != -1.0) {
+    add(errs, ConfigError::Code::kBadSpecDecode,
+        "EngineSpec: spec_acceptance must be in [0, 1] or the -1 \"measure "
+        "the real draft\" sentinel");
+  }
+  if (opts_.spec_draft_tokens > 1 && opts_.stream_weights) {
+    add(errs, ConfigError::Code::kBadSpecDecode,
+        "EngineSpec: speculative decode requires resident weights (the "
+        "draft lane shares the target's resident layers; stream_weights "
+        "keeps none)");
   }
   return errs;
 }
@@ -193,12 +239,22 @@ std::vector<ConfigError> ServeSpec::validate() const {
     add(errs, ConfigError::Code::kBadResilience,
         "ServeSpec: bad resilience options");
   }
+  // Speculative decode is a ragged-path feature: the window scheduler runs
+  // the non-ragged generate() loop, where a spec config would silently do
+  // nothing while the virtual clock claimed the speedup (ISSUE 10).
+  if (opts_.engine.spec_draft_tokens > 1 &&
+      opts_.scheduler != Scheduler::kContinuous) {
+    add(errs, ConfigError::Code::kBadSpecDecode,
+        "ServeSpec: speculative decode requires Scheduler::kContinuous (the "
+        "window path has no ragged verify step)");
+  }
   if (errs.empty() && opts_.scheduler == Scheduler::kContinuous) {
-    // Probe the continuous substrate at this spec's slot count; since
-    // ISSUE 5 the ragged path composes with TP and kv_offload, so this only
-    // fires for genuinely unsupported combinations.
-    const auto caps =
-        RaggedDecoder::Capabilities::supports(opts_.engine, opts_.max_batch);
+    // Probe the continuous substrate at this spec's slot count and sampling
+    // mode; since ISSUE 5 the ragged path composes with TP and kv_offload,
+    // so this only fires for genuinely unsupported combinations (ISSUE 10
+    // adds speculation x non-greedy sampling).
+    const auto caps = RaggedDecoder::Capabilities::supports(
+        opts_.engine, opts_.max_batch, opts_.sampling);
     if (!caps.ok) errs.push_back(caps.reason);
   }
   return errs;

@@ -29,6 +29,45 @@
 
 namespace dsinfer::core {
 
+// Speculative multi-token decoding block (ISSUE 10): the one-stop config for
+// the draft-lane fast path. Attach to an EngineSpec with
+// EngineSpec::spec_decode (or set the fields individually through the
+// engine-level fluent setters). Validation (kBadSpecDecode, multi-error
+// accumulation) happens in EngineSpec::validate()/ServeSpec::validate().
+//
+//   core::SpecDecodeSpec sd;
+//   sd.draft_tokens(4).draft_layers(1).draft_int8(true);
+//   spec.spec_decode(sd);
+struct SpecDecodeSpec {
+  // Verify rows per slot per fused step; 1 disables speculation. Valid
+  // range [1, 8].
+  std::int64_t draft_tokens_ = 1;
+  // Draft-lane depth in target layers (0 = half the target, minimum 1).
+  std::int64_t draft_layers_ = 0;
+  // INT8-prepared draft lane (half the virtual draft cost).
+  bool draft_int8_ = false;
+  // Acceptance-rate sim knob in [0, 1]; -1 measures the real draft. See
+  // EngineOptions::spec_acceptance for the oracle-twin contract.
+  double acceptance_ = -1.0;
+
+  SpecDecodeSpec& draft_tokens(std::int64_t k) {
+    draft_tokens_ = k;
+    return *this;
+  }
+  SpecDecodeSpec& draft_layers(std::int64_t n) {
+    draft_layers_ = n;
+    return *this;
+  }
+  SpecDecodeSpec& draft_int8(bool on) {
+    draft_int8_ = on;
+    return *this;
+  }
+  SpecDecodeSpec& acceptance(double a) {
+    acceptance_ = a;
+    return *this;
+  }
+};
+
 class EngineSpec {
  public:
   explicit EngineSpec(model::DenseModelConfig cfg);
@@ -48,6 +87,13 @@ class EngineSpec {
   EngineSpec& kv_prefix_cache(bool on);
   // Chunked prefill (ISSUE 9): see EngineOptions::prefill_chunk_tokens.
   EngineSpec& prefill_chunk_tokens(std::int64_t n);
+  // Speculative decode (ISSUE 10): apply a whole SpecDecodeSpec block, or
+  // set the individual knobs. See EngineOptions::spec_draft_tokens et al.
+  EngineSpec& spec_decode(const SpecDecodeSpec& sd);
+  EngineSpec& spec_draft_tokens(std::int64_t k);
+  EngineSpec& spec_draft_layers(std::int64_t n);
+  EngineSpec& spec_draft_int8(bool on);
+  EngineSpec& spec_acceptance(double a);
   EngineSpec& fault_injector(util::FaultInjector* inj);
   EngineSpec& stream_max_retries(std::int64_t n);
 

@@ -1,6 +1,7 @@
 #include "core/inference_engine.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 #include <functional>
 #include <limits>
@@ -457,6 +458,12 @@ void InferenceEngine::forward_logits(
 
 RaggedDecoder::Capabilities RaggedDecoder::Capabilities::supports(
     const EngineOptions& opts, std::int64_t slots) {
+  return supports(opts, slots, SamplingOptions{});
+}
+
+RaggedDecoder::Capabilities RaggedDecoder::Capabilities::supports(
+    const EngineOptions& opts, std::int64_t slots,
+    const SamplingOptions& sampling) {
   if (slots < 1) {
     return {false,
             {ConfigError::Code::kBadSlots, "RaggedDecoder: slots must be >= 1"}};
@@ -465,6 +472,27 @@ RaggedDecoder::Capabilities RaggedDecoder::Capabilities::supports(
     return {false,
             {ConfigError::Code::kBadTensorParallel,
              "RaggedDecoder: tensor_parallel must be >= 1"}};
+  }
+  // Speculative decode (ISSUE 10): feature-gated here — not ad-hoc-thrown —
+  // so benches and ServeSpec::validate get the same typed reason.
+  if (opts.spec_draft_tokens != 1) {
+    if (opts.spec_draft_tokens < 1 || opts.spec_draft_tokens > 8) {
+      return {false,
+              {ConfigError::Code::kBadSpecDecode,
+               "RaggedDecoder: spec_draft_tokens must be in [1, 8]"}};
+    }
+    if (opts.stream_weights) {
+      return {false,
+              {ConfigError::Code::kBadSpecDecode,
+               "RaggedDecoder: speculative decode requires resident weights "
+               "(the draft lane shares the target's resident layers)"}};
+    }
+    if (sampling.mode != SamplingOptions::Mode::kGreedy) {
+      return {false,
+              {ConfigError::Code::kBadSpecDecode,
+               "RaggedDecoder: speculative decode requires greedy sampling "
+               "(exact-match acceptance is a greedy-path identity)"}};
+    }
   }
   // Since ISSUE 5 every engine substrate — resident, streamed, tensor-
   // parallel, kv_offload — is serveable on the ragged path.
@@ -475,7 +503,7 @@ RaggedDecoder::RaggedDecoder(InferenceEngine& engine, std::int64_t slots,
                              const SamplingOptions& sampling,
                              std::uint64_t seed)
     : eng_(engine), slots_(slots), sampling_(sampling), rng_(seed) {
-  const auto caps = Capabilities::supports(engine.options(), slots);
+  const auto caps = Capabilities::supports(engine.options(), slots, sampling);
   if (!caps.ok) throw ConfigException(caps.reason);
   const auto& opts = engine.options();
   const auto& cfg = engine.config();
@@ -511,6 +539,61 @@ RaggedDecoder::RaggedDecoder(InferenceEngine& engine, std::int64_t slots,
   }
   seqs_.resize(static_cast<std::size_t>(slots));
   commit_.assign(static_cast<std::size_t>(slots), 0);
+
+  // Speculative draft lane (ISSUE 10). The draft shares the target's
+  // resident checkpoint: its layers are copies of the first N target layers
+  // re-prepared under the draft policy (optionally INT8), plus the target's
+  // embeddings, final layernorm, and tied LM head. It always runs
+  // single-rank full-width (the layers stay resident even under TP) against
+  // a private strip arena — draft KV is scratch, never serving state, so it
+  // neither pages nor shards. In knob mode (spec_acceptance in [0, 1]) the
+  // lane is instead a full-depth twin under the *target* policy: proposals
+  // equal target greedy exactly, then get deterministically corrupted down
+  // to the knob rate, while the virtual clock keeps pricing the configured
+  // draft — the knob simulates a draft of that cost earning that acceptance.
+  spec_k_ = opts.spec_draft_tokens;
+  spec_acceptance_ = opts.spec_acceptance;
+  if (spec_k_ > 1) {
+    const bool oracle = spec_acceptance_ >= 0.0;
+    const std::int64_t total_layers = engine.layer_count();
+    const std::int64_t nd =
+        oracle ? total_layers
+               : (opts.spec_draft_layers > 0
+                      ? std::min(opts.spec_draft_layers, total_layers)
+                      : std::max<std::int64_t>(1, total_layers / 2));
+    draft_policy_ = opts.policy;
+    if (!oracle && opts.spec_draft_int8) {
+      draft_policy_.dtype = kernels::Dtype::kINT8;
+      draft_policy_.gemm = kernels::GemmKind::kBlocked;
+    }
+    draft_layers_.reserve(static_cast<std::size_t>(nd));
+    for (std::int64_t l = 0; l < nd; ++l) {
+      const auto& src = engine.weights_.layers[static_cast<std::size_t>(l)];
+      kernels::LayerWeights d;
+      d.hidden = src.hidden;
+      d.heads = src.heads;
+      d.ffn = src.ffn;
+      d.ln1_g = src.ln1_g.clone();
+      d.ln1_b = src.ln1_b.clone();
+      d.ln2_g = src.ln2_g.clone();
+      d.ln2_b = src.ln2_b.clone();
+      d.w_qkv = src.w_qkv.clone();
+      d.b_qkv = src.b_qkv.clone();
+      d.w_attn_out = src.w_attn_out.clone();
+      d.b_attn_out = src.b_attn_out.clone();
+      d.w_fc1 = src.w_fc1.clone();
+      d.b_fc1 = src.b_fc1.clone();
+      d.w_fc2 = src.w_fc2.clone();
+      d.b_fc2 = src.b_fc2.clone();
+      d.prepare(draft_policy_);
+      draft_layers_.push_back(std::move(d));
+    }
+    draft_arena_ = std::make_unique<kernels::KVArena>(
+        nd, slots, cfg.heads, cfg.head_dim(), max_seq, max_seq,
+        /*pages=*/0, /*prefix=*/false);
+    draft_len_.assign(static_cast<std::size_t>(slots), 0);
+    accept_acc_.assign(static_cast<std::size_t>(slots), 0.0);
+  }
 }
 
 std::size_t RaggedDecoder::offload_bytes(std::int64_t rank) const {
@@ -525,6 +608,11 @@ std::int64_t RaggedDecoder::acquire_all() {
       throw std::logic_error("RaggedDecoder: arena shards diverged");
     }
   }
+  // The draft arena shares the shard free-list discipline (same LIFO order,
+  // same slot ids) so draft state is addressed by the same slot index.
+  if (draft_arena_ && draft_arena_->acquire() != slot) {
+    throw std::logic_error("RaggedDecoder: draft arena diverged");
+  }
   return slot;
 }
 
@@ -532,6 +620,11 @@ void RaggedDecoder::release_all(std::int64_t slot) {
   committed_pages_ -= commit_[static_cast<std::size_t>(slot)];
   commit_[static_cast<std::size_t>(slot)] = 0;
   for (auto& a : arenas_) a.release(slot);
+  if (draft_arena_) {
+    draft_arena_->release(slot);
+    draft_len_[static_cast<std::size_t>(slot)] = 0;
+    accept_acc_[static_cast<std::size_t>(slot)] = 0.0;
+  }
 }
 
 bool RaggedDecoder::fits(std::int64_t prompt_tokens,
@@ -613,6 +706,46 @@ void RaggedDecoder::publish_kv_metrics() {
   pub_hit_tokens_ = a.prefix_hit_tokens();
   pub_cow_ = a.cow_splits();
   pub_prompt_tokens_ = prompt_tokens_;
+  if (spec_k_ > 1) {
+    static obs::Counter& sp = reg.counter("spec.proposed_tokens");
+    static obs::Counter& sa = reg.counter("spec.accepted_tokens");
+    static obs::Counter& sr = reg.counter("spec.rollback_tokens");
+    static obs::Gauge& rate = reg.gauge("spec.acceptance_rate");
+    sp.add(spec_proposed_ - pub_spec_prop_);
+    sa.add(spec_accepted_ - pub_spec_acc_);
+    sr.add(spec_rollback_ - pub_spec_rb_);
+    rate.set(spec_acceptance_rate());
+    pub_spec_prop_ = spec_proposed_;
+    pub_spec_acc_ = spec_accepted_;
+    pub_spec_rb_ = spec_rollback_;
+  }
+}
+
+double RaggedDecoder::spec_draft_cost_factor(const EngineOptions& opts,
+                                             std::int64_t layer_count) {
+  if (opts.spec_draft_tokens <= 1 || layer_count <= 0) return 0.0;
+  const std::int64_t nd =
+      opts.spec_draft_layers > 0
+          ? std::min(opts.spec_draft_layers, layer_count)
+          : std::max<std::int64_t>(1, layer_count / 2);
+  double f = static_cast<double>(opts.spec_draft_tokens - 1) *
+             static_cast<double>(nd) / static_cast<double>(layer_count);
+  if (opts.spec_draft_int8) f *= 0.5;
+  return f;
+}
+
+double RaggedDecoder::spec_step_tokens(const EngineOptions& opts) {
+  if (opts.spec_draft_tokens <= 1 || opts.spec_acceptance < 0) return 1.0;
+  double t = 1.0, p = 1.0;
+  for (std::int64_t j = 1; j < opts.spec_draft_tokens; ++j) {
+    p *= opts.spec_acceptance;
+    t += p;
+  }
+  return t;
+}
+
+std::int64_t RaggedDecoder::spec_k_eff(const Seq& s) const {
+  return std::min(spec_k_, s.max_new - s.generated);
 }
 
 const RaggedDecoder::Seq& RaggedDecoder::checked(std::int64_t slot) const {
@@ -644,6 +777,151 @@ void RaggedDecoder::publish_chunk(std::int64_t slot,
   const std::int64_t drop = std::min(pub, c);
   c -= drop;
   committed_pages_ -= drop;
+}
+
+void RaggedDecoder::propose_drafts() {
+  const std::int64_t H = eng_.config().hidden;
+  const std::int64_t V = eng_.config().vocab;
+  const bool oracle = spec_acceptance_ >= 0.0;
+  static thread_local kernels::LayerScratch dscratch;
+  const auto ns = spec_slots_.size();
+
+  auto run_draft = [&](std::span<const std::int32_t> ids,
+                       std::span<const std::int32_t> poss, std::span<float> x) {
+    DSI_TRACE_SCOPE("engine", "draft");
+    for (std::size_t l = 0; l < draft_layers_.size(); ++l) {
+      kernels::transformer_layer_forward_ragged(
+          draft_layers_[l], *draft_arena_, static_cast<std::int64_t>(l), ids,
+          poss, x, draft_policy_, dscratch);
+    }
+  };
+  auto amax = [](std::span<const float> row) {
+    return static_cast<std::int32_t>(
+        std::max_element(row.begin(), row.end()) - row.begin());
+  };
+  // Knob mode decides each slot's accepted-prefix length for THIS step up
+  // front: one Bresenham draw per slot per step on the geometric expected
+  // accepted count E = a + a^2 + ... + a^(k_eff-1), so the realized advance
+  // averages exactly spec_step_tokens(). Proposals within the keep prefix
+  // stay oracle (== target greedy, so exact-match verify accepts them);
+  // proposals past it get corrupted — (tok + 1) % vocab can never equal the
+  // oracle token, so verify rejects them. The fleet_sim DES twin runs the
+  // identical arithmetic, so the curves agree double-for-double.
+  spec_keep_.assign(ns, 0);
+  if (oracle) {
+    for (std::size_t i = 0; i < ns; ++i) {
+      double e = 0.0, p = 1.0;
+      for (std::int64_t j = 1; j < spec_k_eff_[i]; ++j) {
+        p *= spec_acceptance_;
+        e += p;
+      }
+      double& acc =
+          accept_acc_[static_cast<std::size_t>(spec_slots_[i])];
+      acc += e;
+      const std::int64_t nkeep =
+          std::min(static_cast<std::int64_t>(std::floor(acc + 1e-12)),
+                   spec_k_eff_[i] - 1);
+      acc -= static_cast<double>(nkeep);
+      spec_keep_[i] = nkeep;
+    }
+  }
+  auto propose_tok = [&](std::size_t i, std::int64_t j,
+                         std::int32_t tok) -> std::int32_t {
+    if (!oracle || j <= spec_keep_[i]) return tok;
+    return static_cast<std::int32_t>((tok + 1) % V);
+  };
+
+  // Per-slot proposal layout: slot i's k_eff - 1 proposals start at
+  // prop_begin_[i].
+  prop_begin_.resize(ns);
+  std::int64_t total = 0;
+  for (std::size_t i = 0; i < ns; ++i) {
+    prop_begin_[i] = total;
+    total += spec_k_eff_[i] - 1;
+  }
+  prop_toks_.resize(static_cast<std::size_t>(total));
+
+  // Stage 1 — catch-up + first proposal: one ragged draft step feeds every
+  // slot's tokens[draft_len .. target_len] (through the sampled-but-unfed
+  // next_tok), so a fresh or deep-rewound slot rebuilds its whole draft KV
+  // here and a steady-state slot feeds the rows kept after the last verify.
+  dtoks_.clear();
+  dposs_.clear();
+  dslot_ids_.clear();
+  for (std::size_t i = 0; i < ns; ++i) {
+    const std::int64_t s = spec_slots_[i];
+    const auto& seq = seqs_[static_cast<std::size_t>(s)];
+    const std::int64_t L = arenas_[0].seq_len(s);
+    for (std::int64_t p = draft_len_[static_cast<std::size_t>(s)]; p <= L;
+         ++p) {
+      dslot_ids_.push_back(static_cast<std::int32_t>(s));
+      dtoks_.push_back(seq.tokens[static_cast<std::size_t>(p)]);
+      dposs_.push_back(static_cast<std::int32_t>(p));
+    }
+  }
+  const auto rows = static_cast<std::int64_t>(dtoks_.size());
+  dx_.resize(static_cast<std::size_t>(rows * H));
+  eng_.weights_.embed(dtoks_, dposs_, dx_);
+  run_draft(dslot_ids_, dposs_, dx_);
+  // Gather each slot's final catch-up row; its logits argmax is d1.
+  dlast_.resize(ns * static_cast<std::size_t>(H));
+  {
+    std::int64_t row = 0;
+    for (std::size_t i = 0; i < ns; ++i) {
+      const std::int64_t s = spec_slots_[i];
+      const std::int64_t took =
+          arenas_[0].seq_len(s) + 1 - draft_len_[static_cast<std::size_t>(s)];
+      row += took;
+      std::memcpy(dlast_.data() + static_cast<std::int64_t>(i) * H,
+                  dx_.data() + (row - 1) * H,
+                  static_cast<std::size_t>(H) * sizeof(float));
+      draft_len_[static_cast<std::size_t>(s)] = arenas_[0].seq_len(s) + 1;
+    }
+  }
+  dlogits_.resize(ns * static_cast<std::size_t>(V));
+  eng_.weights_.lm_head(dlast_, dlogits_, static_cast<std::int64_t>(ns));
+  for (std::size_t i = 0; i < ns; ++i) {
+    prop_toks_[static_cast<std::size_t>(prop_begin_[i])] = propose_tok(
+        i, 1,
+        amax(std::span<const float>(dlogits_).subspan(
+            i * static_cast<std::size_t>(V), static_cast<std::size_t>(V))));
+  }
+
+  // Stages 2..k-1 — chain one row per still-proposing slot: feed the
+  // previous (post-corruption) proposal, argmax the new logits.
+  std::int64_t max_k = 0;
+  for (std::size_t i = 0; i < ns; ++i) max_k = std::max(max_k, spec_k_eff_[i]);
+  for (std::int64_t j = 2; j < max_k; ++j) {
+    dtoks_.clear();
+    dposs_.clear();
+    dslot_ids_.clear();
+    for (std::size_t i = 0; i < ns; ++i) {
+      if (spec_k_eff_[i] <= j) continue;
+      const std::int64_t s = spec_slots_[i];
+      dslot_ids_.push_back(static_cast<std::int32_t>(s));
+      dtoks_.push_back(
+          prop_toks_[static_cast<std::size_t>(prop_begin_[i] + j - 2)]);
+      dposs_.push_back(
+          static_cast<std::int32_t>(draft_len_[static_cast<std::size_t>(s)]));
+    }
+    const auto jn = static_cast<std::int64_t>(dtoks_.size());
+    dx_.resize(static_cast<std::size_t>(jn * H));
+    eng_.weights_.embed(dtoks_, dposs_, dx_);
+    run_draft(dslot_ids_, dposs_, dx_);
+    dlogits_.resize(static_cast<std::size_t>(jn * V));
+    eng_.weights_.lm_head(dx_, dlogits_, jn);
+    std::int64_t row = 0;
+    for (std::size_t i = 0; i < ns; ++i) {
+      if (spec_k_eff_[i] <= j) continue;
+      ++draft_len_[static_cast<std::size_t>(spec_slots_[i])];
+      prop_toks_[static_cast<std::size_t>(prop_begin_[i] + j - 1)] =
+          propose_tok(i, j,
+                      amax(std::span<const float>(dlogits_).subspan(
+                          static_cast<std::size_t>(row * V),
+                          static_cast<std::size_t>(V))));
+      ++row;
+    }
+  }
 }
 
 std::int64_t RaggedDecoder::admit(const std::vector<std::int32_t>& prompt,
@@ -721,6 +999,7 @@ std::int64_t RaggedDecoder::admit(const std::vector<std::int32_t>& prompt,
   seq.prefill_pos = matched + rows;
   last_prefill_rows_ = rows;
   last_decode_rows_ = 0;
+  last_spec_tokens_ = 0;
   publish_chunk(slot, prompt);
 
   if (seq.prefill_pos == P) {
@@ -735,6 +1014,7 @@ std::int64_t RaggedDecoder::admit(const std::vector<std::int32_t>& prompt,
     seq.next_tok = tok;
     seq.generated = 1;
     seq.stopped = sampling_.stop_token >= 0 && tok == sampling_.stop_token;
+    last_spec_tokens_ = 1;
   }
   offload_cycle();
   publish_kv_metrics();
@@ -762,6 +1042,37 @@ std::int64_t RaggedDecoder::step() {
   sample_row_idx_.clear();
   last_prefill_rows_ = 0;
   last_decode_rows_ = 0;
+  last_spec_tokens_ = 0;
+  // Speculative pass (ISSUE 10): classify the decode-ready spec-active
+  // slots and run the draft lane BEFORE the target step — the verify rows
+  // embed the proposals, and only the target step can fault (the draft is
+  // resident single-rank, no comm), so the CommFault catch below can restore
+  // the draft to its recorded pre-step state. A slot whose remaining budget
+  // only admits one more token (k_eff < 2) takes the plain decode row.
+  spec_slots_.clear();
+  spec_k_eff_.clear();
+  spec_row0_.clear();
+  step_draft_pre_len_.clear();
+  step_acc_pre_.clear();
+  if (spec_k_ > 1) {
+    for (std::int64_t s = 0; s < slots_; ++s) {
+      if (!arenas_[0].in_use(s)) continue;
+      const auto& seq = seqs_[static_cast<std::size_t>(s)];
+      if (seq.prefill_pos < seq.prompt_len || seq.stopped ||
+          seq.generated >= seq.max_new) {
+        continue;
+      }
+      const std::int64_t ke = spec_k_eff(seq);
+      if (ke < 2) continue;
+      spec_slots_.push_back(static_cast<std::int32_t>(s));
+      spec_k_eff_.push_back(ke);
+      spec_row0_.push_back(0);  // filled when rows are laid out below
+      step_draft_pre_len_.push_back(draft_len_[static_cast<std::size_t>(s)]);
+      step_acc_pre_.push_back(accept_acc_[static_cast<std::size_t>(s)]);
+    }
+    if (!spec_slots_.empty()) propose_drafts();
+  }
+  std::size_t si = 0;  // cursor into spec_slots_ (both walks are slot-ordered)
   for (std::int64_t s = 0; s < slots_; ++s) {
     if (!arenas_[0].in_use(s)) continue;
     auto& seq = seqs_[static_cast<std::size_t>(s)];
@@ -790,13 +1101,35 @@ std::int64_t RaggedDecoder::step() {
       }
       last_prefill_rows_ += rows;
     } else if (!finished(s)) {
-      slot_ids_.push_back(static_cast<std::int32_t>(s));
-      toks_.push_back(seq.next_tok);
-      poss_.push_back(static_cast<std::int32_t>(arenas_[0].seq_len(s)));
-      sample_slots_.push_back(static_cast<std::int32_t>(s));
-      sample_row_idx_.push_back(static_cast<std::int64_t>(slot_ids_.size()) -
-                                1);
-      ++last_decode_rows_;
+      if (si < spec_slots_.size() && spec_slots_[si] == s) {
+        // Speculative verify window: k_eff rows — the sampled-but-unfed
+        // next_tok plus the k_eff - 1 draft proposals — all verified in the
+        // same fused ragged step (the k-row verify rides the
+        // bandwidth-bound GeMM nearly free; ISSUE 10). Sampling for these
+        // rows is the exact-match acceptance scan below, not sample_slots_.
+        const std::int64_t ke = spec_k_eff_[si];
+        const std::int64_t L = arenas_[0].seq_len(s);
+        spec_row0_[si] = static_cast<std::int64_t>(slot_ids_.size());
+        slot_ids_.push_back(static_cast<std::int32_t>(s));
+        toks_.push_back(seq.next_tok);
+        poss_.push_back(static_cast<std::int32_t>(L));
+        for (std::int64_t j = 1; j < ke; ++j) {
+          slot_ids_.push_back(static_cast<std::int32_t>(s));
+          toks_.push_back(prop_toks_[static_cast<std::size_t>(
+              prop_begin_[si] + j - 1)]);
+          poss_.push_back(static_cast<std::int32_t>(L + j));
+        }
+        last_decode_rows_ += ke;
+        ++si;
+      } else {
+        slot_ids_.push_back(static_cast<std::int32_t>(s));
+        toks_.push_back(seq.next_tok);
+        poss_.push_back(static_cast<std::int32_t>(arenas_[0].seq_len(s)));
+        sample_slots_.push_back(static_cast<std::int32_t>(s));
+        sample_row_idx_.push_back(static_cast<std::int64_t>(slot_ids_.size()) -
+                                  1);
+        ++last_decode_rows_;
+      }
     } else {
       continue;
     }
@@ -827,6 +1160,15 @@ std::int64_t RaggedDecoder::step() {
     for (std::size_t i = 0; i < step_slots_.size(); ++i) {
       rewind_all(step_slots_[i], step_pre_len_[i]);
     }
+    // Spec slots also unwind the draft lane — KV rows and the acceptance
+    // accumulator — to their recorded pre-step state, so the retried step
+    // re-proposes the identical draft (ISSUE 10).
+    for (std::size_t i = 0; i < spec_slots_.size(); ++i) {
+      const auto s = static_cast<std::size_t>(spec_slots_[i]);
+      draft_arena_->rewind(spec_slots_[i], step_draft_pre_len_[i]);
+      draft_len_[s] = step_draft_pre_len_[i];
+      accept_acc_[s] = step_acc_pre_[i];
+    }
     throw;
   }
   // Advance prefill cursors by exactly the rows each slot ran and publish
@@ -837,20 +1179,33 @@ std::int64_t RaggedDecoder::step() {
     seq.prefill_pos += step_prefill_rows_[i];
     publish_chunk(step_slots_[i], seq.tokens);
   }
-  // Sampling runs only over the decode rows and the final prompt row of any
-  // slot that just completed prefill, gathered compactly (per-row lm_head
-  // results are independent of the gather, so greedy tokens stay
-  // bit-identical to monolithic prefill).
+  // Sampling runs over the decode rows, the final prompt row of any slot
+  // that just completed prefill, and every spec slot's verify rows, gathered
+  // compactly (per-row lm_head results are independent of the gather, so
+  // greedy tokens stay bit-identical to monolithic prefill and to the
+  // non-speculative path).
   const std::int64_t k = static_cast<std::int64_t>(sample_slots_.size());
-  if (k > 0) {
-    last_.resize(static_cast<std::size_t>(k * H));
+  std::int64_t spec_rows = 0;
+  for (auto ke : spec_k_eff_) spec_rows += ke;
+  const std::int64_t rows = k + spec_rows;
+  if (rows > 0) {
+    last_.resize(static_cast<std::size_t>(rows * H));
     for (std::int64_t i = 0; i < k; ++i) {
       std::memcpy(last_.data() + i * H,
                   x_.data() + sample_row_idx_[static_cast<std::size_t>(i)] * H,
                   static_cast<std::size_t>(H) * sizeof(float));
     }
-    logits_.resize(static_cast<std::size_t>(k * V));
-    eng_.weights_.lm_head(last_, logits_, k);
+    {
+      std::int64_t at = k;
+      for (std::size_t i = 0; i < spec_slots_.size(); ++i) {
+        std::memcpy(last_.data() + at * H, x_.data() + spec_row0_[i] * H,
+                    static_cast<std::size_t>(spec_k_eff_[i] * H) *
+                        sizeof(float));
+        at += spec_k_eff_[i];
+      }
+    }
+    logits_.resize(static_cast<std::size_t>(rows * V));
+    eng_.weights_.lm_head(last_, logits_, rows);
     for (std::int64_t i = 0; i < k; ++i) {
       auto& seq =
           seqs_[static_cast<std::size_t>(sample_slots_[static_cast<std::size_t>(i)])];
@@ -860,9 +1215,66 @@ std::int64_t RaggedDecoder::step() {
       seq.tokens.push_back(tok);
       seq.next_tok = tok;
       ++seq.generated;
+      ++last_spec_tokens_;
       if (sampling_.stop_token >= 0 && tok == sampling_.stop_token) {
         seq.stopped = true;
       }
+    }
+    // Exact-match acceptance scan (ISSUE 10). Verify row j-1 of a spec slot
+    // holds the target's logits for sequence position L+j, so its argmax
+    // g_j is exactly the token the non-speculative path would have sampled
+    // after feeding the same context. Proposal d_j is accepted iff it equals
+    // g_j and every earlier proposal was accepted; the step then appends the
+    // accepted prefix plus the bonus token g_{a+1} — every appended token is
+    // an argmax the plain path would have produced, so the stream is
+    // bit-identical — and rewinds the rejected-suffix KV rows on every
+    // shard through the page-granular rewind machinery.
+    auto amax = [&](std::int64_t row) {
+      const auto r = std::span<const float>(logits_).subspan(
+          static_cast<std::size_t>(row * V), static_cast<std::size_t>(V));
+      return static_cast<std::int32_t>(
+          std::max_element(r.begin(), r.end()) - r.begin());
+    };
+    std::int64_t base = k;
+    for (std::size_t i = 0; i < spec_slots_.size(); ++i) {
+      const std::int64_t s = spec_slots_[i];
+      const std::int64_t ke = spec_k_eff_[i];
+      auto& seq = seqs_[static_cast<std::size_t>(s)];
+      const std::int64_t L = arenas_[0].seq_len(s) - ke;  // pre-step length
+      std::int64_t a = 0;
+      for (std::int64_t j = 1; j < ke; ++j) {
+        if (prop_toks_[static_cast<std::size_t>(prop_begin_[i] + j - 1)] !=
+            amax(base + j - 1)) {
+          break;
+        }
+        ++a;
+      }
+      std::int64_t m = 0;
+      for (std::int64_t t = 0; t <= a; ++t) {
+        const std::int32_t g = amax(base + t);
+        seq.tokens.push_back(g);
+        ++m;
+        if (sampling_.stop_token >= 0 && g == sampling_.stop_token) {
+          seq.stopped = true;
+          break;
+        }
+      }
+      seq.generated += m;
+      seq.next_tok = seq.tokens.back();
+      rewind_all(s, L + m);
+      // Draft rows past the accepted-and-kept prefix fed tokens that are no
+      // longer (or never were) part of the sequence; the next propose()
+      // catch-up refeeds from here. Kept rows: the next_tok row plus every
+      // fed proposal that both survived acceptance and still exists after
+      // stop truncation (at most ke - 2 proposals were fed to the draft).
+      const std::int64_t keep = std::min({a, m, ke - 2});
+      draft_len_[static_cast<std::size_t>(s)] = L + 1 + keep;
+      draft_arena_->rewind(s, L + 1 + keep);
+      spec_proposed_ += ke - 1;
+      spec_accepted_ += a;
+      spec_rollback_ += ke - m;
+      last_spec_tokens_ += m;
+      base += ke;
     }
   }
   offload_cycle();

@@ -79,6 +79,33 @@ struct EngineOptions {
   // flight. Greedy token streams stay bit-identical to monolithic prefill
   // (per-row reduction order is independent of co-batched row count).
   std::int64_t prefill_chunk_tokens = 0;
+  // Speculative multi-token decode (ISSUE 10, configured through
+  // core::SpecDecodeSpec). spec_draft_tokens is the verify window: the query
+  // rows each decode-ready slot contributes to one fused ragged step (the
+  // sampled-but-unfed token plus spec_draft_tokens - 1 draft proposals).
+  // 1 == speculation off, the exact non-speculative path. Exact-match greedy
+  // acceptance keeps accepted prefixes bit-identical to the non-speculative
+  // stream; rejected-suffix KV rows rewind through the page-granular rewind
+  // machinery. Requires resident weights (no stream_weights), the continuous
+  // scheduler, and greedy sampling.
+  std::int64_t spec_draft_tokens = 1;
+  // Layers in the draft lane, sharing the target checkpoint's first N
+  // resident layers (0 = half the target's layers, minimum 1). The virtual
+  // clock prices the draft lane by this fraction of a target decode pass.
+  std::int64_t spec_draft_layers = 0;
+  // Run the draft lane on INT8-prepared copies of its layers (half the
+  // virtual draft cost, same exact-match safety: a bad proposal just
+  // rejects).
+  bool spec_draft_int8 = false;
+  // Acceptance-rate sim knob for the modeled speedup curves: in [0, 1] the
+  // decoder swaps the configured draft for a full-depth oracle twin and
+  // deterministically corrupts its proposals so the realized tokens-per-step
+  // averages exactly the geometric model 1 + a + ... + a^(k-1) at this
+  // per-position rate (the DES twin mirrors the same accumulator), while
+  // virtual pricing keeps charging the *configured* draft lane. -1 (default)
+  // runs the real configured draft and measures whatever acceptance it
+  // earns.
+  double spec_acceptance = -1.0;
   // Chaos hooks (ISSUE 1). When set, streamed weight reads draw from the
   // injector's "zero.stream" site; corrupted reads are retried (with
   // checksum verification) up to stream_max_retries before a StreamFault.
@@ -224,6 +251,12 @@ class RaggedDecoder {
     // Probes an already-constructed engine's options at `slots` arena slots.
     static Capabilities supports(const EngineOptions& opts,
                                  std::int64_t slots = 1);
+    // Full probe including the sampling mode (ISSUE 10): speculative decode
+    // (spec_draft_tokens > 1) is an exact-match greedy identity, so it is
+    // gated — not ad-hoc-thrown — against non-greedy sampling here. The
+    // 2-arg overload probes with default (greedy) sampling.
+    static Capabilities supports(const EngineOptions& opts, std::int64_t slots,
+                                 const SamplingOptions& sampling);
     // Probes a spec before any engine exists (defined with EngineSpec in
     // core/engine_spec.cc).
     static Capabilities supports(const EngineSpec& spec,
@@ -296,9 +329,48 @@ class RaggedDecoder {
   }
   // Row counts of the most recent admit()/step() call — the virtual-clock
   // schedulers price prefill per chunk (prefill rows actually run this
-  // iteration), not per admission, off these.
+  // iteration), not per admission, off these. With speculation decode rows
+  // are *verify* rows: each spec-active slot contributes up to
+  // spec_draft_tokens of them per step.
   std::int64_t last_step_prefill_rows() const { return last_prefill_rows_; }
   std::int64_t last_step_decode_rows() const { return last_decode_rows_; }
+
+  // Speculative-decode ledger (ISSUE 10). Lifetime counts across steps:
+  // draft tokens proposed, proposals accepted by exact-match verification,
+  // and KV rows rolled back (rejected proposals plus draft-lane rewinds are
+  // *not* counted here — rollback_tokens is the target-lane figure the
+  // spec.* metrics publish: verify rows written then rewound).
+  std::int64_t spec_proposed_tokens() const { return spec_proposed_; }
+  std::int64_t spec_accepted_tokens() const { return spec_accepted_; }
+  std::int64_t spec_rollback_tokens() const { return spec_rollback_; }
+  // Realized per-position acceptance rate (0 when nothing proposed yet).
+  double spec_acceptance_rate() const {
+    return spec_proposed_ > 0 ? static_cast<double>(spec_accepted_) /
+                                    static_cast<double>(spec_proposed_)
+                              : 0.0;
+  }
+  // Tokens appended by the most recent step() (accepted + bonus per slot;
+  // equals the advanced-slot count when speculation is off).
+  std::int64_t last_step_spec_tokens() const { return last_spec_tokens_; }
+
+  // Virtual-clock pricing helpers (ISSUE 10) shared by ContinuousBatcher,
+  // InferenceServer::estimate_service_s, fleet::Replica, and the fleet_sim
+  // DES twin so every model prices speculation identically.
+  //
+  // spec_draft_cost_factor: the draft lane's cost per fused step in units of
+  // one target decode pass — (k-1) proposal passes through
+  // eff_draft_layers/layer_count of the stack, halved when the draft is
+  // INT8. 0 when speculation is off. The fused step charges
+  // max(1, factor) * per_token_s: verify rows ride the bandwidth-bound GeMM
+  // for free (the paper's deep-fusion argument applied across time steps),
+  // so the step costs whichever lane is longer.
+  static double spec_draft_cost_factor(const EngineOptions& opts,
+                                       std::int64_t layer_count);
+  // Expected tokens retired per fused step at the configured acceptance
+  // knob: 1 + a + a^2 + ... + a^(k-1) (the accepted prefix is geometric,
+  // plus the always-appended bonus token). 1 when speculation is off or the
+  // knob is the -1 "measure" sentinel.
+  static double spec_step_tokens(const EngineOptions& opts);
 
   // Prefill: reserves the slot's full page commitment and runs the prompt
   // suffix through the model — all of it when prefill_chunk_tokens == 0
@@ -378,6 +450,18 @@ class RaggedDecoder {
   // after admissions and steps; delta-tracked so multiple decoders share the
   // registry counters.
   void publish_kv_metrics();
+  // Speculative draft pass (ISSUE 10): for every slot in spec_slots_, runs
+  // the draft lane forward to propose spec_k_eff_[i] - 1 tokens into
+  // prop_toks_ (flat, prop_begin_[i] indexing). Stage 1 is one ragged step
+  // that also catches the draft KV up to the target (lazy — a slot's draft
+  // history is rebuilt from scratch after admission or a deep rewind);
+  // stages 2..k-1 chain one row per still-proposing slot. Draft-lane only:
+  // never touches the target arenas and never faults (resident, no comm).
+  void propose_drafts();
+  // Effective verify-window for a decode-ready slot this step: at least 2
+  // in the spec path (slots that can only take 1 more token fall back to
+  // the plain decode row).
+  std::int64_t spec_k_eff(const Seq& s) const;
 
   InferenceEngine& eng_;
   std::int64_t slots_ = 0;
@@ -414,6 +498,48 @@ class RaggedDecoder {
   std::vector<std::int32_t> step_slots_, sample_slots_;
   std::vector<std::int64_t> step_pre_len_, step_prefill_rows_, sample_row_idx_;
   std::vector<float> last_;  // gathered sample-row activations
+
+  // ---- Speculative decode lane (ISSUE 10) ----
+  std::int64_t spec_k_ = 1;      // opts.spec_draft_tokens (1 = off)
+  double spec_acceptance_ = -1;  // opts.spec_acceptance sim knob
+  // Draft layers: copies of the target's first N resident layers, re-prepared
+  // under draft_policy_ (optionally INT8). In knob mode (spec_acceptance_ in
+  // [0,1]) the draft is instead a full-depth FP32 oracle twin — proposals
+  // match target greedy exactly, then get deterministically corrupted to hit
+  // the knob rate — while pricing keeps charging the configured lane.
+  std::vector<kernels::LayerWeights> draft_layers_;
+  kernels::KernelPolicy draft_policy_;
+  // Single-rank full-width draft KV (strip layout; the draft lane never
+  // pages or shards — it is private scratch, not serving state).
+  std::unique_ptr<kernels::KVArena> draft_arena_;
+  std::vector<std::int64_t> draft_len_;  // draft KV rows resident per slot
+  // Per-slot Bresenham accumulator for the acceptance knob: each spec step
+  // adds the geometric expected accepted count E = a + a^2 + ... +
+  // a^(k_eff-1) and takes the integer part as that step's accepted-prefix
+  // length, so the realized advance averages exactly spec_step_tokens() and
+  // the fleet_sim DES twin — which runs the identical arithmetic — agrees
+  // double-for-double (a per-draw stream would bias the leading proposal of
+  // every step toward the stream's reject phase).
+  std::vector<double> accept_acc_;
+  // This step's knob-decided accepted-prefix length per spec slot
+  // (proposals past it get corrupted; recomputed every propose pass).
+  std::vector<std::int64_t> spec_keep_;
+  // Per-step spec working state (reused; allocation-free at steady state).
+  std::vector<std::int32_t> spec_slots_;   // spec-active slots this step
+  std::vector<std::int64_t> spec_row0_;    // first verify-row index per slot
+  std::vector<std::int64_t> spec_k_eff_;   // verify rows per slot
+  std::vector<std::int32_t> prop_toks_;    // flat proposals, k_eff-1 per slot
+  std::vector<std::int64_t> prop_begin_;   // per-slot offset into prop_toks_
+  std::vector<std::int64_t> step_draft_pre_len_;  // CommFault draft rewind
+  std::vector<double> step_acc_pre_;              // CommFault knob rewind
+  // Draft-lane reused buffers.
+  std::vector<float> dx_, dlast_, dlogits_;
+  std::vector<std::int32_t> dtoks_, dposs_, dslot_ids_;
+  // Lifetime spec ledger + last-step figure (see accessors).
+  std::int64_t spec_proposed_ = 0, spec_accepted_ = 0, spec_rollback_ = 0;
+  std::int64_t last_spec_tokens_ = 0;
+  // Last-published spec counter values (publish_kv_metrics deltas).
+  std::int64_t pub_spec_prop_ = 0, pub_spec_acc_ = 0, pub_spec_rb_ = 0;
 };
 
 // Byte-level token helpers for the examples (vocab must be >= 256).

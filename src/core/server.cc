@@ -25,20 +25,22 @@ double to_us(double virtual_s) { return virtual_s * 1e6; }
 
 }  // namespace
 
-InferenceServer::InferenceServer(const model::DenseModelConfig& cfg,
-                                 ServerOptions opts, std::uint64_t seed)
-    : cfg_(cfg), opts_(std::move(opts)), seed_(seed),
-      engine_(cfg, opts_.engine, seed) {
-  // Engine-level constraints already held (engine_ constructed above);
-  // validate() re-reports them plus the server-level ones with typed codes.
-  if (auto errs = ServeSpec::from_options(cfg_, opts_).validate();
-      !errs.empty()) {
+InferenceServer::InferenceServer(const ServeSpec& spec, std::uint64_t seed)
+    : cfg_(spec.engine().model()), opts_(spec.options()), seed_(seed),
+      engine_(spec.engine(), seed) {
+  // Engine-level constraints already held (engine_ constructed above throws
+  // first on those); validate() re-reports them plus the server-level ones
+  // with typed codes, so the first server-level violation surfaces here.
+  if (auto errs = spec.validate(); !errs.empty()) {
     throw ConfigException(std::move(errs.front()));
   }
 }
 
-InferenceServer::InferenceServer(const ServeSpec& spec, std::uint64_t seed)
-    : InferenceServer(spec.engine().model(), spec.options(), seed) {}
+// Deprecated shim — the only sanctioned spelling; everything routes through
+// the ServeSpec primary above.
+InferenceServer::InferenceServer(const model::DenseModelConfig& cfg,
+                                 ServerOptions opts, std::uint64_t seed)
+    : InferenceServer(ServeSpec::from_options(cfg, opts), seed) {}
 
 InferenceEngine& InferenceServer::degraded_engine() {
   if (!degraded_) {
@@ -56,11 +58,6 @@ InferenceEngine& InferenceServer::degraded_engine() {
   return *degraded_;
 }
 
-double InferenceServer::estimate_service_s(std::int64_t new_tokens,
-                                           bool degraded) const {
-  return estimate_service_s(0, new_tokens, degraded, 0);
-}
-
 double InferenceServer::estimate_service_s(
     std::int64_t prompt_tokens, std::int64_t new_tokens, bool degraded,
     std::int64_t prefix_hit_tokens) const {
@@ -72,8 +69,19 @@ double InferenceServer::estimate_service_s(
       std::max<std::int64_t>(0, prompt_tokens - prefix_hit_tokens);
   const auto& vs = opts_.virtual_service;
   if (vs.enabled) {
+    // Speculative decode (ISSUE 10): a fused verify step costs
+    // max(verify lane, draft lane) = per_token_s * max(1, draft cost
+    // factor), and advances spec_step_tokens() tokens, so the effective
+    // per-token rate rescales by their ratio. Identity (1/1) when k == 1;
+    // conservatively >= 1 in measure mode (unknown acceptance models no
+    // multi-token advance, but the draft lane still costs).
+    const double spec_scale =
+        std::max(1.0,
+                 RaggedDecoder::spec_draft_cost_factor(opts_.engine,
+                                                       cfg_.layers)) /
+        RaggedDecoder::spec_step_tokens(opts_.engine);
     return (vs.base_s + vs.prefill_token_s * static_cast<double>(suffix) +
-            vs.per_token_s * static_cast<double>(new_tokens)) *
+            vs.per_token_s * spec_scale * static_cast<double>(new_tokens)) *
            (degraded ? vs.degraded_factor : 1.0);
   }
   // Measured mode: fixed invocation cost plus per-decode-step cost, so a

@@ -201,13 +201,15 @@ class ServeSpec;  // core/engine_spec.h — the validated configuration API
 
 class InferenceServer {
  public:
-  // Preferred: build the configuration through core::ServeSpec (fluent
-  // setters + typed validate()). Throws ConfigException if validation fails.
+  // Primary: build the configuration through core::ServeSpec (fluent
+  // setters + typed validate()). Throws ConfigException if validation fails
+  // — engine-level violations surface first (from the engine's own
+  // construction), then server-level ones.
   explicit InferenceServer(const ServeSpec& spec, std::uint64_t seed = 0x5eed);
 
-  // Deprecated shim: prefer InferenceServer(ServeSpec). Routes through
-  // ServeSpec::validate() and throws ConfigException (a
-  // std::invalid_argument) on the first violated constraint.
+  // Deprecated shim: prefer InferenceServer(ServeSpec). One-line forward
+  // through ServeSpec::from_options — all validation lives on the primary
+  // constructor (ISSUE 10 retired the shim's duplicated checks).
   InferenceServer(const model::DenseModelConfig& cfg, ServerOptions opts,
                   std::uint64_t seed = 0x5eed);
 
@@ -221,19 +223,20 @@ class InferenceServer {
   // Counters from the most recent run_trace (reset at each call).
   const ServingCounters& counters() const { return counters_; }
 
-  // Predicted service time for a request of `new_tokens` decode steps.
-  // Virtual mode reads the service model; measured mode blends a per-token
-  // EWMA so the estimate scales with the request's ask (ISSUE 4 satellite:
-  // the old single-EWMA ignored new_tokens entirely). Public so tests can
-  // assert the scaling. The two-argument form prices decode only — the
-  // ISSUE 9 bug was that admission used it for the whole request, leaving
-  // prompt length (prefill cost) invisible and admitting long-prompt
-  // requests into certain deadline misses.
-  double estimate_service_s(std::int64_t new_tokens, bool degraded) const;
-  // Prompt-aware form (ISSUE 9): adds a prefill term — per-prompt-token,
+  // Predicted service time for a request: a prefill term — per-prompt-token,
   // discounted by `prefix_hit_tokens` prompt tokens already resident in the
-  // prefix cache (they will not be prefilled). Both admission paths price
-  // through this.
+  // prefix cache (they will not be prefilled) — plus a per-decode-token term.
+  // Virtual mode reads the service model; measured mode blends per-term
+  // EWMAs so the estimate scales with the request's ask. Speculative decode
+  // (ISSUE 10) rescales the virtual per-token term by
+  // max(1, draft cost factor) / modeled tokens-per-step: the fused verify
+  // iteration costs the max of the verify and draft lanes but advances
+  // multiple tokens, so acceptance-aware admission prices the *effective*
+  // per-token rate. Measured mode needs no rescale — the EWMA already
+  // observes the sped-up steps. Public so tests can assert the scaling.
+  // (The decode-only two-argument form is retired: ISSUE 9 showed pricing
+  // that ignores the prompt admits long-prompt requests into certain
+  // deadline misses; `tests/deprecation_lint.cmake` keeps it dead.)
   double estimate_service_s(std::int64_t prompt_tokens,
                             std::int64_t new_tokens, bool degraded,
                             std::int64_t prefix_hit_tokens) const;

@@ -61,6 +61,11 @@ struct SimLane {
     // advances prompt chunks (priced prefill_token_s per row), not decode
     // iterations; decode starts when it reaches 0. Always 0 monolithic.
     std::int64_t prefill_left = 0;
+    // Speculative-decode accumulator (ISSUE 10), mirroring the decoder's
+    // per-slot Bresenham on the geometric acceptance expectation — same
+    // arithmetic, same epsilon, so the DES advance matches the functional
+    // replica step for step.
+    double accept_acc = 0;
   };
   std::vector<Slot> slots;
 };
@@ -133,12 +138,43 @@ struct SimRun {
   }
 
   double estimate_s(const TimedRequest& rq, bool degraded) const {
-    // Mirrors Replica::estimate_s, prompt term included (ISSUE 9).
-    const auto& vs = spec.serve().options().virtual_service;
+    // Mirrors Replica::estimate_s, prompt term included (ISSUE 9) and the
+    // speculative effective-rate rescale (ISSUE 10).
+    const auto& sopts = spec.serve().options();
+    const auto& vs = sopts.virtual_service;
+    const double spec_scale =
+        std::max(1.0, core::RaggedDecoder::spec_draft_cost_factor(
+                          sopts.engine, spec.serve().engine().model().layers)) /
+        core::RaggedDecoder::spec_step_tokens(sopts.engine);
     return (vs.prefill_s +
             vs.prefill_token_s * static_cast<double>(rq.prompt.size()) +
-            vs.per_token_s * static_cast<double>(rq.new_tokens)) *
+            vs.per_token_s * spec_scale * static_cast<double>(rq.new_tokens)) *
            (degraded ? vs.degraded_factor : 1.0);
+  }
+
+  // Speculative decode (ISSUE 10): modeled advance of one fused verify step
+  // for a slot with `remaining` tokens to go — the decoder's per-step
+  // Bresenham on the geometric acceptance expectation, bit-for-bit (same
+  // truncated k_eff, same epsilon, same floor), so the DES token clock
+  // agrees with the batcher replay's. Returns 1 when speculation is off or
+  // in measure mode (unknown acceptance models no multi-token advance).
+  std::int64_t spec_advance(SimLane::Slot& slot) const {
+    const auto& eo = spec.serve().options().engine;
+    if (eo.spec_draft_tokens <= 1 || eo.spec_acceptance < 0) return 1;
+    const std::int64_t ke =
+        std::min<std::int64_t>(eo.spec_draft_tokens, slot.remaining);
+    if (ke < 2) return 1;
+    double e = 0, p = 1;
+    for (std::int64_t j = 1; j < ke; ++j) {
+      p *= eo.spec_acceptance;
+      e += p;
+    }
+    slot.accept_acc += e;
+    const auto nkeep = std::min<std::int64_t>(
+        static_cast<std::int64_t>(std::floor(slot.accept_acc + 1e-12)),
+        ke - 1);
+    slot.accept_acc -= static_cast<double>(nkeep);
+    return nkeep + 1;
   }
 
   // Chunked prefill (ISSUE 9): prompt rows the admit action runs for a
@@ -497,9 +533,16 @@ struct SimRun {
         }
       }
       // max(prefill part, decode part) — the same piggyback pricing as the
-      // functional replica's fused iteration.
+      // functional replica's fused iteration. The decode part is
+      // max(verify, draft) when speculation is on (ISSUE 10): the fused
+      // verify step also runs the draft lane's truncated-depth passes.
+      const double decode_unit =
+          vs.per_token_s *
+          std::max(1.0, core::RaggedDecoder::spec_draft_cost_factor(
+                            spec.serve().options().engine,
+                            spec.serve().engine().model().layers));
       cost += std::max(vs.prefill_token_s * static_cast<double>(prefill_rows),
-                       any_decode ? vs.per_token_s : 0.0) *
+                       any_decode ? decode_unit : 0.0) *
               lane->cost_factor * f;
     }
     if (!any_slots) return;  // raced with a drain; nothing to do
@@ -559,7 +602,8 @@ struct SimRun {
           }
           continue;
         }
-        if (--slot.remaining <= 0) {
+        slot.remaining -= spec_advance(slot);
+        if (slot.remaining <= 0) {
           const SimLane::Slot finished = slot;
           lane->slots.erase(lane->slots.begin() +
                             static_cast<std::ptrdiff_t>(s));

@@ -80,10 +80,18 @@ double Replica::estimate_s(const core::TimedRequest& rq,
   // refundable ledger entry (enqueue adds it, cancel/failed-admit/finish
   // subtract the same value), and cache contents change between those
   // calls; a cache-dependent value would leak the ledger.
-  const auto& vs = spec_.serve().options().virtual_service;
+  // Speculative decode (ISSUE 10): same effective-rate rescale as the
+  // server's estimator — a fused verify step costs max(verify, draft) and
+  // advances spec_step_tokens() tokens.
+  const auto& sopts = spec_.serve().options();
+  const auto& vs = sopts.virtual_service;
+  const double spec_scale =
+      std::max(1.0, core::RaggedDecoder::spec_draft_cost_factor(
+                        sopts.engine, spec_.serve().engine().model().layers)) /
+      core::RaggedDecoder::spec_step_tokens(sopts.engine);
   return (vs.prefill_s +
           vs.prefill_token_s * static_cast<double>(rq.prompt.size()) +
-          vs.per_token_s * static_cast<double>(rq.new_tokens)) *
+          vs.per_token_s * spec_scale * static_cast<double>(rq.new_tokens)) *
          (degraded ? vs.degraded_factor : 1.0);
 }
 
@@ -329,10 +337,25 @@ void Replica::step_lanes(std::vector<Completion>& out) {
     const double prefill_part =
         vs.prefill_token_s * static_cast<double>(prefill_rows) * scale;
     const double decode_dt = decode_rows > 0 ? vs.per_token_s * scale : 0.0;
-    advance(std::max(prefill_part, decode_dt) - decode_dt,
+    // Speculative decode (ISSUE 10): the fused verify step costs
+    // max(verify, draft); the draft lane's excess over the verify charge
+    // lands in kDraftCompute, exactly like the continuous batcher, and
+    // prefill chunks interleave against the whole fused step.
+    const double draft_dt =
+        decode_rows > 0
+            ? vs.per_token_s *
+                  core::RaggedDecoder::spec_draft_cost_factor(
+                      spec_.serve().options().engine,
+                      spec_.serve().engine().model().layers) *
+                  scale
+            : 0.0;
+    const double draft_excess = std::max(0.0, draft_dt - decode_dt);
+    const double fused_dt = decode_dt + draft_excess;
+    advance(std::max(prefill_part, fused_dt) - fused_dt,
             obs::Phase::kPrefill);
     if (decode_rows > 0) {
       advance(decode_dt, obs::Phase::kDecodeCompute);
+      advance(draft_excess, obs::Phase::kDraftCompute);
     }
     for (std::int64_t s = 0; s < lane->decoder.capacity(); ++s) {
       if (lane->decoder.arena().in_use(s) && lane->decoder.finished(s)) {

@@ -44,6 +44,7 @@ const char* phase_name(Phase p) {
     case Phase::kRetryBackoff: return "retry_backoff";
     case Phase::kShed: return "shed";
     case Phase::kStall: return "stall";
+    case Phase::kDraftCompute: return "draft_compute";
     case Phase::kCount: break;
   }
   return "unknown";

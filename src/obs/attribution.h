@@ -49,6 +49,9 @@ enum class Phase : std::uint8_t {
   kRetryBackoff,     // exponential backoff after engine/stream/comm faults
   kShed,             // decision instant of a terminal shed
   kStall,            // replica stall/straggle/idle clock jumps
+  kDraftCompute,     // speculative draft-lane passes beyond the fused verify
+                     // (ISSUE 10: the fused step charges max(verify, draft);
+                     // the excess over the verify lane lands here)
   kCount,
 };
 

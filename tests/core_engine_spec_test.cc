@@ -288,6 +288,109 @@ TEST(FleetSpec, RouterCtorThrowsTypedOnFirstError) {
   }
 }
 
+// ---- SpecDecodeSpec (ISSUE 10): the speculative-decode config block.
+
+TEST(SpecDecodeSpec, FluentBlockLandsInEngineOptions) {
+  EngineSpec spec(tiny());
+  spec.max_batch(4).max_seq(64).spec_decode(SpecDecodeSpec{}
+                                                .draft_tokens(4)
+                                                .draft_layers(1)
+                                                .draft_int8(true)
+                                                .acceptance(0.7));
+  EXPECT_TRUE(spec.validate().empty());
+  EXPECT_EQ(spec.options().spec_draft_tokens, 4);
+  EXPECT_EQ(spec.options().spec_draft_layers, 1);
+  EXPECT_TRUE(spec.options().spec_draft_int8);
+  EXPECT_DOUBLE_EQ(spec.options().spec_acceptance, 0.7);
+}
+
+TEST(SpecDecodeSpec, EachRejectionIsTypedKBadSpecDecode) {
+  using C = ConfigError::Code;
+  {
+    EngineSpec s(tiny());
+    s.spec_decode(SpecDecodeSpec{}.draft_tokens(0));  // below [1, 8]
+    ASSERT_EQ(s.validate().size(), 1u);
+    EXPECT_EQ(s.validate().front().code, C::kBadSpecDecode);
+  }
+  {
+    EngineSpec s(tiny());
+    s.spec_decode(SpecDecodeSpec{}.draft_tokens(9));  // above [1, 8]
+    EXPECT_EQ(s.validate().front().code, C::kBadSpecDecode);
+  }
+  {
+    EngineSpec s(tiny());
+    s.spec_decode(SpecDecodeSpec{}.draft_tokens(2).draft_layers(3));
+    // deeper than the 2-layer stack
+    EXPECT_EQ(s.validate().front().code, C::kBadSpecDecode);
+  }
+  {
+    EngineSpec s(tiny());
+    s.spec_decode(SpecDecodeSpec{}.draft_tokens(2).acceptance(1.5));
+    EXPECT_EQ(s.validate().front().code, C::kBadSpecDecode);
+  }
+  {
+    EngineSpec s(tiny());
+    s.spec_decode(SpecDecodeSpec{}.draft_tokens(2).acceptance(-0.5));
+    // only exactly -1.0 means "measure"; other negatives are typos
+    EXPECT_EQ(s.validate().front().code, C::kBadSpecDecode);
+  }
+  {
+    EngineSpec s(tiny());
+    s.stream_weights(true).spec_decode(SpecDecodeSpec{}.draft_tokens(2));
+    // the draft lane clones resident layers; streaming engines have none
+    EXPECT_EQ(s.validate().front().code, C::kBadSpecDecode);
+  }
+}
+
+TEST(SpecDecodeSpec, AccumulatesAlongsideOtherViolations) {
+  EngineSpec spec(tiny());
+  spec.max_batch(0).spec_decode(
+      SpecDecodeSpec{}.draft_tokens(9).acceptance(2.0));
+  const auto errs = spec.validate();
+  const auto cs = codes(errs);
+  using C = ConfigError::Code;
+  ASSERT_EQ(errs.size(), 3u);  // bad k, bad acceptance, bad batch — one pass
+  EXPECT_EQ(std::count(cs.begin(), cs.end(), C::kBadSpecDecode), 2);
+  EXPECT_NE(std::find(cs.begin(), cs.end(), C::kBadEngineLimit), cs.end());
+  for (const auto& e : errs) EXPECT_FALSE(e.message.empty());
+}
+
+TEST(SpecDecodeSpec, WindowSchedulerRejectsSpeculation) {
+  // The window scheduler's generate() path has no ragged verify step;
+  // ServeSpec gates the combination with a typed error instead of letting
+  // it silently serve non-speculatively.
+  EngineSpec eng(tiny());
+  eng.max_batch(8).max_seq(64).spec_decode(SpecDecodeSpec{}.draft_tokens(4));
+  ServeSpec s(eng);
+  s.scheduler(Scheduler::kWindow).max_batch(4);
+  ASSERT_EQ(s.validate().size(), 1u);
+  EXPECT_EQ(s.validate().front().code, ConfigError::Code::kBadSpecDecode);
+  // The continuous scheduler accepts the same engine spec.
+  ServeSpec c(eng);
+  VirtualServiceModel vs;
+  vs.enabled = true;
+  c.scheduler(Scheduler::kContinuous).max_batch(4).virtual_service(vs);
+  EXPECT_TRUE(c.validate().empty());
+}
+
+TEST(SpecDecodeSpec, ContinuousProbeRejectsNonGreedySampling) {
+  // ServeSpec's capability probe carries the sampling mode (ISSUE 10):
+  // exact-match verification is a greedy identity, so top-k + speculation
+  // is a typed rejection at validate() time, not a decoder throw at run
+  // time.
+  EngineSpec eng(tiny());
+  eng.max_batch(8).max_seq(64).spec_decode(SpecDecodeSpec{}.draft_tokens(4));
+  ServeSpec s(eng);
+  VirtualServiceModel vs;
+  vs.enabled = true;
+  SamplingOptions topk;
+  topk.mode = SamplingOptions::Mode::kTopK;
+  s.scheduler(Scheduler::kContinuous).max_batch(4).virtual_service(vs)
+      .sampling(topk);
+  ASSERT_FALSE(s.validate().empty());
+  EXPECT_EQ(s.validate().front().code, ConfigError::Code::kBadSpecDecode);
+}
+
 TEST(ServeSpec, LegacyServerCtorThrowsTypedOnBadServerOptions) {
   ServerOptions opts;
   opts.engine.max_batch = 8;

@@ -251,14 +251,14 @@ TEST(InferenceServer, MeasuredServiceEstimateScalesWithRequestedTokens) {
   // scale with the ask.
   InferenceServer server(tiny(), base_opts(), 9);  // measured mode
   server.run_trace({req(1, {10, 20}, 8, 0.0)});
-  const double e10 = server.estimate_service_s(10, false);
-  const double e100 = server.estimate_service_s(100, false);
+  const double e10 = server.estimate_service_s(0, 10, false, 0);
+  const double e100 = server.estimate_service_s(0, 100, false, 0);
   EXPECT_GT(e10, 0.0);
   EXPECT_GT(e100, e10);
   // And it keeps scaling after more observations.
   server.run_trace({req(2, {10, 21}, 4, 0.0)});
-  EXPECT_GT(server.estimate_service_s(100, false),
-            server.estimate_service_s(10, false));
+  EXPECT_GT(server.estimate_service_s(0, 100, false, 0),
+            server.estimate_service_s(0, 10, false, 0));
 }
 
 TEST(InferenceServer, DeadlineEqualToArrivalIsShedUnderAdmissionControl) {
@@ -305,10 +305,11 @@ TEST(InferenceServer, LongPromptPrefillCostShedsPreAdmissionNotPostMiss) {
   }
   auto r = req(1, long_prompt, 2, 0.0);
   // Slack covers base + decode (0.012s) with room, but not 48 prompt
-  // tokens of prefill (true service 0.06s). The old decode-only estimate
-  // (the 2-arg form) predicts this deadline is met — the bug.
+  // tokens of prefill (true service 0.06s). A decode-only estimate (prompt
+  // priced as zero — what the retired 2-arg form computed) predicts this
+  // deadline is met — the bug.
   r.deadline_s = 0.032;
-  EXPECT_LT(server.estimate_service_s(2, false), r.deadline_s);
+  EXPECT_LT(server.estimate_service_s(0, 2, false, 0), r.deadline_s);
   EXPECT_GT(server.estimate_service_s(48, 2, false, 0), r.deadline_s);
 
   auto stats = server.run_trace({r});

@@ -1,0 +1,366 @@
+// Speculative-decode suite (ISSUE 10, ctest label `spec_decode`): the draft
+// lane + fused k-row exact-match verification must be a pure scheduling
+// change on the greedy path — bit-identical token streams across KV layouts,
+// TP degrees, draft depths/precisions, and acceptance regimes (including a
+// zero-acceptance adversarial draft), with exact proposed/accepted/rollback
+// accounting, CommFault rewind of BOTH lanes on every shard, and clean
+// composition with chunked prefill and the paged+prefix cache.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "comm/collectives.h"
+#include "core/engine_spec.h"
+#include "core/inference_engine.h"
+#include "obs/attribution.h"
+#include "util/fault_injector.h"
+
+namespace dsinfer::core {
+namespace {
+
+model::DenseModelConfig tiny() { return model::tiny_gpt(64, 2, 4); }
+
+// kv_mode: "strip" | "paged" | "paged+prefix" — the same layouts the serving
+// bench replays, fully provisioned (no structural sheds).
+EngineOptions engine_opts(const std::string& kv_mode, std::int64_t tp,
+                          std::int64_t k, double acceptance = -1.0) {
+  EngineOptions o;
+  o.policy = kernels::KernelPolicy::optimized_large_batch();
+  o.max_batch = 4;
+  o.max_seq = 64;
+  o.tensor_parallel = tp;
+  o.spec_draft_tokens = k;
+  o.spec_acceptance = acceptance;
+  if (kv_mode != "strip") {
+    o.kv_page_tokens = 8;
+    o.kv_pages = 32;
+    o.kv_prefix_cache = kv_mode == "paged+prefix";
+  }
+  return o;
+}
+
+std::vector<std::int32_t> long_prompt(std::int64_t n) {
+  std::vector<std::int32_t> p;
+  for (std::int64_t t = 0; t < n; ++t) {
+    p.push_back(static_cast<std::int32_t>(1 + (t * 3) % 61));
+  }
+  return p;
+}
+
+// Two staggered sequences with different prompts and budgets, run to
+// completion. Budgets (7, 5) are deliberately not multiples of any k under
+// test so the tail exercises the k_eff clamp.
+std::pair<std::vector<std::int32_t>, std::vector<std::int32_t>> run_pair(
+    RaggedDecoder& dec) {
+  const auto a = dec.admit(long_prompt(11), 7);
+  EXPECT_GE(a, 0);
+  const auto b = dec.admit({5, 6, 7}, 5);
+  EXPECT_GE(b, 0);
+  while (!dec.finished(a) || !dec.finished(b)) dec.step();
+  auto out = std::make_pair(dec.tokens(a), dec.tokens(b));
+  dec.retire(a);
+  dec.retire(b);
+  return out;
+}
+
+TEST(SpecDecode, BitIdenticalAcrossKvModesTpDegreesAndK) {
+  // The acceptance-criteria matrix: strip/paged/paged+prefix x tp{1,2} x
+  // k{1,2,4}, plus both acceptance regimes — the full-depth oracle knob (at
+  // a mid rate, so steps mix accepted prefixes and rollbacks) and the real
+  // truncated-layer draft measuring its own acceptance. k == 1 must
+  // degenerate to the non-speculative path exactly.
+  InferenceEngine base_engine(tiny(), engine_opts("strip", 1, 1), 51);
+  RaggedDecoder base(base_engine, 4);
+  const auto want = run_pair(base);
+  for (const std::string kv_mode : {"strip", "paged", "paged+prefix"}) {
+    for (std::int64_t tp : {std::int64_t{1}, std::int64_t{2}}) {
+      for (std::int64_t k : {std::int64_t{1}, std::int64_t{2}, std::int64_t{4}}) {
+        for (double acc : {-1.0, 0.6}) {
+          InferenceEngine engine(tiny(), engine_opts(kv_mode, tp, k, acc), 51);
+          RaggedDecoder dec(engine, 4);
+          const auto got = run_pair(dec);
+          EXPECT_EQ(got.first, want.first)
+              << kv_mode << " tp=" << tp << " k=" << k << " acc=" << acc;
+          EXPECT_EQ(got.second, want.second)
+              << kv_mode << " tp=" << tp << " k=" << k << " acc=" << acc;
+          if (k > 1) {
+            EXPECT_GT(dec.spec_proposed_tokens(), 0)
+                << kv_mode << " tp=" << tp << " k=" << k << " acc=" << acc;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(SpecDecode, Int8AndDeepDraftsKeepExactParity) {
+  // The draft lane's fidelity must never leak into outputs: an INT8 draft, a
+  // single-layer draft, and a full-depth draft all produce the same greedy
+  // stream — a bad proposal just rejects.
+  InferenceEngine base_engine(tiny(), engine_opts("strip", 1, 1), 53);
+  RaggedDecoder base(base_engine, 4);
+  const auto want = run_pair(base);
+  for (const bool int8 : {false, true}) {
+    for (std::int64_t dl : {std::int64_t{1}, std::int64_t{2}}) {
+      auto o = engine_opts("strip", 1, 3);
+      o.spec_draft_int8 = int8;
+      o.spec_draft_layers = dl;
+      InferenceEngine engine(tiny(), o, 53);
+      RaggedDecoder dec(engine, 4);
+      const auto got = run_pair(dec);
+      EXPECT_EQ(got.first, want.first) << "int8=" << int8 << " layers=" << dl;
+      EXPECT_EQ(got.second, want.second) << "int8=" << int8 << " layers=" << dl;
+    }
+  }
+}
+
+TEST(SpecDecode, KOneIsExactlyTheNonSpeculativePath) {
+  // k == 1 not only matches outputs — it must not touch any speculative
+  // machinery at all: one decode row per slot per step, zero spec counters.
+  InferenceEngine engine(tiny(), engine_opts("strip", 1, 1), 55);
+  RaggedDecoder dec(engine, 4);
+  const auto s = dec.admit(long_prompt(6), 4);
+  ASSERT_GE(s, 0);
+  dec.step();
+  EXPECT_EQ(dec.last_step_decode_rows(), 1);
+  while (!dec.finished(s)) dec.step();
+  EXPECT_EQ(dec.spec_proposed_tokens(), 0);
+  EXPECT_EQ(dec.spec_accepted_tokens(), 0);
+  EXPECT_EQ(dec.spec_rollback_tokens(), 0);
+}
+
+TEST(SpecDecode, ZeroAcceptanceAdversarialDraftTerminatesWithFullRollback) {
+  // acceptance = 0 corrupts every proposal: each spec step verifies k rows,
+  // accepts none, appends exactly the one token the plain path would have,
+  // and rolls the k - 1 rejected KV rows back. The stream still finishes,
+  // bit-identical, and the ledger is exact: every proposal is rolled back.
+  InferenceEngine base_engine(tiny(), engine_opts("strip", 1, 1), 57);
+  RaggedDecoder base(base_engine, 4);
+  const auto want = run_pair(base);
+
+  InferenceEngine engine(tiny(), engine_opts("strip", 1, 4, 0.0), 57);
+  RaggedDecoder dec(engine, 4);
+  const auto got = run_pair(dec);
+  EXPECT_EQ(got.first, want.first);
+  EXPECT_EQ(got.second, want.second);
+  EXPECT_GT(dec.spec_proposed_tokens(), 0);
+  EXPECT_EQ(dec.spec_accepted_tokens(), 0);
+  EXPECT_EQ(dec.spec_acceptance_rate(), 0.0);
+  // With zero acceptance every verify window writes k_eff rows and keeps
+  // one: rollback == proposed, token for token.
+  EXPECT_EQ(dec.spec_rollback_tokens(), dec.spec_proposed_tokens());
+}
+
+TEST(SpecDecode, FullAcceptanceAdvancesKTokensPerStepWithNoRollback) {
+  InferenceEngine engine(tiny(), engine_opts("strip", 1, 4, 1.0), 59);
+  RaggedDecoder dec(engine, 4);
+  const auto s = dec.admit(long_prompt(6), 9);  // 1 at admit + 2 spec steps
+  ASSERT_GE(s, 0);
+  dec.step();
+  EXPECT_EQ(dec.last_step_decode_rows(), 4);   // one fused 4-row verify
+  EXPECT_EQ(dec.last_step_spec_tokens(), 4);   // 3 accepted + bonus
+  EXPECT_EQ(dec.generated(s), 5);
+  dec.step();
+  EXPECT_EQ(dec.generated(s), 9);
+  EXPECT_TRUE(dec.finished(s));
+  EXPECT_EQ(dec.spec_rollback_tokens(), 0);
+  EXPECT_EQ(dec.spec_accepted_tokens(), dec.spec_proposed_tokens());
+  EXPECT_DOUBLE_EQ(dec.spec_acceptance_rate(), 1.0);
+}
+
+TEST(SpecDecode, RealizedAdvanceTracksTheGeometricModel) {
+  // The Bresenham accumulator must realize the modeled tokens-per-step
+  // 1 + a + a^2 + a^3 on average — this is the arithmetic the DES twin and
+  // the serving bench's modeled curves rely on.
+  auto o = engine_opts("strip", 1, 4, 0.7);
+  o.max_seq = 128;
+  InferenceEngine engine(tiny(), o, 61);
+  RaggedDecoder dec(engine, 1);
+  const auto s = dec.admit(long_prompt(8), 100);
+  ASSERT_GE(s, 0);
+  std::int64_t steps = 0;
+  while (!dec.finished(s)) {
+    dec.step();
+    ++steps;
+  }
+  const double modeled =
+      RaggedDecoder::spec_step_tokens(engine.options());  // 2.533
+  const double realized = 99.0 / static_cast<double>(steps);
+  EXPECT_NEAR(realized, modeled, 0.15);
+  dec.retire(s);
+}
+
+TEST(SpecDecode, CommFaultMidVerifyRewindsBothLanesOnEveryShard) {
+  // Fault-free tp=2 spec reference.
+  InferenceEngine ref_engine(tiny(), engine_opts("strip", 2, 4, 0.6), 63);
+  RaggedDecoder ref(ref_engine, 4);
+  const auto want = run_pair(ref);
+
+  util::FaultInjector inj(0xC0FFEE);
+  EngineSpec spec(tiny());
+  spec.policy(kernels::KernelPolicy::optimized_large_batch())
+      .tensor_parallel(2)
+      .max_batch(4)
+      .max_seq(64)
+      .spec_decode(SpecDecodeSpec{}.draft_tokens(4).acceptance(0.6))
+      .fault_injector(&inj);
+  InferenceEngine engine(spec, 63);
+  RaggedDecoder dec(engine, 4);
+  const auto a = dec.admit(long_prompt(11), 7);
+  const auto b = dec.admit({5, 6, 7}, 5);
+  ASSERT_GE(a, 0);
+  ASSERT_GE(b, 0);
+
+  // Kill rank 0 at its next sync point: the fused verify step must unwind
+  // atomically — target KV back to the pre-step length on every shard, the
+  // draft lane back to its pre-propose state, no token leaked — and the
+  // retried step must re-propose identically, finishing bit-identical to
+  // the fault-free reference.
+  const auto len_a = dec.arena().seq_len(a);
+  const auto len_b = dec.arena().seq_len(b);
+  const auto toks_a = dec.tokens(a);
+  const auto toks_b = dec.tokens(b);
+  const auto proposed = dec.spec_proposed_tokens();
+  util::FaultSpec kill;
+  kill.fail_first_n = 1;
+  inj.configure("comm.rank0", kill);
+  EXPECT_THROW(dec.step(), comm::CommFault);
+  for (std::int64_t rank = 0; rank < dec.rank_count(); ++rank) {
+    for (std::int64_t layer = 0; layer < engine.layer_count(); ++layer) {
+      EXPECT_EQ(dec.arena(rank).seq_len(layer, a), len_a);
+      EXPECT_EQ(dec.arena(rank).seq_len(layer, b), len_b);
+    }
+  }
+  EXPECT_EQ(dec.tokens(a), toks_a);
+  EXPECT_EQ(dec.tokens(b), toks_b);
+  EXPECT_EQ(dec.spec_proposed_tokens(), proposed);  // no phantom proposals
+
+  while (!dec.finished(a) || !dec.finished(b)) dec.step();
+  EXPECT_EQ(dec.tokens(a), want.first);
+  EXPECT_EQ(dec.tokens(b), want.second);
+}
+
+TEST(SpecDecode, ComposesWithChunkedPrefillAndPrefixCache) {
+  // Speculation x chunked prefill x paged+prefix: a long prompt streams in
+  // chunks while an already-decoding slot runs spec verify rows in the same
+  // fused iterations; a twin admit hits the published prefix pages. All of
+  // it must stay bit-identical to the plain path.
+  auto base_o = engine_opts("strip", 1, 1);
+  InferenceEngine base_engine(tiny(), base_o, 65);
+  RaggedDecoder base(base_engine, 4);
+  const auto a0 = base.admit({5, 6, 7}, 6);
+  const auto b0 = base.admit(long_prompt(19), 5);
+  const auto c0 = base.admit(long_prompt(19), 5);
+  while (!base.finished(a0) || !base.finished(b0) || !base.finished(c0)) {
+    base.step();
+  }
+
+  for (double acc : {-1.0, 0.5}) {
+    auto o = engine_opts("paged+prefix", 1, 4, acc);
+    o.prefill_chunk_tokens = 5;
+    InferenceEngine engine(tiny(), o, 65);
+    RaggedDecoder dec(engine, 4);
+    const auto a = dec.admit({5, 6, 7}, 6);       // decodes speculatively...
+    const auto b = dec.admit(long_prompt(19), 5);  // ...while b prefills
+    ASSERT_GT(dec.prefill_remaining(b), 0);
+    dec.step();
+    EXPECT_GT(dec.last_step_prefill_rows(), 0);  // chunk and verify fused
+    EXPECT_GT(dec.last_step_decode_rows(), 1);
+    while (!dec.finished(a) || !dec.finished(b)) dec.step();
+    const auto c = dec.admit(long_prompt(19), 5);  // prefix-cache twin
+    EXPECT_GT(dec.prefix_hit_tokens(), 0);
+    while (!dec.finished(c)) dec.step();
+    EXPECT_EQ(dec.tokens(a), base.tokens(a0)) << "acc=" << acc;
+    EXPECT_EQ(dec.tokens(b), base.tokens(b0)) << "acc=" << acc;
+    EXPECT_EQ(dec.tokens(c), base.tokens(c0)) << "acc=" << acc;
+  }
+}
+
+TEST(SpecDecode, StopTokenTruncatesInsideTheVerifyWindow) {
+  // Force a stop token to appear inside accepted prefixes: run the plain
+  // path, find a generated token, then re-run speculatively with that token
+  // as the stop. Streams must match the plain path's truncation exactly.
+  InferenceEngine probe_engine(tiny(), engine_opts("strip", 1, 1), 67);
+  RaggedDecoder probe(probe_engine, 4);
+  const auto p = probe.admit(long_prompt(6), 8);
+  while (!probe.finished(p)) probe.step();
+  const auto stream = probe.tokens(p);
+  // Pick a mid-stream generated token as the stop.
+  const std::int32_t stop = stream[stream.size() - 3];
+
+  SamplingOptions stop_sampling;
+  stop_sampling.stop_token = stop;
+  InferenceEngine base_engine(tiny(), engine_opts("strip", 1, 1), 67);
+  RaggedDecoder base(base_engine, 4, stop_sampling);
+  const auto sb = base.admit(long_prompt(6), 8);
+  while (!base.finished(sb)) base.step();
+
+  InferenceEngine engine(tiny(), engine_opts("strip", 1, 4, 1.0), 67);
+  RaggedDecoder dec(engine, 4, stop_sampling);
+  const auto ss = dec.admit(long_prompt(6), 8);
+  while (!dec.finished(ss)) dec.step();
+  EXPECT_EQ(dec.tokens(ss), base.tokens(sb));
+  EXPECT_EQ(dec.stopped(ss), base.stopped(sb));
+}
+
+TEST(SpecDecode, AccountingIdentityProposedSplitsIntoAcceptedAndDiscarded) {
+  // Lifetime ledger identity at a mid acceptance rate: every proposal is
+  // either accepted into the stream or discarded; discarded proposals plus
+  // their never-kept bonus rows are exactly the rollback. For each step,
+  // rollback = k_eff - m and proposed = k_eff - 1, accepted = a, m <= a + 1,
+  // so proposed - accepted <= rollback holds per step with equality iff no
+  // stop truncation — which this trace has none of.
+  InferenceEngine engine(tiny(), engine_opts("strip", 1, 4, 0.5), 69);
+  RaggedDecoder dec(engine, 4);
+  run_pair(dec);
+  EXPECT_GT(dec.spec_proposed_tokens(), 0);
+  EXPECT_GT(dec.spec_accepted_tokens(), 0);
+  EXPECT_EQ(dec.spec_proposed_tokens() - dec.spec_accepted_tokens(),
+            dec.spec_rollback_tokens());
+}
+
+TEST(SpecDecode, CapabilitiesGateSpecAgainstIncompatibleModes) {
+  // Typed feature gating instead of ad-hoc throws (ISSUE 10 api_redesign).
+  auto o = engine_opts("strip", 1, 4);
+  SamplingOptions topk;
+  topk.mode = SamplingOptions::Mode::kTopK;
+  const auto c1 = RaggedDecoder::Capabilities::supports(o, 4, topk);
+  EXPECT_FALSE(c1.ok);
+  EXPECT_EQ(c1.reason.code, ConfigError::Code::kBadSpecDecode);
+  EXPECT_THROW(
+      {
+        InferenceEngine engine(tiny(), o, 71);
+        RaggedDecoder dec(engine, 4, topk);
+      },
+      ConfigException);
+  // Greedy (the default probe) passes the same options.
+  EXPECT_TRUE(RaggedDecoder::Capabilities::supports(o, 4).ok);
+  // Streaming engines have no resident layers for the draft lane.
+  auto so = engine_opts("strip", 1, 4);
+  so.stream_weights = true;
+  const auto c2 = RaggedDecoder::Capabilities::supports(so, 4);
+  EXPECT_FALSE(c2.ok);
+  EXPECT_EQ(c2.reason.code, ConfigError::Code::kBadSpecDecode);
+}
+
+TEST(SpecDecode, PricingHelpersMatchTheDocumentedModel) {
+  auto o = engine_opts("strip", 1, 4, 0.7);
+  // Default draft depth = half of 2 layers = 1 layer, FP32: (k-1) * 1/2.
+  EXPECT_DOUBLE_EQ(RaggedDecoder::spec_draft_cost_factor(o, 2), 1.5);
+  o.spec_draft_int8 = true;
+  EXPECT_DOUBLE_EQ(RaggedDecoder::spec_draft_cost_factor(o, 2), 0.75);
+  o.spec_draft_layers = 2;
+  EXPECT_DOUBLE_EQ(RaggedDecoder::spec_draft_cost_factor(o, 2), 1.5);
+  EXPECT_NEAR(RaggedDecoder::spec_step_tokens(o), 1 + 0.7 + 0.49 + 0.343,
+              1e-12);
+  o.spec_draft_tokens = 1;
+  EXPECT_DOUBLE_EQ(RaggedDecoder::spec_draft_cost_factor(o, 2), 0.0);
+  EXPECT_DOUBLE_EQ(RaggedDecoder::spec_step_tokens(o), 1.0);
+  o.spec_draft_tokens = 4;
+  o.spec_acceptance = -1.0;  // measure mode: no modeled multi-token advance
+  EXPECT_DOUBLE_EQ(RaggedDecoder::spec_step_tokens(o), 1.0);
+}
+
+}  // namespace
+}  // namespace dsinfer::core

@@ -1,0 +1,61 @@
+# Deprecated-surface lint (ISSUE 10 satellite), alongside label_lint.cmake.
+# Two retirements are enforced here so they cannot creep back in review:
+#
+#  1. The decode-only 2-arg estimate_service_s(new_tokens, degraded) is
+#     gone. It priced prompts as free, which ISSUE 9 showed admits
+#     long-prompt requests into certain deadline misses; every caller must
+#     use the prompt-aware 4-arg form. Any single-line call or declaration
+#     with exactly two arguments fails the lint.
+#
+#  2. The legacy (config, options) constructors are each ONE delegating
+#     shim into the spec-first API — no duplicated validation. The lint
+#     pins the InferenceServer shim to its one-line
+#     `: InferenceServer(ServeSpec::from_options(...), ...)` spelling;
+#     re-introducing a second validation path there changes that line and
+#     trips this check.
+#
+# Run as: cmake -DREPO_DIR=<repo> -P deprecation_lint.cmake
+if(NOT DEFINED REPO_DIR)
+  message(FATAL_ERROR "deprecation_lint: pass -DREPO_DIR=<repo>")
+endif()
+
+file(GLOB_RECURSE _sources
+     "${REPO_DIR}/src/*.cc" "${REPO_DIR}/src/*.h"
+     "${REPO_DIR}/tests/*.cc" "${REPO_DIR}/bench/*.cc")
+
+set(_bad "")
+foreach(_src ${_sources})
+  file(STRINGS "${_src}" _lines)
+  set(_n 0)
+  foreach(_line ${_lines})
+    math(EXPR _n "${_n} + 1")
+    # A two-argument call/declaration: exactly one top-level comma between
+    # comma- and paren-free operands. The 4-arg form never matches (three
+    # commas), nor do multi-line declarations (no closing paren on the
+    # first line).
+    if(_line MATCHES "estimate_service_s\\([^,()]+,[^,()]+\\)")
+      get_filename_component(_name "${_src}" NAME)
+      list(APPEND _bad "${_name}:${_n}")
+    endif()
+  endforeach()
+endforeach()
+
+if(_bad)
+  message(FATAL_ERROR
+      "deprecation_lint: the decode-only 2-arg estimate_service_s is "
+      "retired (it prices prompts as free — the ISSUE 9 admission bug); "
+      "use estimate_service_s(prompt_tokens, new_tokens, degraded, "
+      "prefix_hit_tokens). Offending lines: ${_bad}")
+endif()
+
+file(READ "${REPO_DIR}/src/core/server.cc" _server_cc)
+if(NOT _server_cc MATCHES
+   ": InferenceServer\\(ServeSpec::from_options\\(cfg, opts\\), seed\\) \\{\\}")
+  message(FATAL_ERROR
+      "deprecation_lint: the legacy InferenceServer(config, options) "
+      "constructor must stay a one-line delegating shim through "
+      "ServeSpec::from_options — all validation lives on the ServeSpec "
+      "primary constructor; do not re-introduce a second validation path.")
+endif()
+
+message(STATUS "deprecation_lint: retired surfaces stay retired OK")

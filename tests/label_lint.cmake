@@ -1,38 +1,54 @@
-# ctest label-coverage lint (ISSUE 9 satellite). The sanitizer matrices and
-# the serving --check gate select chunked-prefill coverage by the
-# `chunked_prefill` ctest label; a test added later that exercises
-# `prefill_chunk_tokens` but is registered without the label would silently
-# drop out of those runs. This script fails when any tests/*_test.cc that
-# references the knob is not registered via
-#   dsi_add_labeled_test(<name> chunked_prefill ...)
+# ctest label-coverage lint (ISSUE 9 satellite, generalized for ISSUE 10).
+# The sanitizer matrices and the serving --check gate select feature
+# coverage by ctest label; a test added later that exercises a gated knob
+# but is registered without a covering label would silently drop out of
+# those runs. This script fails when any tests/*_test.cc that references a
+# knob below is not registered via
+#   dsi_add_labeled_test(<name> <covering-label> ...)
 # in tests/CMakeLists.txt.
+#
+# Each rule is "<knob-regex>:<accepted-labels-regex>". A binary carries one
+# label (see the dsi_add_labeled_test comment), so a test spanning features
+# — e.g. the spec x chunked-prefill composition suite — satisfies a rule
+# with any label the sanitizer matrices select for that knob's coverage.
 #
 # Run as: cmake -DSRC_DIR=<repo>/tests -P label_lint.cmake
 if(NOT DEFINED SRC_DIR)
   message(FATAL_ERROR "label_lint: pass -DSRC_DIR=<repo>/tests")
 endif()
 
+set(_rules
+  "prefill_chunk_tokens:chunked_prefill|spec_decode"
+  "spec_draft_tokens:spec_decode"
+)
+
 file(READ "${SRC_DIR}/CMakeLists.txt" _cmake_lists)
 file(GLOB _test_sources "${SRC_DIR}/*_test.cc")
 
 set(_missing "")
-foreach(_src ${_test_sources})
-  file(READ "${_src}" _body)
-  if(NOT _body MATCHES "prefill_chunk_tokens")
-    continue()
-  endif()
-  get_filename_component(_name "${_src}" NAME_WE)
-  if(NOT _cmake_lists MATCHES "dsi_add_labeled_test\\(${_name} +chunked_prefill[ )]")
-    list(APPEND _missing "${_name}")
-  endif()
+foreach(_rule ${_rules})
+  string(REPLACE ":" ";" _parts "${_rule}")
+  list(GET _parts 0 _knob)
+  list(GET _parts 1 _labels)
+  foreach(_src ${_test_sources})
+    file(READ "${_src}" _body)
+    if(NOT _body MATCHES "${_knob}")
+      continue()
+    endif()
+    get_filename_component(_name "${_src}" NAME_WE)
+    if(NOT _cmake_lists MATCHES
+       "dsi_add_labeled_test\\(${_name} +(${_labels})[ )]")
+      list(APPEND _missing "${_name} (${_knob} -> ${_labels})")
+    endif()
+  endforeach()
 endforeach()
 
 if(_missing)
   message(FATAL_ERROR
-      "label_lint: test binaries reference prefill_chunk_tokens but are not "
-      "registered with the chunked_prefill ctest label in "
-      "tests/CMakeLists.txt: ${_missing}. Register them with "
-      "dsi_add_labeled_test(<name> chunked_prefill <libs...>) so the "
-      "sanitizer matrices and serving gates keep covering them.")
+      "label_lint: test binaries reference label-gated knobs but are not "
+      "registered with a covering ctest label in tests/CMakeLists.txt: "
+      "${_missing}. Register them with "
+      "dsi_add_labeled_test(<name> <label> <libs...>) so the sanitizer "
+      "matrices and serving gates keep covering them.")
 endif()
-message(STATUS "label_lint: chunked_prefill label coverage OK")
+message(STATUS "label_lint: feature label coverage OK")
